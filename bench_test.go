@@ -1,0 +1,424 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation, plus ablations of the design choices DESIGN.md calls out.
+//
+// The full two-year, 51-state study is computed once and shared; the
+// per-table benches then measure the analysis step and report the
+// headline statistic of each experiment as a custom metric, so
+// `go test -bench=. -benchmem` both regenerates and times the paper's
+// results. Custom metrics carry the measured values (e.g. top10_share,
+// frac_ge10_states) next to the timing columns.
+package sift
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"sift/internal/core"
+	"sift/internal/experiments"
+	"sift/internal/gtrends"
+	"sift/internal/scenario"
+	"sift/internal/searchmodel"
+	"sift/internal/simworld"
+	"sift/internal/timeseries"
+)
+
+var (
+	benchOnce  sync.Once
+	benchStudy *experiments.Study
+	benchErr   error
+)
+
+func fullStudy(b *testing.B) *experiments.Study {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchStudy, benchErr = experiments.RunStudy(context.Background(), experiments.StudyConfig{Seed: 1})
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchStudy
+}
+
+// ---- headline counts (§1, §3.2) ----
+
+func BenchmarkHeadlineCounts(b *testing.B) {
+	study := fullStudy(b)
+	b.ResetTimer()
+	var r experiments.HeadlineResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.Headline(study)
+	}
+	b.ReportMetric(float64(r.Total), "spikes_total")
+	b.ReportMetric(float64(r.In2020), "spikes_2020")
+	b.ReportMetric(float64(r.In2021), "spikes_2021")
+}
+
+func BenchmarkConvergenceRounds(b *testing.B) {
+	study := fullStudy(b)
+	b.ResetTimer()
+	var mean float64
+	for i := 0; i < b.N; i++ {
+		mean, _ = study.MeanRounds()
+	}
+	b.ReportMetric(mean, "rounds_mean") // paper: 6
+}
+
+// ---- Fig. 1 / Fig. 2 ----
+
+func BenchmarkFig1TexasTimeline(b *testing.B) {
+	study := fullStudy(b)
+	b.ResetTimer()
+	var n int
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig1TexasTimeline(study)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n = len(r.Spikes)
+	}
+	b.ReportMetric(float64(n), "window_spikes")
+}
+
+func BenchmarkFig2Workflow(b *testing.B) {
+	study := fullStudy(b)
+	ctx := context.Background()
+	b.ResetTimer()
+	var dur float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig2Workflow(ctx, study)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dur = r.Spike.Duration().Hours()
+	}
+	b.ReportMetric(dur, "spike_hours") // paper: 10
+}
+
+// ---- Fig. 3 / Table 1 / Fig. 4 ----
+
+func BenchmarkFig3StateCDF(b *testing.B) {
+	study := fullStudy(b)
+	b.ResetTimer()
+	var share float64
+	for i := 0; i < b.N; i++ {
+		share = experiments.Fig3(study).Top10Share()
+	}
+	b.ReportMetric(share, "top10_share") // paper: 0.51
+}
+
+func BenchmarkFig3DurationCDF(b *testing.B) {
+	study := fullStudy(b)
+	b.ResetTimer()
+	var frac float64
+	for i := 0; i < b.N; i++ {
+		frac = experiments.Fig3(study).FracAtLeast3h
+	}
+	b.ReportMetric(frac, "frac_ge3h") // paper: 0.10
+}
+
+func BenchmarkTable1Impact(b *testing.B) {
+	study := fullStudy(b)
+	b.ResetTimer()
+	var top float64
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table1(study, 7)
+		top = rows[0].Spike.Duration().Hours()
+	}
+	b.ReportMetric(top, "top_duration_hours") // paper: 45
+}
+
+func BenchmarkFig4Weekday(b *testing.B) {
+	study := fullStudy(b)
+	b.ResetTimer()
+	var dip float64
+	for i := 0; i < b.N; i++ {
+		dip = experiments.Fig4(study).WeekendDip()
+	}
+	b.ReportMetric(dip, "weekend_over_weekday") // paper: < 1
+}
+
+// ---- Fig. 5 / Table 2 / Facebook lag ----
+
+func BenchmarkFig5AreaCDF(b *testing.B) {
+	study := fullStudy(b)
+	b.ResetTimer()
+	var frac float64
+	for i := 0; i < b.N; i++ {
+		frac = experiments.Fig5(study).FracAtLeast10
+	}
+	b.ReportMetric(frac, "frac_ge10_states") // paper: 0.11
+}
+
+func BenchmarkTable2Extent(b *testing.B) {
+	study := fullStudy(b)
+	b.ResetTimer()
+	var widest float64
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table2(study, 9)
+		widest = float64(rows[0].States)
+	}
+	b.ReportMetric(widest, "widest_states") // paper: 34
+}
+
+func BenchmarkFacebookLag(b *testing.B) {
+	study := fullStudy(b)
+	b.ResetTimer()
+	var lagged float64
+	for i := 0; i < b.N; i++ {
+		lagged = float64(experiments.FacebookLag(study).Lagged)
+	}
+	b.ReportMetric(lagged, "lagged_states") // paper: 22
+}
+
+// ---- Fig. 6 / Table 3 / heavy hitters / ANT ----
+
+func BenchmarkFig6PowerMonthly(b *testing.B) {
+	study := fullStudy(b)
+	b.ResetTimer()
+	var share float64
+	for i := 0; i < b.N; i++ {
+		share = experiments.Fig6(study).PowerShare
+	}
+	b.ReportMetric(share, "power_share_ge5h") // paper: 0.73
+}
+
+func BenchmarkTable3Power(b *testing.B) {
+	study := fullStudy(b)
+	b.ResetTimer()
+	var top float64
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table3(study, 7)
+		top = rows[0].Spike.Duration().Hours()
+	}
+	b.ReportMetric(top, "top_power_hours") // paper: 45
+}
+
+func BenchmarkHeavyHitters(b *testing.B) {
+	study := fullStudy(b)
+	b.ResetTimer()
+	var cover float64
+	for i := 0; i < b.N; i++ {
+		cover = float64(experiments.HeavyHitters(study).CoverHalf)
+	}
+	b.ReportMetric(cover, "terms_covering_half") // paper: 33
+}
+
+func BenchmarkAntCrossValidation(b *testing.B) {
+	study := fullStudy(b)
+	b.ResetTimer()
+	var siftOnly float64
+	for i := 0; i < b.N; i++ {
+		siftOnly = float64(experiments.AntCompare(study).SiftOnly)
+	}
+	b.ReportMetric(siftOnly, "sift_only_outages")
+}
+
+// ---- pipeline micro-benchmarks ----
+
+// BenchmarkPipelineStateMonth times one end-to-end crawl–stitch–detect
+// run: one state, one month, fresh samples each round.
+func BenchmarkPipelineStateMonth(b *testing.B) {
+	storm := &simworld.Event{
+		ID: "storm", Name: "Winter storm", Kind: simworld.KindPower,
+		Cause: simworld.CauseWinterStorm,
+		Start: time.Date(2021, 2, 15, 8, 0, 0, 0, time.UTC), Duration: 45 * time.Hour,
+		Impacts: []simworld.Impact{{State: "TX", Intensity: 2000}},
+	}
+	model := searchmodel.New(1, simworld.NewTimeline([]*simworld.Event{storm}), searchmodel.Params{})
+	fetcher := gtrends.EngineFetcher{Engine: gtrends.NewEngine(model, gtrends.Config{})}
+	from := time.Date(2021, 2, 1, 0, 0, 0, 0, time.UTC)
+	to := time.Date(2021, 3, 1, 0, 0, 0, 0, time.UTC)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := &core.Pipeline{Fetcher: fetcher}
+		if _, err := p.Run(context.Background(), "TX", gtrends.TopicInternetOutage, from, to); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDetector times spike extraction on a two-year series.
+func BenchmarkDetector(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]float64, 17544)
+	for i := range vals {
+		if rng.Float64() < 0.15 {
+			vals[i] = rng.Float64() * 100
+		}
+	}
+	s := timeseries.MustNew(time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC), vals)
+	b.ResetTimer()
+	var n int
+	for i := 0; i < b.N; i++ {
+		n = len(core.Detector{}.Detect(s, "TX", gtrends.TopicInternetOutage))
+	}
+	b.ReportMetric(float64(n), "spikes")
+}
+
+// ---- ablations ----
+
+// BenchmarkAblationStitchEstimator compares the three inter-frame
+// scaling-ratio estimators by reconstruction fidelity (correlation with
+// ground truth) on piecewise-normalized noisy frames.
+func BenchmarkAblationStitchEstimator(b *testing.B) {
+	estimators := map[string]timeseries.RatioEstimator{
+		"ratio-of-means":   timeseries.RatioOfMeans,
+		"mean-of-ratios":   timeseries.MeanOfRatios,
+		"median-of-ratios": timeseries.MedianOfRatios,
+	}
+	start := time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+	rng := rand.New(rand.NewSource(9))
+	truth := make([]float64, 8*168)
+	for i := range truth {
+		truth[i] = 3 + 2*math.Sin(float64(i)/24*2*math.Pi) + rng.Float64()
+		if rng.Float64() < 0.01 {
+			truth[i] += 60 * rng.Float64()
+		}
+	}
+	truthSeries := timeseries.MustNew(start, truth)
+	specs, err := timeseries.Partition(start, start.Add(time.Duration(len(truth))*time.Hour), 168, 24)
+	if err != nil {
+		b.Fatal(err)
+	}
+	makeFrames := func(noise *rand.Rand) []*timeseries.Series {
+		var frames []*timeseries.Series
+		for _, spec := range specs {
+			vals := make([]float64, spec.Hours)
+			off := int(spec.Start.Sub(start) / time.Hour)
+			for i := range vals {
+				v := truth[off+i] + noise.NormFloat64()*0.8
+				if v < 0 {
+					v = 0
+				}
+				vals[i] = v
+			}
+			frames = append(frames, timeseries.MustNew(spec.Start, vals).Renormalize())
+		}
+		return frames
+	}
+	for name, est := range estimators {
+		b.Run(name, func(b *testing.B) {
+			noise := rand.New(rand.NewSource(7))
+			var corr float64
+			for i := 0; i < b.N; i++ {
+				got, err := timeseries.StitchAll(makeFrames(noise), est)
+				if err != nil {
+					b.Fatal(err)
+				}
+				corr, err = timeseries.Correlation(got, truthSeries)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(corr, "truth_correlation")
+		})
+	}
+}
+
+// BenchmarkAblationAveragingRounds measures how the number of averaging
+// rounds affects agreement with a high-round reference detection.
+func BenchmarkAblationAveragingRounds(b *testing.B) {
+	from := time.Date(2021, 2, 1, 0, 0, 0, 0, time.UTC)
+	to := time.Date(2021, 3, 1, 0, 0, 0, 0, time.UTC)
+	cfg := scenario.DefaultConfig(4)
+	cfg.Start, cfg.End = from, to
+	world, err := scenario.Build(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(rounds int, seed int64) []core.Spike {
+		model := searchmodel.New(seed, world, searchmodel.Params{})
+		fetcher := gtrends.EngineFetcher{Engine: gtrends.NewEngine(model, gtrends.Config{})}
+		p := &core.Pipeline{Fetcher: fetcher, Cfg: core.PipelineConfig{
+			MinRounds: rounds, MaxRounds: rounds,
+		}}
+		res, err := p.Run(context.Background(), "TX", gtrends.TopicInternetOutage, from, to)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res.Spikes
+	}
+	reference := run(12, 1)
+	for _, rounds := range []int{1, 2, 6} {
+		b.Run(map[int]string{1: "rounds=1", 2: "rounds=2", 6: "rounds=6"}[rounds], func(b *testing.B) {
+			var sim float64
+			for i := 0; i < b.N; i++ {
+				sim = core.SpikeSetsSimilarity(run(rounds, 1), reference, 2*time.Hour)
+			}
+			b.ReportMetric(sim, "similarity_vs_ref")
+		})
+	}
+}
+
+// BenchmarkAblationEndRule sweeps the forward-walk stop fraction and
+// reports the detected duration of a known 45 h outage.
+func BenchmarkAblationEndRule(b *testing.B) {
+	storm := &simworld.Event{
+		ID: "storm", Name: "Winter storm", Kind: simworld.KindPower,
+		Cause: simworld.CauseWinterStorm,
+		Start: time.Date(2021, 2, 15, 8, 0, 0, 0, time.UTC), Duration: 45 * time.Hour,
+		Impacts: []simworld.Impact{{State: "TX", Intensity: 2000}},
+	}
+	model := searchmodel.New(2, simworld.NewTimeline([]*simworld.Event{storm}), searchmodel.Params{})
+	fetcher := gtrends.EngineFetcher{Engine: gtrends.NewEngine(model, gtrends.Config{})}
+	from := time.Date(2021, 2, 1, 0, 0, 0, 0, time.UTC)
+	to := time.Date(2021, 3, 1, 0, 0, 0, 0, time.UTC)
+	for _, frac := range []float64{0.3, 0.5, 0.7} {
+		name := map[float64]string{0.3: "frac=0.3", 0.5: "frac=0.5", 0.7: "frac=0.7"}[frac]
+		b.Run(name, func(b *testing.B) {
+			var dur float64
+			for i := 0; i < b.N; i++ {
+				p := &core.Pipeline{Fetcher: fetcher, Cfg: core.PipelineConfig{
+					Detector: core.Detector{EndFraction: frac},
+				}}
+				res, err := p.Run(context.Background(), "TX", gtrends.TopicInternetOutage, from, to)
+				if err != nil {
+					b.Fatal(err)
+				}
+				var best core.Spike
+				for _, sp := range res.Spikes {
+					if sp.Rank == 1 {
+						best = sp
+					}
+				}
+				dur = best.Duration().Hours()
+			}
+			b.ReportMetric(dur, "storm_hours") // truth: 45
+		})
+	}
+}
+
+// BenchmarkAblationPrivacyThreshold sweeps the privacy rounding threshold
+// and reports how many spikes survive in a small state — how much signal
+// the rounding destroys.
+func BenchmarkAblationPrivacyThreshold(b *testing.B) {
+	from := time.Date(2021, 5, 1, 0, 0, 0, 0, time.UTC)
+	to := time.Date(2021, 7, 1, 0, 0, 0, 0, time.UTC)
+	cfg := scenario.DefaultConfig(6)
+	cfg.Start, cfg.End = from, to
+	world, err := scenario.Build(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, threshold := range []int{1, 2, 4, 8} {
+		name := map[int]string{1: "threshold=1", 2: "threshold=2", 4: "threshold=4", 8: "threshold=8"}[threshold]
+		b.Run(name, func(b *testing.B) {
+			var spikes float64
+			for i := 0; i < b.N; i++ {
+				model := searchmodel.New(6, world, searchmodel.Params{})
+				engine := gtrends.NewEngine(model, gtrends.Config{PrivacyThreshold: threshold})
+				p := &core.Pipeline{Fetcher: gtrends.EngineFetcher{Engine: engine}}
+				res, err := p.Run(context.Background(), "WY", gtrends.TopicInternetOutage, from, to)
+				if err != nil {
+					b.Fatal(err)
+				}
+				spikes = float64(len(res.Spikes))
+			}
+			b.ReportMetric(spikes, "wy_spikes")
+		})
+	}
+}

@@ -1,0 +1,174 @@
+// Command sift is the command-line front end of the SIFT reproduction:
+// it detects user-affecting Internet outages from (simulated) Google
+// Trends data and reproduces the paper's evaluation.
+//
+// Subcommands:
+//
+//	sift detect -state TX -from 2021-02-01 -to 2021-03-01
+//	    Run the processing pipeline for one state and print the detected
+//	    spikes. Add -server http://host:port to crawl a running siftd
+//	    over HTTP through a fetcher pool; the default samples an
+//	    in-process engine.
+//
+//	sift study [-out study.json]
+//	    Run the full two-year, 51-state study and print the summary; the
+//	    optional -out stores the spike database as JSON.
+//
+//	sift experiments [-out EXPERIMENTS.md]
+//	    Run every table and figure of the paper's evaluation and print
+//	    (or write) the paper-vs-measured report.
+//
+// Common flags: -seed, -from, -to, -server, -fetchers.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"sift/internal/core"
+	"sift/internal/geo"
+	"sift/internal/gtclient"
+	"sift/internal/gtrends"
+	"sift/internal/scenario"
+	"sift/internal/searchmodel"
+	"sift/internal/store"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "detect":
+		err = cmdDetect(os.Args[2:])
+	case "study":
+		err = cmdStudy(os.Args[2:])
+	case "experiments":
+		err = cmdExperiments(os.Args[2:])
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "sift: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sift:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: sift <subcommand> [flags]
+
+subcommands:
+  detect       detect spikes for one state over a time range
+  study        run the full two-year, 51-state study
+  experiments  reproduce every table and figure of the evaluation
+
+run "sift <subcommand> -h" for flags`)
+}
+
+// commonFlags registers the flags shared by all subcommands.
+type commonFlags struct {
+	seed     *int64
+	from, to *string
+	server   *string
+	fetchers *int
+}
+
+func addCommon(fs *flag.FlagSet) *commonFlags {
+	return &commonFlags{
+		seed:     fs.Int64("seed", 1, "world seed (in-process mode)"),
+		from:     fs.String("from", "2020-01-01", "range start (YYYY-MM-DD)"),
+		to:       fs.String("to", "2022-01-01", "range end (YYYY-MM-DD)"),
+		server:   fs.String("server", "", "siftd base URL; empty samples an in-process engine"),
+		fetchers: fs.Int("fetchers", 6, "fetcher units (HTTP mode)"),
+	}
+}
+
+func (c *commonFlags) window() (from, to time.Time, err error) {
+	from, err = time.Parse("2006-01-02", *c.from)
+	if err != nil {
+		return from, to, fmt.Errorf("bad -from: %v", err)
+	}
+	to, err = time.Parse("2006-01-02", *c.to)
+	if err != nil {
+		return from, to, fmt.Errorf("bad -to: %v", err)
+	}
+	return from.UTC(), to.UTC(), nil
+}
+
+// fetcher builds the Trends data source: an HTTP fetcher pool against a
+// running siftd, or an in-process engine over a freshly generated world.
+func (c *commonFlags) fetcher(from, to time.Time) (gtrends.Fetcher, error) {
+	if *c.server != "" {
+		return gtclient.NewPool(*c.server, *c.fetchers, nil)
+	}
+	cfg := scenario.DefaultConfig(*c.seed)
+	cfg.Start, cfg.End = from, to
+	tl, err := scenario.Build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	model := searchmodel.New(*c.seed, tl, searchmodel.Params{})
+	return gtrends.EngineFetcher{Engine: gtrends.NewEngine(model, gtrends.Config{})}, nil
+}
+
+func cmdDetect(args []string) error {
+	fs := flag.NewFlagSet("detect", flag.ExitOnError)
+	common := addCommon(fs)
+	state := fs.String("state", "TX", "state code")
+	term := fs.String("term", gtrends.TopicInternetOutage, "search term")
+	minDur := fs.Int("min-duration", 1, "only print spikes of at least this many hours")
+	dbPath := fs.String("db", "", "record crawled frames, the series, and spikes into this JSON store")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if !geo.Valid(geo.State(*state)) {
+		return fmt.Errorf("unknown state %q", *state)
+	}
+	from, to, err := common.window()
+	if err != nil {
+		return err
+	}
+	fetcher, err := common.fetcher(from, to)
+	if err != nil {
+		return err
+	}
+
+	p := &core.Pipeline{Fetcher: fetcher}
+	var db *store.DB
+	if *dbPath != "" {
+		db = store.New()
+		p.Cfg.OnFrame = db.AddFrame
+	}
+	res, err := p.Run(context.Background(), geo.State(*state), *term, from, to)
+	if err != nil {
+		return err
+	}
+	if db != nil {
+		db.PutSeries(*term, geo.State(*state), res.Series)
+		db.PutSpikes(*term, geo.State(*state), res.Spikes)
+		if err := db.Save(*dbPath); err != nil {
+			return err
+		}
+		fmt.Printf("recorded %d frames + series + spikes to %s\n", db.FrameCount(), *dbPath)
+	}
+	fmt.Printf("%s %q [%s, %s): %d spikes, %d frames, %d rounds (converged=%v)\n",
+		*state, *term, from.Format("2006-01-02"), to.Format("2006-01-02"),
+		len(res.Spikes), res.Frames, res.Rounds, res.Converged)
+	for _, sp := range res.Spikes {
+		if int(sp.Duration().Hours()) < *minDur {
+			continue
+		}
+		fmt.Printf("  %s  dur=%2dh  mag=%5.1f  rank=%d\n",
+			sp.Start.Format("2006-01-02 15:04"), int(sp.Duration().Hours()), sp.Magnitude, sp.Rank)
+	}
+	return nil
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"time"
+
+	"sift/internal/experiments"
+	"sift/internal/gtrends"
+	"sift/internal/store"
+)
+
+func cmdStudy(args []string) error {
+	fs := flag.NewFlagSet("study", flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "world seed")
+	from := fs.String("from", "2020-01-01", "range start (YYYY-MM-DD)")
+	to := fs.String("to", "2022-01-01", "range end (YYYY-MM-DD)")
+	out := fs.String("out", "", "write the spike database as JSON to this path")
+	workers := fs.Int("workers", 8, "concurrent states")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	start, err := time.Parse("2006-01-02", *from)
+	if err != nil {
+		return fmt.Errorf("bad -from: %v", err)
+	}
+	end, err := time.Parse("2006-01-02", *to)
+	if err != nil {
+		return fmt.Errorf("bad -to: %v", err)
+	}
+
+	fmt.Printf("running study: seed=%d window=[%s, %s)\n", *seed, *from, *to)
+	study, err := experiments.RunStudy(context.Background(), experiments.StudyConfig{
+		Seed:         *seed,
+		Start:        start.UTC(),
+		End:          end.UTC(),
+		StateWorkers: *workers,
+	})
+	if err != nil {
+		return err
+	}
+
+	head := experiments.Headline(study)
+	fmt.Print(head.Table().String())
+	mean, converged := study.MeanRounds()
+	fmt.Printf("\n%d spikes across %d states in %v (%.1f rounds avg, %d converged)\n",
+		len(study.Spikes), len(study.Results), study.Elapsed.Round(time.Second), mean, converged)
+
+	if *out != "" {
+		db := store.New()
+		for st, res := range study.Results {
+			db.PutSeries(gtrends.TopicInternetOutage, st, res.Series)
+			db.PutSpikes(gtrends.TopicInternetOutage, st, res.Spikes)
+		}
+		if err := db.Save(*out); err != nil {
+			return err
+		}
+		fmt.Printf("spike database written to %s\n", *out)
+	}
+	return nil
+}

@@ -1,0 +1,92 @@
+// Command siftd serves the simulated Google Trends API over HTTP: the
+// ground-truth world is generated from a seed, wrapped in the Trends
+// semantics engine (sampling, privacy rounding, piecewise normalization,
+// rising terms), and exposed with per-client rate limiting.
+//
+// The SIFT crawler (cmd/sift, internal/gtclient) talks to this service
+// exactly as the paper's collection module talks to Google Trends.
+//
+// Usage:
+//
+//	siftd [flags]
+//
+//	-addr     listen address (default 127.0.0.1:8428)
+//	-seed     world seed (default 1)
+//	-start    study start, RFC3339 date (default 2020-01-01)
+//	-end      study end, RFC3339 date (default 2022-01-01)
+//	-rate     per-client requests/second (default 25)
+//	-burst    per-client burst (default 50)
+//	-quiet    disable request logging
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"sift/internal/gtrends"
+	"sift/internal/gtserver"
+	"sift/internal/scenario"
+	"sift/internal/searchmodel"
+)
+
+func main() {
+	var (
+		addr  = flag.String("addr", "127.0.0.1:8428", "listen address")
+		seed  = flag.Int64("seed", 1, "world seed")
+		start = flag.String("start", "2020-01-01", "study start (YYYY-MM-DD)")
+		end   = flag.String("end", "2022-01-01", "study end (YYYY-MM-DD)")
+		rate  = flag.Float64("rate", 25, "per-client requests per second")
+		burst = flag.Int("burst", 50, "per-client burst")
+		quiet = flag.Bool("quiet", false, "disable request logging")
+	)
+	flag.Parse()
+	if err := run(*addr, *seed, *start, *end, *rate, *burst, *quiet); err != nil {
+		fmt.Fprintln(os.Stderr, "siftd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, seed int64, start, end string, rate float64, burst int, quiet bool) error {
+	from, err := time.Parse("2006-01-02", start)
+	if err != nil {
+		return fmt.Errorf("bad -start: %v", err)
+	}
+	to, err := time.Parse("2006-01-02", end)
+	if err != nil {
+		return fmt.Errorf("bad -end: %v", err)
+	}
+
+	log.Printf("building ground truth: seed=%d window=[%s, %s)", seed, start, end)
+	cfg := scenario.DefaultConfig(seed)
+	cfg.Start, cfg.End = from.UTC(), to.UTC()
+	tl, err := scenario.Build(cfg)
+	if err != nil {
+		return err
+	}
+	log.Printf("world ready: %d ground-truth events", tl.Len())
+
+	model := searchmodel.New(seed, tl, searchmodel.Params{})
+	engine := gtrends.NewEngine(model, gtrends.Config{})
+
+	var logger *log.Logger
+	if !quiet {
+		logger = log.New(os.Stderr, "siftd ", log.LstdFlags)
+	}
+	srv := gtserver.New(engine, gtserver.Config{
+		RatePerSec: rate,
+		Burst:      burst,
+		Logger:     logger,
+	})
+
+	log.Printf("serving simulated Google Trends on http://%s (rate=%g/s burst=%d per client)", addr, rate, burst)
+	httpSrv := &http.Server{
+		Addr:              addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	return httpSrv.ListenAndServe()
+}

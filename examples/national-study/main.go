@@ -1,0 +1,60 @@
+// National study — a compressed version of the paper's two-year,
+// 51-state evaluation: run the full pipeline for every state over a
+// configurable window, merge the detections, and print the impact, area,
+// and context summaries.
+//
+//	go run ./examples/national-study            # 3 months, fast
+//	go run ./examples/national-study -full      # the full two years (~30 s)
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"sift/internal/experiments"
+)
+
+func main() {
+	full := flag.Bool("full", false, "run the full two-year study (~30 s)")
+	seed := flag.Int64("seed", 1, "world seed")
+	flag.Parse()
+
+	cfg := experiments.StudyConfig{Seed: *seed}
+	if !*full {
+		cfg.Start = time.Date(2021, 1, 1, 0, 0, 0, 0, time.UTC)
+		cfg.End = time.Date(2021, 4, 1, 0, 0, 0, 0, time.UTC)
+	}
+
+	fmt.Println("running the national study; every state is crawled, averaged,")
+	fmt.Println("stitched and scanned for spikes...")
+	study, err := experiments.RunStudy(context.Background(), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%d spikes across %d states in %v\n\n",
+		len(study.Spikes), len(study.Results), study.Elapsed.Round(time.Second))
+
+	// Impact: the longest-lasting outages (Table 1's ranking).
+	fmt.Println(experiments.Table1Table(experiments.Table1(study, 8)))
+
+	// Area: how widely outages are felt (Fig. 5's distribution).
+	fig5 := experiments.Fig5(study)
+	fmt.Printf("geographical extent: %.1f%% of outages span ≥10 states (max %d)\n\n",
+		100*fig5.FracAtLeast10, fig5.Max)
+
+	// Context: what users searched alongside (§3.4's heavy hitters).
+	hh := experiments.HeavyHitters(study)
+	fmt.Printf("suggestion corpus: %d distinct terms; the top %d cover half of all %d suggestions\n",
+		hh.DistinctTerms, hh.CoverHalf, hh.TotalSuggestions)
+	fmt.Printf("most suggested: %v\n", hh.Top[:min(6, len(hh.Top))])
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

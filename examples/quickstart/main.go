@@ -1,0 +1,82 @@
+// Quickstart: detect user-affecting Internet outages in one state from
+// simulated Google Trends data.
+//
+// The example builds a small ground-truth world containing the February
+// 2021 Texas winter storm, wraps it in the Trends semantics engine, runs
+// SIFT's processing pipeline (partition → fetch → average-until-converged
+// → stitch → detect), and prints the detected spikes with their context
+// annotations.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"sift/internal/annotate"
+	"sift/internal/core"
+	"sift/internal/gtrends"
+	"sift/internal/report"
+	"sift/internal/scenario"
+	"sift/internal/searchmodel"
+)
+
+func main() {
+	// 1. Ground truth: one month of Texas, February 2021, including the
+	//    scripted winter-storm grid failure.
+	cfg := scenario.DefaultConfig(42)
+	cfg.Start = time.Date(2021, 2, 1, 0, 0, 0, 0, time.UTC)
+	cfg.End = time.Date(2021, 3, 1, 0, 0, 0, 0, time.UTC)
+	world, err := scenario.Build(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. The simulated Google Trends service over that world.
+	model := searchmodel.New(42, world, searchmodel.Params{})
+	fetcher := gtrends.EngineFetcher{Engine: gtrends.NewEngine(model, gtrends.Config{})}
+
+	// 3. SIFT's processing pipeline for <Internet outage> in Texas.
+	pipeline := &core.Pipeline{Fetcher: fetcher}
+	res, err := pipeline.Run(context.Background(), "TX", gtrends.TopicInternetOutage, cfg.Start, cfg.End)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reconstructed %d hours of search interest in %d frames over %d rounds (converged=%v)\n\n",
+		res.Series.Len(), res.Frames, res.Rounds, res.Converged)
+	fmt.Println(report.TimelinePlot(res.Series, 90, 10))
+
+	// 4. Annotate the significant spikes with rising search terms.
+	annotator := annotate.NewAnnotator()
+	err = annotator.AnnotateSpikes(context.Background(), fetcher, res.Spikes, nil, annotate.DriverConfig{
+		Filter: func(s core.Spike) bool { return s.Duration() >= 3*time.Hour },
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 5. Report.
+	t := report.NewTable("Detected spikes (≥3 h)", "Start", "Duration", "Magnitude", "Annotations")
+	for _, sp := range res.Spikes {
+		if sp.Duration() < 3*time.Hour {
+			continue
+		}
+		t.Add(sp.Start.Format("2006-01-02 15:04"), report.FormatHours(sp.Duration()),
+			fmt.Sprintf("%.1f", sp.Magnitude), join(sp.Annotations))
+	}
+	fmt.Println(t)
+}
+
+func join(ss []string) string {
+	out := ""
+	for i, s := range ss {
+		if i > 0 {
+			out += ", "
+		}
+		out += s
+	}
+	return out
+}

@@ -1,0 +1,3 @@
+module sift
+
+go 1.22

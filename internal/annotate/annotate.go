@@ -1,0 +1,283 @@
+// Package annotate implements SIFT's context analysis (§3.4 of the
+// paper): for each detected spike it fetches the rising suggestions of a
+// daily frame around the spike's peak, canonicalizes and clusters the
+// suggested phrases, prioritizes corpus-wide heavy hitters, and attaches
+// the ranked labels to the spike. It also maintains the suggestion
+// corpus whose skew the paper reports (33 of 6655 distinct terms carry
+// half of all suggestion mass).
+package annotate
+
+import (
+	"sort"
+	"strings"
+
+	"sift/internal/gtrends"
+	"sift/internal/nlp"
+	"sift/internal/stats"
+)
+
+// Annotation is one ranked context label for a spike.
+type Annotation struct {
+	// Label is the canonical display form ("Power outage", "Verizon").
+	Label string `json:"label"`
+	// Weight is the strongest rising weight among the member terms.
+	Weight int `json:"weight"`
+	// Heavy marks corpus-wide heavy-hitter labels, which rank first.
+	Heavy bool `json:"heavy,omitempty"`
+	// Terms are the member suggestions, strongest first.
+	Terms []gtrends.RisingTerm `json:"terms"`
+}
+
+// PowerLabels are the canonical labels that count as power-related for
+// the §4.3 analysis (Fig. 6: power-annotated spikes).
+var PowerLabels = map[string]bool{
+	"Power outage":   true,
+	"Electric power": true,
+}
+
+// IsPowerRelated reports whether a label indicates a power outage.
+func IsPowerRelated(label string) bool { return PowerLabels[label] }
+
+// defaultLexicon maps lowercase key phrases to canonical labels. Provider
+// and platform names are public knowledge (the paper's heavy hitters plus
+// the usual suspects); power- and weather-related phrasings map onto the
+// cause labels the evaluation keys on. Longest match wins.
+var defaultLexicon = map[string]string{
+	// Network providers.
+	"xfinity": "Xfinity", "comcast": "Comcast", "spectrum": "Spectrum",
+	"att": "AT&T", "at&t": "AT&T", "verizon": "Verizon", "fios": "Verizon",
+	"cox": "Cox Communications", "centurylink": "CenturyLink",
+	"frontier": "Frontier", "optimum": "Optimum", "mediacom": "Mediacom",
+	"windstream": "Windstream", "t-mobile": "T-Mobile", "tmobile": "T-Mobile",
+	"metro pcs": "Metro PCS", "midco": "Midco", "tds": "TDS Telecom",
+	"c spire": "C Spire", "consolidated communications": "Consolidated Communications",
+	// Platforms and clouds.
+	"fastly": "Fastly", "akamai": "Akamai", "cloudflare": "Cloudflare",
+	"aws": "AWS", "amazon": "AWS", "facebook": "Facebook",
+	"instagram": "Facebook", "whatsapp": "Facebook", "youtube": "Youtube",
+	"netflix": "Netflix", "zoom": "Zoom", "twitter": "Twitter",
+	"discord": "Discord", "slack": "Slack", "roblox": "Roblox",
+	"snapchat": "Snapchat", "reddit": "Reddit", "hulu": "Hulu",
+	"spotify": "Spotify", "google": "Google", "teams": "Teams",
+	"twitch": "AWS", "dns": "DNS",
+	// Power and electricity.
+	"power outage": "Power outage", "power out": "Power outage",
+	"power company": "Power outage", "no power": "Power outage",
+	"blackout": "Power outage", "blackouts": "Power outage",
+	"rolling blackouts": "Power outage", "electricity": "Power outage",
+	"electric": "Electric power", "utility": "Electric power",
+	"pg&e": "Electric power", "oncor": "Electric power",
+	"dte": "Electric power", "aep": "Electric power",
+	// Weather causes.
+	"winter storm": "Winter storm", "ice storm": "Winter storm",
+	"wildfire": "Wildfire", "heat wave": "Heat wave",
+	"hurricane": "Hurricane", "tornado": "Tornado",
+	"thunderstorm": "Storm", "wind storm": "Storm",
+	"flash flood": "Flood", "flood": "Flood", "storm damage": "Storm",
+}
+
+// paperHeavyHitters seeds the heavy set with the labels §3.4 names; a
+// corpus recomputes and extends the set from observed frequencies.
+var paperHeavyHitters = []string{
+	"Power outage", "Xfinity", "Spectrum", "Comcast", "AT&T",
+	"Cox Communications", "Verizon", "Electric power",
+}
+
+// Annotator canonicalizes and ranks rising suggestions. The zero value
+// is not usable; construct with NewAnnotator.
+type Annotator struct {
+	// Lexicon maps lowercase phrases to canonical labels.
+	Lexicon map[string]string
+	// Heavy is the set of heavy-hitter labels to prioritize.
+	Heavy map[string]bool
+	// ClusterThreshold is the cosine similarity above which residual
+	// (non-lexicon) phrases merge. Default 0.5.
+	ClusterThreshold float64
+	// MaxAnnotations caps the labels attached per spike. Default 5.
+	MaxAnnotations int
+}
+
+// NewAnnotator returns an Annotator with the built-in lexicon and the
+// paper's heavy-hitter seed set.
+func NewAnnotator() *Annotator {
+	heavy := make(map[string]bool, len(paperHeavyHitters))
+	for _, h := range paperHeavyHitters {
+		heavy[h] = true
+	}
+	return &Annotator{
+		Lexicon:          defaultLexicon,
+		Heavy:            heavy,
+		ClusterThreshold: 0.5,
+		MaxAnnotations:   5,
+	}
+}
+
+// Canonical maps one suggestion phrase to its display label: the longest
+// lexicon key appearing in the phrase wins; phrases outside the lexicon
+// fall back to a title-cased content form.
+func (a *Annotator) Canonical(term string) string {
+	lower := " " + strings.Join(nlp.Tokenize(term), " ") + " "
+	best, bestLen := "", 0
+	for key, label := range a.Lexicon {
+		if len(key) > bestLen && strings.Contains(lower, " "+key+" ") {
+			best, bestLen = label, len(key)
+		}
+	}
+	if best != "" {
+		return best
+	}
+	return nlp.TitleCase(term)
+}
+
+// Annotate converts a spike's rising suggestions into ranked annotations:
+// canonicalize each term, merge same-label groups, cluster residual
+// labels by phrase similarity, then order heavy hitters first and by
+// weight within each class (§3.4's ranking).
+func (a *Annotator) Annotate(rising []gtrends.RisingTerm) []Annotation {
+	if len(rising) == 0 {
+		return nil
+	}
+	sorted := make([]gtrends.RisingTerm, len(rising))
+	copy(sorted, rising)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Weight > sorted[j].Weight })
+
+	// Group by canonical label.
+	order := []string{}
+	groups := map[string]*Annotation{}
+	var residual []string // labels that came from the title-case fallback
+	for _, rt := range sorted {
+		label := a.Canonical(rt.Term)
+		g, ok := groups[label]
+		if !ok {
+			g = &Annotation{Label: label, Weight: rt.Weight, Heavy: a.Heavy[label]}
+			groups[label] = g
+			order = append(order, label)
+			if !a.fromLexicon(label) {
+				residual = append(residual, label)
+			}
+		}
+		if rt.Weight > g.Weight {
+			g.Weight = rt.Weight
+		}
+		g.Terms = append(g.Terms, rt)
+	}
+
+	// Cluster residual labels ("San Jose Power" ~ "Power outage" won't be
+	// here — lexicon caught it — but "Mayfield Ky" variants merge).
+	threshold := a.ClusterThreshold
+	if threshold <= 0 {
+		threshold = 0.5
+	}
+	for _, cl := range nlp.ClusterTerms(residual, threshold) {
+		if len(cl.Members) < 2 {
+			continue
+		}
+		seed := groups[cl.Canonical]
+		for _, member := range cl.Members[1:] {
+			g := groups[member]
+			seed.Terms = append(seed.Terms, g.Terms...)
+			if g.Weight > seed.Weight {
+				seed.Weight = g.Weight
+			}
+			delete(groups, member)
+		}
+	}
+
+	var out []Annotation
+	for _, label := range order {
+		if g, ok := groups[label]; ok {
+			sort.SliceStable(g.Terms, func(i, j int) bool { return g.Terms[i].Weight > g.Terms[j].Weight })
+			out = append(out, *g)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Heavy != out[j].Heavy {
+			return out[i].Heavy
+		}
+		return out[i].Weight > out[j].Weight
+	})
+	max := a.MaxAnnotations
+	if max <= 0 {
+		max = 5
+	}
+	if len(out) > max {
+		out = out[:max]
+	}
+	return out
+}
+
+// fromLexicon reports whether a label is one of the lexicon's outputs.
+func (a *Annotator) fromLexicon(label string) bool {
+	for _, l := range a.Lexicon {
+		if l == label {
+			return true
+		}
+	}
+	return false
+}
+
+// Labels extracts the label strings of annotations, in order.
+func Labels(annotations []Annotation) []string {
+	out := make([]string, len(annotations))
+	for i, an := range annotations {
+		out[i] = an.Label
+	}
+	return out
+}
+
+// Corpus accumulates every suggestion observed across all spikes to
+// expose the frequency skew of §3.4. Not safe for concurrent use.
+type Corpus struct {
+	counts map[string]int
+	total  int
+}
+
+// NewCorpus returns an empty corpus.
+func NewCorpus() *Corpus { return &Corpus{counts: make(map[string]int)} }
+
+// Add records a spike's suggestions.
+func (c *Corpus) Add(rising []gtrends.RisingTerm) {
+	for _, rt := range rising {
+		c.counts[rt.Term]++
+		c.total++
+	}
+}
+
+// Distinct returns the number of distinct suggested terms.
+func (c *Corpus) Distinct() int { return len(c.counts) }
+
+// Total returns the total suggestion count.
+func (c *Corpus) Total() int { return c.total }
+
+// Count returns one term's frequency.
+func (c *Corpus) Count(term string) int { return c.counts[term] }
+
+// HeavyHitterCount returns the minimum number of terms (most frequent
+// first) covering the given share of all suggestions — the "33 of 6655"
+// statistic.
+func (c *Corpus) HeavyHitterCount(share float64) int {
+	counts := make([]int, 0, len(c.counts))
+	for _, n := range c.counts {
+		counts = append(counts, n)
+	}
+	return stats.MinCoverCount(counts, share)
+}
+
+// TopTerms returns the n most frequent terms, most frequent first, ties
+// broken alphabetically.
+func (c *Corpus) TopTerms(n int) []string {
+	terms := make([]string, 0, len(c.counts))
+	for t := range c.counts {
+		terms = append(terms, t)
+	}
+	sort.Slice(terms, func(i, j int) bool {
+		if c.counts[terms[i]] != c.counts[terms[j]] {
+			return c.counts[terms[i]] > c.counts[terms[j]]
+		}
+		return terms[i] < terms[j]
+	})
+	if n > len(terms) {
+		n = len(terms)
+	}
+	return terms[:n]
+}

@@ -1,0 +1,263 @@
+package annotate
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"sift/internal/core"
+	"sift/internal/gtrends"
+	"sift/internal/searchmodel"
+	"sift/internal/simworld"
+)
+
+func rt(term string, weight int) gtrends.RisingTerm {
+	return gtrends.RisingTerm{Term: term, Weight: weight}
+}
+
+func TestCanonicalLexiconHits(t *testing.T) {
+	a := NewAnnotator()
+	tests := []struct{ in, want string }{
+		{"xfinity outage", "Xfinity"},
+		{"is verizon down", "Verizon"},
+		{"fios outage", "Verizon"},
+		{"san jose power outage", "Power outage"},
+		{"power outage", "Power outage"},
+		{"pg&e outage", "Electric power"},
+		{"metro pcs outage", "Metro PCS"},
+		{"t-mobile down", "T-Mobile"},
+		{"winter storm", "Winter storm"},
+		{"whatsapp down", "Facebook"},
+		{"att internet down", "AT&T"},
+	}
+	for _, tt := range tests {
+		if got := a.Canonical(tt.in); got != tt.want {
+			t.Errorf("Canonical(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestCanonicalLongestMatchWins(t *testing.T) {
+	a := NewAnnotator()
+	// "rolling blackouts" contains both "blackouts" and the longer
+	// "rolling blackouts"; both map to Power outage, but ensure phrase
+	// keys beat token keys when labels differ.
+	if got := a.Canonical("electric power outage"); got != "Power outage" {
+		t.Errorf("Canonical = %q, want Power outage (longest key 'power outage')", got)
+	}
+}
+
+func TestCanonicalFallback(t *testing.T) {
+	a := NewAnnotator()
+	if got := a.Canonical("mayfield ky"); got != "Mayfield Ky" {
+		t.Errorf("fallback Canonical = %q", got)
+	}
+}
+
+func TestAnnotateRanking(t *testing.T) {
+	a := NewAnnotator()
+	rising := []gtrends.RisingTerm{
+		rt("san jose power outage", 90),
+		rt("spectrum internet outage", 100),
+		rt("internet down", 76),
+		rt("metro pcs outage", 242),
+	}
+	anns := a.Annotate(rising)
+	if len(anns) == 0 {
+		t.Fatal("no annotations")
+	}
+	// Spectrum and Power outage are heavy hitters: they must outrank
+	// Metro PCS despite its larger weight.
+	if !anns[0].Heavy {
+		t.Errorf("top annotation %q not heavy", anns[0].Label)
+	}
+	labels := Labels(anns)
+	pos := map[string]int{}
+	for i, l := range labels {
+		pos[l] = i
+	}
+	if pos["Spectrum"] > pos["Metro PCS"] || pos["Power outage"] > pos["Metro PCS"] {
+		t.Errorf("heavy hitters not prioritized: %v", labels)
+	}
+	// The Fig. 2 running example's labels must all be present.
+	for _, want := range []string{"Spectrum", "Metro PCS", "Power outage"} {
+		if _, ok := pos[want]; !ok {
+			t.Errorf("labels %v missing %q", labels, want)
+		}
+	}
+}
+
+func TestAnnotateMergesVariants(t *testing.T) {
+	a := NewAnnotator()
+	rising := []gtrends.RisingTerm{
+		rt("verizon outage", 120),
+		rt("is verizon down", 80),
+		rt("verizon down", 60),
+	}
+	anns := a.Annotate(rising)
+	if len(anns) != 1 {
+		t.Fatalf("got %d annotations, want 1 merged Verizon: %v", len(anns), Labels(anns))
+	}
+	if anns[0].Label != "Verizon" || len(anns[0].Terms) != 3 {
+		t.Errorf("merged annotation = %+v", anns[0])
+	}
+	if anns[0].Weight != 120 {
+		t.Errorf("merged weight = %d, want max 120", anns[0].Weight)
+	}
+	if anns[0].Terms[0].Weight != 120 {
+		t.Error("member terms not sorted by weight")
+	}
+}
+
+func TestAnnotateClustersResiduals(t *testing.T) {
+	a := NewAnnotator()
+	rising := []gtrends.RisingTerm{
+		rt("mayfield ky damage", 200),
+		rt("mayfield damage", 150),
+		rt("schools closed", 90),
+	}
+	anns := a.Annotate(rising)
+	// The two mayfield phrases share content; they must merge, leaving
+	// two annotations.
+	if len(anns) != 2 {
+		t.Fatalf("got %v, want mayfield cluster + schools", Labels(anns))
+	}
+}
+
+func TestAnnotateCapsAndEmpty(t *testing.T) {
+	a := NewAnnotator()
+	a.MaxAnnotations = 2
+	rising := []gtrends.RisingTerm{
+		rt("fastly outage", 500), rt("akamai outage", 400),
+		rt("cloudflare outage", 300), rt("aws outage", 200),
+	}
+	if anns := a.Annotate(rising); len(anns) != 2 {
+		t.Errorf("cap failed: %v", Labels(anns))
+	}
+	if anns := a.Annotate(nil); anns != nil {
+		t.Error("empty rising should annotate to nil")
+	}
+}
+
+func TestIsPowerRelated(t *testing.T) {
+	if !IsPowerRelated("Power outage") || !IsPowerRelated("Electric power") {
+		t.Error("power labels misclassified")
+	}
+	if IsPowerRelated("Verizon") {
+		t.Error("Verizon is not power-related")
+	}
+}
+
+func TestCorpus(t *testing.T) {
+	c := NewCorpus()
+	if c.Distinct() != 0 || c.Total() != 0 {
+		t.Fatal("fresh corpus not empty")
+	}
+	// A skewed corpus: one dominant term plus a long tail.
+	for i := 0; i < 50; i++ {
+		c.Add([]gtrends.RisingTerm{rt("power outage", 100)})
+	}
+	tail := []string{"a", "b", "c", "d", "e", "f", "g", "h", "i", "j"}
+	for _, term := range tail {
+		c.Add([]gtrends.RisingTerm{rt(term, 10)})
+	}
+	if c.Distinct() != 11 {
+		t.Errorf("Distinct = %d, want 11", c.Distinct())
+	}
+	if c.Total() != 60 {
+		t.Errorf("Total = %d, want 60", c.Total())
+	}
+	if c.Count("power outage") != 50 {
+		t.Errorf("Count = %d", c.Count("power outage"))
+	}
+	// One term covers 50/60 > 50%.
+	if got := c.HeavyHitterCount(0.5); got != 1 {
+		t.Errorf("HeavyHitterCount(0.5) = %d, want 1", got)
+	}
+	top := c.TopTerms(3)
+	if top[0] != "power outage" || len(top) != 3 {
+		t.Errorf("TopTerms = %v", top)
+	}
+	if len(c.TopTerms(99)) != 11 {
+		t.Error("TopTerms should clamp to distinct count")
+	}
+}
+
+func TestAnnotateSpikesEndToEnd(t *testing.T) {
+	t0 := time.Date(2021, 2, 15, 0, 0, 0, 0, time.UTC)
+	storm := &simworld.Event{
+		ID: "storm", Name: "Winter storm", Kind: simworld.KindPower,
+		Cause: simworld.CauseWinterStorm, Start: t0.Add(10 * time.Hour), Duration: 45 * time.Hour,
+		Impacts: []simworld.Impact{{State: "TX", Intensity: 2000}},
+		Terms: []simworld.TermWeight{
+			{Term: "power outage", Share: 0.5},
+			{Term: "winter storm", Share: 0.3},
+			{Term: "spectrum outage", Share: 0.2},
+		},
+	}
+	model := searchmodel.New(21, simworld.NewTimeline([]*simworld.Event{storm}), searchmodel.Params{})
+	fetcher := gtrends.EngineFetcher{Engine: gtrends.NewEngine(model, gtrends.Config{})}
+
+	spikes := []core.Spike{{
+		State: "TX", Term: gtrends.TopicInternetOutage,
+		Start: t0.Add(10 * time.Hour), Peak: t0.Add(13 * time.Hour), End: t0.Add(55 * time.Hour),
+		Magnitude: 100,
+	}}
+	a := NewAnnotator()
+	corpus := NewCorpus()
+	if err := a.AnnotateSpikes(context.Background(), fetcher, spikes, corpus, DriverConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if len(spikes[0].Rising) == 0 {
+		t.Fatal("spike rising terms not filled")
+	}
+	if len(spikes[0].Annotations) == 0 {
+		t.Fatal("spike annotations not filled")
+	}
+	foundPower := false
+	for _, l := range spikes[0].Annotations {
+		if IsPowerRelated(l) {
+			foundPower = true
+		}
+	}
+	if !foundPower {
+		t.Errorf("storm spike annotations %v lack a power label", spikes[0].Annotations)
+	}
+	if corpus.Total() == 0 {
+		t.Error("corpus not accumulated")
+	}
+}
+
+func TestAnnotateSpikesFilter(t *testing.T) {
+	t0 := time.Date(2021, 2, 15, 0, 0, 0, 0, time.UTC)
+	model := searchmodel.New(3, simworld.NewTimeline(nil), searchmodel.Params{})
+	fetcher := gtrends.EngineFetcher{Engine: gtrends.NewEngine(model, gtrends.Config{})}
+	spikes := []core.Spike{
+		{State: "TX", Term: gtrends.TopicInternetOutage, Start: t0, Peak: t0, End: t0, Magnitude: 1},
+		{State: "TX", Term: gtrends.TopicInternetOutage, Start: t0.Add(48 * time.Hour), Peak: t0.Add(48 * time.Hour), End: t0.Add(52 * time.Hour), Magnitude: 50},
+	}
+	a := NewAnnotator()
+	err := a.AnnotateSpikes(context.Background(), fetcher, spikes, nil, DriverConfig{
+		Filter: func(s core.Spike) bool { return s.Magnitude >= 50 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spikes[0].Rising != nil {
+		t.Error("filtered-out spike was annotated")
+	}
+	// Note: the selected spike may legitimately have zero rising terms in
+	// a quiet world; only the filter behaviour is under test here.
+}
+
+func TestAnnotateSpikesContextCancel(t *testing.T) {
+	t0 := time.Date(2021, 2, 15, 0, 0, 0, 0, time.UTC)
+	model := searchmodel.New(3, simworld.NewTimeline(nil), searchmodel.Params{})
+	fetcher := gtrends.EngineFetcher{Engine: gtrends.NewEngine(model, gtrends.Config{})}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	spikes := []core.Spike{{State: "TX", Term: gtrends.TopicInternetOutage, Start: t0, Peak: t0, End: t0}}
+	if err := NewAnnotator().AnnotateSpikes(ctx, fetcher, spikes, nil, DriverConfig{}); err == nil {
+		t.Error("cancelled context should surface an error")
+	}
+}

@@ -1,0 +1,107 @@
+package annotate
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"sift/internal/core"
+	"sift/internal/gtrends"
+)
+
+// DriverConfig tunes spike annotation.
+type DriverConfig struct {
+	// Workers bounds concurrent daily-frame fetches. Default 8.
+	Workers int
+	// Filter selects which spikes to annotate; nil annotates all. Long
+	// studies typically restrict to spikes above a duration floor, since
+	// the evaluation's context analyses key on the long tail.
+	Filter func(core.Spike) bool
+}
+
+// AnnotateSpikes fetches, for every selected spike, the rising terms of a
+// daily frame anchored on the spike's peak day (the paper re-fetches
+// daily frames on spike days for targeted suggestions), then fills each
+// spike's Rising and Annotations in place. The corpus, when non-nil,
+// accumulates every suggestion seen.
+func (a *Annotator) AnnotateSpikes(ctx context.Context, fetcher gtrends.Fetcher, spikes []core.Spike, corpus *Corpus, cfg DriverConfig) error {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 8
+	}
+	var selected []int
+	for i := range spikes {
+		if cfg.Filter == nil || cfg.Filter(spikes[i]) {
+			selected = append(selected, i)
+		}
+	}
+	if len(selected) == 0 {
+		return nil
+	}
+	if workers > len(selected) {
+		workers = len(selected)
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	jobs := make(chan int)
+	errc := make(chan error, workers)
+	var wg sync.WaitGroup
+	var mu sync.Mutex // guards corpus
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				sp := &spikes[idx]
+				rising, err := a.fetchRising(ctx, fetcher, *sp)
+				if err != nil {
+					errc <- err
+					cancel()
+					return
+				}
+				sp.Rising = rising
+				sp.Annotations = Labels(a.Annotate(rising))
+				if corpus != nil {
+					mu.Lock()
+					corpus.Add(rising)
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+feed:
+	for _, idx := range selected {
+		select {
+		case jobs <- idx:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	select {
+	case err := <-errc:
+		return err
+	default:
+	}
+	return ctx.Err()
+}
+
+// fetchRising requests the daily frame covering the spike's peak with
+// rising suggestions.
+func (a *Annotator) fetchRising(ctx context.Context, fetcher gtrends.Fetcher, sp core.Spike) ([]gtrends.RisingTerm, error) {
+	day := sp.Peak.UTC().Truncate(24 * time.Hour)
+	frame, err := fetcher.FetchFrame(ctx, gtrends.FrameRequest{
+		Term:       sp.Term,
+		State:      sp.State,
+		Start:      day,
+		Hours:      gtrends.DayFrameHours,
+		WithRising: true,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("annotate: daily frame for %s: %w", sp, err)
+	}
+	return frame.Rising, nil
+}

@@ -1,0 +1,296 @@
+// Package ant simulates the ANT outages dataset the paper compares SIFT
+// against (§4): Trinocular-style active probing of /24 blocks from six
+// vantage points in 11-minute rounds, reporting per-block outage records
+// (block, start time, duration) geolocated to states.
+//
+// The simulator shares the ground-truth event timeline with the search
+// model, so the comparison is apples-to-apples: probe-visible events
+// (ISP and power outages) knock out a fraction of the affected state's
+// blocks for the event's duration, while CDN/DNS/application outages
+// leave blocks ping-responsive and mobile outages never had responsive
+// probes to lose — reproducing the paper's finding that ANT misses the
+// T-Mobile, Akamai, and YouTube events SIFT sees.
+//
+// Geolocation mimics a Maxmind-style IP table, including a small rate of
+// misattributed blocks.
+package ant
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"sift/internal/core"
+	"sift/internal/geo"
+	"sift/internal/simworld"
+)
+
+// Round is the probing cadence: the ANT dataset reports eleven-minute
+// time slots.
+const Round = 11 * time.Minute
+
+// VantagePoint is one probing site.
+type VantagePoint struct {
+	Name     string
+	Location string
+}
+
+// VantagePoints returns the six probing sites the dataset is collected
+// from (six distinct locations in the world, per the paper).
+func VantagePoints() []VantagePoint {
+	return []VantagePoint{
+		{Name: "w-us", Location: "Los Angeles, US"},
+		{Name: "c-us", Location: "Fort Collins, US"},
+		{Name: "e-us", Location: "Washington DC, US"},
+		{Name: "eu", Location: "Athens, GR"},
+		{Name: "jp", Location: "Tokyo, JP"},
+		{Name: "nl", Location: "Amsterdam, NL"},
+	}
+}
+
+// Block is one probed /24 with its geolocated state. TrueState differs
+// from State for the small fraction of blocks the geolocation table
+// misplaces.
+type Block struct {
+	CIDR      string    `json:"cidr"`
+	State     geo.State `json:"state"`
+	TrueState geo.State `json:"true_state"`
+}
+
+// OutageRecord is one detected block outage: the unit of the ANT dataset.
+type OutageRecord struct {
+	Block string    `json:"block"`
+	State geo.State `json:"state"` // geolocated state (what analyses see)
+	Start time.Time `json:"start"`
+	// Duration is rounded up to whole probing rounds.
+	Duration time.Duration `json:"duration"`
+	// EventID links back to the ground-truth event for validation; empty
+	// for background block flaps. Real datasets have no such column.
+	EventID string `json:"event_id,omitempty"`
+}
+
+// End returns Start + Duration.
+func (r OutageRecord) End() time.Time { return r.Start.Add(r.Duration) }
+
+// Config tunes the simulation. Zero fields take the documented defaults.
+type Config struct {
+	// Seed drives all randomness.
+	Seed int64
+	// BlocksPerMillion scales how many /24 blocks each state contributes
+	// per million inhabitants. Default 5.
+	BlocksPerMillion float64
+	// NoiseRate is the per-block-per-day probability of a background
+	// flap unrelated to any ground-truth event. Default 0.0015.
+	NoiseRate float64
+	// MisgeolocationRate is the fraction of blocks the geolocation table
+	// attributes to the wrong state. Default 0.02.
+	MisgeolocationRate float64
+}
+
+func (c *Config) fillDefaults() {
+	if c.BlocksPerMillion == 0 {
+		c.BlocksPerMillion = 5
+	}
+	if c.NoiseRate == 0 {
+		c.NoiseRate = 0.0015
+	}
+	if c.MisgeolocationRate == 0 {
+		c.MisgeolocationRate = 0.02
+	}
+}
+
+// Dataset is the simulated ANT outage dataset.
+type Dataset struct {
+	Blocks  []Block
+	Records []OutageRecord
+
+	byState map[geo.State][]int // record indexes sorted by start
+}
+
+// Simulate produces the dataset for the ground truth over [from, to).
+func Simulate(cfg Config, tl *simworld.Timeline, from, to time.Time) *Dataset {
+	cfg.fillDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	d := &Dataset{}
+	blocksByTrueState := d.buildBlocks(cfg, rng)
+
+	// Event-driven records.
+	for _, e := range tl.Overlapping(from, to) {
+		if !e.ProbeVisible {
+			continue
+		}
+		for _, im := range e.Impacts {
+			blocks := blocksByTrueState[im.State]
+			if len(blocks) == 0 {
+				continue
+			}
+			share := outageShare(e.Kind, im.Intensity)
+			n := int(math.Round(share * float64(len(blocks)) * (0.7 + 0.6*rng.Float64())))
+			if n < 1 {
+				n = 1
+			}
+			if n > len(blocks) {
+				n = len(blocks)
+			}
+			dur := e.Duration
+			if im.DurationScale > 0 {
+				dur = time.Duration(float64(dur) * im.DurationScale)
+			}
+			for _, bi := range rng.Perm(len(blocks))[:n] {
+				b := d.Blocks[blocks[bi]]
+				// Each block drops with its own jitter in onset and
+				// recovery, quantized to probing rounds.
+				startJitter := time.Duration(rng.Intn(60)) * time.Minute
+				blockDur := time.Duration(float64(dur) * (0.5 + 0.7*rng.Float64()))
+				rec := OutageRecord{
+					Block:    b.CIDR,
+					State:    b.State,
+					Start:    quantize(e.Start.Add(startJitter)),
+					Duration: roundsCeil(blockDur),
+					EventID:  e.ID,
+				}
+				if rec.Start.Before(from) || !rec.Start.Before(to) {
+					continue
+				}
+				d.Records = append(d.Records, rec)
+			}
+		}
+	}
+
+	// Background flaps: residential blocks drop for a few rounds for
+	// reasons no ground-truth event explains.
+	days := int(to.Sub(from).Hours() / 24)
+	for bi, b := range d.Blocks {
+		_ = bi
+		for day := 0; day < days; day++ {
+			if rng.Float64() >= cfg.NoiseRate {
+				continue
+			}
+			start := from.Add(time.Duration(day)*24*time.Hour + time.Duration(rng.Intn(24*60))*time.Minute)
+			d.Records = append(d.Records, OutageRecord{
+				Block:    b.CIDR,
+				State:    b.State,
+				Start:    quantize(start),
+				Duration: time.Duration(1+rng.Intn(8)) * Round,
+			})
+		}
+	}
+
+	sort.SliceStable(d.Records, func(i, j int) bool { return d.Records[i].Start.Before(d.Records[j].Start) })
+	d.byState = make(map[geo.State][]int)
+	for i, r := range d.Records {
+		d.byState[r.State] = append(d.byState[r.State], i)
+	}
+	return d
+}
+
+// buildBlocks allocates per-state /24 blocks and applies geolocation
+// error. It returns block indexes grouped by *true* state (outages hit
+// where blocks really are; analyses see the geolocated state).
+func (d *Dataset) buildBlocks(cfg Config, rng *rand.Rand) map[geo.State][]int {
+	byTrue := make(map[geo.State][]int)
+	states := geo.All()
+	next := 0
+	for _, in := range states {
+		n := int(math.Round(float64(in.Population) / 1e6 * cfg.BlocksPerMillion))
+		if n < 2 {
+			n = 2
+		}
+		for i := 0; i < n; i++ {
+			b := Block{
+				CIDR:      fmt.Sprintf("10.%d.%d.0/24", next/256, next%256),
+				State:     in.Code,
+				TrueState: in.Code,
+			}
+			next++
+			if rng.Float64() < cfg.MisgeolocationRate {
+				b.State = states[rng.Intn(len(states))].Code
+			}
+			byTrue[in.Code] = append(byTrue[in.Code], len(d.Blocks))
+			d.Blocks = append(d.Blocks, b)
+		}
+	}
+	return byTrue
+}
+
+// outageShare maps an event's kind and search-interest intensity to the
+// fraction of a state's blocks it takes down.
+func outageShare(kind simworld.Kind, intensity float64) float64 {
+	var scale float64
+	switch kind {
+	case simworld.KindPower:
+		scale = 1100 // power cuts take everything behind them down
+	case simworld.KindISP:
+		scale = 1800 // one provider's share of the state's blocks
+	default:
+		scale = 4000
+	}
+	share := intensity / scale
+	if share > 0.85 {
+		share = 0.85
+	}
+	if share < 0.003 {
+		share = 0.003
+	}
+	return share
+}
+
+// quantize aligns an instant up to the next probing-round boundary: a
+// block's outage is first observed at the round after it began.
+func quantize(t time.Time) time.Time {
+	tr := t.Truncate(Round)
+	if tr.Equal(t) {
+		return tr
+	}
+	return tr.Add(Round)
+}
+
+func roundsCeil(d time.Duration) time.Duration {
+	n := (d + Round - 1) / Round
+	if n < 1 {
+		n = 1
+	}
+	return n * Round
+}
+
+// RecordsIn returns the records geolocated to state overlapping
+// [from, to), in start order.
+func (d *Dataset) RecordsIn(state geo.State, from, to time.Time) []OutageRecord {
+	var out []OutageRecord
+	for _, i := range d.byState[state] {
+		r := d.Records[i]
+		if r.Start.Before(to) && r.End().After(from) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// MatchSpike returns the records that plausibly correspond to a SIFT
+// spike: same geolocated state, record interval overlapping the spike's
+// interval extended by slack on both sides.
+func (d *Dataset) MatchSpike(sp core.Spike, slack time.Duration) []OutageRecord {
+	return d.RecordsIn(sp.State, sp.Start.Add(-slack), sp.End.Add(time.Hour+slack))
+}
+
+// CoversEvent reports whether any record traces back to the given
+// ground-truth event — the validation-side view of what probing caught.
+func (d *Dataset) CoversEvent(eventID string) bool {
+	for _, r := range d.Records {
+		if r.EventID == eventID {
+			return true
+		}
+	}
+	return false
+}
+
+// StateBlockCount returns how many blocks geolocate to each state.
+func (d *Dataset) StateBlockCount() map[geo.State]int {
+	out := make(map[geo.State]int)
+	for _, b := range d.Blocks {
+		out[b.State]++
+	}
+	return out
+}

@@ -1,0 +1,230 @@
+package ant
+
+import (
+	"testing"
+	"time"
+
+	"sift/internal/core"
+	"sift/internal/simworld"
+)
+
+var (
+	from = time.Date(2021, 2, 1, 0, 0, 0, 0, time.UTC)
+	to   = time.Date(2021, 3, 1, 0, 0, 0, 0, time.UTC)
+	t0   = time.Date(2021, 2, 15, 8, 0, 0, 0, time.UTC)
+)
+
+func testTimeline() *simworld.Timeline {
+	storm := &simworld.Event{
+		ID: "tx-storm", Name: "Winter storm", Kind: simworld.KindPower,
+		Cause: simworld.CauseWinterStorm, Start: t0, Duration: 45 * time.Hour,
+		Impacts:      []simworld.Impact{{State: "TX", Intensity: 2000}},
+		ProbeVisible: true, Newsworthy: true,
+	}
+	mobile := &simworld.Event{
+		ID: "tmobile", Name: "T-Mobile", Kind: simworld.KindMobile,
+		Cause: simworld.CauseEquipment, Start: t0.Add(-200 * time.Hour), Duration: 19 * time.Hour,
+		Impacts:      []simworld.Impact{{State: "CA", Intensity: 1100}},
+		ProbeVisible: false, Newsworthy: true,
+	}
+	dns := &simworld.Event{
+		ID: "akamai", Name: "Akamai", Kind: simworld.KindDNS,
+		Cause: simworld.CauseHumanError, Start: t0.Add(100 * time.Hour), Duration: 3 * time.Hour,
+		Impacts:      []simworld.Impact{{State: "NY", Intensity: 600}},
+		ProbeVisible: false, Newsworthy: true,
+	}
+	return simworld.NewTimeline([]*simworld.Event{storm, mobile, dns})
+}
+
+func simulate(t *testing.T) *Dataset {
+	t.Helper()
+	return Simulate(Config{Seed: 4}, testTimeline(), from, to)
+}
+
+func TestVantagePoints(t *testing.T) {
+	vps := VantagePoints()
+	if len(vps) != 6 {
+		t.Fatalf("got %d vantage points, want 6 (per the paper)", len(vps))
+	}
+	for _, vp := range vps {
+		if vp.Name == "" || vp.Location == "" {
+			t.Errorf("incomplete vantage point %+v", vp)
+		}
+	}
+}
+
+func TestBlocksScaleWithPopulation(t *testing.T) {
+	d := simulate(t)
+	counts := map[string]int{}
+	for _, b := range d.Blocks {
+		counts[string(b.TrueState)]++
+	}
+	if counts["CA"] <= counts["WY"] {
+		t.Errorf("CA blocks (%d) should exceed WY blocks (%d)", counts["CA"], counts["WY"])
+	}
+	if counts["WY"] < 2 {
+		t.Errorf("every state needs at least 2 blocks, WY has %d", counts["WY"])
+	}
+	if len(d.Blocks) < 1000 || len(d.Blocks) > 3000 {
+		t.Errorf("total blocks = %d, want ≈1650", len(d.Blocks))
+	}
+}
+
+func TestMisgeolocation(t *testing.T) {
+	d := simulate(t)
+	wrong := 0
+	for _, b := range d.Blocks {
+		if b.State != b.TrueState {
+			wrong++
+		}
+	}
+	rate := float64(wrong) / float64(len(d.Blocks))
+	if rate < 0.005 || rate > 0.05 {
+		t.Errorf("misgeolocation rate = %.3f, want ≈0.02", rate)
+	}
+}
+
+func TestProbeVisibleEventProducesRecords(t *testing.T) {
+	d := simulate(t)
+	if !d.CoversEvent("tx-storm") {
+		t.Fatal("power outage invisible to probing")
+	}
+	// Storm records cluster around the event window in TX.
+	recs := d.RecordsIn("TX", t0, t0.Add(45*time.Hour))
+	matched := 0
+	for _, r := range recs {
+		if r.EventID == "tx-storm" {
+			matched++
+			if r.Start.Before(t0) {
+				t.Errorf("record starts %v before the event", r.Start)
+			}
+			if r.Duration < Round {
+				t.Error("record shorter than one probing round")
+			}
+			if r.Duration%Round != 0 {
+				t.Errorf("duration %v not in 11-minute slots", r.Duration)
+			}
+		}
+	}
+	if matched < 10 {
+		t.Errorf("only %d storm records; a grid failure should take out many blocks", matched)
+	}
+}
+
+func TestInvisibleEventsProduceNoRecords(t *testing.T) {
+	d := simulate(t)
+	if d.CoversEvent("tmobile") {
+		t.Error("mobile outage should be invisible to probing (§4.1)")
+	}
+	if d.CoversEvent("akamai") {
+		t.Error("DNS outage should be invisible to probing (§4.2)")
+	}
+}
+
+func TestMatchSpike(t *testing.T) {
+	d := simulate(t)
+	stormSpike := core.Spike{State: "TX", Start: t0, Peak: t0.Add(3 * time.Hour), End: t0.Add(44 * time.Hour)}
+	if len(d.MatchSpike(stormSpike, time.Hour)) == 0 {
+		t.Error("storm spike unmatched by ANT records")
+	}
+	// A spike in a quiet state and quiet window should rarely match; use
+	// a narrow slack so noise records are unlikely.
+	quiet := core.Spike{State: "VT", Start: t0.Add(300 * time.Hour), Peak: t0.Add(300 * time.Hour), End: t0.Add(301 * time.Hour)}
+	if n := len(d.MatchSpike(quiet, 0)); n > 1 {
+		t.Errorf("quiet spike matched %d records", n)
+	}
+}
+
+func TestBackgroundNoiseExists(t *testing.T) {
+	d := simulate(t)
+	noise := 0
+	for _, r := range d.Records {
+		if r.EventID == "" {
+			noise++
+		}
+	}
+	if noise == 0 {
+		t.Error("no background flaps; residential churn missing")
+	}
+	// Noise should be a minority against a month with a grid disaster,
+	// but nonzero.
+	if noise > len(d.Records) {
+		t.Error("bookkeeping broken")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Simulate(Config{Seed: 9}, testTimeline(), from, to)
+	b := Simulate(Config{Seed: 9}, testTimeline(), from, to)
+	if len(a.Records) != len(b.Records) {
+		t.Fatalf("same seed produced %d vs %d records", len(a.Records), len(b.Records))
+	}
+	for i := range a.Records {
+		if a.Records[i] != b.Records[i] {
+			t.Fatal("records differ between identical runs")
+		}
+	}
+	c := Simulate(Config{Seed: 10}, testTimeline(), from, to)
+	if len(a.Records) == len(c.Records) {
+		same := true
+		for i := range a.Records {
+			if a.Records[i] != c.Records[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical datasets")
+		}
+	}
+}
+
+func TestRecordsSortedAndWindowed(t *testing.T) {
+	d := simulate(t)
+	for i := 1; i < len(d.Records); i++ {
+		if d.Records[i].Start.Before(d.Records[i-1].Start) {
+			t.Fatal("records not sorted by start")
+		}
+	}
+	for _, r := range d.Records {
+		if r.Start.Before(from) || !r.Start.Before(to) {
+			t.Fatalf("record %v outside simulation window", r.Start)
+		}
+	}
+}
+
+func TestStateBlockCount(t *testing.T) {
+	d := simulate(t)
+	counts := d.StateBlockCount()
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	if total != len(d.Blocks) {
+		t.Errorf("StateBlockCount sums to %d, want %d", total, len(d.Blocks))
+	}
+}
+
+func TestOutageShare(t *testing.T) {
+	if outageShare(simworld.KindPower, 500) <= outageShare(simworld.KindISP, 500) {
+		t.Error("power outages should take down a larger block share than ISP outages")
+	}
+	if s := outageShare(simworld.KindPower, 1e9); s > 0.85 {
+		t.Errorf("share should cap at 0.85, got %g", s)
+	}
+	if s := outageShare(simworld.KindISP, 0); s < 0.003 {
+		t.Errorf("share should floor at 0.003, got %g", s)
+	}
+}
+
+func TestRoundsCeil(t *testing.T) {
+	if got := roundsCeil(1 * time.Minute); got != Round {
+		t.Errorf("roundsCeil(1m) = %v", got)
+	}
+	if got := roundsCeil(12 * time.Minute); got != 2*Round {
+		t.Errorf("roundsCeil(12m) = %v", got)
+	}
+	if got := roundsCeil(0); got != Round {
+		t.Errorf("roundsCeil(0) = %v", got)
+	}
+}

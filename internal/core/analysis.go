@@ -1,0 +1,204 @@
+package core
+
+import (
+	"math/bits"
+	"sort"
+	"time"
+
+	"sift/internal/geo"
+)
+
+// ConcurrencyIndex answers "how many distinct states observe a spike at
+// this hour" in O(1), the primitive behind the area analysis (§4.2,
+// Fig. 5): for every hour it keeps a bitmask of states with an active
+// spike. Build once per spike set with NewConcurrencyIndex.
+type ConcurrencyIndex struct {
+	epoch    time.Time
+	masks    map[int64]uint64
+	stateBit map[geo.State]uint
+}
+
+// NewConcurrencyIndex indexes the spikes' hourly state occupancy.
+func NewConcurrencyIndex(spikes []Spike) *ConcurrencyIndex {
+	ci := &ConcurrencyIndex{
+		epoch:    time.Date(2019, 1, 1, 0, 0, 0, 0, time.UTC),
+		masks:    make(map[int64]uint64),
+		stateBit: make(map[geo.State]uint, geo.Count),
+	}
+	for i, st := range geo.Codes() {
+		ci.stateBit[st] = uint(i)
+	}
+	for _, s := range spikes {
+		bit, ok := ci.stateBit[s.State]
+		if !ok {
+			continue
+		}
+		for h := ci.hour(s.Start); h <= ci.hour(s.End); h++ {
+			ci.masks[h] |= 1 << bit
+		}
+	}
+	return ci
+}
+
+func (ci *ConcurrencyIndex) hour(t time.Time) int64 {
+	return int64(t.UTC().Sub(ci.epoch) / time.Hour)
+}
+
+// StatesAt returns how many distinct states have an active spike during
+// the hour containing t.
+func (ci *ConcurrencyIndex) StatesAt(t time.Time) int {
+	return bits.OnesCount64(ci.masks[ci.hour(t)])
+}
+
+// Concurrency returns the spike's footprint: the number of distinct
+// states (including its own) with a spike active at its peak hour.
+func (ci *ConcurrencyIndex) Concurrency(s Spike) int {
+	n := ci.StatesAt(s.Peak)
+	if n == 0 {
+		return 1 // the spike itself, if it was not indexed
+	}
+	return n
+}
+
+// Outage is the area analysis' unit (§4.2): a maximal set of spikes from
+// distinct states whose time intervals are transitively concurrent. The
+// number of distinct states in an outage is its geographical footprint —
+// the x-axis of Fig. 5 and the ranking key of Table 2.
+type Outage struct {
+	// Start and End bound the union of the member spikes' intervals.
+	Start time.Time `json:"start"`
+	End   time.Time `json:"end"`
+	// Spikes are the members, ordered by start time.
+	Spikes []Spike `json:"spikes"`
+	// States are the distinct states observing the outage, sorted.
+	States []geo.State `json:"states"`
+}
+
+// Duration returns the envelope duration of the outage.
+func (o Outage) Duration() time.Duration { return o.End.Sub(o.Start) + time.Hour }
+
+// StateCount returns the geographical footprint.
+func (o Outage) StateCount() int { return len(o.States) }
+
+// PeakSpike returns the member with the longest duration, breaking ties
+// by magnitude — the representative spike reports print.
+func (o Outage) PeakSpike() Spike {
+	best := o.Spikes[0]
+	for _, s := range o.Spikes[1:] {
+		if s.Duration() > best.Duration() ||
+			(s.Duration() == best.Duration() && s.Magnitude > best.Magnitude) {
+			best = s
+		}
+	}
+	return best
+}
+
+// MergeOutages clusters spikes into outages: spikes whose intervals
+// overlap in time (allowing joinGap slack between them) join the same
+// outage, transitively, regardless of state. Input order is irrelevant;
+// output is ordered by outage start time.
+//
+// A sweep over start-sorted spikes suffices: a spike joins the current
+// cluster while it starts no later than joinGap past the cluster's
+// current envelope end, because interval overlap is what chains members
+// together.
+func MergeOutages(spikes []Spike, joinGap time.Duration) []Outage {
+	if len(spikes) == 0 {
+		return nil
+	}
+	sorted := make([]Spike, len(spikes))
+	copy(sorted, spikes)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Start.Before(sorted[j].Start) })
+
+	var outages []Outage
+	cur := Outage{Start: sorted[0].Start, End: sorted[0].End, Spikes: []Spike{sorted[0]}}
+	for _, s := range sorted[1:] {
+		if !s.Start.After(cur.End.Add(joinGap + time.Hour)) {
+			// Starts within (or one block after) the envelope: concurrent.
+			cur.Spikes = append(cur.Spikes, s)
+			if s.End.After(cur.End) {
+				cur.End = s.End
+			}
+			continue
+		}
+		outages = append(outages, finishOutage(cur))
+		cur = Outage{Start: s.Start, End: s.End, Spikes: []Spike{s}}
+	}
+	outages = append(outages, finishOutage(cur))
+	return outages
+}
+
+func finishOutage(o Outage) Outage {
+	set := make(map[geo.State]bool)
+	for _, s := range o.Spikes {
+		set[s.State] = true
+	}
+	o.States = make([]geo.State, 0, len(set))
+	for st := range set {
+		o.States = append(o.States, st)
+	}
+	sort.Slice(o.States, func(i, j int) bool { return o.States[i] < o.States[j] })
+	return o
+}
+
+// ConcurrentStates counts, for a given spike, how many distinct states
+// (including its own) have a spike whose interval contains the given
+// spike's peak hour — a peak-anchored alternative to cluster merging that
+// the Facebook-lag analysis uses.
+func ConcurrentStates(anchor Spike, all []Spike) int {
+	states := map[geo.State]bool{anchor.State: true}
+	for _, s := range all {
+		if s.Contains(anchor.Peak) {
+			states[s.State] = true
+		}
+	}
+	return len(states)
+}
+
+// FilterSpikes returns the spikes satisfying keep, preserving order.
+func FilterSpikes(spikes []Spike, keep func(Spike) bool) []Spike {
+	var out []Spike
+	for _, s := range spikes {
+		if keep(s) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// TopByDuration returns the n longest spikes, longest first, breaking
+// ties by magnitude then start time — Table 1's ranking.
+func TopByDuration(spikes []Spike, n int) []Spike {
+	sorted := make([]Spike, len(spikes))
+	copy(sorted, spikes)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if sorted[i].Duration() != sorted[j].Duration() {
+			return sorted[i].Duration() > sorted[j].Duration()
+		}
+		if sorted[i].Magnitude != sorted[j].Magnitude {
+			return sorted[i].Magnitude > sorted[j].Magnitude
+		}
+		return sorted[i].Start.Before(sorted[j].Start)
+	})
+	if n > len(sorted) {
+		n = len(sorted)
+	}
+	return sorted[:n]
+}
+
+// TopByExtent returns the n outages with the largest footprints, widest
+// first, breaking ties by start time — Table 2's ranking.
+func TopByExtent(outages []Outage, n int) []Outage {
+	sorted := make([]Outage, len(outages))
+	copy(sorted, outages)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if sorted[i].StateCount() != sorted[j].StateCount() {
+			return sorted[i].StateCount() > sorted[j].StateCount()
+		}
+		return sorted[i].Start.Before(sorted[j].Start)
+	})
+	if n > len(sorted) {
+		n = len(sorted)
+	}
+	return sorted[:n]
+}

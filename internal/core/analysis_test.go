@@ -1,0 +1,122 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"sift/internal/geo"
+)
+
+func mkSpike(st geo.State, startH, peakH, endH int) Spike {
+	return Spike{State: st, Start: hoursAfter(startH), Peak: hoursAfter(peakH), End: hoursAfter(endH)}
+}
+
+func TestConcurrencyIndexBasics(t *testing.T) {
+	spikes := []Spike{
+		mkSpike("TX", 0, 2, 5),
+		mkSpike("OK", 3, 4, 6),
+		mkSpike("CA", 10, 10, 12),
+		mkSpike("TX", 4, 4, 8), // same state, overlapping hours
+	}
+	ci := NewConcurrencyIndex(spikes)
+	// Hour 4: TX (twice, counts once) + OK.
+	if got := ci.StatesAt(hoursAfter(4)); got != 2 {
+		t.Errorf("StatesAt(+4h) = %d, want 2", got)
+	}
+	// Hour 0: only TX.
+	if got := ci.StatesAt(hoursAfter(0)); got != 1 {
+		t.Errorf("StatesAt(+0h) = %d, want 1", got)
+	}
+	// Hour 9: nothing... TX spike [4,8] ends at block 8.
+	if got := ci.StatesAt(hoursAfter(9)); got != 0 {
+		t.Errorf("StatesAt(+9h) = %d, want 0", got)
+	}
+	// Concurrency at the OK spike's peak (hour 4) = 2 states.
+	if got := ci.Concurrency(spikes[1]); got != 2 {
+		t.Errorf("Concurrency(OK) = %d, want 2", got)
+	}
+	// An unindexed spike still counts itself.
+	orphan := mkSpike("VT", 100, 100, 101)
+	if got := ci.Concurrency(orphan); got != 1 {
+		t.Errorf("Concurrency(orphan) = %d, want 1", got)
+	}
+}
+
+func TestConcurrencyIndexNationalEvent(t *testing.T) {
+	// 30 states spiking the same hour → footprint 30 for each of them.
+	var spikes []Spike
+	for i, st := range geo.Codes()[:30] {
+		_ = i
+		spikes = append(spikes, mkSpike(st, 10, 11, 13))
+	}
+	ci := NewConcurrencyIndex(spikes)
+	for _, sp := range spikes {
+		if got := ci.Concurrency(sp); got != 30 {
+			t.Fatalf("Concurrency = %d, want 30", got)
+		}
+	}
+}
+
+func TestConcurrencyIndexEmpty(t *testing.T) {
+	ci := NewConcurrencyIndex(nil)
+	if got := ci.StatesAt(hoursAfter(0)); got != 0 {
+		t.Errorf("empty index StatesAt = %d", got)
+	}
+}
+
+func TestSpikeSetsSimilarity(t *testing.T) {
+	a := []Spike{mkSpike("TX", 0, 1, 2), mkSpike("TX", 10, 11, 12), mkSpike("TX", 20, 21, 22)}
+	if got := SpikeSetsSimilarity(a, a, 0); got != 1 {
+		t.Errorf("self similarity = %g", got)
+	}
+	// One spike missing: 2 of 3 match.
+	b := []Spike{a[0], a[2]}
+	if got := SpikeSetsSimilarity(a, b, 0); got < 0.66 || got > 0.67 {
+		t.Errorf("similarity with one missing = %g, want 2/3", got)
+	}
+	// Shifted peaks within tolerance still match.
+	c := []Spike{mkSpike("TX", 0, 2, 2), mkSpike("TX", 10, 12, 12), mkSpike("TX", 20, 22, 22)}
+	if got := SpikeSetsSimilarity(a, c, time.Hour); got != 1 {
+		t.Errorf("similarity with 1h peak shift at tol 1h = %g, want 1", got)
+	}
+	if got := SpikeSetsSimilarity(a, c, 0); got != 0 {
+		t.Errorf("similarity with 1h peak shift at tol 0 = %g, want 0", got)
+	}
+	// Empty-set conventions.
+	if SpikeSetsSimilarity(nil, nil, 0) != 1 {
+		t.Error("two empty sets should be identical")
+	}
+	if SpikeSetsSimilarity(a, nil, 0) != 0 {
+		t.Error("empty vs non-empty should be 0")
+	}
+}
+
+func TestSpikeSetsSimilarityNoDoubleMatch(t *testing.T) {
+	// Two spikes in a cannot both match the single spike in b.
+	a := []Spike{mkSpike("TX", 0, 1, 2), mkSpike("TX", 1, 2, 3)}
+	b := []Spike{mkSpike("TX", 0, 1, 2)}
+	if got := SpikeSetsSimilarity(a, b, 2*time.Hour); got != 0.5 {
+		t.Errorf("similarity = %g, want 0.5 (one-to-one matching)", got)
+	}
+}
+
+func TestDetectorEndFraction(t *testing.T) {
+	// Decay by 40% per block: survives frac=0.5 (0.6 ≥ 0.5) but a
+	// stricter frac=0.7 ends the spike immediately.
+	vals := []float64{0, 100, 60, 36, 21.6, 0}
+	loose := Detector{EndFraction: 0.5}.Detect(series(vals...), "TX", "t")
+	strict := Detector{EndFraction: 0.7}.Detect(series(vals...), "TX", "t")
+	if len(loose) == 0 || len(strict) == 0 {
+		t.Fatal("no spikes detected")
+	}
+	if loose[0].Duration() <= strict[0].Duration() {
+		t.Errorf("loose rule (%v) should outlast strict rule (%v)",
+			loose[0].Duration(), strict[0].Duration())
+	}
+	// Out-of-range fractions fall back to one half.
+	def := Detector{}.Detect(series(vals...), "TX", "t")
+	bad := Detector{EndFraction: 1.5}.Detect(series(vals...), "TX", "t")
+	if len(def) != len(bad) || def[0].Duration() != bad[0].Duration() {
+		t.Error("invalid EndFraction should behave like the default")
+	}
+}

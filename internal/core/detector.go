@@ -1,0 +1,169 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"sift/internal/geo"
+	"sift/internal/timeseries"
+)
+
+// Detector extracts spikes from a reconstructed series using the paper's
+// topographic-prominence walk (§3.3):
+//
+//   - take the highest not-yet-claimed block as the peak;
+//   - walk forward block by block until a block falls below half of its
+//     predecessor or to zero — the block before that marks the end;
+//   - walk backward from the peak until a zero block or the boundary of a
+//     previously detected spike — the block after that marks the start;
+//   - repeat with the next-highest unclaimed peak.
+//
+// After the detected end, the strictly decreasing shoulder of the spike
+// is claimed (but not counted in the duration) so that the falling tail
+// of a large spike is not re-detected as a phantom follow-up spike.
+type Detector struct {
+	// MinMagnitude ignores peaks below this value on the series' scale.
+	// The default 0 keeps every nonzero island, matching the paper's
+	// all-spikes statistics; reports typically post-filter by duration
+	// or magnitude instead.
+	MinMagnitude float64
+	// EndFraction is the forward-walk stop rule: the spike ends before
+	// the first block that falls below EndFraction of its predecessor.
+	// The paper uses one half; the ablation bench sweeps it. Zero means
+	// 0.5.
+	EndFraction float64
+}
+
+func (d Detector) endFraction() float64 {
+	if d.EndFraction <= 0 || d.EndFraction >= 1 {
+		return 0.5
+	}
+	return d.EndFraction
+}
+
+// Detect returns the spikes of a series, ordered by start time. State and
+// term tag the resulting spikes.
+func (d Detector) Detect(series *timeseries.Series, state geo.State, term string) []Spike {
+	n := series.Len()
+	if n == 0 {
+		return nil
+	}
+	v := series.Values()
+	claimed := make([]bool, n)
+	floor := d.MinMagnitude
+	if floor <= 0 {
+		floor = 1e-9
+	}
+
+	var spikes []Spike
+	for {
+		peak := -1
+		best := 0.0
+		for i, x := range v {
+			if !claimed[i] && x > best {
+				best, peak = x, i
+			}
+		}
+		if peak == -1 || best < floor {
+			break
+		}
+
+		// Forward walk: continue while the next block holds at least the
+		// end fraction of the current one, is nonzero, and is unclaimed.
+		frac := d.endFraction()
+		end := peak
+		for end+1 < n && !claimed[end+1] && v[end+1] > 0 && v[end+1] >= v[end]*frac {
+			end++
+		}
+
+		// Backward walk: continue until a zero block or a claimed block.
+		start := peak
+		for start-1 >= 0 && !claimed[start-1] && v[start-1] > 0 {
+			start--
+		}
+
+		for i := start; i <= end; i++ {
+			claimed[i] = true
+		}
+		// Claim the strictly decreasing shoulder beyond the end.
+		for sh := end; sh+1 < n && !claimed[sh+1] && v[sh+1] > 0 && v[sh+1] < v[sh]; sh++ {
+			claimed[sh+1] = true
+		}
+
+		spikes = append(spikes, Spike{
+			State:     state,
+			Term:      term,
+			Start:     series.Time(start),
+			Peak:      series.Time(peak),
+			End:       series.Time(end),
+			Magnitude: best,
+		})
+	}
+
+	// Rank by magnitude (1 = largest), then order output by start time.
+	byMag := make([]int, len(spikes))
+	for i := range byMag {
+		byMag[i] = i
+	}
+	sort.SliceStable(byMag, func(a, b int) bool { return spikes[byMag[a]].Magnitude > spikes[byMag[b]].Magnitude })
+	for rank, idx := range byMag {
+		spikes[idx].Rank = rank + 1
+	}
+	sort.SliceStable(spikes, func(a, b int) bool { return spikes[a].Start.Before(spikes[b].Start) })
+	return spikes
+}
+
+// SpikeSetsSimilarity scores how well two detection results agree: the
+// fraction of spikes in the larger set that find a one-to-one partner in
+// the other set with peaks within tol. Two empty sets score 1. The
+// averaging loop declares convergence when consecutive rounds' spike
+// sets are nearly identical (§3.2); a similarity score rather than exact
+// equality lets the loop settle even while individual near-threshold
+// islands keep flickering between samples.
+func SpikeSetsSimilarity(a, b []Spike, tol time.Duration) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	// Both sets are in start order; advance two cursors greedily.
+	matched := 0
+	j := 0
+	for i := 0; i < len(a) && j < len(b); i++ {
+		for j < len(b) && b[j].Peak.Before(a[i].Peak.Add(-tol)) {
+			j++
+		}
+		if j < len(b) && !b[j].Peak.After(a[i].Peak.Add(tol)) {
+			matched++
+			j++
+		}
+	}
+	max := len(a)
+	if len(b) > max {
+		max = len(b)
+	}
+	return float64(matched) / float64(max)
+}
+
+// SpikeSetsEqual reports whether two detection results agree within a
+// per-boundary tolerance: equal counts and a one-to-one matching (in
+// start order) with peak, start, and end each within tol.
+func SpikeSetsEqual(a, b []Spike, tol time.Duration) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	within := func(x, y time.Time) bool {
+		d := x.Sub(y)
+		if d < 0 {
+			d = -d
+		}
+		return d <= tol
+	}
+	for i := range a {
+		if !within(a[i].Start, b[i].Start) || !within(a[i].Peak, b[i].Peak) || !within(a[i].End, b[i].End) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,272 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"sift/internal/timeseries"
+)
+
+var t0 = time.Date(2021, 2, 15, 0, 0, 0, 0, time.UTC)
+
+func series(vals ...float64) *timeseries.Series { return timeseries.MustNew(t0, vals) }
+
+func hoursAfter(n int) time.Time { return t0.Add(time.Duration(n) * time.Hour) }
+
+func detect(vals ...float64) []Spike {
+	return Detector{}.Detect(series(vals...), "TX", "Internet outage")
+}
+
+func TestDetectSingleIsland(t *testing.T) {
+	//            0  1   2   3   4  5
+	spikes := detect(0, 10, 40, 30, 25, 0)
+	if len(spikes) != 1 {
+		t.Fatalf("got %d spikes, want 1", len(spikes))
+	}
+	s := spikes[0]
+	if !s.Start.Equal(hoursAfter(1)) {
+		t.Errorf("start = %v, want +1h", s.Start)
+	}
+	if !s.Peak.Equal(hoursAfter(2)) {
+		t.Errorf("peak = %v, want +2h", s.Peak)
+	}
+	if !s.End.Equal(hoursAfter(4)) {
+		t.Errorf("end = %v, want +4h", s.End)
+	}
+	if s.Magnitude != 40 {
+		t.Errorf("magnitude = %g, want 40", s.Magnitude)
+	}
+	if s.Duration() != 4*time.Hour {
+		t.Errorf("duration = %v, want 4h", s.Duration())
+	}
+	if s.Rank != 1 {
+		t.Errorf("rank = %d", s.Rank)
+	}
+	if s.State != "TX" || s.Term != "Internet outage" {
+		t.Errorf("identity %q %q", s.State, s.Term)
+	}
+}
+
+func TestDetectEndsOnHalfRule(t *testing.T) {
+	// 100 → 60 is fine (≥50), 60 → 25 violates (<30): end at the 60.
+	spikes := detect(0, 100, 60, 25, 20, 0)
+	if len(spikes) == 0 {
+		t.Fatal("no spikes")
+	}
+	if !spikes[0].End.Equal(hoursAfter(2)) {
+		t.Errorf("end = %v, want +2h (half rule)", spikes[0].End)
+	}
+}
+
+func TestDetectSlowDecayContinues(t *testing.T) {
+	// Each block ≥ half the previous: one long spike (the 45 h TX case).
+	vals := []float64{0, 100, 70, 50, 36, 26, 20, 15, 11, 8, 6, 0}
+	spikes := detect(vals...)
+	if len(spikes) != 1 {
+		t.Fatalf("got %d spikes, want 1 long spike", len(spikes))
+	}
+	if spikes[0].Duration() != 10*time.Hour {
+		t.Errorf("duration = %v, want 10h", spikes[0].Duration())
+	}
+}
+
+func TestDetectZeroEndsSpike(t *testing.T) {
+	spikes := detect(0, 50, 40, 0, 40, 30, 0)
+	if len(spikes) != 2 {
+		t.Fatalf("got %d spikes, want 2 (zero-separated)", len(spikes))
+	}
+}
+
+func TestDetectMergesSuccessivePeaks(t *testing.T) {
+	// Two local maxima with a shallow dip (≥ half): one spike, not two —
+	// the paper's recounting guard.
+	spikes := detect(0, 80, 50, 90, 60, 0)
+	if len(spikes) != 1 {
+		t.Fatalf("got %d spikes, want 1 merged spike", len(spikes))
+	}
+	if !spikes[0].Peak.Equal(hoursAfter(3)) {
+		t.Errorf("peak = %v, want the 90 at +3h", spikes[0].Peak)
+	}
+	if spikes[0].Duration() != 4*time.Hour {
+		t.Errorf("duration = %v, want 4h", spikes[0].Duration())
+	}
+}
+
+func TestDetectDeepDipSplits(t *testing.T) {
+	// The dip to 20 (< half of 80) ends the first spike; the second rise
+	// is its own spike whose backward walk stops at the claimed region.
+	spikes := detect(0, 100, 80, 20, 15, 90, 70, 0)
+	if len(spikes) != 2 {
+		t.Fatalf("got %d spikes, want 2", len(spikes))
+	}
+	first, second := spikes[0], spikes[1]
+	if !first.End.Equal(hoursAfter(2)) {
+		t.Errorf("first end = %v, want +2h", first.End)
+	}
+	if !second.Peak.Equal(hoursAfter(5)) {
+		t.Errorf("second peak = %v, want +5h", second.Peak)
+	}
+	if second.Start.Before(first.End.Add(time.Hour)) {
+		t.Errorf("second spike start %v intrudes into first (end %v)", second.Start, first.End)
+	}
+}
+
+func TestDetectShoulderNotRedetected(t *testing.T) {
+	// After the half-rule end, the strictly falling tail (20, 9, 4) must
+	// not come back as a phantom spike.
+	spikes := detect(0, 100, 60, 20, 9, 4, 0)
+	if len(spikes) != 1 {
+		t.Fatalf("got %d spikes, want 1 (tail is a shoulder): %v", len(spikes), spikes)
+	}
+}
+
+func TestDetectBackwardStopsAtZero(t *testing.T) {
+	spikes := detect(5, 0, 10, 80, 0)
+	if len(spikes) != 2 {
+		t.Fatalf("got %d spikes, want 2", len(spikes))
+	}
+	// The larger spike's start must be after the zero at index 1.
+	var big Spike
+	for _, s := range spikes {
+		if s.Magnitude == 80 {
+			big = s
+		}
+	}
+	if !big.Start.Equal(hoursAfter(2)) {
+		t.Errorf("big spike start = %v, want +2h", big.Start)
+	}
+}
+
+func TestDetectRanks(t *testing.T) {
+	spikes := detect(0, 30, 0, 90, 0, 60, 0)
+	if len(spikes) != 3 {
+		t.Fatalf("got %d spikes", len(spikes))
+	}
+	// Output ordered by start; ranks by magnitude.
+	wantMag := []float64{30, 90, 60}
+	wantRank := []int{3, 1, 2}
+	for i, s := range spikes {
+		if s.Magnitude != wantMag[i] || s.Rank != wantRank[i] {
+			t.Errorf("spike %d = mag %g rank %d, want mag %g rank %d", i, s.Magnitude, s.Rank, wantMag[i], wantRank[i])
+		}
+	}
+}
+
+func TestDetectMinMagnitude(t *testing.T) {
+	spikes := Detector{MinMagnitude: 50}.Detect(series(0, 30, 0, 90, 0), "TX", "t")
+	if len(spikes) != 1 || spikes[0].Magnitude != 90 {
+		t.Fatalf("MinMagnitude filter failed: %v", spikes)
+	}
+}
+
+func TestDetectEdgeCases(t *testing.T) {
+	if got := detect(); got != nil {
+		t.Error("empty series should yield nil")
+	}
+	if got := detect(0, 0, 0); got != nil {
+		t.Error("all-zero series should yield nil")
+	}
+	one := detect(7)
+	if len(one) != 1 || one[0].Duration() != time.Hour {
+		t.Errorf("single-block series: %v", one)
+	}
+	// Peak at the first and last blocks.
+	edge := detect(50, 30, 0, 30, 50)
+	if len(edge) != 2 {
+		t.Fatalf("edge peaks: got %d spikes", len(edge))
+	}
+	if !edge[0].Start.Equal(t0) {
+		t.Error("first spike should start at series start")
+	}
+	if !edge[1].End.Equal(hoursAfter(4)) {
+		t.Error("last spike should end at series end")
+	}
+}
+
+func TestDetectInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		n := 50 + rng.Intn(300)
+		vals := make([]float64, n)
+		for i := range vals {
+			if rng.Float64() < 0.5 {
+				vals[i] = 0
+			} else {
+				vals[i] = rng.Float64() * 100
+			}
+		}
+		s := series(vals...)
+		spikes := Detector{}.Detect(s, "CA", "t")
+		seenRank := map[int]bool{}
+		for i, sp := range spikes {
+			if sp.Start.After(sp.Peak) || sp.Peak.After(sp.End) {
+				t.Fatalf("trial %d: disordered spike %v", trial, sp)
+			}
+			if sp.Start.Before(s.Start()) || sp.End.After(s.End()) {
+				t.Fatalf("trial %d: spike outside series", trial)
+			}
+			if v, ok := s.At(sp.Peak); !ok || v != sp.Magnitude {
+				t.Fatalf("trial %d: magnitude mismatch", trial)
+			}
+			if v, ok := s.At(sp.Start); !ok || v <= 0 {
+				t.Fatalf("trial %d: spike start on zero block", trial)
+			}
+			if i > 0 && spikes[i-1].End.After(sp.Start) {
+				// Ordered by start; intervals must not nest/overlap.
+				t.Fatalf("trial %d: overlapping spikes %v and %v", trial, spikes[i-1], sp)
+			}
+			if seenRank[sp.Rank] {
+				t.Fatalf("trial %d: duplicate rank %d", trial, sp.Rank)
+			}
+			seenRank[sp.Rank] = true
+			if sp.Rank < 1 || sp.Rank > len(spikes) {
+				t.Fatalf("trial %d: rank %d out of range", trial, sp.Rank)
+			}
+		}
+	}
+}
+
+func TestSpikeSetsEqual(t *testing.T) {
+	a := []Spike{{Start: t0, Peak: hoursAfter(1), End: hoursAfter(2)}}
+	b := []Spike{{Start: hoursAfter(1), Peak: hoursAfter(1), End: hoursAfter(2)}}
+	if !SpikeSetsEqual(a, a, 0) {
+		t.Error("identical sets should match")
+	}
+	if SpikeSetsEqual(a, b, 0) {
+		t.Error("shifted start should not match at tol 0")
+	}
+	if !SpikeSetsEqual(a, b, time.Hour) {
+		t.Error("1h shift should match at tol 1h")
+	}
+	if SpikeSetsEqual(a, nil, time.Hour) {
+		t.Error("different counts should not match")
+	}
+	if !SpikeSetsEqual(nil, nil, 0) {
+		t.Error("two empty sets should match")
+	}
+}
+
+func TestSpikeHelpers(t *testing.T) {
+	s := Spike{Start: t0, Peak: hoursAfter(1), End: hoursAfter(3), State: "TX", Magnitude: 50}
+	if s.Duration() != 4*time.Hour {
+		t.Errorf("Duration = %v", s.Duration())
+	}
+	if !s.Contains(hoursAfter(3)) || !s.Contains(t0) {
+		t.Error("Contains should cover inclusive blocks")
+	}
+	if s.Contains(hoursAfter(4)) {
+		t.Error("Contains past end block")
+	}
+	o := Spike{Start: hoursAfter(3), Peak: hoursAfter(3), End: hoursAfter(5)}
+	if !s.Overlaps(o) || !o.Overlaps(s) {
+		t.Error("touching block intervals should overlap")
+	}
+	far := Spike{Start: hoursAfter(10), End: hoursAfter(11)}
+	if s.Overlaps(far) {
+		t.Error("distant spikes should not overlap")
+	}
+	if s.String() == "" {
+		t.Error("String should render")
+	}
+}

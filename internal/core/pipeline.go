@@ -1,0 +1,227 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"sift/internal/geo"
+	"sift/internal/gtrends"
+	"sift/internal/timeseries"
+)
+
+// PipelineConfig tunes the SIFT processing pipeline. Zero fields take the
+// documented defaults.
+type PipelineConfig struct {
+	// FrameHours is the crawled frame length; default (and maximum) one
+	// week of hourly blocks.
+	FrameHours int
+	// OverlapHours is how much consecutive frames overlap; the overlap
+	// is what lets stitching recover the inter-frame scale. Default 24.
+	OverlapHours int
+	// Workers bounds concurrent frame fetches. Default 8.
+	Workers int
+	// MaxRounds caps the re-fetch averaging iterations. Default 12.
+	MaxRounds int
+	// MinRounds is the floor on averaging iterations before convergence
+	// may be declared. Default 2.
+	MinRounds int
+	// ConvergenceTol is the per-boundary tolerance under which two
+	// consecutive rounds' spike sets count as identical. Default 2h.
+	ConvergenceTol time.Duration
+	// ConvergenceSim is the spike-set similarity two consecutive rounds
+	// must reach to declare convergence. Near-threshold islands keep
+	// flickering between samples, so exact equality would never hold on
+	// busy states. Default 0.96.
+	ConvergenceSim float64
+	// Estimator selects the stitch-ratio estimator. Default ratio-of-means.
+	Estimator timeseries.RatioEstimator
+	// Detector extracts spikes from the reconstructed series.
+	Detector Detector
+	// WithRising requests rising terms along with every weekly frame.
+	// Costly on long studies; the annotation stage fetches targeted daily
+	// frames instead.
+	WithRising bool
+	// OnFrame, when set, observes every fetched frame (for persistence).
+	// Called from fetch workers; must be safe for concurrent use.
+	OnFrame func(round int, f *gtrends.Frame)
+}
+
+func (c *PipelineConfig) fillDefaults() {
+	if c.FrameHours == 0 {
+		c.FrameHours = gtrends.WeekFrameHours
+	}
+	if c.OverlapHours == 0 {
+		c.OverlapHours = 24
+	}
+	if c.Workers == 0 {
+		c.Workers = 8
+	}
+	if c.MaxRounds == 0 {
+		c.MaxRounds = 12
+	}
+	if c.MinRounds == 0 {
+		c.MinRounds = 2
+	}
+	if c.ConvergenceTol == 0 {
+		c.ConvergenceTol = 2 * time.Hour
+	}
+	if c.ConvergenceSim == 0 {
+		c.ConvergenceSim = 0.96
+	}
+}
+
+// Pipeline runs SIFT's processing for one state and term: partition the
+// range into overlapping weekly frames, fetch every frame, average
+// repeated fetches position by position, stitch the averaged frames into
+// one continuous renormalized series, detect spikes, and iterate
+// re-fetch rounds until the detected spike set converges (§3.2–3.3).
+type Pipeline struct {
+	Fetcher gtrends.Fetcher
+	Cfg     PipelineConfig
+}
+
+// Result is the outcome of one pipeline run.
+type Result struct {
+	State geo.State
+	Term  string
+	// Series is the reconstructed, renormalized (0–100) interest series.
+	Series *timeseries.Series
+	// Spikes are the detected spikes, in start order.
+	Spikes []Spike
+	// Rounds is how many fetch-average rounds ran.
+	Rounds int
+	// Converged reports whether the spike set stabilized before
+	// MaxRounds.
+	Converged bool
+	// Frames is the total number of frames fetched across all rounds.
+	Frames int
+}
+
+// Run executes the pipeline over [from, to).
+func (p *Pipeline) Run(ctx context.Context, state geo.State, term string, from, to time.Time) (*Result, error) {
+	cfg := p.Cfg
+	cfg.fillDefaults()
+	if p.Fetcher == nil {
+		return nil, errors.New("core: pipeline needs a Fetcher")
+	}
+	specs, err := timeseries.Partition(from, to, cfg.FrameHours, cfg.OverlapHours)
+	if err != nil {
+		return nil, fmt.Errorf("core: partitioning study range: %w", err)
+	}
+
+	res := &Result{State: state, Term: term}
+	// accum[i] collects each spec's frames across rounds, as float series.
+	accum := make([][]*timeseries.Series, len(specs))
+	var prev []Spike
+
+	for round := 1; round <= cfg.MaxRounds; round++ {
+		frames, err := p.fetchRound(ctx, cfg, state, term, specs, round)
+		if err != nil {
+			return nil, err
+		}
+		res.Frames += len(frames)
+		res.Rounds = round
+		for i, f := range frames {
+			accum[i] = append(accum[i], frameSeries(f))
+		}
+
+		averaged := make([]*timeseries.Series, len(specs))
+		// Presence quorum: 60% of rounds, rounded up. The fraction
+		// approaches 0.6 from above as rounds accumulate, so positions
+		// stop flipping with round parity and the spike set can settle.
+		quorum := (3*round + 4) / 5
+		for i := range specs {
+			avg, err := timeseries.ConsensusAverage(accum[i], quorum)
+			if err != nil {
+				return nil, fmt.Errorf("core: averaging frame %d: %w", i, err)
+			}
+			averaged[i] = avg
+		}
+		stitched, err := timeseries.StitchAll(averaged, cfg.Estimator)
+		if err != nil {
+			return nil, fmt.Errorf("core: stitching: %w", err)
+		}
+		res.Series = stitched
+		res.Spikes = cfg.Detector.Detect(stitched, state, term)
+
+		if round >= cfg.MinRounds && SpikeSetsSimilarity(prev, res.Spikes, cfg.ConvergenceTol) >= cfg.ConvergenceSim {
+			res.Converged = true
+			return res, nil
+		}
+		prev = res.Spikes
+	}
+	return res, nil
+}
+
+// fetchRound fetches every spec once, in order, over a bounded worker
+// pool.
+func (p *Pipeline) fetchRound(ctx context.Context, cfg PipelineConfig, state geo.State, term string, specs []timeseries.FrameSpec, round int) ([]*gtrends.Frame, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	frames := make([]*gtrends.Frame, len(specs))
+	jobs := make(chan int)
+	errc := make(chan error, cfg.Workers)
+	var wg sync.WaitGroup
+	workers := cfg.Workers
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				req := gtrends.FrameRequest{
+					Term:       term,
+					State:      state,
+					Start:      specs[i].Start,
+					Hours:      specs[i].Hours,
+					WithRising: cfg.WithRising,
+				}
+				f, err := p.Fetcher.FetchFrame(ctx, req)
+				if err != nil {
+					errc <- fmt.Errorf("core: fetching frame %s+%dh: %w", req.Start.Format(time.RFC3339), req.Hours, err)
+					cancel()
+					return
+				}
+				if cfg.OnFrame != nil {
+					cfg.OnFrame(round, f)
+				}
+				frames[i] = f
+			}
+		}()
+	}
+feed:
+	for i := range specs {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	select {
+	case err := <-errc:
+		return nil, err
+	default:
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return frames, nil
+}
+
+// frameSeries converts a Trends frame's integer index points into an
+// hourly float series.
+func frameSeries(f *gtrends.Frame) *timeseries.Series {
+	vals := make([]float64, len(f.Points))
+	for i, p := range f.Points {
+		vals[i] = float64(p)
+	}
+	return timeseries.MustNew(f.Start, vals)
+}

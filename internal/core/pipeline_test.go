@@ -1,0 +1,278 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"sift/internal/geo"
+	"sift/internal/gtrends"
+	"sift/internal/searchmodel"
+	"sift/internal/simworld"
+)
+
+// engineFetcher builds an in-process fetcher over a storm scenario.
+func engineFetcher(seed int64) gtrends.Fetcher {
+	storm := &simworld.Event{
+		ID: "storm", Name: "Winter storm", Kind: simworld.KindPower,
+		Cause: simworld.CauseWinterStorm,
+		Start: t0.Add(7*24*time.Hour + 10*time.Hour), Duration: 45 * time.Hour,
+		Impacts: []simworld.Impact{{State: "TX", Intensity: 2000}},
+		Terms:   []simworld.TermWeight{{Term: "power outage", Share: 0.5}},
+	}
+	model := searchmodel.New(seed, simworld.NewTimeline([]*simworld.Event{storm}), searchmodel.Params{})
+	return gtrends.EngineFetcher{Engine: gtrends.NewEngine(model, gtrends.Config{})}
+}
+
+func TestPipelineReconstructsStorm(t *testing.T) {
+	p := &Pipeline{Fetcher: engineFetcher(5)}
+	from := t0
+	to := t0.Add(3 * 7 * 24 * time.Hour) // three weeks
+	res, err := p.Run(context.Background(), "TX", gtrends.TopicInternetOutage, from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Series.Len() != 3*168 {
+		t.Fatalf("series length = %d, want %d", res.Series.Len(), 3*168)
+	}
+	max, at, err := res.Series.Max()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if max < 99.9 || max > 100.0001 {
+		t.Errorf("renormalized max = %g, want 100", max)
+	}
+	stormStart := t0.Add(7*24*time.Hour + 10*time.Hour)
+	if at.Before(stormStart) || at.After(stormStart.Add(12*time.Hour)) {
+		t.Errorf("series peak at %v, want near storm onset %v", at, stormStart)
+	}
+	// The dominant spike must track the storm's 45 h duration.
+	if len(res.Spikes) == 0 {
+		t.Fatal("no spikes detected")
+	}
+	var biggest Spike
+	for _, s := range res.Spikes {
+		if s.Rank == 1 {
+			biggest = s
+		}
+	}
+	dur := biggest.Duration().Hours()
+	if dur < 38 || dur > 52 {
+		t.Errorf("storm spike duration = %gh, want ≈45h", dur)
+	}
+	if res.Rounds < 2 || res.Rounds > 10 {
+		t.Errorf("rounds = %d", res.Rounds)
+	}
+	if res.Frames == 0 {
+		t.Error("no frames counted")
+	}
+}
+
+func TestPipelineConverges(t *testing.T) {
+	p := &Pipeline{Fetcher: engineFetcher(6)}
+	res, err := p.Run(context.Background(), "TX", gtrends.TopicInternetOutage, t0, t0.Add(2*168*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Errorf("pipeline did not converge within %d rounds", res.Rounds)
+	}
+}
+
+func TestPipelineOnFrameObserver(t *testing.T) {
+	var mu sync.Mutex
+	seen := 0
+	rounds := map[int]bool{}
+	p := &Pipeline{Fetcher: engineFetcher(7), Cfg: PipelineConfig{
+		MaxRounds: 3, MinRounds: 3, // force exactly 3 rounds
+		OnFrame: func(round int, f *gtrends.Frame) {
+			mu.Lock()
+			seen++
+			rounds[round] = true
+			mu.Unlock()
+		},
+	}}
+	res, err := p.Run(context.Background(), "TX", gtrends.TopicInternetOutage, t0, t0.Add(2*168*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen != res.Frames {
+		t.Errorf("observer saw %d frames, result says %d", seen, res.Frames)
+	}
+	if len(rounds) != 3 {
+		t.Errorf("observer saw rounds %v, want 3 distinct", rounds)
+	}
+}
+
+// flakyFetcher fails every request.
+type flakyFetcher struct{}
+
+func (flakyFetcher) FetchFrame(context.Context, gtrends.FrameRequest) (*gtrends.Frame, error) {
+	return nil, errors.New("boom")
+}
+
+func TestPipelinePropagatesFetchErrors(t *testing.T) {
+	p := &Pipeline{Fetcher: flakyFetcher{}}
+	_, err := p.Run(context.Background(), "TX", gtrends.TopicInternetOutage, t0, t0.Add(2*168*time.Hour))
+	if err == nil {
+		t.Fatal("expected error from failing fetcher")
+	}
+}
+
+func TestPipelineValidation(t *testing.T) {
+	p := &Pipeline{}
+	if _, err := p.Run(context.Background(), "TX", "t", t0, t0.Add(336*time.Hour)); err == nil {
+		t.Error("nil fetcher should error")
+	}
+	p = &Pipeline{Fetcher: engineFetcher(1)}
+	if _, err := p.Run(context.Background(), "TX", "t", t0, t0.Add(time.Hour)); err == nil {
+		t.Error("range shorter than a frame should error")
+	}
+}
+
+func TestPipelineContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p := &Pipeline{Fetcher: engineFetcher(1)}
+	if _, err := p.Run(ctx, "TX", gtrends.TopicInternetOutage, t0, t0.Add(2*168*time.Hour)); err == nil {
+		t.Error("cancelled context should abort the run")
+	}
+}
+
+func TestPipelineDeterministicAcrossRuns(t *testing.T) {
+	run := func() *Result {
+		p := &Pipeline{Fetcher: engineFetcher(9), Cfg: PipelineConfig{Workers: 1}}
+		res, err := p.Run(context.Background(), "TX", gtrends.TopicInternetOutage, t0, t0.Add(2*168*time.Hour))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if len(a.Spikes) != len(b.Spikes) || a.Rounds != b.Rounds {
+		t.Fatalf("identical runs diverged: %d/%d spikes, %d/%d rounds",
+			len(a.Spikes), len(b.Spikes), a.Rounds, b.Rounds)
+	}
+	for i := range a.Spikes {
+		if !a.Spikes[i].Start.Equal(b.Spikes[i].Start) {
+			t.Fatal("spike boundaries differ between identical runs")
+		}
+	}
+}
+
+func TestMergeOutages(t *testing.T) {
+	mk := func(st geo.State, startH, endH int) Spike {
+		return Spike{State: st, Start: hoursAfter(startH), Peak: hoursAfter(startH), End: hoursAfter(endH)}
+	}
+	spikes := []Spike{
+		mk("TX", 0, 5),
+		mk("OK", 3, 8),   // overlaps TX → same outage
+		mk("LA", 9, 10),  // touches OK's end block → chains in
+		mk("CA", 40, 42), // far away → separate
+	}
+	outages := MergeOutages(spikes, 0)
+	if len(outages) != 2 {
+		t.Fatalf("got %d outages, want 2", len(outages))
+	}
+	first := outages[0]
+	if first.StateCount() != 3 {
+		t.Errorf("first outage states = %v, want TX OK LA", first.States)
+	}
+	if !first.Start.Equal(hoursAfter(0)) || !first.End.Equal(hoursAfter(10)) {
+		t.Errorf("first outage envelope [%v, %v]", first.Start, first.End)
+	}
+	if outages[1].StateCount() != 1 || outages[1].States[0] != "CA" {
+		t.Errorf("second outage = %v", outages[1].States)
+	}
+	if MergeOutages(nil, 0) != nil {
+		t.Error("MergeOutages(nil) should be nil")
+	}
+}
+
+func TestMergeOutagesJoinGap(t *testing.T) {
+	mk := func(startH, endH int) Spike {
+		return Spike{State: "TX", Start: hoursAfter(startH), Peak: hoursAfter(startH), End: hoursAfter(endH)}
+	}
+	spikes := []Spike{mk(0, 2), mk(6, 8)}
+	if got := MergeOutages(spikes, 0); len(got) != 2 {
+		t.Errorf("gap of 3h with no slack: got %d outages, want 2", len(got))
+	}
+	if got := MergeOutages(spikes, 3*time.Hour); len(got) != 1 {
+		t.Errorf("gap of 3h with 3h slack: got %d outages, want 1", len(got))
+	}
+}
+
+func TestMergeOutagesDedupesStates(t *testing.T) {
+	mk := func(startH, endH int) Spike {
+		return Spike{State: "TX", Start: hoursAfter(startH), Peak: hoursAfter(startH), End: hoursAfter(endH)}
+	}
+	outages := MergeOutages([]Spike{mk(0, 3), mk(2, 5)}, 0)
+	if len(outages) != 1 || outages[0].StateCount() != 1 {
+		t.Errorf("same-state overlap should dedupe: %+v", outages)
+	}
+	if len(outages[0].Spikes) != 2 {
+		t.Error("member spikes should both be retained")
+	}
+}
+
+func TestOutageHelpers(t *testing.T) {
+	long := Spike{State: "TX", Start: hoursAfter(0), Peak: hoursAfter(1), End: hoursAfter(9), Magnitude: 50}
+	short := Spike{State: "OK", Start: hoursAfter(1), Peak: hoursAfter(2), End: hoursAfter(3), Magnitude: 90}
+	o := MergeOutages([]Spike{long, short}, 0)[0]
+	if o.Duration() != 10*time.Hour {
+		t.Errorf("Duration = %v", o.Duration())
+	}
+	if got := o.PeakSpike(); got.State != "TX" {
+		t.Errorf("PeakSpike = %v, want the longest member", got)
+	}
+}
+
+func TestConcurrentStates(t *testing.T) {
+	anchor := Spike{State: "TX", Start: hoursAfter(2), Peak: hoursAfter(4), End: hoursAfter(6)}
+	all := []Spike{
+		anchor,
+		{State: "OK", Start: hoursAfter(3), Peak: hoursAfter(4), End: hoursAfter(5)}, // covers peak
+		{State: "LA", Start: hoursAfter(5), Peak: hoursAfter(6), End: hoursAfter(8)}, // misses peak
+		{State: "NM", Start: hoursAfter(4), Peak: hoursAfter(4), End: hoursAfter(4)}, // covers peak
+	}
+	if got := ConcurrentStates(anchor, all); got != 3 {
+		t.Errorf("ConcurrentStates = %d, want 3 (TX, OK, NM)", got)
+	}
+}
+
+func TestTopByDurationAndExtent(t *testing.T) {
+	mk := func(st geo.State, startH, endH int, mag float64) Spike {
+		return Spike{State: st, Start: hoursAfter(startH), Peak: hoursAfter(startH), End: hoursAfter(endH), Magnitude: mag}
+	}
+	spikes := []Spike{
+		mk("TX", 0, 44, 100),
+		mk("CA", 100, 105, 80),
+		mk("GA", 200, 219, 70),
+	}
+	top := TopByDuration(spikes, 2)
+	if len(top) != 2 || top[0].State != "TX" || top[1].State != "GA" {
+		t.Errorf("TopByDuration = %v", top)
+	}
+	if got := TopByDuration(spikes, 99); len(got) != 3 {
+		t.Errorf("n beyond len should clamp: %d", len(got))
+	}
+
+	outages := []Outage{
+		{Start: hoursAfter(0), States: []geo.State{"TX"}},
+		{Start: hoursAfter(5), States: []geo.State{"CA", "OR", "WA"}},
+	}
+	ext := TopByExtent(outages, 1)
+	if len(ext) != 1 || ext[0].StateCount() != 3 {
+		t.Errorf("TopByExtent = %v", ext)
+	}
+}
+
+func TestFilterSpikes(t *testing.T) {
+	spikes := []Spike{{Magnitude: 10}, {Magnitude: 90}}
+	out := FilterSpikes(spikes, func(s Spike) bool { return s.Magnitude > 50 })
+	if len(out) != 1 || out[0].Magnitude != 90 {
+		t.Errorf("FilterSpikes = %v", out)
+	}
+}

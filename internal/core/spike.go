@@ -1,0 +1,65 @@
+// Package core implements SIFT itself: the processing pipeline that
+// reconstructs continuous search-interest series from overlapping Google
+// Trends frames (§3.2 of the paper), the topographic-prominence spike
+// detector (§3.3), and the area analysis that merges temporally
+// concurrent spikes across states into outages (§4.2).
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"sift/internal/geo"
+	"sift/internal/gtrends"
+)
+
+// Spike is one detected surge of user interest: the paper's unit of
+// observation. Durations are measured in whole hourly blocks; a spike
+// confined to a single block has a duration of one hour.
+type Spike struct {
+	// State and Term identify the series the spike was detected in.
+	State geo.State `json:"state"`
+	Term  string    `json:"term"`
+	// Start, Peak and End are the first, highest and last hourly blocks
+	// of the spike (block start instants, UTC).
+	Start time.Time `json:"start"`
+	Peak  time.Time `json:"peak"`
+	End   time.Time `json:"end"`
+	// Magnitude is the series value at the peak on the renormalized
+	// 0–100 scale. Magnitudes are comparable within a state's series but
+	// not across states (per-state normalization, §3.3).
+	Magnitude float64 `json:"magnitude"`
+	// Rank is the spike's magnitude rank within its detection run:
+	// 1 is the largest.
+	Rank int `json:"rank"`
+	// Rising carries the suggestions fetched for the spike's peak day,
+	// filled by the annotation stage.
+	Rising []gtrends.RisingTerm `json:"rising,omitempty"`
+	// Annotations are the ranked, clustered context labels derived from
+	// Rising, filled by the annotation stage.
+	Annotations []string `json:"annotations,omitempty"`
+}
+
+// Duration returns the user-interest duration: the span of the spike's
+// hourly blocks, inclusive.
+func (s Spike) Duration() time.Duration {
+	return s.End.Sub(s.Start) + time.Hour
+}
+
+// Overlaps reports whether two spikes' block intervals intersect in time,
+// the predicate the area analysis merges on.
+func (s Spike) Overlaps(o Spike) bool {
+	return !s.Start.After(o.End) && !o.Start.After(s.End)
+}
+
+// Contains reports whether instant t falls within the spike's blocks.
+func (s Spike) Contains(t time.Time) bool {
+	return !t.Before(s.Start) && t.Before(s.End.Add(time.Hour))
+}
+
+// String renders a compact human-readable description.
+func (s Spike) String() string {
+	return fmt.Sprintf("%s %s peak=%s dur=%dh mag=%.1f",
+		s.State, s.Start.Format("2006-01-02 15:04"), s.Peak.Format("15:04"),
+		int(s.Duration().Hours()), s.Magnitude)
+}

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"sift/internal/geo"
+	"sift/internal/report"
+	"sift/internal/scenario"
+)
+
+// This file implements the paper's first future-work question (§6):
+// "What effect has the climate crisis had on the Internet over the past
+// ten years — has the rise in wildfires impacted the Internet's
+// reliability?" SIFT is "a good fit for studying trends over more
+// extended periods"; the climate-trend study runs the pipeline over a
+// multi-year window whose ground truth carries a configurable yearly
+// growth in climate-driven power events, then measures whether the
+// yearly count of long power-annotated spikes recovers that trend.
+
+// ClimateTrendConfig parameterizes the long-horizon study.
+type ClimateTrendConfig struct {
+	// Seed drives the world and the sampling.
+	Seed int64
+	// Years is the horizon; the window ends 1 Jan 2022 and starts Years
+	// earlier. Default 6.
+	Years int
+	// Trend is the yearly growth of climate-driven event pressure.
+	// Default 0.08.
+	Trend float64
+	// States restricts the study to climate-exposed states for speed.
+	// Default: CA, TX, FL, LA, WA, OK, CO, KY.
+	States []geo.State
+}
+
+func (c *ClimateTrendConfig) fillDefaults() {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Years == 0 {
+		c.Years = 6
+	}
+	if c.Trend == 0 {
+		c.Trend = 0.08
+	}
+	if len(c.States) == 0 {
+		c.States = []geo.State{"CA", "TX", "FL", "LA", "WA", "OK", "CO", "KY"}
+	}
+}
+
+// ClimateTrendResult is the yearly long-outage series and its trend.
+type ClimateTrendResult struct {
+	// Years maps each calendar year to the number of power-annotated
+	// spikes lasting at least five hours.
+	Years []int
+	// PerYear aligns with Years: the counts.
+	PerYear []int
+	// GrowthRatio is the last year's count over the first year's —
+	// above 1 means the climate signal reaches the user-visible Internet.
+	GrowthRatio float64
+	// InjectedTrend echoes the ground-truth yearly growth for reference.
+	InjectedTrend float64
+}
+
+// ClimateTrend runs the long-horizon study.
+func ClimateTrend(ctx context.Context, cfg ClimateTrendConfig) (ClimateTrendResult, error) {
+	cfg.fillDefaults()
+	end := time.Date(2022, 1, 1, 0, 0, 0, 0, time.UTC)
+	start := end.AddDate(-cfg.Years, 0, 0)
+
+	scen := scenario.DefaultConfig(cfg.Seed)
+	scen.Start, scen.End = start, end
+	scen.SkipScripted = true // isolate the trend from the 2020–21 script
+	scen.ClimateTrend = cfg.Trend
+
+	study, err := RunStudy(ctx, StudyConfig{
+		Seed:     cfg.Seed,
+		Start:    start,
+		End:      end,
+		States:   cfg.States,
+		Scenario: &scen,
+		SkipAnt:  true,
+	})
+	if err != nil {
+		return ClimateTrendResult{}, err
+	}
+
+	res := ClimateTrendResult{InjectedTrend: cfg.Trend}
+	counts := make(map[int]int)
+	for _, sp := range study.Spikes {
+		if sp.Duration() < 5*time.Hour || !isPowerAnnotated(sp) {
+			continue
+		}
+		counts[sp.Start.UTC().Year()]++
+	}
+	for y := start.Year(); y < end.Year(); y++ {
+		res.Years = append(res.Years, y)
+		res.PerYear = append(res.PerYear, counts[y])
+	}
+	if len(res.PerYear) >= 2 && res.PerYear[0] > 0 {
+		res.GrowthRatio = float64(res.PerYear[len(res.PerYear)-1]) / float64(res.PerYear[0])
+	}
+	return res, nil
+}
+
+// Table renders the yearly series.
+func (r ClimateTrendResult) Table() *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("§6 future work — climate trend (injected +%.0f%%/yr)", 100*r.InjectedTrend),
+		"Year", "Power-annotated spikes ≥5 h")
+	for i, y := range r.Years {
+		t.Add(fmt.Sprintf("%d", y), fmt.Sprintf("%d", r.PerYear[i]))
+	}
+	return t
+}

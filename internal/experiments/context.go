@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"sift/internal/annotate"
+	"sift/internal/core"
+	"sift/internal/geo"
+	"sift/internal/report"
+)
+
+// isPowerAnnotated reports whether a spike carries a power-related
+// context label.
+func isPowerAnnotated(sp core.Spike) bool {
+	for _, l := range sp.Annotations {
+		if annotate.IsPowerRelated(l) {
+			return true
+		}
+	}
+	return false
+}
+
+// ---- Fig. 6: monthly power-annotated long spikes ----
+
+// Fig6Result counts power-annotated spikes of at least five hours per
+// month and year — the §4.3 analysis whose outliers are the 2020
+// California wildfires and the 2021 Texas winter storms.
+type Fig6Result struct {
+	// PerMonth[year][month-1] is the count for that calendar month.
+	PerMonth map[int][12]int
+	// PowerShare is the fraction of ≥5 h spikes carrying a power
+	// annotation (the paper's 73%).
+	PowerShare float64
+	// LongShare is the fraction of all spikes lasting ≥5 h (the paper's
+	// top 3.5%).
+	LongShare float64
+	// CAOutlier and TXOutlier are the outlier-month counts and their
+	// same-month other-year counterparts, for the highlight check.
+	CAOutlier, CACounter int
+	TXOutlier, TXCounter int
+}
+
+// Fig6 computes the monthly distribution.
+func Fig6(s *Study) Fig6Result {
+	r := Fig6Result{PerMonth: map[int][12]int{2020: {}, 2021: {}}}
+	long, power := 0, 0
+	caMonths := map[string]int{}
+	txMonths := map[string]int{}
+	for _, sp := range s.Spikes {
+		if sp.Duration() < 5*time.Hour {
+			continue
+		}
+		long++
+		if !isPowerAnnotated(sp) {
+			continue
+		}
+		power++
+		year, month := sp.Start.UTC().Year(), sp.Start.UTC().Month()
+		pm := r.PerMonth[year]
+		pm[int(month)-1]++
+		r.PerMonth[year] = pm
+		key := sp.Start.UTC().Format("2006-01")
+		if sp.State == "CA" {
+			caMonths[key]++
+		}
+		if sp.State == "TX" {
+			txMonths[key]++
+		}
+	}
+	if long > 0 {
+		r.PowerShare = float64(power) / float64(long)
+	}
+	if len(s.Spikes) > 0 {
+		r.LongShare = float64(long) / float64(len(s.Spikes))
+	}
+	r.CAOutlier = caMonths["2020-09"] + caMonths["2020-08"]
+	r.CACounter = caMonths["2021-09"] + caMonths["2021-08"]
+	r.TXOutlier = txMonths["2021-02"] + txMonths["2021-01"]
+	r.TXCounter = txMonths["2020-02"] + txMonths["2020-01"]
+	return r
+}
+
+// Table renders the monthly series for both years.
+func (r Fig6Result) Table() *report.Table {
+	t := report.NewTable("Fig. 6 — power-annotated spikes lasting ≥5 h, per month",
+		"Month", "2020", "2021")
+	months := []string{"Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"}
+	for m, name := range months {
+		t.Add(name, fmt.Sprintf("%d", r.PerMonth[2020][m]), fmt.Sprintf("%d", r.PerMonth[2021][m]))
+	}
+	return t
+}
+
+// Chart renders the two yearly series as bars.
+func (r Fig6Result) Chart() string {
+	labels := make([]string, 0, 24)
+	values := make([]float64, 0, 24)
+	months := []string{"Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"}
+	for _, year := range []int{2020, 2021} {
+		for m, name := range months {
+			labels = append(labels, fmt.Sprintf("%d %s", year, name))
+			values = append(values, float64(r.PerMonth[year][m]))
+		}
+	}
+	return report.BarChart(labels, values, 60)
+}
+
+// ---- Table 3: most impactful power outages ----
+
+// Table3Row is one row of the power-outage impact ranking.
+type Table3Row struct {
+	Spike  core.Spike
+	Outage string
+}
+
+// Table3 ranks power-annotated spikes by duration, one row per state
+// ("for various states", as the paper titles it), so a single disaster
+// does not occupy the whole table.
+func Table3(s *Study, n int) []Table3Row {
+	var rows []Table3Row
+	seenState := map[geo.State]bool{}
+	power := core.FilterSpikes(s.Spikes, isPowerAnnotated)
+	for _, sp := range core.TopByDuration(power, len(power)) {
+		if seenState[sp.State] {
+			continue
+		}
+		seenState[sp.State] = true
+		rows = append(rows, Table3Row{Spike: sp, Outage: labelSpike(s.Timeline, sp)})
+		if len(rows) == n {
+			break
+		}
+	}
+	return rows
+}
+
+// Table3Table renders the ranking.
+func Table3Table(rows []Table3Row) *report.Table {
+	t := report.NewTable("Table 3 — most impactful power outages by state",
+		"Spike time", "State", "Duration (h)", "Outage")
+	for _, r := range rows {
+		t.Add(report.FormatSpikeTime(r.Spike.Peak), string(r.Spike.State),
+			fmt.Sprintf("%d", int(r.Spike.Duration().Hours())), r.Outage)
+	}
+	return t
+}

@@ -1,0 +1,350 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"sift/internal/annotate"
+	"sift/internal/core"
+	"sift/internal/geo"
+	"sift/internal/gtrends"
+	"sift/internal/report"
+	"sift/internal/simworld"
+	"sift/internal/stats"
+	"sift/internal/timeseries"
+)
+
+// annotateLabels runs the annotation ranking over one set of rising
+// suggestions and returns the display labels.
+func annotateLabels(rising []gtrends.RisingTerm) []string {
+	return annotate.Labels(annotate.NewAnnotator().Annotate(rising))
+}
+
+// labelSpike attaches the most plausible ground-truth name to a spike,
+// playing the role of the paper's manual news verification: the strongest
+// newsworthy event overlapping the spike's interval in its state, falling
+// back to the strongest background event's name.
+func labelSpike(tl *simworld.Timeline, sp core.Spike) string {
+	events := tl.OverlappingInState(sp.State, sp.Start.Add(-2*time.Hour), sp.End.Add(2*time.Hour))
+	var best *simworld.Event
+	bestScore := 0.0
+	for _, e := range events {
+		im, ok := e.ImpactOn(sp.State)
+		if !ok {
+			continue
+		}
+		score := im.Intensity
+		if e.Newsworthy {
+			score *= 10
+		}
+		if score > bestScore {
+			bestScore, best = score, e
+		}
+	}
+	if best == nil {
+		return "(unattributed)"
+	}
+	return best.Name
+}
+
+// ---- Fig. 1: the Texas timeline, winter 2021 ----
+
+// Fig1Result is the Texas <Internet outage> index for the Fig. 1 window
+// with the spikes detected in it.
+type Fig1Result struct {
+	Series *timeseries.Series
+	Spikes []core.Spike
+	// Names labels each spike via ground truth, index-aligned to Spikes.
+	Names []string
+}
+
+// Fig1TexasTimeline slices the study's Texas series to 19 Jan – 22 Feb
+// 2021, the paper's Fig. 1 cut, and lists the spikes inside it.
+func Fig1TexasTimeline(s *Study) (Fig1Result, error) {
+	from := time.Date(2021, 1, 19, 0, 0, 0, 0, time.UTC)
+	to := time.Date(2021, 2, 22, 0, 0, 0, 0, time.UTC)
+	res, ok := s.Results["TX"]
+	if !ok {
+		return Fig1Result{}, fmt.Errorf("experiments: study lacks TX (states: %v)", s.Cfg.States)
+	}
+	window, err := res.Series.Slice(from, to)
+	if err != nil {
+		return Fig1Result{}, err
+	}
+	out := Fig1Result{Series: window, Spikes: s.SpikesIn("TX", from, to)}
+	for _, sp := range out.Spikes {
+		out.Names = append(out.Names, labelSpike(s.Timeline, sp))
+	}
+	return out, nil
+}
+
+// Table renders the Fig. 1 spikes as rows, restricted to the visible
+// ones (the figure circles newsworthy spikes; micro blips are plotted
+// but not listed).
+func (r Fig1Result) Table() *report.Table {
+	t := report.NewTable("Fig. 1 — <Internet outage> spikes, Texas, 19 Jan – 22 Feb 2021",
+		"Spike time", "Duration", "Magnitude", "Outage")
+	for i, sp := range r.Spikes {
+		if sp.Magnitude < 2 && sp.Duration() < 4*time.Hour {
+			continue
+		}
+		t.Add(report.FormatSpikeTime(sp.Peak), report.FormatHours(sp.Duration()),
+			fmt.Sprintf("%.0f", sp.Magnitude), r.Names[i])
+	}
+	return t
+}
+
+// Plot renders the window as an ASCII timeline.
+func (r Fig1Result) Plot() string { return report.TimelinePlot(r.Series, 100, 12) }
+
+// ---- Fig. 3: spike distribution over states and durations ----
+
+// Fig3Result carries both cumulative frequency plots of Fig. 3.
+type Fig3Result struct {
+	// Total is the number of spikes in the study (the paper's 49 189).
+	Total int
+	// StateCounts maps each state to its spike count.
+	StateCounts map[geo.State]int
+	// TopShare[k] is the fraction of spikes hosted by the k+1 busiest
+	// states (left plot); TopShare[9] is the paper's 51%.
+	TopShare []float64
+	// DurationCDF[h] is the fraction of spikes lasting ≤ h+1 hours
+	// (right plot); 1 − DurationCDF[2] is the paper's "10% last ≥ 3 h".
+	DurationCDF []float64
+	// FracAtLeast3h is that headline number.
+	FracAtLeast3h float64
+}
+
+// Fig3 computes the spike-distribution statistics.
+func Fig3(s *Study) Fig3Result {
+	r := Fig3Result{Total: len(s.Spikes), StateCounts: make(map[geo.State]int)}
+	var durations []float64
+	for _, sp := range s.Spikes {
+		r.StateCounts[sp.State]++
+		durations = append(durations, sp.Duration().Hours())
+	}
+	counts := make([]int, 0, len(r.StateCounts))
+	for _, c := range r.StateCounts {
+		counts = append(counts, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(counts)))
+	acc := 0
+	for _, c := range counts {
+		acc += c
+		r.TopShare = append(r.TopShare, float64(acc)/float64(r.Total))
+	}
+	ecdf := stats.NewECDF(durations)
+	maxDur := 0
+	for _, d := range durations {
+		if int(d) > maxDur {
+			maxDur = int(d)
+		}
+	}
+	for h := 1; h <= maxDur; h++ {
+		r.DurationCDF = append(r.DurationCDF, ecdf.At(float64(h)))
+	}
+	if len(r.DurationCDF) >= 2 {
+		r.FracAtLeast3h = 1 - r.DurationCDF[1] // > 2 h means ≥ 3 h on the hourly grid
+	}
+	return r
+}
+
+// Top10Share returns the left plot's headline number.
+func (r Fig3Result) Top10Share() float64 {
+	if len(r.TopShare) < 10 {
+		if len(r.TopShare) == 0 {
+			return 0
+		}
+		return r.TopShare[len(r.TopShare)-1]
+	}
+	return r.TopShare[9]
+}
+
+// Tables renders both cumulative plots as row series.
+func (r Fig3Result) Tables() []*report.Table {
+	left := report.NewTable("Fig. 3 (left) — cumulative spike share by state rank", "States", "Proportion")
+	for i, p := range r.TopShare {
+		left.Add(fmt.Sprintf("%d", i+1), fmt.Sprintf("%.4f", p))
+	}
+	right := report.NewTable("Fig. 3 (right) — cumulative spike share by duration", "Duration (h)", "Proportion")
+	for h, p := range r.DurationCDF {
+		right.Add(fmt.Sprintf("%d", h+1), fmt.Sprintf("%.4f", p))
+	}
+	return []*report.Table{left, right}
+}
+
+// ---- Table 1: most impactful spikes by duration ----
+
+// Table1Row is one row of the impact ranking.
+type Table1Row struct {
+	Spike  core.Spike
+	Outage string
+}
+
+// Table1 ranks the study's spikes by duration, reporting one row per
+// distinct underlying outage (the longest spike wins; shorter spikes of
+// the same event in other states are folded away, as in the paper, which
+// lists each newsworthy outage once).
+func Table1(s *Study, n int) []Table1Row {
+	var rows []Table1Row
+	seen := map[string]bool{}
+	for _, sp := range core.TopByDuration(s.Spikes, len(s.Spikes)) {
+		name := labelSpike(s.Timeline, sp)
+		key := name + "/" + sp.Peak.Format("2006-01-02")
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		rows = append(rows, Table1Row{Spike: sp, Outage: name})
+		if len(rows) == n {
+			break
+		}
+	}
+	return rows
+}
+
+// Table1Table renders the ranking.
+func Table1Table(rows []Table1Row) *report.Table {
+	t := report.NewTable("Table 1 — most impactful spikes by duration",
+		"Spike time", "State", "Duration (h)", "Outage")
+	for _, r := range rows {
+		t.Add(report.FormatSpikeTime(r.Spike.Peak), string(r.Spike.State),
+			fmt.Sprintf("%d", int(r.Spike.Duration().Hours())), r.Outage)
+	}
+	return t
+}
+
+// ---- Fig. 4: daily distribution ----
+
+// Fig4Result is the share of spikes per weekday.
+type Fig4Result struct {
+	// Share is indexed by time.Weekday (Sunday = 0).
+	Share [7]float64
+	Total int
+}
+
+// Fig4 computes the weekday distribution of all spikes.
+func Fig4(s *Study) Fig4Result {
+	var r Fig4Result
+	counts := [7]int{}
+	for _, sp := range s.Spikes {
+		counts[int(sp.Start.UTC().Weekday())]++
+		r.Total++
+	}
+	for d, c := range counts {
+		if r.Total > 0 {
+			r.Share[d] = float64(c) / float64(r.Total)
+		}
+	}
+	return r
+}
+
+// WeekendDip returns the mean weekend share divided by the mean weekday
+// share; below 1 reproduces the paper's "fewer outages during weekends".
+func (r Fig4Result) WeekendDip() float64 {
+	weekend := (r.Share[time.Saturday] + r.Share[time.Sunday]) / 2
+	weekday := (r.Share[time.Monday] + r.Share[time.Tuesday] + r.Share[time.Wednesday] +
+		r.Share[time.Thursday] + r.Share[time.Friday]) / 5
+	if weekday == 0 {
+		return 0
+	}
+	return weekend / weekday
+}
+
+// Table renders the daily percentages.
+func (r Fig4Result) Table() *report.Table {
+	t := report.NewTable("Fig. 4 — daily distribution of all spikes", "Day", "Share (%)")
+	for d := time.Sunday; d <= time.Saturday; d++ {
+		t.Add(d.String(), fmt.Sprintf("%.1f", 100*r.Share[d]))
+	}
+	return t
+}
+
+// ---- §1 / headline statistics ----
+
+// HeadlineResult gathers the abstract's and introduction's numbers.
+type HeadlineResult struct {
+	Total           int
+	In2020, In2021  int
+	LongGE5h2020    int
+	LongGE5h2021    int
+	MeanRounds      float64
+	ConvergedStates int
+	TotalStates     int
+	FramesRequested uint64
+}
+
+// Headline computes the study's headline statistics.
+func Headline(s *Study) HeadlineResult {
+	r := HeadlineResult{Total: len(s.Spikes), TotalStates: len(s.Results)}
+	for _, sp := range s.Spikes {
+		year := sp.Start.UTC().Year()
+		if year == 2020 {
+			r.In2020++
+		} else if year == 2021 {
+			r.In2021++
+		}
+		if sp.Duration() >= 5*time.Hour {
+			if year == 2020 {
+				r.LongGE5h2020++
+			} else if year == 2021 {
+				r.LongGE5h2021++
+			}
+		}
+	}
+	r.MeanRounds, r.ConvergedStates = s.MeanRounds()
+	r.FramesRequested = s.TotalFrames()
+	return r
+}
+
+// Table renders the headline numbers with the paper's values alongside.
+func (r HeadlineResult) Table() *report.Table {
+	t := report.NewTable("Headline statistics", "Metric", "Paper", "Measured")
+	t.Add("Total spikes", "49 189", fmt.Sprintf("%d", r.Total))
+	t.Add("Spikes in 2020", "25 494", fmt.Sprintf("%d", r.In2020))
+	t.Add("Spikes in 2021", "23 695", fmt.Sprintf("%d", r.In2021))
+	ratio := 0.0
+	if r.LongGE5h2021 > 0 {
+		ratio = float64(r.LongGE5h2020) / float64(r.LongGE5h2021)
+	}
+	t.Add("≥5 h spikes, 2020 vs 2021", "+50%", fmt.Sprintf("%+.0f%% (%d vs %d)", 100*(ratio-1), r.LongGE5h2020, r.LongGE5h2021))
+	t.Add("Averaging rounds to converge", "6", fmt.Sprintf("%.1f (avg, %d/%d states converged)", r.MeanRounds, r.ConvergedStates, r.TotalStates))
+	t.Add("Time frames requested", "160 238", fmt.Sprintf("%d", r.FramesRequested))
+	return t
+}
+
+// ---- §3.4: heavy hitters ----
+
+// HeavyHittersResult is the suggestion-corpus skew.
+type HeavyHittersResult struct {
+	DistinctTerms    int
+	TotalSuggestions int
+	// CoverHalf is the minimum number of terms covering half of all
+	// suggestions (the paper's 33 of 6655).
+	CoverHalf int
+	// Top lists the most frequent suggestions.
+	Top []string
+}
+
+// HeavyHitters computes the corpus statistics.
+func HeavyHitters(s *Study) HeavyHittersResult {
+	return HeavyHittersResult{
+		DistinctTerms:    s.Corpus.Distinct(),
+		TotalSuggestions: s.Corpus.Total(),
+		CoverHalf:        s.Corpus.HeavyHitterCount(0.5),
+		Top:              s.Corpus.TopTerms(12),
+	}
+}
+
+// Table renders the corpus skew.
+func (r HeavyHittersResult) Table() *report.Table {
+	t := report.NewTable("§3.4 — suggestion corpus skew", "Metric", "Paper", "Measured")
+	t.Add("Distinct suggested terms", "6655", fmt.Sprintf("%d", r.DistinctTerms))
+	t.Add("Terms covering half the mass", "33", fmt.Sprintf("%d", r.CoverHalf))
+	t.Add("Total suggestions", "—", fmt.Sprintf("%d", r.TotalSuggestions))
+	for i, term := range r.Top {
+		t.Add(fmt.Sprintf("Top term #%d", i+1), "—", term)
+	}
+	return t
+}

@@ -1,0 +1,522 @@
+package experiments
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"sift/internal/core"
+	"sift/internal/geo"
+)
+
+// The full two-year, 51-state study takes ~30 s; it is computed once and
+// shared by every shape test. `go test -short` skips them all.
+var (
+	studyOnce sync.Once
+	studyVal  *Study
+	studyErr  error
+)
+
+func sharedStudy(t *testing.T) *Study {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("full study skipped in -short mode")
+	}
+	studyOnce.Do(func() {
+		studyVal, studyErr = RunStudy(context.Background(), StudyConfig{Seed: 1})
+	})
+	if studyErr != nil {
+		t.Fatal(studyErr)
+	}
+	return studyVal
+}
+
+func TestHeadlineShape(t *testing.T) {
+	s := sharedStudy(t)
+	r := Headline(s)
+	// Paper: 49 189 spikes over two years.
+	if r.Total < 30_000 || r.Total > 65_000 {
+		t.Errorf("total spikes = %d, want the paper's ~49k order", r.Total)
+	}
+	// Paper: 25 494 in 2020 vs 23 695 in 2021 — slightly more in 2020.
+	if r.In2020 <= r.In2021 {
+		t.Errorf("2020 spikes (%d) should exceed 2021 (%d)", r.In2020, r.In2021)
+	}
+	if r.In2020+r.In2021 != r.Total {
+		t.Errorf("year split %d+%d != total %d", r.In2020, r.In2021, r.Total)
+	}
+	// Paper: long (≥5 h) spikes 50% more frequent in 2020.
+	ratio := float64(r.LongGE5h2020) / float64(r.LongGE5h2021)
+	if ratio < 1.1 {
+		t.Errorf("2020/2021 long-spike ratio = %.2f, want clearly above 1 (paper ~1.5)", ratio)
+	}
+	// Paper: averaging concludes in ~6 rounds.
+	if r.MeanRounds < 3 || r.MeanRounds > 11 {
+		t.Errorf("mean rounds = %.1f, want the paper's ~6 neighbourhood", r.MeanRounds)
+	}
+	if r.ConvergedStates < r.TotalStates-3 {
+		t.Errorf("only %d/%d states converged", r.ConvergedStates, r.TotalStates)
+	}
+	if r.FramesRequested == 0 {
+		t.Error("no frames requested")
+	}
+}
+
+func TestFig1Shape(t *testing.T) {
+	s := sharedStudy(t)
+	r, err := Fig1TexasTimeline(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Series.Len() != 34*24 {
+		t.Errorf("window length = %d h, want 816", r.Series.Len())
+	}
+	// The winter storm must dominate the window: a ≥40 h spike labelled
+	// as the storm, peaking mid-February.
+	foundStorm, foundVerizon := false, false
+	for i, sp := range r.Spikes {
+		if r.Names[i] == "Winter storm" && sp.Duration() >= 40*time.Hour {
+			foundStorm = true
+			if sp.Peak.Month() != time.February {
+				t.Errorf("storm peak in %v, want February", sp.Peak.Month())
+			}
+		}
+		if r.Names[i] == "Verizon" && sp.Peak.Month() == time.January {
+			foundVerizon = true
+		}
+	}
+	if !foundStorm {
+		t.Error("Fig. 1 window lacks the ≥40h winter-storm spike")
+	}
+	if !foundVerizon {
+		t.Error("Fig. 1 window lacks the late-January Verizon spike")
+	}
+	if r.Table() == nil || r.Plot() == "" {
+		t.Error("rendering failed")
+	}
+}
+
+func TestFig2Shape(t *testing.T) {
+	s := sharedStudy(t)
+	r, err := Fig2Workflow(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: start 17 July 2020 15:00, peak 18:00, duration 10 h.
+	target := time.Date(2020, 7, 17, 15, 0, 0, 0, time.UTC)
+	if absDur(r.Spike.Start.Sub(target)) > 6*time.Hour {
+		t.Errorf("spike start = %v, want near %v", r.Spike.Start, target)
+	}
+	if h := r.Spike.Duration().Hours(); h < 7 || h > 14 {
+		t.Errorf("spike duration = %g h, want ≈10 h", h)
+	}
+	// Annotations must include the power label; Spectrum or Metro PCS
+	// should surface too.
+	var hasPower, hasProvider bool
+	for _, a := range r.Annotations {
+		switch a {
+		case "Power outage", "Electric power":
+			hasPower = true
+		case "Spectrum", "Metro PCS":
+			hasProvider = true
+		}
+	}
+	if !hasPower {
+		t.Errorf("annotations %v lack a power label", r.Annotations)
+	}
+	if !hasProvider {
+		t.Errorf("annotations %v lack Spectrum/Metro PCS", r.Annotations)
+	}
+	if r.Table() == nil {
+		t.Error("rendering failed")
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	s := sharedStudy(t)
+	r := Fig3(s)
+	// Paper: top ten states host 51% of spikes.
+	if got := r.Top10Share(); got < 0.38 || got > 0.62 {
+		t.Errorf("top-10 share = %.2f, want ≈0.51", got)
+	}
+	// Paper: 10% of spikes last at least three hours.
+	if r.FracAtLeast3h < 0.05 || r.FracAtLeast3h > 0.25 {
+		t.Errorf("≥3h fraction = %.3f, want ≈0.10", r.FracAtLeast3h)
+	}
+	// Every state hosts at least one spike, and CA is near the top.
+	if len(r.StateCounts) < 51 {
+		t.Errorf("only %d states host spikes", len(r.StateCounts))
+	}
+	caRank := 1
+	for _, c := range r.StateCounts {
+		if c > r.StateCounts["CA"] {
+			caRank++
+		}
+	}
+	if caRank > 5 {
+		t.Errorf("California ranks %d by spike count, want top-5", caRank)
+	}
+	// The cumulative share curve is monotone and ends at 1.
+	for i := 1; i < len(r.TopShare); i++ {
+		if r.TopShare[i] < r.TopShare[i-1] {
+			t.Fatal("TopShare not monotone")
+		}
+	}
+	if last := r.TopShare[len(r.TopShare)-1]; last < 0.9999 {
+		t.Errorf("TopShare tail = %g, want 1", last)
+	}
+	if len(r.Tables()) != 2 {
+		t.Error("rendering failed")
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	s := sharedStudy(t)
+	rows := Table1(s, 12)
+	if len(rows) != 12 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	top := rows[0]
+	// Paper: the Texas winter storm tops the table at 45 h.
+	if top.Spike.State != "TX" || top.Outage != "Winter storm" {
+		t.Errorf("top row = %s/%s, want TX winter storm", top.Spike.State, top.Outage)
+	}
+	// The scripted storm lasts 45 h; surrounding wave outages chain a few
+	// more hours of user interest onto the detected spike.
+	if h := top.Spike.Duration().Hours(); h < 40 || h > 62 {
+		t.Errorf("top duration = %g h, want the ≈45 h storm (chaining slack allowed)", h)
+	}
+	// Rows are sorted by duration, and scripted names appear among them.
+	names := map[string]bool{}
+	for i, r := range rows {
+		names[r.Outage] = true
+		if i > 0 && r.Spike.Duration() > rows[i-1].Spike.Duration() {
+			t.Error("rows not sorted by duration")
+		}
+	}
+	wantSome := []string{"Xfinity", "Fastly", "AT&T", "T-Mobile", "Comcast", "CenturyLink"}
+	found := 0
+	for _, w := range wantSome {
+		if names[w] {
+			found++
+		}
+	}
+	if found < 4 {
+		t.Errorf("Table 1 names %v contain only %d of the paper's outages", names, found)
+	}
+	if Table1Table(rows) == nil {
+		t.Error("rendering failed")
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	s := sharedStudy(t)
+	r := Fig4(s)
+	// Paper: the Internet sees fewer outages during weekends.
+	if dip := r.WeekendDip(); dip >= 0.95 {
+		t.Errorf("weekend/weekday ratio = %.2f, want a visible dip", dip)
+	}
+	sum := 0.0
+	for _, share := range r.Share {
+		sum += share
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("weekday shares sum to %g", sum)
+	}
+	if r.Table() == nil {
+		t.Error("rendering failed")
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	s := sharedStudy(t)
+	r := Fig5(s)
+	// Paper: 11% of outages include 10 or more states.
+	if r.FracAtLeast10 < 0.04 || r.FracAtLeast10 > 0.20 {
+		t.Errorf("≥10-state fraction = %.3f, want ≈0.11", r.FracAtLeast10)
+	}
+	// Paper: the widest footprint is ≈34 states.
+	if r.Max < 28 {
+		t.Errorf("max footprint = %d, want ≥28", r.Max)
+	}
+	// AtLeast is non-increasing in k and starts at 1.
+	if r.AtLeast[0] < 0.9999 {
+		t.Errorf("AtLeast[1 state] = %g, want 1", r.AtLeast[0])
+	}
+	for k := 1; k < len(r.AtLeast); k++ {
+		if r.AtLeast[k] > r.AtLeast[k-1] {
+			t.Fatal("AtLeast not monotone")
+		}
+	}
+	if r.Table() == nil {
+		t.Error("rendering failed")
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	s := sharedStudy(t)
+	rows := Table2(s, 9)
+	if len(rows) != 9 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	// Paper: the widest outages are the national application events —
+	// Akamai (34), Cloudflare (30), Facebook (29), Verizon (27), ...
+	if rows[0].States < 28 {
+		t.Errorf("widest outage spans %d states, want ≥28", rows[0].States)
+	}
+	names := map[string]bool{}
+	for i, r := range rows {
+		names[r.Outage] = true
+		if i > 0 && r.States > rows[i-1].States {
+			t.Error("rows not sorted by extent")
+		}
+	}
+	wantSome := []string{"Akamai", "Cloudflare", "Facebook", "Verizon", "Youtube", "AWS", "Fastly"}
+	found := 0
+	for _, w := range wantSome {
+		if names[w] {
+			found++
+		}
+	}
+	if found < 4 {
+		t.Errorf("Table 2 names %v contain only %d of the paper's outages", names, found)
+	}
+	if Table2Table(rows) == nil {
+		t.Error("rendering failed")
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	s := sharedStudy(t)
+	r := Fig6(s)
+	// Paper: power outages cause 73% of ≥5 h spikes.
+	if r.PowerShare < 0.55 || r.PowerShare > 0.9 {
+		t.Errorf("power share of ≥5h spikes = %.2f, want ≈0.73", r.PowerShare)
+	}
+	// Paper: ≥5 h spikes are the top ~3.5% of all spikes.
+	if r.LongShare < 0.015 || r.LongShare > 0.08 {
+		t.Errorf("≥5h share = %.3f, want ≈0.035", r.LongShare)
+	}
+	// Paper's outliers: CA Aug–Sep 2020 and TX Jan–Feb 2021.
+	if 2*r.CAOutlier < 3*r.CACounter || r.CAOutlier < 10 {
+		t.Errorf("CA wildfire outlier weak: %d vs counterpart %d", r.CAOutlier, r.CACounter)
+	}
+	if 2*r.TXOutlier < 3*r.TXCounter || r.TXOutlier < 10 {
+		t.Errorf("TX winter outlier weak: %d vs counterpart %d", r.TXOutlier, r.TXCounter)
+	}
+	if r.Table() == nil || r.Chart() == "" {
+		t.Error("rendering failed")
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	s := sharedStudy(t)
+	rows := Table3(s, 7)
+	if len(rows) != 7 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	// Paper: the Texas winter storm tops the power table at 45 h, and the
+	// rows cover distinct states.
+	if rows[0].Spike.State != "TX" {
+		t.Errorf("top power outage in %s, want TX", rows[0].Spike.State)
+	}
+	seen := map[string]bool{}
+	for _, r := range rows {
+		if seen[string(r.Spike.State)] {
+			t.Errorf("state %s repeated; Table 3 is one row per state", r.Spike.State)
+		}
+		seen[string(r.Spike.State)] = true
+		if !isPowerAnnotated(r.Spike) {
+			t.Errorf("row %v lacks a power annotation", r.Outage)
+		}
+	}
+	if Table3Table(rows) == nil {
+		t.Error("rendering failed")
+	}
+}
+
+func TestHeavyHittersShape(t *testing.T) {
+	s := sharedStudy(t)
+	r := HeavyHitters(s)
+	// Paper: 33 of 6655 suggested terms comprise half the suggestions.
+	if r.DistinctTerms < 1500 {
+		t.Errorf("distinct terms = %d, want a long tail (paper 6655)", r.DistinctTerms)
+	}
+	if r.CoverHalf > 150 || r.CoverHalf < 5 {
+		t.Errorf("cover-half = %d, want a small heavy-hitter set (paper 33)", r.CoverHalf)
+	}
+	if float64(r.CoverHalf)/float64(r.DistinctTerms) > 0.05 {
+		t.Errorf("heavy hitters are %.1f%% of terms, want <5%%",
+			100*float64(r.CoverHalf)/float64(r.DistinctTerms))
+	}
+	// "power outage" is among the most suggested terms (the paper's
+	// ninth most popular suggestion overall).
+	foundPower := false
+	for _, term := range r.Top {
+		if term == "power outage" {
+			foundPower = true
+		}
+	}
+	if !foundPower {
+		t.Errorf("top terms %v lack 'power outage'", r.Top)
+	}
+	if r.Table() == nil {
+		t.Error("rendering failed")
+	}
+}
+
+func TestAntCompareShape(t *testing.T) {
+	s := sharedStudy(t)
+	r := AntCompare(s)
+	if len(r.Rows) == 0 {
+		t.Fatal("no cross-validation rows")
+	}
+	verdicts := map[string]AntCompareRow{}
+	for _, row := range r.Rows {
+		verdicts[row.Event.ID] = row
+	}
+	// Paper §4.1–4.2: mobile, CDN/DNS and application outages are seen by
+	// SIFT but escape active probing.
+	for _, id := range []string{"tmobile-2020-06", "akamai-2021-07", "youtube-2020-11", "facebook-2021-10", "fastly-2021-06"} {
+		row, ok := verdicts[id]
+		if !ok {
+			t.Errorf("event %s missing from cross-validation", id)
+			continue
+		}
+		if !row.BySift {
+			t.Errorf("%s should be detected by SIFT", id)
+		}
+		if row.ByAnt {
+			t.Errorf("%s should be invisible to active probing", id)
+		}
+	}
+	// Probe-visible disasters are seen by both systems.
+	for _, id := range []string{"tx-winter-storm-2021-02", "verizon-2021-01", "ca-heatwave-2020-09"} {
+		row, ok := verdicts[id]
+		if !ok {
+			t.Errorf("event %s missing from cross-validation", id)
+			continue
+		}
+		if !row.BySift || !row.ByAnt {
+			t.Errorf("%s should be detected by both (sift=%v ant=%v)", id, row.BySift, row.ByAnt)
+		}
+	}
+	if r.SiftOnly < 5 {
+		t.Errorf("SiftOnly = %d, want ≥5 invisible-to-probing detections", r.SiftOnly)
+	}
+	if r.Table() == nil {
+		t.Error("rendering failed")
+	}
+}
+
+func TestFacebookLagShape(t *testing.T) {
+	s := sharedStudy(t)
+	r := FacebookLag(s)
+	// Paper: substantial spikes in all states, with lags for 22 of them.
+	if r.StatesSpiking < 45 {
+		t.Errorf("only %d states spiked during the Facebook outage", r.StatesSpiking)
+	}
+	if r.Immediate < 20 {
+		t.Errorf("immediate cohort = %d, want ≈29", r.Immediate)
+	}
+	if r.Lagged < 8 {
+		t.Errorf("lagged cohort = %d, want ≈22", r.Lagged)
+	}
+	if r.Immediate+r.Lagged != r.StatesSpiking {
+		t.Error("cohorts do not partition the spiking states")
+	}
+	if r.Table() == nil {
+		t.Error("rendering failed")
+	}
+}
+
+func TestStudyDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("study determinism skipped in -short mode")
+	}
+	// A small-window study run twice must agree exactly: same spikes,
+	// same boundaries, same frame counts.
+	cfg := StudyConfig{
+		Seed:   3,
+		Start:  time.Date(2021, 2, 1, 0, 0, 0, 0, time.UTC),
+		End:    time.Date(2021, 3, 15, 0, 0, 0, 0, time.UTC),
+		States: []geo.State{"TX", "OK", "LA"},
+		// One pipeline worker keeps the engine's request sequence (and
+		// therefore every sample) identical between runs.
+		Pipeline:       core.PipelineConfig{Workers: 1},
+		StateWorkers:   1,
+		SkipAnnotation: true,
+		SkipAnt:        true,
+	}
+	a, err := RunStudy(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunStudy(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Spikes) != len(b.Spikes) {
+		t.Fatalf("runs disagree: %d vs %d spikes", len(a.Spikes), len(b.Spikes))
+	}
+	for i := range a.Spikes {
+		sa, sb := a.Spikes[i], b.Spikes[i]
+		if !sa.Start.Equal(sb.Start) || !sa.End.Equal(sb.End) || sa.State != sb.State {
+			t.Fatalf("spike %d differs: %v vs %v", i, sa, sb)
+		}
+	}
+	if a.TotalFrames() != b.TotalFrames() {
+		t.Errorf("frame counts differ: %d vs %d", a.TotalFrames(), b.TotalFrames())
+	}
+}
+
+func TestStudySubsetAndHelpers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("study subset skipped in -short mode")
+	}
+	cfg := StudyConfig{
+		Seed:   5,
+		Start:  time.Date(2021, 2, 1, 0, 0, 0, 0, time.UTC),
+		End:    time.Date(2021, 3, 15, 0, 0, 0, 0, time.UTC),
+		States: []geo.State{"TX", "OK"},
+	}
+	s, err := RunStudy(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Results) != 2 {
+		t.Fatalf("got %d state results", len(s.Results))
+	}
+	for _, sp := range s.Spikes {
+		if sp.State != "TX" && sp.State != "OK" {
+			t.Fatalf("unexpected state %s in subset study", sp.State)
+		}
+	}
+	// SpikesIn filters by state and window.
+	feb := s.SpikesIn("TX", cfg.Start, cfg.Start.AddDate(0, 1, 0))
+	for _, sp := range feb {
+		if sp.State != "TX" || sp.Start.Before(cfg.Start) {
+			t.Fatal("SpikesIn filter broken")
+		}
+	}
+	// The winter storm dominates this window.
+	if len(feb) == 0 {
+		t.Fatal("no TX spikes in the storm window")
+	}
+	var maxDur time.Duration
+	for _, sp := range feb {
+		if sp.Duration() > maxDur {
+			maxDur = sp.Duration()
+		}
+	}
+	if maxDur < 40*time.Hour {
+		t.Errorf("longest TX spike = %v, want the ≈45h storm", maxDur)
+	}
+	if s.Ant == nil {
+		t.Error("subset study should still build the ANT dataset")
+	}
+	if s.Corpus.Total() == 0 {
+		t.Error("subset study should annotate long spikes")
+	}
+}

@@ -1,0 +1,244 @@
+package experiments
+
+// Fast, fully deterministic unit tests for the experiment runners' math,
+// on a hand-built synthetic Study — no crawling involved. The full-study
+// shape tests in experiments_test.go cover the end-to-end behaviour.
+
+import (
+	"testing"
+	"time"
+
+	"sift/internal/annotate"
+	"sift/internal/core"
+	"sift/internal/geo"
+	"sift/internal/gtrends"
+	"sift/internal/simworld"
+)
+
+var u0 = time.Date(2020, 6, 1, 0, 0, 0, 0, time.UTC) // a Monday
+
+func unitSpike(st geo.State, start time.Time, hours int, annotations ...string) core.Spike {
+	return core.Spike{
+		State: st, Term: gtrends.TopicInternetOutage,
+		Start: start, Peak: start.Add(time.Hour),
+		End:         start.Add(time.Duration(hours-1) * time.Hour),
+		Magnitude:   50,
+		Annotations: annotations,
+	}
+}
+
+// unitStudy builds a study with a known spike population.
+func unitStudy(spikes []core.Spike, events ...*simworld.Event) *Study {
+	cfg := StudyConfig{}
+	cfg.fillDefaults()
+	return &Study{
+		Cfg:      cfg,
+		Timeline: simworld.NewTimeline(events),
+		Spikes:   spikes,
+		Corpus:   annotate.NewCorpus(),
+		Results:  map[geo.State]*core.Result{},
+	}
+}
+
+func TestFig3Math(t *testing.T) {
+	var spikes []core.Spike
+	// CA gets 6 spikes, TX 3, WY 1: top-1 share 0.6, total 10.
+	for i := 0; i < 6; i++ {
+		spikes = append(spikes, unitSpike("CA", u0.Add(time.Duration(i*48)*time.Hour), 2))
+	}
+	for i := 0; i < 3; i++ {
+		spikes = append(spikes, unitSpike("TX", u0.Add(time.Duration(i*48)*time.Hour), 4))
+	}
+	spikes = append(spikes, unitSpike("WY", u0, 1))
+	r := Fig3(unitStudy(spikes))
+	if r.Total != 10 {
+		t.Fatalf("Total = %d", r.Total)
+	}
+	if r.TopShare[0] != 0.6 {
+		t.Errorf("TopShare[0] = %g, want 0.6", r.TopShare[0])
+	}
+	if r.TopShare[2] != 1.0 {
+		t.Errorf("TopShare[2] = %g, want 1", r.TopShare[2])
+	}
+	// Durations: 6×2h, 3×4h, 1×1h → ≥3h fraction = 0.3.
+	if diff := r.FracAtLeast3h - 0.3; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("FracAtLeast3h = %g, want 0.3", r.FracAtLeast3h)
+	}
+	// Duration CDF at 1h: 1 spike of 10 → 0.1; at 2h: 7 of 10.
+	if r.DurationCDF[0] != 0.1 || r.DurationCDF[1] != 0.7 {
+		t.Errorf("DurationCDF = %v", r.DurationCDF[:2])
+	}
+}
+
+func TestFig4Math(t *testing.T) {
+	// u0 is a Monday; add one spike Monday, one Saturday.
+	spikes := []core.Spike{
+		unitSpike("CA", u0, 2),                     // Monday
+		unitSpike("TX", u0.Add(5*24*time.Hour), 2), // Saturday
+	}
+	r := Fig4(unitStudy(spikes))
+	if r.Share[time.Monday] != 0.5 || r.Share[time.Saturday] != 0.5 {
+		t.Errorf("shares = %v", r.Share)
+	}
+	if r.Share[time.Sunday] != 0 {
+		t.Error("Sunday should be empty")
+	}
+	// Weekend dip: weekend mean 0.25, weekday mean 0.1 → ratio 2.5.
+	if dip := r.WeekendDip(); dip != 2.5 {
+		t.Errorf("WeekendDip = %g, want 2.5", dip)
+	}
+}
+
+func TestFig5Math(t *testing.T) {
+	// Three states spike the same hour; one state spikes alone later.
+	spikes := []core.Spike{
+		unitSpike("CA", u0, 3),
+		unitSpike("TX", u0, 3),
+		unitSpike("NY", u0, 3),
+		unitSpike("WY", u0.Add(100*time.Hour), 3),
+	}
+	r := Fig5(unitStudy(spikes))
+	if r.Max != 3 {
+		t.Fatalf("Max = %d, want 3", r.Max)
+	}
+	// 3 of 4 spikes see 3 concurrent states; 1 sees 1.
+	if r.AtLeast[2] != 0.75 {
+		t.Errorf("AtLeast[3 states] = %g, want 0.75", r.AtLeast[2])
+	}
+	if r.AtLeast[0] != 1 {
+		t.Errorf("AtLeast[1 state] = %g, want 1", r.AtLeast[0])
+	}
+	if r.FracAtLeast10 != 0 {
+		t.Errorf("FracAtLeast10 = %g, want 0", r.FracAtLeast10)
+	}
+}
+
+func TestFig6Math(t *testing.T) {
+	spikes := []core.Spike{
+		unitSpike("CA", time.Date(2020, 9, 2, 0, 0, 0, 0, time.UTC), 6, "Power outage"),
+		unitSpike("CA", time.Date(2020, 9, 9, 0, 0, 0, 0, time.UTC), 8, "Power outage"),
+		unitSpike("TX", time.Date(2021, 2, 16, 0, 0, 0, 0, time.UTC), 45, "Power outage", "Winter storm"),
+		unitSpike("NY", time.Date(2021, 3, 1, 0, 0, 0, 0, time.UTC), 6, "Verizon"),      // long but not power
+		unitSpike("GA", time.Date(2021, 4, 1, 0, 0, 0, 0, time.UTC), 2, "Power outage"), // power but short
+	}
+	r := Fig6(unitStudy(spikes))
+	if got := r.PerMonth[2020][8]; got != 2 { // September
+		t.Errorf("Sep 2020 = %d, want 2", got)
+	}
+	if got := r.PerMonth[2021][1]; got != 1 { // February
+		t.Errorf("Feb 2021 = %d, want 1", got)
+	}
+	// 4 spikes ≥5h, 3 of them power-annotated.
+	if r.PowerShare != 0.75 {
+		t.Errorf("PowerShare = %g, want 0.75", r.PowerShare)
+	}
+	if r.LongShare != 0.8 {
+		t.Errorf("LongShare = %g, want 0.8", r.LongShare)
+	}
+	if r.CAOutlier != 2 || r.TXOutlier != 1 {
+		t.Errorf("outliers CA=%d TX=%d", r.CAOutlier, r.TXOutlier)
+	}
+}
+
+func TestHeadlineMath(t *testing.T) {
+	spikes := []core.Spike{
+		unitSpike("CA", time.Date(2020, 3, 1, 0, 0, 0, 0, time.UTC), 6),
+		unitSpike("CA", time.Date(2020, 4, 1, 0, 0, 0, 0, time.UTC), 2),
+		unitSpike("TX", time.Date(2021, 3, 1, 0, 0, 0, 0, time.UTC), 7),
+	}
+	r := Headline(unitStudy(spikes))
+	if r.Total != 3 || r.In2020 != 2 || r.In2021 != 1 {
+		t.Errorf("counts = %+v", r)
+	}
+	if r.LongGE5h2020 != 1 || r.LongGE5h2021 != 1 {
+		t.Errorf("long counts = %d/%d", r.LongGE5h2020, r.LongGE5h2021)
+	}
+	if r.Table() == nil {
+		t.Error("rendering failed")
+	}
+}
+
+func TestLabelSpikeAndOutage(t *testing.T) {
+	storm := &simworld.Event{
+		ID: "storm", Name: "Winter storm", Kind: simworld.KindPower,
+		Cause: simworld.CauseWinterStorm, Start: u0, Duration: 45 * time.Hour,
+		Impacts:    []simworld.Impact{{State: "TX", Intensity: 2000}},
+		Newsworthy: true,
+	}
+	micro := &simworld.Event{
+		ID: "m1", Name: "local disturbance", Kind: simworld.KindMicro,
+		Start: u0, Duration: 2 * time.Hour,
+		Impacts: []simworld.Impact{{State: "TX", Intensity: 10}},
+	}
+	national := &simworld.Event{
+		ID: "akamai", Name: "Akamai", Kind: simworld.KindDNS,
+		Start: u0, Duration: 3 * time.Hour,
+		Impacts: func() []simworld.Impact {
+			var out []simworld.Impact
+			for _, st := range geo.Codes()[:34] {
+				out = append(out, simworld.Impact{State: st, Intensity: 300})
+			}
+			return out
+		}(),
+		Newsworthy: true,
+	}
+	tl := simworld.NewTimeline([]*simworld.Event{storm, micro, national})
+
+	txSpike := unitSpike("TX", u0, 45)
+	// Newsworthy storm beats the micro event for the per-state label.
+	if got := labelSpike(tl, txSpike); got != "Winter storm" {
+		t.Errorf("labelSpike = %q, want Winter storm", got)
+	}
+	// The outage label prefers the widest event at the peak hour.
+	if got := labelOutage(tl, txSpike); got != "Akamai" {
+		t.Errorf("labelOutage = %q, want the 34-state Akamai", got)
+	}
+	// A spike with no events nearby is unattributed.
+	lonely := unitSpike("VT", u0.Add(500*time.Hour), 2)
+	if got := labelSpike(tl, lonely); got != "(unattributed)" {
+		t.Errorf("labelSpike(lonely) = %q", got)
+	}
+}
+
+func TestTableRankingsMath(t *testing.T) {
+	storm := &simworld.Event{
+		ID: "storm", Name: "Winter storm", Kind: simworld.KindPower,
+		Cause: simworld.CauseWinterStorm, Start: u0, Duration: 45 * time.Hour,
+		Impacts:    []simworld.Impact{{State: "TX", Intensity: 2000}},
+		Newsworthy: true,
+	}
+	spikes := []core.Spike{
+		unitSpike("TX", u0, 45, "Power outage"),
+		unitSpike("CA", u0.Add(200*time.Hour), 10, "Xfinity"),
+		unitSpike("CA", u0.Add(400*time.Hour), 8, "Power outage"),
+		unitSpike("GA", u0.Add(600*time.Hour), 3, "Comcast"),
+	}
+	s := unitStudy(spikes, storm)
+
+	rows := Table1(s, 3)
+	if len(rows) != 3 || rows[0].Spike.State != "TX" || rows[0].Outage != "Winter storm" {
+		t.Errorf("Table1 = %+v", rows)
+	}
+
+	rows3 := Table3(s, 5)
+	// Power-annotated only, one row per state: TX 45h then CA 8h.
+	if len(rows3) != 2 {
+		t.Fatalf("Table3 rows = %d, want 2", len(rows3))
+	}
+	if rows3[0].Spike.State != "TX" || rows3[1].Spike.State != "CA" {
+		t.Errorf("Table3 order = %s, %s", rows3[0].Spike.State, rows3[1].Spike.State)
+	}
+	if rows3[1].Spike.Duration() != 8*time.Hour {
+		t.Errorf("CA power row duration = %v, want the 8h power spike", rows3[1].Spike.Duration())
+	}
+}
+
+func TestAnnotateLabelsHelper(t *testing.T) {
+	labels := annotateLabels([]gtrends.RisingTerm{
+		{Term: "xfinity outage", Weight: 200},
+		{Term: "is xfinity down", Weight: 100},
+	})
+	if len(labels) != 1 || labels[0] != "Xfinity" {
+		t.Errorf("annotateLabels = %v", labels)
+	}
+}

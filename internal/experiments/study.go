@@ -1,0 +1,237 @@
+// Package experiments reproduces the paper's evaluation: one runner per
+// table and figure (§4), all driven from a single Study — the two-year,
+// 51-state crawl-process-detect-annotate run plus the ANT active-probing
+// baseline over the same ground truth.
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"sift/internal/annotate"
+	"sift/internal/ant"
+	"sift/internal/core"
+	"sift/internal/geo"
+	"sift/internal/gtrends"
+	"sift/internal/scenario"
+	"sift/internal/searchmodel"
+	"sift/internal/simworld"
+)
+
+// StudyConfig parameterizes a full study run. Zero fields take defaults.
+type StudyConfig struct {
+	// Seed drives the scenario, the search model, and the probing
+	// simulation. Default 1.
+	Seed int64
+	// Start and End bound the study; default 1 Jan 2020 – 1 Jan 2022.
+	Start, End time.Time
+	// States restricts the study; default all 51.
+	States []geo.State
+	// StateWorkers bounds concurrently processed states. Default 8.
+	StateWorkers int
+	// AnnotateMinDuration restricts the annotation stage to spikes at
+	// least this long; the context analyses key on the long tail, and
+	// skipping one-hour blips keeps the daily re-crawl tractable.
+	// Default 2h.
+	AnnotateMinDuration time.Duration
+	// Scenario overrides the generated world; zero value uses
+	// scenario.DefaultConfig(Seed) over [Start, End).
+	Scenario *scenario.Config
+	// Pipeline overrides processing defaults.
+	Pipeline core.PipelineConfig
+	// Trends overrides the simulated service's semantics.
+	Trends gtrends.Config
+	// SkipAnnotation and SkipAnt drop the respective stages for callers
+	// that only need detection (faster iteration in benches).
+	SkipAnnotation bool
+	SkipAnt        bool
+}
+
+func (c *StudyConfig) fillDefaults() {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Start.IsZero() {
+		c.Start = time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+	}
+	if c.End.IsZero() {
+		c.End = time.Date(2022, 1, 1, 0, 0, 0, 0, time.UTC)
+	}
+	if len(c.States) == 0 {
+		c.States = geo.Codes()
+	}
+	if c.StateWorkers == 0 {
+		c.StateWorkers = 8
+	}
+	if c.AnnotateMinDuration == 0 {
+		c.AnnotateMinDuration = 2 * time.Hour
+	}
+}
+
+// Study is the complete evaluation state: ground truth, service, per-state
+// pipeline results, the merged outage clusters, the annotation corpus,
+// and the probing baseline.
+type Study struct {
+	Cfg      StudyConfig
+	Timeline *simworld.Timeline
+	Model    *searchmodel.Model
+	Engine   *gtrends.Engine
+	Fetcher  gtrends.Fetcher
+	// Results holds each state's pipeline outcome.
+	Results map[geo.State]*core.Result
+	// Spikes is the union of all states' spikes, annotated where they
+	// pass the annotation filter, ordered by start time.
+	Spikes []core.Spike
+	// Outages are the cross-state concurrency clusters of Spikes.
+	Outages []core.Outage
+	// Corpus accumulates every rising suggestion observed.
+	Corpus *annotate.Corpus
+	// Ant is the active-probing baseline dataset.
+	Ant *ant.Dataset
+	// Elapsed is the wall-clock duration of the run.
+	Elapsed time.Duration
+}
+
+// RunStudy executes the full evaluation pipeline.
+func RunStudy(ctx context.Context, cfg StudyConfig) (*Study, error) {
+	cfg.fillDefaults()
+	began := time.Now()
+
+	scfg := scenario.DefaultConfig(cfg.Seed)
+	if cfg.Scenario != nil {
+		scfg = *cfg.Scenario
+	}
+	if scfg.Start.IsZero() {
+		scfg.Start, scfg.End = cfg.Start, cfg.End
+	}
+	tl, err := scenario.Build(scfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: building scenario: %w", err)
+	}
+
+	model := searchmodel.New(cfg.Seed, tl, searchmodel.Params{})
+	engine := gtrends.NewEngine(model, cfg.Trends)
+	fetcher := gtrends.EngineFetcher{Engine: engine}
+	study := &Study{
+		Cfg: cfg, Timeline: tl, Model: model, Engine: engine, Fetcher: fetcher,
+		Results: make(map[geo.State]*core.Result),
+		Corpus:  annotate.NewCorpus(),
+	}
+
+	if err := study.runStates(ctx); err != nil {
+		return nil, err
+	}
+
+	for _, st := range cfg.States {
+		study.Spikes = append(study.Spikes, study.Results[st].Spikes...)
+	}
+	sort.SliceStable(study.Spikes, func(i, j int) bool {
+		if !study.Spikes[i].Start.Equal(study.Spikes[j].Start) {
+			return study.Spikes[i].Start.Before(study.Spikes[j].Start)
+		}
+		return study.Spikes[i].State < study.Spikes[j].State
+	})
+	study.Outages = core.MergeOutages(study.Spikes, 0)
+
+	if !cfg.SkipAnnotation {
+		annotator := annotate.NewAnnotator()
+		err := annotator.AnnotateSpikes(ctx, fetcher, study.Spikes, study.Corpus, annotate.DriverConfig{
+			Workers: cfg.StateWorkers,
+			Filter: func(s core.Spike) bool {
+				return s.Duration() >= cfg.AnnotateMinDuration
+			},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: annotating spikes: %w", err)
+		}
+		// Re-cluster outages so members carry their annotations.
+		study.Outages = core.MergeOutages(study.Spikes, 0)
+	}
+
+	if !cfg.SkipAnt {
+		study.Ant = ant.Simulate(ant.Config{Seed: cfg.Seed}, tl, cfg.Start, cfg.End)
+	}
+	study.Elapsed = time.Since(began)
+	return study, nil
+}
+
+// runStates executes the pipeline for every state over a worker pool.
+func (s *Study) runStates(ctx context.Context) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	jobs := make(chan geo.State)
+	errc := make(chan error, s.Cfg.StateWorkers)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for w := 0; w < s.Cfg.StateWorkers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for st := range jobs {
+				p := &core.Pipeline{Fetcher: s.Fetcher, Cfg: s.Cfg.Pipeline}
+				res, err := p.Run(ctx, st, gtrends.TopicInternetOutage, s.Cfg.Start, s.Cfg.End)
+				if err != nil {
+					errc <- fmt.Errorf("experiments: state %s: %w", st, err)
+					cancel()
+					return
+				}
+				mu.Lock()
+				s.Results[st] = res
+				mu.Unlock()
+			}
+		}()
+	}
+feed:
+	for _, st := range s.Cfg.States {
+		select {
+		case jobs <- st:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	select {
+	case err := <-errc:
+		return err
+	default:
+	}
+	return ctx.Err()
+}
+
+// SpikesIn returns the study's spikes within [from, to) for one state.
+func (s *Study) SpikesIn(state geo.State, from, to time.Time) []core.Spike {
+	return core.FilterSpikes(s.Spikes, func(sp core.Spike) bool {
+		return sp.State == state && !sp.Start.Before(from) && sp.Start.Before(to)
+	})
+}
+
+// MeanRounds returns the average number of averaging rounds across
+// states, and how many states converged — the §3.2 statistic ("six
+// rounds of re-fetches").
+func (s *Study) MeanRounds() (mean float64, converged int) {
+	total := 0
+	for _, res := range s.Results {
+		total += res.Rounds
+		if res.Converged {
+			converged++
+		}
+	}
+	if len(s.Results) == 0 {
+		return 0, 0
+	}
+	return float64(total) / float64(len(s.Results)), converged
+}
+
+// TotalFrames returns the number of frames requested across the study —
+// the paper's "160 238 time frames" counterpart (scaled by rounds and
+// annotation filtering).
+func (s *Study) TotalFrames() uint64 {
+	if s.Engine == nil {
+		return 0
+	}
+	return s.Engine.Requests()
+}

@@ -1,0 +1,214 @@
+// Package geo models the geography SIFT studies: the fifty US states plus
+// the District of Columbia, with the static attributes the rest of the
+// system needs — population weights for search-volume scaling, UTC offsets
+// for the timezone-lag analysis, and census regions for reporting.
+//
+// Everything in this package is static data; there is no I/O. The paper's
+// pipeline uses Maxmind only to geolocate probing blocks to states; the
+// equivalent join lives in internal/ant and terminates in the State codes
+// defined here.
+package geo
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// State identifies one of the 51 study areas by its USPS code ("CA", "TX",
+// "DC", ...). The zero value is invalid.
+type State string
+
+// Region is a US census region, used only for aggregate reporting.
+type Region uint8
+
+// Census regions.
+const (
+	Northeast Region = iota + 1
+	Midwest
+	South
+	West
+)
+
+// String returns the region's conventional name.
+func (r Region) String() string {
+	switch r {
+	case Northeast:
+		return "Northeast"
+	case Midwest:
+		return "Midwest"
+	case South:
+		return "South"
+	case West:
+		return "West"
+	default:
+		return fmt.Sprintf("Region(%d)", uint8(r))
+	}
+}
+
+// Info carries the static attributes of one state.
+type Info struct {
+	Code State
+	Name string
+	// Population is the approximate 2020 census population. The search
+	// model uses it as the base search-volume weight for the state.
+	Population int
+	// UTCOffset is the standard-time offset of the state's dominant
+	// timezone, e.g. -5h for New York. States spanning two zones use the
+	// zone covering most of the population.
+	UTCOffset time.Duration
+	Region    Region
+}
+
+// Location returns a fixed-zone *time.Location for the state's dominant
+// standard-time offset. SIFT's timezone-lag analysis (the Facebook outage
+// in §4.2) converts event times into these zones.
+func (i Info) Location() *time.Location {
+	return time.FixedZone(string(i.Code), int(i.UTCOffset/time.Second))
+}
+
+// table is ordered alphabetically by code. Populations are 2020 census
+// counts rounded to thousands; offsets are standard time.
+var table = []Info{
+	{"AK", "Alaska", 733_000, -9 * time.Hour, West},
+	{"AL", "Alabama", 5_024_000, -6 * time.Hour, South},
+	{"AR", "Arkansas", 3_011_000, -6 * time.Hour, South},
+	{"AZ", "Arizona", 7_152_000, -7 * time.Hour, West},
+	{"CA", "California", 39_538_000, -8 * time.Hour, West},
+	{"CO", "Colorado", 5_774_000, -7 * time.Hour, West},
+	{"CT", "Connecticut", 3_606_000, -5 * time.Hour, Northeast},
+	{"DC", "District of Columbia", 690_000, -5 * time.Hour, South},
+	{"DE", "Delaware", 990_000, -5 * time.Hour, South},
+	{"FL", "Florida", 21_538_000, -5 * time.Hour, South},
+	{"GA", "Georgia", 10_712_000, -5 * time.Hour, South},
+	{"HI", "Hawaii", 1_455_000, -10 * time.Hour, West},
+	{"IA", "Iowa", 3_190_000, -6 * time.Hour, Midwest},
+	{"ID", "Idaho", 1_839_000, -7 * time.Hour, West},
+	{"IL", "Illinois", 12_813_000, -6 * time.Hour, Midwest},
+	{"IN", "Indiana", 6_786_000, -5 * time.Hour, Midwest},
+	{"KS", "Kansas", 2_938_000, -6 * time.Hour, Midwest},
+	{"KY", "Kentucky", 4_506_000, -5 * time.Hour, South},
+	{"LA", "Louisiana", 4_658_000, -6 * time.Hour, South},
+	{"MA", "Massachusetts", 7_030_000, -5 * time.Hour, Northeast},
+	{"MD", "Maryland", 6_177_000, -5 * time.Hour, South},
+	{"ME", "Maine", 1_362_000, -5 * time.Hour, Northeast},
+	{"MI", "Michigan", 10_077_000, -5 * time.Hour, Midwest},
+	{"MN", "Minnesota", 5_706_000, -6 * time.Hour, Midwest},
+	{"MO", "Missouri", 6_155_000, -6 * time.Hour, Midwest},
+	{"MS", "Mississippi", 2_961_000, -6 * time.Hour, South},
+	{"MT", "Montana", 1_084_000, -7 * time.Hour, West},
+	{"NC", "North Carolina", 10_439_000, -5 * time.Hour, South},
+	{"ND", "North Dakota", 779_000, -6 * time.Hour, Midwest},
+	{"NE", "Nebraska", 1_962_000, -6 * time.Hour, Midwest},
+	{"NH", "New Hampshire", 1_378_000, -5 * time.Hour, Northeast},
+	{"NJ", "New Jersey", 9_289_000, -5 * time.Hour, Northeast},
+	{"NM", "New Mexico", 2_118_000, -7 * time.Hour, West},
+	{"NV", "Nevada", 3_105_000, -8 * time.Hour, West},
+	{"NY", "New York", 20_201_000, -5 * time.Hour, Northeast},
+	{"OH", "Ohio", 11_799_000, -5 * time.Hour, Midwest},
+	{"OK", "Oklahoma", 3_959_000, -6 * time.Hour, South},
+	{"OR", "Oregon", 4_237_000, -8 * time.Hour, West},
+	{"PA", "Pennsylvania", 13_003_000, -5 * time.Hour, Northeast},
+	{"RI", "Rhode Island", 1_097_000, -5 * time.Hour, Northeast},
+	{"SC", "South Carolina", 5_118_000, -5 * time.Hour, South},
+	{"SD", "South Dakota", 887_000, -6 * time.Hour, Midwest},
+	{"TN", "Tennessee", 6_910_000, -6 * time.Hour, South},
+	{"TX", "Texas", 29_146_000, -6 * time.Hour, South},
+	{"UT", "Utah", 3_272_000, -7 * time.Hour, West},
+	{"VA", "Virginia", 8_631_000, -5 * time.Hour, South},
+	{"VT", "Vermont", 643_000, -5 * time.Hour, Northeast},
+	{"WA", "Washington", 7_705_000, -8 * time.Hour, West},
+	{"WI", "Wisconsin", 5_894_000, -6 * time.Hour, Midwest},
+	{"WV", "West Virginia", 1_794_000, -5 * time.Hour, South},
+	{"WY", "Wyoming", 577_000, -7 * time.Hour, West},
+}
+
+var byCode = func() map[State]Info {
+	m := make(map[State]Info, len(table))
+	for _, in := range table {
+		m[in.Code] = in
+	}
+	return m
+}()
+
+// All returns the 51 study areas ordered alphabetically by code. The
+// returned slice is a copy and safe to mutate.
+func All() []Info {
+	out := make([]Info, len(table))
+	copy(out, table)
+	return out
+}
+
+// Codes returns the codes of all study areas, alphabetically.
+func Codes() []State {
+	out := make([]State, len(table))
+	for i, in := range table {
+		out[i] = in.Code
+	}
+	return out
+}
+
+// Count is the number of study areas (50 states + DC).
+const Count = 51
+
+// Lookup returns the Info for code. ok is false for unknown codes.
+func Lookup(code State) (info Info, ok bool) {
+	info, ok = byCode[code]
+	return info, ok
+}
+
+// MustLookup is Lookup for codes known to be valid; it panics otherwise.
+// Use it for literals, not for parsed input.
+func MustLookup(code State) Info {
+	info, ok := byCode[code]
+	if !ok {
+		panic(fmt.Sprintf("geo: unknown state code %q", code))
+	}
+	return info
+}
+
+// Valid reports whether code names one of the 51 study areas.
+func Valid(code State) bool {
+	_, ok := byCode[code]
+	return ok
+}
+
+// TotalPopulation is the sum of all state populations.
+func TotalPopulation() int {
+	total := 0
+	for _, in := range table {
+		total += in.Population
+	}
+	return total
+}
+
+// ByPopulation returns the study areas ordered by descending population.
+func ByPopulation() []Info {
+	out := All()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Population != out[j].Population {
+			return out[i].Population > out[j].Population
+		}
+		return out[i].Code < out[j].Code
+	})
+	return out
+}
+
+// InRegion returns the study areas belonging to r, alphabetically by code.
+func InRegion(r Region) []Info {
+	var out []Info
+	for _, in := range table {
+		if in.Region == r {
+			out = append(out, in)
+		}
+	}
+	return out
+}
+
+// LocalHour converts an instant (assumed UTC) into the state's local hour
+// of day in [0, 24). The search model uses it to phase diurnal curves; the
+// area analysis uses it to explain lagged spikes across timezones.
+func LocalHour(code State, t time.Time) int {
+	info := MustLookup(code)
+	return t.UTC().Add(info.UTCOffset).Hour()
+}

@@ -1,0 +1,198 @@
+package geo
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAllCount(t *testing.T) {
+	if got := len(All()); got != Count {
+		t.Fatalf("All() returned %d states, want %d", got, Count)
+	}
+}
+
+func TestAllSortedAndUnique(t *testing.T) {
+	all := All()
+	seen := make(map[State]bool)
+	for i, in := range all {
+		if seen[in.Code] {
+			t.Errorf("duplicate state code %q", in.Code)
+		}
+		seen[in.Code] = true
+		if i > 0 && all[i-1].Code >= in.Code {
+			t.Errorf("states out of order: %q before %q", all[i-1].Code, in.Code)
+		}
+	}
+}
+
+func TestAllReturnsCopy(t *testing.T) {
+	a := All()
+	a[0].Population = -1
+	if All()[0].Population == -1 {
+		t.Fatal("All() exposes internal table for mutation")
+	}
+}
+
+func TestLookup(t *testing.T) {
+	tests := []struct {
+		code State
+		want string
+		ok   bool
+	}{
+		{"CA", "California", true},
+		{"TX", "Texas", true},
+		{"DC", "District of Columbia", true},
+		{"XX", "", false},
+		{"", "", false},
+		{"ca", "", false}, // codes are case-sensitive upper
+	}
+	for _, tt := range tests {
+		info, ok := Lookup(tt.code)
+		if ok != tt.ok {
+			t.Errorf("Lookup(%q) ok = %v, want %v", tt.code, ok, tt.ok)
+			continue
+		}
+		if ok && info.Name != tt.want {
+			t.Errorf("Lookup(%q).Name = %q, want %q", tt.code, info.Name, tt.want)
+		}
+	}
+}
+
+func TestMustLookupPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustLookup of unknown code did not panic")
+		}
+	}()
+	MustLookup("ZZ")
+}
+
+func TestValid(t *testing.T) {
+	for _, code := range Codes() {
+		if !Valid(code) {
+			t.Errorf("Valid(%q) = false for listed code", code)
+		}
+	}
+	if Valid("ZZ") {
+		t.Error("Valid(\"ZZ\") = true")
+	}
+}
+
+func TestPopulationsPlausible(t *testing.T) {
+	for _, in := range All() {
+		if in.Population < 500_000 || in.Population > 45_000_000 {
+			t.Errorf("%s population %d outside plausible range", in.Code, in.Population)
+		}
+	}
+	total := TotalPopulation()
+	// 2020 census total ≈ 331.4M.
+	if total < 320_000_000 || total > 340_000_000 {
+		t.Errorf("TotalPopulation() = %d, want ≈331M", total)
+	}
+}
+
+func TestByPopulationOrder(t *testing.T) {
+	byPop := ByPopulation()
+	if byPop[0].Code != "CA" {
+		t.Errorf("largest state = %s, want CA", byPop[0].Code)
+	}
+	if byPop[1].Code != "TX" {
+		t.Errorf("second largest = %s, want TX", byPop[1].Code)
+	}
+	for i := 1; i < len(byPop); i++ {
+		if byPop[i-1].Population < byPop[i].Population {
+			t.Fatalf("ByPopulation not descending at index %d", i)
+		}
+	}
+}
+
+func TestUTCOffsets(t *testing.T) {
+	tests := []struct {
+		code State
+		want time.Duration
+	}{
+		{"NY", -5 * time.Hour},
+		{"TX", -6 * time.Hour},
+		{"CO", -7 * time.Hour},
+		{"CA", -8 * time.Hour},
+		{"AK", -9 * time.Hour},
+		{"HI", -10 * time.Hour},
+	}
+	for _, tt := range tests {
+		if got := MustLookup(tt.code).UTCOffset; got != tt.want {
+			t.Errorf("%s offset = %v, want %v", tt.code, got, tt.want)
+		}
+	}
+}
+
+func TestOffsetsWithinContinentalRange(t *testing.T) {
+	for _, in := range All() {
+		if in.UTCOffset > -5*time.Hour || in.UTCOffset < -10*time.Hour {
+			t.Errorf("%s offset %v outside [-10h, -5h]", in.Code, in.UTCOffset)
+		}
+	}
+}
+
+func TestRegionsAssigned(t *testing.T) {
+	counts := make(map[Region]int)
+	for _, in := range All() {
+		switch in.Region {
+		case Northeast, Midwest, South, West:
+			counts[in.Region]++
+		default:
+			t.Errorf("%s has invalid region %v", in.Code, in.Region)
+		}
+	}
+	// Census: NE=9, MW=12, South=16+DC=17, West=13.
+	if counts[Northeast] != 9 || counts[Midwest] != 12 || counts[South] != 17 || counts[West] != 13 {
+		t.Errorf("region sizes = %v, want NE=9 MW=12 S=17 W=13", counts)
+	}
+}
+
+func TestInRegionPartition(t *testing.T) {
+	total := 0
+	for _, r := range []Region{Northeast, Midwest, South, West} {
+		for _, in := range InRegion(r) {
+			if in.Region != r {
+				t.Errorf("InRegion(%v) returned %s with region %v", r, in.Code, in.Region)
+			}
+		}
+		total += len(InRegion(r))
+	}
+	if total != Count {
+		t.Errorf("regions partition %d states, want %d", total, Count)
+	}
+}
+
+func TestRegionString(t *testing.T) {
+	if Northeast.String() != "Northeast" || West.String() != "West" {
+		t.Error("Region.String() wrong for named regions")
+	}
+	if s := Region(99).String(); s != "Region(99)" {
+		t.Errorf("Region(99).String() = %q", s)
+	}
+}
+
+func TestLocalHour(t *testing.T) {
+	// 2021-02-15 10:00 UTC is 04:00 in Texas (UTC-6), 02:00 in California.
+	ts := time.Date(2021, 2, 15, 10, 0, 0, 0, time.UTC)
+	if got := LocalHour("TX", ts); got != 4 {
+		t.Errorf("LocalHour(TX) = %d, want 4", got)
+	}
+	if got := LocalHour("CA", ts); got != 2 {
+		t.Errorf("LocalHour(CA) = %d, want 2", got)
+	}
+	// Wraparound: 02:00 UTC is 21:00 previous day in NY.
+	ts = time.Date(2021, 2, 15, 2, 0, 0, 0, time.UTC)
+	if got := LocalHour("NY", ts); got != 21 {
+		t.Errorf("LocalHour(NY) = %d, want 21", got)
+	}
+}
+
+func TestLocation(t *testing.T) {
+	loc := MustLookup("CA").Location()
+	ts := time.Date(2021, 6, 8, 17, 0, 0, 0, time.UTC).In(loc)
+	if ts.Hour() != 9 {
+		t.Errorf("17:00 UTC in CA zone = %d:00, want 9:00", ts.Hour())
+	}
+}

@@ -1,0 +1,291 @@
+// Package gtclient is SIFT's data-collection module: an HTTP client for
+// the (simulated) Google Trends API plus a pool of fetcher units hosted
+// behind separate source addresses. The service rate-limits per client
+// IP, so the pool maps the queued workload onto its fetchers and merges
+// the responses — the exact workaround the paper describes for its
+// primary collection bottleneck (§4, Implementation).
+package gtclient
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync"
+	"time"
+
+	"sift/internal/gtrends"
+)
+
+// Client fetches frames from one source address. It implements
+// gtrends.Fetcher. Safe for concurrent use.
+type Client struct {
+	// BaseURL locates the service, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// SourceIP identifies this fetcher unit to the service's per-IP rate
+	// limiter. Empty means the transport's real address.
+	SourceIP string
+	// HTTPClient defaults to a client with a 30 s timeout.
+	HTTPClient *http.Client
+	// MaxRetries bounds retry attempts on 429/5xx. Default 5.
+	MaxRetries int
+	// RetryBase is the first backoff delay when the server sends no
+	// Retry-After hint. Default 100 ms. Tests shrink it.
+	RetryBase time.Duration
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+// Stats counts a client's request outcomes.
+type Stats struct {
+	Requests    int // HTTP requests issued, including retries
+	RateLimited int // 429 responses absorbed
+	Errors      int // terminal failures
+}
+
+// Stats returns a copy of the client's counters.
+func (c *Client) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return &http.Client{Timeout: 30 * time.Second}
+}
+
+func (c *Client) maxRetries() int {
+	if c.MaxRetries > 0 {
+		return c.MaxRetries
+	}
+	return 5
+}
+
+func (c *Client) retryBase() time.Duration {
+	if c.RetryBase > 0 {
+		return c.RetryBase
+	}
+	return 100 * time.Millisecond
+}
+
+func (c *Client) count(fn func(*Stats)) {
+	c.mu.Lock()
+	fn(&c.stats)
+	c.mu.Unlock()
+}
+
+// FetchFrame requests one frame, retrying on rate limits (honouring
+// Retry-After) and transient server errors with exponential backoff.
+func (c *Client) FetchFrame(ctx context.Context, req gtrends.FrameRequest) (*gtrends.Frame, error) {
+	u, err := c.requestURL(req)
+	if err != nil {
+		return nil, err
+	}
+	backoff := c.retryBase()
+	var lastErr error
+	for attempt := 0; attempt <= c.maxRetries(); attempt++ {
+		frame, retryAfter, err := c.once(ctx, u)
+		if err == nil {
+			return frame, nil
+		}
+		lastErr = err
+		var re *retryableError
+		if !errors.As(err, &re) {
+			return nil, err
+		}
+		delay := backoff
+		if retryAfter > 0 {
+			delay = retryAfter
+		}
+		backoff *= 2
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(delay):
+		}
+	}
+	c.count(func(s *Stats) { s.Errors++ })
+	return nil, fmt.Errorf("gtclient: retries exhausted: %w", lastErr)
+}
+
+// retryableError marks responses worth retrying (429 and 5xx).
+type retryableError struct{ status int }
+
+func (e *retryableError) Error() string {
+	return fmt.Sprintf("gtclient: retryable status %d", e.status)
+}
+
+func (c *Client) requestURL(req gtrends.FrameRequest) (string, error) {
+	if c.BaseURL == "" {
+		return "", errors.New("gtclient: BaseURL not set")
+	}
+	q := url.Values{}
+	q.Set("term", req.Term)
+	q.Set("state", string(req.State))
+	q.Set("start", req.Start.UTC().Format(time.RFC3339))
+	q.Set("hours", strconv.Itoa(req.Hours))
+	if req.WithRising {
+		q.Set("rising", "1")
+	}
+	return c.BaseURL + "/api/trends?" + q.Encode(), nil
+}
+
+// once performs a single HTTP exchange.
+func (c *Client) once(ctx context.Context, u string) (*gtrends.Frame, time.Duration, error) {
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	if c.SourceIP != "" {
+		httpReq.Header.Set("X-Fetcher-IP", c.SourceIP)
+	}
+	c.count(func(s *Stats) { s.Requests++ })
+	resp, err := c.httpClient().Do(httpReq)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		var frame gtrends.Frame
+		if err := json.NewDecoder(resp.Body).Decode(&frame); err != nil {
+			return nil, 0, fmt.Errorf("gtclient: decoding frame: %w", err)
+		}
+		return &frame, 0, nil
+	case resp.StatusCode == http.StatusTooManyRequests:
+		c.count(func(s *Stats) { s.RateLimited++ })
+		retryAfter := parseRetryAfter(resp.Header.Get("Retry-After"))
+		io.Copy(io.Discard, resp.Body)
+		return nil, retryAfter, &retryableError{status: resp.StatusCode}
+	case resp.StatusCode >= 500:
+		io.Copy(io.Discard, resp.Body)
+		return nil, 0, &retryableError{status: resp.StatusCode}
+	default:
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, 0, fmt.Errorf("gtclient: status %d: %s", resp.StatusCode, body)
+	}
+}
+
+func parseRetryAfter(h string) time.Duration {
+	if h == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(h)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// Pool distributes frame requests over fetcher units behind distinct
+// source addresses. It implements gtrends.Fetcher; single requests go to
+// the least-loaded fetcher, and FetchAll fans a batch out over all of
+// them. Safe for concurrent use.
+type Pool struct {
+	fetchers []*Client
+	next     int
+	mu       sync.Mutex
+}
+
+// NewPool builds n fetcher units against baseURL, each with a distinct
+// simulated source address in 10.fetch.0.0/16 space.
+func NewPool(baseURL string, n int, opts func(*Client)) (*Pool, error) {
+	if n < 1 {
+		return nil, errors.New("gtclient: pool needs at least one fetcher")
+	}
+	p := &Pool{}
+	for i := 0; i < n; i++ {
+		c := &Client{
+			BaseURL:  baseURL,
+			SourceIP: fmt.Sprintf("10.%d.0.1", i+1),
+		}
+		if opts != nil {
+			opts(c)
+		}
+		p.fetchers = append(p.fetchers, c)
+	}
+	return p, nil
+}
+
+// Size returns the number of fetcher units.
+func (p *Pool) Size() int { return len(p.fetchers) }
+
+// Stats sums the counters of all fetchers.
+func (p *Pool) Stats() Stats {
+	var total Stats
+	for _, f := range p.fetchers {
+		s := f.Stats()
+		total.Requests += s.Requests
+		total.RateLimited += s.RateLimited
+		total.Errors += s.Errors
+	}
+	return total
+}
+
+// FetchFrame routes one request to the next fetcher round-robin.
+func (p *Pool) FetchFrame(ctx context.Context, req gtrends.FrameRequest) (*gtrends.Frame, error) {
+	p.mu.Lock()
+	f := p.fetchers[p.next%len(p.fetchers)]
+	p.next++
+	p.mu.Unlock()
+	return f.FetchFrame(ctx, req)
+}
+
+// FetchAll fans requests out over the pool, one worker per fetcher, and
+// returns frames in request order. The first error cancels the batch.
+func (p *Pool) FetchAll(ctx context.Context, reqs []gtrends.FrameRequest) ([]*gtrends.Frame, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	frames := make([]*gtrends.Frame, len(reqs))
+	jobs := make(chan int)
+	errc := make(chan error, len(p.fetchers))
+	var wg sync.WaitGroup
+	for _, f := range p.fetchers {
+		wg.Add(1)
+		go func(f *Client) {
+			defer wg.Done()
+			for idx := range jobs {
+				frame, err := f.FetchFrame(ctx, reqs[idx])
+				if err != nil {
+					errc <- err
+					cancel()
+					return
+				}
+				frames[idx] = frame
+			}
+		}(f)
+	}
+	// Shuffle job order so one slow region doesn't serialize on one
+	// fetcher; output order is preserved via indexes.
+	order := rand.New(rand.NewSource(int64(len(reqs)))).Perm(len(reqs))
+feed:
+	for _, idx := range order {
+		select {
+		case jobs <- idx:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	select {
+	case err := <-errc:
+		return nil, err
+	default:
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return frames, nil
+}

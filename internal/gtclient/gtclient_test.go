@@ -1,0 +1,250 @@
+package gtclient
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sift/internal/gtrends"
+	"sift/internal/gtserver"
+	"sift/internal/searchmodel"
+	"sift/internal/simworld"
+)
+
+var t0 = time.Date(2021, 2, 15, 0, 0, 0, 0, time.UTC)
+
+// newService spins up a real simulated-Trends HTTP service for
+// integration tests.
+func newService(t *testing.T, cfg gtserver.Config) *httptest.Server {
+	t.Helper()
+	storm := &simworld.Event{
+		ID: "storm", Name: "Winter storm", Kind: simworld.KindPower,
+		Cause: simworld.CauseWinterStorm, Start: t0.Add(30 * time.Hour), Duration: 45 * time.Hour,
+		Impacts: []simworld.Impact{{State: "TX", Intensity: 2000}},
+		Terms:   []simworld.TermWeight{{Term: "power outage", Share: 0.5}},
+	}
+	model := searchmodel.New(7, simworld.NewTimeline([]*simworld.Event{storm}), searchmodel.Params{})
+	srv := httptest.NewServer(gtserver.New(gtrends.NewEngine(model, gtrends.Config{}), cfg))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func weekReq() gtrends.FrameRequest {
+	return gtrends.FrameRequest{Term: gtrends.TopicInternetOutage, State: "TX", Start: t0, Hours: 168, WithRising: true}
+}
+
+func TestClientFetchFrame(t *testing.T) {
+	svc := newService(t, gtserver.Config{})
+	c := &Client{BaseURL: svc.URL, SourceIP: "10.1.0.1", RetryBase: time.Millisecond}
+	frame, err := c.FetchFrame(context.Background(), weekReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frame.Points) != 168 {
+		t.Errorf("got %d points", len(frame.Points))
+	}
+	if len(frame.Rising) == 0 {
+		t.Error("no rising terms")
+	}
+	if s := c.Stats(); s.Requests != 1 || s.Errors != 0 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestClientRetriesRateLimit(t *testing.T) {
+	// Burst of 1 with fast refill: the second request must absorb one 429
+	// and then succeed.
+	svc := newService(t, gtserver.Config{RatePerSec: 50, Burst: 1})
+	c := &Client{BaseURL: svc.URL, SourceIP: "10.1.0.1", RetryBase: time.Millisecond}
+	ctx := context.Background()
+	if _, err := c.FetchFrame(ctx, weekReq()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.FetchFrame(ctx, weekReq()); err != nil {
+		t.Fatalf("second fetch should retry through the 429: %v", err)
+	}
+	if s := c.Stats(); s.RateLimited == 0 {
+		t.Error("expected at least one absorbed 429")
+	}
+}
+
+func TestClientRetries5xx(t *testing.T) {
+	var mu sync.Mutex
+	failures := 2
+	backend := newService(t, gtserver.Config{})
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		shouldFail := failures > 0
+		if shouldFail {
+			failures--
+		}
+		mu.Unlock()
+		if shouldFail {
+			http.Error(w, "transient", http.StatusBadGateway)
+			return
+		}
+		resp, err := http.Get(backend.URL + r.URL.String())
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		defer resp.Body.Close()
+		w.WriteHeader(resp.StatusCode)
+		var frame gtrends.Frame
+		_ = json.NewDecoder(resp.Body).Decode(&frame)
+		_ = json.NewEncoder(w).Encode(frame)
+	}))
+	t.Cleanup(flaky.Close)
+
+	c := &Client{BaseURL: flaky.URL, RetryBase: time.Millisecond}
+	frame, err := c.FetchFrame(context.Background(), weekReq())
+	if err != nil {
+		t.Fatalf("should have retried through 502s: %v", err)
+	}
+	if len(frame.Points) != 168 {
+		t.Errorf("got %d points", len(frame.Points))
+	}
+	if s := c.Stats(); s.Requests != 3 {
+		t.Errorf("requests = %d, want 3 (2 failures + 1 success)", s.Requests)
+	}
+}
+
+func TestClientGivesUpAfterMaxRetries(t *testing.T) {
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "down", http.StatusServiceUnavailable)
+	}))
+	t.Cleanup(dead.Close)
+	c := &Client{BaseURL: dead.URL, MaxRetries: 2, RetryBase: time.Millisecond}
+	_, err := c.FetchFrame(context.Background(), weekReq())
+	if err == nil {
+		t.Fatal("expected terminal error")
+	}
+	if !strings.Contains(err.Error(), "retries exhausted") {
+		t.Errorf("err = %v", err)
+	}
+	if s := c.Stats(); s.Requests != 3 || s.Errors != 1 {
+		t.Errorf("stats = %+v, want 3 requests and 1 error", s)
+	}
+}
+
+func TestClientDoesNotRetryBadRequest(t *testing.T) {
+	svc := newService(t, gtserver.Config{})
+	c := &Client{BaseURL: svc.URL, RetryBase: time.Millisecond}
+	bad := weekReq()
+	bad.State = "ZZ"
+	_, err := c.FetchFrame(context.Background(), bad)
+	if err == nil {
+		t.Fatal("expected error for bad state")
+	}
+	if s := c.Stats(); s.Requests != 1 {
+		t.Errorf("bad request retried: %+v", s)
+	}
+}
+
+func TestClientContextCancellation(t *testing.T) {
+	limited := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Retry-After", "30")
+		http.Error(w, "limited", http.StatusTooManyRequests)
+	}))
+	t.Cleanup(limited.Close)
+	c := &Client{BaseURL: limited.URL, RetryBase: time.Millisecond}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.FetchFrame(ctx, weekReq())
+	if err == nil {
+		t.Fatal("expected context error")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("cancellation took %v; Retry-After not interruptible", elapsed)
+	}
+}
+
+func TestClientRequiresBaseURL(t *testing.T) {
+	c := &Client{}
+	if _, err := c.FetchFrame(context.Background(), weekReq()); err == nil {
+		t.Fatal("expected BaseURL error")
+	}
+}
+
+func TestPoolDistributesAcrossSourceIPs(t *testing.T) {
+	// One fetcher alone would be throttled to its burst; the pool's
+	// distinct source addresses unlock the full batch.
+	svc := newService(t, gtserver.Config{RatePerSec: 0.001, Burst: 4})
+	pool, err := NewPool(svc.URL, 4, func(c *Client) {
+		c.RetryBase = time.Millisecond
+		c.MaxRetries = 1
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := make([]gtrends.FrameRequest, 16)
+	for i := range reqs {
+		reqs[i] = gtrends.FrameRequest{
+			Term: gtrends.TopicInternetOutage, State: "TX",
+			Start: t0.Add(time.Duration(i*24) * time.Hour), Hours: 24,
+		}
+	}
+	frames, err := pool.FetchAll(context.Background(), reqs)
+	if err != nil {
+		t.Fatalf("pooled fetch failed: %v (stats %+v)", err, pool.Stats())
+	}
+	for i, f := range frames {
+		if f == nil {
+			t.Fatalf("frame %d missing", i)
+		}
+		if !f.Start.Equal(reqs[i].Start) {
+			t.Fatalf("frame %d start %v, want %v (order not preserved)", i, f.Start, reqs[i].Start)
+		}
+	}
+	if pool.Size() != 4 {
+		t.Errorf("Size = %d", pool.Size())
+	}
+}
+
+func TestPoolSingleRequestRoundRobin(t *testing.T) {
+	svc := newService(t, gtserver.Config{})
+	pool, err := NewPool(svc.URL, 3, func(c *Client) { c.RetryBase = time.Millisecond })
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for i := 0; i < 6; i++ {
+		if _, err := pool.FetchFrame(ctx, weekReq()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Each of the 3 fetchers should have taken 2 requests.
+	if s := pool.Stats(); s.Requests != 6 {
+		t.Errorf("pool requests = %d", s.Requests)
+	}
+}
+
+func TestPoolPropagatesErrors(t *testing.T) {
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "down", http.StatusServiceUnavailable)
+	}))
+	t.Cleanup(dead.Close)
+	pool, err := NewPool(dead.URL, 2, func(c *Client) {
+		c.RetryBase = time.Millisecond
+		c.MaxRetries = 1
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := []gtrends.FrameRequest{weekReq(), weekReq()}
+	if _, err := pool.FetchAll(context.Background(), reqs); err == nil {
+		t.Fatal("expected batch error")
+	}
+}
+
+func TestNewPoolValidation(t *testing.T) {
+	if _, err := NewPool("http://x", 0, nil); err == nil {
+		t.Fatal("zero-size pool should error")
+	}
+}

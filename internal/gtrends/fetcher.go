@@ -1,0 +1,25 @@
+package gtrends
+
+import "context"
+
+// Fetcher is the interface the SIFT pipeline fetches frames through. The
+// in-process Engine (wrapped by EngineFetcher) and the HTTP client pool in
+// internal/gtclient both implement it, so the pipeline runs identically
+// against a local engine or the rate-limited service.
+type Fetcher interface {
+	FetchFrame(ctx context.Context, req FrameRequest) (*Frame, error)
+}
+
+// EngineFetcher adapts an Engine to the Fetcher interface.
+type EngineFetcher struct {
+	Engine *Engine
+}
+
+// FetchFrame serves the request directly from the engine. The context is
+// only consulted for early cancellation.
+func (f EngineFetcher) FetchFrame(ctx context.Context, req FrameRequest) (*Frame, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return f.Engine.Fetch(req)
+}

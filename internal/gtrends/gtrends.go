@@ -1,0 +1,272 @@
+// Package gtrends reimplements the Google Trends response semantics SIFT
+// has to cope with (§2 of the paper), over the synthetic search database
+// in internal/searchmodel:
+//
+//   - per-request unbiased random sampling of the underlying search log,
+//     so two fetches of the same window disagree within sampling error;
+//   - privacy rounding: sampled counts below a threshold report as 0;
+//   - piecewise normalization: each frame is indexed 0–100 against its
+//     own maximum, destroying cross-frame scale;
+//   - frame limits: hourly resolution is only served for windows of at
+//     most one week (168 points);
+//   - rising suggestions: the terms with the strongest percent increase
+//     in the requested window versus the preceding one, weighted by that
+//     increase.
+//
+// The engine is deterministic given its construction seed and request
+// order, which is what makes the full pipeline reproducible.
+package gtrends
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"sift/internal/geo"
+	"sift/internal/searchmodel"
+	"sift/internal/stats"
+)
+
+// TopicInternetOutage is the search-topic identifier for Google's
+// semantic cluster of internet-outage queries. Requests for this term
+// serve the aggregated topic; any other string is treated as a literal
+// search query.
+const TopicInternetOutage = "Internet outage"
+
+// Frame-length limits, in hours.
+const (
+	// WeekFrameHours is the longest window served at hourly resolution.
+	WeekFrameHours = 168
+	// DayFrameHours is the window SIFT re-fetches on spike days for
+	// fine-grained rising terms.
+	DayFrameHours = 24
+)
+
+// Common errors.
+var (
+	ErrFrameTooLong  = errors.New("gtrends: hourly frames are limited to one week")
+	ErrFrameTooShort = errors.New("gtrends: frame must cover at least one hour")
+	ErrUnknownState  = errors.New("gtrends: unknown state code")
+	ErrMisaligned    = errors.New("gtrends: frame start must be hour-aligned")
+)
+
+// Config tunes engine behaviour. Zero fields take the documented default.
+type Config struct {
+	// SampleRate is the fraction of the search log each request samples.
+	// Default 0.25.
+	SampleRate float64
+	// PrivacyThreshold zeroes sampled counts strictly below it.
+	// Default 2.
+	PrivacyThreshold int
+	// MaxRising caps the suggestions returned per request. Default 10.
+	MaxRising int
+	// MinRisingVolume is the minimum sampled in-window volume for a term
+	// to be suggested at all. Default 6.
+	MinRisingVolume int
+	// MaxWeight caps the reported percent increase; Google reports
+	// anything above as "Breakout". Default 5000.
+	MaxWeight int
+}
+
+func (c *Config) fillDefaults() {
+	if c.SampleRate == 0 {
+		c.SampleRate = 0.25
+	}
+	if c.PrivacyThreshold == 0 {
+		c.PrivacyThreshold = 2
+	}
+	if c.MaxRising == 0 {
+		c.MaxRising = 10
+	}
+	if c.MinRisingVolume == 0 {
+		c.MinRisingVolume = 6
+	}
+	if c.MaxWeight == 0 {
+		c.MaxWeight = 5000
+	}
+}
+
+// FrameRequest asks for one time frame of one search term in one state.
+type FrameRequest struct {
+	// Term is TopicInternetOutage or a literal query string.
+	Term  string
+	State geo.State
+	// Start is the first hour of the window (hour-aligned UTC).
+	Start time.Time
+	// Hours is the window length; at most WeekFrameHours.
+	Hours int
+	// WithRising requests rising-term suggestions alongside the frame.
+	WithRising bool
+}
+
+// RisingTerm is one suggested related query and its weight — the percent
+// increase of its search interest in the requested window over the
+// preceding window of equal length.
+type RisingTerm struct {
+	Term string `json:"term"`
+	// Weight is the percent increase, capped at Config.MaxWeight.
+	Weight int `json:"weight"`
+	// Breakout marks terms whose increase exceeded the cap (typically
+	// terms with no measurable volume before the window).
+	Breakout bool `json:"breakout,omitempty"`
+}
+
+// Frame is one Trends response: hourly interest indexed 0–100 against the
+// window's own maximum, plus optional rising terms.
+type Frame struct {
+	Term   string       `json:"term"`
+	State  geo.State    `json:"state"`
+	Start  time.Time    `json:"start"`
+	Points []int        `json:"points"`
+	Rising []RisingTerm `json:"rising,omitempty"`
+}
+
+// End returns the instant just past the frame's last hour.
+func (f *Frame) End() time.Time {
+	return f.Start.Add(time.Duration(len(f.Points)) * time.Hour)
+}
+
+// Engine serves Trends responses. Safe for concurrent use.
+type Engine struct {
+	model    *searchmodel.Model
+	cfg      Config
+	requests atomic.Uint64
+}
+
+// NewEngine builds an engine over the given search database.
+func NewEngine(model *searchmodel.Model, cfg Config) *Engine {
+	cfg.fillDefaults()
+	return &Engine{model: model, cfg: cfg}
+}
+
+// Requests returns the number of requests served so far — the statistic
+// the paper reports as 160 238 requested time frames.
+func (e *Engine) Requests() uint64 { return e.requests.Load() }
+
+// validate rejects malformed requests.
+func (e *Engine) validate(req FrameRequest) error {
+	if !geo.Valid(req.State) {
+		return fmt.Errorf("%w: %q", ErrUnknownState, req.State)
+	}
+	if req.Hours < 1 {
+		return ErrFrameTooShort
+	}
+	if req.Hours > WeekFrameHours {
+		return fmt.Errorf("%w: requested %d h", ErrFrameTooLong, req.Hours)
+	}
+	if !req.Start.UTC().Truncate(time.Hour).Equal(req.Start.UTC()) {
+		return ErrMisaligned
+	}
+	return nil
+}
+
+// Fetch serves one frame. Each call draws a fresh sample of the
+// underlying (fixed) search log, so repeated calls differ within sampling
+// error — the paper's motivation for averaging re-fetches.
+func (e *Engine) Fetch(req FrameRequest) (*Frame, error) {
+	if err := e.validate(req); err != nil {
+		return nil, err
+	}
+	key := e.requests.Add(1)
+	start := req.Start.UTC()
+
+	proportions := make([]float64, req.Hours)
+	for i := 0; i < req.Hours; i++ {
+		at := start.Add(time.Duration(i) * time.Hour)
+		truth := e.truthCount(req.Term, req.State, at)
+		c := e.model.SampleCount(truth, e.cfg.SampleRate, key, req.State, at, req.Term)
+		if c < e.cfg.PrivacyThreshold {
+			c = 0
+		}
+		sampleSize := e.cfg.SampleRate * e.model.TotalVolume(req.State, at)
+		if sampleSize > 0 {
+			proportions[i] = float64(c) / sampleSize
+		}
+	}
+
+	frame := &Frame{Term: req.Term, State: req.State, Start: start, Points: indexPoints(proportions)}
+	if req.WithRising {
+		frame.Rising = e.rising(key, req.State, start, req.Hours)
+	}
+	return frame, nil
+}
+
+// truthCount returns the fixed ground-truth search count for the term at
+// the given state-hour.
+func (e *Engine) truthCount(term string, st geo.State, at time.Time) int {
+	if term == TopicInternetOutage {
+		return e.model.TopicVolume(st, at)
+	}
+	return e.model.TermVolume(term, st, at)
+}
+
+// indexPoints scales proportions onto the 0–100 integer index, 100 being
+// the window maximum — Google's piecewise normalization.
+func indexPoints(proportions []float64) []int {
+	max, _, err := stats.Max(proportions)
+	points := make([]int, len(proportions))
+	if err != nil || max <= 0 {
+		return points
+	}
+	for i, p := range proportions {
+		points[i] = stats.RoundIndex(p / max * 100)
+	}
+	return points
+}
+
+// rising computes the suggested terms for a window: every candidate term
+// is sampled over the window and the preceding window of equal length;
+// terms with enough volume are ranked by percent increase.
+func (e *Engine) rising(key uint64, st geo.State, start time.Time, hours int) []RisingTerm {
+	prevStart := start.Add(-time.Duration(hours) * time.Hour)
+	var out []RisingTerm
+	for _, term := range e.model.CandidateTerms(st, prevStart, start.Add(time.Duration(hours)*time.Hour)) {
+		cur := e.sampledTermVolume(key, term, st, start, hours)
+		if cur < e.cfg.MinRisingVolume {
+			continue
+		}
+		prev := e.sampledTermVolume(key, term, st, prevStart, hours)
+		weight := percentIncrease(cur, prev)
+		if weight <= 0 {
+			continue
+		}
+		rt := RisingTerm{Term: term, Weight: weight}
+		if weight >= e.cfg.MaxWeight {
+			rt.Weight = e.cfg.MaxWeight
+			rt.Breakout = true
+		}
+		out = append(out, rt)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Weight != out[j].Weight {
+			return out[i].Weight > out[j].Weight
+		}
+		return out[i].Term < out[j].Term
+	})
+	if len(out) > e.cfg.MaxRising {
+		out = out[:e.cfg.MaxRising]
+	}
+	return out
+}
+
+// sampledTermVolume sums a term's sampled counts over a window.
+func (e *Engine) sampledTermVolume(key uint64, term string, st geo.State, start time.Time, hours int) int {
+	total := 0
+	for i := 0; i < hours; i++ {
+		at := start.Add(time.Duration(i) * time.Hour)
+		truth := e.model.TermVolume(term, st, at)
+		total += e.model.SampleCount(truth, e.cfg.SampleRate, key, st, at, term)
+	}
+	return total
+}
+
+// percentIncrease returns the integer percent increase of cur over prev,
+// treating a zero-history term as rising from a volume of one.
+func percentIncrease(cur, prev int) int {
+	if prev < 1 {
+		prev = 1
+	}
+	return int(float64(cur-prev) / float64(prev) * 100)
+}

@@ -1,0 +1,334 @@
+package gtrends
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"sift/internal/searchmodel"
+	"sift/internal/simworld"
+)
+
+var t0 = time.Date(2021, 2, 15, 0, 0, 0, 0, time.UTC)
+
+func testEngine(cfg Config) *Engine {
+	storm := &simworld.Event{
+		ID: "storm", Name: "Winter storm", Kind: simworld.KindPower,
+		Cause: simworld.CauseWinterStorm, Start: t0.Add(30 * time.Hour), Duration: 45 * time.Hour,
+		Impacts: []simworld.Impact{{State: "TX", Intensity: 2000}},
+		Terms:   []simworld.TermWeight{{Term: "power outage", Share: 0.5}, {Term: "winter storm", Share: 0.3}},
+	}
+	model := searchmodel.New(99, simworld.NewTimeline([]*simworld.Event{storm}), searchmodel.Params{})
+	return NewEngine(model, cfg)
+}
+
+func weekReq(withRising bool) FrameRequest {
+	return FrameRequest{Term: TopicInternetOutage, State: "TX", Start: t0, Hours: WeekFrameHours, WithRising: withRising}
+}
+
+func TestFetchShape(t *testing.T) {
+	e := testEngine(Config{})
+	f, err := e.Fetch(weekReq(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Points) != WeekFrameHours {
+		t.Fatalf("got %d points, want %d", len(f.Points), WeekFrameHours)
+	}
+	if !f.Start.Equal(t0) || !f.End().Equal(t0.Add(168*time.Hour)) {
+		t.Errorf("frame bounds [%v, %v)", f.Start, f.End())
+	}
+	if f.Term != TopicInternetOutage || f.State != "TX" {
+		t.Errorf("frame identity %q %q", f.Term, f.State)
+	}
+}
+
+func TestFetchIndexedTo100(t *testing.T) {
+	e := testEngine(Config{})
+	f, err := e.Fetch(weekReq(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	max := 0
+	for _, p := range f.Points {
+		if p < 0 || p > 100 {
+			t.Fatalf("point %d outside [0, 100]", p)
+		}
+		if p > max {
+			max = p
+		}
+	}
+	// The storm is inside this window; the max must be exactly 100.
+	if max != 100 {
+		t.Errorf("frame max = %d, want 100", max)
+	}
+}
+
+func TestFetchSpikeLocation(t *testing.T) {
+	e := testEngine(Config{})
+	f, err := e.Fetch(weekReq(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Peak must fall within the storm's first day (hours 30..54).
+	peakIdx, peak := 0, 0
+	for i, p := range f.Points {
+		if p > peak {
+			peak, peakIdx = p, i
+		}
+	}
+	if peakIdx < 30 || peakIdx > 54 {
+		t.Errorf("peak at hour %d, want within storm onset (30..54)", peakIdx)
+	}
+	// Pre-storm night hours are mostly privacy-rounded to zero.
+	zeros := 0
+	for _, p := range f.Points[:30] {
+		if p == 0 {
+			zeros++
+		}
+	}
+	if zeros < 10 {
+		t.Errorf("only %d of 30 pre-storm hours are zero; privacy threshold too weak", zeros)
+	}
+}
+
+func TestFetchResamplesPerRequest(t *testing.T) {
+	e := testEngine(Config{})
+	a, err := e.Fetch(weekReq(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.Fetch(weekReq(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Points {
+		if a.Points[i] != b.Points[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("two fetches of the same window returned identical samples")
+	}
+}
+
+func TestFetchDeterministicPerRequestSequence(t *testing.T) {
+	a, err := testEngine(Config{}).Fetch(weekReq(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := testEngine(Config{}).Fetch(weekReq(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Points {
+		if a.Points[i] != b.Points[i] {
+			t.Fatal("fresh engines with identical request sequences disagree")
+		}
+	}
+	if len(a.Rising) != len(b.Rising) {
+		t.Fatal("rising terms differ across identical request sequences")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	e := testEngine(Config{})
+	tests := []struct {
+		name string
+		req  FrameRequest
+		want error
+	}{
+		{"too long", FrameRequest{Term: TopicInternetOutage, State: "TX", Start: t0, Hours: 169}, ErrFrameTooLong},
+		{"zero hours", FrameRequest{Term: TopicInternetOutage, State: "TX", Start: t0, Hours: 0}, ErrFrameTooShort},
+		{"bad state", FrameRequest{Term: TopicInternetOutage, State: "ZZ", Start: t0, Hours: 24}, ErrUnknownState},
+		{"misaligned", FrameRequest{Term: TopicInternetOutage, State: "TX", Start: t0.Add(30 * time.Minute), Hours: 24}, ErrMisaligned},
+	}
+	for _, tt := range tests {
+		if _, err := e.Fetch(tt.req); !errors.Is(err, tt.want) {
+			t.Errorf("%s: err = %v, want %v", tt.name, err, tt.want)
+		}
+	}
+}
+
+func TestRisingTermsDuringEvent(t *testing.T) {
+	e := testEngine(Config{})
+	f, err := e.Fetch(weekReq(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Rising) == 0 {
+		t.Fatal("no rising terms during a massive storm")
+	}
+	found := map[string]bool{}
+	for i, rt := range f.Rising {
+		found[rt.Term] = true
+		if rt.Weight <= 0 {
+			t.Errorf("rising term %q has non-positive weight %d", rt.Term, rt.Weight)
+		}
+		if i > 0 && f.Rising[i-1].Weight < rt.Weight {
+			t.Error("rising terms not sorted by weight")
+		}
+	}
+	if !found["power outage"] {
+		t.Errorf("rising terms %v missing 'power outage'", f.Rising)
+	}
+}
+
+func TestRisingQuietWindow(t *testing.T) {
+	e := testEngine(Config{})
+	req := FrameRequest{Term: TopicInternetOutage, State: "CA", Start: t0, Hours: WeekFrameHours, WithRising: true}
+	f, err := e.Fetch(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CA has no event; evergreen terms have flat volume so nothing should
+	// rise meaningfully. Allow a stray small-weight sampling artifact.
+	for _, rt := range f.Rising {
+		if rt.Weight > 60 {
+			t.Errorf("quiet window produced strong rising term %+v", rt)
+		}
+	}
+}
+
+func TestRisingRespectsMaxRising(t *testing.T) {
+	e := testEngine(Config{MaxRising: 2})
+	f, err := e.Fetch(weekReq(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Rising) > 2 {
+		t.Errorf("got %d rising terms, cap was 2", len(f.Rising))
+	}
+}
+
+func TestDailyFrame(t *testing.T) {
+	e := testEngine(Config{})
+	req := FrameRequest{Term: TopicInternetOutage, State: "TX", Start: t0.Add(24 * time.Hour), Hours: DayFrameHours, WithRising: true}
+	f, err := e.Fetch(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Points) != 24 {
+		t.Fatalf("daily frame has %d points", len(f.Points))
+	}
+}
+
+func TestQueryTermFrames(t *testing.T) {
+	e := testEngine(Config{})
+	req := FrameRequest{Term: "power outage", State: "TX", Start: t0, Hours: WeekFrameHours}
+	f, err := e.Fetch(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The term surges with the storm, so the frame must have signal.
+	max := 0
+	for _, p := range f.Points {
+		if p > max {
+			max = p
+		}
+	}
+	if max != 100 {
+		t.Errorf("term frame max = %d, want 100", max)
+	}
+}
+
+func TestRequestsCounter(t *testing.T) {
+	e := testEngine(Config{})
+	if e.Requests() != 0 {
+		t.Fatal("fresh engine should have zero requests")
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := e.Fetch(weekReq(false)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e.Requests() != 3 {
+		t.Errorf("Requests() = %d, want 3", e.Requests())
+	}
+	// Invalid requests are not counted.
+	_, _ = e.Fetch(FrameRequest{Term: TopicInternetOutage, State: "ZZ", Start: t0, Hours: 24})
+	if e.Requests() != 3 {
+		t.Error("invalid request incremented the counter")
+	}
+}
+
+func TestConcurrentFetches(t *testing.T) {
+	e := testEngine(Config{})
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := e.Fetch(weekReq(true)); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if e.Requests() != 16 {
+		t.Errorf("Requests() = %d, want 16", e.Requests())
+	}
+}
+
+func TestPercentIncrease(t *testing.T) {
+	tests := []struct {
+		cur, prev, want int
+	}{
+		{200, 100, 100},
+		{100, 100, 0},
+		{50, 100, -50},
+		{42, 0, 4100}, // zero history treated as 1
+		{0, 0, -100},
+	}
+	for _, tt := range tests {
+		if got := percentIncrease(tt.cur, tt.prev); got != tt.want {
+			t.Errorf("percentIncrease(%d, %d) = %d, want %d", tt.cur, tt.prev, got, tt.want)
+		}
+	}
+}
+
+func TestIndexPoints(t *testing.T) {
+	pts := indexPoints([]float64{0, 0.5, 1.0, 0.25})
+	want := []int{0, 50, 100, 25}
+	for i := range want {
+		if pts[i] != want[i] {
+			t.Fatalf("indexPoints = %v, want %v", pts, want)
+		}
+	}
+	zeros := indexPoints([]float64{0, 0})
+	if zeros[0] != 0 || zeros[1] != 0 {
+		t.Error("all-zero window should index to zeros")
+	}
+	if len(indexPoints(nil)) != 0 {
+		t.Error("empty input should yield empty output")
+	}
+}
+
+func TestBreakoutFlag(t *testing.T) {
+	// A term with zero history and large current volume must break out.
+	e := testEngine(Config{MaxWeight: 300})
+	f, err := e.Fetch(FrameRequest{Term: TopicInternetOutage, State: "TX", Start: t0.Add(24 * time.Hour), Hours: WeekFrameHours, WithRising: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawBreakout := false
+	for _, rt := range f.Rising {
+		if rt.Breakout {
+			sawBreakout = true
+			if rt.Weight != 300 {
+				t.Errorf("breakout weight = %d, want capped at 300", rt.Weight)
+			}
+		}
+	}
+	if !sawBreakout {
+		t.Error("storm terms with no prior volume should break out")
+	}
+}

@@ -1,0 +1,193 @@
+// Package gtserver exposes the simulated Google Trends engine as an HTTP
+// JSON API with per-client rate limiting — the environment the paper's
+// data-collection module contends with. The SIFT crawler (internal/
+// gtclient) talks to this API exactly as it would to the real service:
+// requesting weekly and daily frames, receiving 429s when it hammers one
+// source address, and spreading load over fetcher units to compensate.
+//
+// API:
+//
+//	GET /api/trends?term=...&state=CA&start=RFC3339&hours=168&rising=1
+//	    → 200 gtrends.Frame JSON, 400 on bad parameters, 429 when the
+//	      client exceeds its budget (Retry-After header set).
+//	GET /api/stats   → service counters (requests, rejections, clients).
+//	GET /healthz     → 200 "ok".
+//
+// Clients are identified by the X-Fetcher-IP header when present (how the
+// simulation models fetcher units behind distinct addresses), falling
+// back to the connection's remote address.
+package gtserver
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+
+	"sift/internal/geo"
+	"sift/internal/gtrends"
+)
+
+// Config tunes the server. Zero fields take the documented defaults.
+type Config struct {
+	// RatePerSec is each client's sustained request budget. Default 25.
+	RatePerSec float64
+	// Burst is each client's burst allowance. Default 50.
+	Burst int
+	// Logger receives request logs; nil disables logging.
+	Logger *log.Logger
+}
+
+func (c *Config) fillDefaults() {
+	if c.RatePerSec == 0 {
+		c.RatePerSec = 25
+	}
+	if c.Burst == 0 {
+		c.Burst = 50
+	}
+}
+
+// Server handles the Trends API. Construct with New; it implements
+// http.Handler.
+type Server struct {
+	engine  *gtrends.Engine
+	limiter *Limiter
+	cfg     Config
+	mux     *http.ServeMux
+}
+
+// New builds a Server over an engine.
+func New(engine *gtrends.Engine, cfg Config) *Server {
+	cfg.fillDefaults()
+	s := &Server{
+		engine:  engine,
+		limiter: NewLimiter(cfg.RatePerSec, cfg.Burst, nil),
+		cfg:     cfg,
+		mux:     http.NewServeMux(),
+	}
+	s.mux.HandleFunc("GET /api/trends", s.handleTrends)
+	s.mux.HandleFunc("GET /api/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	return s
+}
+
+// ServeHTTP dispatches to the API mux.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// ClientID extracts the client identity for rate limiting: the simulated
+// fetcher address when present, else the remote host.
+func ClientID(r *http.Request) string {
+	if ip := r.Header.Get("X-Fetcher-IP"); ip != "" {
+		return ip
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(errorBody{Error: msg})
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Printf(format, args...)
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+// statsBody reports service counters.
+type statsBody struct {
+	RequestsServed uint64 `json:"requests_served"`
+	RateLimited    uint64 `json:"rate_limited"`
+	Clients        int    `json:"clients"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(statsBody{
+		RequestsServed: s.engine.Requests(),
+		RateLimited:    s.limiter.Rejected(),
+		Clients:        s.limiter.Clients(),
+	})
+}
+
+func (s *Server) handleTrends(w http.ResponseWriter, r *http.Request) {
+	client := ClientID(r)
+	if ok, retry := s.limiter.Allow(client); !ok {
+		seconds := int(retry/time.Second) + 1
+		w.Header().Set("Retry-After", strconv.Itoa(seconds))
+		s.writeError(w, http.StatusTooManyRequests, "rate limit exceeded")
+		s.logf("429 %s trends", client)
+		return
+	}
+
+	req, err := parseTrendsQuery(r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	frame, err := s.engine.Fetch(req)
+	if err != nil {
+		// All engine failures are request-shaped (validation); internal
+		// errors cannot occur for a well-formed request.
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(frame); err != nil {
+		s.logf("encode error for %s: %v", client, err)
+	}
+	s.logf("200 %s trends state=%s start=%s hours=%d", client, req.State, req.Start.Format(time.RFC3339), req.Hours)
+}
+
+// parseTrendsQuery decodes and validates the /api/trends parameters.
+func parseTrendsQuery(r *http.Request) (gtrends.FrameRequest, error) {
+	q := r.URL.Query()
+	var req gtrends.FrameRequest
+
+	req.Term = q.Get("term")
+	if req.Term == "" {
+		req.Term = gtrends.TopicInternetOutage
+	}
+
+	state := q.Get("state")
+	if state == "" {
+		return req, errors.New("missing state parameter")
+	}
+	req.State = geo.State(state)
+
+	start, err := time.Parse(time.RFC3339, q.Get("start"))
+	if err != nil {
+		return req, fmt.Errorf("bad start parameter: %v", err)
+	}
+	req.Start = start
+
+	hours, err := strconv.Atoi(q.Get("hours"))
+	if err != nil {
+		return req, fmt.Errorf("bad hours parameter: %v", err)
+	}
+	req.Hours = hours
+
+	req.WithRising = q.Get("rising") == "1" || q.Get("rising") == "true"
+	return req, nil
+}

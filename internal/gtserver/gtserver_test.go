@@ -1,0 +1,231 @@
+package gtserver
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"sift/internal/gtrends"
+	"sift/internal/searchmodel"
+	"sift/internal/simworld"
+)
+
+var t0 = time.Date(2021, 2, 15, 0, 0, 0, 0, time.UTC)
+
+func testServer(cfg Config) *Server {
+	storm := &simworld.Event{
+		ID: "storm", Name: "Winter storm", Kind: simworld.KindPower,
+		Cause: simworld.CauseWinterStorm, Start: t0.Add(30 * time.Hour), Duration: 45 * time.Hour,
+		Impacts: []simworld.Impact{{State: "TX", Intensity: 2000}},
+		Terms:   []simworld.TermWeight{{Term: "power outage", Share: 0.5}},
+	}
+	model := searchmodel.New(7, simworld.NewTimeline([]*simworld.Event{storm}), searchmodel.Params{})
+	return New(gtrends.NewEngine(model, gtrends.Config{}), cfg)
+}
+
+func get(t *testing.T, srv *Server, path string, hdr map[string]string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	return rec
+}
+
+func trendsPath(state string, start time.Time, hours int, rising bool) string {
+	p := "/api/trends?state=" + state + "&start=" + start.Format(time.RFC3339) + "&hours=" + itoa(hours)
+	if rising {
+		p += "&rising=1"
+	}
+	return p
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	if neg {
+		b = append([]byte{'-'}, b...)
+	}
+	return string(b)
+}
+
+func TestTrendsEndpoint(t *testing.T) {
+	srv := testServer(Config{})
+	rec := get(t, srv, trendsPath("TX", t0, 168, true), nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", rec.Code, rec.Body)
+	}
+	var frame gtrends.Frame
+	if err := json.Unmarshal(rec.Body.Bytes(), &frame); err != nil {
+		t.Fatal(err)
+	}
+	if len(frame.Points) != 168 {
+		t.Errorf("got %d points", len(frame.Points))
+	}
+	if frame.State != "TX" || frame.Term != gtrends.TopicInternetOutage {
+		t.Errorf("frame identity: %+v", frame)
+	}
+	if len(frame.Rising) == 0 {
+		t.Error("rising requested but absent")
+	}
+}
+
+func TestTrendsDefaultsTermToTopic(t *testing.T) {
+	srv := testServer(Config{})
+	rec := get(t, srv, trendsPath("CA", t0, 24, false), nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var frame gtrends.Frame
+	if err := json.Unmarshal(rec.Body.Bytes(), &frame); err != nil {
+		t.Fatal(err)
+	}
+	if frame.Term != gtrends.TopicInternetOutage {
+		t.Errorf("default term = %q", frame.Term)
+	}
+}
+
+func TestTrendsBadRequests(t *testing.T) {
+	srv := testServer(Config{})
+	cases := []string{
+		"/api/trends",                              // missing everything
+		trendsPath("ZZ", t0, 24, false),            // bad state
+		trendsPath("TX", t0, 9999, false),          // too long
+		"/api/trends?state=TX&start=nope&hours=24", // bad time
+		"/api/trends?state=TX&start=" + t0.Format(time.RFC3339) + "&hours=abc",
+	}
+	for _, path := range cases {
+		rec := get(t, srv, path, nil)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", path, rec.Code)
+		}
+		var eb errorBody
+		if err := json.Unmarshal(rec.Body.Bytes(), &eb); err != nil || eb.Error == "" {
+			t.Errorf("%s: error body %q not JSON error envelope", path, rec.Body)
+		}
+	}
+}
+
+func TestRateLimitPerClient(t *testing.T) {
+	srv := testServer(Config{RatePerSec: 1000, Burst: 3})
+	path := trendsPath("TX", t0, 24, false)
+	hdrA := map[string]string{"X-Fetcher-IP": "10.1.0.1"}
+	for i := 0; i < 3; i++ {
+		if rec := get(t, srv, path, hdrA); rec.Code != http.StatusOK {
+			t.Fatalf("request %d status = %d", i, rec.Code)
+		}
+	}
+	rec := get(t, srv, path, hdrA)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("4th burst request status = %d, want 429", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("429 missing Retry-After")
+	}
+	// A different fetcher IP has its own budget.
+	hdrB := map[string]string{"X-Fetcher-IP": "10.2.0.1"}
+	if rec := get(t, srv, path, hdrB); rec.Code != http.StatusOK {
+		t.Errorf("fresh client status = %d, want 200", rec.Code)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	srv := testServer(Config{RatePerSec: 1000, Burst: 2})
+	path := trendsPath("TX", t0, 24, false)
+	hdr := map[string]string{"X-Fetcher-IP": "10.1.0.1"}
+	get(t, srv, path, hdr)
+	get(t, srv, path, hdr)
+	get(t, srv, path, hdr) // limited
+	rec := get(t, srv, "/api/stats", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stats status = %d", rec.Code)
+	}
+	var sb statsBody
+	if err := json.Unmarshal(rec.Body.Bytes(), &sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.RequestsServed != 2 {
+		t.Errorf("requests_served = %d, want 2", sb.RequestsServed)
+	}
+	if sb.RateLimited != 1 {
+		t.Errorf("rate_limited = %d, want 1", sb.RateLimited)
+	}
+	if sb.Clients < 1 {
+		t.Errorf("clients = %d", sb.Clients)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	srv := testServer(Config{})
+	rec := get(t, srv, "/healthz", nil)
+	if rec.Code != http.StatusOK {
+		t.Errorf("healthz status = %d", rec.Code)
+	}
+}
+
+func TestClientIDFallsBackToRemoteAddr(t *testing.T) {
+	req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	req.RemoteAddr = "192.0.2.7:1234"
+	if got := ClientID(req); got != "192.0.2.7" {
+		t.Errorf("ClientID = %q", got)
+	}
+	req.Header.Set("X-Fetcher-IP", "10.9.0.1")
+	if got := ClientID(req); got != "10.9.0.1" {
+		t.Errorf("ClientID with header = %q", got)
+	}
+}
+
+func TestLimiterRefill(t *testing.T) {
+	clock := t0
+	now := func() time.Time { return clock }
+	l := NewLimiter(2, 1, now) // 2 tokens/sec, burst 1
+	if ok, _ := l.Allow("a"); !ok {
+		t.Fatal("first request should pass")
+	}
+	ok, retry := l.Allow("a")
+	if ok {
+		t.Fatal("second immediate request should be limited")
+	}
+	if retry <= 0 || retry > time.Second {
+		t.Errorf("retry hint = %v, want (0, 1s]", retry)
+	}
+	clock = clock.Add(600 * time.Millisecond) // refills 1.2 tokens
+	if ok, _ := l.Allow("a"); !ok {
+		t.Error("request after refill should pass")
+	}
+	if l.Rejected() != 1 {
+		t.Errorf("Rejected = %d, want 1", l.Rejected())
+	}
+	if l.Clients() != 1 {
+		t.Errorf("Clients = %d, want 1", l.Clients())
+	}
+}
+
+func TestLimiterCapsAtBurst(t *testing.T) {
+	clock := t0
+	l := NewLimiter(1000, 5, func() time.Time { return clock })
+	clock = clock.Add(time.Hour) // would refill millions; cap at burst
+	allowed := 0
+	for i := 0; i < 10; i++ {
+		if ok, _ := l.Allow("a"); ok {
+			allowed++
+		}
+	}
+	if allowed != 5 {
+		t.Errorf("allowed %d after long idle, want burst of 5", allowed)
+	}
+}

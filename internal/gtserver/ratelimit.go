@@ -1,0 +1,98 @@
+package gtserver
+
+import (
+	"sync"
+	"time"
+)
+
+// tokenBucket is a standard token-bucket rate limiter.
+type tokenBucket struct {
+	tokens     float64
+	capacity   float64
+	refillRate float64 // tokens per second
+	last       time.Time
+}
+
+// take attempts to consume one token at instant now. When the bucket is
+// empty it returns false and the wait until a token will be available.
+func (b *tokenBucket) take(now time.Time) (ok bool, retryAfter time.Duration) {
+	elapsed := now.Sub(b.last).Seconds()
+	if elapsed > 0 {
+		b.tokens += elapsed * b.refillRate
+		if b.tokens > b.capacity {
+			b.tokens = b.capacity
+		}
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	need := (1 - b.tokens) / b.refillRate
+	return false, time.Duration(need * float64(time.Second))
+}
+
+// Limiter applies per-client token buckets, mirroring Google Trends'
+// IP-based rate limiting — the bottleneck the paper's collection module
+// works around with fetcher units behind separate IPs.
+type Limiter struct {
+	mu      sync.Mutex
+	buckets map[string]*tokenBucket
+	rate    float64
+	burst   int
+	now     func() time.Time
+
+	// rejected counts rate-limited requests, for operational stats.
+	rejected uint64
+}
+
+// NewLimiter builds a limiter granting each client rate requests per
+// second with the given burst. now defaults to time.Now and is injectable
+// for tests.
+func NewLimiter(rate float64, burst int, now func() time.Time) *Limiter {
+	if now == nil {
+		now = time.Now
+	}
+	return &Limiter{
+		buckets: make(map[string]*tokenBucket),
+		rate:    rate,
+		burst:   burst,
+		now:     now,
+	}
+}
+
+// Allow consumes one token for the client, returning whether the request
+// may proceed and, if not, how long the client should wait.
+func (l *Limiter) Allow(client string) (ok bool, retryAfter time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.buckets[client]
+	if b == nil {
+		b = &tokenBucket{
+			tokens:     float64(l.burst),
+			capacity:   float64(l.burst),
+			refillRate: l.rate,
+			last:       l.now(),
+		}
+		l.buckets[client] = b
+	}
+	ok, retryAfter = b.take(l.now())
+	if !ok {
+		l.rejected++
+	}
+	return ok, retryAfter
+}
+
+// Rejected returns how many requests have been rate-limited.
+func (l *Limiter) Rejected() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.rejected
+}
+
+// Clients returns how many distinct clients have been seen.
+func (l *Limiter) Clients() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.buckets)
+}

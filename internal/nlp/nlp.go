@@ -1,0 +1,209 @@
+// Package nlp provides the lightweight lexical-semantic machinery SIFT's
+// annotation stage uses to cluster near-duplicate search phrases, e.g.
+// <is Verizon down> with <Verizon outage> (§3.4 of the paper). The paper
+// uses a pre-trained word-vector library; this reproduction substitutes
+// deterministic bag-of-token + character-trigram vectors with cosine
+// similarity, which recovers the same groupings on the small, highly
+// templated vocabulary of outage queries without any model download.
+package nlp
+
+import (
+	"math"
+	"sort"
+	"strings"
+)
+
+// stopwords are scaffolding words that carry no entity information in
+// outage queries. Note that the domain words "down" and "outage" are
+// stopwords here: removing them is exactly what maps "is verizon down"
+// and "verizon outage" onto the same content token.
+var stopwords = map[string]bool{
+	"a": true, "an": true, "the": true, "is": true, "are": true,
+	"in": true, "on": true, "at": true, "of": true, "my": true,
+	"me": true, "near": true, "why": true,
+	"down": true, "outage": true, "outages": true, "today": true,
+	"now": true, "not": true, "working": true, "out": true,
+	"report": true, "map": true, "update": true, "status": true,
+}
+
+// Tokenize lowercases s and splits it into word tokens. Ampersands and
+// hyphens bind within tokens so brand names like "at&t" and "t-mobile"
+// survive as single units.
+func Tokenize(s string) []string {
+	var tokens []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			tokens = append(tokens, cur.String())
+			cur.Reset()
+		}
+	}
+	for _, r := range strings.ToLower(s) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '&', r == '-':
+			cur.WriteRune(r)
+		default:
+			flush()
+		}
+	}
+	flush()
+	return tokens
+}
+
+// ContentTokens returns the tokens of s with stopwords removed.
+func ContentTokens(s string) []string {
+	var out []string
+	for _, tok := range Tokenize(s) {
+		if !stopwords[tok] {
+			out = append(out, tok)
+		}
+	}
+	return out
+}
+
+// Vector embeds a phrase as a sparse L2-normalized feature map: content
+// tokens at full weight plus their character trigrams at reduced weight,
+// so that morphological variants ("centurylink" / "century link") stay
+// close.
+func Vector(s string) map[string]float64 {
+	v := make(map[string]float64)
+	content := ContentTokens(s)
+	for _, tok := range content {
+		v["t:"+tok] += 1.0
+		for _, tri := range trigrams(tok) {
+			v["g:"+tri] += 0.35
+		}
+	}
+	normalize(v)
+	return v
+}
+
+func trigrams(tok string) []string {
+	if len(tok) < 3 {
+		return nil
+	}
+	out := make([]string, 0, len(tok)-2)
+	for i := 0; i+3 <= len(tok); i++ {
+		out = append(out, tok[i:i+3])
+	}
+	return out
+}
+
+func normalize(v map[string]float64) {
+	var sum float64
+	for _, x := range v {
+		sum += x * x
+	}
+	if sum == 0 {
+		return
+	}
+	inv := 1 / math.Sqrt(sum)
+	for k := range v {
+		v[k] *= inv
+	}
+}
+
+// Cosine returns the cosine similarity of two sparse vectors. Both are
+// assumed normalized (as Vector returns them); an empty vector yields 0.
+func Cosine(a, b map[string]float64) float64 {
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	var dot float64
+	for k, x := range a {
+		dot += x * b[k]
+	}
+	return dot
+}
+
+// Similarity is Cosine over phrase strings.
+func Similarity(a, b string) float64 { return Cosine(Vector(a), Vector(b)) }
+
+// Cluster is one group of near-duplicate phrases. Canonical is the
+// cluster's seed phrase — the first member in input order, so callers
+// pass phrases most-important-first.
+type Cluster struct {
+	Canonical string
+	Members   []string
+}
+
+// ClusterTerms greedily groups phrases: each phrase joins the existing
+// cluster whose centroid it matches best if that similarity reaches
+// threshold, otherwise it seeds a new cluster. Input order determines
+// seeds; output clusters are ordered by first appearance.
+func ClusterTerms(terms []string, threshold float64) []Cluster {
+	type state struct {
+		cluster  Cluster
+		centroid map[string]float64
+		n        int
+	}
+	var clusters []*state
+	for _, term := range terms {
+		v := Vector(term)
+		bestIdx, bestSim := -1, -1.0
+		for i, c := range clusters {
+			if sim := Cosine(v, c.centroid); sim > bestSim {
+				bestIdx, bestSim = i, sim
+			}
+		}
+		if bestIdx >= 0 && bestSim >= threshold {
+			c := clusters[bestIdx]
+			c.cluster.Members = append(c.cluster.Members, term)
+			// Update the running centroid and renormalize.
+			for k, x := range v {
+				c.centroid[k] = (c.centroid[k]*float64(c.n) + x) / float64(c.n+1)
+			}
+			normalize(c.centroid)
+			c.n++
+			continue
+		}
+		clusters = append(clusters, &state{
+			cluster:  Cluster{Canonical: term, Members: []string{term}},
+			centroid: v,
+			n:        1,
+		})
+	}
+	if len(clusters) == 0 {
+		return nil
+	}
+	out := make([]Cluster, len(clusters))
+	for i, c := range clusters {
+		out[i] = c.cluster
+	}
+	return out
+}
+
+// TitleCase renders content tokens of a phrase as a display label:
+// "xfinity outage map" → "Xfinity". Multi-token content joins with
+// spaces: "san jose power" → "San Jose Power".
+func TitleCase(s string) string {
+	content := ContentTokens(s)
+	if len(content) == 0 {
+		content = Tokenize(s)
+	}
+	parts := make([]string, 0, len(content))
+	for _, tok := range content {
+		parts = append(parts, titleToken(tok))
+	}
+	return strings.Join(parts, " ")
+}
+
+// titleToken uppercases the first ASCII letter of a token.
+func titleToken(tok string) string {
+	if tok == "" {
+		return tok
+	}
+	b := []byte(tok)
+	if b[0] >= 'a' && b[0] <= 'z' {
+		b[0] -= 'a' - 'A'
+	}
+	return string(b)
+}
+
+// SortByLen orders phrases shortest-content-first, a helper for choosing
+// display representatives.
+func SortByLen(terms []string) {
+	sort.SliceStable(terms, func(i, j int) bool {
+		return len(ContentTokens(terms[i])) < len(ContentTokens(terms[j]))
+	})
+}

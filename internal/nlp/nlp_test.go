@@ -1,0 +1,194 @@
+package nlp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenize(t *testing.T) {
+	tests := []struct {
+		in   string
+		want []string
+	}{
+		{"Is Verizon Down?", []string{"is", "verizon", "down"}},
+		{"at&t outage", []string{"at&t", "outage"}},
+		{"t-mobile not working!!", []string{"t-mobile", "not", "working"}},
+		{"", nil},
+		{"  ", nil},
+		{"911 outage", []string{"911", "outage"}},
+	}
+	for _, tt := range tests {
+		got := Tokenize(tt.in)
+		if len(got) != len(tt.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", tt.in, got, tt.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tt.want[i] {
+				t.Errorf("Tokenize(%q) = %v, want %v", tt.in, got, tt.want)
+				break
+			}
+		}
+	}
+}
+
+func TestContentTokens(t *testing.T) {
+	got := ContentTokens("is verizon down")
+	if len(got) != 1 || got[0] != "verizon" {
+		t.Errorf("ContentTokens = %v, want [verizon]", got)
+	}
+	got = ContentTokens("san jose power outage")
+	if len(got) != 3 || got[0] != "san" || got[2] != "power" {
+		t.Errorf("ContentTokens = %v, want [san jose power]", got)
+	}
+}
+
+func TestVariantsAreSimilar(t *testing.T) {
+	// The paper's motivating pair.
+	pairs := [][2]string{
+		{"is verizon down", "verizon outage"},
+		{"xfinity outage", "xfinity outage map"},
+		{"power outage", "san jose power outage"},
+		{"centurylink outage", "centurylink internet down"},
+	}
+	for _, p := range pairs {
+		if sim := Similarity(p[0], p[1]); sim < 0.5 {
+			t.Errorf("Similarity(%q, %q) = %g, want ≥ 0.5", p[0], p[1], sim)
+		}
+	}
+}
+
+func TestDistinctEntitiesAreDissimilar(t *testing.T) {
+	pairs := [][2]string{
+		{"verizon outage", "xfinity outage"},
+		{"power outage", "internet outage"},
+		{"fastly down", "akamai down"},
+	}
+	for _, p := range pairs {
+		if sim := Similarity(p[0], p[1]); sim > 0.45 {
+			t.Errorf("Similarity(%q, %q) = %g, want < 0.45", p[0], p[1], sim)
+		}
+	}
+}
+
+func TestCosineProperties(t *testing.T) {
+	f := func(a, b string) bool {
+		va, vb := Vector(a), Vector(b)
+		sim := Cosine(va, vb)
+		if math.IsNaN(sim) || sim < -1e-9 || sim > 1+1e-9 {
+			return false
+		}
+		// Symmetry.
+		if math.Abs(sim-Cosine(vb, va)) > 1e-12 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Self-similarity of non-empty phrases is 1.
+	if sim := Similarity("verizon outage", "verizon outage"); math.Abs(sim-1) > 1e-9 {
+		t.Errorf("self similarity = %g", sim)
+	}
+	// Empty phrase yields 0.
+	if sim := Similarity("", "verizon"); sim != 0 {
+		t.Errorf("empty similarity = %g", sim)
+	}
+}
+
+func TestClusterTerms(t *testing.T) {
+	terms := []string{
+		"verizon outage",
+		"is verizon down",
+		"power outage",
+		"verizon down",
+		"san jose power outage",
+		"fastly outage",
+	}
+	clusters := ClusterTerms(terms, 0.5)
+	byCanonical := map[string][]string{}
+	for _, c := range clusters {
+		byCanonical[c.Canonical] = c.Members
+	}
+	vz := byCanonical["verizon outage"]
+	if len(vz) != 3 {
+		t.Errorf("verizon cluster = %v, want 3 variants", vz)
+	}
+	pw := byCanonical["power outage"]
+	if len(pw) != 2 {
+		t.Errorf("power cluster = %v, want 2 members", pw)
+	}
+	if len(byCanonical["fastly outage"]) != 1 {
+		t.Errorf("fastly should stand alone: %v", clusters)
+	}
+}
+
+func TestClusterTermsThresholdExtremes(t *testing.T) {
+	terms := []string{"a b", "a c", "d e"}
+	// Impossible threshold: every term its own cluster.
+	if got := ClusterTerms(terms, 1.1); len(got) != 3 {
+		t.Errorf("threshold > 1 should isolate all terms: %d clusters", len(got))
+	}
+	// Zero threshold: everything joins the first cluster.
+	if got := ClusterTerms(terms, 0); len(got) != 1 {
+		t.Errorf("threshold 0 should merge everything: %d clusters", len(got))
+	}
+	if got := ClusterTerms(nil, 0.5); got != nil {
+		t.Error("ClusterTerms(nil) should be nil")
+	}
+}
+
+func TestClusterMembersPartitionInput(t *testing.T) {
+	f := func(raw []string) bool {
+		terms := raw
+		if len(terms) > 20 {
+			terms = terms[:20]
+		}
+		clusters := ClusterTerms(terms, 0.5)
+		total := 0
+		for _, c := range clusters {
+			total += len(c.Members)
+			if len(c.Members) == 0 || c.Canonical != c.Members[0] {
+				return false
+			}
+		}
+		return total == len(terms)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTitleCase(t *testing.T) {
+	tests := []struct{ in, want string }{
+		{"xfinity outage map", "Xfinity"},
+		{"san jose power outage", "San Jose Power"},
+		{"is down", "Is Down"}, // all stopwords: falls back to raw tokens
+		{"at&t outage", "At&t"},
+	}
+	for _, tt := range tests {
+		if got := TitleCase(tt.in); got != tt.want {
+			t.Errorf("TitleCase(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestSortByLen(t *testing.T) {
+	terms := []string{"san jose power outage", "power outage", "rolling power blackout zone"}
+	SortByLen(terms)
+	if terms[0] != "power outage" {
+		t.Errorf("SortByLen first = %q", terms[0])
+	}
+}
+
+func TestTrigramsRobustness(t *testing.T) {
+	if got := trigrams("ab"); got != nil {
+		t.Errorf("trigrams of short token = %v", got)
+	}
+	got := trigrams("abcd")
+	if len(got) != 2 || got[0] != "abc" || got[1] != "bcd" {
+		t.Errorf("trigrams(abcd) = %v", got)
+	}
+}

@@ -1,0 +1,268 @@
+// Package report renders the tables and figure series of the evaluation
+// as aligned text, CSV, and ASCII plots. Every experiment runner returns
+// its rows through these types, so the benches, the CLI, and
+// EXPERIMENTS.md all print identical numbers.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"sift/internal/timeseries"
+)
+
+// Table is a titled grid of cells.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// Add appends one row. Cell counts need not match the header; short rows
+// render with empty trailing cells.
+func (t *Table) Add(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Addf appends one row of formatted cells: each argument is rendered
+// with %v.
+func (t *Table) Addf(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = fmt.Sprint(c)
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	cols := len(t.Headers)
+	for _, r := range t.Rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	widths := make([]int, cols)
+	measure := func(row []string) {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	measure(t.Headers)
+	for _, r := range t.Rows {
+		measure(r)
+	}
+
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(row []string) {
+		for i := 0; i < cols; i++ {
+			cell := ""
+			if i < len(row) {
+				cell = row[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+		}
+		b.WriteByte('\n')
+	}
+	if len(t.Headers) > 0 {
+		writeRow(t.Headers)
+		total := 0
+		for _, w := range widths {
+			total += w
+		}
+		b.WriteString(strings.Repeat("-", total+2*(cols-1)))
+		b.WriteByte('\n')
+	}
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values with a header row.
+// Cells containing commas or quotes are quoted.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(row []string) {
+		for i, c := range row {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(c, `"`, `""`))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	if len(t.Headers) > 0 {
+		writeRow(t.Headers)
+	}
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// sparkGlyphs are the eighth-block characters for sparklines.
+var sparkGlyphs = []rune(" ▁▂▃▄▅▆▇█")
+
+// Sparkline compresses a series of values into a one-line unicode plot of
+// the given width.
+func Sparkline(values []float64, width int) string {
+	if len(values) == 0 || width < 1 {
+		return ""
+	}
+	buckets := resample(values, width)
+	max := 0.0
+	for _, v := range buckets {
+		if v > max {
+			max = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range buckets {
+		idx := 0
+		if max > 0 {
+			idx = int(v / max * float64(len(sparkGlyphs)-1))
+		}
+		b.WriteRune(sparkGlyphs[idx])
+	}
+	return b.String()
+}
+
+// resample compresses values into width buckets by taking bucket maxima
+// (spikes must survive downsampling).
+func resample(values []float64, width int) []float64 {
+	if width >= len(values) {
+		out := make([]float64, len(values))
+		copy(out, values)
+		return out
+	}
+	out := make([]float64, width)
+	for i := range out {
+		lo := i * len(values) / width
+		hi := (i + 1) * len(values) / width
+		if hi <= lo {
+			hi = lo + 1
+		}
+		max := values[lo]
+		for _, v := range values[lo:hi] {
+			if v > max {
+				max = v
+			}
+		}
+		out[i] = max
+	}
+	return out
+}
+
+// BarChart renders horizontal bars, one per label, scaled to width.
+func BarChart(labels []string, values []float64, width int) string {
+	if len(labels) != len(values) || len(labels) == 0 {
+		return ""
+	}
+	maxLabel, maxVal := 0, 0.0
+	for i, l := range labels {
+		if len(l) > maxLabel {
+			maxLabel = len(l)
+		}
+		if values[i] > maxVal {
+			maxVal = values[i]
+		}
+	}
+	var b strings.Builder
+	for i, l := range labels {
+		bar := 0
+		if maxVal > 0 {
+			bar = int(math.Round(values[i] / maxVal * float64(width)))
+		}
+		fmt.Fprintf(&b, "%-*s |%s %.4g\n", maxLabel, l, strings.Repeat("█", bar), values[i])
+	}
+	return b.String()
+}
+
+// TimelinePlot renders a series as a fixed-height ASCII chart with the
+// time axis labelled at both ends — the Fig. 1 view.
+func TimelinePlot(s *timeseries.Series, width, height int) string {
+	if s.Len() == 0 || width < 2 || height < 2 {
+		return ""
+	}
+	vals := resample(s.Values(), width)
+	max := 0.0
+	for _, v := range vals {
+		if v > max {
+			max = v
+		}
+	}
+	if max == 0 {
+		max = 1
+	}
+	grid := make([][]rune, height)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", width))
+	}
+	for c, v := range vals {
+		level := int(math.Round(v / max * float64(height)))
+		for r := 0; r < level && r < height; r++ {
+			grid[height-1-r][c] = '█'
+		}
+	}
+	var b strings.Builder
+	for r, row := range grid {
+		label := "    "
+		if r == 0 {
+			label = fmt.Sprintf("%3.0f ", max)
+		}
+		if r == height-1 {
+			label = "  0 "
+		}
+		b.WriteString(label)
+		b.WriteString(string(row))
+		b.WriteByte('\n')
+	}
+	left := s.Start().Format("2006-01-02")
+	right := s.End().Format("2006-01-02")
+	pad := width - len(left) - len(right)
+	if pad < 1 {
+		pad = 1
+	}
+	fmt.Fprintf(&b, "    %s%s%s\n", left, strings.Repeat(" ", pad), right)
+	return b.String()
+}
+
+// CDFRows renders (x, P) pairs as table rows with a fixed x formatter.
+func CDFRows(t *Table, xs, ps []float64, xFmt string) {
+	for i := range xs {
+		t.Add(fmt.Sprintf(xFmt, xs[i]), fmt.Sprintf("%.4f", ps[i]))
+	}
+}
+
+// FormatHours renders a duration as whole hours ("45 h").
+func FormatHours(d time.Duration) string {
+	return fmt.Sprintf("%d h", int(d.Hours()))
+}
+
+// FormatSpikeTime renders an instant the way the paper's tables do:
+// "15 Feb. 2021–10h".
+func FormatSpikeTime(t time.Time) string {
+	return fmt.Sprintf("%02d %s. %d–%02dh", t.Day(), t.Format("Jan"), t.Year(), t.Hour())
+}

@@ -1,0 +1,142 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"sift/internal/timeseries"
+)
+
+func TestTableString(t *testing.T) {
+	tab := NewTable("Most impactful spikes", "State", "Duration")
+	tab.Add("TX", "45 h")
+	tab.Add("CA", "23 h")
+	out := tab.String()
+	if !strings.Contains(out, "Most impactful spikes") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "State") || !strings.Contains(out, "TX") {
+		t.Error("content missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + header + rule + 2 rows
+	if len(lines) != 5 {
+		t.Errorf("got %d lines:\n%s", len(lines), out)
+	}
+	// Columns align: "State" and "TX" start at the same offset.
+	if strings.Index(lines[1], "State") != strings.Index(lines[3], "TX") {
+		t.Error("columns misaligned")
+	}
+}
+
+func TestTableAddf(t *testing.T) {
+	tab := NewTable("", "n", "x")
+	tab.Addf(42, 1.5)
+	if tab.Rows[0][0] != "42" || tab.Rows[0][1] != "1.5" {
+		t.Errorf("Addf row = %v", tab.Rows[0])
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tab := NewTable("", "a", "b", "c")
+	tab.Add("1")
+	tab.Add("1", "2", "3", "4")
+	out := tab.String()
+	if out == "" {
+		t.Fatal("ragged rows should still render")
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := NewTable("t", "name", "note")
+	tab.Add("plain", "a,b")
+	tab.Add(`quo"te`, "x")
+	csv := tab.CSV()
+	want := "name,note\nplain,\"a,b\"\n\"quo\"\"te\",x\n"
+	if csv != want {
+		t.Errorf("CSV = %q, want %q", csv, want)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	out := Sparkline([]float64{0, 1, 2, 4, 8}, 5)
+	runes := []rune(out)
+	if len(runes) != 5 {
+		t.Fatalf("width = %d", len(runes))
+	}
+	if runes[0] != ' ' || runes[4] != '█' {
+		t.Errorf("Sparkline = %q", out)
+	}
+	if Sparkline(nil, 5) != "" || Sparkline([]float64{1}, 0) != "" {
+		t.Error("degenerate sparkline should be empty")
+	}
+	// Downsampling keeps spikes (bucket max).
+	long := make([]float64, 100)
+	long[50] = 10
+	wide := []rune(Sparkline(long, 10))
+	found := false
+	for _, r := range wide {
+		if r == '█' {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("spike lost in downsampling")
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	out := BarChart([]string{"2020", "2021"}, []float64{10, 5}, 10)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if !strings.Contains(lines[0], strings.Repeat("█", 10)) {
+		t.Errorf("max bar not full width: %q", lines[0])
+	}
+	if strings.Count(lines[1], "█") != 5 {
+		t.Errorf("half bar wrong: %q", lines[1])
+	}
+	if BarChart([]string{"a"}, []float64{1, 2}, 10) != "" {
+		t.Error("mismatched inputs should render empty")
+	}
+}
+
+func TestTimelinePlot(t *testing.T) {
+	start := time.Date(2021, 1, 19, 0, 0, 0, 0, time.UTC)
+	vals := make([]float64, 168)
+	vals[100] = 100
+	s := timeseries.MustNew(start, vals)
+	out := TimelinePlot(s, 40, 8)
+	if out == "" {
+		t.Fatal("plot empty")
+	}
+	if !strings.Contains(out, "█") {
+		t.Error("no bars plotted")
+	}
+	if !strings.Contains(out, "2021-01-19") {
+		t.Error("time axis missing")
+	}
+	if TimelinePlot(timeseries.MustNew(start, nil), 40, 8) != "" {
+		t.Error("empty series should render empty")
+	}
+}
+
+func TestCDFRows(t *testing.T) {
+	tab := NewTable("", "x", "P")
+	CDFRows(tab, []float64{1, 2}, []float64{0.5, 1}, "%.0f")
+	if len(tab.Rows) != 2 || tab.Rows[1][1] != "1.0000" {
+		t.Errorf("CDFRows = %v", tab.Rows)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if got := FormatHours(45 * time.Hour); got != "45 h" {
+		t.Errorf("FormatHours = %q", got)
+	}
+	at := time.Date(2021, 2, 15, 10, 0, 0, 0, time.UTC)
+	if got := FormatSpikeTime(at); got != "15 Feb. 2021–10h" {
+		t.Errorf("FormatSpikeTime = %q", got)
+	}
+}

@@ -1,0 +1,348 @@
+package scenario
+
+import (
+	"sift/internal/geo"
+)
+
+// Provider is a network or application provider users name in outage
+// searches. Canonical names match the paper's heavy-hitter list where the
+// two overlap.
+type Provider struct {
+	// Canonical is the display name annotations resolve to ("Xfinity").
+	Canonical string
+	// Query is the lowercase stem users type ("xfinity").
+	Query string
+	// Mobile marks carriers whose end devices never answer probes.
+	Mobile bool
+}
+
+// The wireline and mobile providers the scenario draws from. Footprints
+// below are rough approximations of real 2020–2021 coverage; they only
+// need to make per-state annotations plausible (Spectrum spikes in TX,
+// Xfinity in CA, ...).
+var (
+	provXfinity     = Provider{Canonical: "Xfinity", Query: "xfinity"}
+	provComcast     = Provider{Canonical: "Comcast", Query: "comcast"}
+	provSpectrum    = Provider{Canonical: "Spectrum", Query: "spectrum"}
+	provATT         = Provider{Canonical: "AT&T", Query: "att"}
+	provVerizon     = Provider{Canonical: "Verizon", Query: "verizon"}
+	provCox         = Provider{Canonical: "Cox Communications", Query: "cox"}
+	provCenturyLink = Provider{Canonical: "CenturyLink", Query: "centurylink"}
+	provFrontier    = Provider{Canonical: "Frontier", Query: "frontier"}
+	provOptimum     = Provider{Canonical: "Optimum", Query: "optimum"}
+	provMediacom    = Provider{Canonical: "Mediacom", Query: "mediacom"}
+	provWindstream  = Provider{Canonical: "Windstream", Query: "windstream"}
+	provTMobile     = Provider{Canonical: "T-Mobile", Query: "t-mobile", Mobile: true}
+	provMetroPCS    = Provider{Canonical: "Metro PCS", Query: "metro pcs", Mobile: true}
+	provVzw         = Provider{Canonical: "Verizon", Query: "verizon wireless", Mobile: true}
+)
+
+// AllProviders lists every provider the scenario can reference.
+func AllProviders() []Provider {
+	return []Provider{
+		provXfinity, provComcast, provSpectrum, provATT, provVerizon,
+		provCox, provCenturyLink, provFrontier, provOptimum, provMediacom,
+		provWindstream, provTMobile, provMetroPCS, provVzw,
+	}
+}
+
+// providerFootprint maps each state to the wireline providers users there
+// complain about, most common first. States not listed fall back to
+// defaultProviders.
+var providerFootprint = map[geo.State][]Provider{
+	"AK": {provATT, provVzw},
+	"AL": {provATT, provSpectrum, provComcast},
+	"AR": {provATT, provCox, provWindstream},
+	"AZ": {provCox, provCenturyLink, provTMobile},
+	"CA": {provXfinity, provSpectrum, provATT, provCox, provFrontier},
+	"CO": {provXfinity, provCenturyLink, provTMobile},
+	"CT": {provOptimum, provFrontier, provXfinity},
+	"DC": {provVerizon, provXfinity},
+	"DE": {provVerizon, provXfinity},
+	"FL": {provXfinity, provSpectrum, provATT, provCenturyLink, provFrontier},
+	"GA": {provComcast, provATT, provSpectrum, provWindstream},
+	"HI": {provSpectrum, provTMobile},
+	"IA": {provMediacom, provCenturyLink},
+	"ID": {provCenturyLink, provSpectrum},
+	"IL": {provXfinity, provATT, provMediacom},
+	"IN": {provComcast, provATT, provSpectrum},
+	"KS": {provCox, provATT, provSpectrum},
+	"KY": {provSpectrum, provATT, provWindstream},
+	"LA": {provCox, provATT, provCenturyLink},
+	"MA": {provXfinity, provVerizon, provSpectrum},
+	"MD": {provVerizon, provXfinity},
+	"ME": {provSpectrum, provConsolidated},
+	"MI": {provXfinity, provATT, provSpectrum},
+	"MN": {provXfinity, provCenturyLink, provSpectrum},
+	"MO": {provSpectrum, provATT, provCenturyLink},
+	"MS": {provATT, provSpectrum, provCSpire},
+	"MT": {provSpectrum, provCenturyLink},
+	"NC": {provSpectrum, provATT, provCenturyLink},
+	"ND": {provMidco, provCenturyLink},
+	"NE": {provCox, provSpectrum, provWindstream},
+	"NH": {provXfinity, provSpectrum},
+	"NJ": {provVerizon, provOptimum, provXfinity},
+	"NM": {provXfinity, provCenturyLink},
+	"NV": {provCox, provSpectrum, provCenturyLink},
+	"NY": {provSpectrum, provVerizon, provOptimum, provFrontier},
+	"OH": {provSpectrum, provATT, provXfinity},
+	"OK": {provCox, provATT},
+	"OR": {provXfinity, provCenturyLink, provSpectrum},
+	"PA": {provXfinity, provVerizon, provSpectrum},
+	"RI": {provCox, provVerizon},
+	"SC": {provSpectrum, provATT, provComcast},
+	"SD": {provMidco, provCenturyLink},
+	"TN": {provATT, provComcast, provSpectrum},
+	"TX": {provSpectrum, provATT, provXfinity, provFrontier},
+	"UT": {provXfinity, provCenturyLink},
+	"VA": {provVerizon, provXfinity, provCox},
+	"VT": {provXfinity, provConsolidated},
+	"WA": {provXfinity, provCenturyLink, provSpectrum},
+	"WI": {provSpectrum, provATT, provTDS},
+	"WV": {provFrontier, provOptimum},
+	"WY": {provSpectrum, provCenturyLink},
+}
+
+// Small regional providers referenced only in a few footprints.
+var (
+	provConsolidated = Provider{Canonical: "Consolidated Communications", Query: "consolidated communications"}
+	provCSpire       = Provider{Canonical: "C Spire", Query: "c spire"}
+	provMidco        = Provider{Canonical: "Midco", Query: "midco"}
+	provTDS          = Provider{Canonical: "TDS Telecom", Query: "tds"}
+)
+
+var defaultProviders = []Provider{provATT, provSpectrum, provXfinity}
+
+// ProvidersIn returns the wireline providers serving a state, most common
+// first. Unknown states get a generic national mix.
+func ProvidersIn(state geo.State) []Provider {
+	if ps, ok := providerFootprint[state]; ok {
+		return ps
+	}
+	return defaultProviders
+}
+
+// MobileCarriers returns the mobile carriers, used by mobile-outage events
+// and occasional mobile-flavoured micro events.
+func MobileCarriers() []Provider {
+	return []Provider{provTMobile, provVzw, provMetroPCS}
+}
+
+// cities maps each state to the city names local long-tail search phrases
+// mention ("san jose power outage"). Three per state keeps the long tail
+// diverse without bloating the table.
+var cities = map[geo.State][]string{
+	"AK": {"anchorage", "fairbanks", "juneau"},
+	"AL": {"birmingham", "montgomery", "huntsville"},
+	"AR": {"little rock", "fayetteville", "fort smith"},
+	"AZ": {"phoenix", "tucson", "mesa"},
+	"CA": {"los angeles", "san jose", "san francisco", "sacramento", "san diego", "fresno"},
+	"CO": {"denver", "colorado springs", "pueblo"},
+	"CT": {"hartford", "new haven", "stamford"},
+	"DC": {"washington", "georgetown", "anacostia"},
+	"DE": {"wilmington", "dover", "newark"},
+	"FL": {"miami", "orlando", "tampa", "jacksonville"},
+	"GA": {"atlanta", "savannah", "augusta"},
+	"HI": {"honolulu", "hilo", "kailua"},
+	"IA": {"des moines", "cedar rapids", "davenport"},
+	"ID": {"boise", "idaho falls", "twin falls"},
+	"IL": {"chicago", "springfield", "peoria"},
+	"IN": {"indianapolis", "fort wayne", "south bend"},
+	"KS": {"wichita", "topeka", "overland park"},
+	"KY": {"louisville", "lexington", "bowling green"},
+	"LA": {"new orleans", "baton rouge", "shreveport"},
+	"MA": {"boston", "worcester", "springfield"},
+	"MD": {"baltimore", "annapolis", "rockville"},
+	"ME": {"portland", "bangor", "augusta"},
+	"MI": {"detroit", "grand rapids", "lansing"},
+	"MN": {"minneapolis", "saint paul", "duluth"},
+	"MO": {"kansas city", "saint louis", "springfield"},
+	"MS": {"jackson", "gulfport", "hattiesburg"},
+	"MT": {"billings", "missoula", "bozeman"},
+	"NC": {"charlotte", "raleigh", "durham"},
+	"ND": {"fargo", "bismarck", "grand forks"},
+	"NE": {"omaha", "lincoln", "grand island"},
+	"NH": {"manchester", "nashua", "concord"},
+	"NJ": {"newark", "jersey city", "trenton"},
+	"NM": {"albuquerque", "santa fe", "las cruces"},
+	"NV": {"las vegas", "reno", "henderson"},
+	"NY": {"new york", "buffalo", "rochester", "albany"},
+	"OH": {"columbus", "cleveland", "cincinnati"},
+	"OK": {"oklahoma city", "tulsa", "norman"},
+	"OR": {"portland", "eugene", "salem"},
+	"PA": {"philadelphia", "pittsburgh", "harrisburg"},
+	"RI": {"providence", "warwick", "cranston"},
+	"SC": {"columbia", "charleston", "greenville"},
+	"SD": {"sioux falls", "rapid city", "aberdeen"},
+	"TN": {"nashville", "memphis", "knoxville"},
+	"TX": {"houston", "austin", "dallas", "san antonio", "el paso"},
+	"UT": {"salt lake city", "provo", "ogden"},
+	"VA": {"richmond", "virginia beach", "norfolk"},
+	"VT": {"burlington", "montpelier", "rutland"},
+	"WA": {"seattle", "spokane", "tacoma"},
+	"WI": {"milwaukee", "madison", "green bay"},
+	"WV": {"charleston", "huntington", "morgantown"},
+	"WY": {"cheyenne", "casper", "laramie"},
+}
+
+// CitiesIn returns the city names used in a state's localized phrases.
+func CitiesIn(state geo.State) []string {
+	if cs, ok := cities[state]; ok {
+		return cs
+	}
+	return []string{"downtown"}
+}
+
+// localSuffixes is the phrase pool combined with city names to form the
+// long tail of distinct suggested terms ("<city> power outage",
+// "no internet <city>", ...). The breadth of this pool times the city list
+// is what yields the thousands of distinct suggestions the paper reports.
+var localSuffixes = []string{
+	"power outage",
+	"power outage today",
+	"power outage map",
+	"internet outage",
+	"internet down",
+	"outage",
+	"blackout",
+	"no internet",
+	"wifi down",
+	"internet not working",
+	"cable outage",
+	"internet slow",
+	"outage today",
+	"electric outage",
+	"no power",
+	"power out",
+	"cell service down",
+	"phone service down",
+	"service outage",
+	"network down",
+	"outage report",
+	"down detector",
+	"internet outage report",
+	"why is the internet down",
+	"is the internet down",
+	"internet outage now",
+	"utility outage",
+	"storm damage",
+	"power company",
+	"electricity out",
+	"internet provider down",
+	"broadband outage",
+	"fiber cut",
+	"dsl down",
+	"modem offline",
+	"router not connecting",
+	"tv and internet out",
+	"phones down",
+	"911 outage",
+	"outage update",
+}
+
+// LocalSuffixes returns the full localized phrase pool.
+func LocalSuffixes() []string { return localSuffixes }
+
+// powerSuffixIdx marks which localSuffixes entries are power-flavoured.
+// Connectivity-only disturbances must not draw them: a neighbourhood
+// internet blip should never suggest "power outage", or the §4.3 power
+// analysis would count noise.
+var powerSuffixIdx = func() map[int]bool {
+	power := map[string]bool{
+		"power outage": true, "power outage today": true, "power outage map": true,
+		"blackout": true, "no power": true, "electric outage": true,
+		"power out": true, "electricity out": true, "utility outage": true,
+		"storm damage": true, "power company": true,
+	}
+	out := make(map[int]bool)
+	for i, s := range localSuffixes {
+		if power[s] {
+			out[i] = true
+		}
+	}
+	return out
+}()
+
+// NetSuffixes returns the connectivity-only localized phrases.
+func NetSuffixes() []string {
+	var out []string
+	for i, s := range localSuffixes {
+		if !powerSuffixIdx[i] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// PowerSuffixes returns the power-flavoured localized phrases.
+func PowerSuffixes() []string {
+	var out []string
+	for i, s := range localSuffixes {
+		if powerSuffixIdx[i] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// LocalNetTerm renders a localized connectivity phrase for a state.
+func LocalNetTerm(state geo.State, cityIdx, suffixIdx int) string {
+	return localFromPool(state, NetSuffixes(), cityIdx, suffixIdx)
+}
+
+// LocalPowerTerm renders a localized power phrase for a state.
+func LocalPowerTerm(state geo.State, cityIdx, suffixIdx int) string {
+	return localFromPool(state, PowerSuffixes(), cityIdx, suffixIdx)
+}
+
+func localFromPool(state geo.State, pool []string, cityIdx, suffixIdx int) string {
+	cs := CitiesIn(state)
+	if cityIdx < 0 {
+		cityIdx = -cityIdx
+	}
+	if suffixIdx < 0 {
+		suffixIdx = -suffixIdx
+	}
+	return cs[cityIdx%len(cs)] + " " + pool[suffixIdx%len(pool)]
+}
+
+// providerSuffixes combines with provider query stems ("is xfinity down").
+var providerSuffixes = []string{
+	"outage",
+	"down",
+	"internet outage",
+	"outage map",
+	"not working",
+	"internet down",
+	"down in my area",
+	"service down",
+	"customer service",
+	"outage today",
+}
+
+// ProviderTerm renders one provider search phrase: the i-th suffix pattern
+// applied to the provider's query stem. i wraps around the pool.
+func ProviderTerm(p Provider, i int) string {
+	if i < 0 {
+		i = -i
+	}
+	suffix := providerSuffixes[i%len(providerSuffixes)]
+	if suffix == "down" && i%2 == 1 {
+		return "is " + p.Query + " down"
+	}
+	return p.Query + " " + suffix
+}
+
+// LocalTerm renders one localized search phrase for a state: the city
+// index wraps the state's city pool and the suffix index wraps the
+// localized phrase pool.
+func LocalTerm(state geo.State, cityIdx, suffixIdx int) string {
+	cs := CitiesIn(state)
+	if cityIdx < 0 {
+		cityIdx = -cityIdx
+	}
+	if suffixIdx < 0 {
+		suffixIdx = -suffixIdx
+	}
+	return cs[cityIdx%len(cs)] + " " + localSuffixes[suffixIdx%len(localSuffixes)]
+}

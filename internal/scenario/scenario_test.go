@@ -1,0 +1,412 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"sift/internal/geo"
+	"sift/internal/simworld"
+)
+
+func build(t *testing.T, cfg Config) *simworld.Timeline {
+	t.Helper()
+	tl, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tl
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	a := build(t, DefaultConfig(7))
+	b := build(t, DefaultConfig(7))
+	if a.Len() != b.Len() {
+		t.Fatalf("same seed produced %d vs %d events", a.Len(), b.Len())
+	}
+	ea, eb := a.Events(), b.Events()
+	for i := range ea {
+		if ea[i].ID != eb[i].ID || !ea[i].Start.Equal(eb[i].Start) || ea[i].Duration != eb[i].Duration {
+			t.Fatalf("event %d differs between identical builds: %+v vs %+v", i, ea[i], eb[i])
+		}
+	}
+}
+
+func TestBuildSeedsDiffer(t *testing.T) {
+	a := build(t, DefaultConfig(1))
+	b := build(t, DefaultConfig(2))
+	if a.Len() == b.Len() {
+		// Counts colliding is possible but the event streams must differ.
+		ea, eb := a.Events(), b.Events()
+		same := true
+		for i := range ea {
+			if !ea[i].Start.Equal(eb[i].Start) {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical timelines")
+		}
+	}
+}
+
+func TestBuildScale(t *testing.T) {
+	tl := build(t, DefaultConfig(1))
+	// The two-year default should land in the ballpark that yields ~49k
+	// detected spikes: tens of thousands of events.
+	if tl.Len() < 25_000 || tl.Len() > 60_000 {
+		t.Errorf("default build produced %d events, want 25k-60k", tl.Len())
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := DefaultConfig(1)
+	bad.Start = time.Date(2021, 1, 1, 0, 0, 0, 0, time.UTC)
+	bad.End = time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+	if err := bad.Validate(); err == nil {
+		t.Error("inverted window should fail validation")
+	}
+	bad = DefaultConfig(1)
+	bad.Start = time.Date(2020, 1, 1, 0, 30, 0, 0, time.UTC)
+	bad.End = time.Date(2020, 3, 1, 0, 0, 0, 0, time.UTC)
+	if err := bad.Validate(); err == nil {
+		t.Error("misaligned bounds should fail validation")
+	}
+	bad = DefaultConfig(1)
+	bad.MicroRate = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative rate should fail validation")
+	}
+	bad = DefaultConfig(1)
+	bad.WeekendDip = 1.5
+	if err := bad.Validate(); err == nil {
+		t.Error("WeekendDip > 1 should fail validation")
+	}
+	good := DefaultConfig(1)
+	if err := good.Validate(); err != nil {
+		t.Errorf("default config should validate: %v", err)
+	}
+}
+
+func TestWindowFiltersScripted(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.Start = time.Date(2021, 2, 1, 0, 0, 0, 0, time.UTC)
+	cfg.End = time.Date(2021, 3, 1, 0, 0, 0, 0, time.UTC)
+	tl := build(t, cfg)
+	var ids []string
+	for _, e := range tl.Newsworthy() {
+		ids = append(ids, e.ID)
+	}
+	if len(ids) != 1 || ids[0] != "tx-winter-storm-2021-02" {
+		t.Errorf("Feb 2021 window newsworthy = %v, want only the winter storm", ids)
+	}
+}
+
+func TestSkipScripted(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.SkipScripted = true
+	cfg.End = cfg.Start // trigger defaults first
+	cfg = Config{Seed: 1, SkipScripted: true,
+		Start: time.Date(2021, 2, 1, 0, 0, 0, 0, time.UTC),
+		End:   time.Date(2021, 3, 1, 0, 0, 0, 0, time.UTC)}
+	tl := build(t, cfg)
+	if n := len(tl.Newsworthy()); n != 0 {
+		t.Errorf("SkipScripted build has %d newsworthy events", n)
+	}
+}
+
+func TestScriptedTable1Durations(t *testing.T) {
+	want := map[string]time.Duration{ // paper Table 1
+		"tx-winter-storm-2021-02": 45 * time.Hour,
+		"xfinity-2021-11":         23 * time.Hour,
+		"fastly-2021-06":          22 * time.Hour,
+		"tn-att-2020-12":          21 * time.Hour,
+		"ga-comcast-zeta-2020-10": 20 * time.Hour,
+		"tmobile-2020-06":         19 * time.Hour,
+		"centurylink-2020-04":     18 * time.Hour,
+	}
+	byID := scriptedByID()
+	for id, dur := range want {
+		e, ok := byID[id]
+		if !ok {
+			t.Errorf("scripted event %q missing", id)
+			continue
+		}
+		if e.Duration != dur {
+			t.Errorf("%s duration = %v, want %v", id, e.Duration, dur)
+		}
+	}
+}
+
+func TestScriptedTable2Extents(t *testing.T) {
+	want := map[string]int{ // paper Table 2: states per outage
+		"akamai-2021-07":      34,
+		"cloudflare-2020-07":  30,
+		"verizon-2021-01":     27,
+		"youtube-2020-11":     27,
+		"aws-2021-12":         26,
+		"fastly-2021-06":      26,
+		"comcast-2020-01":     25,
+		"centurylink-2020-08": 24,
+	}
+	byID := scriptedByID()
+	for id, n := range want {
+		e, ok := byID[id]
+		if !ok {
+			t.Errorf("scripted event %q missing", id)
+			continue
+		}
+		if len(e.Impacts) != n {
+			t.Errorf("%s impacts = %d states, want %d", id, len(e.Impacts), n)
+		}
+	}
+}
+
+func TestScriptedFacebookLag(t *testing.T) {
+	fb := scriptedByID()["facebook-2021-10"]
+	if fb == nil {
+		t.Fatal("facebook event missing")
+	}
+	if len(fb.Impacts) != geo.Count {
+		t.Fatalf("facebook impacts %d states, want all %d", len(fb.Impacts), geo.Count)
+	}
+	immediate, lagged := 0, 0
+	for _, im := range fb.Impacts {
+		if im.LagHours == 0 {
+			immediate++
+		} else {
+			lagged++
+			if im.LagHours < 2 || im.LagHours > 7 {
+				t.Errorf("%s lag %dh outside 2-7h", im.State, im.LagHours)
+			}
+		}
+	}
+	if immediate != 29 || lagged != 22 {
+		t.Errorf("facebook immediate/lagged = %d/%d, want 29/22", immediate, lagged)
+	}
+}
+
+func TestScriptedProbeVisibility(t *testing.T) {
+	byID := scriptedByID()
+	invisible := []string{"tmobile-2020-06", "akamai-2021-07", "youtube-2020-11", "facebook-2021-10", "fastly-2021-06", "cloudflare-2020-07", "aws-2021-12"}
+	for _, id := range invisible {
+		if e := byID[id]; e == nil || e.ProbeVisible {
+			t.Errorf("%s should be invisible to active probing", id)
+		}
+	}
+	visible := []string{"tx-winter-storm-2021-02", "verizon-2021-01", "tn-att-2020-12", "ca-heatwave-2020-09"}
+	for _, id := range visible {
+		if e := byID[id]; e == nil || !e.ProbeVisible {
+			t.Errorf("%s should be visible to active probing", id)
+		}
+	}
+}
+
+func TestScriptedPowerCausesAreClimate(t *testing.T) {
+	byID := scriptedByID()
+	climate := []string{"tx-winter-storm-2021-02", "ca-heatwave-2020-09", "mi-storm-2021-08", "wa-storm-2021-10", "oh-storm-2021-08", "ky-tornado-2021-12"}
+	for _, id := range climate {
+		e := byID[id]
+		if e == nil {
+			t.Errorf("%s missing", id)
+			continue
+		}
+		if !e.Cause.IsClimate() {
+			t.Errorf("%s cause %v should be climate", id, e.Cause)
+		}
+		if e.Kind != simworld.KindPower {
+			t.Errorf("%s kind = %v, want power", id, e.Kind)
+		}
+	}
+}
+
+func TestScriptedUniqueIDsAndOrder(t *testing.T) {
+	seen := map[string]bool{}
+	var last time.Time
+	for _, e := range ScriptedEvents() {
+		if seen[e.ID] {
+			t.Errorf("duplicate scripted ID %q", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Start.Before(last) {
+			t.Errorf("scripted events out of start order at %q", e.ID)
+		}
+		last = e.Start
+		if !e.Newsworthy {
+			t.Errorf("%s not marked newsworthy", e.ID)
+		}
+		if len(e.Terms) == 0 {
+			t.Errorf("%s has no search terms", e.ID)
+		}
+	}
+}
+
+func TestWeekendDipInBackgroundRates(t *testing.T) {
+	tl := build(t, DefaultConfig(3))
+	byDay := make(map[time.Weekday]int)
+	for _, e := range tl.Events() {
+		if e.Kind == simworld.KindMicro || e.Kind == simworld.KindISP {
+			byDay[e.Start.UTC().Weekday()]++
+		}
+	}
+	weekday := (byDay[time.Monday] + byDay[time.Tuesday] + byDay[time.Wednesday] + byDay[time.Thursday] + byDay[time.Friday]) / 5
+	weekend := (byDay[time.Saturday] + byDay[time.Sunday]) / 2
+	if float64(weekend) > 0.9*float64(weekday) {
+		t.Errorf("weekend rate %d not dipped vs weekday %d", weekend, weekday)
+	}
+	if float64(weekend) < 0.5*float64(weekday) {
+		t.Errorf("weekend dip too strong: %d vs %d", weekend, weekday)
+	}
+}
+
+func TestWavesCreateFig6Outliers(t *testing.T) {
+	tl := build(t, DefaultConfig(5))
+	// Count >=5h power events by (state, month).
+	caMonths := make(map[string]int)
+	txMonths := make(map[string]int)
+	for _, e := range tl.Events() {
+		if e.Kind != simworld.KindPower || e.Duration < 5*time.Hour {
+			continue
+		}
+		key := e.Start.UTC().Format("2006-01")
+		if im, ok := e.ImpactOn("CA"); ok && im.DurationScale == 0 {
+			caMonths[key]++
+		}
+		if im, ok := e.ImpactOn("TX"); ok && im.DurationScale == 0 {
+			txMonths[key]++
+		}
+	}
+	// Wildfire wave: CA Sep 2020 must dwarf CA Sep 2021.
+	if caMonths["2020-09"] < 3*caMonths["2021-09"] || caMonths["2020-09"] < 8 {
+		t.Errorf("CA wildfire wave weak: Sep 2020 = %d, Sep 2021 = %d", caMonths["2020-09"], caMonths["2021-09"])
+	}
+	// Winter-storm wave: TX Feb 2021 must dwarf TX Feb 2020.
+	if txMonths["2021-02"] < 3*txMonths["2020-02"] || txMonths["2021-02"] < 8 {
+		t.Errorf("TX winter wave weak: Feb 2021 = %d, Feb 2020 = %d", txMonths["2021-02"], txMonths["2020-02"])
+	}
+}
+
+func TestPopulationSkew(t *testing.T) {
+	tl := build(t, DefaultConfig(9))
+	perState := make(map[geo.State]int)
+	total := 0
+	for _, e := range tl.Events() {
+		for _, im := range e.Impacts {
+			perState[im.State]++
+			total++
+		}
+	}
+	top := 0
+	for _, in := range geo.ByPopulation()[:10] {
+		top += perState[in.Code]
+	}
+	share := float64(top) / float64(total)
+	// Paper: top ten states host 51% of spikes. Ground-truth impacts
+	// should already sit near that share.
+	if share < 0.40 || share > 0.65 {
+		t.Errorf("top-10 state share of impacts = %.2f, want ~0.51", share)
+	}
+	for _, st := range geo.Codes() {
+		if perState[st] == 0 {
+			t.Errorf("state %s received no events at all", st)
+		}
+	}
+}
+
+func TestEventsWithinWindow(t *testing.T) {
+	cfg := Config{Seed: 2,
+		Start: time.Date(2020, 6, 1, 0, 0, 0, 0, time.UTC),
+		End:   time.Date(2020, 8, 1, 0, 0, 0, 0, time.UTC)}
+	tl := build(t, cfg)
+	for _, e := range tl.Events() {
+		if e.Start.Before(cfg.Start) || !e.Start.Before(cfg.End) {
+			t.Fatalf("event %s starts %v outside window", e.ID, e.Start)
+		}
+	}
+}
+
+func TestProvidersData(t *testing.T) {
+	for _, st := range geo.Codes() {
+		ps := ProvidersIn(st)
+		if len(ps) == 0 {
+			t.Errorf("no providers for %s", st)
+		}
+		for _, p := range ps {
+			if p.Canonical == "" || p.Query == "" {
+				t.Errorf("provider in %s has empty names: %+v", st, p)
+			}
+		}
+		if len(CitiesIn(st)) == 0 {
+			t.Errorf("no cities for %s", st)
+		}
+	}
+	if len(MobileCarriers()) < 2 {
+		t.Error("too few mobile carriers")
+	}
+	if len(AllProviders()) < 10 {
+		t.Error("too few providers")
+	}
+}
+
+func TestTermRendering(t *testing.T) {
+	p := Provider{Canonical: "Xfinity", Query: "xfinity"}
+	if got := ProviderTerm(p, 0); got != "xfinity outage" {
+		t.Errorf("ProviderTerm(0) = %q", got)
+	}
+	if got := ProviderTerm(p, 1); got != "is xfinity down" {
+		t.Errorf("ProviderTerm(1) = %q", got)
+	}
+	if got := ProviderTerm(p, -3); got == "" {
+		t.Error("negative index should still render")
+	}
+	lt := LocalTerm("CA", 1, 0)
+	if !strings.HasSuffix(lt, " power outage") {
+		t.Errorf("LocalTerm = %q, want '<city> power outage'", lt)
+	}
+	if LocalTerm("CA", -1, -1) == "" {
+		t.Error("negative indices should still render")
+	}
+	// Distinct suffixes keep the long tail broad.
+	if len(LocalSuffixes()) < 30 {
+		t.Errorf("local suffix pool too small: %d", len(LocalSuffixes()))
+	}
+}
+
+func TestMicroEventsBriefAndSmall(t *testing.T) {
+	tl := build(t, DefaultConfig(11))
+	ge3, n := 0, 0
+	for _, e := range tl.Events() {
+		if e.Kind != simworld.KindMicro {
+			continue
+		}
+		n++
+		if e.Duration > 6*time.Hour {
+			t.Fatalf("micro event %s lasts %v", e.ID, e.Duration)
+		}
+		if e.Duration >= 3*time.Hour {
+			ge3++
+		}
+		if len(e.Impacts) != 1 {
+			t.Fatalf("micro event %s has %d impacts", e.ID, len(e.Impacts))
+		}
+		if e.Impacts[0].Intensity > 100 {
+			t.Fatalf("micro event %s intensity %g too large", e.ID, e.Impacts[0].Intensity)
+		}
+	}
+	if n == 0 {
+		t.Fatal("no micro events generated")
+	}
+	frac := float64(ge3) / float64(n)
+	if frac > 0.15 {
+		t.Errorf("micro events >=3h fraction = %.3f, want small (<0.15)", frac)
+	}
+}
+
+func scriptedByID() map[string]*simworld.Event {
+	m := make(map[string]*simworld.Event)
+	for _, e := range ScriptedEvents() {
+		m[e.ID] = e
+	}
+	return m
+}

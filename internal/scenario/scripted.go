@@ -1,0 +1,314 @@
+package scenario
+
+import (
+	"time"
+
+	"sift/internal/geo"
+	"sift/internal/simworld"
+)
+
+// This file scripts the newsworthy ground-truth outages the paper's
+// evaluation names — every row of Tables 1, 2 and 3 plus the Fig. 1 and
+// Fig. 2 running examples — so the reproduction's report generators can
+// recover the same names, rough durations and rough geographic footprints.
+
+func utc(y int, m time.Month, d, h int) time.Time {
+	return time.Date(y, m, d, h, 0, 0, 0, time.UTC)
+}
+
+// topStates returns the n most populous study areas.
+func topStates(n int) []geo.State {
+	byPop := geo.ByPopulation()
+	if n > len(byPop) {
+		n = len(byPop)
+	}
+	out := make([]geo.State, n)
+	for i := 0; i < n; i++ {
+		out[i] = byPop[i].Code
+	}
+	return out
+}
+
+// national builds the impact list of a country-scale incident: the anchor
+// state at full intensity and duration, plus the top spreadN states by
+// population (skipping the anchor) at spreadIntensity with their interest
+// collapsing after spreadScale of the event duration. The returned list
+// has exactly 1+spreadN entries unless spreadN exhausts the state table.
+func national(anchor geo.State, anchorIntensity float64, spreadN int, spreadIntensity, spreadScale float64) []simworld.Impact {
+	impacts := []simworld.Impact{{State: anchor, Intensity: anchorIntensity}}
+	for _, st := range topStates(geo.Count) {
+		if len(impacts) == 1+spreadN {
+			break
+		}
+		if st == anchor {
+			continue
+		}
+		impacts = append(impacts, simworld.Impact{
+			State:         st,
+			Intensity:     spreadIntensity,
+			DurationScale: spreadScale,
+		})
+	}
+	return impacts
+}
+
+// regional builds impacts for an incident centred on one state with a few
+// neighbours at a fraction of the intensity and duration.
+func regional(center geo.State, intensity float64, neighbours map[geo.State]float64) []simworld.Impact {
+	impacts := []simworld.Impact{{State: center, Intensity: intensity}}
+	for _, st := range geo.Codes() { // deterministic order
+		if f, ok := neighbours[st]; ok {
+			impacts = append(impacts, simworld.Impact{
+				State:         st,
+				Intensity:     intensity * f,
+				DurationScale: 0.35,
+			})
+		}
+	}
+	return impacts
+}
+
+func tw(term string, share float64) simworld.TermWeight {
+	return simworld.TermWeight{Term: term, Share: share}
+}
+
+// ScriptedEvents returns the named ground-truth outages, in start order.
+// Spike times in the paper's tables are peak times; the interest shape
+// peaks roughly two hours after onset, so starts below sit slightly
+// before the published peaks.
+func ScriptedEvents() []*simworld.Event {
+	return []*simworld.Event{
+		// Table 2 row 8: nationwide Comcast outage, 23 Jan 2020 (25 states).
+		{
+			ID: "comcast-2020-01", Name: "Comcast", Kind: simworld.KindISP,
+			Cause: simworld.CauseEquipment, Start: utc(2020, 1, 23, 16), Duration: 4 * time.Hour,
+			Impacts:      national("PA", 700, 24, 260, 0.8),
+			Terms:        []simworld.TermWeight{tw("comcast outage", 0.35), tw("xfinity outage", 0.3), tw("is comcast down", 0.2), tw("comcast down", 0.15)},
+			ProbeVisible: true, Newsworthy: true,
+		},
+		// Table 1 row 7: CenturyLink, 13 Apr 2020, NC, 18 h.
+		{
+			ID: "centurylink-2020-04", Name: "CenturyLink", Kind: simworld.KindISP,
+			Cause: simworld.CauseHumanError, Start: utc(2020, 4, 13, 9), Duration: 18 * time.Hour,
+			Impacts:      regional("NC", 1000, map[geo.State]float64{"SC": 0.18, "VA": 0.15}),
+			Terms:        []simworld.TermWeight{tw("centurylink outage", 0.5), tw("is centurylink down", 0.3), tw("centurylink internet down", 0.2)},
+			ProbeVisible: true, Newsworthy: true,
+		},
+		// Table 1 row 6: T-Mobile nationwide mobile outage, 15 Jun 2020;
+		// longest interest in CA (19 h). Mobile devices answer no probes,
+		// so ANT misses this one entirely (§4.1).
+		{
+			ID: "tmobile-2020-06", Name: "T-Mobile", Kind: simworld.KindMobile,
+			Cause: simworld.CauseEquipment, Start: utc(2020, 6, 15, 12), Duration: 19 * time.Hour,
+			Impacts:      national("CA", 1100, 21, 220, 0.25),
+			Terms:        []simworld.TermWeight{tw("t-mobile outage", 0.4), tw("is t-mobile down", 0.25), tw("metro pcs outage", 0.2), tw("cell service down", 0.15)},
+			ProbeVisible: false, Newsworthy: true,
+		},
+		// Fig. 2 running example: San Jose power outage, 17 Jul 2020,
+		// California, ~10 h of user interest, annotated with Spectrum,
+		// Metro PCS and Power outage.
+		{
+			ID: "ca-sanjose-power-2020-07", Name: "San Jose power outage", Kind: simworld.KindPower,
+			Cause: simworld.CauseHeatWave, Start: utc(2020, 7, 17, 15), Duration: 10 * time.Hour,
+			Impacts:      []simworld.Impact{{State: "CA", Intensity: 650}},
+			Terms:        []simworld.TermWeight{tw("san jose power outage", 0.3), tw("power outage", 0.3), tw("spectrum internet outage", 0.2), tw("metro pcs outage", 0.1), tw("internet down", 0.1)},
+			ProbeVisible: true, Newsworthy: true,
+		},
+		// Table 2 row 2: Cloudflare DNS outage, 17 Jul 2020 (30 states).
+		{
+			ID: "cloudflare-2020-07", Name: "Cloudflare", Kind: simworld.KindDNS,
+			Cause: simworld.CauseHumanError, Start: utc(2020, 7, 17, 21), Duration: 3 * time.Hour,
+			Impacts:      national("NY", 600, 29, 280, 0.9),
+			Terms:        []simworld.TermWeight{tw("cloudflare outage", 0.4), tw("is cloudflare down", 0.3), tw("websites down", 0.3)},
+			ProbeVisible: false, Newsworthy: true,
+		},
+		// Table 2 row 9: CenturyLink/Level3 backbone outage, 30 Aug 2020
+		// (24 states).
+		{
+			ID: "centurylink-2020-08", Name: "CenturyLink", Kind: simworld.KindISP,
+			Cause: simworld.CauseEquipment, Start: utc(2020, 8, 30, 8), Duration: 5 * time.Hour,
+			Impacts:      national("WA", 650, 23, 270, 0.8),
+			Terms:        []simworld.TermWeight{tw("centurylink outage", 0.4), tw("cloudflare outage", 0.2), tw("internet outage today", 0.4)},
+			ProbeVisible: true, Newsworthy: true,
+		},
+		// Table 3 row 2: California heat-wave rolling blackouts,
+		// 6 Sep 2020, 18 h.
+		{
+			ID: "ca-heatwave-2020-09", Name: "Heat wave", Kind: simworld.KindPower,
+			Cause: simworld.CauseHeatWave, Start: utc(2020, 9, 6, 16), Duration: 18 * time.Hour,
+			Impacts:      regional("CA", 900, map[geo.State]float64{"NV": 0.18, "AZ": 0.12}),
+			Terms:        []simworld.TermWeight{tw("power outage", 0.4), tw("rolling blackouts", 0.3), tw("pg&e outage", 0.3)},
+			ProbeVisible: true, Newsworthy: true,
+		},
+		// Table 1 row 5: Comcast during tropical storm Zeta, 29 Oct 2020,
+		// GA, 20 h.
+		{
+			ID: "ga-comcast-zeta-2020-10", Name: "Comcast", Kind: simworld.KindISP,
+			Cause: simworld.CauseHurricane, Start: utc(2020, 10, 29, 7), Duration: 20 * time.Hour,
+			Impacts:      regional("GA", 1150, map[geo.State]float64{"AL": 0.2, "TN": 0.15, "SC": 0.12}),
+			Terms:        []simworld.TermWeight{tw("comcast outage", 0.35), tw("power outage", 0.35), tw("xfinity outage", 0.15), tw("storm damage", 0.15)},
+			ProbeVisible: true, Newsworthy: true,
+		},
+		// Table 2 row 5: YouTube worldwide outage, 11 Nov 2020 (27 states).
+		// Video backends down, network fine — invisible to probing.
+		{
+			ID: "youtube-2020-11", Name: "Youtube", Kind: simworld.KindApp,
+			Cause: simworld.CauseEquipment, Start: utc(2020, 11, 11, 21), Duration: 3 * time.Hour,
+			Impacts:      national("CA", 550, 26, 260, 0.9),
+			Terms:        []simworld.TermWeight{tw("youtube down", 0.45), tw("is youtube down", 0.35), tw("youtube not working", 0.2)},
+			ProbeVisible: false, Newsworthy: true,
+		},
+		// Table 1 row 4: AT&T after the Nashville bombing, 26 Dec 2020,
+		// TN, 21 h.
+		{
+			ID: "tn-att-2020-12", Name: "AT&T", Kind: simworld.KindISP,
+			Cause: simworld.CauseEquipment, Start: utc(2020, 12, 26, 10), Duration: 21 * time.Hour,
+			Impacts:      regional("TN", 1250, map[geo.State]float64{"KY": 0.18, "AL": 0.15, "GA": 0.12}),
+			Terms:        []simworld.TermWeight{tw("att outage", 0.45), tw("is att down", 0.25), tw("att internet down", 0.2), tw("911 outage", 0.1)},
+			ProbeVisible: true, Newsworthy: true,
+		},
+		// Texas ice-storm precursor, 10 Jan 2021 — part of the Jan–Feb
+		// 2021 Texas outlier in Fig. 6.
+		{
+			ID: "tx-ice-2021-01", Name: "Ice storm", Kind: simworld.KindPower,
+			Cause: simworld.CauseWinterStorm, Start: utc(2021, 1, 10, 12), Duration: 12 * time.Hour,
+			Impacts:      regional("TX", 500, map[geo.State]float64{"OK": 0.3, "LA": 0.2}),
+			Terms:        []simworld.TermWeight{tw("power outage", 0.5), tw("ice storm", 0.3), tw("oncor outage", 0.2)},
+			ProbeVisible: true, Newsworthy: true,
+		},
+		// Table 2 row 4 / Fig. 1: Verizon east-coast outage, 26 Jan 2021
+		// (27 states, including a visible spike in Texas).
+		{
+			ID: "verizon-2021-01", Name: "Verizon", Kind: simworld.KindISP,
+			Cause: simworld.CauseEquipment, Start: utc(2021, 1, 26, 15), Duration: 5 * time.Hour,
+			Impacts: append(national("NY", 750, 25, 300, 0.8),
+				simworld.Impact{State: "DE", Intensity: 250, DurationScale: 0.8}),
+			Terms:        []simworld.TermWeight{tw("verizon outage", 0.4), tw("is verizon down", 0.3), tw("fios outage", 0.3)},
+			ProbeVisible: true, Newsworthy: true,
+		},
+		// Table 1 row 1 / Table 3 row 1 / Fig. 1: the February 2021 Texas
+		// winter-storm grid failure — the most impactful outage in the
+		// dataset, 45 h of user interest.
+		{
+			ID: "tx-winter-storm-2021-02", Name: "Winter storm", Kind: simworld.KindPower,
+			Cause: simworld.CauseWinterStorm, Start: utc(2021, 2, 15, 8), Duration: 45 * time.Hour,
+			Impacts:      regional("TX", 2200, map[geo.State]float64{"OK": 0.14, "LA": 0.11, "AR": 0.09, "MS": 0.07, "KS": 0.06}),
+			Terms:        []simworld.TermWeight{tw("power outage", 0.35), tw("winter storm", 0.2), tw("texas power grid", 0.15), tw("spectrum outage", 0.1), tw("att outage", 0.1), tw("oncor outage", 0.1)},
+			ProbeVisible: true, Newsworthy: true,
+		},
+		// Table 1 row 3 / Table 2 row 7: Fastly CDN outage, 8 Jun 2021 —
+		// 26 states spike briefly; Californian interest persists 22 h.
+		{
+			ID: "fastly-2021-06", Name: "Fastly", Kind: simworld.KindCDN,
+			Cause: simworld.CauseHumanError, Start: utc(2021, 6, 8, 7), Duration: 22 * time.Hour,
+			Impacts:      national("CA", 1200, 25, 300, 0.12),
+			Terms:        []simworld.TermWeight{tw("fastly outage", 0.35), tw("is fastly down", 0.2), tw("websites down", 0.25), tw("internet outage today", 0.2)},
+			ProbeVisible: false, Newsworthy: true,
+		},
+		// Table 2 row 1 / Table 3 row 5: Akamai DNS misconfiguration,
+		// 22 Jul 2021 (34 states) — ping-responsive, so ANT misses it —
+		// plus, the same day, a severed power line in Colorado (9 h).
+		{
+			ID: "akamai-2021-07", Name: "Akamai", Kind: simworld.KindDNS,
+			Cause: simworld.CauseHumanError, Start: utc(2021, 7, 22, 12), Duration: 3 * time.Hour,
+			Impacts:      national("NY", 600, 33, 300, 0.9),
+			Terms:        []simworld.TermWeight{tw("akamai outage", 0.3), tw("dns error", 0.2), tw("websites down", 0.3), tw("is the internet down", 0.2)},
+			ProbeVisible: false, Newsworthy: true,
+		},
+		{
+			ID: "co-powerline-2021-07", Name: "Severed power line", Kind: simworld.KindPower,
+			Cause: simworld.CauseEquipment, Start: utc(2021, 7, 22, 12), Duration: 9 * time.Hour,
+			Impacts:      []simworld.Impact{{State: "CO", Intensity: 600}},
+			Terms:        []simworld.TermWeight{tw("power outage", 0.5), tw("pueblo power outage", 0.3), tw("water outage", 0.2)},
+			ProbeVisible: true, Newsworthy: true,
+		},
+		// Table 3 row 3: Michigan storms and flooding, 11 Aug 2021, 15 h.
+		{
+			ID: "mi-storm-2021-08", Name: "Heavy rain and storm", Kind: simworld.KindPower,
+			Cause: simworld.CauseStorm, Start: utc(2021, 8, 11, 7), Duration: 15 * time.Hour,
+			Impacts:      regional("MI", 800, map[geo.State]float64{"OH": 0.18, "IN": 0.12}),
+			Terms:        []simworld.TermWeight{tw("power outage", 0.45), tw("dte outage map", 0.3), tw("flash flood", 0.25)},
+			ProbeVisible: true, Newsworthy: true,
+		},
+		// Table 3 row 6: Ohio storms, 12 Aug 2021, 7 h.
+		{
+			ID: "oh-storm-2021-08", Name: "Storm", Kind: simworld.KindPower,
+			Cause: simworld.CauseStorm, Start: utc(2021, 8, 12, 18), Duration: 7 * time.Hour,
+			Impacts:      regional("OH", 620, map[geo.State]float64{"KY": 0.15, "WV": 0.12}),
+			Terms:        []simworld.TermWeight{tw("power outage", 0.5), tw("aep outage", 0.3), tw("schools closed", 0.2)},
+			ProbeVisible: true, Newsworthy: true,
+		},
+		// Table 2 row 3: the Facebook BGP withdrawal, 4 Oct 2021. Every
+		// state spikes eventually, but 22 states lag behind the first 29
+		// (§4.2 attributes the lag to local time differences), so the
+		// simultaneity analysis counts 29.
+		facebookEvent(),
+		// Table 3 row 4: Pacific-Northwest storm, 24 Oct 2021, WA, 13 h.
+		{
+			ID: "wa-storm-2021-10", Name: "Storm", Kind: simworld.KindPower,
+			Cause: simworld.CauseStorm, Start: utc(2021, 10, 24, 16), Duration: 13 * time.Hour,
+			Impacts:      regional("WA", 720, map[geo.State]float64{"OR": 0.25}),
+			Terms:        []simworld.TermWeight{tw("power outage", 0.45), tw("seattle power outage", 0.3), tw("wind storm", 0.25)},
+			ProbeVisible: true, Newsworthy: true,
+		},
+		// Table 1 row 2: Comcast Xfinity outage, 9 Nov 2021 — longest
+		// interest in CA (23 h).
+		{
+			ID: "xfinity-2021-11", Name: "Xfinity", Kind: simworld.KindISP,
+			Cause: simworld.CauseEquipment, Start: utc(2021, 11, 9, 2), Duration: 23 * time.Hour,
+			Impacts:      national("CA", 1350, 15, 240, 0.2),
+			Terms:        []simworld.TermWeight{tw("xfinity outage", 0.45), tw("comcast outage", 0.25), tw("is xfinity down", 0.2), tw("xfinity outage map", 0.1)},
+			ProbeVisible: true, Newsworthy: true,
+		},
+		// Table 3 row 7: Kentucky tornado outbreak, 11 Dec 2021, 7 h.
+		{
+			ID: "ky-tornado-2021-12", Name: "Tornado", Kind: simworld.KindPower,
+			Cause: simworld.CauseTornado, Start: utc(2021, 12, 11, 21), Duration: 7 * time.Hour,
+			Impacts:      regional("KY", 680, map[geo.State]float64{"TN": 0.2, "IL": 0.1}),
+			Terms:        []simworld.TermWeight{tw("power outage", 0.5), tw("tornado damage", 0.3), tw("mayfield ky", 0.2)},
+			ProbeVisible: true, Newsworthy: true,
+		},
+		// Table 2 row 6: AWS us-east-1 outage, 15 Dec 2021 (26 states).
+		{
+			ID: "aws-2021-12", Name: "AWS", Kind: simworld.KindCDN,
+			Cause: simworld.CauseEquipment, Start: utc(2021, 12, 15, 13), Duration: 4 * time.Hour,
+			Impacts:      national("VA", 650, 25, 280, 0.85),
+			Terms:        []simworld.TermWeight{tw("aws outage", 0.4), tw("is amazon down", 0.3), tw("twitch down", 0.3)},
+			ProbeVisible: false, Newsworthy: true,
+		},
+	}
+}
+
+// facebookEvent builds the 4 Oct 2021 Facebook outage: all 51 states
+// impacted, the 29 most populous reacting immediately and the remaining
+// 22 lagging 2–5 hours with local time.
+func facebookEvent() *simworld.Event {
+	immediate := topStates(29)
+	isImmediate := make(map[geo.State]bool, len(immediate))
+	for _, st := range immediate {
+		isImmediate[st] = true
+	}
+	var impacts []simworld.Impact
+	for _, st := range topStates(geo.Count) {
+		im := simworld.Impact{State: st, Intensity: 420, DurationScale: 0.9}
+		if !isImmediate[st] {
+			// Lag grows with distance from the east coast; derive it from
+			// the UTC offset so western stragglers lag the most.
+			offset := int(geo.MustLookup(st).UTCOffset.Hours()) // -5..-10
+			im.LagHours = -offset - 3                           // 2..7 h
+			im.Intensity = 300
+			im.DurationScale = 0.8
+		}
+		impacts = append(impacts, im)
+	}
+	return &simworld.Event{
+		ID: "facebook-2021-10", Name: "Facebook", Kind: simworld.KindApp,
+		Cause: simworld.CauseHumanError, Start: utc(2021, 10, 4, 15), Duration: 6 * time.Hour,
+		Impacts: impacts,
+		Terms: []simworld.TermWeight{
+			tw("facebook down", 0.35), tw("is facebook down", 0.2),
+			tw("instagram down", 0.25), tw("whatsapp down", 0.2),
+		},
+		ProbeVisible: false, Newsworthy: true,
+	}
+}

@@ -1,0 +1,125 @@
+package searchmodel
+
+import "math"
+
+// Deterministic keyed randomness. Ground-truth search counts must be a
+// pure function of (seed, state, hour, term) so that every Google Trends
+// request against the same hour samples the same underlying population —
+// the property SIFT's averaging loop relies on. A splitmix64 stream seeded
+// from the mixed key provides the draws.
+
+const (
+	splitmixGamma = 0x9e3779b97f4a7c15
+	mixMul1       = 0xbf58476d1ce4e5b9
+	mixMul2       = 0x94d049bb133111eb
+)
+
+// mix folds any number of 64-bit parts into one well-scrambled key.
+func mix(parts ...uint64) uint64 {
+	h := uint64(0x243f6a8885a308d3) // pi, nothing up the sleeve
+	for _, p := range parts {
+		h ^= p + splitmixGamma + (h << 6) + (h >> 2)
+		h = scramble(h)
+	}
+	return h
+}
+
+func scramble(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * mixMul1
+	z = (z ^ (z >> 27)) * mixMul2
+	return z ^ (z >> 31)
+}
+
+// hrand is a tiny splitmix64 PRNG over a mixed key.
+type hrand struct{ state uint64 }
+
+func newHrand(key uint64) *hrand { return &hrand{state: key} }
+
+func (h *hrand) next() uint64 {
+	h.state += splitmixGamma
+	return scramble(h.state)
+}
+
+// float64 returns a uniform draw in [0, 1).
+func (h *hrand) float64() float64 {
+	return float64(h.next()>>11) / (1 << 53)
+}
+
+// norm returns a standard normal draw (Box–Muller).
+func (h *hrand) norm() float64 {
+	u1 := h.float64()
+	for u1 == 0 {
+		u1 = h.float64()
+	}
+	u2 := h.float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// poisson draws from Poisson(lambda): Knuth's product method for small
+// rates, a clamped normal approximation above 30.
+func (h *hrand) poisson(lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda > 30 {
+		n := int(math.Round(lambda + math.Sqrt(lambda)*h.norm()))
+		if n < 0 {
+			return 0
+		}
+		return n
+	}
+	l := math.Exp(-lambda)
+	k, p := 0, 1.0
+	for {
+		p *= h.float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// binomial draws from Binomial(n, p): direct Bernoulli summation for
+// small n, normal approximation for large n. Used for per-request
+// subsampling of the ground-truth counts.
+func (h *hrand) binomial(n int, p float64) int {
+	if n <= 0 || p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return n
+	}
+	if n > 50 {
+		mean := float64(n) * p
+		sd := math.Sqrt(mean * (1 - p))
+		k := int(math.Round(mean + sd*h.norm()))
+		if k < 0 {
+			k = 0
+		}
+		if k > n {
+			k = n
+		}
+		return k
+	}
+	k := 0
+	for i := 0; i < n; i++ {
+		if h.float64() < p {
+			k++
+		}
+	}
+	return k
+}
+
+// fnv64 hashes a string with FNV-1a, for keying term identities.
+func fnv64(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}

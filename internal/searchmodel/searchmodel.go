@@ -1,0 +1,234 @@
+// Package searchmodel turns the ground-truth outage timeline into the
+// synthetic "Google search database" the simulated Trends service samples:
+// for every (state, hour) it yields the number of searches belonging to
+// the <Internet outage> topic, the volumes of individual query terms, and
+// the all-searches denominator used for proportion normalization.
+//
+// Volumes are a pure function of (seed, state, hour, term): the model
+// draws the ground-truth count once per key via deterministic keyed
+// randomness, so repeated Trends requests over the same window sample the
+// same underlying population — exactly the situation that makes SIFT's
+// re-fetch averaging converge (§3.2 of the paper).
+package searchmodel
+
+import (
+	"time"
+
+	"sift/internal/geo"
+	"sift/internal/simworld"
+)
+
+// Params tune the volume model. Zero fields take the documented defaults.
+type Params struct {
+	// BaselinePerTenMillion is the expected number of <Internet outage>
+	// topic searches per hour per ten million inhabitants at a diurnal
+	// factor of 1, absent any outage. Default 0.6 — low enough that the
+	// privacy threshold zeroes most quiet hours, which is what gives
+	// spikes their start/end boundaries.
+	BaselinePerTenMillion float64
+	// TotalPerCapita is the expected number of searches on all topics
+	// per person per hour at diurnal 1. Default 0.05.
+	TotalPerCapita float64
+	// TermBaselinePerTenMillion is the trickle volume of evergreen
+	// chatter terms ("internet speed test"), giving rising-term percent
+	// increases a denominator. Default 0.8.
+	TermBaselinePerTenMillion float64
+}
+
+func (p *Params) fillDefaults() {
+	if p.BaselinePerTenMillion == 0 {
+		p.BaselinePerTenMillion = 0.6
+	}
+	if p.TotalPerCapita == 0 {
+		p.TotalPerCapita = 0.05
+	}
+	if p.TermBaselinePerTenMillion == 0 {
+		p.TermBaselinePerTenMillion = 0.8
+	}
+}
+
+// Model is the synthetic search database. It is immutable and safe for
+// concurrent readers.
+type Model struct {
+	seed     int64
+	timeline *simworld.Timeline
+	params   Params
+	epoch    time.Time
+}
+
+// New builds a Model over the given ground truth. All randomness derives
+// from seed.
+func New(seed int64, tl *simworld.Timeline, params Params) *Model {
+	params.fillDefaults()
+	return &Model{
+		seed:     seed,
+		timeline: tl,
+		params:   params,
+		epoch:    time.Date(2019, 1, 1, 0, 0, 0, 0, time.UTC),
+	}
+}
+
+// Timeline exposes the underlying ground truth (used by experiments for
+// validation, never by the SIFT pipeline itself).
+func (m *Model) Timeline() *simworld.Timeline { return m.timeline }
+
+// diurnalTable is the relative search activity by local hour of day.
+var diurnalTable = [24]float64{
+	0.45, 0.35, 0.28, 0.25, 0.25, 0.30, 0.45, 0.65,
+	0.85, 1.00, 1.10, 1.15, 1.20, 1.20, 1.15, 1.10,
+	1.10, 1.15, 1.25, 1.35, 1.40, 1.30, 1.00, 0.70,
+}
+
+// Diurnal returns the relative all-search activity at a local hour.
+func Diurnal(localHour int) float64 {
+	return diurnalTable[((localHour%24)+24)%24]
+}
+
+// diurnalSoft damps the diurnal cycle for outage-driven searches: people
+// whose connection died at 3 a.m. still reach for their phones, so event
+// interest never drops as far as organic traffic does.
+func diurnalSoft(localHour int) float64 {
+	return 0.45 + 0.55*Diurnal(localHour)
+}
+
+// volScale converts a per-state intensity into absolute searches per
+// hour: intensities are defined per ten million inhabitants.
+func volScale(st geo.State) float64 {
+	return float64(geo.MustLookup(st).Population) / 1e7
+}
+
+// eventScale returns the volume scale for one event's interest in a
+// state. State-wide outages (ISP, power, national applications) drive
+// searches in proportion to the state's population, but micro events are
+// town-scale disturbances: a neighbourhood outage floods roughly the
+// same absolute number of searches whether the town sits in California
+// or Wyoming, so micro interest uses a fixed scale.
+func eventScale(e *simworld.Event, st geo.State) float64 {
+	if e.Kind == simworld.KindMicro {
+		return 1
+	}
+	return volScale(st)
+}
+
+// hourIndex keys an instant for deterministic draws.
+func (m *Model) hourIndex(t time.Time) uint64 {
+	return uint64(t.UTC().Sub(m.epoch) / time.Hour)
+}
+
+// TopicRate returns the expected number of <Internet outage> topic
+// searches in state during the hour beginning at t.
+func (m *Model) TopicRate(st geo.State, t time.Time) float64 {
+	lh := geo.LocalHour(st, t)
+	base := m.params.BaselinePerTenMillion * volScale(st) * Diurnal(lh)
+	soft := diurnalSoft(lh)
+	surge := 0.0
+	for _, e := range m.timeline.ActiveAt(st, t) {
+		surge += e.InterestAt(st, t) * eventScale(e, st) * soft
+	}
+	return base + surge
+}
+
+// TopicVolume returns the ground-truth number of topic searches for the
+// hour — a deterministic Poisson draw around TopicRate. Every call with
+// the same arguments returns the same count.
+func (m *Model) TopicVolume(st geo.State, t time.Time) int {
+	h := newHrand(mix(uint64(m.seed), fnv64(string(st)), m.hourIndex(t), 0x70))
+	return h.poisson(m.TopicRate(st, t))
+}
+
+// TotalVolume returns the all-topics search volume for the hour, the
+// denominator of the Trends proportion. Modelled as deterministic: its
+// Poisson fluctuation is negligible at millions of searches. Its diurnal
+// cycle is damped relative to topical traffic (late-night background
+// search volume never collapses as far as interest in any one topic), so
+// the night-time proportion boost stays mild and an outage's proportion
+// peak lands near its onset rather than in the following night.
+func (m *Model) TotalVolume(st geo.State, t time.Time) float64 {
+	lh := geo.LocalHour(st, t)
+	denomDiurnal := 0.55 + 0.45*Diurnal(lh)
+	return float64(geo.MustLookup(st).Population) * m.params.TotalPerCapita * denomDiurnal
+}
+
+// evergreenTerms always carry a baseline trickle in every state, so the
+// rising computation has non-outage mass to rank against.
+var evergreenTerms = []string{
+	"internet speed test",
+	"wifi not working",
+	"router not connecting",
+	"internet slow",
+}
+
+// EvergreenTerms returns the always-active chatter terms.
+func EvergreenTerms() []string {
+	out := make([]string, len(evergreenTerms))
+	copy(out, evergreenTerms)
+	return out
+}
+
+// TermRate returns the expected number of searches for an individual
+// query term in state during the hour at t: the summed share-weighted
+// interest of active events carrying the term, plus the evergreen trickle
+// where applicable.
+func (m *Model) TermRate(term string, st geo.State, t time.Time) float64 {
+	lh := geo.LocalHour(st, t)
+	rate := 0.0
+	for _, ev := range evergreenTerms {
+		if ev == term {
+			rate = m.params.TermBaselinePerTenMillion * volScale(st) * Diurnal(lh)
+			break
+		}
+	}
+	soft := diurnalSoft(lh)
+	for _, e := range m.timeline.ActiveAt(st, t) {
+		interest := e.InterestAt(st, t)
+		if interest == 0 {
+			continue
+		}
+		for _, tw := range e.Terms {
+			if tw.Term == term {
+				rate += interest * tw.Share * eventScale(e, st) * soft
+			}
+		}
+	}
+	return rate
+}
+
+// TermVolume returns the ground-truth search count for a term — a
+// deterministic Poisson draw around TermRate.
+func (m *Model) TermVolume(term string, st geo.State, t time.Time) int {
+	h := newHrand(mix(uint64(m.seed), fnv64(string(st)), m.hourIndex(t), fnv64(term)))
+	return h.poisson(m.TermRate(term, st, t))
+}
+
+// SampleCount subsamples a ground-truth count at rate, deterministically
+// keyed by the requesting query's identity, mirroring Trends drawing a
+// fresh unbiased sample per request: different requestKeys yield
+// independent samples of the same fixed population.
+func (m *Model) SampleCount(truth int, rate float64, requestKey uint64, st geo.State, t time.Time, term string) int {
+	h := newHrand(mix(uint64(m.seed), requestKey, fnv64(string(st)), m.hourIndex(t), fnv64(term), 0x5a))
+	return h.binomial(truth, rate)
+}
+
+// CandidateTerms returns every distinct query term that could plausibly
+// rise in state over [from, to): terms of events overlapping the window
+// plus the evergreen chatter terms. Order is deterministic: evergreens
+// first, then event terms in event-start order.
+func (m *Model) CandidateTerms(st geo.State, from, to time.Time) []string {
+	seen := make(map[string]bool)
+	var out []string
+	add := func(term string) {
+		if !seen[term] {
+			seen[term] = true
+			out = append(out, term)
+		}
+	}
+	for _, term := range evergreenTerms {
+		add(term)
+	}
+	for _, e := range m.timeline.OverlappingInState(st, from, to) {
+		for _, tw := range e.Terms {
+			add(tw.Term)
+		}
+	}
+	return out
+}

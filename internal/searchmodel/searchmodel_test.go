@@ -1,0 +1,298 @@
+package searchmodel
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"sift/internal/simworld"
+)
+
+var t0 = time.Date(2021, 2, 15, 8, 0, 0, 0, time.UTC)
+
+func testModel() *Model {
+	storm := &simworld.Event{
+		ID: "storm", Name: "Winter storm", Kind: simworld.KindPower,
+		Cause: simworld.CauseWinterStorm, Start: t0, Duration: 45 * time.Hour,
+		Impacts: []simworld.Impact{{State: "TX", Intensity: 2000}, {State: "OK", Intensity: 300}},
+		Terms:   []simworld.TermWeight{{Term: "power outage", Share: 0.5}, {Term: "winter storm", Share: 0.3}},
+	}
+	return New(42, simworld.NewTimeline([]*simworld.Event{storm}), Params{})
+}
+
+func TestDiurnalShape(t *testing.T) {
+	if Diurnal(3) >= Diurnal(20) {
+		t.Error("night activity should be below evening activity")
+	}
+	for h := 0; h < 24; h++ {
+		if d := Diurnal(h); d <= 0 || d > 2 {
+			t.Errorf("Diurnal(%d) = %g out of range", h, d)
+		}
+	}
+	// Wraparound and negatives.
+	if Diurnal(24) != Diurnal(0) || Diurnal(-1) != Diurnal(23) {
+		t.Error("Diurnal should wrap modulo 24")
+	}
+}
+
+func TestTopicRateBaselineScalesWithPopulation(t *testing.T) {
+	m := testModel()
+	quiet := t0.Add(-100 * time.Hour) // long before the storm
+	ca := m.TopicRate("CA", quiet)
+	wy := m.TopicRate("WY", quiet)
+	if ca <= wy {
+		t.Errorf("CA baseline rate %g should exceed WY %g", ca, wy)
+	}
+	// Ratio tracks population ratio (same local-time diurnal is close
+	// enough at fixed UTC hour for a coarse check).
+	if ca/wy < 20 {
+		t.Errorf("CA/WY rate ratio = %g, want > 20 (population-driven)", ca/wy)
+	}
+}
+
+func TestTopicRateSurgesDuringEvent(t *testing.T) {
+	m := testModel()
+	before := m.TopicRate("TX", t0.Add(-24*time.Hour))
+	during := m.TopicRate("TX", t0.Add(5*time.Hour))
+	if during < 50*before {
+		t.Errorf("storm surge %g should dwarf baseline %g", during, before)
+	}
+	// Unimpacted state stays at baseline.
+	caBefore := m.TopicRate("CA", t0.Add(-24*time.Hour))
+	caDuring := m.TopicRate("CA", t0.Add(5*time.Hour))
+	if math.Abs(caBefore-caDuring) > caBefore {
+		t.Errorf("CA rate moved from %g to %g without an event", caBefore, caDuring)
+	}
+}
+
+func TestTopicVolumeDeterministic(t *testing.T) {
+	m := testModel()
+	at := t0.Add(3 * time.Hour)
+	a := m.TopicVolume("TX", at)
+	b := m.TopicVolume("TX", at)
+	if a != b {
+		t.Fatalf("same key drew %d then %d", a, b)
+	}
+	// Different hours and states should (nearly always) differ; check a
+	// spread of draws isn't constant.
+	distinct := map[int]bool{}
+	for i := 0; i < 20; i++ {
+		distinct[m.TopicVolume("TX", at.Add(time.Duration(i)*time.Hour))] = true
+	}
+	if len(distinct) < 2 {
+		t.Error("volumes look constant across hours")
+	}
+}
+
+func TestTopicVolumeSeedSensitivity(t *testing.T) {
+	tl := testModel().Timeline()
+	m1 := New(1, tl, Params{})
+	m2 := New(2, tl, Params{})
+	same := true
+	for i := 0; i < 24; i++ {
+		at := t0.Add(time.Duration(i) * time.Hour)
+		if m1.TopicVolume("TX", at) != m2.TopicVolume("TX", at) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical ground truth")
+	}
+}
+
+func TestTopicVolumeTracksRate(t *testing.T) {
+	m := testModel()
+	// Average many independent hours during the storm; the empirical mean
+	// must track the configured rate (law of large numbers).
+	var sumRate, sumVol float64
+	for i := 2; i < 40; i++ {
+		at := t0.Add(time.Duration(i) * time.Hour)
+		sumRate += m.TopicRate("TX", at)
+		sumVol += float64(m.TopicVolume("TX", at))
+	}
+	if math.Abs(sumVol-sumRate)/sumRate > 0.05 {
+		t.Errorf("sum of volumes %g deviates from sum of rates %g by >5%%", sumVol, sumRate)
+	}
+}
+
+func TestTotalVolumeDiurnal(t *testing.T) {
+	m := testModel()
+	// 08:00 UTC is 02:00 in TX; 20:00 local is 02:00 UTC next day.
+	night := m.TotalVolume("TX", time.Date(2021, 3, 1, 8, 0, 0, 0, time.UTC))
+	evening := m.TotalVolume("TX", time.Date(2021, 3, 1, 2, 0, 0, 0, time.UTC))
+	if night >= evening {
+		t.Errorf("night total %g should be below evening %g", night, evening)
+	}
+	if night <= 0 {
+		t.Error("total volume must be positive")
+	}
+}
+
+func TestTermRateFollowsShares(t *testing.T) {
+	m := testModel()
+	at := t0.Add(5 * time.Hour)
+	power := m.TermRate("power outage", "TX", at)
+	storm := m.TermRate("winter storm", "TX", at)
+	if power <= 0 || storm <= 0 {
+		t.Fatal("event terms should have positive rates during the event")
+	}
+	if r := power / storm; math.Abs(r-0.5/0.3) > 1e-6 {
+		t.Errorf("term rate ratio = %g, want %g", r, 0.5/0.3)
+	}
+	// A term the event does not carry stays at zero in TX.
+	if got := m.TermRate("fastly outage", "TX", at); got != 0 {
+		t.Errorf("unrelated term rate = %g, want 0", got)
+	}
+	// Event terms have no volume in unimpacted states.
+	if got := m.TermRate("power outage", "CA", at); got != 0 {
+		t.Errorf("power outage rate in CA = %g, want 0", got)
+	}
+}
+
+func TestEvergreenTermsAlwaysTrickle(t *testing.T) {
+	m := testModel()
+	quiet := t0.Add(-200 * time.Hour)
+	for _, term := range EvergreenTerms() {
+		if m.TermRate(term, "CA", quiet) <= 0 {
+			t.Errorf("evergreen term %q has no baseline", term)
+		}
+	}
+	// The returned slice is a copy.
+	ts := EvergreenTerms()
+	ts[0] = "mutated"
+	if EvergreenTerms()[0] == "mutated" {
+		t.Error("EvergreenTerms exposes internal state")
+	}
+}
+
+func TestTermVolumeDeterministic(t *testing.T) {
+	m := testModel()
+	at := t0.Add(4 * time.Hour)
+	if m.TermVolume("power outage", "TX", at) != m.TermVolume("power outage", "TX", at) {
+		t.Error("term volume not deterministic")
+	}
+}
+
+func TestSampleCountProperties(t *testing.T) {
+	m := testModel()
+	at := t0.Add(4 * time.Hour)
+	truth := 1000
+	// Deterministic per request key.
+	a := m.SampleCount(truth, 0.25, 7, "TX", at, "")
+	b := m.SampleCount(truth, 0.25, 7, "TX", at, "")
+	if a != b {
+		t.Fatal("same request key sampled differently")
+	}
+	// Different request keys give different samples (re-fetch variance).
+	c := m.SampleCount(truth, 0.25, 8, "TX", at, "")
+	d := m.SampleCount(truth, 0.25, 9, "TX", at, "")
+	if a == c && c == d {
+		t.Error("independent requests drew identical samples thrice")
+	}
+	// Mean tracks rate*truth.
+	sum := 0
+	n := 200
+	for k := 0; k < n; k++ {
+		sum += m.SampleCount(truth, 0.25, uint64(k), "TX", at, "")
+	}
+	mean := float64(sum) / float64(n)
+	if math.Abs(mean-250) > 15 {
+		t.Errorf("sample mean = %g, want ≈250", mean)
+	}
+	// Bounds.
+	if m.SampleCount(0, 0.5, 1, "TX", at, "") != 0 {
+		t.Error("sampling zero truth should give zero")
+	}
+	if got := m.SampleCount(10, 1, 1, "TX", at, ""); got != 10 {
+		t.Errorf("rate 1 should return full truth, got %d", got)
+	}
+	if got := m.SampleCount(10, 0, 1, "TX", at, ""); got != 0 {
+		t.Errorf("rate 0 should return 0, got %d", got)
+	}
+}
+
+func TestCandidateTerms(t *testing.T) {
+	m := testModel()
+	terms := m.CandidateTerms("TX", t0, t0.Add(24*time.Hour))
+	want := map[string]bool{"power outage": true, "winter storm": true}
+	found := 0
+	seen := map[string]bool{}
+	for _, term := range terms {
+		if seen[term] {
+			t.Errorf("duplicate candidate term %q", term)
+		}
+		seen[term] = true
+		if want[term] {
+			found++
+		}
+	}
+	if found != len(want) {
+		t.Errorf("candidates %v missing event terms", terms)
+	}
+	// Evergreens always present.
+	for _, ev := range EvergreenTerms() {
+		if !seen[ev] {
+			t.Errorf("evergreen %q missing from candidates", ev)
+		}
+	}
+	// A quiet faraway window has only evergreens.
+	quiet := m.CandidateTerms("CA", t0.Add(500*time.Hour), t0.Add(524*time.Hour))
+	if len(quiet) != len(EvergreenTerms()) {
+		t.Errorf("quiet-window candidates = %v, want evergreens only", quiet)
+	}
+}
+
+func TestHrandDistributions(t *testing.T) {
+	h := newHrand(mix(1, 2, 3))
+	// Uniform mean ~0.5.
+	sum := 0.0
+	for i := 0; i < 10000; i++ {
+		u := h.float64()
+		if u < 0 || u >= 1 {
+			t.Fatalf("uniform out of range: %g", u)
+		}
+		sum += u
+	}
+	if mean := sum / 10000; math.Abs(mean-0.5) > 0.02 {
+		t.Errorf("uniform mean = %g", mean)
+	}
+	// Poisson mean tracks lambda in both regimes.
+	for _, lambda := range []float64{0.5, 4, 100} {
+		total := 0
+		for i := 0; i < 5000; i++ {
+			total += h.poisson(lambda)
+		}
+		mean := float64(total) / 5000
+		if math.Abs(mean-lambda) > 0.1*lambda+0.1 {
+			t.Errorf("poisson(%g) mean = %g", lambda, mean)
+		}
+	}
+	if h.poisson(0) != 0 || h.poisson(-1) != 0 {
+		t.Error("poisson of non-positive lambda should be 0")
+	}
+	// Binomial in both regimes.
+	for _, n := range []int{20, 500} {
+		total := 0
+		for i := 0; i < 3000; i++ {
+			total += h.binomial(n, 0.3)
+		}
+		mean := float64(total) / 3000
+		want := float64(n) * 0.3
+		if math.Abs(mean-want) > 0.08*want {
+			t.Errorf("binomial(%d, 0.3) mean = %g, want %g", n, mean, want)
+		}
+	}
+}
+
+func TestMixSensitivity(t *testing.T) {
+	if mix(1, 2) == mix(2, 1) {
+		t.Error("mix should be order-sensitive")
+	}
+	if mix(1) == mix(1, 0) {
+		t.Error("mix should be length-sensitive")
+	}
+	if fnv64("abc") == fnv64("abd") {
+		t.Error("fnv64 collided on near strings")
+	}
+}

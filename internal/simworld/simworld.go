@@ -1,0 +1,406 @@
+// Package simworld models the ground truth this reproduction substitutes
+// for real-world 2020–2021 US Internet outages: a set of outage events
+// (ISP, power, CDN, DNS, application, mobile), each with a start time,
+// duration, per-state impact intensities, an associated set of search
+// terms, and a flag for whether active probing can observe it.
+//
+// The search model (internal/searchmodel) converts these events into
+// search-query volumes; the ANT simulator (internal/ant) converts the
+// probe-visible subset into block-level reachability. Keeping one shared
+// ground truth lets the evaluation compare what users sense (SIFT) with
+// what probes sense (ANT) on identical events, the comparison §4 of the
+// paper draws.
+package simworld
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"sift/internal/geo"
+)
+
+// Kind classifies an outage event by the failing layer.
+type Kind uint8
+
+// Event kinds.
+const (
+	// KindISP is a single network provider's access-network outage.
+	KindISP Kind = iota + 1
+	// KindPower is an electricity outage taking connectivity down with it.
+	KindPower
+	// KindCDN is a content-delivery or edge-cloud outage (Fastly, Akamai,
+	// Cloudflare, AWS).
+	KindCDN
+	// KindDNS is a name-resolution failure; end nodes stay ping-responsive.
+	KindDNS
+	// KindApp is an application/backend outage (Facebook, YouTube).
+	KindApp
+	// KindMobile is a mobile-carrier core-network outage; mobile nodes do
+	// not answer probes in the first place.
+	KindMobile
+	// KindMicro is a small local disturbance below newsworthiness; the
+	// background generator emits these in volume.
+	KindMicro
+)
+
+// String names the kind for reports.
+func (k Kind) String() string {
+	switch k {
+	case KindISP:
+		return "isp"
+	case KindPower:
+		return "power"
+	case KindCDN:
+		return "cdn"
+	case KindDNS:
+		return "dns"
+	case KindApp:
+		return "app"
+	case KindMobile:
+		return "mobile"
+	case KindMicro:
+		return "micro"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Cause records the root cause of an event when the scenario knows it.
+type Cause uint8
+
+// Root causes. Climate causes matter for the paper's §4.3 finding that
+// climate disasters dictate the most impactful outages.
+const (
+	CauseUnknown Cause = iota
+	CauseHumanError
+	CauseEquipment
+	CauseCyberIncident
+	CauseWinterStorm
+	CauseWildfire
+	CauseHeatWave
+	CauseHurricane
+	CauseStorm
+	CauseTornado
+	CauseFlood
+)
+
+// String names the cause for reports.
+func (c Cause) String() string {
+	switch c {
+	case CauseUnknown:
+		return "unknown"
+	case CauseHumanError:
+		return "human-error"
+	case CauseEquipment:
+		return "equipment"
+	case CauseCyberIncident:
+		return "cyber-incident"
+	case CauseWinterStorm:
+		return "winter-storm"
+	case CauseWildfire:
+		return "wildfire"
+	case CauseHeatWave:
+		return "heat-wave"
+	case CauseHurricane:
+		return "hurricane"
+	case CauseStorm:
+		return "storm"
+	case CauseTornado:
+		return "tornado"
+	case CauseFlood:
+		return "flood"
+	default:
+		return fmt.Sprintf("Cause(%d)", uint8(c))
+	}
+}
+
+// IsClimate reports whether the cause is a climate/weather disaster.
+func (c Cause) IsClimate() bool {
+	switch c {
+	case CauseWinterStorm, CauseWildfire, CauseHeatWave, CauseHurricane, CauseStorm, CauseTornado, CauseFlood:
+		return true
+	default:
+		return false
+	}
+}
+
+// TermWeight is one search term an event drives, with its share of the
+// event's total term-search volume. Shares within an event need not sum
+// to 1; they are relative.
+type TermWeight struct {
+	Term  string
+	Share float64
+}
+
+// Impact is an event's effect on one state.
+type Impact struct {
+	State geo.State
+	// Intensity is the relative amplitude of the search-interest surge
+	// the event causes in the state, in units of the state's baseline
+	// outage-search volume. Newsworthy events run 50–2000; micro events
+	// run 2–20.
+	Intensity float64
+	// LagHours delays the state's interest surge, modelling the
+	// timezone-lagged reaction to leisure-application outages the paper
+	// observes for Facebook (§4.2).
+	LagHours int
+	// DurationScale shortens (<1) or stretches (>1) how long this state's
+	// interest persists relative to the event's Duration. Zero means 1.
+	// National incidents keep their anchor state searching far longer
+	// than the periphery (the Fastly outage held Californian interest for
+	// 22 h while most states dropped off within a few hours).
+	DurationScale float64
+}
+
+// effectiveDuration returns the surge duration for this impact given the
+// event-level duration.
+func (im Impact) effectiveDuration(d time.Duration) time.Duration {
+	if im.DurationScale <= 0 {
+		return d
+	}
+	return time.Duration(float64(d) * im.DurationScale)
+}
+
+// Event is one ground-truth outage.
+type Event struct {
+	// ID is unique within a scenario.
+	ID string
+	// Name is the human label reports print ("Fastly", "Winter storm").
+	Name  string
+	Kind  Kind
+	Cause Cause
+	// Start is the instant connectivity degrades (hour-aligned UTC).
+	Start time.Time
+	// Duration is how long the underlying outage persists. User search
+	// interest decays quickly once service recovers, so the detected
+	// spike duration tracks this closely.
+	Duration time.Duration
+	Impacts  []Impact
+	// Terms are the search phrases users reach for during the event.
+	Terms []TermWeight
+	// ProbeVisible is true when the event makes end hosts unreachable to
+	// active probing (ISP and power outages), false for events that keep
+	// the network layer up (CDN/DNS/app) or whose hosts never answered
+	// probes (mobile).
+	ProbeVisible bool
+	// Newsworthy marks scripted, named events; reports and the
+	// cross-validation experiment focus on these.
+	Newsworthy bool
+}
+
+// End returns Start + Duration.
+func (e *Event) End() time.Time { return e.Start.Add(e.Duration) }
+
+// ImpactOn returns the event's impact on the given state, if any.
+func (e *Event) ImpactOn(state geo.State) (Impact, bool) {
+	for _, im := range e.Impacts {
+		if im.State == state {
+			return im, true
+		}
+	}
+	return Impact{}, false
+}
+
+// States returns the impacted state codes in impact order.
+func (e *Event) States() []geo.State {
+	out := make([]geo.State, len(e.Impacts))
+	for i, im := range e.Impacts {
+		out[i] = im.State
+	}
+	return out
+}
+
+// Interest-shape time constants. The surge rises within the first hour,
+// declines slowly while the outage persists (novelty decay), and collapses
+// quickly once service recovers — users stop searching when things work
+// again. The post-recovery decay halves interest in well under an hour,
+// which is what terminates the forward walk of the spike detector.
+const (
+	riseTau = 0.55 // hours to (1 - 1/e) of full surge
+	tailTau = 0.65 // post-recovery decay constant, hours
+	// noveltyFloor keeps interest from decaying below this fraction of
+	// the early peak while the outage is still ongoing.
+	noveltyFloor = 0.45
+)
+
+// shapeAt evaluates the canonical interest shape u hours after surge
+// onset for an outage lasting dur hours. The result is in [0, 1].
+func shapeAt(u, dur float64) float64 {
+	if u < 0 {
+		return 0
+	}
+	noveltyTau := 1.5*dur + 3
+	core := func(x float64) float64 {
+		nov := math.Exp(-x / noveltyTau)
+		if nov < noveltyFloor {
+			nov = noveltyFloor
+		}
+		return (1 - math.Exp(-x/riseTau)) * nov
+	}
+	if u <= dur {
+		return core(u)
+	}
+	v := core(dur) * math.Exp(-(u-dur)/tailTau)
+	if v < 1e-4 {
+		return 0
+	}
+	return v
+}
+
+// InterestAt returns the event's search-interest amplitude in state at
+// instant t, in baseline-volume units: Intensity × shape, honouring the
+// state's reaction lag. It returns 0 for states the event does not touch
+// and instants outside the surge window.
+func (e *Event) InterestAt(state geo.State, t time.Time) float64 {
+	im, ok := e.ImpactOn(state)
+	if !ok {
+		return 0
+	}
+	onset := e.Start.Add(time.Duration(im.LagHours) * time.Hour)
+	u := t.Sub(onset).Hours()
+	return im.Intensity * shapeAt(u, im.effectiveDuration(e.Duration).Hours())
+}
+
+// influenceWindow returns the interval outside which InterestAt is zero
+// for every impacted state, padding for lags and the recovery tail.
+func (e *Event) influenceWindow() (from, to time.Time) {
+	maxSpan := e.Duration
+	for _, im := range e.Impacts {
+		span := im.effectiveDuration(e.Duration) + time.Duration(im.LagHours)*time.Hour
+		if span > maxSpan {
+			maxSpan = span
+		}
+	}
+	// The tail contributes for ~tailTau·ln(1e4) ≈ 6 h after recovery.
+	return e.Start, e.Start.Add(maxSpan + 8*time.Hour)
+}
+
+// Timeline indexes a scenario's events for fast "what is active in this
+// state at this hour" queries — the inner loop of the search model.
+// Construct with NewTimeline; a Timeline is immutable and safe for
+// concurrent readers.
+type Timeline struct {
+	events  []*Event
+	byState map[geo.State][]*Event // sorted by start
+	// maxSpan bounds, per state, how long after its start an event can
+	// still exert interest; ActiveAt uses it to window its scan so the
+	// search-model inner loop stays O(log n + active).
+	maxSpan map[geo.State]time.Duration
+}
+
+// NewTimeline indexes events. The slice is retained; do not mutate events
+// after indexing.
+func NewTimeline(events []*Event) *Timeline {
+	tl := &Timeline{
+		events:  events,
+		byState: make(map[geo.State][]*Event),
+		maxSpan: make(map[geo.State]time.Duration),
+	}
+	for _, e := range events {
+		from, to := e.influenceWindow()
+		span := to.Sub(from)
+		for _, im := range e.Impacts {
+			tl.byState[im.State] = append(tl.byState[im.State], e)
+			if span > tl.maxSpan[im.State] {
+				tl.maxSpan[im.State] = span
+			}
+		}
+	}
+	for st := range tl.byState {
+		evs := tl.byState[st]
+		sort.SliceStable(evs, func(i, j int) bool { return evs[i].Start.Before(evs[j].Start) })
+	}
+	return tl
+}
+
+// Events returns all indexed events in input order.
+func (tl *Timeline) Events() []*Event { return tl.events }
+
+// Len returns the number of events.
+func (tl *Timeline) Len() int { return len(tl.events) }
+
+// ActiveAt returns the events exerting nonzero interest in state at t,
+// including recovery tails. The returned slice is freshly allocated.
+func (tl *Timeline) ActiveAt(state geo.State, t time.Time) []*Event {
+	evs := tl.byState[state]
+	// First event that starts after t can never be active; binary-search
+	// the upper bound, then scan back only as far as the longest possible
+	// influence window reaches.
+	hi := sort.Search(len(evs), func(i int) bool { return evs[i].Start.After(t) })
+	horizon := t.Add(-tl.maxSpan[state])
+	var out []*Event
+	for i := hi - 1; i >= 0; i-- {
+		e := evs[i]
+		if e.Start.Before(horizon) {
+			break
+		}
+		if from, to := e.influenceWindow(); !t.Before(from) && t.Before(to) {
+			out = append(out, e)
+		}
+	}
+	// Restore chronological order (the scan walked backwards).
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+// InterestAt sums the interest of every active event in state at t.
+func (tl *Timeline) InterestAt(state geo.State, t time.Time) float64 {
+	sum := 0.0
+	for _, e := range tl.ActiveAt(state, t) {
+		sum += e.InterestAt(state, t)
+	}
+	return sum
+}
+
+// Overlapping returns the events whose [Start, End] intersects
+// [from, to), across all states, in start order.
+func (tl *Timeline) Overlapping(from, to time.Time) []*Event {
+	var out []*Event
+	for _, e := range tl.events {
+		if e.Start.Before(to) && e.End().After(from) {
+			out = append(out, e)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
+	return out
+}
+
+// OverlappingInState restricts Overlapping to events impacting state.
+func (tl *Timeline) OverlappingInState(state geo.State, from, to time.Time) []*Event {
+	var out []*Event
+	for _, e := range tl.byState[state] {
+		if e.Start.Before(to) && e.End().After(from) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Newsworthy returns the scripted named events in start order.
+func (tl *Timeline) Newsworthy() []*Event {
+	var out []*Event
+	for _, e := range tl.events {
+		if e.Newsworthy {
+			out = append(out, e)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
+	return out
+}
+
+// WeekdayFactor scales service-side event rates by day of week: the paper
+// conjectures weekend dips come from less human error on the service side
+// (§4.1, Fig. 4). Weekdays return 1; Saturday and Sunday return the
+// configured dip.
+func WeekdayFactor(t time.Time, weekendDip float64) float64 {
+	switch t.UTC().Weekday() {
+	case time.Saturday, time.Sunday:
+		return weekendDip
+	default:
+		return 1
+	}
+}

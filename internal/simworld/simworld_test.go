@@ -1,0 +1,288 @@
+package simworld
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var t0 = time.Date(2021, 2, 15, 0, 0, 0, 0, time.UTC)
+
+func hoursAfter(n int) time.Time { return t0.Add(time.Duration(n) * time.Hour) }
+
+func storm() *Event {
+	return &Event{
+		ID:       "tx-storm",
+		Name:     "Winter storm",
+		Kind:     KindPower,
+		Cause:    CauseWinterStorm,
+		Start:    t0,
+		Duration: 45 * time.Hour,
+		Impacts: []Impact{
+			{State: "TX", Intensity: 1000},
+			{State: "OK", Intensity: 200},
+		},
+		Terms:        []TermWeight{{"power outage", 0.6}, {"spectrum outage", 0.2}},
+		ProbeVisible: true,
+		Newsworthy:   true,
+	}
+}
+
+func TestKindAndCauseStrings(t *testing.T) {
+	if KindPower.String() != "power" || KindCDN.String() != "cdn" || KindMicro.String() != "micro" {
+		t.Error("Kind names wrong")
+	}
+	if Kind(99).String() != "Kind(99)" {
+		t.Error("unknown Kind name wrong")
+	}
+	if CauseWildfire.String() != "wildfire" || CauseHumanError.String() != "human-error" {
+		t.Error("Cause names wrong")
+	}
+	if Cause(99).String() != "Cause(99)" {
+		t.Error("unknown Cause name wrong")
+	}
+}
+
+func TestIsClimate(t *testing.T) {
+	climate := []Cause{CauseWinterStorm, CauseWildfire, CauseHeatWave, CauseHurricane, CauseStorm, CauseTornado, CauseFlood}
+	for _, c := range climate {
+		if !c.IsClimate() {
+			t.Errorf("%v should be climate", c)
+		}
+	}
+	for _, c := range []Cause{CauseUnknown, CauseHumanError, CauseEquipment, CauseCyberIncident} {
+		if c.IsClimate() {
+			t.Errorf("%v should not be climate", c)
+		}
+	}
+}
+
+func TestEventEndAndStates(t *testing.T) {
+	e := storm()
+	if !e.End().Equal(hoursAfter(45)) {
+		t.Errorf("End = %v", e.End())
+	}
+	states := e.States()
+	if len(states) != 2 || states[0] != "TX" || states[1] != "OK" {
+		t.Errorf("States = %v", states)
+	}
+}
+
+func TestImpactOn(t *testing.T) {
+	e := storm()
+	im, ok := e.ImpactOn("TX")
+	if !ok || im.Intensity != 1000 {
+		t.Errorf("ImpactOn(TX) = (%+v, %v)", im, ok)
+	}
+	if _, ok := e.ImpactOn("CA"); ok {
+		t.Error("ImpactOn(CA) should be false")
+	}
+}
+
+func TestShapeBasicContract(t *testing.T) {
+	// Before onset: zero.
+	if shapeAt(-1, 10) != 0 {
+		t.Error("shape before onset should be 0")
+	}
+	// At onset: zero (interest ramps up from nothing).
+	if shapeAt(0, 10) != 0 {
+		t.Error("shape at onset should be 0")
+	}
+	// Mid-outage: substantial.
+	if s := shapeAt(2, 10); s < 0.4 || s > 1 {
+		t.Errorf("shape mid-outage = %g, want in (0.4, 1]", s)
+	}
+	// Long after recovery: zero.
+	if shapeAt(30, 10) != 0 {
+		t.Error("shape long after recovery should be 0")
+	}
+}
+
+func TestShapeStaysHighDuringOutage(t *testing.T) {
+	// While the outage persists, interest must decline slower than the
+	// detector's half-of-previous stop rule, so long outages are detected
+	// as one long spike.
+	for _, dur := range []float64{5, 12, 45} {
+		for u := 2.0; u < dur; u++ {
+			prev, cur := shapeAt(u-1, dur), shapeAt(u, dur)
+			if cur < prev/2 {
+				t.Fatalf("dur=%g: shape halves within the outage at u=%g (%g -> %g)", dur, u, prev, cur)
+			}
+		}
+	}
+}
+
+func TestShapeCollapsesAfterRecovery(t *testing.T) {
+	// One hour past recovery the shape must have fallen below half of the
+	// recovery-time value, so the detector's forward walk stops promptly.
+	for _, dur := range []float64{3, 10, 45} {
+		atEnd := shapeAt(dur, dur)
+		after := shapeAt(dur+1, dur)
+		if after >= atEnd/2 {
+			t.Errorf("dur=%g: post-recovery decay too slow (%g -> %g)", dur, atEnd, after)
+		}
+	}
+}
+
+func TestShapeBoundedProperty(t *testing.T) {
+	f := func(uRaw, durRaw uint16) bool {
+		u := float64(uRaw) / 100
+		dur := float64(durRaw)/100 + 0.1
+		s := shapeAt(u, dur)
+		return s >= 0 && s <= 1 && !math.IsNaN(s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInterestAt(t *testing.T) {
+	e := storm()
+	// Unimpacted state: zero.
+	if e.InterestAt("CA", hoursAfter(5)) != 0 {
+		t.Error("interest in unimpacted state should be 0")
+	}
+	// Before start: zero.
+	if e.InterestAt("TX", hoursAfter(-2)) != 0 {
+		t.Error("interest before start should be 0")
+	}
+	// During: scaled by intensity, TX 5x OK.
+	tx := e.InterestAt("TX", hoursAfter(5))
+	ok := e.InterestAt("OK", hoursAfter(5))
+	if tx <= 0 || ok <= 0 {
+		t.Fatal("interest during outage should be positive")
+	}
+	if math.Abs(tx/ok-5) > 1e-9 {
+		t.Errorf("TX/OK interest ratio = %g, want 5", tx/ok)
+	}
+}
+
+func TestInterestLag(t *testing.T) {
+	e := &Event{
+		ID: "fb", Name: "Facebook", Kind: KindApp, Start: t0, Duration: 6 * time.Hour,
+		Impacts: []Impact{
+			{State: "NY", Intensity: 100},
+			{State: "CA", Intensity: 100, LagHours: 3},
+		},
+	}
+	// 2h in: NY surging, CA not yet.
+	if e.InterestAt("NY", hoursAfter(2)) <= 0 {
+		t.Error("NY should surge at +2h")
+	}
+	if e.InterestAt("CA", hoursAfter(2)) != 0 {
+		t.Error("CA with 3h lag should be quiet at +2h")
+	}
+	// 5h in: both surging; CA mirrors NY at +2h.
+	ny2 := e.InterestAt("NY", hoursAfter(2))
+	ca5 := e.InterestAt("CA", hoursAfter(5))
+	if math.Abs(ny2-ca5) > 1e-9 {
+		t.Errorf("lagged CA at +5h (%g) should equal NY at +2h (%g)", ca5, ny2)
+	}
+}
+
+func TestTimelineActiveAt(t *testing.T) {
+	early := &Event{ID: "a", Start: t0, Duration: 2 * time.Hour, Impacts: []Impact{{State: "TX", Intensity: 10}}}
+	late := &Event{ID: "b", Start: hoursAfter(100), Duration: 2 * time.Hour, Impacts: []Impact{{State: "TX", Intensity: 10}}}
+	other := &Event{ID: "c", Start: t0, Duration: 2 * time.Hour, Impacts: []Impact{{State: "CA", Intensity: 10}}}
+	tl := NewTimeline([]*Event{late, early, other})
+
+	act := tl.ActiveAt("TX", hoursAfter(1))
+	if len(act) != 1 || act[0].ID != "a" {
+		t.Fatalf("ActiveAt(TX, +1h) = %v", ids(act))
+	}
+	if got := tl.ActiveAt("TX", hoursAfter(50)); len(got) != 0 {
+		t.Errorf("ActiveAt(TX, +50h) = %v, want empty", ids(got))
+	}
+	if got := tl.ActiveAt("TX", hoursAfter(101)); len(got) != 1 || got[0].ID != "b" {
+		t.Errorf("ActiveAt(TX, +101h) = %v, want [b]", ids(got))
+	}
+	if got := tl.ActiveAt("NV", hoursAfter(1)); len(got) != 0 {
+		t.Errorf("ActiveAt(NV) = %v, want empty", ids(got))
+	}
+}
+
+func TestTimelineActiveAtIncludesTail(t *testing.T) {
+	e := &Event{ID: "a", Start: t0, Duration: 2 * time.Hour, Impacts: []Impact{{State: "TX", Intensity: 10}}}
+	tl := NewTimeline([]*Event{e})
+	// 3h after start = 1h after recovery: still in the decay tail.
+	if got := tl.ActiveAt("TX", hoursAfter(3)); len(got) != 1 {
+		t.Errorf("recovery tail not covered: ActiveAt(+3h) = %v", ids(got))
+	}
+}
+
+func TestTimelineInterestSums(t *testing.T) {
+	a := &Event{ID: "a", Start: t0, Duration: 5 * time.Hour, Impacts: []Impact{{State: "TX", Intensity: 100}}}
+	b := &Event{ID: "b", Start: t0, Duration: 5 * time.Hour, Impacts: []Impact{{State: "TX", Intensity: 50}}}
+	tl := NewTimeline([]*Event{a, b})
+	at := hoursAfter(2)
+	sum := tl.InterestAt("TX", at)
+	want := a.InterestAt("TX", at) + b.InterestAt("TX", at)
+	if math.Abs(sum-want) > 1e-12 {
+		t.Errorf("InterestAt = %g, want %g", sum, want)
+	}
+}
+
+func TestTimelineOverlapping(t *testing.T) {
+	a := &Event{ID: "a", Start: t0, Duration: 5 * time.Hour, Impacts: []Impact{{State: "TX", Intensity: 1}}}
+	b := &Event{ID: "b", Start: hoursAfter(10), Duration: 5 * time.Hour, Impacts: []Impact{{State: "CA", Intensity: 1}}}
+	tl := NewTimeline([]*Event{b, a})
+	got := tl.Overlapping(hoursAfter(3), hoursAfter(11))
+	if len(got) != 2 || got[0].ID != "a" || got[1].ID != "b" {
+		t.Errorf("Overlapping = %v, want [a b] in start order", ids(got))
+	}
+	if got := tl.Overlapping(hoursAfter(6), hoursAfter(9)); len(got) != 0 {
+		t.Errorf("gap window Overlapping = %v, want empty", ids(got))
+	}
+	if got := tl.OverlappingInState("TX", hoursAfter(0), hoursAfter(100)); len(got) != 1 || got[0].ID != "a" {
+		t.Errorf("OverlappingInState(TX) = %v, want [a]", ids(got))
+	}
+}
+
+func TestTimelineNewsworthy(t *testing.T) {
+	a := storm()
+	micro := &Event{ID: "m", Start: hoursAfter(-5), Duration: time.Hour, Kind: KindMicro, Impacts: []Impact{{State: "TX", Intensity: 3}}}
+	tl := NewTimeline([]*Event{a, micro})
+	news := tl.Newsworthy()
+	if len(news) != 1 || news[0].ID != "tx-storm" {
+		t.Errorf("Newsworthy = %v", ids(news))
+	}
+	if tl.Len() != 2 || len(tl.Events()) != 2 {
+		t.Error("Len/Events wrong")
+	}
+}
+
+func TestWeekdayFactor(t *testing.T) {
+	mon := time.Date(2021, 2, 15, 12, 0, 0, 0, time.UTC) // Monday
+	sat := time.Date(2021, 2, 20, 12, 0, 0, 0, time.UTC) // Saturday
+	sun := time.Date(2021, 2, 21, 12, 0, 0, 0, time.UTC) // Sunday
+	if WeekdayFactor(mon, 0.7) != 1 {
+		t.Error("Monday factor should be 1")
+	}
+	if WeekdayFactor(sat, 0.7) != 0.7 || WeekdayFactor(sun, 0.7) != 0.7 {
+		t.Error("weekend factor should be the dip")
+	}
+}
+
+func TestInfluenceWindowCoversLag(t *testing.T) {
+	e := &Event{
+		ID: "fb", Start: t0, Duration: 4 * time.Hour,
+		Impacts: []Impact{{State: "CA", Intensity: 100, LagHours: 6}},
+	}
+	tl := NewTimeline([]*Event{e})
+	// Onset for CA is +6h; surge runs until +10h plus tail.
+	if got := tl.ActiveAt("CA", hoursAfter(8)); len(got) != 1 {
+		t.Error("lagged event not active inside its lagged surge")
+	}
+	if e.InterestAt("CA", hoursAfter(8)) <= 0 {
+		t.Error("lagged interest should be positive at +8h")
+	}
+}
+
+func ids(evs []*Event) []string {
+	out := make([]string, len(evs))
+	for i, e := range evs {
+		out[i] = e.ID
+	}
+	return out
+}

@@ -1,0 +1,299 @@
+// Package stats provides the small statistical toolbox the SIFT pipeline
+// needs: descriptive statistics, empirical CDFs, quantiles, histograms and
+// binomial sampling error — all deterministic and allocation-conscious.
+//
+// Google Trends returns an *unbiased random sample* of the search log per
+// request, so sampling error is central to the paper's processing pipeline
+// (§3.2): the standard error of a sample proportion shrinks with √n, which
+// is why SIFT averages repeated fetches. The helpers here quantify that.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by aggregations that need at least one sample.
+var ErrEmpty = errors.New("stats: empty input")
+
+// Mean returns the arithmetic mean of xs, or 0 for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the population variance of xs, or 0 for fewer than two
+// samples.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	sum := 0.0
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Max returns the maximum of xs and its index. It returns ErrEmpty for
+// empty input.
+func Max(xs []float64) (max float64, idx int, err error) {
+	if len(xs) == 0 {
+		return 0, -1, ErrEmpty
+	}
+	max, idx = xs[0], 0
+	for i, x := range xs[1:] {
+		if x > max {
+			max, idx = x, i+1
+		}
+	}
+	return max, idx, nil
+}
+
+// Min returns the minimum of xs and its index. It returns ErrEmpty for
+// empty input.
+func Min(xs []float64) (min float64, idx int, err error) {
+	if len(xs) == 0 {
+		return 0, -1, ErrEmpty
+	}
+	min, idx = xs[0], 0
+	for i, x := range xs[1:] {
+		if x < min {
+			min, idx = x, i+1
+		}
+	}
+	return min, idx, nil
+}
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs using linear
+// interpolation between order statistics (type-7, the spreadsheet default).
+// It returns ErrEmpty for empty input and an error for q outside [0, 1].
+func Quantile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		return 0, errors.New("stats: quantile out of range")
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0], nil
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// Median returns the 0.5-quantile of xs.
+func Median(xs []float64) (float64, error) { return Quantile(xs, 0.5) }
+
+// ECDF is an empirical cumulative distribution function over a fixed
+// sample. The zero value is unusable; construct with NewECDF.
+type ECDF struct {
+	sorted []float64
+}
+
+// NewECDF builds an ECDF from xs. The input is copied.
+func NewECDF(xs []float64) *ECDF {
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return &ECDF{sorted: sorted}
+}
+
+// At returns P(X ≤ x), i.e. the fraction of samples ≤ x. An empty ECDF
+// returns 0 everywhere.
+func (e *ECDF) At(x float64) float64 {
+	if len(e.sorted) == 0 {
+		return 0
+	}
+	// First index with value > x.
+	idx := sort.SearchFloat64s(e.sorted, x)
+	for idx < len(e.sorted) && e.sorted[idx] == x {
+		idx++
+	}
+	return float64(idx) / float64(len(e.sorted))
+}
+
+// N returns the sample count.
+func (e *ECDF) N() int { return len(e.sorted) }
+
+// Points returns the ECDF as (x, P(X ≤ x)) pairs at each distinct sample
+// value, in ascending x order — the series a CDF plot draws.
+func (e *ECDF) Points() (xs, ps []float64) {
+	n := len(e.sorted)
+	for i := 0; i < n; i++ {
+		if i+1 < n && e.sorted[i+1] == e.sorted[i] {
+			continue // collapse ties onto the last occurrence
+		}
+		xs = append(xs, e.sorted[i])
+		ps = append(ps, float64(i+1)/float64(n))
+	}
+	return xs, ps
+}
+
+// Histogram counts samples into nbins equal-width bins over [min, max].
+// Samples outside the range clamp into the edge bins. It returns nil for
+// empty input or nbins < 1.
+func Histogram(xs []float64, min, max float64, nbins int) []int {
+	if len(xs) == 0 || nbins < 1 || max <= min {
+		return nil
+	}
+	bins := make([]int, nbins)
+	width := (max - min) / float64(nbins)
+	for _, x := range xs {
+		idx := int((x - min) / width)
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= nbins {
+			idx = nbins - 1
+		}
+		bins[idx]++
+	}
+	return bins
+}
+
+// ProportionStdErr returns the standard error of an unbiased sample
+// proportion p estimated from n samples: √(p(1-p)/n). This is the error
+// model GT's per-request sampling induces (§3.2); it motivates the
+// averaging loop in the processing pipeline.
+func ProportionStdErr(p float64, n int) float64 {
+	if n <= 0 {
+		return math.Inf(1)
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	return math.Sqrt(p * (1 - p) / float64(n))
+}
+
+// ProportionCI returns the normal-approximation confidence interval
+// [lo, hi] for a sample proportion p from n samples at z standard errors
+// (z = 1.96 for 95%). The interval is clamped to [0, 1].
+func ProportionCI(p float64, n int, z float64) (lo, hi float64) {
+	se := ProportionStdErr(p, n)
+	lo, hi = p-z*se, p+z*se
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// TopShare sorts counts descending and returns the fraction of the total
+// contributed by the k largest entries — the statistic behind "the top ten
+// states host 51% of the spikes" (Fig. 3) and "33 of 6655 terms comprise
+// half the suggestions" (§3.4). It returns 0 when the total is 0; k larger
+// than len(counts) is treated as len(counts).
+func TopShare(counts []int, k int) float64 {
+	if len(counts) == 0 || k <= 0 {
+		return 0
+	}
+	sorted := make([]int, len(counts))
+	copy(sorted, counts)
+	sort.Sort(sort.Reverse(sort.IntSlice(sorted)))
+	if k > len(sorted) {
+		k = len(sorted)
+	}
+	total, top := 0, 0
+	for i, c := range sorted {
+		total += c
+		if i < k {
+			top += c
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(top) / float64(total)
+}
+
+// MinCoverCount returns the smallest number of entries (taken largest
+// first) whose sum reaches at least share (0–1] of the total — the inverse
+// of TopShare. It returns 0 for an empty input or zero total.
+func MinCoverCount(counts []int, share float64) int {
+	if len(counts) == 0 || share <= 0 {
+		return 0
+	}
+	sorted := make([]int, len(counts))
+	copy(sorted, counts)
+	sort.Sort(sort.Reverse(sort.IntSlice(sorted)))
+	total := 0
+	for _, c := range sorted {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	need := share * float64(total)
+	acc := 0
+	for i, c := range sorted {
+		acc += c
+		if float64(acc) >= need {
+			return i + 1
+		}
+	}
+	return len(sorted)
+}
+
+// Rescale maps xs linearly so that its maximum becomes top, returning a
+// new slice. An all-zero or empty input returns a zero slice of the same
+// length. This is the "index to 100" step GT applies per frame and SIFT
+// applies globally after stitching.
+func Rescale(xs []float64, top float64) []float64 {
+	out := make([]float64, len(xs))
+	max, _, err := Max(xs)
+	if err != nil || max <= 0 {
+		return out
+	}
+	for i, x := range xs {
+		out[i] = x / max * top
+	}
+	return out
+}
+
+// RoundIndex rounds a GT-style index value to the nearest integer in
+// [0, 100], mirroring the integer indices the service reports.
+func RoundIndex(x float64) int {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 100 {
+		return 100
+	}
+	return int(math.Round(x))
+}

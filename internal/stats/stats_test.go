@@ -1,0 +1,364 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestMean(t *testing.T) {
+	tests := []struct {
+		xs   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{1, 2, 3, 4}, 2.5},
+		{[]float64{-1, 1}, 0},
+	}
+	for _, tt := range tests {
+		if got := Mean(tt.xs); !almostEqual(got, tt.want, 1e-12) {
+			t.Errorf("Mean(%v) = %g, want %g", tt.xs, got, tt.want)
+		}
+	}
+}
+
+func TestVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); !almostEqual(got, 4, 1e-12) {
+		t.Errorf("Variance = %g, want 4", got)
+	}
+	if got := StdDev(xs); !almostEqual(got, 2, 1e-12) {
+		t.Errorf("StdDev = %g, want 2", got)
+	}
+	if Variance([]float64{3}) != 0 || Variance(nil) != 0 {
+		t.Error("Variance of <2 samples should be 0")
+	}
+}
+
+func TestMaxMin(t *testing.T) {
+	xs := []float64{3, 9, 1, 9, 2}
+	max, idx, err := Max(xs)
+	if err != nil || max != 9 || idx != 1 {
+		t.Errorf("Max = (%g, %d, %v), want (9, 1, nil)", max, idx, err)
+	}
+	min, idx, err := Min(xs)
+	if err != nil || min != 1 || idx != 2 {
+		t.Errorf("Min = (%g, %d, %v), want (1, 2, nil)", min, idx, err)
+	}
+	if _, _, err := Max(nil); err != ErrEmpty {
+		t.Error("Max(nil) should return ErrEmpty")
+	}
+	if _, _, err := Min(nil); err != ErrEmpty {
+		t.Error("Min(nil) should return ErrEmpty")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	tests := []struct {
+		q, want float64
+	}{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5}, {0.1, 1.4},
+	}
+	for _, tt := range tests {
+		got, err := Quantile(xs, tt.q)
+		if err != nil {
+			t.Fatalf("Quantile(%g): %v", tt.q, err)
+		}
+		if !almostEqual(got, tt.want, 1e-12) {
+			t.Errorf("Quantile(%g) = %g, want %g", tt.q, got, tt.want)
+		}
+	}
+	if _, err := Quantile(nil, 0.5); err != ErrEmpty {
+		t.Error("Quantile(nil) should return ErrEmpty")
+	}
+	if _, err := Quantile(xs, 1.5); err == nil {
+		t.Error("Quantile(q=1.5) should error")
+	}
+	if _, err := Quantile(xs, math.NaN()); err == nil {
+		t.Error("Quantile(NaN) should error")
+	}
+	got, err := Quantile([]float64{7}, 0.99)
+	if err != nil || got != 7 {
+		t.Errorf("Quantile single sample = (%g, %v), want (7, nil)", got, err)
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if _, err := Quantile(xs, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("Quantile mutated its input")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	got, err := Median([]float64{1, 10, 2})
+	if err != nil || got != 2 {
+		t.Errorf("Median = (%g, %v), want (2, nil)", got, err)
+	}
+}
+
+func TestECDF(t *testing.T) {
+	e := NewECDF([]float64{1, 2, 2, 3})
+	tests := []struct {
+		x, want float64
+	}{
+		{0.5, 0}, {1, 0.25}, {2, 0.75}, {2.5, 0.75}, {3, 1}, {99, 1},
+	}
+	for _, tt := range tests {
+		if got := e.At(tt.x); !almostEqual(got, tt.want, 1e-12) {
+			t.Errorf("ECDF.At(%g) = %g, want %g", tt.x, got, tt.want)
+		}
+	}
+	if e.N() != 4 {
+		t.Errorf("N = %d, want 4", e.N())
+	}
+	xs, ps := e.Points()
+	if len(xs) != 3 || xs[0] != 1 || xs[1] != 2 || xs[2] != 3 {
+		t.Errorf("Points xs = %v, want [1 2 3]", xs)
+	}
+	if ps[1] != 0.75 || ps[2] != 1 {
+		t.Errorf("Points ps = %v", ps)
+	}
+}
+
+func TestECDFEmpty(t *testing.T) {
+	e := NewECDF(nil)
+	if e.At(5) != 0 || e.N() != 0 {
+		t.Error("empty ECDF should be 0 everywhere")
+	}
+	xs, ps := e.Points()
+	if xs != nil || ps != nil {
+		t.Error("empty ECDF Points should be nil")
+	}
+}
+
+func TestECDFMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, a, b float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		e := NewECDF(xs)
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		if a > b {
+			a, b = b, a
+		}
+		return e.At(a) <= e.At(b) && e.At(b) <= 1 && e.At(a) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4, 5, -10, 100}
+	bins := Histogram(xs, 0, 5, 5)
+	// Width 1: [0,1)→{0,-10}, [1,2)→{1}, [2,3)→{2}, [3,4)→{3}, [4,5]→{4,5,100}.
+	want := []int{2, 1, 1, 1, 3}
+	for i := range want {
+		if bins[i] != want[i] {
+			t.Errorf("bins = %v, want %v", bins, want)
+			break
+		}
+	}
+	if Histogram(nil, 0, 1, 3) != nil {
+		t.Error("Histogram(nil) should be nil")
+	}
+	if Histogram(xs, 5, 0, 3) != nil {
+		t.Error("Histogram with max<=min should be nil")
+	}
+	if Histogram(xs, 0, 5, 0) != nil {
+		t.Error("Histogram with nbins<1 should be nil")
+	}
+}
+
+func TestHistogramConservesCount(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := make([]float64, 0, len(xs))
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		bins := Histogram(clean, -100, 100, 7)
+		total := 0
+		for _, b := range bins {
+			total += b
+		}
+		return total == len(clean)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProportionStdErr(t *testing.T) {
+	// p=0.5, n=100 → √(0.25/100) = 0.05.
+	if got := ProportionStdErr(0.5, 100); !almostEqual(got, 0.05, 1e-12) {
+		t.Errorf("ProportionStdErr = %g, want 0.05", got)
+	}
+	// Error shrinks with n — the paper's averaging rationale.
+	if ProportionStdErr(0.3, 400) >= ProportionStdErr(0.3, 100) {
+		t.Error("standard error must shrink with larger samples")
+	}
+	if !math.IsInf(ProportionStdErr(0.5, 0), 1) {
+		t.Error("n=0 should give +Inf")
+	}
+	if ProportionStdErr(-0.5, 10) != 0 || ProportionStdErr(1.5, 10) != 0 {
+		t.Error("p outside [0,1] should clamp")
+	}
+}
+
+func TestProportionCI(t *testing.T) {
+	lo, hi := ProportionCI(0.5, 100, 1.96)
+	if !almostEqual(lo, 0.402, 1e-9) || !almostEqual(hi, 0.598, 1e-9) {
+		t.Errorf("CI = [%g, %g], want [0.402, 0.598]", lo, hi)
+	}
+	lo, hi = ProportionCI(0.01, 10, 1.96)
+	if lo < 0 || hi > 1 {
+		t.Errorf("CI = [%g, %g] not clamped to [0,1]", lo, hi)
+	}
+}
+
+func TestTopShare(t *testing.T) {
+	counts := []int{50, 30, 10, 5, 5}
+	if got := TopShare(counts, 2); !almostEqual(got, 0.8, 1e-12) {
+		t.Errorf("TopShare(2) = %g, want 0.8", got)
+	}
+	if got := TopShare(counts, 100); !almostEqual(got, 1, 1e-12) {
+		t.Errorf("TopShare(all) = %g, want 1", got)
+	}
+	if TopShare(nil, 3) != 0 || TopShare(counts, 0) != 0 {
+		t.Error("degenerate TopShare should be 0")
+	}
+	if TopShare([]int{0, 0}, 1) != 0 {
+		t.Error("zero total should give 0")
+	}
+	// Order must not matter.
+	if TopShare([]int{5, 50, 5, 30, 10}, 2) != TopShare(counts, 2) {
+		t.Error("TopShare must be order-invariant")
+	}
+}
+
+func TestMinCoverCount(t *testing.T) {
+	counts := []int{50, 30, 10, 5, 5}
+	if got := MinCoverCount(counts, 0.5); got != 1 {
+		t.Errorf("MinCoverCount(0.5) = %d, want 1", got)
+	}
+	if got := MinCoverCount(counts, 0.8); got != 2 {
+		t.Errorf("MinCoverCount(0.8) = %d, want 2", got)
+	}
+	if got := MinCoverCount(counts, 1.0); got != 5 {
+		t.Errorf("MinCoverCount(1.0) = %d, want 5", got)
+	}
+	if MinCoverCount(nil, 0.5) != 0 || MinCoverCount(counts, 0) != 0 {
+		t.Error("degenerate MinCoverCount should be 0")
+	}
+	if MinCoverCount([]int{0, 0, 0}, 0.5) != 0 {
+		t.Error("zero total should give 0")
+	}
+}
+
+func TestTopShareMinCoverRoundTrip(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		counts := make([]int, len(raw))
+		total := 0
+		for i, r := range raw {
+			counts[i] = int(r)
+			total += int(r)
+		}
+		if total == 0 {
+			return true
+		}
+		k := MinCoverCount(counts, 0.5)
+		// The top-k must reach 50%, and top-(k-1) must not.
+		if TopShare(counts, k) < 0.5 {
+			return false
+		}
+		if k > 1 && TopShare(counts, k-1) >= 0.5 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRescale(t *testing.T) {
+	out := Rescale([]float64{1, 2, 4}, 100)
+	want := []float64{25, 50, 100}
+	for i := range want {
+		if !almostEqual(out[i], want[i], 1e-12) {
+			t.Errorf("Rescale = %v, want %v", out, want)
+			break
+		}
+	}
+	zero := Rescale([]float64{0, 0}, 100)
+	if zero[0] != 0 || zero[1] != 0 {
+		t.Error("Rescale of zeros should be zeros")
+	}
+	if len(Rescale(nil, 100)) != 0 {
+		t.Error("Rescale(nil) should be empty")
+	}
+}
+
+func TestRescaleMaxIsTopProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		anyPos := false
+		for i, r := range raw {
+			xs[i] = float64(r)
+			anyPos = anyPos || r > 0
+		}
+		out := Rescale(xs, 100)
+		max, _, _ := Max(out)
+		if !anyPos {
+			return max == 0
+		}
+		return almostEqual(max, 100, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRoundIndex(t *testing.T) {
+	tests := []struct {
+		x    float64
+		want int
+	}{
+		{-5, 0}, {0, 0}, {0.4, 0}, {0.5, 1}, {99.6, 100}, {150, 100}, {42.3, 42},
+	}
+	for _, tt := range tests {
+		if got := RoundIndex(tt.x); got != tt.want {
+			t.Errorf("RoundIndex(%g) = %d, want %d", tt.x, got, tt.want)
+		}
+	}
+}
+
+func TestSum(t *testing.T) {
+	if Sum(nil) != 0 || Sum([]float64{1.5, 2.5}) != 4 {
+		t.Error("Sum wrong")
+	}
+}

@@ -1,0 +1,263 @@
+// Package store is SIFT's backend database: it keeps every fetched Trends
+// frame (per state, term, window and fetch round), the reconstructed
+// series, and the detected spikes, with JSON persistence. The collection
+// module merges the responses gathered by the fetcher units into this
+// store (§4, Implementation); report generators and the web CLI read
+// from it.
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"sift/internal/core"
+	"sift/internal/geo"
+	"sift/internal/gtrends"
+	"sift/internal/timeseries"
+)
+
+// seriesKey identifies one (term, state) series.
+type seriesKey struct {
+	Term  string
+	State geo.State
+}
+
+// StoredFrame is a fetched frame plus its fetch round.
+type StoredFrame struct {
+	Round int            `json:"round"`
+	Frame *gtrends.Frame `json:"frame"`
+}
+
+// DB is an in-memory database with optional file persistence. Safe for
+// concurrent use.
+type DB struct {
+	mu     sync.RWMutex
+	frames map[seriesKey][]StoredFrame
+	series map[seriesKey]*timeseries.Series
+	spikes map[seriesKey][]core.Spike
+}
+
+// New returns an empty database.
+func New() *DB {
+	return &DB{
+		frames: make(map[seriesKey][]StoredFrame),
+		series: make(map[seriesKey]*timeseries.Series),
+		spikes: make(map[seriesKey][]core.Spike),
+	}
+}
+
+// AddFrame records a fetched frame under its round.
+func (db *DB) AddFrame(round int, f *gtrends.Frame) {
+	key := seriesKey{Term: f.Term, State: f.State}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.frames[key] = append(db.frames[key], StoredFrame{Round: round, Frame: f})
+}
+
+// Frames returns all stored frames for a term and state, ordered by
+// window start then round.
+func (db *DB) Frames(term string, state geo.State) []StoredFrame {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	src := db.frames[seriesKey{Term: term, State: state}]
+	out := make([]StoredFrame, len(src))
+	copy(out, src)
+	sort.SliceStable(out, func(i, j int) bool {
+		if !out[i].Frame.Start.Equal(out[j].Frame.Start) {
+			return out[i].Frame.Start.Before(out[j].Frame.Start)
+		}
+		return out[i].Round < out[j].Round
+	})
+	return out
+}
+
+// FrameCount returns the total number of stored frames across all keys —
+// the "requested time frames" statistic.
+func (db *DB) FrameCount() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	total := 0
+	for _, fs := range db.frames {
+		total += len(fs)
+	}
+	return total
+}
+
+// PutSeries stores the reconstructed series for a term and state.
+func (db *DB) PutSeries(term string, state geo.State, s *timeseries.Series) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.series[seriesKey{Term: term, State: state}] = s
+}
+
+// Series returns the reconstructed series for a term and state.
+func (db *DB) Series(term string, state geo.State) (*timeseries.Series, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	s, ok := db.series[seriesKey{Term: term, State: state}]
+	return s, ok
+}
+
+// PutSpikes stores the detected spikes for a term and state, replacing
+// any previous set.
+func (db *DB) PutSpikes(term string, state geo.State, spikes []core.Spike) {
+	cp := make([]core.Spike, len(spikes))
+	copy(cp, spikes)
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.spikes[seriesKey{Term: term, State: state}] = cp
+}
+
+// Spikes returns the stored spikes for a term and state.
+func (db *DB) Spikes(term string, state geo.State) []core.Spike {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	src := db.spikes[seriesKey{Term: term, State: state}]
+	out := make([]core.Spike, len(src))
+	copy(out, src)
+	return out
+}
+
+// AllSpikes returns every stored spike across states for a term, ordered
+// by start time.
+func (db *DB) AllSpikes(term string) []core.Spike {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var out []core.Spike
+	for key, sp := range db.spikes {
+		if key.Term == term {
+			out = append(out, sp...)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if !out[i].Start.Equal(out[j].Start) {
+			return out[i].Start.Before(out[j].Start)
+		}
+		return out[i].State < out[j].State
+	})
+	return out
+}
+
+// States returns the states that have stored spikes for a term, sorted.
+func (db *DB) States(term string) []geo.State {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var out []geo.State
+	for key := range db.spikes {
+		if key.Term == term {
+			out = append(out, key.State)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ---- persistence ----
+
+// fileFormat is the JSON on-disk layout.
+type fileFormat struct {
+	Version int          `json:"version"`
+	Entries []fileSeries `json:"entries"`
+}
+
+type fileSeries struct {
+	Term   string        `json:"term"`
+	State  geo.State     `json:"state"`
+	Frames []StoredFrame `json:"frames,omitempty"`
+	Series *seriesJSON   `json:"series,omitempty"`
+	Spikes []core.Spike  `json:"spikes,omitempty"`
+}
+
+type seriesJSON struct {
+	Start  time.Time `json:"start"`
+	Values []float64 `json:"values"`
+}
+
+// Save writes the database to path atomically (write + rename).
+func (db *DB) Save(path string) error {
+	db.mu.RLock()
+	ff := fileFormat{Version: 1}
+	keys := map[seriesKey]bool{}
+	for k := range db.frames {
+		keys[k] = true
+	}
+	for k := range db.series {
+		keys[k] = true
+	}
+	for k := range db.spikes {
+		keys[k] = true
+	}
+	ordered := make([]seriesKey, 0, len(keys))
+	for k := range keys {
+		ordered = append(ordered, k)
+	}
+	sort.Slice(ordered, func(i, j int) bool {
+		if ordered[i].Term != ordered[j].Term {
+			return ordered[i].Term < ordered[j].Term
+		}
+		return ordered[i].State < ordered[j].State
+	})
+	for _, k := range ordered {
+		entry := fileSeries{Term: k.Term, State: k.State, Frames: db.frames[k], Spikes: db.spikes[k]}
+		if s, ok := db.series[k]; ok {
+			entry.Series = &seriesJSON{Start: s.Start(), Values: s.Values()}
+		}
+		ff.Entries = append(ff.Entries, entry)
+	}
+	db.mu.RUnlock()
+
+	data, err := json.Marshal(ff)
+	if err != nil {
+		return fmt.Errorf("store: encoding: %w", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("store: creating directory: %w", err)
+	}
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("store: writing: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("store: renaming: %w", err)
+	}
+	return nil
+}
+
+// Load reads a database previously written by Save.
+func Load(path string) (*DB, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: reading: %w", err)
+	}
+	var ff fileFormat
+	if err := json.Unmarshal(data, &ff); err != nil {
+		return nil, fmt.Errorf("store: decoding: %w", err)
+	}
+	if ff.Version != 1 {
+		return nil, errors.New("store: unsupported file version")
+	}
+	db := New()
+	for _, entry := range ff.Entries {
+		key := seriesKey{Term: entry.Term, State: entry.State}
+		if len(entry.Frames) > 0 {
+			db.frames[key] = entry.Frames
+		}
+		if len(entry.Spikes) > 0 {
+			db.spikes[key] = entry.Spikes
+		}
+		if entry.Series != nil {
+			s, err := timeseries.New(entry.Series.Start, entry.Series.Values)
+			if err != nil {
+				return nil, fmt.Errorf("store: series %s/%s: %w", entry.Term, entry.State, err)
+			}
+			db.series[key] = s
+		}
+	}
+	return db, nil
+}

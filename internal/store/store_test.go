@@ -1,0 +1,190 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"sift/internal/core"
+	"sift/internal/gtrends"
+	"sift/internal/timeseries"
+)
+
+var t0 = time.Date(2021, 2, 15, 0, 0, 0, 0, time.UTC)
+
+func frame(state string, startHour int, points ...int) *gtrends.Frame {
+	return &gtrends.Frame{
+		Term:   gtrends.TopicInternetOutage,
+		State:  "TX",
+		Start:  t0.Add(time.Duration(startHour) * time.Hour),
+		Points: points,
+		Rising: []gtrends.RisingTerm{{Term: "power outage", Weight: 120}},
+	}
+}
+
+func TestFramesRoundTrip(t *testing.T) {
+	db := New()
+	db.AddFrame(2, frame("TX", 144, 1, 2, 3))
+	db.AddFrame(1, frame("TX", 0, 4, 5, 6))
+	db.AddFrame(1, frame("TX", 144, 7, 8, 9))
+
+	frames := db.Frames(gtrends.TopicInternetOutage, "TX")
+	if len(frames) != 3 {
+		t.Fatalf("got %d frames", len(frames))
+	}
+	// Ordered by start then round.
+	if !frames[0].Frame.Start.Equal(t0) {
+		t.Error("first frame should be the earliest window")
+	}
+	if frames[1].Round != 1 || frames[2].Round != 2 {
+		t.Errorf("rounds out of order: %d, %d", frames[1].Round, frames[2].Round)
+	}
+	if db.FrameCount() != 3 {
+		t.Errorf("FrameCount = %d", db.FrameCount())
+	}
+	if got := db.Frames(gtrends.TopicInternetOutage, "CA"); len(got) != 0 {
+		t.Error("unrelated state should have no frames")
+	}
+}
+
+func TestSeriesRoundTrip(t *testing.T) {
+	db := New()
+	if _, ok := db.Series("t", "TX"); ok {
+		t.Fatal("empty db should have no series")
+	}
+	s := timeseries.MustNew(t0, []float64{1, 2, 3})
+	db.PutSeries("t", "TX", s)
+	got, ok := db.Series("t", "TX")
+	if !ok || got.Len() != 3 {
+		t.Fatalf("Series = (%v, %v)", got, ok)
+	}
+}
+
+func TestSpikesRoundTrip(t *testing.T) {
+	db := New()
+	spikes := []core.Spike{
+		{State: "TX", Term: "t", Start: t0, Peak: t0, End: t0.Add(2 * time.Hour), Magnitude: 50},
+		{State: "TX", Term: "t", Start: t0.Add(30 * time.Hour), Peak: t0.Add(30 * time.Hour), End: t0.Add(31 * time.Hour), Magnitude: 10},
+	}
+	db.PutSpikes("t", "TX", spikes)
+	db.PutSpikes("t", "CA", []core.Spike{
+		{State: "CA", Term: "t", Start: t0.Add(5 * time.Hour), Peak: t0.Add(5 * time.Hour), End: t0.Add(6 * time.Hour), Magnitude: 20},
+	})
+	if got := db.Spikes("t", "TX"); len(got) != 2 {
+		t.Fatalf("Spikes(TX) = %d", len(got))
+	}
+	all := db.AllSpikes("t")
+	if len(all) != 3 {
+		t.Fatalf("AllSpikes = %d", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i].Start.Before(all[i-1].Start) {
+			t.Error("AllSpikes not ordered by start")
+		}
+	}
+	states := db.States("t")
+	if len(states) != 2 || states[0] != "CA" || states[1] != "TX" {
+		t.Errorf("States = %v", states)
+	}
+	// Replacement semantics.
+	db.PutSpikes("t", "TX", spikes[:1])
+	if got := db.Spikes("t", "TX"); len(got) != 1 {
+		t.Error("PutSpikes should replace")
+	}
+}
+
+func TestSpikesReturnedCopiesAreIndependent(t *testing.T) {
+	db := New()
+	db.PutSpikes("t", "TX", []core.Spike{{State: "TX", Magnitude: 1}})
+	got := db.Spikes("t", "TX")
+	got[0].Magnitude = 99
+	if db.Spikes("t", "TX")[0].Magnitude != 1 {
+		t.Error("Spikes exposes internal storage")
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	db := New()
+	db.AddFrame(1, frame("TX", 0, 1, 2, 3))
+	db.PutSeries("t", "TX", timeseries.MustNew(t0, []float64{1.5, 2.5}))
+	db.PutSpikes("t", "TX", []core.Spike{{
+		State: "TX", Term: "t", Start: t0, Peak: t0.Add(time.Hour), End: t0.Add(2 * time.Hour),
+		Magnitude: 42.5, Rank: 1, Annotations: []string{"Power outage"},
+	}})
+
+	path := filepath.Join(t.TempDir(), "sub", "db.json")
+	if err := db.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.FrameCount() != 1 {
+		t.Errorf("loaded FrameCount = %d", loaded.FrameCount())
+	}
+	frames := loaded.Frames(gtrends.TopicInternetOutage, "TX")
+	if len(frames) != 1 || frames[0].Frame.Points[2] != 3 {
+		t.Errorf("loaded frames = %+v", frames)
+	}
+	if len(frames[0].Frame.Rising) != 1 {
+		t.Error("rising terms lost in round trip")
+	}
+	s, ok := loaded.Series("t", "TX")
+	if !ok || s.Len() != 2 || s.AtIndex(1) != 2.5 {
+		t.Errorf("loaded series = %v", s)
+	}
+	if !s.Start().Equal(t0) {
+		t.Errorf("loaded series start = %v", s.Start())
+	}
+	spikes := loaded.Spikes("t", "TX")
+	if len(spikes) != 1 || spikes[0].Magnitude != 42.5 || spikes[0].Annotations[0] != "Power outage" {
+		t.Errorf("loaded spikes = %+v", spikes)
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Error("missing file should error")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := writeFile(bad, "{not json"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(bad); err == nil {
+		t.Error("corrupt file should error")
+	}
+	wrongVersion := filepath.Join(t.TempDir(), "v9.json")
+	if err := writeFile(wrongVersion, `{"version":9}`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(wrongVersion); err == nil {
+		t.Error("unsupported version should error")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	db := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				db.AddFrame(i, frame("TX", j, 1))
+				db.Frames(gtrends.TopicInternetOutage, "TX")
+				db.FrameCount()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if db.FrameCount() != 400 {
+		t.Errorf("FrameCount = %d, want 400", db.FrameCount())
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

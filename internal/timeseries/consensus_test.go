@@ -1,0 +1,72 @@
+package timeseries
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestConsensusAverageQuorum(t *testing.T) {
+	// Position 0: nonzero in 1 of 3 rounds (a sampling ghost).
+	// Position 1: nonzero in 2 of 3 rounds (borderline).
+	// Position 2: nonzero in all rounds (real signal).
+	rounds := []*Series{
+		MustNew(t0, []float64{3, 4, 10}),
+		MustNew(t0, []float64{0, 2, 12}),
+		MustNew(t0, []float64{0, 0, 14}),
+	}
+	got, err := ConsensusAverage(rounds, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.AtIndex(0) != 0 {
+		t.Errorf("ghost position = %g, want 0 (below quorum)", got.AtIndex(0))
+	}
+	if got.AtIndex(1) != 2 {
+		t.Errorf("borderline position = %g, want mean 2 (meets quorum)", got.AtIndex(1))
+	}
+	if got.AtIndex(2) != 12 {
+		t.Errorf("signal position = %g, want mean 12", got.AtIndex(2))
+	}
+}
+
+func TestConsensusAverageQuorumOneIsPlainMean(t *testing.T) {
+	rounds := []*Series{
+		MustNew(t0, []float64{1, 0}),
+		MustNew(t0, []float64{3, 0}),
+	}
+	got, err := ConsensusAverage(rounds, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.AtIndex(0) != 2 || got.AtIndex(1) != 0 {
+		t.Errorf("quorum 1 should be a plain mean: %v", got.Values())
+	}
+}
+
+func TestConsensusAverageErrors(t *testing.T) {
+	if _, err := ConsensusAverage(nil, 2); !errors.Is(err, ErrEmpty) {
+		t.Error("empty input should return ErrEmpty")
+	}
+	a := MustNew(t0, []float64{1})
+	b := MustNew(t0, []float64{1, 2})
+	if _, err := ConsensusAverage([]*Series{a, b}, 1); !errors.Is(err, ErrShape) {
+		t.Error("shape mismatch should return ErrShape")
+	}
+}
+
+func TestConsensusAverageFullQuorum(t *testing.T) {
+	rounds := []*Series{
+		MustNew(t0, []float64{5, 5}),
+		MustNew(t0, []float64{5, 0}),
+	}
+	got, err := ConsensusAverage(rounds, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.AtIndex(0) != 5 {
+		t.Errorf("all-present position = %g", got.AtIndex(0))
+	}
+	if got.AtIndex(1) != 0 {
+		t.Errorf("half-present position = %g, want 0 at full quorum", got.AtIndex(1))
+	}
+}

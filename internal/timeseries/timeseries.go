@@ -1,0 +1,455 @@
+// Package timeseries implements the hourly time-series algebra behind
+// SIFT's processing pipeline (§3.2 of the paper): aligning overlapping
+// Google Trends frames, estimating the scaling ratio between consecutive
+// piecewise-normalized frames from their overlap, stitching frames into a
+// continuous global series, averaging repeated fetches, and renormalizing
+// the result onto the familiar 0–100 index.
+//
+// A Series is a regular grid: a start instant plus one value per step.
+// All series in this repository are hourly and hour-aligned in UTC, which
+// the constructors enforce.
+package timeseries
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"sift/internal/stats"
+)
+
+// Step is the grid resolution of every series: Google Trends serves hourly
+// blocks for weekly frames, and SIFT operates at that resolution
+// throughout.
+const Step = time.Hour
+
+// Common errors.
+var (
+	ErrMisaligned = errors.New("timeseries: instant not aligned to the hourly grid")
+	ErrNoOverlap  = errors.New("timeseries: series do not overlap")
+	ErrOrder      = errors.New("timeseries: next series must not start before the current one")
+	ErrEmpty      = errors.New("timeseries: empty series")
+	ErrShape      = errors.New("timeseries: series have different shapes")
+)
+
+// Series is an hourly time series. Values[i] covers the hour beginning at
+// Start + i*Step. Construct with New; the zero value is an empty series.
+type Series struct {
+	start  time.Time
+	values []float64
+}
+
+// New creates a Series starting at start (which must be hour-aligned UTC)
+// with the given values. The slice is copied.
+func New(start time.Time, values []float64) (*Series, error) {
+	if !Aligned(start) {
+		return nil, fmt.Errorf("%w: %v", ErrMisaligned, start)
+	}
+	v := make([]float64, len(values))
+	copy(v, values)
+	return &Series{start: start.UTC(), values: v}, nil
+}
+
+// MustNew is New for inputs known to be valid; it panics otherwise.
+func MustNew(start time.Time, values []float64) *Series {
+	s, err := New(start, values)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Zeros creates a Series of n zeros starting at start.
+func Zeros(start time.Time, n int) (*Series, error) {
+	return New(start, make([]float64, n))
+}
+
+// Aligned reports whether t falls exactly on the hourly grid.
+func Aligned(t time.Time) bool { return t.UTC().Truncate(Step).Equal(t.UTC()) }
+
+// Start returns the instant of the first value.
+func (s *Series) Start() time.Time { return s.start }
+
+// End returns the instant just past the last value (Start + Len*Step).
+func (s *Series) End() time.Time { return s.start.Add(time.Duration(s.Len()) * Step) }
+
+// Len returns the number of hourly values.
+func (s *Series) Len() int { return len(s.values) }
+
+// Values returns a copy of the underlying values.
+func (s *Series) Values() []float64 {
+	out := make([]float64, len(s.values))
+	copy(out, s.values)
+	return out
+}
+
+// At returns the value for the hour beginning at t. ok is false when t is
+// outside the series or misaligned.
+func (s *Series) At(t time.Time) (v float64, ok bool) {
+	idx, err := s.Index(t)
+	if err != nil {
+		return 0, false
+	}
+	return s.values[idx], true
+}
+
+// AtIndex returns the i-th value; it panics when i is out of range, like a
+// slice access.
+func (s *Series) AtIndex(i int) float64 { return s.values[i] }
+
+// Index converts an instant to a value index.
+func (s *Series) Index(t time.Time) (int, error) {
+	if !Aligned(t) {
+		return 0, fmt.Errorf("%w: %v", ErrMisaligned, t)
+	}
+	d := t.UTC().Sub(s.start)
+	idx := int(d / Step)
+	if d < 0 || idx >= s.Len() {
+		return 0, fmt.Errorf("timeseries: %v outside series [%v, %v)", t, s.start, s.End())
+	}
+	return idx, nil
+}
+
+// Time converts a value index to the instant its hour begins.
+func (s *Series) Time(i int) time.Time { return s.start.Add(time.Duration(i) * Step) }
+
+// Clone returns an independent copy of s.
+func (s *Series) Clone() *Series {
+	return &Series{start: s.start, values: s.Values()}
+}
+
+// Slice returns the sub-series covering [from, to). Both bounds must be
+// aligned and within [Start, End]; from must precede to.
+func (s *Series) Slice(from, to time.Time) (*Series, error) {
+	if !Aligned(from) || !Aligned(to) {
+		return nil, ErrMisaligned
+	}
+	if !from.Before(to) {
+		return nil, errors.New("timeseries: empty or inverted slice bounds")
+	}
+	if from.Before(s.start) || to.After(s.End()) {
+		return nil, fmt.Errorf("timeseries: slice [%v, %v) outside series [%v, %v)", from, to, s.start, s.End())
+	}
+	lo := int(from.UTC().Sub(s.start) / Step)
+	hi := int(to.UTC().Sub(s.start) / Step)
+	return New(from, s.values[lo:hi])
+}
+
+// Scale returns a copy of s with every value multiplied by f.
+func (s *Series) Scale(f float64) *Series {
+	out := s.Clone()
+	for i := range out.values {
+		out.values[i] *= f
+	}
+	return out
+}
+
+// Max returns the maximum value and the instant of its hour. It returns
+// ErrEmpty for an empty series.
+func (s *Series) Max() (v float64, at time.Time, err error) {
+	max, idx, err := stats.Max(s.values)
+	if err != nil {
+		return 0, time.Time{}, ErrEmpty
+	}
+	return max, s.Time(idx), nil
+}
+
+// Renormalize rescales the series so its maximum becomes 100, mirroring
+// the final indexing step of the processing pipeline. An all-zero series
+// is returned unchanged.
+func (s *Series) Renormalize() *Series {
+	max, _, err := stats.Max(s.values)
+	if err != nil || max <= 0 {
+		return s.Clone()
+	}
+	return s.Scale(100 / max)
+}
+
+// RatioEstimator selects how the inter-frame scaling ratio is estimated
+// from the values the two frames share over their overlap window. The
+// estimators differ in robustness to the privacy-threshold zeros GT
+// injects into small-volume hours; the ablation bench compares them.
+type RatioEstimator uint8
+
+const (
+	// RatioOfMeans divides the sum of the left frame's overlap by the sum
+	// of the right frame's overlap. It weighs busy hours more, which makes
+	// it robust to zeroed quiet hours; it is the default.
+	RatioOfMeans RatioEstimator = iota
+	// MeanOfRatios averages per-hour ratios, skipping hours where either
+	// side is zero.
+	MeanOfRatios
+	// MedianOfRatios takes the median of per-hour ratios, skipping zeros.
+	MedianOfRatios
+)
+
+// String names the estimator for reports.
+func (r RatioEstimator) String() string {
+	switch r {
+	case RatioOfMeans:
+		return "ratio-of-means"
+	case MeanOfRatios:
+		return "mean-of-ratios"
+	case MedianOfRatios:
+		return "median-of-ratios"
+	default:
+		return fmt.Sprintf("RatioEstimator(%d)", uint8(r))
+	}
+}
+
+// OverlapRatio estimates the factor by which next must be multiplied to
+// continue prev's scale, using the overlap window the two series share.
+// It returns ErrNoOverlap when the series share no hours, and falls back
+// to a ratio of 1 when the overlap carries no signal (all zeros on either
+// side) — the stitch then simply trusts the new frame's own scale.
+func OverlapRatio(prev, next *Series, est RatioEstimator) (float64, error) {
+	lo := maxTime(prev.start, next.start)
+	hi := minTime(prev.End(), next.End())
+	if !lo.Before(hi) {
+		return 0, ErrNoOverlap
+	}
+	n := int(hi.Sub(lo) / Step)
+	var a, b []float64
+	for i := 0; i < n; i++ {
+		t := lo.Add(time.Duration(i) * Step)
+		va, _ := prev.At(t)
+		vb, _ := next.At(t)
+		a = append(a, va)
+		b = append(b, vb)
+	}
+	switch est {
+	case RatioOfMeans:
+		sa, sb := stats.Sum(a), stats.Sum(b)
+		if sa <= 0 || sb <= 0 {
+			return 1, nil
+		}
+		return sa / sb, nil
+	case MeanOfRatios, MedianOfRatios:
+		var ratios []float64
+		for i := range a {
+			if a[i] > 0 && b[i] > 0 {
+				ratios = append(ratios, a[i]/b[i])
+			}
+		}
+		if len(ratios) == 0 {
+			return 1, nil
+		}
+		if est == MeanOfRatios {
+			return stats.Mean(ratios), nil
+		}
+		m, err := stats.Median(ratios)
+		if err != nil {
+			return 1, nil
+		}
+		return m, nil
+	default:
+		return 0, fmt.Errorf("timeseries: unknown estimator %v", est)
+	}
+}
+
+// Stitch extends prev with next: it estimates the scaling ratio over the
+// overlap, rescales next by it, and appends next's non-overlapping suffix.
+// prev is not modified. next must start within prev (overlap required) and
+// must not start before prev.
+func Stitch(prev, next *Series, est RatioEstimator) (*Series, error) {
+	if prev.Len() == 0 {
+		return next.Clone(), nil
+	}
+	if next.start.Before(prev.start) {
+		return nil, ErrOrder
+	}
+	ratio, err := OverlapRatio(prev, next, est)
+	if err != nil {
+		return nil, err
+	}
+	scaled := next.Scale(ratio)
+	out := prev.Clone()
+	// Append the part of next beyond prev's end.
+	if scaled.End().After(out.End()) {
+		fromIdx, err := scaled.Index(out.End())
+		if err != nil {
+			return nil, err
+		}
+		out.values = append(out.values, scaled.values[fromIdx:]...)
+	}
+	return out, nil
+}
+
+// StitchAll folds a left-to-right sequence of overlapping frames into one
+// continuous series and renormalizes it to 0–100 — the full reconstruction
+// step (§3.2). Frames must be ordered by start time and each must overlap
+// its predecessor.
+func StitchAll(frames []*Series, est RatioEstimator) (*Series, error) {
+	if len(frames) == 0 {
+		return nil, ErrEmpty
+	}
+	acc := frames[0].Clone()
+	for _, f := range frames[1:] {
+		var err error
+		acc, err = Stitch(acc, f, est)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return acc.Renormalize(), nil
+}
+
+// Average returns the pointwise mean of series with identical start and
+// length — the sampling-error reduction step: averaging k independent GT
+// fetches shrinks the per-point standard error by √k.
+func Average(series []*Series) (*Series, error) {
+	if len(series) == 0 {
+		return nil, ErrEmpty
+	}
+	first := series[0]
+	sum := make([]float64, first.Len())
+	for _, s := range series {
+		if !s.start.Equal(first.start) || s.Len() != first.Len() {
+			return nil, ErrShape
+		}
+		for i, v := range s.values {
+			sum[i] += v
+		}
+	}
+	for i := range sum {
+		sum[i] /= float64(len(series))
+	}
+	return New(first.start, sum)
+}
+
+// ConsensusAverage returns the pointwise mean of series of identical
+// shape, but zeroes every position that is nonzero in fewer than quorum
+// of the inputs. Google Trends' per-request sampling makes near-threshold
+// hours flicker between zero and a small count; under a plain mean, one
+// lucky draw out of six re-fetches leaves a permanent ghost island that
+// the spike detector would count. Requiring a strict majority of fetches
+// to agree the hour had measurable volume removes the ghosts while
+// leaving genuine surges (nonzero in every sample) untouched.
+func ConsensusAverage(series []*Series, quorum int) (*Series, error) {
+	avg, err := Average(series)
+	if err != nil {
+		return nil, err
+	}
+	if quorum <= 1 {
+		return avg, nil
+	}
+	for i := 0; i < avg.Len(); i++ {
+		present := 0
+		for _, s := range series {
+			if s.values[i] > 0 {
+				present++
+			}
+		}
+		if present < quorum {
+			avg.values[i] = 0
+		}
+	}
+	return avg, nil
+}
+
+// Correlation returns the Pearson correlation coefficient between two
+// series of identical shape, or 0 when either side is constant. The
+// convergence and averaging tests use it to verify reconstruction fidelity
+// against ground truth.
+func Correlation(a, b *Series) (float64, error) {
+	if !a.start.Equal(b.start) || a.Len() != b.Len() {
+		return 0, ErrShape
+	}
+	ma, mb := stats.Mean(a.values), stats.Mean(b.values)
+	var cov, va, vb float64
+	for i := range a.values {
+		da, db := a.values[i]-ma, b.values[i]-mb
+		cov += da * db
+		va += da * da
+		vb += db * db
+	}
+	if va == 0 || vb == 0 {
+		return 0, nil
+	}
+	return cov / math.Sqrt(va*vb), nil
+}
+
+// Partition splits [from, to) into consecutive frames of frameLen hours
+// that overlap their predecessor by overlap hours — SIFT's request plan
+// (workflow step 2). The last frame is shifted left, if necessary, so it
+// ends exactly at to; thus frames may overlap by more than overlap hours
+// at the tail. from and to must be aligned; the range must be at least
+// frameLen hours; overlap must be in [1, frameLen).
+type FrameSpec struct {
+	Start time.Time
+	Hours int
+}
+
+// Partition returns the frame plan. See type FrameSpec.
+func Partition(from, to time.Time, frameLen, overlap int) ([]FrameSpec, error) {
+	if !Aligned(from) || !Aligned(to) {
+		return nil, ErrMisaligned
+	}
+	if frameLen <= 0 || overlap <= 0 || overlap >= frameLen {
+		return nil, errors.New("timeseries: need 0 < overlap < frameLen")
+	}
+	total := int(to.Sub(from) / Step)
+	if total < frameLen {
+		return nil, fmt.Errorf("timeseries: range of %d h shorter than one %d h frame", total, frameLen)
+	}
+	stride := frameLen - overlap
+	var specs []FrameSpec
+	for off := 0; ; off += stride {
+		if off+frameLen >= total {
+			// Final frame: align its end with the range end.
+			specs = append(specs, FrameSpec{Start: from.Add(time.Duration(total-frameLen) * Step), Hours: frameLen})
+			break
+		}
+		specs = append(specs, FrameSpec{Start: from.Add(time.Duration(off) * Step), Hours: frameLen})
+	}
+	// Drop a duplicate tail frame (possible when the range is an exact
+	// multiple of the stride).
+	if n := len(specs); n >= 2 && specs[n-1].Start.Equal(specs[n-2].Start) {
+		specs = specs[:n-1]
+	}
+	return specs, nil
+}
+
+// MergeMax overlays series (same shape) taking the pointwise maximum.
+// The area analysis uses it to build a national envelope for display.
+func MergeMax(series []*Series) (*Series, error) {
+	if len(series) == 0 {
+		return nil, ErrEmpty
+	}
+	out := series[0].Clone()
+	for _, s := range series[1:] {
+		if !s.start.Equal(out.start) || s.Len() != out.Len() {
+			return nil, ErrShape
+		}
+		for i, v := range s.values {
+			if v > out.values[i] {
+				out.values[i] = v
+			}
+		}
+	}
+	return out, nil
+}
+
+// Hours converts a duration to whole hours, rounding toward zero.
+func Hours(d time.Duration) int { return int(d / Step) }
+
+// SortSpecs orders frame specs by start time (stable), for merging plans.
+func SortSpecs(specs []FrameSpec) {
+	sort.SliceStable(specs, func(i, j int) bool { return specs[i].Start.Before(specs[j].Start) })
+}
+
+func maxTime(a, b time.Time) time.Time {
+	if a.After(b) {
+		return a
+	}
+	return b
+}
+
+func minTime(a, b time.Time) time.Time {
+	if a.Before(b) {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,522 @@
+package timeseries
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var t0 = time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func hoursAfter(n int) time.Time { return t0.Add(time.Duration(n) * time.Hour) }
+
+func TestNewRejectsMisaligned(t *testing.T) {
+	_, err := New(t0.Add(30*time.Minute), []float64{1})
+	if !errors.Is(err, ErrMisaligned) {
+		t.Fatalf("err = %v, want ErrMisaligned", err)
+	}
+}
+
+func TestNewCopiesValues(t *testing.T) {
+	vals := []float64{1, 2, 3}
+	s := MustNew(t0, vals)
+	vals[0] = 99
+	if s.AtIndex(0) != 1 {
+		t.Fatal("New did not copy values")
+	}
+	got := s.Values()
+	got[1] = 99
+	if s.AtIndex(1) != 2 {
+		t.Fatal("Values did not return a copy")
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew did not panic on misaligned start")
+		}
+	}()
+	MustNew(t0.Add(time.Minute), nil)
+}
+
+func TestStartEndLen(t *testing.T) {
+	s := MustNew(t0, []float64{1, 2, 3})
+	if !s.Start().Equal(t0) {
+		t.Errorf("Start = %v", s.Start())
+	}
+	if !s.End().Equal(hoursAfter(3)) {
+		t.Errorf("End = %v, want %v", s.End(), hoursAfter(3))
+	}
+	if s.Len() != 3 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}
+
+func TestAtAndIndex(t *testing.T) {
+	s := MustNew(t0, []float64{10, 20, 30})
+	if v, ok := s.At(hoursAfter(1)); !ok || v != 20 {
+		t.Errorf("At(+1h) = (%g, %v)", v, ok)
+	}
+	if _, ok := s.At(hoursAfter(3)); ok {
+		t.Error("At(End) should be out of range")
+	}
+	if _, ok := s.At(hoursAfter(-1)); ok {
+		t.Error("At(before start) should be out of range")
+	}
+	if _, ok := s.At(t0.Add(time.Minute)); ok {
+		t.Error("At(misaligned) should fail")
+	}
+	if got := s.Time(2); !got.Equal(hoursAfter(2)) {
+		t.Errorf("Time(2) = %v", got)
+	}
+}
+
+func TestAtNonUTCInput(t *testing.T) {
+	s := MustNew(t0, []float64{10, 20, 30})
+	// Same instant expressed in a non-UTC zone must hit the same bucket.
+	est := time.FixedZone("EST", -5*3600)
+	if v, ok := s.At(hoursAfter(1).In(est)); !ok || v != 20 {
+		t.Errorf("At(non-UTC) = (%g, %v), want (20, true)", v, ok)
+	}
+}
+
+func TestSlice(t *testing.T) {
+	s := MustNew(t0, []float64{0, 1, 2, 3, 4})
+	sub, err := s.Slice(hoursAfter(1), hoursAfter(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Len() != 3 || sub.AtIndex(0) != 1 || sub.AtIndex(2) != 3 {
+		t.Errorf("Slice values = %v", sub.Values())
+	}
+	if !sub.Start().Equal(hoursAfter(1)) {
+		t.Errorf("Slice start = %v", sub.Start())
+	}
+	if _, err := s.Slice(hoursAfter(3), hoursAfter(6)); err == nil {
+		t.Error("out-of-range slice should error")
+	}
+	if _, err := s.Slice(hoursAfter(3), hoursAfter(3)); err == nil {
+		t.Error("empty slice should error")
+	}
+	if _, err := s.Slice(hoursAfter(3), hoursAfter(1)); err == nil {
+		t.Error("inverted slice should error")
+	}
+}
+
+func TestScaleAndClone(t *testing.T) {
+	s := MustNew(t0, []float64{1, 2})
+	d := s.Scale(2.5)
+	if d.AtIndex(0) != 2.5 || d.AtIndex(1) != 5 {
+		t.Errorf("Scale = %v", d.Values())
+	}
+	if s.AtIndex(0) != 1 {
+		t.Error("Scale mutated the receiver")
+	}
+	c := s.Clone()
+	c.values[0] = 99
+	if s.AtIndex(0) != 1 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestMaxAndRenormalize(t *testing.T) {
+	s := MustNew(t0, []float64{5, 50, 25})
+	v, at, err := s.Max()
+	if err != nil || v != 50 || !at.Equal(hoursAfter(1)) {
+		t.Errorf("Max = (%g, %v, %v)", v, at, err)
+	}
+	n := s.Renormalize()
+	if n.AtIndex(1) != 100 || n.AtIndex(0) != 10 || n.AtIndex(2) != 50 {
+		t.Errorf("Renormalize = %v", n.Values())
+	}
+	zero := MustNew(t0, []float64{0, 0})
+	rz := zero.Renormalize()
+	if rz.AtIndex(0) != 0 || rz.AtIndex(1) != 0 {
+		t.Error("Renormalize of zeros should stay zero")
+	}
+	empty := MustNew(t0, nil)
+	if _, _, err := empty.Max(); !errors.Is(err, ErrEmpty) {
+		t.Error("Max of empty should be ErrEmpty")
+	}
+}
+
+func TestOverlapRatioRatioOfMeans(t *testing.T) {
+	// prev covers hours 0..5 at true scale, next covers 3..9 at half scale.
+	prev := MustNew(t0, []float64{2, 4, 6, 8, 10, 12})
+	next := MustNew(hoursAfter(3), []float64{4, 5, 6, 7, 8, 9})
+	// Overlap hours 3,4,5: prev (8,10,12) vs next (4,5,6) → ratio 2.
+	r, err := OverlapRatio(prev, next, RatioOfMeans)
+	if err != nil || math.Abs(r-2) > 1e-12 {
+		t.Fatalf("ratio = (%g, %v), want 2", r, err)
+	}
+}
+
+func TestOverlapRatioEstimators(t *testing.T) {
+	prev := MustNew(t0, []float64{0, 2, 8})
+	next := MustNew(hoursAfter(0), []float64{1, 1, 2})
+	// Per-hour ratios skipping zeros: 2/1=2, 8/2=4 → mean 3, median 3.
+	// Ratio of means: 10/4 = 2.5.
+	if r, _ := OverlapRatio(prev, next, RatioOfMeans); math.Abs(r-2.5) > 1e-12 {
+		t.Errorf("ratio-of-means = %g, want 2.5", r)
+	}
+	if r, _ := OverlapRatio(prev, next, MeanOfRatios); math.Abs(r-3) > 1e-12 {
+		t.Errorf("mean-of-ratios = %g, want 3", r)
+	}
+	if r, _ := OverlapRatio(prev, next, MedianOfRatios); math.Abs(r-3) > 1e-12 {
+		t.Errorf("median-of-ratios = %g, want 3", r)
+	}
+}
+
+func TestOverlapRatioFallbacks(t *testing.T) {
+	prev := MustNew(t0, []float64{0, 0, 0})
+	next := MustNew(t0, []float64{1, 2, 3})
+	for _, est := range []RatioEstimator{RatioOfMeans, MeanOfRatios, MedianOfRatios} {
+		r, err := OverlapRatio(prev, next, est)
+		if err != nil || r != 1 {
+			t.Errorf("%v zero-overlap ratio = (%g, %v), want (1, nil)", est, r, err)
+		}
+	}
+	disjoint := MustNew(hoursAfter(10), []float64{1})
+	if _, err := OverlapRatio(prev, disjoint, RatioOfMeans); !errors.Is(err, ErrNoOverlap) {
+		t.Error("disjoint series should return ErrNoOverlap")
+	}
+	if _, err := OverlapRatio(prev, next, RatioEstimator(42)); err == nil {
+		t.Error("unknown estimator should error")
+	}
+}
+
+func TestStitchExtends(t *testing.T) {
+	prev := MustNew(t0, []float64{2, 4, 6, 8})
+	// next overlaps hours 2,3 at half scale, then extends 2 more hours.
+	next := MustNew(hoursAfter(2), []float64{3, 4, 5, 6})
+	out, err := Stitch(prev, next, RatioOfMeans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 6 {
+		t.Fatalf("stitched len = %d, want 6", out.Len())
+	}
+	// Ratio = (6+8)/(3+4) = 2 → appended values 5*2, 6*2.
+	want := []float64{2, 4, 6, 8, 10, 12}
+	for i, w := range want {
+		if math.Abs(out.AtIndex(i)-w) > 1e-12 {
+			t.Fatalf("stitched = %v, want %v", out.Values(), want)
+		}
+	}
+	// prev untouched.
+	if prev.Len() != 4 {
+		t.Error("Stitch mutated prev")
+	}
+}
+
+func TestStitchRejectsEarlierNext(t *testing.T) {
+	prev := MustNew(hoursAfter(5), []float64{1, 2})
+	next := MustNew(t0, []float64{1, 2})
+	if _, err := Stitch(prev, next, RatioOfMeans); !errors.Is(err, ErrOrder) {
+		t.Errorf("err = %v, want ErrOrder", err)
+	}
+}
+
+func TestStitchOntoEmpty(t *testing.T) {
+	empty := MustNew(t0, nil)
+	next := MustNew(hoursAfter(3), []float64{1, 2})
+	out, err := Stitch(empty, next, RatioOfMeans)
+	if err != nil || out.Len() != 2 || !out.Start().Equal(hoursAfter(3)) {
+		t.Fatalf("stitch onto empty = (%v, %v)", out, err)
+	}
+}
+
+func TestStitchContainedNext(t *testing.T) {
+	prev := MustNew(t0, []float64{1, 2, 3, 4})
+	next := MustNew(hoursAfter(1), []float64{5, 7}) // fully inside prev
+	out, err := Stitch(prev, next, RatioOfMeans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != prev.Len() {
+		t.Errorf("contained stitch len = %d, want %d", out.Len(), prev.Len())
+	}
+}
+
+// TestStitchAllRecoversShape is the core §3.2 guarantee: stitching
+// piecewise-normalized views of a ground-truth series reconstructs the
+// truth up to one global scale factor.
+func TestStitchAllRecoversShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	truth := make([]float64, 24*21) // three weeks
+	for i := range truth {
+		truth[i] = 5 + 4*math.Sin(float64(i)/24*2*math.Pi) + rng.Float64()
+	}
+	// Inject two spikes.
+	for i := 100; i < 110; i++ {
+		truth[i] += 40
+	}
+	for i := 300; i < 320; i++ {
+		truth[i] += 25
+	}
+	truthSeries := MustNew(t0, truth)
+
+	specs, err := Partition(t0, hoursAfter(len(truth)), 168, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var frames []*Series
+	for _, spec := range specs {
+		vals := make([]float64, spec.Hours)
+		off := int(spec.Start.Sub(t0) / time.Hour)
+		copy(vals, truth[off:off+spec.Hours])
+		// Piecewise normalization: scale each frame to max 100,
+		// destroying the global scale (what GT does).
+		f := MustNew(spec.Start, vals).Renormalize()
+		frames = append(frames, f)
+	}
+	got, err := StitchAll(frames, RatioOfMeans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != len(truth) {
+		t.Fatalf("stitched len = %d, want %d", got.Len(), len(truth))
+	}
+	corr, err := Correlation(got, truthSeries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corr < 0.999 {
+		t.Errorf("stitched/truth correlation = %g, want ≥0.999", corr)
+	}
+	max, _, _ := got.Max()
+	if math.Abs(max-100) > 1e-9 {
+		t.Errorf("stitched max = %g, want 100", max)
+	}
+}
+
+func TestStitchAllEmpty(t *testing.T) {
+	if _, err := StitchAll(nil, RatioOfMeans); !errors.Is(err, ErrEmpty) {
+		t.Error("StitchAll(nil) should return ErrEmpty")
+	}
+}
+
+func TestAverage(t *testing.T) {
+	a := MustNew(t0, []float64{1, 3})
+	b := MustNew(t0, []float64{3, 5})
+	avg, err := Average([]*Series{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg.AtIndex(0) != 2 || avg.AtIndex(1) != 4 {
+		t.Errorf("Average = %v", avg.Values())
+	}
+	if _, err := Average(nil); !errors.Is(err, ErrEmpty) {
+		t.Error("Average(nil) should return ErrEmpty")
+	}
+	c := MustNew(hoursAfter(1), []float64{1, 2})
+	if _, err := Average([]*Series{a, c}); !errors.Is(err, ErrShape) {
+		t.Error("Average with shifted series should return ErrShape")
+	}
+	d := MustNew(t0, []float64{1})
+	if _, err := Average([]*Series{a, d}); !errors.Is(err, ErrShape) {
+		t.Error("Average with shorter series should return ErrShape")
+	}
+}
+
+func TestAverageReducesNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	truth := make([]float64, 168)
+	for i := range truth {
+		truth[i] = 50 + 20*math.Sin(float64(i)/12)
+	}
+	noisy := func() *Series {
+		v := make([]float64, len(truth))
+		for i := range v {
+			v[i] = truth[i] + rng.NormFloat64()*10
+		}
+		return MustNew(t0, v)
+	}
+	rmse := func(s *Series) float64 {
+		var sum float64
+		for i, v := range s.Values() {
+			d := v - truth[i]
+			sum += d * d
+		}
+		return math.Sqrt(sum / float64(len(truth)))
+	}
+	single := noisy()
+	many := []*Series{single}
+	for i := 0; i < 15; i++ {
+		many = append(many, noisy())
+	}
+	avg, err := Average(many)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rmse(avg) >= rmse(single)/2 {
+		t.Errorf("averaging 16 fetches should cut RMSE ~4x: single=%g avg=%g", rmse(single), rmse(avg))
+	}
+}
+
+func TestCorrelation(t *testing.T) {
+	a := MustNew(t0, []float64{1, 2, 3, 4})
+	b := MustNew(t0, []float64{2, 4, 6, 8})
+	c := MustNew(t0, []float64{4, 3, 2, 1})
+	if corr, _ := Correlation(a, b); math.Abs(corr-1) > 1e-12 {
+		t.Errorf("corr(a, 2a) = %g, want 1", corr)
+	}
+	if corr, _ := Correlation(a, c); math.Abs(corr+1) > 1e-12 {
+		t.Errorf("corr(a, -a) = %g, want -1", corr)
+	}
+	flat := MustNew(t0, []float64{5, 5, 5, 5})
+	if corr, _ := Correlation(a, flat); corr != 0 {
+		t.Errorf("corr with constant = %g, want 0", corr)
+	}
+	short := MustNew(t0, []float64{1})
+	if _, err := Correlation(a, short); !errors.Is(err, ErrShape) {
+		t.Error("shape mismatch should return ErrShape")
+	}
+}
+
+func TestPartitionBasic(t *testing.T) {
+	// 3 weeks, weekly frames, 24 h overlap → strides of 144 h.
+	to := hoursAfter(24 * 21)
+	specs, err := Partition(t0, to, 168, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) < 3 {
+		t.Fatalf("got %d frames, want >= 3", len(specs))
+	}
+	if !specs[0].Start.Equal(t0) {
+		t.Errorf("first frame starts %v", specs[0].Start)
+	}
+	last := specs[len(specs)-1]
+	if !last.Start.Add(time.Duration(last.Hours) * time.Hour).Equal(to) {
+		t.Errorf("last frame ends %v, want %v", last.Start.Add(time.Duration(last.Hours)*time.Hour), to)
+	}
+	// Every consecutive pair must overlap.
+	for i := 1; i < len(specs); i++ {
+		prevEnd := specs[i-1].Start.Add(time.Duration(specs[i-1].Hours) * time.Hour)
+		if !specs[i].Start.Before(prevEnd) {
+			t.Errorf("frames %d and %d do not overlap", i-1, i)
+		}
+	}
+}
+
+func TestPartitionExactFit(t *testing.T) {
+	// Range exactly one frame.
+	specs, err := Partition(t0, hoursAfter(168), 168, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 1 || specs[0].Hours != 168 {
+		t.Fatalf("specs = %+v, want single full frame", specs)
+	}
+}
+
+func TestPartitionErrors(t *testing.T) {
+	if _, err := Partition(t0, hoursAfter(100), 168, 24); err == nil {
+		t.Error("range shorter than frame should error")
+	}
+	if _, err := Partition(t0, hoursAfter(200), 168, 0); err == nil {
+		t.Error("zero overlap should error")
+	}
+	if _, err := Partition(t0, hoursAfter(200), 168, 168); err == nil {
+		t.Error("overlap == frameLen should error")
+	}
+	if _, err := Partition(t0.Add(time.Minute), hoursAfter(200), 168, 24); err == nil {
+		t.Error("misaligned bounds should error")
+	}
+}
+
+func TestPartitionCoversRangeProperty(t *testing.T) {
+	f := func(weeks uint8, overlapRaw uint8) bool {
+		w := int(weeks%8) + 1
+		overlap := int(overlapRaw%167) + 1
+		to := hoursAfter(w * 168)
+		specs, err := Partition(t0, to, 168, overlap)
+		if err != nil {
+			return false
+		}
+		// Coverage: union of frames must equal [t0, to).
+		covered := make([]bool, w*168)
+		for _, s := range specs {
+			off := int(s.Start.Sub(t0) / time.Hour)
+			if off < 0 || off+s.Hours > len(covered) {
+				return false
+			}
+			for i := 0; i < s.Hours; i++ {
+				covered[off+i] = true
+			}
+		}
+		for _, c := range covered {
+			if !c {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMergeMax(t *testing.T) {
+	a := MustNew(t0, []float64{1, 5, 2})
+	b := MustNew(t0, []float64{3, 1, 2})
+	m, err := MergeMax([]*Series{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{3, 5, 2}
+	for i, w := range want {
+		if m.AtIndex(i) != w {
+			t.Fatalf("MergeMax = %v, want %v", m.Values(), want)
+		}
+	}
+	if _, err := MergeMax(nil); !errors.Is(err, ErrEmpty) {
+		t.Error("MergeMax(nil) should return ErrEmpty")
+	}
+	c := MustNew(hoursAfter(1), []float64{1, 2, 3})
+	if _, err := MergeMax([]*Series{a, c}); !errors.Is(err, ErrShape) {
+		t.Error("MergeMax with misaligned series should return ErrShape")
+	}
+}
+
+func TestHours(t *testing.T) {
+	if Hours(90*time.Minute) != 1 || Hours(3*time.Hour) != 3 {
+		t.Error("Hours wrong")
+	}
+}
+
+func TestSortSpecs(t *testing.T) {
+	specs := []FrameSpec{{Start: hoursAfter(10)}, {Start: t0}, {Start: hoursAfter(5)}}
+	SortSpecs(specs)
+	if !specs[0].Start.Equal(t0) || !specs[2].Start.Equal(hoursAfter(10)) {
+		t.Errorf("SortSpecs = %+v", specs)
+	}
+}
+
+func TestRatioEstimatorString(t *testing.T) {
+	if RatioOfMeans.String() != "ratio-of-means" ||
+		MeanOfRatios.String() != "mean-of-ratios" ||
+		MedianOfRatios.String() != "median-of-ratios" {
+		t.Error("estimator names wrong")
+	}
+	if RatioEstimator(9).String() != "RatioEstimator(9)" {
+		t.Error("unknown estimator name wrong")
+	}
+}
+
+func TestZeros(t *testing.T) {
+	z, err := Zeros(t0, 5)
+	if err != nil || z.Len() != 5 {
+		t.Fatalf("Zeros = (%v, %v)", z, err)
+	}
+	for i := 0; i < 5; i++ {
+		if z.AtIndex(i) != 0 {
+			t.Fatal("Zeros not zero")
+		}
+	}
+}

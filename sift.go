@@ -1,0 +1,145 @@
+// Package sift reproduces SIFT ("Is my Internet down?": Sifting through
+// User-Affecting Outages with Google Trends, IMC 2022): a detection and
+// analysis tool that finds user-affecting Internet outages by mining
+// aggregated web-search activity.
+//
+// The package is a thin, stable facade over the implementation packages
+// under internal/. A typical flow:
+//
+//	world, _ := sift.BuildWorld(sift.WorldConfig{Seed: 1})     // simulated ground truth
+//	fetcher := sift.NewSimulatedTrends(1, world)                // Google Trends semantics
+//	pipe := &sift.Pipeline{Fetcher: fetcher}
+//	res, _ := pipe.Run(ctx, "TX", sift.TopicInternetOutage, from, to)
+//	for _, spike := range res.Spikes { ... }
+//
+// Against a running simulated-Trends service (cmd/siftd), replace the
+// fetcher with an HTTP pool:
+//
+//	pool, _ := sift.NewFetcherPool("http://127.0.0.1:8428", 6)
+//
+// The full paper evaluation is available through RunStudy, and the
+// active-probing baseline through SimulateProbing.
+package sift
+
+import (
+	"context"
+	"time"
+
+	"sift/internal/annotate"
+	"sift/internal/ant"
+	"sift/internal/core"
+	"sift/internal/experiments"
+	"sift/internal/geo"
+	"sift/internal/gtclient"
+	"sift/internal/gtrends"
+	"sift/internal/scenario"
+	"sift/internal/searchmodel"
+	"sift/internal/simworld"
+	"sift/internal/timeseries"
+)
+
+// TopicInternetOutage is the search topic the paper tracks.
+const TopicInternetOutage = gtrends.TopicInternetOutage
+
+// Core detection types.
+type (
+	// Spike is one detected surge of user interest (§3.3).
+	Spike = core.Spike
+	// Outage is a cluster of temporally concurrent spikes across states
+	// (§4.2).
+	Outage = core.Outage
+	// Pipeline is the crawl–average–stitch–detect processing pipeline
+	// (§3.2–3.3).
+	Pipeline = core.Pipeline
+	// PipelineConfig tunes the pipeline.
+	PipelineConfig = core.PipelineConfig
+	// PipelineResult is a pipeline run's outcome.
+	PipelineResult = core.Result
+	// Detector is the topographic-prominence spike detector.
+	Detector = core.Detector
+	// Series is an hourly search-interest time series.
+	Series = timeseries.Series
+	// State is a USPS state code ("CA", "TX", ...).
+	State = geo.State
+	// Frame is one Google Trends response.
+	Frame = gtrends.Frame
+	// FrameRequest asks for one Trends time frame.
+	FrameRequest = gtrends.FrameRequest
+	// RisingTerm is one related-query suggestion with its weight.
+	RisingTerm = gtrends.RisingTerm
+	// Fetcher is the data-source interface the pipeline crawls through.
+	Fetcher = gtrends.Fetcher
+	// Annotation is one ranked context label (§3.4).
+	Annotation = annotate.Annotation
+	// Annotator canonicalizes, clusters, and ranks rising suggestions.
+	Annotator = annotate.Annotator
+	// World is the ground-truth outage timeline the simulation runs on.
+	World = simworld.Timeline
+	// Event is one ground-truth outage.
+	Event = simworld.Event
+	// WorldConfig parameterizes ground-truth generation.
+	WorldConfig = scenario.Config
+	// ProbingDataset is the simulated ANT outages dataset (§4).
+	ProbingDataset = ant.Dataset
+	// Study bundles the full two-year, 51-state evaluation.
+	Study = experiments.Study
+	// StudyConfig parameterizes RunStudy.
+	StudyConfig = experiments.StudyConfig
+)
+
+// States returns the 51 study areas (50 states plus DC).
+func States() []State { return geo.Codes() }
+
+// BuildWorld generates a ground-truth outage timeline: the scripted
+// newsworthy events of 2020–2021 plus a calibrated stochastic background.
+// The zero config (plus a Seed) covers the paper's two-year window.
+func BuildWorld(cfg WorldConfig) (*World, error) { return scenario.Build(cfg) }
+
+// NewSimulatedTrends wraps a ground-truth world in the Google Trends
+// semantics engine — per-request sampling, privacy rounding, piecewise
+// 0–100 normalization, rising suggestions — and returns it as a Fetcher
+// for the pipeline.
+func NewSimulatedTrends(seed int64, world *World) Fetcher {
+	model := searchmodel.New(seed, world, searchmodel.Params{})
+	return gtrends.EngineFetcher{Engine: gtrends.NewEngine(model, gtrends.Config{})}
+}
+
+// NewFetcherPool builds n HTTP fetcher units, each behind a distinct
+// simulated source address, against a running simulated-Trends service
+// (cmd/siftd) — the paper's workaround for per-IP rate limiting.
+func NewFetcherPool(baseURL string, n int) (Fetcher, error) {
+	return gtclient.NewPool(baseURL, n, nil)
+}
+
+// NewAnnotator returns the context annotator with the built-in lexicon
+// and the paper's heavy-hitter seeds.
+func NewAnnotator() *Annotator { return annotate.NewAnnotator() }
+
+// AnnotateSpikes fills each selected spike's Rising terms and ranked
+// Annotations by re-crawling daily frames around spike peaks. filter may
+// be nil to annotate everything.
+func AnnotateSpikes(ctx context.Context, fetcher Fetcher, spikes []Spike, filter func(Spike) bool) error {
+	return annotate.NewAnnotator().AnnotateSpikes(ctx, fetcher, spikes, nil, annotate.DriverConfig{Filter: filter})
+}
+
+// MergeOutages clusters spikes into outages by temporal concurrency.
+func MergeOutages(spikes []Spike, joinGap time.Duration) []Outage {
+	return core.MergeOutages(spikes, joinGap)
+}
+
+// IsPowerRelated reports whether an annotation label indicates a power
+// outage (the §4.3 analysis).
+func IsPowerRelated(label string) bool { return annotate.IsPowerRelated(label) }
+
+// RunStudy executes the full evaluation: every state crawled, averaged,
+// stitched, scanned, annotated, clustered, and cross-validated against
+// the probing baseline.
+func RunStudy(ctx context.Context, cfg StudyConfig) (*Study, error) {
+	return experiments.RunStudy(ctx, cfg)
+}
+
+// SimulateProbing produces the ANT-style active-probing dataset over the
+// same ground truth, for SIFT-vs-probing comparisons.
+func SimulateProbing(seed int64, world *World, from, to time.Time) *ProbingDataset {
+	return ant.Simulate(ant.Config{Seed: seed}, world, from, to)
+}

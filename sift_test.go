@@ -1,0 +1,135 @@
+package sift_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"sift"
+)
+
+// TestPublicAPIFlow exercises the documented facade end to end: build a
+// world, wrap it in simulated Trends, run the pipeline, annotate, merge,
+// and cross-check against the probing baseline.
+func TestPublicAPIFlow(t *testing.T) {
+	ctx := context.Background()
+	from := time.Date(2021, 2, 1, 0, 0, 0, 0, time.UTC)
+	to := time.Date(2021, 3, 1, 0, 0, 0, 0, time.UTC)
+
+	world, err := sift.BuildWorld(sift.WorldConfig{Seed: 1, Start: from, End: to})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if world.Len() == 0 {
+		t.Fatal("empty world")
+	}
+
+	fetcher := sift.NewSimulatedTrends(1, world)
+	pipe := &sift.Pipeline{Fetcher: fetcher}
+	res, err := pipe.Run(ctx, "TX", sift.TopicInternetOutage, from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Spikes) == 0 {
+		t.Fatal("no spikes detected through the public API")
+	}
+
+	// The winter storm dominates February 2021 in Texas.
+	var longest sift.Spike
+	for _, sp := range res.Spikes {
+		if sp.Duration() > longest.Duration() {
+			longest = sp
+		}
+	}
+	if longest.Duration() < 40*time.Hour {
+		t.Errorf("longest spike = %v, want the ≈45h storm", longest.Duration())
+	}
+
+	// Annotation through the facade.
+	err = sift.AnnotateSpikes(ctx, fetcher, res.Spikes, func(s sift.Spike) bool {
+		return s.Duration() >= 24*time.Hour
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundPower := false
+	for _, sp := range res.Spikes {
+		for _, label := range sp.Annotations {
+			if sift.IsPowerRelated(label) {
+				foundPower = true
+			}
+		}
+	}
+	if !foundPower {
+		t.Error("storm spike lacks a power annotation through the facade")
+	}
+
+	// Outage clustering.
+	outages := sift.MergeOutages(res.Spikes, 0)
+	if len(outages) == 0 || len(outages) > len(res.Spikes) {
+		t.Errorf("MergeOutages returned %d clusters from %d spikes", len(outages), len(res.Spikes))
+	}
+
+	// Probing baseline over the same world.
+	probing := sift.SimulateProbing(1, world, from, to)
+	if len(probing.Records) == 0 {
+		t.Error("probing baseline produced no records")
+	}
+	if len(probing.MatchSpike(longest, time.Hour)) == 0 {
+		t.Error("the grid failure should be visible to probing")
+	}
+}
+
+func TestPublicAPIStates(t *testing.T) {
+	states := sift.States()
+	if len(states) != 51 {
+		t.Fatalf("States() = %d entries, want 51", len(states))
+	}
+	seen := map[sift.State]bool{}
+	for _, st := range states {
+		if seen[st] {
+			t.Fatalf("duplicate state %s", st)
+		}
+		seen[st] = true
+	}
+	if !seen["CA"] || !seen["DC"] {
+		t.Error("States() missing CA or DC")
+	}
+}
+
+func TestPublicAPIAnnotator(t *testing.T) {
+	a := sift.NewAnnotator()
+	anns := a.Annotate([]sift.RisingTerm{
+		{Term: "verizon outage", Weight: 150},
+		{Term: "is verizon down", Weight: 90},
+		{Term: "power outage", Weight: 120},
+	})
+	if len(anns) != 2 {
+		t.Fatalf("got %d annotations, want merged Verizon + Power outage", len(anns))
+	}
+	labels := map[string]bool{}
+	for _, an := range anns {
+		labels[an.Label] = true
+	}
+	if !labels["Verizon"] || !labels["Power outage"] {
+		t.Errorf("labels = %v", labels)
+	}
+}
+
+func TestPublicAPIStudySubset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("study skipped in -short mode")
+	}
+	study, err := sift.RunStudy(context.Background(), sift.StudyConfig{
+		Seed:   2,
+		Start:  time.Date(2021, 2, 1, 0, 0, 0, 0, time.UTC),
+		End:    time.Date(2021, 3, 15, 0, 0, 0, 0, time.UTC),
+		States: []sift.State{"TX", "OK"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(study.Spikes) == 0 {
+		t.Fatal("study found no spikes")
+	}
+}
