@@ -4,9 +4,13 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"sort"
 	"time"
 
+	"sift/internal/core"
 	"sift/internal/experiments"
+	"sift/internal/faults"
+	"sift/internal/geo"
 	"sift/internal/gtrends"
 	"sift/internal/store"
 )
@@ -18,6 +22,8 @@ func cmdStudy(args []string) error {
 	to := fs.String("to", "2022-01-01", "range end (YYYY-MM-DD)")
 	out := fs.String("out", "", "write the spike database as JSON to this path")
 	workers := fs.Int("workers", 8, "concurrent states")
+	faultSpec := fs.String("faults", "off", `fault injection: "off", "default", or a JSON plan path`)
+	tolerance := fs.Int("fault-tolerance", 0, "permanent frame failures tolerated per round (0 aborts on the first)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -30,12 +36,32 @@ func cmdStudy(args []string) error {
 		return fmt.Errorf("bad -to: %v", err)
 	}
 
+	var plan *faults.Plan
+	switch *faultSpec {
+	case "", "off":
+	case "default":
+		p := faults.DefaultPlan(*seed)
+		plan = &p
+	default:
+		p, err := faults.LoadPlan(*faultSpec)
+		if err != nil {
+			return fmt.Errorf("bad -faults: %v", err)
+		}
+		plan = &p
+	}
+
 	fmt.Printf("running study: seed=%d window=[%s, %s)\n", *seed, *from, *to)
+	if plan != nil {
+		fmt.Printf("chaos enabled: %d fault rules, seed=%d, tolerance=%d\n",
+			len(plan.Rules), plan.Seed, *tolerance)
+	}
 	study, err := experiments.RunStudy(context.Background(), experiments.StudyConfig{
 		Seed:         *seed,
 		Start:        start.UTC(),
 		End:          end.UTC(),
 		StateWorkers: *workers,
+		Faults:       plan,
+		Pipeline:     core.PipelineConfig{FrameTolerance: *tolerance},
 	})
 	if err != nil {
 		return err
@@ -47,11 +73,26 @@ func cmdStudy(args []string) error {
 	fmt.Printf("\n%d spikes across %d states in %v (%.1f rounds avg, %d converged)\n",
 		len(study.Spikes), len(study.Results), study.Elapsed.Round(time.Second), mean, converged)
 
+	failed, gaps := 0, 0
+	for _, h := range study.Health {
+		failed += h.FailedFetches
+		gaps += len(h.Gaps)
+	}
+	if failed > 0 || gaps > 0 {
+		fmt.Printf("crawl health: %d failed fetches, %d unfilled frame windows\n", failed, gaps)
+		for _, st := range sortedStates(study.Health) {
+			for _, g := range study.Health[st].Gaps {
+				fmt.Printf("  gap %s %s+%dh: %s\n", st, g.Start.Format("2006-01-02T15"), g.Hours, g.LastErr)
+			}
+		}
+	}
+
 	if *out != "" {
 		db := store.New()
 		for st, res := range study.Results {
 			db.PutSeries(gtrends.TopicInternetOutage, st, res.Series)
 			db.PutSpikes(gtrends.TopicInternetOutage, st, res.Spikes)
+			db.PutHealth(gtrends.TopicInternetOutage, st, res.Health())
 		}
 		if err := db.Save(*out); err != nil {
 			return err
@@ -59,4 +100,14 @@ func cmdStudy(args []string) error {
 		fmt.Printf("spike database written to %s\n", *out)
 	}
 	return nil
+}
+
+// sortedStates returns the health map's keys in order, for stable output.
+func sortedStates(m map[geo.State]core.CrawlHealth) []geo.State {
+	out := make([]geo.State, 0, len(m))
+	for st := range m {
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }

@@ -10,13 +10,15 @@
 //
 //	siftd [flags]
 //
-//	-addr     listen address (default 127.0.0.1:8428)
-//	-seed     world seed (default 1)
-//	-start    study start, RFC3339 date (default 2020-01-01)
-//	-end      study end, RFC3339 date (default 2022-01-01)
-//	-rate     per-client requests/second (default 25)
-//	-burst    per-client burst (default 50)
-//	-quiet    disable request logging
+//	-addr        listen address (default 127.0.0.1:8428)
+//	-seed        world seed (default 1)
+//	-start       study start, RFC3339 date (default 2020-01-01)
+//	-end         study end, RFC3339 date (default 2022-01-01)
+//	-rate        per-client requests/second (default 25)
+//	-burst       per-client burst (default 50)
+//	-quiet       disable request logging
+//	-faults      chaos plan: "off", "default", or a JSON plan file path
+//	-fault-seed  fault-plan seed (default: the world seed)
 package main
 
 import (
@@ -27,6 +29,7 @@ import (
 	"os"
 	"time"
 
+	"sift/internal/faults"
 	"sift/internal/gtrends"
 	"sift/internal/gtserver"
 	"sift/internal/scenario"
@@ -35,22 +38,44 @@ import (
 
 func main() {
 	var (
-		addr  = flag.String("addr", "127.0.0.1:8428", "listen address")
-		seed  = flag.Int64("seed", 1, "world seed")
-		start = flag.String("start", "2020-01-01", "study start (YYYY-MM-DD)")
-		end   = flag.String("end", "2022-01-01", "study end (YYYY-MM-DD)")
-		rate  = flag.Float64("rate", 25, "per-client requests per second")
-		burst = flag.Int("burst", 50, "per-client burst")
-		quiet = flag.Bool("quiet", false, "disable request logging")
+		addr      = flag.String("addr", "127.0.0.1:8428", "listen address")
+		seed      = flag.Int64("seed", 1, "world seed")
+		start     = flag.String("start", "2020-01-01", "study start (YYYY-MM-DD)")
+		end       = flag.String("end", "2022-01-01", "study end (YYYY-MM-DD)")
+		rate      = flag.Float64("rate", 25, "per-client requests per second")
+		burst     = flag.Int("burst", 50, "per-client burst")
+		quiet     = flag.Bool("quiet", false, "disable request logging")
+		faultSpec = flag.String("faults", "off", `chaos plan: "off", "default", or a JSON plan file`)
+		faultSeed = flag.Int64("fault-seed", 0, "fault-plan seed (default: world seed)")
 	)
 	flag.Parse()
-	if err := run(*addr, *seed, *start, *end, *rate, *burst, *quiet); err != nil {
+	if err := run(*addr, *seed, *start, *end, *rate, *burst, *quiet, *faultSpec, *faultSeed); err != nil {
 		fmt.Fprintln(os.Stderr, "siftd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, seed int64, start, end string, rate float64, burst int, quiet bool) error {
+// faultInjector resolves the -faults flag into an injector, or nil for
+// "off".
+func faultInjector(spec string, seed int64) (*faults.Injector, error) {
+	switch spec {
+	case "off", "":
+		return nil, nil
+	case "default":
+		return faults.NewInjector(faults.DefaultPlan(seed)), nil
+	default:
+		plan, err := faults.LoadPlan(spec)
+		if err != nil {
+			return nil, err
+		}
+		if plan.Seed == 0 {
+			plan.Seed = seed
+		}
+		return faults.NewInjector(plan), nil
+	}
+}
+
+func run(addr string, seed int64, start, end string, rate float64, burst int, quiet bool, faultSpec string, faultSeed int64) error {
 	from, err := time.Parse("2006-01-02", start)
 	if err != nil {
 		return fmt.Errorf("bad -start: %v", err)
@@ -76,10 +101,21 @@ func run(addr string, seed int64, start, end string, rate float64, burst int, qu
 	if !quiet {
 		logger = log.New(os.Stderr, "siftd ", log.LstdFlags)
 	}
+	if faultSeed == 0 {
+		faultSeed = seed
+	}
+	injector, err := faultInjector(faultSpec, faultSeed)
+	if err != nil {
+		return err
+	}
+	if injector != nil {
+		log.Printf("chaos enabled: %d fault rules, seed=%d", len(injector.Plan().Rules), injector.Plan().Seed)
+	}
 	srv := gtserver.New(engine, gtserver.Config{
 		RatePerSec: rate,
 		Burst:      burst,
 		Logger:     logger,
+		Faults:     injector,
 	})
 
 	log.Printf("serving simulated Google Trends on http://%s (rate=%g/s burst=%d per client)", addr, rate, burst)

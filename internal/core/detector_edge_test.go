@@ -1,0 +1,120 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"sift/internal/timeseries"
+)
+
+// TestDetectorEdges pins the prominence walk on its boundary geometry:
+// empty and all-zero input, single-block spikes at the first and last
+// index, and plateau ties exactly at the half-threshold stop rule.
+func TestDetectorEdges(t *testing.T) {
+	base := time.Date(2021, 2, 15, 0, 0, 0, 0, time.UTC)
+	type want struct {
+		start, peak, end int
+		mag              float64
+		rank             int
+	}
+	cases := []struct {
+		name   string
+		det    Detector
+		values []float64
+		want   []want
+	}{
+		{
+			name:   "all zero",
+			values: make([]float64, 48),
+			want:   nil,
+		},
+		{
+			name:   "single point at index 0",
+			values: []float64{10, 0, 0, 0},
+			want:   []want{{start: 0, peak: 0, end: 0, mag: 10, rank: 1}},
+		},
+		{
+			name:   "single point at last index",
+			values: []float64{0, 0, 0, 10},
+			want:   []want{{start: 3, peak: 3, end: 3, mag: 10, rank: 1}},
+		},
+		{
+			name:   "whole series is one spike",
+			values: []float64{5, 5, 5},
+			want:   []want{{start: 0, peak: 0, end: 2, mag: 5, rank: 1}},
+		},
+		{
+			// The stop rule is v[next] >= v[cur] * 0.5: a block at exactly
+			// half its predecessor STAYS in the spike.
+			name:   "plateau tie at exactly half threshold",
+			values: []float64{0, 4, 2, 1, 0},
+			want:   []want{{start: 1, peak: 1, end: 3, mag: 4, rank: 1}},
+		},
+		{
+			// Just below half: the walk stops at the peak and the falling
+			// tail is claimed as shoulder, not re-detected as a new spike.
+			name:   "drop just below half threshold",
+			values: []float64{0, 4, 1.9, 0},
+			want:   []want{{start: 1, peak: 1, end: 1, mag: 4, rank: 1}},
+		},
+		{
+			name:   "two spikes ranked by magnitude ordered by start",
+			values: []float64{0, 4, 0, 8, 0},
+			want: []want{
+				{start: 1, peak: 1, end: 1, mag: 4, rank: 2},
+				{start: 3, peak: 3, end: 3, mag: 8, rank: 1},
+			},
+		},
+		{
+			// The backward walk runs to the first zero regardless of slope:
+			// a rising flank belongs to its peak.
+			name:   "rising flank joins the peak",
+			values: []float64{0, 1, 2, 4, 8, 0},
+			want:   []want{{start: 1, peak: 4, end: 4, mag: 8, rank: 1}},
+		},
+		{
+			name:   "min magnitude filters small islands",
+			det:    Detector{MinMagnitude: 5},
+			values: []float64{0, 4, 0, 8, 0},
+			want:   []want{{start: 3, peak: 3, end: 3, mag: 8, rank: 1}},
+		},
+		{
+			// A stricter EndFraction (0.9) cuts the tail the default keeps.
+			name:   "custom end fraction",
+			det:    Detector{EndFraction: 0.9},
+			values: []float64{0, 4, 3.9, 2, 0},
+			want:   []want{{start: 1, peak: 1, end: 2, mag: 4, rank: 1}},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := timeseries.MustNew(base, tc.values)
+			got := tc.det.Detect(s, "TX", "term")
+			if len(got) != len(tc.want) {
+				t.Fatalf("detected %d spikes, want %d: %+v", len(got), len(tc.want), got)
+			}
+			for i, w := range tc.want {
+				sp := got[i]
+				if !sp.Start.Equal(s.Time(w.start)) || !sp.Peak.Equal(s.Time(w.peak)) || !sp.End.Equal(s.Time(w.end)) {
+					t.Errorf("spike %d boundaries = (%v, %v, %v), want indices (%d, %d, %d)",
+						i, sp.Start, sp.Peak, sp.End, w.start, w.peak, w.end)
+				}
+				if sp.Magnitude != w.mag {
+					t.Errorf("spike %d magnitude = %v, want %v", i, sp.Magnitude, w.mag)
+				}
+				if sp.Rank != w.rank {
+					t.Errorf("spike %d rank = %d, want %d", i, sp.Rank, w.rank)
+				}
+				if sp.State != "TX" || sp.Term != "term" {
+					t.Errorf("spike %d identity = %s/%s", i, sp.State, sp.Term)
+				}
+			}
+		})
+	}
+
+	t.Run("empty series", func(t *testing.T) {
+		if got := (Detector{}).Detect(timeseries.MustNew(base, nil), "TX", "term"); got != nil {
+			t.Errorf("empty series detected %+v", got)
+		}
+	})
+}

@@ -1,0 +1,49 @@
+package core
+
+import "time"
+
+// Gap records one frame window the crawl could not fill: every fetch
+// attempt across every round failed permanently. The reconstructed series
+// carries zeros over the gap, so detection degrades predictably — spikes
+// inside a gap are missed, spikes outside it are unaffected — instead of
+// the whole state's crawl aborting.
+type Gap struct {
+	// Start and Hours identify the frame window (see timeseries.FrameSpec).
+	Start time.Time `json:"start"`
+	Hours int       `json:"hours"`
+	// LastErr is the final fetch error observed for the window.
+	LastErr string `json:"last_err,omitempty"`
+}
+
+// End returns the instant just past the gap's last hour.
+func (g Gap) End() time.Time { return g.Start.Add(time.Duration(g.Hours) * time.Hour) }
+
+// CrawlHealth summarizes how a pipeline run fared against a hostile
+// service — the operational record the store persists alongside the
+// series so that a gap in the data is distinguishable from a quiet state.
+type CrawlHealth struct {
+	// Rounds is how many fetch-average rounds ran.
+	Rounds int `json:"rounds"`
+	// Frames is the number of frames fetched successfully across rounds.
+	Frames int `json:"frames"`
+	// FailedFetches counts frame fetches that failed permanently (after
+	// the fetcher's own retries) across rounds.
+	FailedFetches int `json:"failed_fetches,omitempty"`
+	// Gaps are the frame windows that never produced data in any round.
+	Gaps []Gap `json:"gaps,omitempty"`
+	// Converged reports whether the spike set stabilized before MaxRounds.
+	Converged bool `json:"converged"`
+}
+
+// Health extracts the crawl-health record from a pipeline result.
+func (r *Result) Health() CrawlHealth {
+	gaps := make([]Gap, len(r.Gaps))
+	copy(gaps, r.Gaps)
+	return CrawlHealth{
+		Rounds:        r.Rounds,
+		Frames:        r.Frames,
+		FailedFetches: r.FailedFetches,
+		Gaps:          gaps,
+		Converged:     r.Converged,
+	}
+}

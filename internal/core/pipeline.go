@@ -47,6 +47,16 @@ type PipelineConfig struct {
 	// OnFrame, when set, observes every fetched frame (for persistence).
 	// Called from fetch workers; must be safe for concurrent use.
 	OnFrame func(round int, f *gtrends.Frame)
+	// FetchRetries is how many extra times a frame fetch is retried within
+	// a round when the fetcher reports a transient failure or the response
+	// fails validation. Default 2; negative disables.
+	FetchRetries int
+	// FrameTolerance is how many frame fetches may fail permanently per
+	// round before the round aborts with an error. Failed frames leave
+	// zeros in that round's contribution; windows that fail in every round
+	// are recorded as Result.Gaps. Default 0: any permanent failure aborts
+	// the run, the strict pre-chaos behaviour.
+	FrameTolerance int
 }
 
 func (c *PipelineConfig) fillDefaults() {
@@ -70,6 +80,12 @@ func (c *PipelineConfig) fillDefaults() {
 	}
 	if c.ConvergenceSim == 0 {
 		c.ConvergenceSim = 0.96
+	}
+	if c.FetchRetries == 0 {
+		c.FetchRetries = 2
+	}
+	if c.FetchRetries < 0 {
+		c.FetchRetries = 0
 	}
 }
 
@@ -96,8 +112,16 @@ type Result struct {
 	// Converged reports whether the spike set stabilized before
 	// MaxRounds.
 	Converged bool
-	// Frames is the total number of frames fetched across all rounds.
+	// Frames is the total number of frames fetched successfully across
+	// all rounds.
 	Frames int
+	// FailedFetches counts frame fetches that failed permanently (after
+	// retries) across rounds; nonzero only when FrameTolerance admits
+	// failures.
+	FailedFetches int
+	// Gaps are the frame windows no round managed to fetch; the series
+	// holds zeros there. Empty on a healthy crawl.
+	Gaps []Gap
 }
 
 // Run executes the pipeline over [from, to).
@@ -114,26 +138,49 @@ func (p *Pipeline) Run(ctx context.Context, state geo.State, term string, from, 
 
 	res := &Result{State: state, Term: term}
 	// accum[i] collects each spec's frames across rounds, as float series.
+	// A round that failed a spec permanently contributes nothing to it.
 	accum := make([][]*timeseries.Series, len(specs))
+	lastErr := make([]string, len(specs))
 	var prev []Spike
 
 	for round := 1; round <= cfg.MaxRounds; round++ {
-		frames, err := p.fetchRound(ctx, cfg, state, term, specs, round)
+		frames, failures, err := p.fetchRound(ctx, cfg, state, term, specs, round)
 		if err != nil {
 			return nil, err
 		}
-		res.Frames += len(frames)
 		res.Rounds = round
+		res.FailedFetches += len(failures)
+		for _, f := range failures {
+			lastErr[f.idx] = f.err.Error()
+		}
 		for i, f := range frames {
+			if f == nil {
+				continue
+			}
+			res.Frames++
 			accum[i] = append(accum[i], frameSeries(f))
 		}
 
 		averaged := make([]*timeseries.Series, len(specs))
-		// Presence quorum: 60% of rounds, rounded up. The fraction
-		// approaches 0.6 from above as rounds accumulate, so positions
-		// stop flipping with round parity and the spike set can settle.
-		quorum := (3*round + 4) / 5
+		res.Gaps = res.Gaps[:0]
 		for i := range specs {
+			if len(accum[i]) == 0 {
+				// Nothing fetched for this window yet: fill with zeros so
+				// the stitch keeps its grid, and record the gap instead of
+				// aborting the state's crawl.
+				zero, err := timeseries.Zeros(specs[i].Start, specs[i].Hours)
+				if err != nil {
+					return nil, fmt.Errorf("core: gap frame %d: %w", i, err)
+				}
+				averaged[i] = zero
+				res.Gaps = append(res.Gaps, Gap{Start: specs[i].Start, Hours: specs[i].Hours, LastErr: lastErr[i]})
+				continue
+			}
+			// Presence quorum: 60% of this spec's fetched rounds, rounded
+			// up. The fraction approaches 0.6 from above as rounds
+			// accumulate, so positions stop flipping with round parity and
+			// the spike set can settle.
+			quorum := (3*len(accum[i]) + 4) / 5
 			avg, err := timeseries.ConsensusAverage(accum[i], quorum)
 			if err != nil {
 				return nil, fmt.Errorf("core: averaging frame %d: %w", i, err)
@@ -156,15 +203,24 @@ func (p *Pipeline) Run(ctx context.Context, state geo.State, term string, from, 
 	return res, nil
 }
 
+// frameFailure records one frame fetch that failed permanently.
+type frameFailure struct {
+	idx int
+	err error
+}
+
 // fetchRound fetches every spec once, in order, over a bounded worker
-// pool.
-func (p *Pipeline) fetchRound(ctx context.Context, cfg PipelineConfig, state geo.State, term string, specs []timeseries.FrameSpec, round int) ([]*gtrends.Frame, error) {
+// pool. Frames that fail permanently stay nil and are reported as
+// failures; more than cfg.FrameTolerance of them aborts the round.
+func (p *Pipeline) fetchRound(ctx context.Context, cfg PipelineConfig, state geo.State, term string, specs []timeseries.FrameSpec, round int) ([]*gtrends.Frame, []frameFailure, error) {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
 	frames := make([]*gtrends.Frame, len(specs))
 	jobs := make(chan int)
 	errc := make(chan error, cfg.Workers)
+	var failMu sync.Mutex
+	var failures []frameFailure
 	var wg sync.WaitGroup
 	workers := cfg.Workers
 	if workers > len(specs) {
@@ -182,11 +238,19 @@ func (p *Pipeline) fetchRound(ctx context.Context, cfg PipelineConfig, state geo
 					Hours:      specs[i].Hours,
 					WithRising: cfg.WithRising,
 				}
-				f, err := p.Fetcher.FetchFrame(ctx, req)
+				f, err := p.fetchFrame(ctx, cfg, req)
 				if err != nil {
-					errc <- fmt.Errorf("core: fetching frame %s+%dh: %w", req.Start.Format(time.RFC3339), req.Hours, err)
-					cancel()
-					return
+					wrapped := fmt.Errorf("core: fetching frame %s+%dh: %w", req.Start.Format(time.RFC3339), req.Hours, err)
+					failMu.Lock()
+					failures = append(failures, frameFailure{idx: i, err: wrapped})
+					over := len(failures) > cfg.FrameTolerance
+					failMu.Unlock()
+					if over || ctx.Err() != nil {
+						errc <- wrapped
+						cancel()
+						return
+					}
+					continue
 				}
 				if cfg.OnFrame != nil {
 					cfg.OnFrame(round, f)
@@ -207,13 +271,39 @@ feed:
 	wg.Wait()
 	select {
 	case err := <-errc:
-		return nil, err
+		return nil, nil, err
 	default:
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return frames, nil
+	return frames, failures, nil
+}
+
+// fetchFrame performs one frame fetch with bounded in-round retries:
+// transient failures (rate-limit storms, 5xx, severed connections) and
+// responses that fail validation are re-fetched up to cfg.FetchRetries
+// times before the failure is declared permanent.
+func (p *Pipeline) fetchFrame(ctx context.Context, cfg PipelineConfig, req gtrends.FrameRequest) (*gtrends.Frame, error) {
+	var lastErr error
+	for attempt := 0; attempt <= cfg.FetchRetries; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		f, err := p.Fetcher.FetchFrame(ctx, req)
+		if err == nil {
+			if verr := gtrends.ValidateFrame(f, req); verr != nil {
+				lastErr = verr
+				continue
+			}
+			return f, nil
+		}
+		lastErr = err
+		if !gtrends.IsTransient(err) {
+			break
+		}
+	}
+	return nil, lastErr
 }
 
 // frameSeries converts a Trends frame's integer index points into an

@@ -14,6 +14,7 @@ import (
 	"sift/internal/annotate"
 	"sift/internal/ant"
 	"sift/internal/core"
+	"sift/internal/faults"
 	"sift/internal/geo"
 	"sift/internal/gtrends"
 	"sift/internal/scenario"
@@ -44,6 +45,14 @@ type StudyConfig struct {
 	Pipeline core.PipelineConfig
 	// Trends overrides the simulated service's semantics.
 	Trends gtrends.Config
+	// Fetcher overrides the crawl's frame source (e.g. an HTTP fetcher
+	// pool against a live gtserver). Default: the in-process engine.
+	Fetcher gtrends.Fetcher
+	// Faults, when set, wraps the crawl fetcher in a deterministic
+	// fault-injection layer (see internal/faults): the pipeline sees the
+	// plan's rate-limit storms, corrupt frames, and severed connections
+	// while the annotation stage keeps the clean fetcher.
+	Faults *faults.Plan
 	// SkipAnnotation and SkipAnt drop the respective stages for callers
 	// that only need detection (faster iteration in benches).
 	SkipAnnotation bool
@@ -91,8 +100,15 @@ type Study struct {
 	Corpus *annotate.Corpus
 	// Ant is the active-probing baseline dataset.
 	Ant *ant.Dataset
+	// Health records each state's crawl-health outcome (rounds, failed
+	// fetches, gaps) — nonempty gaps flag states whose series carry holes.
+	Health map[geo.State]core.CrawlHealth
 	// Elapsed is the wall-clock duration of the run.
 	Elapsed time.Duration
+
+	// crawl is the fetcher the pipeline uses; equals Fetcher unless a
+	// fault plan wraps it.
+	crawl gtrends.Fetcher
 }
 
 // RunStudy executes the full evaluation pipeline.
@@ -114,11 +130,20 @@ func RunStudy(ctx context.Context, cfg StudyConfig) (*Study, error) {
 
 	model := searchmodel.New(cfg.Seed, tl, searchmodel.Params{})
 	engine := gtrends.NewEngine(model, cfg.Trends)
-	fetcher := gtrends.EngineFetcher{Engine: engine}
+	var fetcher gtrends.Fetcher = gtrends.EngineFetcher{Engine: engine}
+	if cfg.Fetcher != nil {
+		fetcher = cfg.Fetcher
+	}
+	crawl := fetcher
+	if cfg.Faults != nil {
+		crawl = faults.Wrap(fetcher, *cfg.Faults, "inproc")
+	}
 	study := &Study{
 		Cfg: cfg, Timeline: tl, Model: model, Engine: engine, Fetcher: fetcher,
 		Results: make(map[geo.State]*core.Result),
 		Corpus:  annotate.NewCorpus(),
+		Health:  make(map[geo.State]core.CrawlHealth),
+		crawl:   crawl,
 	}
 
 	if err := study.runStates(ctx); err != nil {
@@ -171,7 +196,7 @@ func (s *Study) runStates(ctx context.Context) error {
 		go func() {
 			defer wg.Done()
 			for st := range jobs {
-				p := &core.Pipeline{Fetcher: s.Fetcher, Cfg: s.Cfg.Pipeline}
+				p := &core.Pipeline{Fetcher: s.crawl, Cfg: s.Cfg.Pipeline}
 				res, err := p.Run(ctx, st, gtrends.TopicInternetOutage, s.Cfg.Start, s.Cfg.End)
 				if err != nil {
 					errc <- fmt.Errorf("experiments: state %s: %w", st, err)
@@ -180,6 +205,7 @@ func (s *Study) runStates(ctx context.Context) error {
 				}
 				mu.Lock()
 				s.Results[st] = res
+				s.Health[st] = res.Health()
 				mu.Unlock()
 			}
 		}()

@@ -1,0 +1,423 @@
+// Package faults is the chaos-engineering layer of the simulated Google
+// Trends service: a seeded, deterministic fault plan that injects the
+// failure modes the real service exhibits — 429 storms, 5xx bursts, added
+// latency, request hangs, connection resets, truncated JSON bodies, and
+// corrupt frames (wrong point counts, out-of-range values).
+//
+// Determinism is the load-bearing property. Every injection decision is a
+// pure function of (plan seed, client identity, the client's request
+// ordinal, rule index), so a chaos run is exactly reproducible: the same
+// plan against the same request sequence injects the same faults. Crucially,
+// injected responses are *fabricated* — they never consult the Trends
+// engine — so the engine's per-request sampling counter advances identically
+// with and without faults, and a resilient consumer that retries through the
+// chaos reconstructs the exact same series as a fault-free run.
+//
+// The plan is wired in at two layers:
+//
+//   - internal/gtserver consults an Injector per HTTP request and emits the
+//     fault at the transport level (real 429s, severed connections, short
+//     bodies), exercising internal/gtclient's full resilience path;
+//   - Wrap adapts a plan onto any gtrends.Fetcher for in-process studies,
+//     surfacing the same modes as transient errors and corrupt frames for
+//     the pipeline's own retry/validation/gap machinery.
+package faults
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"sift/internal/gtrends"
+)
+
+// Mode enumerates the injectable fault classes.
+type Mode uint8
+
+const (
+	// None means the request is served normally.
+	None Mode = iota
+	// RateLimit answers 429 with a Retry-After header — the per-IP
+	// throttling storm the paper's crawler works around.
+	RateLimit
+	// ServerError answers 500 or 503.
+	ServerError
+	// Latency delays the response, then serves it normally.
+	Latency
+	// Hang holds the request open until the client gives up (or a cap
+	// elapses), then severs the connection without a response.
+	Hang
+	// Reset severs the connection before any response bytes.
+	Reset
+	// Truncate sends valid headers with a full Content-Length but cuts the
+	// JSON body short, so the client's decoder hits an unexpected EOF.
+	Truncate
+	// Corrupt serves a well-formed 200 whose frame violates the Trends
+	// contract: wrong point count or values outside 0–100.
+	Corrupt
+
+	modeCount
+)
+
+// String names the mode for stats and logs.
+func (m Mode) String() string {
+	switch m {
+	case None:
+		return "none"
+	case RateLimit:
+		return "rate-limit"
+	case ServerError:
+		return "server-error"
+	case Latency:
+		return "latency"
+	case Hang:
+		return "hang"
+	case Reset:
+		return "reset"
+	case Truncate:
+		return "truncate"
+	case Corrupt:
+		return "corrupt"
+	default:
+		return fmt.Sprintf("Mode(%d)", uint8(m))
+	}
+}
+
+// Modes lists every injectable mode (excluding None), for suites that
+// iterate fault classes.
+func Modes() []Mode {
+	return []Mode{RateLimit, ServerError, Latency, Hang, Reset, Truncate, Corrupt}
+}
+
+// Rule injects one fault mode into matching requests. A request matches
+// when its client identity equals Client (empty matches every client) and
+// its per-client request ordinal lies in the window [From, To) (To zero
+// means unbounded). Each matching request is hit with probability P,
+// decided by a deterministic hash draw.
+//
+// Windows are request-ordinal windows rather than wall-clock windows:
+// the n-th request of a client is in or out of a storm regardless of how
+// fast the client retries, which is what keeps chaos runs reproducible.
+type Rule struct {
+	Mode   Mode    `json:"mode"`
+	P      float64 `json:"p"`
+	Client string  `json:"client,omitempty"`
+	From   int     `json:"from,omitempty"`
+	To     int     `json:"to,omitempty"`
+	// LatencyMS is the added delay for Latency and the server-side cap for
+	// Hang, in milliseconds.
+	LatencyMS int `json:"latency_ms,omitempty"`
+	// RetryAfterSec is the Retry-After header value for RateLimit.
+	RetryAfterSec int `json:"retry_after_sec,omitempty"`
+	// Status is the ServerError status; 0 alternates 500/503.
+	Status int `json:"status,omitempty"`
+}
+
+func (r Rule) matches(client string, seq int) bool {
+	if r.Client != "" && r.Client != client {
+		return false
+	}
+	if seq < r.From {
+		return false
+	}
+	if r.To > 0 && seq >= r.To {
+		return false
+	}
+	return true
+}
+
+// Plan is a complete seeded fault schedule.
+type Plan struct {
+	Seed  int64  `json:"seed"`
+	Rules []Rule `json:"rules"`
+}
+
+// DefaultPlan returns the documented default chaos intensities: every
+// fault mode active at a rate a resilient crawler must absorb without
+// losing frames — roughly one request in three is disturbed, no mode so
+// hot that bounded retries cannot get through. The chaos suites and
+// `siftd -faults default` both run this plan.
+func DefaultPlan(seed int64) Plan {
+	return Plan{
+		Seed: seed,
+		Rules: []Rule{
+			{Mode: RateLimit, P: 0.08},
+			{Mode: ServerError, P: 0.08},
+			{Mode: Latency, P: 0.05, LatencyMS: 5},
+			{Mode: Hang, P: 0.02, LatencyMS: 30_000},
+			{Mode: Reset, P: 0.04},
+			{Mode: Truncate, P: 0.04},
+			{Mode: Corrupt, P: 0.05},
+		},
+	}
+}
+
+// ParsePlan decodes a JSON plan.
+func ParsePlan(data []byte) (Plan, error) {
+	var p Plan
+	if err := json.Unmarshal(data, &p); err != nil {
+		return Plan{}, fmt.Errorf("faults: parsing plan: %w", err)
+	}
+	for i, r := range p.Rules {
+		if r.Mode == None || r.Mode >= modeCount {
+			return Plan{}, fmt.Errorf("faults: rule %d has invalid mode %d", i, r.Mode)
+		}
+		if r.P < 0 || r.P > 1 {
+			return Plan{}, fmt.Errorf("faults: rule %d has probability %g outside [0, 1]", i, r.P)
+		}
+	}
+	return p, nil
+}
+
+// LoadPlan reads a JSON plan from a file.
+func LoadPlan(path string) (Plan, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Plan{}, fmt.Errorf("faults: reading plan: %w", err)
+	}
+	return ParsePlan(data)
+}
+
+// Decision is one injection verdict for one request.
+type Decision struct {
+	Mode       Mode
+	Latency    time.Duration
+	RetryAfter time.Duration
+	Status     int
+	// Variant carries deterministic hash bits the executor derandomizes
+	// sub-choices from (which corruption to apply, junk point values).
+	Variant uint64
+}
+
+// Injector makes per-request fault decisions from a plan. Safe for
+// concurrent use; decisions for one client are deterministic in that
+// client's request order.
+type Injector struct {
+	plan Plan
+
+	mu     sync.Mutex
+	seq    map[string]int
+	counts [modeCount]uint64
+}
+
+// NewInjector builds an injector over a plan.
+func NewInjector(plan Plan) *Injector {
+	return &Injector{plan: plan, seq: make(map[string]int)}
+}
+
+// Plan returns the injector's plan.
+func (in *Injector) Plan() Plan { return in.plan }
+
+// Decide advances the client's request ordinal and returns the fault (or
+// None) for this request. The first rule whose hash draw fires wins.
+func (in *Injector) Decide(client string) Decision {
+	in.mu.Lock()
+	seq := in.seq[client]
+	in.seq[client] = seq + 1
+	d := in.decideAt(client, seq)
+	in.counts[d.Mode]++
+	in.mu.Unlock()
+	return d
+}
+
+// decideAt is the pure decision function; callers hold the lock only for
+// the sequence bookkeeping.
+func (in *Injector) decideAt(client string, seq int) Decision {
+	for i, r := range in.plan.Rules {
+		if !r.matches(client, seq) {
+			continue
+		}
+		h := mix(uint64(in.plan.Seed), fnv64(client), uint64(seq), uint64(i))
+		if draw(h) >= r.P {
+			continue
+		}
+		d := Decision{Mode: r.Mode, Variant: scramble(h)}
+		switch r.Mode {
+		case Latency, Hang:
+			d.Latency = time.Duration(r.LatencyMS) * time.Millisecond
+		case RateLimit:
+			d.RetryAfter = time.Duration(r.RetryAfterSec) * time.Second
+		case ServerError:
+			d.Status = r.Status
+			if d.Status == 0 {
+				if d.Variant&1 == 0 {
+					d.Status = 500
+				} else {
+					d.Status = 503
+				}
+			}
+		}
+		return d
+	}
+	return Decision{Mode: None}
+}
+
+// Counts returns how many times each mode has been injected (index None
+// counts untouched requests).
+func (in *Injector) Counts() map[string]uint64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make(map[string]uint64, modeCount)
+	for m := Mode(0); m < modeCount; m++ {
+		if in.counts[m] > 0 {
+			out[m.String()] = in.counts[m]
+		}
+	}
+	return out
+}
+
+// Injected returns the total number of disturbed requests.
+func (in *Injector) Injected() uint64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	var total uint64
+	for m := None + 1; m < modeCount; m++ {
+		total += in.counts[m]
+	}
+	return total
+}
+
+// CorruptFrame fabricates a contract-violating frame for a request — one
+// deterministic corruption chosen by the decision's variant bits. It never
+// consults the Trends engine, so fabricating it consumes no engine
+// randomness.
+func CorruptFrame(req gtrends.FrameRequest, variant uint64) *gtrends.Frame {
+	f := FabricateFrame(req, variant)
+	switch variant % 4 {
+	case 0: // short frame: drop trailing points
+		cut := 1 + int(variant>>8)%5
+		if cut >= len(f.Points) {
+			cut = len(f.Points) - 1
+		}
+		f.Points = f.Points[:len(f.Points)-cut]
+	case 1: // long frame: extra points
+		f.Points = append(f.Points, 1, 2, 3)
+	case 2: // over-range value
+		f.Points[int(variant>>8)%len(f.Points)] = 101 + int(variant>>16)%900
+	default: // negative value
+		f.Points[int(variant>>8)%len(f.Points)] = -1 - int(variant>>16)%50
+	}
+	return f
+}
+
+// FabricateFrame builds a plausible, well-formed frame from nothing but
+// the request and hash bits — the raw material for truncated bodies.
+func FabricateFrame(req gtrends.FrameRequest, variant uint64) *gtrends.Frame {
+	n := req.Hours
+	if n < 1 {
+		n = 1
+	}
+	points := make([]int, n)
+	h := variant
+	for i := range points {
+		h = scramble(h + splitmixGamma)
+		points[i] = int(h % 101)
+	}
+	return &gtrends.Frame{Term: req.Term, State: req.State, Start: req.Start.UTC(), Points: points}
+}
+
+// InjectedError is the error surfaced by the in-process Fetcher wrapper
+// for transport-shaped faults. It is transient: consumers should re-fetch.
+type InjectedError struct {
+	Mode Mode
+}
+
+// Error describes the injected failure.
+func (e *InjectedError) Error() string {
+	return fmt.Sprintf("faults: injected %s", e.Mode)
+}
+
+// Temporary marks the failure as worth retrying (see gtrends.IsTransient).
+func (e *InjectedError) Temporary() bool { return true }
+
+// Wrap adapts a plan onto a gtrends.Fetcher: the in-process counterpart of
+// the gtserver wiring, for studies that run against the engine directly.
+// Transport faults (rate limits, 5xx, resets, truncation) surface as
+// transient InjectedErrors without touching the inner fetcher; Corrupt
+// fabricates a contract-violating frame; Latency and Hang delay inside the
+// request's context. client names the simulated requester for rule
+// matching; empty means "inproc".
+func Wrap(inner gtrends.Fetcher, plan Plan, client string) gtrends.Fetcher {
+	if client == "" {
+		client = "inproc"
+	}
+	return &wrappedFetcher{inner: inner, inj: NewInjector(plan), client: client}
+}
+
+type wrappedFetcher struct {
+	inner  gtrends.Fetcher
+	inj    *Injector
+	client string
+}
+
+func (w *wrappedFetcher) FetchFrame(ctx context.Context, req gtrends.FrameRequest) (*gtrends.Frame, error) {
+	d := w.inj.Decide(w.client)
+	switch d.Mode {
+	case None:
+		return w.inner.FetchFrame(ctx, req)
+	case Latency:
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(d.Latency):
+		}
+		return w.inner.FetchFrame(ctx, req)
+	case Hang:
+		wait := d.Latency
+		if wait <= 0 {
+			wait = 30 * time.Second
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(wait):
+			return nil, &InjectedError{Mode: Hang}
+		}
+	case Corrupt:
+		return CorruptFrame(req, d.Variant), nil
+	default: // RateLimit, ServerError, Reset, Truncate
+		return nil, &InjectedError{Mode: d.Mode}
+	}
+}
+
+// ---- deterministic keyed hashing (mirrors internal/searchmodel) ----
+
+const (
+	splitmixGamma = 0x9e3779b97f4a7c15
+	mixMul1       = 0xbf58476d1ce4e5b9
+	mixMul2       = 0x94d049bb133111eb
+)
+
+func mix(parts ...uint64) uint64 {
+	h := uint64(0x452821e638d01377) // pi continued, nothing up the sleeve
+	for _, p := range parts {
+		h ^= p + splitmixGamma + (h << 6) + (h >> 2)
+		h = scramble(h)
+	}
+	return h
+}
+
+func scramble(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * mixMul1
+	z = (z ^ (z >> 27)) * mixMul2
+	return z ^ (z >> 31)
+}
+
+// draw maps hash bits onto a uniform [0, 1) probability.
+func draw(h uint64) float64 { return float64(h>>11) / (1 << 53) }
+
+func fnv64(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}

@@ -1,0 +1,307 @@
+package faults
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"sift/internal/gtrends"
+)
+
+var t0 = time.Date(2021, 2, 15, 0, 0, 0, 0, time.UTC)
+
+func weekReq() gtrends.FrameRequest {
+	return gtrends.FrameRequest{
+		Term:  gtrends.TopicInternetOutage,
+		State: "TX",
+		Start: t0,
+		Hours: gtrends.WeekFrameHours,
+	}
+}
+
+// TestDecisionsDeterministic is the package's core contract: two injectors
+// built from the same plan produce the identical decision sequence for the
+// same client, regardless of how other clients interleave.
+func TestDecisionsDeterministic(t *testing.T) {
+	plan := DefaultPlan(42)
+	a := NewInjector(plan)
+	b := NewInjector(plan)
+
+	// Interleave a second client on a only; client "x" must not notice.
+	var seqA, seqB []Decision
+	for i := 0; i < 500; i++ {
+		seqA = append(seqA, a.Decide("x"))
+		if i%3 == 0 {
+			a.Decide("noise")
+		}
+		seqB = append(seqB, b.Decide("x"))
+	}
+	for i := range seqA {
+		if seqA[i] != seqB[i] {
+			t.Fatalf("decision %d diverged: %+v vs %+v", i, seqA[i], seqB[i])
+		}
+	}
+}
+
+func TestDecisionsVaryByClientAndSeed(t *testing.T) {
+	modes := func(plan Plan, client string) string {
+		in := NewInjector(plan)
+		out := ""
+		for i := 0; i < 200; i++ {
+			out += in.Decide(client).Mode.String() + ","
+		}
+		return out
+	}
+	plan := DefaultPlan(1)
+	if modes(plan, "a") == modes(plan, "b") {
+		t.Error("distinct clients got identical fault sequences")
+	}
+	if modes(DefaultPlan(1), "a") == modes(DefaultPlan(2), "a") {
+		t.Error("distinct seeds got identical fault sequences")
+	}
+}
+
+func TestProbabilityExtremes(t *testing.T) {
+	never := NewInjector(Plan{Seed: 7, Rules: []Rule{{Mode: Reset, P: 0}}})
+	always := NewInjector(Plan{Seed: 7, Rules: []Rule{{Mode: Reset, P: 1}}})
+	for i := 0; i < 1000; i++ {
+		if d := never.Decide("c"); d.Mode != None {
+			t.Fatalf("P=0 injected %s at request %d", d.Mode, i)
+		}
+		if d := always.Decide("c"); d.Mode != Reset {
+			t.Fatalf("P=1 skipped request %d (got %s)", i, d.Mode)
+		}
+	}
+	if got := always.Injected(); got != 1000 {
+		t.Errorf("Injected() = %d, want 1000", got)
+	}
+	if got := never.Injected(); got != 0 {
+		t.Errorf("Injected() = %d, want 0", got)
+	}
+}
+
+func TestRuleWindowsAndClientMatch(t *testing.T) {
+	plan := Plan{Seed: 3, Rules: []Rule{
+		{Mode: RateLimit, P: 1, Client: "victim", From: 10, To: 20, RetryAfterSec: 9},
+	}}
+	in := NewInjector(plan)
+	for i := 0; i < 30; i++ {
+		d := in.Decide("victim")
+		want := None
+		if i >= 10 && i < 20 {
+			want = RateLimit
+		}
+		if d.Mode != want {
+			t.Errorf("victim request %d: mode %s, want %s", i, d.Mode, want)
+		}
+		if d.Mode == RateLimit && d.RetryAfter != 9*time.Second {
+			t.Errorf("request %d: RetryAfter = %v", i, d.RetryAfter)
+		}
+		if other := in.Decide("bystander"); other.Mode != None {
+			t.Errorf("bystander request %d caught targeted fault %s", i, other.Mode)
+		}
+	}
+	counts := in.Counts()
+	if counts["rate-limit"] != 10 {
+		t.Errorf("Counts[rate-limit] = %d, want 10", counts["rate-limit"])
+	}
+}
+
+func TestServerErrorStatusAlternates(t *testing.T) {
+	in := NewInjector(Plan{Seed: 5, Rules: []Rule{{Mode: ServerError, P: 1}}})
+	saw := map[int]bool{}
+	for i := 0; i < 100; i++ {
+		d := in.Decide("c")
+		if d.Status != 500 && d.Status != 503 {
+			t.Fatalf("status %d not in {500, 503}", d.Status)
+		}
+		saw[d.Status] = true
+	}
+	if !saw[500] || !saw[503] {
+		t.Errorf("expected both 500 and 503 over 100 draws, saw %v", saw)
+	}
+	fixed := NewInjector(Plan{Seed: 5, Rules: []Rule{{Mode: ServerError, P: 1, Status: 502}}})
+	if d := fixed.Decide("c"); d.Status != 502 {
+		t.Errorf("explicit status ignored: got %d", d.Status)
+	}
+}
+
+func TestPlanJSONRoundTrip(t *testing.T) {
+	plan := DefaultPlan(99)
+	data, err := json.Marshal(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParsePlan(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Seed != plan.Seed || len(back.Rules) != len(plan.Rules) {
+		t.Fatalf("round trip lost shape: %+v", back)
+	}
+	for i := range plan.Rules {
+		if back.Rules[i] != plan.Rules[i] {
+			t.Errorf("rule %d mismatch: %+v vs %+v", i, back.Rules[i], plan.Rules[i])
+		}
+	}
+}
+
+func TestParsePlanRejectsInvalid(t *testing.T) {
+	cases := []string{
+		`{not json`,
+		`{"seed":1,"rules":[{"mode":0,"p":0.5}]}`,  // mode None
+		`{"seed":1,"rules":[{"mode":99,"p":0.5}]}`, // unknown mode
+		`{"seed":1,"rules":[{"mode":1,"p":1.5}]}`,  // p out of range
+		`{"seed":1,"rules":[{"mode":1,"p":-0.1}]}`, // p negative
+	}
+	for _, c := range cases {
+		if _, err := ParsePlan([]byte(c)); err == nil {
+			t.Errorf("ParsePlan(%q) accepted invalid plan", c)
+		}
+	}
+}
+
+func TestDefaultPlanIntensity(t *testing.T) {
+	// The documented default disturbs roughly one request in three —
+	// deterministic, so the band can be tight.
+	in := NewInjector(DefaultPlan(1))
+	const n = 10_000
+	for i := 0; i < n; i++ {
+		in.Decide("c")
+	}
+	frac := float64(in.Injected()) / n
+	if frac < 0.25 || frac > 0.42 {
+		t.Errorf("default plan disturbed %.1f%% of requests, want ~30-36%%", 100*frac)
+	}
+	counts := in.Counts()
+	for _, m := range Modes() {
+		if counts[m.String()] == 0 {
+			t.Errorf("mode %s never fired across %d requests", m, n)
+		}
+	}
+}
+
+func TestCorruptFrameAlwaysViolatesContract(t *testing.T) {
+	req := weekReq()
+	for variant := uint64(0); variant < 64; variant++ {
+		f := CorruptFrame(req, variant)
+		if err := gtrends.ValidateFrame(f, req); err == nil {
+			t.Errorf("variant %d produced a frame that passes validation", variant)
+		}
+	}
+}
+
+func TestFabricateFrameIsWellFormed(t *testing.T) {
+	req := weekReq()
+	f := FabricateFrame(req, 12345)
+	if err := gtrends.ValidateFrame(f, req); err != nil {
+		t.Errorf("fabricated frame fails validation: %v", err)
+	}
+	again := FabricateFrame(req, 12345)
+	for i := range f.Points {
+		if f.Points[i] != again.Points[i] {
+			t.Fatalf("fabrication not deterministic at point %d", i)
+		}
+	}
+}
+
+// stubFetcher returns a fixed fabricated frame and counts calls.
+type stubFetcher struct{ calls int }
+
+func (s *stubFetcher) FetchFrame(ctx context.Context, req gtrends.FrameRequest) (*gtrends.Frame, error) {
+	s.calls++
+	return FabricateFrame(req, 1), nil
+}
+
+func TestWrapPassesThroughWithoutFaults(t *testing.T) {
+	inner := &stubFetcher{}
+	f := Wrap(inner, Plan{Seed: 1}, "")
+	for i := 0; i < 10; i++ {
+		frame, err := f.FetchFrame(context.Background(), weekReq())
+		if err != nil || frame == nil {
+			t.Fatalf("clean plan returned %v, %v", frame, err)
+		}
+	}
+	if inner.calls != 10 {
+		t.Errorf("inner fetcher saw %d calls, want 10", inner.calls)
+	}
+}
+
+func TestWrapSurfacesTransientErrors(t *testing.T) {
+	for _, mode := range []Mode{RateLimit, ServerError, Reset, Truncate} {
+		inner := &stubFetcher{}
+		f := Wrap(inner, Plan{Seed: 1, Rules: []Rule{{Mode: mode, P: 1}}}, "c")
+		_, err := f.FetchFrame(context.Background(), weekReq())
+		var inj *InjectedError
+		if !errors.As(err, &inj) || inj.Mode != mode {
+			t.Errorf("mode %s: error %v, want InjectedError{%s}", mode, err, mode)
+		}
+		if !gtrends.IsTransient(err) {
+			t.Errorf("mode %s: injected error not transient", mode)
+		}
+		if inner.calls != 0 {
+			t.Errorf("mode %s: inner fetcher consulted %d times during fault", mode, inner.calls)
+		}
+	}
+}
+
+func TestWrapCorruptNeverConsultsInner(t *testing.T) {
+	inner := &stubFetcher{}
+	f := Wrap(inner, Plan{Seed: 1, Rules: []Rule{{Mode: Corrupt, P: 1}}}, "c")
+	req := weekReq()
+	frame, err := f.FetchFrame(context.Background(), req)
+	if err != nil {
+		t.Fatalf("corrupt mode should return a frame, got error %v", err)
+	}
+	if gtrends.ValidateFrame(frame, req) == nil {
+		t.Error("corrupt frame passes validation")
+	}
+	if inner.calls != 0 {
+		t.Errorf("inner fetcher consulted %d times", inner.calls)
+	}
+}
+
+func TestWrapHangRespectsContext(t *testing.T) {
+	inner := &stubFetcher{}
+	f := Wrap(inner, Plan{Seed: 1, Rules: []Rule{{Mode: Hang, P: 1, LatencyMS: 60_000}}}, "c")
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	began := time.Now()
+	_, err := f.FetchFrame(ctx, weekReq())
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("hang under deadline returned %v", err)
+	}
+	if elapsed := time.Since(began); elapsed > 5*time.Second {
+		t.Errorf("hang ignored context for %v", elapsed)
+	}
+}
+
+func TestWrapLatencyDelaysThenServes(t *testing.T) {
+	inner := &stubFetcher{}
+	f := Wrap(inner, Plan{Seed: 1, Rules: []Rule{{Mode: Latency, P: 1, LatencyMS: 20}}}, "c")
+	began := time.Now()
+	frame, err := f.FetchFrame(context.Background(), weekReq())
+	if err != nil || frame == nil {
+		t.Fatalf("latency mode returned %v, %v", frame, err)
+	}
+	if elapsed := time.Since(began); elapsed < 20*time.Millisecond {
+		t.Errorf("latency of 20ms not applied (elapsed %v)", elapsed)
+	}
+	if inner.calls != 1 {
+		t.Errorf("inner fetcher saw %d calls, want 1", inner.calls)
+	}
+}
+
+func TestModeStrings(t *testing.T) {
+	for _, m := range Modes() {
+		if s := m.String(); s == "" || s == fmt.Sprintf("Mode(%d)", uint8(m)) {
+			t.Errorf("mode %d has no name", uint8(m))
+		}
+	}
+	if None.String() != "none" {
+		t.Errorf("None.String() = %q", None.String())
+	}
+}

@@ -1,0 +1,407 @@
+package gtclient
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"sift/internal/core"
+	"sift/internal/faults"
+	"sift/internal/gtrends"
+	"sift/internal/gtserver"
+)
+
+// chaosWindow is a three-frame study range: the winter storm sits inside
+// the first frame, the rest is background noise.
+var chaosEnd = t0.Add(456 * time.Hour)
+
+// runChaosPipeline executes the full crawl-process-detect pipeline against
+// a fresh simulated service wired to plan. Workers and units both 1 keep
+// the engine's request-key order identical across runs: injected faults
+// are fabricated without consuming engine keys, so the n-th successful
+// fetch is the n-th frame request regardless of how much chaos the client
+// retried through.
+func runChaosPipeline(t *testing.T, plan *faults.Plan, units, workers, tolerance int) (*core.Result, *Pool, error) {
+	t.Helper()
+	cfg := gtserver.Config{RatePerSec: 100_000, Burst: 100_000}
+	if plan != nil {
+		cfg.Faults = faults.NewInjector(*plan)
+	}
+	svc := newService(t, cfg)
+	pool, err := NewPool(svc.URL, units, func(c *Client) {
+		c.RetryBase = time.Millisecond
+		c.MaxRetries = 10
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.BreakerCooldown = 20 * time.Millisecond
+	p := &core.Pipeline{
+		Fetcher: pool,
+		Cfg: core.PipelineConfig{
+			Workers:        workers,
+			MaxRounds:      3,
+			FrameTolerance: tolerance,
+		},
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	res, err := p.Run(ctx, "TX", gtrends.TopicInternetOutage, t0, chaosEnd)
+	return res, pool, err
+}
+
+// singleModePlan makes one fault mode hot enough to hurt without being
+// unpassable for a client with bounded retries.
+func singleModePlan(mode faults.Mode) *faults.Plan {
+	r := faults.Rule{Mode: mode, P: 0.45}
+	switch mode {
+	case faults.Latency:
+		r.LatencyMS = 2
+	case faults.Hang:
+		// Short server-side cap: the server severs the held connection
+		// quickly so the suite does not wait out real client timeouts.
+		r.LatencyMS = 20
+	}
+	return &faults.Plan{Seed: 1234, Rules: []faults.Rule{r}}
+}
+
+// TestChaosSpikeEqualityPerMode is the tentpole invariant: for every fault
+// mode, a resilient single-unit crawl through heavy chaos detects the
+// exact spike set of a fault-free run on the same world seed.
+func TestChaosSpikeEqualityPerMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos equality suite is not short")
+	}
+	baseline, _, err := runChaosPipeline(t, nil, 1, 1, 0)
+	if err != nil {
+		t.Fatalf("fault-free run failed: %v", err)
+	}
+	if len(baseline.Spikes) == 0 {
+		t.Fatal("fault-free run detected no spikes; the equality check would be vacuous")
+	}
+
+	for _, mode := range faults.Modes() {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			res, pool, err := runChaosPipeline(t, singleModePlan(mode), 1, 1, 0)
+			if err != nil {
+				t.Fatalf("chaos run failed: %v", err)
+			}
+			if len(res.Gaps) != 0 {
+				t.Fatalf("chaos run left %d gaps: %+v", len(res.Gaps), res.Gaps)
+			}
+			if !core.SpikeSetsEqual(baseline.Spikes, res.Spikes, 0) {
+				t.Errorf("spike sets diverged under %s:\nclean: %+v\nchaos: %+v",
+					mode, baseline.Spikes, res.Spikes)
+			}
+			if mode != faults.Latency {
+				// Every mode except added latency forces re-fetches.
+				s := pool.Stats()
+				if s.Requests <= baseline.Frames {
+					t.Errorf("chaos run issued %d requests for %d frames; expected retries", s.Requests, baseline.Frames)
+				}
+			}
+		})
+	}
+}
+
+// TestChaosKitchenSink runs the full default fault plan — every mode at
+// documented intensity — over a multi-unit pool with concurrent workers.
+// Concurrency makes engine key order nondeterministic, so the assertion
+// weakens from exact equality to: the crawl completes, leaves no gaps, and
+// still detects the storm.
+func TestChaosKitchenSink(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos kitchen sink is not short")
+	}
+	plan := faults.DefaultPlan(77)
+	for i := range plan.Rules {
+		if plan.Rules[i].Mode == faults.Hang {
+			plan.Rules[i].LatencyMS = 20
+		}
+	}
+	res, pool, err := runChaosPipeline(t, &plan, 3, 4, 0)
+	if err != nil {
+		t.Fatalf("kitchen-sink run failed: %v", err)
+	}
+	if len(res.Gaps) != 0 {
+		t.Errorf("kitchen-sink run left gaps: %+v", res.Gaps)
+	}
+	stormStart, stormEnd := t0.Add(30*time.Hour), t0.Add(75*time.Hour)
+	found := false
+	for _, sp := range res.Spikes {
+		if sp.Start.Before(stormEnd) && sp.End.After(stormStart) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("storm spike lost under default chaos; spikes: %+v", res.Spikes)
+	}
+	s := pool.Stats()
+	if s.RateLimited == 0 && s.Corrupt == 0 && s.Errors == 0 {
+		t.Errorf("default plan injected nothing visible: stats %+v", s)
+	}
+}
+
+// TestChaosGapDegradation drives every request into a permanent 429 wall
+// and checks both degradation contracts: with tolerance the pipeline
+// completes and reports explicit gaps over a zero series; without it the
+// run fails loudly. Either way it never panics and never silently drops
+// the state.
+func TestChaosGapDegradation(t *testing.T) {
+	wall := &faults.Plan{Seed: 9, Rules: []faults.Rule{{Mode: faults.RateLimit, P: 1}}}
+
+	run := func(tolerance int) (*core.Result, error) {
+		cfg := gtserver.Config{Faults: faults.NewInjector(*wall)}
+		svc := newService(t, cfg)
+		pool, err := NewPool(svc.URL, 2, func(c *Client) {
+			c.RetryBase = time.Millisecond
+			c.MaxRetries = 1
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool.BreakerCooldown = time.Millisecond
+		p := &core.Pipeline{Fetcher: pool, Cfg: core.PipelineConfig{
+			Workers:        2,
+			MaxRounds:      2,
+			FetchRetries:   -1,
+			FrameTolerance: tolerance,
+		}}
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		return p.Run(ctx, "TX", gtrends.TopicInternetOutage, t0, chaosEnd)
+	}
+
+	res, err := run(100)
+	if err != nil {
+		t.Fatalf("tolerant run should complete with gaps, got %v", err)
+	}
+	if len(res.Gaps) != 3 {
+		t.Errorf("got %d gaps, want one per frame window (3): %+v", len(res.Gaps), res.Gaps)
+	}
+	for _, g := range res.Gaps {
+		if g.LastErr == "" {
+			t.Errorf("gap %+v carries no cause", g)
+		}
+	}
+	if len(res.Spikes) != 0 {
+		t.Errorf("an all-gap series should detect nothing, got %+v", res.Spikes)
+	}
+	if res.Series == nil {
+		t.Fatal("degraded run should still produce a (zero) series")
+	}
+	h := res.Health()
+	if h.FailedFetches == 0 || len(h.Gaps) != 3 {
+		t.Errorf("health record incomplete: %+v", h)
+	}
+
+	if _, err := run(0); err == nil {
+		t.Error("zero-tolerance run should abort on the 429 wall")
+	}
+}
+
+// TestPoolBreakerBenchesAndRecovers pins the circuit breaker against a
+// unit the service permanently hates: the pool benches it after the
+// threshold, routes around it, and retries it after the cooldown.
+func TestPoolBreakerBenchesAndRecovers(t *testing.T) {
+	goodFrame := func(req gtrends.FrameRequest) []byte {
+		b, _ := json.Marshal(faults.FabricateFrame(req, 5))
+		return b
+	}
+	var badHits, goodHits int
+	svc := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasPrefix(r.URL.Path, "/api/trends") {
+			if r.Header.Get("X-Fetcher-IP") == "10.1.0.1" {
+				badHits++
+				http.Error(w, "soured address", http.StatusInternalServerError)
+				return
+			}
+			goodHits++
+			w.Header().Set("Content-Type", "application/json")
+			w.Write(goodFrame(weekReq()))
+		}
+	}))
+	defer svc.Close()
+
+	pool, err := NewPool(svc.URL, 2, func(c *Client) {
+		c.RetryBase = time.Millisecond
+		c.MaxRetries = 1
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.BreakerThreshold = 2
+	pool.BreakerCooldown = time.Hour
+	clock := t0
+	pool.now = func() time.Time { return clock }
+
+	ctx := context.Background()
+	for i := 0; i < 8; i++ {
+		if _, err := pool.FetchFrame(ctx, weekReq()); err != nil {
+			t.Fatalf("fetch %d failed despite a healthy unit: %v", i, err)
+		}
+	}
+	if s := pool.Stats(); s.Benched == 0 {
+		t.Error("bad unit never benched")
+	}
+	benchedHits := badHits
+	for i := 0; i < 8; i++ {
+		if _, err := pool.FetchFrame(ctx, weekReq()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if badHits != benchedHits {
+		t.Errorf("benched unit still saw %d new requests", badHits-benchedHits)
+	}
+
+	// After the cooldown the unit gets a half-open trial, fails, and is
+	// re-benched immediately (threshold-1 semantics).
+	clock = clock.Add(2 * time.Hour)
+	if _, err := pool.FetchFrame(ctx, weekReq()); err != nil {
+		t.Fatal(err)
+	}
+	if badHits == benchedHits {
+		t.Error("cooled-down unit never got a half-open trial")
+	}
+	if s := pool.Stats(); s.Benched < 2 {
+		t.Errorf("failed trial should re-bench: benched = %d", s.Benched)
+	}
+	if goodHits == 0 {
+		t.Fatal("healthy unit unused")
+	}
+}
+
+// TestBreakerDisabled pins the negative-threshold escape hatch.
+func TestBreakerDisabled(t *testing.T) {
+	svc := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusInternalServerError)
+	}))
+	defer svc.Close()
+	pool, err := NewPool(svc.URL, 1, func(c *Client) {
+		c.RetryBase = time.Millisecond
+		c.MaxRetries = 1
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.BreakerThreshold = -1
+	for i := 0; i < 5; i++ {
+		if _, err := pool.FetchFrame(context.Background(), weekReq()); err == nil {
+			t.Fatal("dead service should fail")
+		}
+	}
+	if s := pool.Stats(); s.Benched != 0 {
+		t.Errorf("disabled breaker benched %d times", s.Benched)
+	}
+}
+
+// TestRetryAfterHonoursDeadline is the regression test for the backoff
+// path: a Retry-After hint far beyond the context deadline must fail fast
+// with the deadline error instead of sleeping into certain death.
+func TestRetryAfterHonoursDeadline(t *testing.T) {
+	svc := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "3600")
+		http.Error(w, "come back in an hour", http.StatusTooManyRequests)
+	}))
+	defer svc.Close()
+	c := &Client{BaseURL: svc.URL, SourceIP: "10.1.0.1"}
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	began := time.Now()
+	_, err := c.FetchFrame(ctx, weekReq())
+	elapsed := time.Since(began)
+	if err == nil {
+		t.Fatal("fetch against a 429 wall succeeded")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("error should carry the deadline: %v", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Errorf("client slept %v into a hopeless Retry-After", elapsed)
+	}
+	if s := c.Stats(); s.RateLimited == 0 || s.Errors == 0 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+// TestCorruptResponsesAreRefetched pins the validation path: a service
+// that serves garbage frames before the real one is absorbed by retries.
+func TestCorruptResponsesAreRefetched(t *testing.T) {
+	backend := newService(t, gtserver.Config{})
+	var served int
+	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served++
+		if served <= 2 {
+			// A frame with the wrong point count violates the contract.
+			req := weekReq()
+			bad := faults.FabricateFrame(req, 3)
+			bad.Points = bad.Points[:10]
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(bad)
+			return
+		}
+		resp, err := http.Get(backend.URL + r.URL.String())
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		defer resp.Body.Close()
+		w.WriteHeader(resp.StatusCode)
+		var frame gtrends.Frame
+		if json.NewDecoder(resp.Body).Decode(&frame) == nil {
+			json.NewEncoder(w).Encode(frame)
+		}
+	}))
+	defer proxy.Close()
+
+	c := &Client{BaseURL: proxy.URL, SourceIP: "10.1.0.1", RetryBase: time.Millisecond}
+	frame, err := c.FetchFrame(context.Background(), weekReq())
+	if err != nil {
+		t.Fatalf("corrupt frames should be retried through: %v", err)
+	}
+	if verr := gtrends.ValidateFrame(frame, weekReq()); verr != nil {
+		t.Errorf("final frame invalid: %v", verr)
+	}
+	if s := c.Stats(); s.Corrupt != 2 {
+		t.Errorf("Corrupt = %d, want 2", s.Corrupt)
+	}
+}
+
+// TestChaosDeterministicReruns double-checks reproducibility end to end:
+// two identical chaos runs (fresh service, fresh pool, same plan) produce
+// identical series and spikes.
+func TestChaosDeterministicReruns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos rerun suite is not short")
+	}
+	run := func() *core.Result {
+		res, _, err := runChaosPipeline(t, singleModePlan(faults.Corrupt), 1, 1, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if !core.SpikeSetsEqual(a.Spikes, b.Spikes, 0) {
+		t.Errorf("reruns diverged:\n%+v\n%+v", a.Spikes, b.Spikes)
+	}
+	av, bv := a.Series.Values(), b.Series.Values()
+	if len(av) != len(bv) {
+		t.Fatalf("series lengths differ: %d vs %d", len(av), len(bv))
+	}
+	for i := range av {
+		if av[i] != bv[i] {
+			t.Fatalf("series diverged at hour %d: %v vs %v", i, av[i], bv[i])
+		}
+	}
+	if fmt.Sprint(a.Rounds) != fmt.Sprint(b.Rounds) {
+		t.Errorf("round counts differ: %d vs %d", a.Rounds, b.Rounds)
+	}
+}

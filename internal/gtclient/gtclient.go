@@ -32,21 +32,29 @@ type Client struct {
 	SourceIP string
 	// HTTPClient defaults to a client with a 30 s timeout.
 	HTTPClient *http.Client
-	// MaxRetries bounds retry attempts on 429/5xx. Default 5.
+	// MaxRetries bounds retry attempts on transient failures (429, 5xx,
+	// severed connections, corrupt frames). Default 5.
 	MaxRetries int
 	// RetryBase is the first backoff delay when the server sends no
 	// Retry-After hint. Default 100 ms. Tests shrink it.
 	RetryBase time.Duration
+	// Jitter is the ± fraction applied to every backoff delay, so a fleet
+	// of fetchers rate-limited together does not retry in lockstep.
+	// Default 0.2; negative disables.
+	Jitter float64
 
 	mu    sync.Mutex
 	stats Stats
+	jrand *rand.Rand
 }
 
 // Stats counts a client's request outcomes.
 type Stats struct {
 	Requests    int // HTTP requests issued, including retries
 	RateLimited int // 429 responses absorbed
+	Corrupt     int // truncated or contract-violating responses absorbed
 	Errors      int // terminal failures
+	Benched     int // circuit-breaker trips (filled at the pool level)
 }
 
 // Stats returns a copy of the client's counters.
@@ -83,8 +91,36 @@ func (c *Client) count(fn func(*Stats)) {
 	c.mu.Unlock()
 }
 
-// FetchFrame requests one frame, retrying on rate limits (honouring
-// Retry-After) and transient server errors with exponential backoff.
+// jitter spreads a backoff delay by the configured ± fraction.
+func (c *Client) jitter(d time.Duration) time.Duration {
+	j := c.Jitter
+	if j == 0 {
+		j = 0.2
+	}
+	if j < 0 || d <= 0 {
+		return d
+	}
+	c.mu.Lock()
+	if c.jrand == nil {
+		// Deterministic per source address; jitter affects timing only,
+		// never results.
+		seed := int64(1)
+		for i := 0; i < len(c.SourceIP); i++ {
+			seed = seed*131 + int64(c.SourceIP[i])
+		}
+		c.jrand = rand.New(rand.NewSource(seed))
+	}
+	f := 1 - j + 2*j*c.jrand.Float64()
+	c.mu.Unlock()
+	return time.Duration(float64(d) * f)
+}
+
+// FetchFrame requests one frame, retrying transient failures — rate
+// limits (honouring Retry-After), 5xx responses, severed connections, and
+// corrupt or truncated bodies — with jittered exponential backoff. Backoff
+// sleeps respect the context: a Retry-After hint that cannot complete
+// before the context's deadline fails immediately instead of sleeping
+// into certain death.
 func (c *Client) FetchFrame(ctx context.Context, req gtrends.FrameRequest) (*gtrends.Frame, error) {
 	u, err := c.requestURL(req)
 	if err != nil {
@@ -93,7 +129,7 @@ func (c *Client) FetchFrame(ctx context.Context, req gtrends.FrameRequest) (*gtr
 	backoff := c.retryBase()
 	var lastErr error
 	for attempt := 0; attempt <= c.maxRetries(); attempt++ {
-		frame, retryAfter, err := c.once(ctx, u)
+		frame, retryAfter, err := c.once(ctx, u, req)
 		if err == nil {
 			return frame, nil
 		}
@@ -102,11 +138,16 @@ func (c *Client) FetchFrame(ctx context.Context, req gtrends.FrameRequest) (*gtr
 		if !errors.As(err, &re) {
 			return nil, err
 		}
-		delay := backoff
+		delay := c.jitter(backoff)
 		if retryAfter > 0 {
 			delay = retryAfter
 		}
 		backoff *= 2
+		if deadline, ok := ctx.Deadline(); ok && time.Until(deadline) < delay {
+			c.count(func(s *Stats) { s.Errors++ })
+			return nil, fmt.Errorf("gtclient: backoff of %v outlives context deadline (after %w): %w",
+				delay, lastErr, context.DeadlineExceeded)
+		}
 		select {
 		case <-ctx.Done():
 			return nil, ctx.Err()
@@ -117,12 +158,25 @@ func (c *Client) FetchFrame(ctx context.Context, req gtrends.FrameRequest) (*gtr
 	return nil, fmt.Errorf("gtclient: retries exhausted: %w", lastErr)
 }
 
-// retryableError marks responses worth retrying (429 and 5xx).
-type retryableError struct{ status int }
+// retryableError marks failures worth retrying: 429/5xx statuses, severed
+// connections, and corrupt responses.
+type retryableError struct {
+	status int
+	cause  error
+}
 
 func (e *retryableError) Error() string {
+	if e.cause != nil {
+		return fmt.Sprintf("gtclient: transient: %v", e.cause)
+	}
 	return fmt.Sprintf("gtclient: retryable status %d", e.status)
 }
+
+// Unwrap exposes the cause so errors.Is sees gtrends.ErrCorruptFrame etc.
+func (e *retryableError) Unwrap() error { return e.cause }
+
+// Temporary marks the failure transient (see gtrends.IsTransient).
+func (e *retryableError) Temporary() bool { return true }
 
 func (c *Client) requestURL(req gtrends.FrameRequest) (string, error) {
 	if c.BaseURL == "" {
@@ -139,8 +193,9 @@ func (c *Client) requestURL(req gtrends.FrameRequest) (string, error) {
 	return c.BaseURL + "/api/trends?" + q.Encode(), nil
 }
 
-// once performs a single HTTP exchange.
-func (c *Client) once(ctx context.Context, u string) (*gtrends.Frame, time.Duration, error) {
+// once performs a single HTTP exchange, validating any 200 body against
+// the request before trusting it.
+func (c *Client) once(ctx context.Context, u string, req gtrends.FrameRequest) (*gtrends.Frame, time.Duration, error) {
 	httpReq, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
 	if err != nil {
 		return nil, 0, err
@@ -151,7 +206,12 @@ func (c *Client) once(ctx context.Context, u string) (*gtrends.Frame, time.Durat
 	c.count(func(s *Stats) { s.Requests++ })
 	resp, err := c.httpClient().Do(httpReq)
 	if err != nil {
-		return nil, 0, err
+		if ctx.Err() != nil {
+			return nil, 0, ctx.Err()
+		}
+		// Timeouts, resets, and hung connections are the service being
+		// hostile, not the request being wrong: retry.
+		return nil, 0, &retryableError{cause: err}
 	}
 	defer resp.Body.Close()
 
@@ -159,7 +219,13 @@ func (c *Client) once(ctx context.Context, u string) (*gtrends.Frame, time.Durat
 	case resp.StatusCode == http.StatusOK:
 		var frame gtrends.Frame
 		if err := json.NewDecoder(resp.Body).Decode(&frame); err != nil {
-			return nil, 0, fmt.Errorf("gtclient: decoding frame: %w", err)
+			// A body that dies mid-JSON is a truncated response.
+			c.count(func(s *Stats) { s.Corrupt++ })
+			return nil, 0, &retryableError{cause: fmt.Errorf("%w: decoding body: %v", gtrends.ErrCorruptFrame, err)}
+		}
+		if err := gtrends.ValidateFrame(&frame, req); err != nil {
+			c.count(func(s *Stats) { s.Corrupt++ })
+			return nil, 0, &retryableError{cause: err}
 		}
 		return &frame, 0, nil
 	case resp.StatusCode == http.StatusTooManyRequests:
@@ -187,105 +253,3 @@ func parseRetryAfter(h string) time.Duration {
 	return time.Duration(secs) * time.Second
 }
 
-// Pool distributes frame requests over fetcher units behind distinct
-// source addresses. It implements gtrends.Fetcher; single requests go to
-// the least-loaded fetcher, and FetchAll fans a batch out over all of
-// them. Safe for concurrent use.
-type Pool struct {
-	fetchers []*Client
-	next     int
-	mu       sync.Mutex
-}
-
-// NewPool builds n fetcher units against baseURL, each with a distinct
-// simulated source address in 10.fetch.0.0/16 space.
-func NewPool(baseURL string, n int, opts func(*Client)) (*Pool, error) {
-	if n < 1 {
-		return nil, errors.New("gtclient: pool needs at least one fetcher")
-	}
-	p := &Pool{}
-	for i := 0; i < n; i++ {
-		c := &Client{
-			BaseURL:  baseURL,
-			SourceIP: fmt.Sprintf("10.%d.0.1", i+1),
-		}
-		if opts != nil {
-			opts(c)
-		}
-		p.fetchers = append(p.fetchers, c)
-	}
-	return p, nil
-}
-
-// Size returns the number of fetcher units.
-func (p *Pool) Size() int { return len(p.fetchers) }
-
-// Stats sums the counters of all fetchers.
-func (p *Pool) Stats() Stats {
-	var total Stats
-	for _, f := range p.fetchers {
-		s := f.Stats()
-		total.Requests += s.Requests
-		total.RateLimited += s.RateLimited
-		total.Errors += s.Errors
-	}
-	return total
-}
-
-// FetchFrame routes one request to the next fetcher round-robin.
-func (p *Pool) FetchFrame(ctx context.Context, req gtrends.FrameRequest) (*gtrends.Frame, error) {
-	p.mu.Lock()
-	f := p.fetchers[p.next%len(p.fetchers)]
-	p.next++
-	p.mu.Unlock()
-	return f.FetchFrame(ctx, req)
-}
-
-// FetchAll fans requests out over the pool, one worker per fetcher, and
-// returns frames in request order. The first error cancels the batch.
-func (p *Pool) FetchAll(ctx context.Context, reqs []gtrends.FrameRequest) ([]*gtrends.Frame, error) {
-	ctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-
-	frames := make([]*gtrends.Frame, len(reqs))
-	jobs := make(chan int)
-	errc := make(chan error, len(p.fetchers))
-	var wg sync.WaitGroup
-	for _, f := range p.fetchers {
-		wg.Add(1)
-		go func(f *Client) {
-			defer wg.Done()
-			for idx := range jobs {
-				frame, err := f.FetchFrame(ctx, reqs[idx])
-				if err != nil {
-					errc <- err
-					cancel()
-					return
-				}
-				frames[idx] = frame
-			}
-		}(f)
-	}
-	// Shuffle job order so one slow region doesn't serialize on one
-	// fetcher; output order is preserved via indexes.
-	order := rand.New(rand.NewSource(int64(len(reqs)))).Perm(len(reqs))
-feed:
-	for _, idx := range order {
-		select {
-		case jobs <- idx:
-		case <-ctx.Done():
-			break feed
-		}
-	}
-	close(jobs)
-	wg.Wait()
-	select {
-	case err := <-errc:
-		return nil, err
-	default:
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	return frames, nil
-}

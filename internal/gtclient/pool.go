@@ -1,0 +1,237 @@
+package gtclient
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"sift/internal/gtrends"
+)
+
+// Pool distributes frame requests over fetcher units behind distinct
+// source addresses, with a per-unit circuit breaker: a unit that fails
+// several requests in a row is benched for a cooldown while its load
+// rotates onto healthy units — the crawl keeps moving through a targeted
+// 429 storm or a fetcher whose address the service has soured on.
+// It implements gtrends.Fetcher. Safe for concurrent use.
+type Pool struct {
+	// BreakerThreshold is the consecutive-failure count that benches a
+	// unit. Default 3; negative disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long a benched unit sits out. Default 2 s.
+	BreakerCooldown time.Duration
+	// JobRetries is how many additional units a failed request rotates
+	// to before the failure is declared permanent. Default: one attempt
+	// per remaining unit, at least 1.
+	JobRetries int
+
+	mu      sync.Mutex
+	units   []*unit
+	next    int
+	benched int              // breaker trips, for stats
+	now     func() time.Time // injectable for tests
+}
+
+// unit is one fetcher plus its circuit-breaker state (guarded by Pool.mu).
+type unit struct {
+	c           *Client
+	consecutive int
+	openUntil   time.Time
+}
+
+// NewPool builds n fetcher units against baseURL, each with a distinct
+// simulated source address in 10.fetch.0.0/16 space.
+func NewPool(baseURL string, n int, opts func(*Client)) (*Pool, error) {
+	if n < 1 {
+		return nil, errors.New("gtclient: pool needs at least one fetcher")
+	}
+	p := &Pool{now: time.Now}
+	for i := 0; i < n; i++ {
+		c := &Client{
+			BaseURL:  baseURL,
+			SourceIP: fmt.Sprintf("10.%d.0.1", i+1),
+		}
+		if opts != nil {
+			opts(c)
+		}
+		p.units = append(p.units, &unit{c: c})
+	}
+	return p, nil
+}
+
+// Size returns the number of fetcher units.
+func (p *Pool) Size() int { return len(p.units) }
+
+// Stats sums the counters of all fetchers, plus the pool's breaker trips.
+func (p *Pool) Stats() Stats {
+	var total Stats
+	for _, u := range p.units {
+		s := u.c.Stats()
+		total.Requests += s.Requests
+		total.RateLimited += s.RateLimited
+		total.Corrupt += s.Corrupt
+		total.Errors += s.Errors
+	}
+	p.mu.Lock()
+	total.Benched = p.benched
+	p.mu.Unlock()
+	return total
+}
+
+func (p *Pool) breakerThreshold() int {
+	if p.BreakerThreshold > 0 {
+		return p.BreakerThreshold
+	}
+	if p.BreakerThreshold < 0 {
+		return 0 // disabled
+	}
+	return 3
+}
+
+func (p *Pool) breakerCooldown() time.Duration {
+	if p.BreakerCooldown > 0 {
+		return p.BreakerCooldown
+	}
+	return 2 * time.Second
+}
+
+func (p *Pool) jobRetries() int {
+	if p.JobRetries > 0 {
+		return p.JobRetries
+	}
+	if n := len(p.units) - 1; n > 1 {
+		return n
+	}
+	return 1
+}
+
+// pick returns the next available unit round-robin, skipping benched
+// units. When every unit is benched, it returns the one whose bench
+// expires soonest (a half-open trial) rather than stalling the crawl.
+func (p *Pool) pick() *unit {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	now := p.now()
+	n := len(p.units)
+	for i := 0; i < n; i++ {
+		u := p.units[(p.next+i)%n]
+		if u.openUntil.IsZero() || !now.Before(u.openUntil) {
+			p.next = (p.next + i + 1) % n
+			return u
+		}
+	}
+	soonest := p.units[0]
+	for _, u := range p.units[1:] {
+		if u.openUntil.Before(soonest.openUntil) {
+			soonest = u
+		}
+	}
+	return soonest
+}
+
+// report feeds a fetch outcome into the unit's breaker.
+func (p *Pool) report(u *unit, err error) {
+	if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+		// The caller gave up; that says nothing about the unit's health.
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err == nil {
+		u.consecutive = 0
+		u.openUntil = time.Time{}
+		return
+	}
+	threshold := p.breakerThreshold()
+	if threshold == 0 {
+		return
+	}
+	u.consecutive++
+	if u.consecutive >= threshold {
+		u.openUntil = p.now().Add(p.breakerCooldown())
+		// Leave the unit one failure from re-benching, so a failed
+		// half-open trial benches it again immediately.
+		u.consecutive = threshold - 1
+		p.benched++
+	}
+}
+
+// FetchFrame routes one request round-robin over healthy units, rotating
+// a failed request onto other units before giving up.
+func (p *Pool) FetchFrame(ctx context.Context, req gtrends.FrameRequest) (*gtrends.Frame, error) {
+	attempts := p.jobRetries() + 1
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		u := p.pick()
+		frame, err := u.c.FetchFrame(ctx, req)
+		p.report(u, err)
+		if err == nil {
+			return frame, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return nil, err
+		}
+		var re *retryableError
+		if !errors.As(err, &re) {
+			// Request-shaped failure (400s, bad config): another unit
+			// would fail identically.
+			return nil, err
+		}
+	}
+	return nil, fmt.Errorf("gtclient: all units exhausted: %w", lastErr)
+}
+
+// FetchAll fans requests out over the pool, one worker per fetcher unit,
+// and returns frames in request order. Each job routes through FetchFrame,
+// so benched units shed their load onto healthy ones. The first permanent
+// error cancels the batch.
+func (p *Pool) FetchAll(ctx context.Context, reqs []gtrends.FrameRequest) ([]*gtrends.Frame, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	frames := make([]*gtrends.Frame, len(reqs))
+	jobs := make(chan int)
+	errc := make(chan error, len(p.units))
+	var wg sync.WaitGroup
+	for range p.units {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				frame, err := p.FetchFrame(ctx, reqs[idx])
+				if err != nil {
+					errc <- err
+					cancel()
+					return
+				}
+				frames[idx] = frame
+			}
+		}()
+	}
+	// Shuffle job order so one slow region doesn't serialize on one
+	// fetcher; output order is preserved via indexes.
+	order := rand.New(rand.NewSource(int64(len(reqs)))).Perm(len(reqs))
+feed:
+	for _, idx := range order {
+		select {
+		case jobs <- idx:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	select {
+	case err := <-errc:
+		return nil, err
+	default:
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return frames, nil
+}

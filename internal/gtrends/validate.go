@@ -1,0 +1,51 @@
+package gtrends
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrCorruptFrame marks a response that violates the Trends frame
+// contract: wrong point count, values outside the 0–100 index, or a
+// window that does not match the request. Corrupt frames are a transient
+// condition — the correct reaction is a re-fetch, never a crash.
+var ErrCorruptFrame = errors.New("gtrends: corrupt frame")
+
+// ValidateFrame checks a fetched frame against the request that produced
+// it. A healthy Trends response always has exactly req.Hours points, every
+// point on the 0–100 index, and the requested window start.
+func ValidateFrame(f *Frame, req FrameRequest) error {
+	if f == nil {
+		return fmt.Errorf("%w: nil frame", ErrCorruptFrame)
+	}
+	if len(f.Points) != req.Hours {
+		return fmt.Errorf("%w: %d points, want %d", ErrCorruptFrame, len(f.Points), req.Hours)
+	}
+	for i, p := range f.Points {
+		if p < 0 || p > 100 {
+			return fmt.Errorf("%w: point %d = %d outside 0–100", ErrCorruptFrame, i, p)
+		}
+	}
+	if !f.Start.Equal(req.Start.UTC()) {
+		return fmt.Errorf("%w: window starts %v, want %v", ErrCorruptFrame, f.Start, req.Start.UTC())
+	}
+	return nil
+}
+
+// IsTransient reports whether a fetch error is worth re-fetching: corrupt
+// frames, and any error that declares itself temporary (injected chaos
+// faults, rate limits, transport failures). Context cancellation is never
+// transient.
+func IsTransient(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, ErrCorruptFrame) {
+		return true
+	}
+	var tmp interface{ Temporary() bool }
+	if errors.As(err, &tmp) {
+		return tmp.Temporary()
+	}
+	return false
+}

@@ -1,0 +1,201 @@
+package gtserver
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"sift/internal/faults"
+	"sift/internal/gtrends"
+)
+
+// chaosServer runs a Server wired to the given plan over a real TCP
+// listener: hang, reset, and truncate faults only reproduce at the
+// transport level, not through a ResponseRecorder.
+func chaosServer(t *testing.T, plan faults.Plan) (*httptest.Server, *Server) {
+	t.Helper()
+	srv := testServer(Config{Faults: faults.NewInjector(plan)})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return ts, srv
+}
+
+func one(mode faults.Mode, mut func(*faults.Rule)) faults.Plan {
+	r := faults.Rule{Mode: mode, P: 1}
+	if mut != nil {
+		mut(&r)
+	}
+	return faults.Plan{Seed: 11, Rules: []faults.Rule{r}}
+}
+
+func trendsURL(ts *httptest.Server) string {
+	return ts.URL + trendsPath("TX", t0, 168, false)
+}
+
+func TestInjectRateLimit(t *testing.T) {
+	ts, _ := chaosServer(t, one(faults.RateLimit, func(r *faults.Rule) { r.RetryAfterSec = 7 }))
+	resp, err := http.Get(trendsURL(ts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("status = %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "7" {
+		t.Errorf("Retry-After = %q, want 7", got)
+	}
+}
+
+func TestInjectServerError(t *testing.T) {
+	ts, _ := chaosServer(t, one(faults.ServerError, func(r *faults.Rule) { r.Status = 503 }))
+	resp, err := http.Get(trendsURL(ts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("status = %d, want 503", resp.StatusCode)
+	}
+}
+
+func TestInjectLatencyThenServes(t *testing.T) {
+	ts, srv := chaosServer(t, one(faults.Latency, func(r *faults.Rule) { r.LatencyMS = 30 }))
+	began := time.Now()
+	resp, err := http.Get(trendsURL(ts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("status = %d, want 200", resp.StatusCode)
+	}
+	if elapsed := time.Since(began); elapsed < 30*time.Millisecond {
+		t.Errorf("response arrived in %v, latency not applied", elapsed)
+	}
+	var frame gtrends.Frame
+	if err := json.NewDecoder(resp.Body).Decode(&frame); err != nil {
+		t.Fatalf("decoding delayed frame: %v", err)
+	}
+	if len(frame.Points) != 168 {
+		t.Errorf("delayed frame has %d points", len(frame.Points))
+	}
+	if srv.engine.Requests() != 1 {
+		t.Errorf("engine served %d requests, want 1", srv.engine.Requests())
+	}
+}
+
+func TestInjectHangTimesOutClient(t *testing.T) {
+	ts, _ := chaosServer(t, one(faults.Hang, func(r *faults.Rule) { r.LatencyMS = 60_000 }))
+	client := &http.Client{Timeout: 100 * time.Millisecond}
+	began := time.Now()
+	_, err := client.Get(trendsURL(ts))
+	if err == nil {
+		t.Fatal("hung request returned a response")
+	}
+	if elapsed := time.Since(began); elapsed > 5*time.Second {
+		t.Errorf("client stuck for %v despite its timeout", elapsed)
+	}
+}
+
+func TestInjectResetSeversConnection(t *testing.T) {
+	ts, _ := chaosServer(t, one(faults.Reset, nil))
+	resp, err := http.Get(trendsURL(ts))
+	if err == nil {
+		resp.Body.Close()
+		t.Fatal("reset request returned a response")
+	}
+}
+
+func TestInjectTruncateCutsBody(t *testing.T) {
+	ts, _ := chaosServer(t, one(faults.Truncate, nil))
+	resp, err := http.Get(trendsURL(ts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200 with short body", resp.StatusCode)
+	}
+	var frame gtrends.Frame
+	if err := json.NewDecoder(resp.Body).Decode(&frame); err == nil {
+		t.Error("truncated body decoded cleanly")
+	}
+}
+
+func TestInjectCorruptFailsValidation(t *testing.T) {
+	ts, _ := chaosServer(t, one(faults.Corrupt, nil))
+	resp, err := http.Get(trendsURL(ts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	var frame gtrends.Frame
+	if err := json.NewDecoder(resp.Body).Decode(&frame); err != nil {
+		t.Fatalf("corrupt frame should decode as JSON: %v", err)
+	}
+	req := gtrends.FrameRequest{Term: gtrends.TopicInternetOutage, State: "TX", Start: t0, Hours: 168}
+	if gtrends.ValidateFrame(&frame, req) == nil {
+		t.Error("corrupt frame passes validation")
+	}
+}
+
+// TestInjectedFaultsSkipEngine is the determinism invariant at the HTTP
+// layer: fabricated faults must not consume engine sampling keys.
+func TestInjectedFaultsSkipEngine(t *testing.T) {
+	ts, srv := chaosServer(t, one(faults.Corrupt, nil))
+	for i := 0; i < 5; i++ {
+		resp, err := http.Get(trendsURL(ts))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	if got := srv.engine.Requests(); got != 0 {
+		t.Errorf("engine consumed %d request keys during pure-fault traffic, want 0", got)
+	}
+}
+
+func TestStatsReportFaultCounters(t *testing.T) {
+	ts, _ := chaosServer(t, one(faults.RateLimit, nil))
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(trendsURL(ts))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	resp, err := http.Get(ts.URL + "/api/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats statsBody
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.FaultsInjected != 3 {
+		t.Errorf("faults_injected = %d, want 3", stats.FaultsInjected)
+	}
+	if stats.FaultCounts["rate-limit"] != 3 {
+		t.Errorf("fault_counts = %v", stats.FaultCounts)
+	}
+}
+
+func TestNoFaultsConfigUntouched(t *testing.T) {
+	// A server without an injector must behave exactly as before the chaos
+	// layer existed.
+	srv := testServer(Config{})
+	rec := get(t, srv, trendsPath("TX", t0, 168, false), nil)
+	if rec.Code != http.StatusOK {
+		t.Errorf("status = %d", rec.Code)
+	}
+}

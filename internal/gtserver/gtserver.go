@@ -28,6 +28,7 @@ import (
 	"strconv"
 	"time"
 
+	"sift/internal/faults"
 	"sift/internal/geo"
 	"sift/internal/gtrends"
 )
@@ -40,6 +41,11 @@ type Config struct {
 	Burst int
 	// Logger receives request logs; nil disables logging.
 	Logger *log.Logger
+	// Faults, when set, injects the plan's chaos into /api/trends at the
+	// transport level: injected responses are fabricated without touching
+	// the Trends engine, so a resilient crawler that retries through them
+	// sees exactly the fault-free sample sequence.
+	Faults *faults.Injector
 }
 
 func (c *Config) fillDefaults() {
@@ -117,22 +123,32 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 
 // statsBody reports service counters.
 type statsBody struct {
-	RequestsServed uint64 `json:"requests_served"`
-	RateLimited    uint64 `json:"rate_limited"`
-	Clients        int    `json:"clients"`
+	RequestsServed uint64            `json:"requests_served"`
+	RateLimited    uint64            `json:"rate_limited"`
+	Clients        int               `json:"clients"`
+	FaultsInjected uint64            `json:"faults_injected,omitempty"`
+	FaultCounts    map[string]uint64 `json:"fault_counts,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(statsBody{
+	body := statsBody{
 		RequestsServed: s.engine.Requests(),
 		RateLimited:    s.limiter.Rejected(),
 		Clients:        s.limiter.Clients(),
-	})
+	}
+	if s.cfg.Faults != nil {
+		body.FaultsInjected = s.cfg.Faults.Injected()
+		body.FaultCounts = s.cfg.Faults.Counts()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(body)
 }
 
 func (s *Server) handleTrends(w http.ResponseWriter, r *http.Request) {
 	client := ClientID(r)
+	if s.cfg.Faults != nil && s.inject(w, r, client) {
+		return
+	}
 	if ok, retry := s.limiter.Allow(client); !ok {
 		seconds := int(retry/time.Second) + 1
 		w.Header().Set("Retry-After", strconv.Itoa(seconds))

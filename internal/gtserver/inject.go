@@ -1,0 +1,97 @@
+package gtserver
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"time"
+
+	"sift/internal/faults"
+)
+
+// inject consults the fault plan for this request and, when a fault fires,
+// emits it at the transport level. It reports whether the request was
+// fully handled (true) or should proceed to normal service (false — the
+// no-fault and added-latency cases).
+//
+// Injected responses are fabricated from the request and the decision's
+// hash bits alone; the Trends engine is never consulted, so the engine's
+// per-request sampling counter advances exactly as in a fault-free run.
+func (s *Server) inject(w http.ResponseWriter, r *http.Request, client string) bool {
+	d := s.cfg.Faults.Decide(client)
+	switch d.Mode {
+	case faults.None:
+		return false
+
+	case faults.Latency:
+		select {
+		case <-r.Context().Done():
+			return true
+		case <-time.After(d.Latency):
+		}
+		s.logf("fault latency %v %s", d.Latency, client)
+		return false
+
+	case faults.RateLimit:
+		w.Header().Set("Retry-After", strconv.Itoa(int(d.RetryAfter/time.Second)))
+		s.writeError(w, http.StatusTooManyRequests, "injected rate-limit storm")
+		s.logf("fault 429 %s", client)
+		return true
+
+	case faults.ServerError:
+		s.writeError(w, d.Status, "injected server error")
+		s.logf("fault %d %s", d.Status, client)
+		return true
+
+	case faults.Hang:
+		// Hold the request open until the client disconnects or the cap
+		// elapses, then sever without a response.
+		wait := d.Latency
+		if wait <= 0 {
+			wait = 30 * time.Second
+		}
+		select {
+		case <-r.Context().Done():
+		case <-time.After(wait):
+		}
+		s.logf("fault hang %s", client)
+		panic(http.ErrAbortHandler)
+
+	case faults.Reset:
+		// Abort before any response bytes: the client sees the connection
+		// drop (EOF / connection reset).
+		s.logf("fault reset %s", client)
+		panic(http.ErrAbortHandler)
+
+	case faults.Truncate:
+		req, err := parseTrendsQuery(r)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, err.Error())
+			return true
+		}
+		body, err := json.Marshal(faults.FabricateFrame(req, d.Variant))
+		if err != nil || len(body) < 2 {
+			panic(http.ErrAbortHandler)
+		}
+		// Declare the full length but send only half: net/http closes the
+		// connection on the short write and the client's JSON decoder hits
+		// an unexpected EOF mid-body.
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+		_, _ = w.Write(body[:len(body)/2])
+		s.logf("fault truncate %s", client)
+		return true
+
+	case faults.Corrupt:
+		req, err := parseTrendsQuery(r)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, err.Error())
+			return true
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(faults.CorruptFrame(req, d.Variant))
+		s.logf("fault corrupt %s", client)
+		return true
+	}
+	return false
+}

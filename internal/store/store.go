@@ -41,6 +41,7 @@ type DB struct {
 	frames map[seriesKey][]StoredFrame
 	series map[seriesKey]*timeseries.Series
 	spikes map[seriesKey][]core.Spike
+	health map[seriesKey]core.CrawlHealth
 }
 
 // New returns an empty database.
@@ -49,6 +50,7 @@ func New() *DB {
 		frames: make(map[seriesKey][]StoredFrame),
 		series: make(map[seriesKey]*timeseries.Series),
 		spikes: make(map[seriesKey][]core.Spike),
+		health: make(map[seriesKey]core.CrawlHealth),
 	}
 }
 
@@ -124,6 +126,35 @@ func (db *DB) Spikes(term string, state geo.State) []core.Spike {
 	return out
 }
 
+// PutHealth stores the crawl-health record for a term and state.
+func (db *DB) PutHealth(term string, state geo.State, h core.CrawlHealth) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.health[seriesKey{Term: term, State: state}] = h
+}
+
+// Health returns the crawl-health record for a term and state.
+func (db *DB) Health(term string, state geo.State) (core.CrawlHealth, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	h, ok := db.health[seriesKey{Term: term, State: state}]
+	return h, ok
+}
+
+// GapCount returns the total number of recorded crawl gaps for a term
+// across all states — the quick "is this dataset complete?" check.
+func (db *DB) GapCount(term string) int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	total := 0
+	for key, h := range db.health {
+		if key.Term == term {
+			total += len(h.Gaps)
+		}
+	}
+	return total
+}
+
 // AllSpikes returns every stored spike across states for a term, ordered
 // by start time.
 func (db *DB) AllSpikes(term string) []core.Spike {
@@ -167,11 +198,12 @@ type fileFormat struct {
 }
 
 type fileSeries struct {
-	Term   string        `json:"term"`
-	State  geo.State     `json:"state"`
-	Frames []StoredFrame `json:"frames,omitempty"`
-	Series *seriesJSON   `json:"series,omitempty"`
-	Spikes []core.Spike  `json:"spikes,omitempty"`
+	Term   string            `json:"term"`
+	State  geo.State         `json:"state"`
+	Frames []StoredFrame     `json:"frames,omitempty"`
+	Series *seriesJSON       `json:"series,omitempty"`
+	Spikes []core.Spike      `json:"spikes,omitempty"`
+	Health *core.CrawlHealth `json:"health,omitempty"`
 }
 
 type seriesJSON struct {
@@ -193,6 +225,9 @@ func (db *DB) Save(path string) error {
 	for k := range db.spikes {
 		keys[k] = true
 	}
+	for k := range db.health {
+		keys[k] = true
+	}
 	ordered := make([]seriesKey, 0, len(keys))
 	for k := range keys {
 		ordered = append(ordered, k)
@@ -207,6 +242,10 @@ func (db *DB) Save(path string) error {
 		entry := fileSeries{Term: k.Term, State: k.State, Frames: db.frames[k], Spikes: db.spikes[k]}
 		if s, ok := db.series[k]; ok {
 			entry.Series = &seriesJSON{Start: s.Start(), Values: s.Values()}
+		}
+		if h, ok := db.health[k]; ok {
+			hc := h
+			entry.Health = &hc
 		}
 		ff.Entries = append(ff.Entries, entry)
 	}
@@ -257,6 +296,9 @@ func Load(path string) (*DB, error) {
 				return nil, fmt.Errorf("store: series %s/%s: %w", entry.Term, entry.State, err)
 			}
 			db.series[key] = s
+		}
+		if entry.Health != nil {
+			db.health[key] = *entry.Health
 		}
 	}
 	return db, nil

@@ -165,6 +165,53 @@ func TestLoadErrors(t *testing.T) {
 	}
 }
 
+func TestHealthRoundTrip(t *testing.T) {
+	db := New()
+	if _, ok := db.Health(gtrends.TopicInternetOutage, "TX"); ok {
+		t.Fatal("empty db should have no health record")
+	}
+	h := core.CrawlHealth{
+		Rounds:        4,
+		Frames:        10,
+		FailedFetches: 3,
+		Gaps:          []core.Gap{{Start: t0, Hours: 168, LastErr: "429 storm"}},
+		Converged:     true,
+	}
+	db.PutHealth(gtrends.TopicInternetOutage, "TX", h)
+	db.PutHealth(gtrends.TopicInternetOutage, "CA", core.CrawlHealth{Rounds: 2, Frames: 8, Converged: true})
+	if got := db.GapCount(gtrends.TopicInternetOutage); got != 1 {
+		t.Errorf("GapCount = %d, want 1", got)
+	}
+	if got := db.GapCount("other term"); got != 0 {
+		t.Errorf("GapCount for unrelated term = %d, want 0", got)
+	}
+
+	path := filepath.Join(t.TempDir(), "db.json")
+	if err := db.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := loaded.Health(gtrends.TopicInternetOutage, "TX")
+	if !ok {
+		t.Fatal("health record lost across save/load")
+	}
+	if got.Rounds != h.Rounds || got.Frames != h.Frames || got.FailedFetches != h.FailedFetches || !got.Converged {
+		t.Errorf("health mismatch: got %+v, want %+v", got, h)
+	}
+	if len(got.Gaps) != 1 || !got.Gaps[0].Start.Equal(t0) || got.Gaps[0].Hours != 168 || got.Gaps[0].LastErr != "429 storm" {
+		t.Errorf("gaps mismatch: %+v", got.Gaps)
+	}
+	if got.Gaps[0].End() != t0.Add(168*time.Hour) {
+		t.Errorf("Gap.End = %v", got.Gaps[0].End())
+	}
+	if got := loaded.GapCount(gtrends.TopicInternetOutage); got != 1 {
+		t.Errorf("GapCount after reload = %d, want 1", got)
+	}
+}
+
 func TestConcurrentAccess(t *testing.T) {
 	db := New()
 	var wg sync.WaitGroup

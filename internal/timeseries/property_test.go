@@ -1,0 +1,231 @@
+package timeseries
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+var propT0 = time.Date(2020, 6, 1, 0, 0, 0, 0, time.UTC)
+
+// TestStitchRecoversGlobalSeries is the reconstruction property at the
+// heart of §3.2: take one global series, cut it into overlapping frames,
+// renormalize each frame independently (an arbitrary positive scale, as
+// Google Trends does per request), and the stitch must recover the global
+// shape — exactly, up to float error, because every overlap carries
+// signal.
+func TestStitchRecoversGlobalSeries(t *testing.T) {
+	for trial := int64(0); trial < 25; trial++ {
+		rng := rand.New(rand.NewSource(trial))
+
+		hours := 168 + rng.Intn(600)
+		values := make([]float64, hours)
+		for i := range values {
+			// Strictly positive so no overlap is ever all-zero.
+			values[i] = 1 + 99*rng.Float64()
+		}
+		global := MustNew(propT0, values)
+
+		frameLen := 48 + rng.Intn(121)
+		if frameLen > hours {
+			frameLen = hours
+		}
+		overlap := 1 + rng.Intn(frameLen-1)
+		specs, err := Partition(propT0, propT0.Add(time.Duration(hours)*Step), frameLen, overlap)
+		if err != nil {
+			t.Fatalf("trial %d: partition: %v", trial, err)
+		}
+
+		frames := make([]*Series, len(specs))
+		for i, spec := range specs {
+			cut, err := global.Slice(spec.Start, spec.Start.Add(time.Duration(spec.Hours)*Step))
+			if err != nil {
+				t.Fatalf("trial %d: slicing frame %d: %v", trial, i, err)
+			}
+			frames[i] = cut.Scale(0.05 + 10*rng.Float64())
+		}
+
+		for _, est := range []RatioEstimator{RatioOfMeans, MeanOfRatios, MedianOfRatios} {
+			got, err := StitchAll(frames, est)
+			if err != nil {
+				t.Fatalf("trial %d (%v): stitch: %v", trial, est, err)
+			}
+			want := global.Renormalize()
+			if got.Len() != want.Len() {
+				t.Fatalf("trial %d (%v): reconstructed %d hours, want %d", trial, est, got.Len(), want.Len())
+			}
+			for i := 0; i < want.Len(); i++ {
+				g, w := got.AtIndex(i), want.AtIndex(i)
+				if math.Abs(g-w) > 1e-6*math.Max(1, w) {
+					t.Fatalf("trial %d (%v): hour %d: reconstructed %.9f, want %.9f", trial, est, i, g, w)
+				}
+			}
+		}
+	}
+}
+
+// TestConsensusAverageMatchesDirectAverage: with quorum 1 the consensus
+// average must equal the plain mean, and any quorum must never raise a
+// value above it.
+func TestConsensusAverageProperties(t *testing.T) {
+	for trial := int64(0); trial < 10; trial++ {
+		rng := rand.New(rand.NewSource(100 + trial))
+		n := 24 + rng.Intn(168)
+		k := 2 + rng.Intn(6)
+		series := make([]*Series, k)
+		for j := range series {
+			vals := make([]float64, n)
+			for i := range vals {
+				if rng.Float64() < 0.3 {
+					vals[i] = 0 // privacy-threshold zeros
+				} else {
+					vals[i] = 100 * rng.Float64()
+				}
+			}
+			series[j] = MustNew(propT0, vals)
+		}
+		plain, err := Average(series)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q1, err := ConsensusAverage(series, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		strict, err := ConsensusAverage(series, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			if q1.AtIndex(i) != plain.AtIndex(i) {
+				t.Fatalf("trial %d: quorum 1 diverged from plain mean at %d", trial, i)
+			}
+			if s := strict.AtIndex(i); s != 0 && s != plain.AtIndex(i) {
+				t.Fatalf("trial %d: strict quorum invented value %v at %d", trial, s, i)
+			}
+		}
+	}
+}
+
+func TestStitchZeroOverlapErrors(t *testing.T) {
+	prev := MustNew(propT0, []float64{1, 2, 3})
+	adjacent := MustNew(propT0.Add(3*Step), []float64{4, 5})
+	if _, err := Stitch(prev, adjacent, RatioOfMeans); err == nil {
+		t.Error("adjacent (zero-overlap) frames must not stitch")
+	}
+	gap := MustNew(propT0.Add(10*Step), []float64{4, 5})
+	if _, err := Stitch(prev, gap, RatioOfMeans); err == nil {
+		t.Error("disjoint frames must not stitch")
+	}
+	early := MustNew(propT0.Add(-2*Step), []float64{4, 5})
+	if _, err := Stitch(prev, early, RatioOfMeans); err == nil {
+		t.Error("out-of-order frames must not stitch")
+	}
+}
+
+// TestStitchAllZeroOverlap pins the gap-degradation fallback: when the
+// shared window carries no signal (a zero-filled gap frame on either
+// side), the ratio falls back to 1 and the stitch trusts the new frame's
+// own scale instead of dividing by zero or erroring out.
+func TestStitchAllZeroOverlap(t *testing.T) {
+	for _, est := range []RatioEstimator{RatioOfMeans, MeanOfRatios, MedianOfRatios} {
+		prev := MustNew(propT0, []float64{5, 5, 0, 0})
+		next := MustNew(propT0.Add(2*Step), []float64{7, 9, 11})
+		ratio, err := OverlapRatio(prev, next, est)
+		if err != nil {
+			t.Fatalf("%v: %v", est, err)
+		}
+		if ratio != 1 {
+			t.Errorf("%v: all-zero overlap ratio = %v, want fallback 1", est, ratio)
+		}
+		out, err := Stitch(prev, next, est)
+		if err != nil {
+			t.Fatalf("%v: stitch through zero overlap: %v", est, err)
+		}
+		// Stitch keeps prev over the shared hours and appends next's
+		// suffix at the fallback ratio of 1.
+		want := []float64{5, 5, 0, 0, 11}
+		for i, w := range want {
+			if out.AtIndex(i) != w {
+				t.Errorf("%v: value %d = %v, want %v", est, i, out.AtIndex(i), w)
+			}
+		}
+	}
+
+	// The fully-degraded case: every frame zero (an all-gap crawl) must
+	// stitch and renormalize without error into an all-zero series.
+	zeroFrames := []*Series{
+		MustNew(propT0, make([]float64, 48)),
+		MustNew(propT0.Add(24*Step), make([]float64, 48)),
+	}
+	out, err := StitchAll(zeroFrames, RatioOfMeans)
+	if err != nil {
+		t.Fatalf("all-zero stitch: %v", err)
+	}
+	for i := 0; i < out.Len(); i++ {
+		if out.AtIndex(i) != 0 {
+			t.Fatalf("all-zero stitch produced %v at %d", out.AtIndex(i), i)
+		}
+	}
+}
+
+func TestStitchEmptyPrev(t *testing.T) {
+	empty := &Series{}
+	next := MustNew(propT0, []float64{1, 2})
+	out, err := Stitch(empty, next, RatioOfMeans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 2 || out.AtIndex(0) != 1 {
+		t.Errorf("empty-prev stitch = %v", out.Values())
+	}
+}
+
+// FuzzStitch drives Stitch with fuzzer-chosen shapes, offsets, and value
+// patterns: whatever the inputs, it must never panic, and a successful
+// stitch must produce a series of the right span with finite values.
+func FuzzStitch(f *testing.F) {
+	f.Add(int64(1), uint8(48), uint8(48), uint8(24), false)
+	f.Add(int64(2), uint8(10), uint8(3), uint8(9), true)
+	f.Add(int64(3), uint8(1), uint8(1), uint8(0), false)
+	f.Add(int64(4), uint8(200), uint8(200), uint8(199), true)
+	f.Fuzz(func(t *testing.T, seed int64, prevLen, nextLen, offset uint8, zeroOverlap bool) {
+		if prevLen == 0 || nextLen == 0 {
+			t.Skip()
+		}
+		rng := rand.New(rand.NewSource(seed))
+		mk := func(start time.Time, n int) *Series {
+			vals := make([]float64, n)
+			for i := range vals {
+				if !zeroOverlap {
+					vals[i] = 100 * rng.Float64()
+				}
+			}
+			return MustNew(start, vals)
+		}
+		prev := mk(propT0, int(prevLen))
+		next := mk(propT0.Add(time.Duration(offset)*Step), int(nextLen))
+
+		out, err := Stitch(prev, next, RatioEstimator(seed%3))
+		if err != nil {
+			// Errors are legal (no overlap, inverted order) — panics are not.
+			return
+		}
+		wantLen := int(prevLen)
+		if end := int(offset) + int(nextLen); end > wantLen {
+			wantLen = end
+		}
+		if out.Len() != wantLen {
+			t.Fatalf("stitched length %d, want %d (prev %d, next %d @+%d)", out.Len(), wantLen, prevLen, nextLen, offset)
+		}
+		if !out.Start().Equal(prev.Start()) {
+			t.Fatalf("stitched start %v, want %v", out.Start(), prev.Start())
+		}
+		for i := 0; i < out.Len(); i++ {
+			if v := out.AtIndex(i); math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				t.Fatalf("non-finite or negative value %v at %d", v, i)
+			}
+		}
+	})
+}
