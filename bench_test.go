@@ -422,3 +422,87 @@ func BenchmarkAblationPrivacyThreshold(b *testing.B) {
 		})
 	}
 }
+
+// ---- engine cache benches ----
+
+// stormFetcher returns a fresh engine fetcher over the seed storm
+// scenario of BenchmarkPipelineStateMonth.
+func stormFetcher(seed int64) gtrends.Fetcher {
+	storm := &simworld.Event{
+		ID: "storm", Name: "Winter storm", Kind: simworld.KindPower,
+		Cause: simworld.CauseWinterStorm,
+		Start: time.Date(2021, 2, 15, 8, 0, 0, 0, time.UTC), Duration: 45 * time.Hour,
+		Impacts: []simworld.Impact{{State: "TX", Intensity: 2000}},
+	}
+	model := searchmodel.New(seed, simworld.NewTimeline([]*simworld.Event{storm}), searchmodel.Params{})
+	return gtrends.EngineFetcher{Engine: gtrends.NewEngine(model, gtrends.Config{})}
+}
+
+// runCachedStateMonth is one fixed-round crawl of the storm month through
+// the given cache.
+func runCachedStateMonth(b *testing.B, fetcher gtrends.Fetcher, cache *FrameCache) *core.Result {
+	b.Helper()
+	from := time.Date(2021, 2, 1, 0, 0, 0, 0, time.UTC)
+	to := time.Date(2021, 3, 1, 0, 0, 0, 0, time.UTC)
+	p := &core.Pipeline{Fetcher: fetcher, Cfg: core.PipelineConfig{
+		Cache: cache, MinRounds: 2, MaxRounds: 2,
+	}}
+	res, err := p.Run(context.Background(), "TX", gtrends.TopicInternetOutage, from, to)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// BenchmarkPipelineStateMonthColdCache crawls the storm month with an
+// empty cache every iteration — every frame is sampled by the engine.
+func BenchmarkPipelineStateMonthColdCache(b *testing.B) {
+	fetcher := stormFetcher(1)
+	b.ResetTimer()
+	var res *core.Result
+	for i := 0; i < b.N; i++ {
+		res = runCachedStateMonth(b, fetcher, NewFrameCache(0))
+	}
+	b.ReportMetric(float64(res.CacheMisses), "misses_per_run")
+}
+
+// BenchmarkPipelineStateMonthWarmCache crawls the same month through a
+// cache populated once before timing — every frame is a hit, so the
+// measured work is merge + stitch + detect only. The cold/warm ratio is
+// the fetch stage's share of the pipeline.
+func BenchmarkPipelineStateMonthWarmCache(b *testing.B) {
+	fetcher := stormFetcher(1)
+	cache := NewFrameCache(0)
+	runCachedStateMonth(b, fetcher, cache) // populate
+	b.ResetTimer()
+	var res *core.Result
+	for i := 0; i < b.N; i++ {
+		res = runCachedStateMonth(b, fetcher, cache)
+	}
+	b.ReportMetric(float64(res.CacheHits), "hits_per_run")
+}
+
+// BenchmarkStudyThroughput measures end-to-end study throughput on a
+// small fixed scenario, in frames fetched per second of wall clock.
+func BenchmarkStudyThroughput(b *testing.B) {
+	start := time.Date(2021, 1, 4, 0, 0, 0, 0, time.UTC)
+	end := start.Add(8 * 7 * 24 * time.Hour)
+	var frames uint64
+	var elapsed time.Duration
+	for i := 0; i < b.N; i++ {
+		study, err := experiments.RunStudy(context.Background(), experiments.StudyConfig{
+			Seed: 1, Start: start, End: end,
+			States:         []State{"TX", "OK", "LA", "NM"},
+			Scenario:       &scenario.Config{Seed: 1, Start: start, End: end},
+			SkipAnnotation: true, SkipAnt: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		frames = study.TotalFrames()
+		elapsed += study.Elapsed
+	}
+	if elapsed > 0 {
+		b.ReportMetric(float64(frames)*float64(b.N)/elapsed.Seconds()/float64(b.N), "frames_per_sec")
+	}
+}

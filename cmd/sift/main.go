@@ -23,12 +23,14 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"sift/internal/core"
+	"sift/internal/engine"
 	"sift/internal/geo"
 	"sift/internal/gtclient"
 	"sift/internal/gtrends"
@@ -127,8 +129,13 @@ func cmdDetect(args []string) error {
 	term := fs.String("term", gtrends.TopicInternetOutage, "search term")
 	minDur := fs.Int("min-duration", 1, "only print spikes of at least this many hours")
 	dbPath := fs.String("db", "", "record crawled frames, the series, and spikes into this JSON store")
+	cacheSize := fs.Int("cache-size", 0, "frame-cache capacity in frames (0 disables caching)")
+	incremental := fs.Bool("incremental", false, "with -db: prime the frame cache from the existing store and refetch only missing windows")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *incremental && *dbPath == "" {
+		return fmt.Errorf("-incremental needs -db")
 	}
 	if !geo.Valid(geo.State(*state)) {
 		return fmt.Errorf("unknown state %q", *state)
@@ -143,18 +150,36 @@ func cmdDetect(args []string) error {
 	}
 
 	p := &core.Pipeline{Fetcher: fetcher}
+	if *cacheSize > 0 || *incremental {
+		p.Cfg.Cache = engine.NewFrameCache(*cacheSize)
+	}
 	var db *store.DB
+	var wb *store.WriteBehind
 	if *dbPath != "" {
 		db = store.New()
-		p.Cfg.OnFrame = db.AddFrame
+		if *incremental {
+			if prev, err := store.Load(*dbPath); err == nil {
+				db = prev
+				db.EachFrame(p.Cfg.Cache.Prime)
+				p.Cfg.Memo = core.NewStitchMemo()
+			} else if !errors.Is(err, os.ErrNotExist) {
+				// A corrupt or unreadable store is worth a warning, but an
+				// absent one just means this is the first crawl.
+				fmt.Fprintf(os.Stderr, "sift: ignoring existing store: %v\n", err)
+			}
+		}
+		wb = store.NewWriteBehind(db, 0)
+		p.Cfg.OnFrame = wb.AddFrame
 	}
 	res, err := p.Run(context.Background(), geo.State(*state), *term, from, to)
 	if err != nil {
 		return err
 	}
 	if db != nil {
-		db.PutSeries(*term, geo.State(*state), res.Series)
-		db.PutSpikes(*term, geo.State(*state), res.Spikes)
+		wb.PutSeries(*term, geo.State(*state), res.Series)
+		wb.PutSpikes(*term, geo.State(*state), res.Spikes)
+		wb.PutHealth(*term, geo.State(*state), res.Health())
+		wb.Close()
 		if err := db.Save(*dbPath); err != nil {
 			return err
 		}
@@ -163,6 +188,10 @@ func cmdDetect(args []string) error {
 	fmt.Printf("%s %q [%s, %s): %d spikes, %d frames, %d rounds (converged=%v)\n",
 		*state, *term, from.Format("2006-01-02"), to.Format("2006-01-02"),
 		len(res.Spikes), res.Frames, res.Rounds, res.Converged)
+	if p.Cfg.Cache != nil {
+		fmt.Printf("cache: %d hits, %d misses, %d reused stitch hours\n",
+			res.CacheHits, res.CacheMisses, res.ReusedStitchHours)
+	}
 	for _, sp := range res.Spikes {
 		if int(sp.Duration().Hours()) < *minDur {
 			continue

@@ -22,6 +22,7 @@ func cmdStudy(args []string) error {
 	to := fs.String("to", "2022-01-01", "range end (YYYY-MM-DD)")
 	out := fs.String("out", "", "write the spike database as JSON to this path")
 	workers := fs.Int("workers", 8, "concurrent states")
+	cacheSize := fs.Int("cache-size", 0, "shared frame-cache capacity in frames (0 disables caching)")
 	faultSpec := fs.String("faults", "off", `fault injection: "off", "default", or a JSON plan path`)
 	tolerance := fs.Int("fault-tolerance", 0, "permanent frame failures tolerated per round (0 aborts on the first)")
 	if err := fs.Parse(args); err != nil {
@@ -60,11 +61,17 @@ func cmdStudy(args []string) error {
 		Start:        start.UTC(),
 		End:          end.UTC(),
 		StateWorkers: *workers,
+		CacheSize:    *cacheSize,
 		Faults:       plan,
 		Pipeline:     core.PipelineConfig{FrameTolerance: *tolerance},
 	})
 	if err != nil {
 		return err
+	}
+	if *cacheSize > 0 {
+		cs := study.CacheStats()
+		fmt.Printf("frame cache: %d hits, %d misses, %d coalesced, %d evictions\n",
+			cs.Hits, cs.Misses, cs.Coalesced, cs.Evictions)
 	}
 
 	head := experiments.Headline(study)

@@ -19,6 +19,8 @@
 //	-quiet       disable request logging
 //	-faults      chaos plan: "off", "default", or a JSON plan file path
 //	-fault-seed  fault-plan seed (default: the world seed)
+//	-record      record every served frame into this JSON store
+//	-record-every  how often the record store is persisted (default 1m)
 package main
 
 import (
@@ -34,6 +36,7 @@ import (
 	"sift/internal/gtserver"
 	"sift/internal/scenario"
 	"sift/internal/searchmodel"
+	"sift/internal/store"
 )
 
 func main() {
@@ -45,11 +48,13 @@ func main() {
 		rate      = flag.Float64("rate", 25, "per-client requests per second")
 		burst     = flag.Int("burst", 50, "per-client burst")
 		quiet     = flag.Bool("quiet", false, "disable request logging")
-		faultSpec = flag.String("faults", "off", `chaos plan: "off", "default", or a JSON plan file`)
-		faultSeed = flag.Int64("fault-seed", 0, "fault-plan seed (default: world seed)")
+		faultSpec   = flag.String("faults", "off", `chaos plan: "off", "default", or a JSON plan file`)
+		faultSeed   = flag.Int64("fault-seed", 0, "fault-plan seed (default: world seed)")
+		record      = flag.String("record", "", "record every served frame into this JSON store")
+		recordEvery = flag.Duration("record-every", time.Minute, "how often the record store is persisted")
 	)
 	flag.Parse()
-	if err := run(*addr, *seed, *start, *end, *rate, *burst, *quiet, *faultSpec, *faultSeed); err != nil {
+	if err := run(*addr, *seed, *start, *end, *rate, *burst, *quiet, *faultSpec, *faultSeed, *record, *recordEvery); err != nil {
 		fmt.Fprintln(os.Stderr, "siftd:", err)
 		os.Exit(1)
 	}
@@ -75,7 +80,7 @@ func faultInjector(spec string, seed int64) (*faults.Injector, error) {
 	}
 }
 
-func run(addr string, seed int64, start, end string, rate float64, burst int, quiet bool, faultSpec string, faultSeed int64) error {
+func run(addr string, seed int64, start, end string, rate float64, burst int, quiet bool, faultSpec string, faultSeed int64, record string, recordEvery time.Duration) error {
 	from, err := time.Parse("2006-01-02", start)
 	if err != nil {
 		return fmt.Errorf("bad -start: %v", err)
@@ -111,12 +116,34 @@ func run(addr string, seed int64, start, end string, rate float64, burst int, qu
 	if injector != nil {
 		log.Printf("chaos enabled: %d fault rules, seed=%d", len(injector.Plan().Rules), injector.Plan().Seed)
 	}
-	srv := gtserver.New(engine, gtserver.Config{
+	scfg := gtserver.Config{
 		RatePerSec: rate,
 		Burst:      burst,
 		Logger:     logger,
 		Faults:     injector,
-	})
+	}
+	if record != "" {
+		db := store.New()
+		wb := store.NewWriteBehind(db, 0)
+		defer wb.Close()
+		// The server has no notion of averaging rounds; recorded frames
+		// all carry round 0 — an audit trail of what was served, not a
+		// cache-primable crawl (the client records those itself).
+		scfg.OnFrame = func(f *gtrends.Frame) { wb.AddFrame(0, f) }
+		if recordEvery <= 0 {
+			recordEvery = time.Minute
+		}
+		go func() {
+			for range time.Tick(recordEvery) {
+				wb.Flush()
+				if err := db.Save(record); err != nil {
+					log.Printf("record: %v", err)
+				}
+			}
+		}()
+		log.Printf("recording served frames to %s every %v", record, recordEvery)
+	}
+	srv := gtserver.New(engine, scfg)
 
 	log.Printf("serving simulated Google Trends on http://%s (rate=%g/s burst=%d per client)", addr, rate, burst)
 	httpSrv := &http.Server{

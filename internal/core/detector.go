@@ -8,6 +8,13 @@ import (
 	"sift/internal/timeseries"
 )
 
+// SpikeDetector is the detection stage seam: it extracts the spikes of a
+// reconstructed series. Detector is the default implementation; tests
+// and future streaming detectors provide their own.
+type SpikeDetector interface {
+	Detect(series *timeseries.Series, state geo.State, term string) []Spike
+}
+
 // Detector extracts spikes from a reconstructed series using the paper's
 // topographic-prominence walk (§3.3):
 //
@@ -57,6 +64,10 @@ func (d Detector) Detect(series *timeseries.Series, state geo.State, term string
 
 	var spikes []Spike
 	for {
+		// Equal-height peaks tie-break to the earliest unclaimed block
+		// (strictly-greater comparison on a forward scan), so detection
+		// order — and therefore claiming and rank assignment — is
+		// deterministic regardless of how the maxima are distributed.
 		peak := -1
 		best := 0.0
 		for i, x := range v {

@@ -270,3 +270,33 @@ func TestSpikeHelpers(t *testing.T) {
 		t.Error("String should render")
 	}
 }
+
+// TestDetectEqualPeaksDeterministic pins the tie-break rule: when two
+// separated islands share the exact maximum height, the earliest one is
+// claimed (and ranked) first, every time. A later-first tie-break would
+// reshuffle ranks between runs and destabilize convergence.
+func TestDetectEqualPeaksDeterministic(t *testing.T) {
+	//               0  1   2  3  4  5   6  7
+	vals := []float64{0, 50, 20, 0, 0, 50, 20, 0}
+	var first []Spike
+	for run := 0; run < 10; run++ {
+		spikes := detect(vals...)
+		if len(spikes) != 2 {
+			t.Fatalf("run %d: got %d spikes, want 2", run, len(spikes))
+		}
+		if !spikes[0].Peak.Equal(hoursAfter(1)) || !spikes[1].Peak.Equal(hoursAfter(5)) {
+			t.Fatalf("run %d: peaks %v / %v, want +1h / +5h", run, spikes[0].Peak, spikes[1].Peak)
+		}
+		// Equal magnitudes: the earliest spike must take rank 1.
+		if spikes[0].Rank != 1 || spikes[1].Rank != 2 {
+			t.Fatalf("run %d: ranks %d / %d, want 1 / 2", run, spikes[0].Rank, spikes[1].Rank)
+		}
+		if first == nil {
+			first = spikes
+			continue
+		}
+		if !SpikeSetsEqual(first, spikes, 0) {
+			t.Fatalf("run %d: spike set drifted on identical input", run)
+		}
+	}
+}

@@ -33,6 +33,10 @@ type CrawlHealth struct {
 	Gaps []Gap `json:"gaps,omitempty"`
 	// Converged reports whether the spike set stabilized before MaxRounds.
 	Converged bool `json:"converged"`
+	// CacheHits and CacheMisses count frame-cache outcomes for the run;
+	// both zero when the crawl ran uncached.
+	CacheHits   int `json:"cache_hits,omitempty"`
+	CacheMisses int `json:"cache_misses,omitempty"`
 }
 
 // Health extracts the crawl-health record from a pipeline result.
@@ -45,5 +49,7 @@ func (r *Result) Health() CrawlHealth {
 		FailedFetches: r.FailedFetches,
 		Gaps:          gaps,
 		Converged:     r.Converged,
+		CacheHits:     r.CacheHits,
+		CacheMisses:   r.CacheMisses,
 	}
 }

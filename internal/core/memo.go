@@ -1,0 +1,94 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"sift/internal/geo"
+	"sift/internal/timeseries"
+)
+
+// StitchMemo memoizes, per (term, state, round), the frame plan and the
+// raw (un-renormalized) stitched accumulation of a pipeline run. A later
+// run over the same or an extended range reuses the longest leading span
+// of specs that is (a) identical to the memoized plan and (b) entirely
+// served from the frame cache this run — its averaged frames are then
+// byte-identical to the memoized fold, so the saved series sliced to that
+// span IS the fold over it (StitchFrom only ever appends), and only the
+// suffix is restitched. Detection still runs over the full series: the
+// suffix can move the global maximum, which renormalization propagates
+// everywhere.
+//
+// Safe for concurrent use across states; entries for different states
+// never interact.
+type StitchMemo struct {
+	mu      sync.Mutex
+	entries map[memoKey]*memoEntry
+}
+
+type memoKey struct {
+	term  string
+	state geo.State
+	round int
+}
+
+type memoEntry struct {
+	specs []timeseries.FrameSpec
+	raw   *timeseries.Series
+}
+
+// NewStitchMemo returns an empty memo.
+func NewStitchMemo() *StitchMemo {
+	return &StitchMemo{entries: make(map[memoKey]*memoEntry)}
+}
+
+// Prefix returns the longest reusable raw stitched prefix for this round
+// — the fold over specs[0:n) — and n, the number of specs it covers.
+// stale[i] must be true for every spec whose accumulation this run is
+// not known to equal the memoized one (cache misses, failures, gaps).
+// Returns (nil, 0) when nothing is reusable.
+func (m *StitchMemo) Prefix(term string, state geo.State, round int, specs []timeseries.FrameSpec, stale []bool) (*timeseries.Series, int) {
+	m.mu.Lock()
+	e := m.entries[memoKey{term: term, state: state, round: round}]
+	m.mu.Unlock()
+	if e == nil || e.raw == nil {
+		return nil, 0
+	}
+	n := 0
+	for n < len(specs) && n < len(e.specs) && !stale[n] &&
+		specs[n].Hours == e.specs[n].Hours && specs[n].Start.Equal(e.specs[n].Start) {
+		n++
+	}
+	if n == 0 {
+		return nil, 0
+	}
+	// The reusable span ends where spec n-1's window does; slicing the
+	// saved accumulation to it yields exactly the fold over specs[0:n).
+	end := specs[n-1].Start.Add(time.Duration(specs[n-1].Hours) * timeseries.Step)
+	if end.After(e.raw.End()) {
+		return nil, 0
+	}
+	prefix, err := e.raw.Slice(e.raw.Start(), end)
+	if err != nil {
+		return nil, 0
+	}
+	return prefix, n
+}
+
+// Update memoizes this round's plan and raw stitched accumulation. raw
+// must not be mutated after the call; the pipeline's stitcher returns a
+// fresh series each round, so storing the pointer is safe.
+func (m *StitchMemo) Update(term string, state geo.State, round int, specs []timeseries.FrameSpec, raw *timeseries.Series) {
+	cp := make([]timeseries.FrameSpec, len(specs))
+	copy(cp, specs)
+	m.mu.Lock()
+	m.entries[memoKey{term: term, state: state, round: round}] = &memoEntry{specs: cp, raw: raw}
+	m.mu.Unlock()
+}
+
+// Len returns the number of memoized (term, state, round) entries.
+func (m *StitchMemo) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.entries)
+}

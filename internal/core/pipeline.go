@@ -7,10 +7,15 @@ import (
 	"sync"
 	"time"
 
+	"sift/internal/engine"
 	"sift/internal/geo"
 	"sift/internal/gtrends"
 	"sift/internal/timeseries"
 )
+
+// DefaultWorkers is the fetch pool size a pipeline uses when
+// PipelineConfig.Workers is zero.
+const DefaultWorkers = 8
 
 // PipelineConfig tunes the SIFT processing pipeline. Zero fields take the
 // documented defaults.
@@ -21,7 +26,8 @@ type PipelineConfig struct {
 	// OverlapHours is how much consecutive frames overlap; the overlap
 	// is what lets stitching recover the inter-frame scale. Default 24.
 	OverlapHours int
-	// Workers bounds concurrent frame fetches. Default 8.
+	// Workers bounds concurrent frame fetches when no shared Scheduler
+	// is configured. Default DefaultWorkers.
 	Workers int
 	// MaxRounds caps the re-fetch averaging iterations. Default 12.
 	MaxRounds int
@@ -38,14 +44,18 @@ type PipelineConfig struct {
 	ConvergenceSim float64
 	// Estimator selects the stitch-ratio estimator. Default ratio-of-means.
 	Estimator timeseries.RatioEstimator
-	// Detector extracts spikes from the reconstructed series.
-	Detector Detector
+	// Detector extracts spikes from the reconstructed series; nil takes
+	// the default topographic-prominence Detector.
+	Detector SpikeDetector
 	// WithRising requests rising terms along with every weekly frame.
 	// Costly on long studies; the annotation stage fetches targeted daily
 	// frames instead.
 	WithRising bool
-	// OnFrame, when set, observes every fetched frame (for persistence).
-	// Called from fetch workers; must be safe for concurrent use.
+	// OnFrame, when set, observes every frame newly obtained from the
+	// source (for persistence). Frames served from a shared cache were
+	// observed when first fetched and are not re-announced, so recording
+	// an incremental crawl never duplicates store entries. Called from
+	// fetch workers; must be safe for concurrent use.
 	OnFrame func(round int, f *gtrends.Frame)
 	// FetchRetries is how many extra times a frame fetch is retried within
 	// a round when the fetcher reports a transient failure or the response
@@ -57,6 +67,33 @@ type PipelineConfig struct {
 	// are recorded as Result.Gaps. Default 0: any permanent failure aborts
 	// the run, the strict pre-chaos behaviour.
 	FrameTolerance int
+
+	// ---- stage seams (nil fields take the historical default) ----
+
+	// Planner emits the frame specs covering the study range.
+	Planner engine.Planner
+	// Source executes cache-missing fetches; default wraps Fetcher in
+	// the retrying/validating path.
+	Source engine.FrameSource
+	// Merger reduces a window's fetches across rounds; default is the
+	// quorum consensus average.
+	Merger engine.Merger
+	// Stitcher folds averaged frames into the raw continuous series;
+	// default is the overlap-ratio fold.
+	Stitcher engine.Stitcher
+
+	// Cache, when set, is the shared frame cache consulted before the
+	// Source: overlapping studies and repeated runs never refetch the
+	// same (term, state, window, round) coordinate. Nil disables caching
+	// (the historical behaviour).
+	Cache *engine.FrameCache
+	// Scheduler, when set, bounds fetch concurrency globally across every
+	// pipeline sharing it; nil gives this run a private pool of Workers.
+	Scheduler *engine.Scheduler
+	// Memo, when set, memoizes raw stitched prefixes per (term, state,
+	// round) so a rerun whose leading windows are unchanged (all cache
+	// hits) restitches only the affected suffix.
+	Memo *StitchMemo
 }
 
 func (c *PipelineConfig) fillDefaults() {
@@ -67,7 +104,7 @@ func (c *PipelineConfig) fillDefaults() {
 		c.OverlapHours = 24
 	}
 	if c.Workers == 0 {
-		c.Workers = 8
+		c.Workers = DefaultWorkers
 	}
 	if c.MaxRounds == 0 {
 		c.MaxRounds = 12
@@ -87,13 +124,29 @@ func (c *PipelineConfig) fillDefaults() {
 	if c.FetchRetries < 0 {
 		c.FetchRetries = 0
 	}
+	if c.Detector == nil {
+		c.Detector = Detector{}
+	}
+	if c.Planner == nil {
+		c.Planner = engine.OverlapPlanner{FrameHours: c.FrameHours, OverlapHours: c.OverlapHours}
+	}
+	if c.Merger == nil {
+		c.Merger = engine.ConsensusMerger{}
+	}
+	if c.Stitcher == nil {
+		c.Stitcher = engine.OverlapStitcher{Estimator: c.Estimator}
+	}
 }
 
-// Pipeline runs SIFT's processing for one state and term: partition the
-// range into overlapping weekly frames, fetch every frame, average
-// repeated fetches position by position, stitch the averaged frames into
-// one continuous renormalized series, detect spikes, and iterate
-// re-fetch rounds until the detected spike set converges (§3.2–3.3).
+// Pipeline runs SIFT's processing for one state and term as a staged
+// engine (§3.2–3.3): a Planner partitions the range into overlapping
+// weekly frames, a fetch stage executes the plan through the (optional)
+// shared frame cache and a bounded scheduler, a Merger averages repeated
+// fetches position by position, a Stitcher folds the averaged frames into
+// one continuous renormalized series, and a Detector extracts spikes —
+// iterating re-fetch rounds until the detected spike set converges. The
+// zero-value stages reproduce the historical monolithic behaviour
+// exactly.
 type Pipeline struct {
 	Fetcher gtrends.Fetcher
 	Cfg     PipelineConfig
@@ -112,8 +165,8 @@ type Result struct {
 	// Converged reports whether the spike set stabilized before
 	// MaxRounds.
 	Converged bool
-	// Frames is the total number of frames fetched successfully across
-	// all rounds.
+	// Frames is the total number of frames used successfully across
+	// all rounds (fetched or served from the cache).
 	Frames int
 	// FailedFetches counts frame fetches that failed permanently (after
 	// retries) across rounds; nonzero only when FrameTolerance admits
@@ -122,29 +175,46 @@ type Result struct {
 	// Gaps are the frame windows no round managed to fetch; the series
 	// holds zeros there. Empty on a healthy crawl.
 	Gaps []Gap
+	// CacheHits and CacheMisses count this run's frame-cache outcomes;
+	// both zero when no cache is configured. Hits are frames reused
+	// without a fetcher call.
+	CacheHits   int
+	CacheMisses int
+	// ReusedStitchHours accumulates, across rounds, the hours of raw
+	// stitched prefix reused from the memo instead of restitched.
+	ReusedStitchHours int
 }
 
 // Run executes the pipeline over [from, to).
 func (p *Pipeline) Run(ctx context.Context, state geo.State, term string, from, to time.Time) (*Result, error) {
 	cfg := p.Cfg
 	cfg.fillDefaults()
-	if p.Fetcher == nil {
-		return nil, errors.New("core: pipeline needs a Fetcher")
+	if cfg.Source == nil {
+		if p.Fetcher == nil {
+			return nil, errors.New("core: pipeline needs a Fetcher or a Source stage")
+		}
+		cfg.Source = engine.RetryingSource{Fetcher: p.Fetcher, Retries: cfg.FetchRetries}
 	}
-	specs, err := timeseries.Partition(from, to, cfg.FrameHours, cfg.OverlapHours)
+	specs, err := cfg.Planner.Plan(from, to)
 	if err != nil {
-		return nil, fmt.Errorf("core: partitioning study range: %w", err)
+		return nil, fmt.Errorf("core: planning study range: %w", err)
 	}
+	sched := cfg.Scheduler
 
 	res := &Result{State: state, Term: term}
 	// accum[i] collects each spec's frames across rounds, as float series.
 	// A round that failed a spec permanently contributes nothing to it.
 	accum := make([][]*timeseries.Series, len(specs))
 	lastErr := make([]string, len(specs))
+	// stale[i] marks specs whose accumulation this run is not guaranteed
+	// to match a memoized prefix: any fetch that was not a cache hit, any
+	// failure, and any gap window. Only an all-hit prefix may reuse the
+	// memo's stitched series.
+	stale := make([]bool, len(specs))
 	var prev []Spike
 
 	for round := 1; round <= cfg.MaxRounds; round++ {
-		frames, failures, err := p.fetchRound(ctx, cfg, state, term, specs, round)
+		frames, failures, err := p.fetchRound(ctx, cfg, sched, state, term, specs, round, stale, res)
 		if err != nil {
 			return nil, err
 		}
@@ -173,26 +243,34 @@ func (p *Pipeline) Run(ctx context.Context, state geo.State, term string, from, 
 					return nil, fmt.Errorf("core: gap frame %d: %w", i, err)
 				}
 				averaged[i] = zero
+				stale[i] = true
 				res.Gaps = append(res.Gaps, Gap{Start: specs[i].Start, Hours: specs[i].Hours, LastErr: lastErr[i]})
 				continue
 			}
-			// Presence quorum: 60% of this spec's fetched rounds, rounded
-			// up. The fraction approaches 0.6 from above as rounds
-			// accumulate, so positions stop flipping with round parity and
-			// the spike set can settle.
-			quorum := (3*len(accum[i]) + 4) / 5
-			avg, err := timeseries.ConsensusAverage(accum[i], quorum)
+			avg, err := cfg.Merger.Merge(specs[i], accum[i])
 			if err != nil {
 				return nil, fmt.Errorf("core: averaging frame %d: %w", i, err)
 			}
 			averaged[i] = avg
 		}
-		stitched, err := timeseries.StitchAll(averaged, cfg.Estimator)
+
+		var prefix *timeseries.Series
+		prefixSpecs := 0
+		if cfg.Memo != nil {
+			prefix, prefixSpecs = cfg.Memo.Prefix(term, state, round, specs, stale)
+		}
+		raw, err := cfg.Stitcher.Stitch(prefix, averaged[prefixSpecs:])
 		if err != nil {
 			return nil, fmt.Errorf("core: stitching: %w", err)
 		}
-		res.Series = stitched
-		res.Spikes = cfg.Detector.Detect(stitched, state, term)
+		if cfg.Memo != nil {
+			cfg.Memo.Update(term, state, round, specs, raw)
+			if prefix != nil {
+				res.ReusedStitchHours += prefix.Len()
+			}
+		}
+		res.Series = raw.Renormalize()
+		res.Spikes = cfg.Detector.Detect(res.Series, state, term)
 
 		if round >= cfg.MinRounds && SpikeSetsSimilarity(prev, res.Spikes, cfg.ConvergenceTol) >= cfg.ConvergenceSim {
 			res.Converged = true
@@ -209,20 +287,28 @@ type frameFailure struct {
 	err error
 }
 
-// fetchRound fetches every spec once, in order, over a bounded worker
-// pool. Frames that fail permanently stay nil and are reported as
-// failures; more than cfg.FrameTolerance of them aborts the round.
-func (p *Pipeline) fetchRound(ctx context.Context, cfg PipelineConfig, state geo.State, term string, specs []timeseries.FrameSpec, round int) ([]*gtrends.Frame, []frameFailure, error) {
+// fetchRound obtains every spec's frame for one round — from the shared
+// cache when possible, through the source stage otherwise — over a
+// bounded worker pool. Pool size is min(Workers, specs); when a shared
+// Scheduler is configured, every fetch additionally holds one of its
+// slots, bounding concurrency globally across all pipelines that share
+// it. Frames that fail permanently stay nil and are reported as failures;
+// more than cfg.FrameTolerance of them aborts the round.
+func (p *Pipeline) fetchRound(ctx context.Context, cfg PipelineConfig, sched *engine.Scheduler, state geo.State, term string, specs []timeseries.FrameSpec, round int, stale []bool, res *Result) ([]*gtrends.Frame, []frameFailure, error) {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
 	frames := make([]*gtrends.Frame, len(specs))
 	jobs := make(chan int)
 	errc := make(chan error, cfg.Workers)
-	var failMu sync.Mutex
+	var mu sync.Mutex
 	var failures []frameFailure
+	var hits, misses int
 	var wg sync.WaitGroup
 	workers := cfg.Workers
+	if sched != nil && sched.Workers() < workers {
+		workers = sched.Workers()
+	}
 	if workers > len(specs) {
 		workers = len(specs)
 	}
@@ -238,13 +324,24 @@ func (p *Pipeline) fetchRound(ctx context.Context, cfg PipelineConfig, state geo
 					Hours:      specs[i].Hours,
 					WithRising: cfg.WithRising,
 				}
-				f, err := p.fetchFrame(ctx, cfg, req)
+				if sched != nil {
+					if err := sched.Acquire(ctx); err != nil {
+						errc <- err
+						cancel()
+						return
+					}
+				}
+				f, hit, err := fetchOne(ctx, cfg, req, round)
+				if sched != nil {
+					sched.Release()
+				}
 				if err != nil {
 					wrapped := fmt.Errorf("core: fetching frame %s+%dh: %w", req.Start.Format(time.RFC3339), req.Hours, err)
-					failMu.Lock()
+					mu.Lock()
+					stale[i] = true
 					failures = append(failures, frameFailure{idx: i, err: wrapped})
 					over := len(failures) > cfg.FrameTolerance
-					failMu.Unlock()
+					mu.Unlock()
 					if over || ctx.Err() != nil {
 						errc <- wrapped
 						cancel()
@@ -252,7 +349,19 @@ func (p *Pipeline) fetchRound(ctx context.Context, cfg PipelineConfig, state geo
 					}
 					continue
 				}
-				if cfg.OnFrame != nil {
+				mu.Lock()
+				if cfg.Cache != nil {
+					if hit {
+						hits++
+					} else {
+						misses++
+						stale[i] = true
+					}
+				} else {
+					stale[i] = true
+				}
+				mu.Unlock()
+				if cfg.OnFrame != nil && !hit {
 					cfg.OnFrame(round, f)
 				}
 				frames[i] = f
@@ -269,6 +378,8 @@ feed:
 	}
 	close(jobs)
 	wg.Wait()
+	res.CacheHits += hits
+	res.CacheMisses += misses
 	select {
 	case err := <-errc:
 		return nil, nil, err
@@ -280,30 +391,17 @@ feed:
 	return frames, failures, nil
 }
 
-// fetchFrame performs one frame fetch with bounded in-round retries:
-// transient failures (rate-limit storms, 5xx, severed connections) and
-// responses that fail validation are re-fetched up to cfg.FetchRetries
-// times before the failure is declared permanent.
-func (p *Pipeline) fetchFrame(ctx context.Context, cfg PipelineConfig, req gtrends.FrameRequest) (*gtrends.Frame, error) {
-	var lastErr error
-	for attempt := 0; attempt <= cfg.FetchRetries; attempt++ {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		f, err := p.Fetcher.FetchFrame(ctx, req)
-		if err == nil {
-			if verr := gtrends.ValidateFrame(f, req); verr != nil {
-				lastErr = verr
-				continue
-			}
-			return f, nil
-		}
-		lastErr = err
-		if !gtrends.IsTransient(err) {
-			break
-		}
+// fetchOne resolves one frame: through the shared cache (singleflight
+// deduplicated) when configured, directly from the source stage
+// otherwise. hit reports a cache hit.
+func fetchOne(ctx context.Context, cfg PipelineConfig, req gtrends.FrameRequest, round int) (*gtrends.Frame, bool, error) {
+	if cfg.Cache == nil {
+		f, err := cfg.Source.FetchFrame(ctx, req, round)
+		return f, false, err
 	}
-	return nil, lastErr
+	return cfg.Cache.GetOrFetch(ctx, engine.KeyOf(req, round), func(ctx context.Context) (*gtrends.Frame, error) {
+		return cfg.Source.FetchFrame(ctx, req, round)
+	})
 }
 
 // frameSeries converts a Trends frame's integer index points into an

@@ -1,0 +1,230 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sift/internal/engine"
+	"sift/internal/gtrends"
+	"sift/internal/timeseries"
+)
+
+// countingFetcher counts the fetcher calls that actually reach the
+// underlying engine — cache hits never show up here.
+type countingFetcher struct {
+	inner gtrends.Fetcher
+	n     atomic.Int64
+}
+
+func (c *countingFetcher) FetchFrame(ctx context.Context, req gtrends.FrameRequest) (*gtrends.Frame, error) {
+	c.n.Add(1)
+	return c.inner.FetchFrame(ctx, req)
+}
+
+// recordingSource is a non-default FrameSource stage: it records every
+// request the fetch stage hands it before delegating.
+type recordingSource struct {
+	inner engine.FrameSource
+	mu    sync.Mutex
+	reqs  []gtrends.FrameRequest
+}
+
+func (r *recordingSource) FetchFrame(ctx context.Context, req gtrends.FrameRequest, round int) (*gtrends.Frame, error) {
+	r.mu.Lock()
+	r.reqs = append(r.reqs, req)
+	r.mu.Unlock()
+	return r.inner.FetchFrame(ctx, req, round)
+}
+
+// TestPipelineCustomSourceStage swaps the default retrying source for a
+// recording wrapper and checks the pipeline routes every fetch through
+// it.
+func TestPipelineCustomSourceStage(t *testing.T) {
+	rec := &recordingSource{inner: engine.RetryingSource{Fetcher: engineFetcher(3), Retries: 2}}
+	p := &Pipeline{Cfg: PipelineConfig{Source: rec, Workers: 1}}
+	res, err := p.Run(context.Background(), "TX", gtrends.TopicInternetOutage, t0, t0.Add(2*168*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.mu.Lock()
+	seen := len(rec.reqs)
+	rec.mu.Unlock()
+	if seen == 0 {
+		t.Fatal("custom source stage saw no requests")
+	}
+	if seen != res.Frames {
+		t.Errorf("source saw %d requests, result counts %d frames", seen, res.Frames)
+	}
+	for _, req := range rec.reqs {
+		if req.State != "TX" || req.Term != gtrends.TopicInternetOutage {
+			t.Fatalf("unexpected request %+v", req)
+		}
+	}
+}
+
+// failingPlanner proves the planner seam is honoured.
+type failingPlanner struct{}
+
+func (failingPlanner) Plan(from, to time.Time) ([]timeseries.FrameSpec, error) {
+	return nil, errors.New("planner stage refused")
+}
+
+func TestPipelineCustomPlannerStage(t *testing.T) {
+	p := &Pipeline{Fetcher: engineFetcher(3), Cfg: PipelineConfig{Planner: failingPlanner{}}}
+	_, err := p.Run(context.Background(), "TX", "t", t0, t0.Add(336*time.Hour))
+	if err == nil {
+		t.Fatal("expected planner error")
+	}
+	if got := err.Error(); got != "core: planning study range: planner stage refused" {
+		t.Errorf("err = %q", got)
+	}
+}
+
+// TestPipelineSharedCacheReuse reruns the same crawl against a shared
+// frame cache: the second run must not call the fetcher at all and must
+// reproduce the first run exactly.
+func TestPipelineSharedCacheReuse(t *testing.T) {
+	cf := &countingFetcher{inner: engineFetcher(11)}
+	cache := engine.NewFrameCache(0)
+	run := func() *Result {
+		p := &Pipeline{Fetcher: cf, Cfg: PipelineConfig{Workers: 1, Cache: cache}}
+		res, err := p.Run(context.Background(), "TX", gtrends.TopicInternetOutage, t0, t0.Add(2*168*time.Hour))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a := run()
+	afterFirst := cf.n.Load()
+	if a.CacheHits != 0 || a.CacheMisses == 0 {
+		t.Fatalf("cold run: hits=%d misses=%d, want 0 hits and some misses", a.CacheHits, a.CacheMisses)
+	}
+	if int64(a.CacheMisses) != afterFirst {
+		t.Errorf("cold run: %d misses but %d fetcher calls", a.CacheMisses, afterFirst)
+	}
+
+	b := run()
+	if got := cf.n.Load(); got != afterFirst {
+		t.Fatalf("warm run made %d fetcher calls, want 0", got-afterFirst)
+	}
+	if b.CacheHits == 0 || b.CacheMisses != 0 {
+		t.Fatalf("warm run: hits=%d misses=%d, want all hits", b.CacheHits, b.CacheMisses)
+	}
+	if a.Rounds != b.Rounds || len(a.Spikes) != len(b.Spikes) {
+		t.Fatalf("warm run diverged: rounds %d/%d, spikes %d/%d", a.Rounds, b.Rounds, len(a.Spikes), len(b.Spikes))
+	}
+	if !a.Series.Equal(b.Series) {
+		t.Error("warm run produced a different series")
+	}
+	for i := range a.Spikes {
+		if !a.Spikes[i].Peak.Equal(b.Spikes[i].Peak) {
+			t.Fatal("warm run moved a spike peak")
+		}
+	}
+	h := b.Health()
+	if h.CacheHits != b.CacheHits || h.CacheMisses != 0 {
+		t.Errorf("health does not carry cache stats: %+v", h)
+	}
+}
+
+// TestPipelineMemoMatchesFullRestitch checks the incremental stitch path
+// is invisible in the output: a fully cache-served rerun with the memo
+// produces the exact series a full restitch does, while reusing the
+// memoized prefix.
+func TestPipelineMemoMatchesFullRestitch(t *testing.T) {
+	cache := engine.NewFrameCache(0)
+	memo := NewStitchMemo()
+	fetcher := engineFetcher(13)
+	run := func(useMemo bool) *Result {
+		cfg := PipelineConfig{Workers: 1, Cache: cache}
+		if useMemo {
+			cfg.Memo = memo
+		}
+		p := &Pipeline{Fetcher: fetcher, Cfg: cfg}
+		res, err := p.Run(context.Background(), "TX", gtrends.TopicInternetOutage, t0, t0.Add(2*168*time.Hour))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	run(true) // cold: populates cache and memo
+	withMemo := run(true)
+	fullRestitch := run(false)
+	if withMemo.ReusedStitchHours == 0 {
+		t.Fatal("memoized rerun reused no stitched prefix")
+	}
+	if fullRestitch.ReusedStitchHours != 0 {
+		t.Fatal("memo-less run claims reused hours")
+	}
+	if !withMemo.Series.Equal(fullRestitch.Series) {
+		t.Error("incremental restitch changed the series")
+	}
+	if len(withMemo.Spikes) != len(fullRestitch.Spikes) {
+		t.Fatalf("incremental restitch changed spikes: %d vs %d", len(withMemo.Spikes), len(fullRestitch.Spikes))
+	}
+}
+
+// TestPipelineIncrementalExtend extends a crawl's range: the unchanged
+// leading windows must come from the cache and their stitched prefix
+// from the memo, so the extension costs strictly fewer fetches than a
+// cold crawl of the full range.
+func TestPipelineIncrementalExtend(t *testing.T) {
+	cf := &countingFetcher{inner: engineFetcher(17)}
+	cache := engine.NewFrameCache(0)
+	memo := NewStitchMemo()
+	mk := func() *Pipeline {
+		return &Pipeline{Fetcher: cf, Cfg: PipelineConfig{Workers: 1, Cache: cache, Memo: memo}}
+	}
+	if _, err := mk().Run(context.Background(), "TX", gtrends.TopicInternetOutage, t0, t0.Add(2*168*time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	before := cf.n.Load()
+	res, err := mk().Run(context.Background(), "TX", gtrends.TopicInternetOutage, t0, t0.Add(3*168*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	extendCalls := cf.n.Load() - before
+	if res.CacheHits == 0 {
+		t.Fatal("extension reused nothing from the cache")
+	}
+	if res.ReusedStitchHours == 0 {
+		t.Fatal("extension restitched from scratch")
+	}
+	specs, err := timeseries.Partition(t0, t0.Add(3*168*time.Hour), gtrends.WeekFrameHours, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := int64(len(specs) * res.Rounds)
+	if extendCalls >= cold {
+		t.Errorf("extension cost %d fetches, cold crawl would cost %d", extendCalls, cold)
+	}
+	if res.Series.Len() != 3*168 {
+		t.Errorf("extended series length = %d, want %d", res.Series.Len(), 3*168)
+	}
+}
+
+// TestPipelineSharedSchedulerSequential pins that a one-slot shared
+// scheduler serializes fetches exactly like Workers: 1 — the property the
+// golden suites rely on.
+func TestPipelineSharedSchedulerSequential(t *testing.T) {
+	run := func(cfg PipelineConfig) *Result {
+		p := &Pipeline{Fetcher: engineFetcher(19), Cfg: cfg}
+		res, err := p.Run(context.Background(), "TX", gtrends.TopicInternetOutage, t0, t0.Add(2*168*time.Hour))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a := run(PipelineConfig{Workers: 1})
+	b := run(PipelineConfig{Scheduler: engine.NewScheduler(1)})
+	if a.Rounds != b.Rounds || len(a.Spikes) != len(b.Spikes) {
+		t.Fatalf("scheduler run diverged: rounds %d/%d, spikes %d/%d", a.Rounds, b.Rounds, len(a.Spikes), len(b.Spikes))
+	}
+	if !a.Series.Equal(b.Series) {
+		t.Error("one-slot scheduler produced a different series than Workers: 1")
+	}
+}

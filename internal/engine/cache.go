@@ -1,0 +1,244 @@
+// Package engine is the staged execution substrate of the SIFT pipeline:
+// a shared, concurrency-safe frame cache with singleflight deduplication,
+// a bounded scheduler that pools fetch work across states and rounds, and
+// the small stage interfaces (plan, fetch, merge, stitch) the processing
+// pipeline in internal/core composes. The package deliberately knows
+// nothing about spikes or studies — it operates on frames and series
+// only, so every layer above (core, experiments, future sharding or
+// streaming backends) can plug into the same seams.
+package engine
+
+import (
+	"container/list"
+	"context"
+	"sync"
+	"time"
+
+	"sift/internal/geo"
+	"sift/internal/gtrends"
+)
+
+// DefaultCacheSize is the frame-cache capacity (entries) used when a
+// caller passes a non-positive capacity. A two-year, 51-state study at
+// six averaging rounds touches ≈33k frames; the default keeps the hot
+// half of that resident.
+const DefaultCacheSize = 16384
+
+// Key identifies one cached frame: the exact (term, state, window, round)
+// coordinate the pipeline fetches, plus whether rising suggestions were
+// requested (a frame with rising terms is a different response shape).
+// Two studies asking for the same coordinate share one fetch; the same
+// window in a different round is a fresh sample by design — averaging
+// depends on independent draws.
+type Key struct {
+	Term   string
+	State  geo.State
+	Start  int64 // window start, Unix seconds UTC
+	Hours  int
+	Round  int
+	Rising bool
+}
+
+// KeyOf builds the cache key for a frame request in a given round.
+func KeyOf(req gtrends.FrameRequest, round int) Key {
+	return Key{
+		Term:   req.Term,
+		State:  req.State,
+		Start:  req.Start.UTC().Unix(),
+		Hours:  req.Hours,
+		Round:  round,
+		Rising: req.WithRising,
+	}
+}
+
+// CacheStats is a point-in-time snapshot of cache accounting.
+type CacheStats struct {
+	// Hits is how many lookups were served from the cache.
+	Hits uint64 `json:"hits"`
+	// Misses is how many lookups had to execute their fetch.
+	Misses uint64 `json:"misses"`
+	// Coalesced counts lookups that piggybacked on an identical fetch
+	// already in flight (singleflight deduplication) — no cache entry
+	// existed yet, but no extra fetch was issued either.
+	Coalesced uint64 `json:"coalesced"`
+	// Evictions counts entries dropped to stay within capacity.
+	Evictions uint64 `json:"evictions"`
+	// Primed counts entries loaded from persisted frames rather than
+	// fetched (incremental recompute across process restarts).
+	Primed uint64 `json:"primed"`
+	// Entries is the current resident entry count.
+	Entries int `json:"entries"`
+}
+
+// flight tracks one in-flight fetch so concurrent requests for the same
+// key wait for its result instead of issuing duplicates.
+type flight struct {
+	done  chan struct{}
+	frame *gtrends.Frame
+	err   error
+}
+
+// FrameCache is a bounded, concurrency-safe LRU cache of fetched Trends
+// frames with singleflight deduplication. Frames handed out are shared
+// pointers and must be treated as immutable — every producer in this
+// repository constructs frames once and never mutates them.
+type FrameCache struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[Key]*list.Element
+	lru      *list.List // front = most recent; values are *cacheEntry
+	inflight map[Key]*flight
+
+	hits, misses, coalesced, evictions, primed uint64
+}
+
+type cacheEntry struct {
+	key   Key
+	frame *gtrends.Frame
+}
+
+// NewFrameCache returns a cache bounded to capacity entries; capacity <= 0
+// takes DefaultCacheSize.
+func NewFrameCache(capacity int) *FrameCache {
+	if capacity <= 0 {
+		capacity = DefaultCacheSize
+	}
+	return &FrameCache{
+		capacity: capacity,
+		entries:  make(map[Key]*list.Element),
+		lru:      list.New(),
+		inflight: make(map[Key]*flight),
+	}
+}
+
+// Get returns the cached frame for key, if resident, updating recency and
+// hit/miss accounting.
+func (c *FrameCache) Get(key Key) (*gtrends.Frame, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		c.hits++
+		return el.Value.(*cacheEntry).frame, true
+	}
+	c.misses++
+	return nil, false
+}
+
+// Put inserts a frame under key, evicting the least recently used entry
+// when over capacity. Existing entries are replaced.
+func (c *FrameCache) Put(key Key, f *gtrends.Frame) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.put(key, f)
+}
+
+// put inserts under c.mu.
+func (c *FrameCache) put(key Key, f *gtrends.Frame) {
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).frame = f
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, frame: f})
+	for len(c.entries) > c.capacity {
+		oldest := c.lru.Back()
+		if oldest == nil {
+			break
+		}
+		c.lru.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+}
+
+// Prime loads a previously persisted frame (e.g. from internal/store)
+// without counting a miss — the incremental-recompute path that lets a
+// new process reuse an earlier crawl's fetches. The frame's own term,
+// state, start, and length define the window; round and rising complete
+// the key.
+func (c *FrameCache) Prime(round int, f *gtrends.Frame) {
+	if f == nil {
+		return
+	}
+	key := Key{
+		Term:   f.Term,
+		State:  f.State,
+		Start:  f.Start.UTC().Unix(),
+		Hours:  len(f.Points),
+		Round:  round,
+		Rising: len(f.Rising) > 0,
+	}
+	c.mu.Lock()
+	c.put(key, f)
+	c.primed++
+	c.mu.Unlock()
+}
+
+// GetOrFetch returns the frame for key, fetching it at most once across
+// concurrent callers: a resident entry is a hit; otherwise the first
+// caller runs fetch while identical callers wait for its result
+// (singleflight). Only successful fetches are cached — errors are
+// returned to every waiter and never stored, so a later call retries.
+// hit reports whether the frame came out of the cache store (false for
+// both the fetching caller and coalesced waiters, which received a fresh
+// sample).
+func (c *FrameCache) GetOrFetch(ctx context.Context, key Key, fetch func(context.Context) (*gtrends.Frame, error)) (f *gtrends.Frame, hit bool, err error) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		c.hits++
+		f = el.Value.(*cacheEntry).frame
+		c.mu.Unlock()
+		return f, true, nil
+	}
+	if fl, ok := c.inflight[key]; ok {
+		c.coalesced++
+		c.mu.Unlock()
+		select {
+		case <-fl.done:
+			return fl.frame, false, fl.err
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+	}
+	fl := &flight{done: make(chan struct{})}
+	c.inflight[key] = fl
+	c.misses++
+	c.mu.Unlock()
+
+	fl.frame, fl.err = fetch(ctx)
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if fl.err == nil {
+		c.put(key, fl.frame)
+	}
+	c.mu.Unlock()
+	close(fl.done)
+	return fl.frame, false, fl.err
+}
+
+// Len returns the number of resident entries.
+func (c *FrameCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Stats snapshots the cache counters.
+func (c *FrameCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Coalesced: c.coalesced,
+		Evictions: c.evictions,
+		Primed:    c.primed,
+		Entries:   len(c.entries),
+	}
+}
+
+// Window returns the key's window start as a time.
+func (k Key) Window() time.Time { return time.Unix(k.Start, 0).UTC() }

@@ -1,0 +1,264 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sift/internal/gtrends"
+)
+
+var t0 = time.Date(2021, 2, 15, 0, 0, 0, 0, time.UTC)
+
+func testFrame(term string, start time.Time, hours int) *gtrends.Frame {
+	return &gtrends.Frame{Term: term, State: "TX", Start: start, Points: make([]int, hours)}
+}
+
+func testKey(term string, start time.Time, round int) Key {
+	return KeyOf(gtrends.FrameRequest{Term: term, State: "TX", Start: start, Hours: 168}, round)
+}
+
+func TestCacheHitMissAccounting(t *testing.T) {
+	c := NewFrameCache(4)
+	k := testKey("a", t0, 1)
+	if _, ok := c.Get(k); ok {
+		t.Fatal("empty cache returned a frame")
+	}
+	c.Put(k, testFrame("a", t0, 168))
+	f, ok := c.Get(k)
+	if !ok || f == nil {
+		t.Fatal("stored frame not returned")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Errorf("stats = %+v, want 1 hit, 1 miss, 1 entry", st)
+	}
+}
+
+func TestCacheRoundAndRisingAreDistinctKeys(t *testing.T) {
+	c := NewFrameCache(8)
+	req := gtrends.FrameRequest{Term: "a", State: "TX", Start: t0, Hours: 168}
+	c.Put(KeyOf(req, 1), testFrame("a", t0, 168))
+	if _, ok := c.Get(KeyOf(req, 2)); ok {
+		t.Error("round 2 served round 1's sample — averaging would collapse")
+	}
+	rising := req
+	rising.WithRising = true
+	if _, ok := c.Get(KeyOf(rising, 1)); ok {
+		t.Error("rising request served the plain frame")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewFrameCache(2)
+	k1, k2, k3 := testKey("a", t0, 1), testKey("b", t0, 1), testKey("c", t0, 1)
+	c.Put(k1, testFrame("a", t0, 1))
+	c.Put(k2, testFrame("b", t0, 1))
+	c.Get(k1) // k1 now most recent; k2 is the LRU victim
+	c.Put(k3, testFrame("c", t0, 1))
+	if _, ok := c.Get(k2); ok {
+		t.Error("LRU entry survived eviction")
+	}
+	if _, ok := c.Get(k1); !ok {
+		t.Error("recently used entry was evicted")
+	}
+	if _, ok := c.Get(k3); !ok {
+		t.Error("new entry missing")
+	}
+	st := c.Stats()
+	if st.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", st.Evictions)
+	}
+	if c.Len() != 2 {
+		t.Errorf("len = %d, want capacity 2", c.Len())
+	}
+}
+
+func TestGetOrFetchSingleflight(t *testing.T) {
+	c := NewFrameCache(16)
+	var fetches atomic.Int64
+	release := make(chan struct{})
+	k := testKey("a", t0, 1)
+	const callers = 16
+
+	var wg sync.WaitGroup
+	var hits, fresh atomic.Int64
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			f, hit, err := c.GetOrFetch(context.Background(), k, func(context.Context) (*gtrends.Frame, error) {
+				fetches.Add(1)
+				<-release // hold every concurrent caller in the same flight
+				return testFrame("a", t0, 168), nil
+			})
+			if err != nil || f == nil {
+				t.Errorf("GetOrFetch: %v", err)
+			}
+			if hit {
+				hits.Add(1)
+			} else {
+				fresh.Add(1)
+			}
+		}()
+	}
+	// Wait until the leader is inside fetch, then let it finish.
+	for fetches.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if got := fetches.Load(); got != 1 {
+		t.Fatalf("fetch ran %d times for one key, want 1 (singleflight)", got)
+	}
+	st := c.Stats()
+	if st.Misses != 1 {
+		t.Errorf("misses = %d, want 1", st.Misses)
+	}
+	// Callers that arrived after the flight completed are hits; the
+	// leader plus coalesced waiters report fresh samples.
+	if hits.Load() != int64(st.Hits) || fresh.Load() != int64(1+st.Coalesced) {
+		t.Errorf("hit split: %d hits / %d fresh vs stats %+v", hits.Load(), fresh.Load(), st)
+	}
+	if hits.Load()+fresh.Load() != callers {
+		t.Errorf("lost callers: %d + %d != %d", hits.Load(), fresh.Load(), callers)
+	}
+}
+
+func TestGetOrFetchErrorsAreNotCached(t *testing.T) {
+	c := NewFrameCache(16)
+	k := testKey("a", t0, 1)
+	boom := errors.New("boom")
+	calls := 0
+	fetch := func(context.Context) (*gtrends.Frame, error) {
+		calls++
+		if calls == 1 {
+			return nil, boom
+		}
+		return testFrame("a", t0, 168), nil
+	}
+	if _, _, err := c.GetOrFetch(context.Background(), k, fetch); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if c.Len() != 0 {
+		t.Fatal("failed fetch left a cache entry")
+	}
+	f, hit, err := c.GetOrFetch(context.Background(), k, fetch)
+	if err != nil || f == nil || hit {
+		t.Fatalf("retry after error: f=%v hit=%v err=%v", f, hit, err)
+	}
+	if calls != 2 {
+		t.Errorf("fetch calls = %d, want 2 (error retried)", calls)
+	}
+}
+
+func TestGetOrFetchWaiterHonorsContext(t *testing.T) {
+	c := NewFrameCache(16)
+	k := testKey("a", t0, 1)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+	go func() {
+		c.GetOrFetch(context.Background(), k, func(context.Context) (*gtrends.Frame, error) {
+			close(entered)
+			<-release
+			return testFrame("a", t0, 168), nil
+		})
+	}()
+	<-entered
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := c.GetOrFetch(ctx, k, func(context.Context) (*gtrends.Frame, error) {
+		t.Error("waiter must not fetch")
+		return nil, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestCachePrime(t *testing.T) {
+	c := NewFrameCache(16)
+	f := testFrame("a", t0, 168)
+	c.Prime(3, f)
+	got, hit, err := c.GetOrFetch(context.Background(), testKey("a", t0, 3), func(context.Context) (*gtrends.Frame, error) {
+		t.Error("primed entry must not refetch")
+		return nil, nil
+	})
+	if err != nil || !hit || got != f {
+		t.Fatalf("primed lookup: hit=%v err=%v", hit, err)
+	}
+	st := c.Stats()
+	if st.Primed != 1 {
+		t.Errorf("primed = %d, want 1", st.Primed)
+	}
+	c.Prime(3, nil) // must not panic or count
+	if c.Stats().Primed != 1 {
+		t.Error("nil prime counted")
+	}
+}
+
+// TestCacheChaosKeyIsolation runs GetOrFetch through a fetch that fails
+// transiently and validates like the chaos fetch path: errors for one
+// coordinate must never contaminate another, and every key converges to
+// exactly one cached success under concurrency.
+func TestCacheChaosKeyIsolation(t *testing.T) {
+	c := NewFrameCache(64)
+	var calls atomic.Int64
+	fetchFor := func(term string, start time.Time, fail *atomic.Bool) func(context.Context) (*gtrends.Frame, error) {
+		return func(context.Context) (*gtrends.Frame, error) {
+			calls.Add(1)
+			if fail.CompareAndSwap(true, false) {
+				return nil, fmt.Errorf("transient: storm on %s", term)
+			}
+			f := testFrame(term, start, 168)
+			req := gtrends.FrameRequest{Term: term, State: "TX", Start: start, Hours: 168}
+			if err := gtrends.ValidateFrame(f, req); err != nil {
+				return nil, err
+			}
+			return f, nil
+		}
+	}
+	const keys = 8
+	fails := make([]atomic.Bool, keys)
+	for i := range fails {
+		fails[i].Store(i%2 == 0) // every even key fails its first fetch
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < keys; i++ {
+		for caller := 0; caller < 4; caller++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				term := fmt.Sprintf("term-%d", i)
+				k := testKey(term, t0, 1)
+				// Retry once on failure, like the pipeline's retrying source.
+				for attempt := 0; attempt < 3; attempt++ {
+					f, _, err := c.GetOrFetch(context.Background(), k, fetchFor(term, t0, &fails[i]))
+					if err == nil {
+						if f.Term != term {
+							t.Errorf("key %d got frame for %q — cross-key contamination", i, f.Term)
+						}
+						return
+					}
+				}
+				t.Errorf("key %d never succeeded", i)
+			}(i)
+		}
+	}
+	wg.Wait()
+	if c.Len() != keys {
+		t.Errorf("resident entries = %d, want %d", c.Len(), keys)
+	}
+	for i := 0; i < keys; i++ {
+		f, ok := c.Get(testKey(fmt.Sprintf("term-%d", i), t0, 1))
+		if !ok || f.Term != fmt.Sprintf("term-%d", i) {
+			t.Errorf("key %d holds wrong frame", i)
+		}
+	}
+}

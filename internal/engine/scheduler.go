@@ -1,0 +1,50 @@
+package engine
+
+import "context"
+
+// Scheduler bounds concurrent stage work with a global slot pool. One
+// scheduler shared across every state's pipeline replaces the old
+// per-pipeline worker pools, so a 51-state study's total fetch
+// concurrency is one number instead of states × workers — the seam
+// future sharding and multi-backend work plugs into.
+//
+// The primitive is Acquire/Release; AcquireN-style batching is
+// deliberately absent so a long round cannot starve other states: slots
+// interleave at single-fetch granularity.
+type Scheduler struct {
+	slots chan struct{}
+}
+
+// DefaultSchedulerWorkers is the slot count used for a non-positive
+// workers argument.
+const DefaultSchedulerWorkers = 8
+
+// NewScheduler returns a scheduler with the given number of slots;
+// workers <= 0 takes DefaultSchedulerWorkers.
+func NewScheduler(workers int) *Scheduler {
+	if workers <= 0 {
+		workers = DefaultSchedulerWorkers
+	}
+	return &Scheduler{slots: make(chan struct{}, workers)}
+}
+
+// Workers returns the slot count.
+func (s *Scheduler) Workers() int { return cap(s.slots) }
+
+// Acquire blocks until a slot is free or ctx is done, returning ctx's
+// error in the latter case. Every successful Acquire must be paired with
+// exactly one Release.
+func (s *Scheduler) Acquire(ctx context.Context) error {
+	select {
+	case s.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Release frees a slot acquired with Acquire.
+func (s *Scheduler) Release() { <-s.slots }
+
+// InFlight returns the number of currently held slots (diagnostic).
+func (s *Scheduler) InFlight() int { return len(s.slots) }

@@ -1,0 +1,69 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSchedulerBoundsConcurrency(t *testing.T) {
+	const slots, tasks = 3, 20
+	s := NewScheduler(slots)
+	if s.Workers() != slots {
+		t.Fatalf("Workers = %d, want %d", s.Workers(), slots)
+	}
+	var cur, peak atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < tasks; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := s.Acquire(context.Background()); err != nil {
+				t.Error(err)
+				return
+			}
+			defer s.Release()
+			n := cur.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			cur.Add(-1)
+		}()
+	}
+	wg.Wait()
+	if got := peak.Load(); got > slots {
+		t.Errorf("peak concurrency = %d, want <= %d", got, slots)
+	}
+	if s.InFlight() != 0 {
+		t.Errorf("InFlight = %d after drain", s.InFlight())
+	}
+}
+
+func TestSchedulerAcquireHonorsContext(t *testing.T) {
+	s := NewScheduler(1)
+	if err := s.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Release()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := s.Acquire(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+}
+
+func TestSchedulerDefaultWorkers(t *testing.T) {
+	if got := NewScheduler(0).Workers(); got != DefaultSchedulerWorkers {
+		t.Errorf("Workers = %d, want default %d", got, DefaultSchedulerWorkers)
+	}
+	if got := NewScheduler(-3).Workers(); got != DefaultSchedulerWorkers {
+		t.Errorf("Workers = %d, want default %d", got, DefaultSchedulerWorkers)
+	}
+}

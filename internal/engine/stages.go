@@ -1,0 +1,133 @@
+package engine
+
+import (
+	"context"
+	"time"
+
+	"sift/internal/gtrends"
+	"sift/internal/timeseries"
+)
+
+// The pipeline's stage seams. Each stage is a small interface whose
+// default implementation reproduces the historical monolithic behaviour
+// exactly; alternative implementations (recording fetchers in tests,
+// future streaming stitchers or sharded planners) swap in without
+// touching the pipeline driver.
+
+// Planner emits the frame specs a crawl must fetch to cover [from, to).
+type Planner interface {
+	Plan(from, to time.Time) ([]timeseries.FrameSpec, error)
+}
+
+// OverlapPlanner is the default planner: consecutive weekly frames
+// overlapping by a fixed number of hours (§3.1 of the paper), via
+// timeseries.Partition.
+type OverlapPlanner struct {
+	// FrameHours is the frame length; 0 takes the weekly maximum.
+	FrameHours int
+	// OverlapHours is the inter-frame overlap; 0 takes 24.
+	OverlapHours int
+}
+
+// Plan partitions [from, to) into overlapping frames.
+func (p OverlapPlanner) Plan(from, to time.Time) ([]timeseries.FrameSpec, error) {
+	frame := p.FrameHours
+	if frame == 0 {
+		frame = gtrends.WeekFrameHours
+	}
+	overlap := p.OverlapHours
+	if overlap == 0 {
+		overlap = 24
+	}
+	return timeseries.Partition(from, to, frame, overlap)
+}
+
+// FrameSource executes one planned fetch. It sits below the frame cache:
+// the pipeline consults the cache first and calls the source only on a
+// miss. round is the averaging round the fetch belongs to — sources that
+// sample (the Trends engine) return independent draws per call, and the
+// round keeps cache keys for distinct draws distinct.
+type FrameSource interface {
+	FetchFrame(ctx context.Context, req gtrends.FrameRequest, round int) (*gtrends.Frame, error)
+}
+
+// RetryingSource is the default frame source: a gtrends.Fetcher wrapped
+// in bounded in-round retries. Transient failures (rate-limit storms,
+// 5xx, severed connections) and responses that fail validation are
+// re-fetched up to Retries times before the failure is declared
+// permanent — the resilient fetch path of the chaos layer.
+type RetryingSource struct {
+	Fetcher gtrends.Fetcher
+	// Retries is how many extra attempts follow a transient failure;
+	// negative means none.
+	Retries int
+}
+
+// FetchFrame performs one fetch with bounded retries and response
+// validation.
+func (s RetryingSource) FetchFrame(ctx context.Context, req gtrends.FrameRequest, _ int) (*gtrends.Frame, error) {
+	retries := s.Retries
+	if retries < 0 {
+		retries = 0
+	}
+	var lastErr error
+	for attempt := 0; attempt <= retries; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		f, err := s.Fetcher.FetchFrame(ctx, req)
+		if err == nil {
+			if verr := gtrends.ValidateFrame(f, req); verr != nil {
+				lastErr = verr
+				continue
+			}
+			return f, nil
+		}
+		lastErr = err
+		if !gtrends.IsTransient(err) {
+			break
+		}
+	}
+	return nil, lastErr
+}
+
+// Merger reduces one spec's fetches across rounds into that window's
+// averaged series. It is called with at least one fetch; windows with
+// none are gap-filled by the pipeline before merging.
+type Merger interface {
+	Merge(spec timeseries.FrameSpec, fetched []*timeseries.Series) (*timeseries.Series, error)
+}
+
+// ConsensusMerger is the default merger: the pointwise consensus average
+// with a presence quorum of 60% of the window's fetched rounds, rounded
+// up. The fraction approaches 0.6 from above as rounds accumulate, so
+// positions stop flipping with round parity and the spike set can
+// settle.
+type ConsensusMerger struct{}
+
+// Merge averages the window's fetches under the presence quorum.
+func (ConsensusMerger) Merge(_ timeseries.FrameSpec, fetched []*timeseries.Series) (*timeseries.Series, error) {
+	quorum := (3*len(fetched) + 4) / 5
+	return timeseries.ConsensusAverage(fetched, quorum)
+}
+
+// Stitcher folds ordered, overlapping averaged frames into one raw
+// continuous series. prefix, when non-nil, is an already-stitched
+// accumulation the frames extend — the incremental-recompute path that
+// restitches only the suffix a change affected. The result is NOT
+// renormalized; the pipeline renormalizes once after stitching so a
+// reused prefix keeps its scale.
+type Stitcher interface {
+	Stitch(prefix *timeseries.Series, frames []*timeseries.Series) (*timeseries.Series, error)
+}
+
+// OverlapStitcher is the default stitcher: the overlap-ratio fold of
+// timeseries.StitchFrom.
+type OverlapStitcher struct {
+	Estimator timeseries.RatioEstimator
+}
+
+// Stitch extends prefix with frames using the overlap-ratio estimator.
+func (s OverlapStitcher) Stitch(prefix *timeseries.Series, frames []*timeseries.Series) (*timeseries.Series, error) {
+	return timeseries.StitchFrom(prefix, frames, s.Estimator)
+}

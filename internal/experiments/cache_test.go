@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sift/internal/core"
+	"sift/internal/engine"
+	"sift/internal/geo"
+	"sift/internal/gtrends"
+	"sift/internal/scenario"
+)
+
+// countingFetcher counts calls that reach the underlying fetcher; frames
+// served from the shared cache never show up here.
+type countingFetcher struct {
+	inner gtrends.Fetcher
+	n     atomic.Int64
+}
+
+func (c *countingFetcher) FetchFrame(ctx context.Context, req gtrends.FrameRequest) (*gtrends.Frame, error) {
+	c.n.Add(1)
+	return c.inner.FetchFrame(ctx, req)
+}
+
+// smallStudyConfig is a two-state, five-week study — big enough to
+// exercise the shared scheduler and cache, small enough for a unit test.
+// One fetch lane keeps the engine's sample sequence deterministic.
+func smallStudyConfig(seed int64) StudyConfig {
+	start := time.Date(2021, 1, 4, 0, 0, 0, 0, time.UTC)
+	end := start.Add(5 * 7 * 24 * time.Hour)
+	cfg := StudyConfig{
+		Seed:           seed,
+		Start:          start,
+		End:            end,
+		States:         []geo.State{"TX", "OK"},
+		Scenario:       &scenario.Config{Seed: seed, Start: start, End: end},
+		SkipAnnotation: true,
+		SkipAnt:        true,
+	}
+	cfg.StateWorkers = 1
+	cfg.Pipeline.Workers = 1
+	return cfg
+}
+
+// TestStudyRepeatStrictlyFewerFetches is the incremental-recompute
+// acceptance check at study level: the same study run twice through one
+// shared frame cache performs strictly fewer fetcher calls the second
+// time (here: none), with the reuse visible in every state's CrawlHealth
+// and in the cache counters.
+func TestStudyRepeatStrictlyFewerFetches(t *testing.T) {
+	// Build one study to own the deterministic in-process engine, then
+	// reuse its fetcher (wrapped in a counter) for both measured runs so
+	// each run crawls the same service.
+	probe, err := RunStudy(context.Background(), smallStudyConfig(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf := &countingFetcher{inner: probe.Fetcher}
+
+	cfg := smallStudyConfig(21)
+	cfg.Cache = engine.NewFrameCache(0)
+	cfg.Memo = core.NewStitchMemo()
+	cfg.Fetcher = cf
+
+	first, err := RunStudy(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	afterFirst := cf.n.Load()
+	if afterFirst == 0 {
+		t.Fatal("first run made no fetcher calls")
+	}
+	if first.CacheHits() != 0 {
+		t.Errorf("cold run reports %d cache hits", first.CacheHits())
+	}
+
+	second, err := RunStudy(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repeatCalls := cf.n.Load() - afterFirst
+
+	if repeatCalls >= afterFirst {
+		t.Fatalf("repeat run made %d fetcher calls, first made %d — want strictly fewer", repeatCalls, afterFirst)
+	}
+	if second.CacheHits() == 0 {
+		t.Fatal("repeat run reports no cache hits")
+	}
+	for st, h := range second.Health {
+		if h.CacheHits == 0 {
+			t.Errorf("state %s health reports no cache hits", st)
+		}
+	}
+	if got := second.CacheStats(); got.Hits == 0 {
+		t.Errorf("cache stats report no hits: %+v", got)
+	}
+	// Identical service and identical frames: the detections must agree.
+	for st, res := range second.Results {
+		if len(res.Spikes) != len(first.Results[st].Spikes) {
+			t.Errorf("state %s: repeat run changed spike count %d -> %d", st, len(first.Results[st].Spikes), len(res.Spikes))
+		}
+	}
+}
+
+// TestStudyFetchWorkersBoundsGlobally runs a study whose global fetch
+// bound is tighter than the per-state pools, so the shared scheduler
+// engages: at most FetchWorkers frame fetches are in flight at once, no
+// matter how many states and per-state workers are configured.
+func TestStudyFetchWorkersBoundsGlobally(t *testing.T) {
+	cfg := smallStudyConfig(1)
+	cfg.StateWorkers = 2
+	cfg.Pipeline.Workers = 2
+	cfg.FetchWorkers = 1
+
+	var inflight, peak atomic.Int64
+	probe, err := RunStudy(context.Background(), smallStudyConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Fetcher = fetcherFunc(func(ctx context.Context, req gtrends.FrameRequest) (*gtrends.Frame, error) {
+		n := inflight.Add(1)
+		defer inflight.Add(-1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		return probe.Fetcher.FetchFrame(ctx, req)
+	})
+
+	study, err := RunStudy(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := 0
+	for _, res := range study.Results {
+		frames += res.Frames
+	}
+	if frames == 0 {
+		t.Fatal("study fetched no frames")
+	}
+	if got := peak.Load(); got > 1 {
+		t.Errorf("peak concurrent fetches = %d, want at most 1 (FetchWorkers)", got)
+	}
+}
+
+// fetcherFunc adapts a function to gtrends.Fetcher.
+type fetcherFunc func(ctx context.Context, req gtrends.FrameRequest) (*gtrends.Frame, error)
+
+func (f fetcherFunc) FetchFrame(ctx context.Context, req gtrends.FrameRequest) (*gtrends.Frame, error) {
+	return f(ctx, req)
+}

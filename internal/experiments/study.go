@@ -14,6 +14,7 @@ import (
 	"sift/internal/annotate"
 	"sift/internal/ant"
 	"sift/internal/core"
+	"sift/internal/engine"
 	"sift/internal/faults"
 	"sift/internal/geo"
 	"sift/internal/gtrends"
@@ -33,6 +34,27 @@ type StudyConfig struct {
 	States []geo.State
 	// StateWorkers bounds concurrently processed states. Default 8.
 	StateWorkers int
+	// FetchWorkers bounds concurrent frame fetches globally across all
+	// states, via one shared engine scheduler every state's pipeline
+	// drains through. Default StateWorkers × Pipeline.Workers — the
+	// aggregate concurrency the per-state pools historically allowed, so
+	// the default changes nothing observable. The scheduler only engages
+	// when this bound is tighter than that aggregate; a bound the pools
+	// already enforce would never block and is skipped.
+	FetchWorkers int
+	// CacheSize, when positive, gives the study a shared frame cache of
+	// that many frames: overlapping or repeated crawls reuse fetched
+	// frames per (term, state, window, round) instead of refetching.
+	// Ignored when Cache is set. Zero disables caching.
+	CacheSize int
+	// Cache, when set, is an existing frame cache to crawl through —
+	// share one across repeated studies to skip refetching unchanged
+	// windows entirely.
+	Cache *engine.FrameCache
+	// Memo, when set, memoizes raw stitched prefixes so repeated or
+	// extended crawls through a shared Cache restitch only changed
+	// suffixes. Only useful together with a shared cache.
+	Memo *core.StitchMemo
 	// AnnotateMinDuration restricts the annotation stage to spikes at
 	// least this long; the context analyses key on the long tail, and
 	// skipping one-hour blips keeps the daily re-crawl tractable.
@@ -78,6 +100,16 @@ func (c *StudyConfig) fillDefaults() {
 	if c.AnnotateMinDuration == 0 {
 		c.AnnotateMinDuration = 2 * time.Hour
 	}
+	if c.FetchWorkers == 0 {
+		pw := c.Pipeline.Workers
+		if pw == 0 {
+			pw = core.DefaultWorkers
+		}
+		c.FetchWorkers = c.StateWorkers * pw
+	}
+	if c.Cache == nil && c.CacheSize > 0 {
+		c.Cache = engine.NewFrameCache(c.CacheSize)
+	}
 }
 
 // Study is the complete evaluation state: ground truth, service, per-state
@@ -105,10 +137,19 @@ type Study struct {
 	Health map[geo.State]core.CrawlHealth
 	// Elapsed is the wall-clock duration of the run.
 	Elapsed time.Duration
+	// Cache is the shared frame cache the crawl ran through; nil when
+	// the study ran uncached.
+	Cache *engine.FrameCache
 
 	// crawl is the fetcher the pipeline uses; equals Fetcher unless a
 	// fault plan wraps it.
 	crawl gtrends.Fetcher
+	// sched is the shared fetch scheduler every state's pipeline drains
+	// through. It is nil when FetchWorkers is no tighter than the
+	// aggregate bound the per-state pools already enforce: a scheduler
+	// that can never block would only add contention on one shared
+	// channel and perturb fetch interleaving for no benefit.
+	sched *engine.Scheduler
 }
 
 // RunStudy executes the full evaluation pipeline.
@@ -129,8 +170,8 @@ func RunStudy(ctx context.Context, cfg StudyConfig) (*Study, error) {
 	}
 
 	model := searchmodel.New(cfg.Seed, tl, searchmodel.Params{})
-	engine := gtrends.NewEngine(model, cfg.Trends)
-	var fetcher gtrends.Fetcher = gtrends.EngineFetcher{Engine: engine}
+	trends := gtrends.NewEngine(model, cfg.Trends)
+	var fetcher gtrends.Fetcher = gtrends.EngineFetcher{Engine: trends}
 	if cfg.Fetcher != nil {
 		fetcher = cfg.Fetcher
 	}
@@ -139,11 +180,19 @@ func RunStudy(ctx context.Context, cfg StudyConfig) (*Study, error) {
 		crawl = faults.Wrap(fetcher, *cfg.Faults, "inproc")
 	}
 	study := &Study{
-		Cfg: cfg, Timeline: tl, Model: model, Engine: engine, Fetcher: fetcher,
+		Cfg: cfg, Timeline: tl, Model: model, Engine: trends, Fetcher: fetcher,
 		Results: make(map[geo.State]*core.Result),
 		Corpus:  annotate.NewCorpus(),
 		Health:  make(map[geo.State]core.CrawlHealth),
+		Cache:   cfg.Cache,
 		crawl:   crawl,
+	}
+	pw := cfg.Pipeline.Workers
+	if pw == 0 {
+		pw = core.DefaultWorkers
+	}
+	if cfg.FetchWorkers < cfg.StateWorkers*pw {
+		study.sched = engine.NewScheduler(cfg.FetchWorkers)
 	}
 
 	if err := study.runStates(ctx); err != nil {
@@ -184,9 +233,20 @@ func RunStudy(ctx context.Context, cfg StudyConfig) (*Study, error) {
 }
 
 // runStates executes the pipeline for every state over a worker pool.
+// Every state's pipeline shares the study's fetch scheduler — the global
+// bound on concurrent frame fetches — and, when configured, the shared
+// frame cache and stitch memo.
 func (s *Study) runStates(ctx context.Context) error {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
+	pcfg := s.Cfg.Pipeline
+	pcfg.Scheduler = s.sched
+	if pcfg.Cache == nil {
+		pcfg.Cache = s.Cfg.Cache
+	}
+	if pcfg.Memo == nil {
+		pcfg.Memo = s.Cfg.Memo
+	}
 	jobs := make(chan geo.State)
 	errc := make(chan error, s.Cfg.StateWorkers)
 	var wg sync.WaitGroup
@@ -196,7 +256,7 @@ func (s *Study) runStates(ctx context.Context) error {
 		go func() {
 			defer wg.Done()
 			for st := range jobs {
-				p := &core.Pipeline{Fetcher: s.crawl, Cfg: s.Cfg.Pipeline}
+				p := &core.Pipeline{Fetcher: s.crawl, Cfg: pcfg}
 				res, err := p.Run(ctx, st, gtrends.TopicInternetOutage, s.Cfg.Start, s.Cfg.End)
 				if err != nil {
 					errc <- fmt.Errorf("experiments: state %s: %w", st, err)
@@ -254,10 +314,30 @@ func (s *Study) MeanRounds() (mean float64, converged int) {
 
 // TotalFrames returns the number of frames requested across the study —
 // the paper's "160 238 time frames" counterpart (scaled by rounds and
-// annotation filtering).
+// annotation filtering). Frames served from a shared cache never reach
+// the engine and are not counted.
 func (s *Study) TotalFrames() uint64 {
 	if s.Engine == nil {
 		return 0
 	}
 	return s.Engine.Requests()
+}
+
+// CacheStats reports the shared frame cache's counters; the zero value
+// when the study ran uncached.
+func (s *Study) CacheStats() engine.CacheStats {
+	if s.Cache == nil {
+		return engine.CacheStats{}
+	}
+	return s.Cache.Stats()
+}
+
+// CacheHits sums the per-state cache hits across results — the frames the
+// study reused without a fetcher call.
+func (s *Study) CacheHits() int {
+	total := 0
+	for _, res := range s.Results {
+		total += res.CacheHits
+	}
+	return total
 }

@@ -46,6 +46,12 @@ type Config struct {
 	// the Trends engine, so a resilient crawler that retries through them
 	// sees exactly the fault-free sample sequence.
 	Faults *faults.Injector
+	// OnFrame, when set, observes every frame the engine serves — the
+	// server-side recording hook (siftd -record). Called synchronously
+	// from request handlers after a successful engine fetch, before the
+	// response is written; must be safe for concurrent use. Injected
+	// fault responses and rejected requests never reach it.
+	OnFrame func(f *gtrends.Frame)
 }
 
 func (c *Config) fillDefaults() {
@@ -168,6 +174,9 @@ func (s *Server) handleTrends(w http.ResponseWriter, r *http.Request) {
 		// errors cannot occur for a well-formed request.
 		s.writeError(w, http.StatusBadRequest, err.Error())
 		return
+	}
+	if s.cfg.OnFrame != nil {
+		s.cfg.OnFrame(frame)
 	}
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(frame); err != nil {

@@ -211,7 +211,22 @@ type seriesJSON struct {
 	Values []float64 `json:"values"`
 }
 
-// Save writes the database to path atomically (write + rename).
+// EachFrame calls fn for every stored frame, in no particular order —
+// the bulk read that primes a frame cache from a persisted crawl.
+func (db *DB) EachFrame(fn func(round int, f *gtrends.Frame)) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	for _, fs := range db.frames {
+		for _, sf := range fs {
+			fn(sf.Round, sf.Frame)
+		}
+	}
+}
+
+// Save writes the database to path atomically: the encoding goes to a
+// fresh temp file in the destination directory, is fsynced, and then
+// renamed over path, so a crash mid-save leaves either the old file or
+// the new one — never a torn mix.
 func (db *DB) Save(path string) error {
 	db.mu.RLock()
 	ff := fileFormat{Version: 1}
@@ -255,15 +270,38 @@ func (db *DB) Save(path string) error {
 	if err != nil {
 		return fmt.Errorf("store: encoding: %w", err)
 	}
-	tmp := path + ".tmp"
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("store: creating directory: %w", err)
 	}
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: creating temp file: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
 		return fmt.Errorf("store: writing: %w", err)
 	}
-	if err := os.Rename(tmp, path); err != nil {
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: syncing: %w", err)
+	}
+	if err := tmp.Chmod(0o644); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: chmod: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: closing temp file: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("store: renaming: %w", err)
+	}
+	// Persist the rename itself; not all filesystems order it after the
+	// data sync. Failure here is not fatal to the data already named.
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
 	}
 	return nil
 }

@@ -1,0 +1,200 @@
+package store
+
+import (
+	"sync"
+
+	"sift/internal/core"
+	"sift/internal/geo"
+	"sift/internal/gtrends"
+	"sift/internal/timeseries"
+)
+
+// op is one buffered mutation awaiting application to the DB.
+type op struct {
+	kind   opKind
+	key    seriesKey
+	round  int
+	frame  *gtrends.Frame
+	series *timeseries.Series
+	spikes []core.Spike
+	health core.CrawlHealth
+	// ack, on an opFlush, is closed once every op queued before it has
+	// been applied.
+	ack chan struct{}
+}
+
+type opKind uint8
+
+const (
+	opFrame opKind = iota
+	opSeries
+	opSpikes
+	opHealth
+	opFlush
+)
+
+// WriteBehind decouples the crawl's hot path from the store: mutations go
+// into a buffered channel and a single drainer goroutine applies them to
+// the DB in batches under one lock acquisition, so fetch workers never
+// contend on the store mutex. Reads go straight to the DB and see a batch
+// once the drainer has applied it; call Flush for a read-your-writes
+// barrier, Close before Save.
+type WriteBehind struct {
+	db   *DB
+	ch   chan op
+	done chan struct{}
+
+	mu      sync.Mutex
+	closed  bool
+	pending sync.WaitGroup
+	applied uint64
+	batches uint64
+}
+
+// DefaultWriteBehindBuffer is the channel capacity when NewWriteBehind is
+// given a non-positive one.
+const DefaultWriteBehindBuffer = 1024
+
+// NewWriteBehind starts a write-behind front for db with the given buffer
+// capacity.
+func NewWriteBehind(db *DB, buffer int) *WriteBehind {
+	if buffer <= 0 {
+		buffer = DefaultWriteBehindBuffer
+	}
+	w := &WriteBehind{db: db, ch: make(chan op, buffer), done: make(chan struct{})}
+	go w.drain()
+	return w
+}
+
+// drain applies queued ops in batches: one blocking receive, then
+// everything else already buffered, all under a single lock acquisition.
+func (w *WriteBehind) drain() {
+	defer close(w.done)
+	for first := range w.ch {
+		batch := []op{first}
+		for more := true; more; {
+			select {
+			case o, ok := <-w.ch:
+				if !ok {
+					more = false
+					break
+				}
+				batch = append(batch, o)
+			default:
+				more = false
+			}
+		}
+		applied := w.db.applyBatch(batch)
+		w.mu.Lock()
+		w.applied += uint64(applied)
+		w.batches++
+		w.mu.Unlock()
+		// Every op queued before a flush marker sits before it in the
+		// batch (FIFO) and is now applied; release the waiters.
+		for _, o := range batch {
+			if o.kind == opFlush {
+				close(o.ack)
+			}
+		}
+	}
+}
+
+// applyBatch applies a drained batch under one lock acquisition and
+// returns how many mutations (flush markers excluded) it wrote.
+func (db *DB) applyBatch(batch []op) int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	applied := 0
+	for _, o := range batch {
+		switch o.kind {
+		case opFrame:
+			db.frames[o.key] = append(db.frames[o.key], StoredFrame{Round: o.round, Frame: o.frame})
+		case opSeries:
+			db.series[o.key] = o.series
+		case opSpikes:
+			db.spikes[o.key] = o.spikes
+		case opHealth:
+			db.health[o.key] = o.health
+		case opFlush:
+			continue
+		}
+		applied++
+	}
+	return applied
+}
+
+// submit enqueues one op; it blocks only when the buffer is full. Ops
+// submitted after Close are dropped — the crawl is already over. The
+// pending guard keeps Close from closing the channel under a blocked
+// sender.
+func (w *WriteBehind) submit(o op) bool {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return false
+	}
+	w.pending.Add(1)
+	w.mu.Unlock()
+	w.ch <- o
+	w.pending.Done()
+	return true
+}
+
+// AddFrame queues a fetched frame; signature matches core's OnFrame hook.
+func (w *WriteBehind) AddFrame(round int, f *gtrends.Frame) {
+	w.submit(op{kind: opFrame, key: seriesKey{Term: f.Term, State: f.State}, round: round, frame: f})
+}
+
+// PutSeries queues the reconstructed series for a term and state.
+func (w *WriteBehind) PutSeries(term string, state geo.State, s *timeseries.Series) {
+	w.submit(op{kind: opSeries, key: seriesKey{Term: term, State: state}, series: s})
+}
+
+// PutSpikes queues the detected spikes for a term and state.
+func (w *WriteBehind) PutSpikes(term string, state geo.State, spikes []core.Spike) {
+	cp := make([]core.Spike, len(spikes))
+	copy(cp, spikes)
+	w.submit(op{kind: opSpikes, key: seriesKey{Term: term, State: state}, spikes: cp})
+}
+
+// PutHealth queues the crawl-health record for a term and state.
+func (w *WriteBehind) PutHealth(term string, state geo.State, h core.CrawlHealth) {
+	w.submit(op{kind: opHealth, key: seriesKey{Term: term, State: state}, health: h})
+}
+
+// Flush blocks until every op submitted before the call is applied to the
+// DB — the read-your-writes barrier. Safe to call repeatedly and after
+// Close.
+func (w *WriteBehind) Flush() {
+	ack := make(chan struct{})
+	if !w.submit(op{kind: opFlush, ack: ack}) {
+		// Already closed: Close drained everything before returning.
+		<-w.done
+		return
+	}
+	<-ack
+}
+
+// Applied reports how many ops the drainer has written and in how many
+// batches — the batching statistic the write-behind bench reads.
+func (w *WriteBehind) Applied() (ops, batches uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.applied, w.batches
+}
+
+// Close stops accepting ops, drains the queue, and waits for the drainer
+// to exit. The DB then holds every submitted op; call Save on it as
+// usual.
+func (w *WriteBehind) Close() {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return
+	}
+	w.closed = true
+	w.mu.Unlock()
+	w.pending.Wait()
+	close(w.ch)
+	<-w.done
+}

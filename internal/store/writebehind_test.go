@@ -1,0 +1,138 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"sift/internal/core"
+	"sift/internal/geo"
+	"sift/internal/gtrends"
+	"sift/internal/timeseries"
+)
+
+func TestWriteBehindFlushIsReadYourWrites(t *testing.T) {
+	db := New()
+	w := NewWriteBehind(db, 8)
+	defer w.Close()
+
+	w.AddFrame(1, frame("TX", 0, 1, 2, 3))
+	w.PutSeries("t", "TX", timeseries.MustNew(t0, []float64{1, 2}))
+	w.PutSpikes("t", "TX", []core.Spike{{State: "TX", Term: "t", Start: t0, Peak: t0, End: t0}})
+	w.PutHealth("t", "TX", core.CrawlHealth{Rounds: 3, Converged: true})
+	w.Flush()
+
+	if db.FrameCount() != 1 {
+		t.Errorf("FrameCount = %d after flush", db.FrameCount())
+	}
+	if _, ok := db.Series("t", "TX"); !ok {
+		t.Error("series not visible after flush")
+	}
+	if got := db.Spikes("t", "TX"); len(got) != 1 {
+		t.Errorf("spikes = %d after flush", len(got))
+	}
+	if h, ok := db.Health("t", "TX"); !ok || h.Rounds != 3 {
+		t.Errorf("health = %+v after flush", h)
+	}
+}
+
+func TestWriteBehindConcurrentProducers(t *testing.T) {
+	db := New()
+	w := NewWriteBehind(db, 16)
+	const producers, perProducer = 8, 50
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				f := frame("TX", i*168, 1, 2, 3)
+				f.Term = fmt.Sprintf("term-%d", p)
+				w.AddFrame(i%5, f)
+			}
+		}(p)
+	}
+	wg.Wait()
+	w.Close()
+	if got := db.FrameCount(); got != producers*perProducer {
+		t.Fatalf("FrameCount = %d, want %d", got, producers*perProducer)
+	}
+	ops, batches := w.Applied()
+	if ops != producers*perProducer {
+		t.Errorf("Applied ops = %d, want %d", ops, producers*perProducer)
+	}
+	if batches == 0 || batches > ops {
+		t.Errorf("batches = %d for %d ops", batches, ops)
+	}
+}
+
+func TestWriteBehindCloseIdempotentAndDropsLateOps(t *testing.T) {
+	db := New()
+	w := NewWriteBehind(db, 4)
+	w.AddFrame(1, frame("TX", 0, 1))
+	w.Close()
+	w.Close() // second close must not panic
+	w.AddFrame(2, frame("TX", 168, 2))
+	w.Flush() // flush after close must not hang
+	if got := db.FrameCount(); got != 1 {
+		t.Errorf("FrameCount = %d, want 1 (late op dropped)", got)
+	}
+}
+
+func TestSaveIsAtomicAndLeavesNoTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sift.json")
+
+	db := New()
+	db.PutSeries("t", geo.State("TX"), timeseries.MustNew(t0, []float64{1, 2, 3}))
+	if err := db.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite with different content; the old file must be replaced
+	// wholesale, never truncated in place.
+	db.PutSpikes("t", "TX", []core.Spike{{State: "TX", Term: "t", Start: t0, Peak: t0, End: t0}})
+	if err := db.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Spikes("t", "TX")) != 1 {
+		t.Error("second save did not replace the first")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Errorf("temp file %q left behind", e.Name())
+		}
+	}
+	if len(entries) != 1 {
+		t.Errorf("directory holds %d entries, want just the db file", len(entries))
+	}
+}
+
+func TestEachFramePrimesEveryFrame(t *testing.T) {
+	db := New()
+	db.AddFrame(1, frame("TX", 0, 1, 2))
+	db.AddFrame(2, frame("TX", 0, 3, 4))
+	db.AddFrame(1, frame("TX", 144, 5, 6))
+	seen := 0
+	rounds := map[int]int{}
+	db.EachFrame(func(round int, f *gtrends.Frame) {
+		seen++
+		rounds[round]++
+	})
+	if seen != 3 {
+		t.Fatalf("EachFrame visited %d frames, want 3", seen)
+	}
+	if rounds[1] != 2 || rounds[2] != 1 {
+		t.Errorf("rounds seen: %v", rounds)
+	}
+}

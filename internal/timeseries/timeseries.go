@@ -120,6 +120,23 @@ func (s *Series) Clone() *Series {
 	return &Series{start: s.start, values: s.Values()}
 }
 
+// Equal reports whether two series share the same start, length, and
+// exact values. Nil equals only nil.
+func (s *Series) Equal(o *Series) bool {
+	if s == nil || o == nil {
+		return s == o
+	}
+	if !s.start.Equal(o.start) || len(s.values) != len(o.values) {
+		return false
+	}
+	for i, v := range s.values {
+		if o.values[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
 // Slice returns the sub-series covering [from, to). Both bounds must be
 // aligned and within [Start, End]; from must precede to.
 func (s *Series) Slice(from, to time.Time) (*Series, error) {
@@ -277,21 +294,44 @@ func Stitch(prev, next *Series, est RatioEstimator) (*Series, error) {
 	return out, nil
 }
 
-// StitchAll folds a left-to-right sequence of overlapping frames into one
-// continuous series and renormalizes it to 0–100 — the full reconstruction
-// step (§3.2). Frames must be ordered by start time and each must overlap
-// its predecessor.
-func StitchAll(frames []*Series, est RatioEstimator) (*Series, error) {
-	if len(frames) == 0 {
-		return nil, ErrEmpty
+// StitchFrom folds a left-to-right sequence of overlapping frames onto an
+// already-stitched prefix (nil for a fresh fold), returning the raw — not
+// renormalized — accumulation. Because the fold only ever appends beyond
+// the accumulation's end, a saved raw accumulation restricted to a spec
+// prefix is exactly the fold over that prefix, which is what lets the
+// pipeline's incremental recompute restitch only the suffix a change
+// affected. Frames must be ordered by start time and each must overlap
+// its predecessor (or the prefix).
+func StitchFrom(prefix *Series, frames []*Series, est RatioEstimator) (*Series, error) {
+	var acc *Series
+	if prefix != nil {
+		acc = prefix.Clone()
 	}
-	acc := frames[0].Clone()
-	for _, f := range frames[1:] {
+	if acc == nil {
+		if len(frames) == 0 {
+			return nil, ErrEmpty
+		}
+		acc = frames[0].Clone()
+		frames = frames[1:]
+	}
+	for _, f := range frames {
 		var err error
 		acc, err = Stitch(acc, f, est)
 		if err != nil {
 			return nil, err
 		}
+	}
+	return acc, nil
+}
+
+// StitchAll folds a left-to-right sequence of overlapping frames into one
+// continuous series and renormalizes it to 0–100 — the full reconstruction
+// step (§3.2). Frames must be ordered by start time and each must overlap
+// its predecessor.
+func StitchAll(frames []*Series, est RatioEstimator) (*Series, error) {
+	acc, err := StitchFrom(nil, frames, est)
+	if err != nil {
+		return nil, err
 	}
 	return acc.Renormalize(), nil
 }

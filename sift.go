@@ -28,6 +28,7 @@ import (
 	"sift/internal/annotate"
 	"sift/internal/ant"
 	"sift/internal/core"
+	"sift/internal/engine"
 	"sift/internal/experiments"
 	"sift/internal/geo"
 	"sift/internal/gtclient"
@@ -57,6 +58,16 @@ type (
 	PipelineResult = core.Result
 	// Detector is the topographic-prominence spike detector.
 	Detector = core.Detector
+	// SpikeDetector is the detection-stage seam; Detector is the default
+	// implementation.
+	SpikeDetector = core.SpikeDetector
+	// FrameCache is the shared, singleflight-deduplicated frame cache
+	// pipelines and studies crawl through.
+	FrameCache = engine.FrameCache
+	// CacheStats is a point-in-time snapshot of frame-cache counters.
+	CacheStats = engine.CacheStats
+	// StitchMemo memoizes stitched prefixes for incremental recompute.
+	StitchMemo = core.StitchMemo
 	// Series is an hourly search-interest time series.
 	Series = timeseries.Series
 	// State is a USPS state code ("CA", "TX", ...).
@@ -89,6 +100,16 @@ type (
 
 // States returns the 51 study areas (50 states plus DC).
 func States() []State { return geo.Codes() }
+
+// NewFrameCache returns a bounded shared frame cache; capacity <= 0 takes
+// the default size. Set it as PipelineConfig.Cache (or StudyConfig.Cache)
+// to make overlapping and repeated crawls reuse fetched frames.
+func NewFrameCache(capacity int) *FrameCache { return engine.NewFrameCache(capacity) }
+
+// NewStitchMemo returns an empty stitch memo. Paired with a shared frame
+// cache, it lets a repeated or range-extended crawl restitch only the
+// windows that actually changed.
+func NewStitchMemo() *StitchMemo { return core.NewStitchMemo() }
 
 // BuildWorld generates a ground-truth outage timeline: the scripted
 // newsworthy events of 2020–2021 plus a calibrated stochastic background.
