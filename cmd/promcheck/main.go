@@ -1,0 +1,57 @@
+// Command promcheck fetches a Prometheus text-format exposition and
+// validates that it parses — the CI smoke check behind siftd's /metrics
+// endpoint. It needs no external dependencies: validation is
+// internal/obs's own parser, so the encoder and checker can never drift
+// apart silently.
+//
+// Usage:
+//
+//	promcheck [-min-families N] <url>
+//
+// Exits 0 when the exposition parses and contains at least N metric
+// families (default 1); prints the parse error and exits 1 otherwise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"sift/internal/obs"
+)
+
+func main() {
+	minFamilies := flag.Int("min-families", 1, "fail unless at least this many metric families are exposed")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: promcheck [-min-families N] <url>")
+		os.Exit(2)
+	}
+	if err := check(flag.Arg(0), *minFamilies); err != nil {
+		fmt.Fprintln(os.Stderr, "promcheck:", err)
+		os.Exit(1)
+	}
+}
+
+func check(url string, minFamilies int) error {
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: status %d", url, resp.StatusCode)
+	}
+	families, samples, err := obs.ParseExposition(resp.Body)
+	if err != nil {
+		return fmt.Errorf("%s: invalid exposition: %w", url, err)
+	}
+	if families < minFamilies {
+		return fmt.Errorf("%s: %d metric families, want at least %d", url, families, minFamilies)
+	}
+	fmt.Printf("ok: %d families, %d samples\n", families, samples)
+	return nil
+}

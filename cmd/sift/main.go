@@ -131,6 +131,8 @@ func cmdDetect(args []string) error {
 	dbPath := fs.String("db", "", "record crawled frames, the series, and spikes into this JSON store")
 	cacheSize := fs.Int("cache-size", 0, "frame-cache capacity in frames (0 disables caching)")
 	incremental := fs.Bool("incremental", false, "with -db: prime the frame cache from the existing store and refetch only missing windows")
+	retries := fs.Int("retries", 2, "in-round re-fetches after a transient failure (0 disables)")
+	metricsOut := fs.String("metrics-out", "", "write a JSON metrics snapshot to this path after the run")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -150,6 +152,9 @@ func cmdDetect(args []string) error {
 	}
 
 	p := &core.Pipeline{Fetcher: fetcher}
+	// The flag's 0 means "no retries"; the config's 0 means "default" —
+	// RetriesFlag bridges the two.
+	p.Cfg.FetchRetries = core.RetriesFlag(*retries)
 	if *cacheSize > 0 || *incremental {
 		p.Cfg.Cache = engine.NewFrameCache(*cacheSize)
 	}
@@ -198,6 +203,12 @@ func cmdDetect(args []string) error {
 		}
 		fmt.Printf("  %s  dur=%2dh  mag=%5.1f  rank=%d\n",
 			sp.Start.Format("2006-01-02 15:04"), int(sp.Duration().Hours()), sp.Magnitude, sp.Rank)
+	}
+	if *metricsOut != "" {
+		if err := writeMetricsSnapshot(*metricsOut); err != nil {
+			return err
+		}
+		fmt.Printf("metrics snapshot written to %s\n", *metricsOut)
 	}
 	return nil
 }

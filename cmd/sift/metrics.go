@@ -1,0 +1,24 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"sift/internal/obs"
+)
+
+// writeMetricsSnapshot dumps the process's default metric registry as
+// indented JSON — the post-run counterpart of siftd's live /metrics
+// listener, for one-shot commands that exit before anything could
+// scrape them.
+func writeMetricsSnapshot(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("metrics snapshot: %w", err)
+	}
+	if err := obs.Default().WriteJSON(f); err != nil {
+		f.Close()
+		return fmt.Errorf("metrics snapshot: %w", err)
+	}
+	return f.Close()
+}

@@ -25,6 +25,8 @@ func cmdStudy(args []string) error {
 	cacheSize := fs.Int("cache-size", 0, "shared frame-cache capacity in frames (0 disables caching)")
 	faultSpec := fs.String("faults", "off", `fault injection: "off", "default", or a JSON plan path`)
 	tolerance := fs.Int("fault-tolerance", 0, "permanent frame failures tolerated per round (0 aborts on the first)")
+	retries := fs.Int("retries", 2, "in-round re-fetches after a transient failure (0 disables)")
+	metricsOut := fs.String("metrics-out", "", "write a JSON metrics snapshot to this path after the run")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -63,7 +65,7 @@ func cmdStudy(args []string) error {
 		StateWorkers: *workers,
 		CacheSize:    *cacheSize,
 		Faults:       plan,
-		Pipeline:     core.PipelineConfig{FrameTolerance: *tolerance},
+		Pipeline:     core.PipelineConfig{FrameTolerance: *tolerance, FetchRetries: core.RetriesFlag(*retries)},
 	})
 	if err != nil {
 		return err
@@ -80,13 +82,15 @@ func cmdStudy(args []string) error {
 	fmt.Printf("\n%d spikes across %d states in %v (%.1f rounds avg, %d converged)\n",
 		len(study.Spikes), len(study.Results), study.Elapsed.Round(time.Second), mean, converged)
 
-	failed, gaps := 0, 0
+	failed, gaps, unanchored := 0, 0, 0
 	for _, h := range study.Health {
 		failed += h.FailedFetches
 		gaps += len(h.Gaps)
+		unanchored += h.UnanchoredStitches
 	}
-	if failed > 0 || gaps > 0 {
-		fmt.Printf("crawl health: %d failed fetches, %d unfilled frame windows\n", failed, gaps)
+	if failed > 0 || gaps > 0 || unanchored > 0 {
+		fmt.Printf("crawl health: %d failed fetches, %d unfilled frame windows, %d unanchored stitches\n",
+			failed, gaps, unanchored)
 		for _, st := range sortedStates(study.Health) {
 			for _, g := range study.Health[st].Gaps {
 				fmt.Printf("  gap %s %s+%dh: %s\n", st, g.Start.Format("2006-01-02T15"), g.Hours, g.LastErr)
@@ -105,6 +109,12 @@ func cmdStudy(args []string) error {
 			return err
 		}
 		fmt.Printf("spike database written to %s\n", *out)
+	}
+	if *metricsOut != "" {
+		if err := writeMetricsSnapshot(*metricsOut); err != nil {
+			return err
+		}
+		fmt.Printf("metrics snapshot written to %s\n", *metricsOut)
 	}
 	return nil
 }

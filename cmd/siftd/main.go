@@ -21,6 +21,8 @@
 //	-fault-seed  fault-plan seed (default: the world seed)
 //	-record      record every served frame into this JSON store
 //	-record-every  how often the record store is persisted (default 1m)
+//	-metrics-addr  optional second listener serving /metrics (Prometheus
+//	               text format) and /debug/pprof; off when empty
 package main
 
 import (
@@ -28,12 +30,14 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"time"
 
 	"sift/internal/faults"
 	"sift/internal/gtrends"
 	"sift/internal/gtserver"
+	"sift/internal/obs"
 	"sift/internal/scenario"
 	"sift/internal/searchmodel"
 	"sift/internal/store"
@@ -52,12 +56,33 @@ func main() {
 		faultSeed   = flag.Int64("fault-seed", 0, "fault-plan seed (default: world seed)")
 		record      = flag.String("record", "", "record every served frame into this JSON store")
 		recordEvery = flag.Duration("record-every", time.Minute, "how often the record store is persisted")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address (off when empty)")
 	)
 	flag.Parse()
-	if err := run(*addr, *seed, *start, *end, *rate, *burst, *quiet, *faultSpec, *faultSeed, *record, *recordEvery); err != nil {
+	if err := run(*addr, *seed, *start, *end, *rate, *burst, *quiet, *faultSpec, *faultSeed, *record, *recordEvery, *metricsAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "siftd:", err)
 		os.Exit(1)
 	}
+}
+
+// serveMetrics starts the opt-in observability listener: the process
+// registry in Prometheus text format at /metrics, plus net/http/pprof.
+// It runs on its own mux and address so the profiling surface is never
+// exposed on the API listener.
+func serveMetrics(addr string) {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", obs.Default().Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			log.Printf("metrics listener: %v", err)
+		}
+	}()
 }
 
 // faultInjector resolves the -faults flag into an injector, or nil for
@@ -80,7 +105,7 @@ func faultInjector(spec string, seed int64) (*faults.Injector, error) {
 	}
 }
 
-func run(addr string, seed int64, start, end string, rate float64, burst int, quiet bool, faultSpec string, faultSeed int64, record string, recordEvery time.Duration) error {
+func run(addr string, seed int64, start, end string, rate float64, burst int, quiet bool, faultSpec string, faultSeed int64, record string, recordEvery time.Duration, metricsAddr string) error {
 	from, err := time.Parse("2006-01-02", start)
 	if err != nil {
 		return fmt.Errorf("bad -start: %v", err)
@@ -133,10 +158,13 @@ func run(addr string, seed int64, start, end string, rate float64, burst int, qu
 		if recordEvery <= 0 {
 			recordEvery = time.Minute
 		}
+		saveErrors := obs.Default().Counter("sift_siftd_record_save_errors_total",
+			"failed persists of the record store")
 		go func() {
 			for range time.Tick(recordEvery) {
 				wb.Flush()
 				if err := db.Save(record); err != nil {
+					saveErrors.Inc()
 					log.Printf("record: %v", err)
 				}
 			}
@@ -144,6 +172,11 @@ func run(addr string, seed int64, start, end string, rate float64, burst int, qu
 		log.Printf("recording served frames to %s every %v", record, recordEvery)
 	}
 	srv := gtserver.New(engine, scfg)
+
+	if metricsAddr != "" {
+		serveMetrics(metricsAddr)
+		log.Printf("serving /metrics and /debug/pprof on http://%s", metricsAddr)
+	}
 
 	log.Printf("serving simulated Google Trends on http://%s (rate=%g/s burst=%d per client)", addr, rate, burst)
 	httpSrv := &http.Server{

@@ -37,6 +37,12 @@ type CrawlHealth struct {
 	// both zero when the crawl ran uncached.
 	CacheHits   int `json:"cache_hits,omitempty"`
 	CacheMisses int `json:"cache_misses,omitempty"`
+	// UnanchoredStitches counts stitch seams in the final round whose
+	// overlap carried no signal: the fold fell back to ratio 1, silently
+	// decoupling the scales on the seam's two sides. Zero on a healthy
+	// crawl; typically nonzero next to Gaps (a zero-filled window anchors
+	// nothing).
+	UnanchoredStitches int `json:"unanchored_stitches,omitempty"`
 }
 
 // Health extracts the crawl-health record from a pipeline result.
@@ -44,12 +50,13 @@ func (r *Result) Health() CrawlHealth {
 	gaps := make([]Gap, len(r.Gaps))
 	copy(gaps, r.Gaps)
 	return CrawlHealth{
-		Rounds:        r.Rounds,
-		Frames:        r.Frames,
-		FailedFetches: r.FailedFetches,
-		Gaps:          gaps,
-		Converged:     r.Converged,
-		CacheHits:     r.CacheHits,
-		CacheMisses:   r.CacheMisses,
+		Rounds:             r.Rounds,
+		Frames:             r.Frames,
+		FailedFetches:      r.FailedFetches,
+		Gaps:               gaps,
+		Converged:          r.Converged,
+		CacheHits:          r.CacheHits,
+		CacheMisses:        r.CacheMisses,
+		UnanchoredStitches: r.UnanchoredStitches,
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"sift/internal/engine"
 	"sift/internal/geo"
 	"sift/internal/gtrends"
+	"sift/internal/obs"
 	"sift/internal/timeseries"
 )
 
@@ -59,7 +60,10 @@ type PipelineConfig struct {
 	OnFrame func(round int, f *gtrends.Frame)
 	// FetchRetries is how many extra times a frame fetch is retried within
 	// a round when the fetcher reports a transient failure or the response
-	// fails validation. Default 2; negative disables.
+	// fails validation. Zero means unset and takes the default of 2; any
+	// negative value disables retries entirely. A CLI flag whose 0 must
+	// mean "no retries" cannot assign its value here directly — map it
+	// through RetriesFlag at the flag boundary.
 	FetchRetries int
 	// FrameTolerance is how many frame fetches may fail permanently per
 	// round before the round aborts with an error. Failed frames leave
@@ -94,6 +98,23 @@ type PipelineConfig struct {
 	// round) so a rerun whose leading windows are unchanged (all cache
 	// hits) restitches only the affected suffix.
 	Memo *StitchMemo
+	// Metrics selects the registry the pipeline's stage timings and
+	// counters report into; nil uses obs.Default(). The registry is also
+	// propagated to the default Source when one is built.
+	Metrics *obs.Registry
+}
+
+// RetriesFlag maps a user-facing retry-count flag value onto
+// PipelineConfig.FetchRetries. The config field keeps Go zero-value
+// semantics — 0 means "unset, take the default of 2" — so a flag where 0
+// must mean "no retries" cannot be assigned verbatim: this maps 0 (and
+// any negative input) to the internal disabled sentinel and passes
+// positive counts through.
+func RetriesFlag(n int) int {
+	if n <= 0 {
+		return -1
+	}
+	return n
 }
 
 func (c *PipelineConfig) fillDefaults() {
@@ -183,6 +204,44 @@ type Result struct {
 	// ReusedStitchHours accumulates, across rounds, the hours of raw
 	// stitched prefix reused from the memo instead of restitched.
 	ReusedStitchHours int
+	// UnanchoredStitches counts, in the final round's fold, the seams
+	// whose overlap carried no signal and were stitched on the silent
+	// ratio-1 fallback — each one decouples the scale on its two sides.
+	// When a memo prefix was reused, only restitched seams are counted.
+	// Zero on a healthy crawl; requires a Stitcher implementing
+	// engine.CountingStitcher (the default does).
+	UnanchoredStitches int
+}
+
+// pipeObs holds the pipeline's metric handles.
+type pipeObs struct {
+	stage      obs.HistogramVec // sift_pipeline_stage_seconds{stage}
+	rounds     obs.Histogram    // sift_pipeline_rounds
+	runs       obs.CounterVec   // sift_pipeline_runs_total{outcome}
+	gaps       obs.Counter      // sift_pipeline_gaps_total
+	failed     obs.Counter      // sift_pipeline_failed_fetches_total
+	frames     obs.CounterVec   // sift_pipeline_frames_total{origin}
+	unanchored obs.Counter      // sift_pipeline_unanchored_stitches_total
+}
+
+// newPipeObs builds the pipeline metric handles against r (nil → Default).
+func newPipeObs(r *obs.Registry) pipeObs {
+	return pipeObs{
+		stage: r.HistogramVec("sift_pipeline_stage_seconds",
+			"per-round wall time by pipeline stage", nil, "stage"),
+		rounds: r.Histogram("sift_pipeline_rounds",
+			"averaging rounds per completed run", obs.LinearBuckets(1, 1, 12)),
+		runs: r.CounterVec("sift_pipeline_runs_total",
+			"pipeline runs by outcome", "outcome"),
+		gaps: r.Counter("sift_pipeline_gaps_total",
+			"frame windows no round managed to fetch"),
+		failed: r.Counter("sift_pipeline_failed_fetches_total",
+			"frame fetches tolerated as permanently failed (tolerance consumed)"),
+		frames: r.CounterVec("sift_pipeline_frames_total",
+			"frames used by origin", "origin"),
+		unanchored: r.Counter("sift_pipeline_unanchored_stitches_total",
+			"stitch seams folded on the no-signal ratio-1 fallback"),
+	}
 }
 
 // Run executes the pipeline over [from, to).
@@ -193,8 +252,27 @@ func (p *Pipeline) Run(ctx context.Context, state geo.State, term string, from, 
 		if p.Fetcher == nil {
 			return nil, errors.New("core: pipeline needs a Fetcher or a Source stage")
 		}
-		cfg.Source = engine.RetryingSource{Fetcher: p.Fetcher, Retries: cfg.FetchRetries}
+		cfg.Source = engine.RetryingSource{Fetcher: p.Fetcher, Retries: cfg.FetchRetries, Metrics: cfg.Metrics}
 	}
+	om := newPipeObs(cfg.Metrics)
+	res, err := p.run(ctx, cfg, om, state, term, from, to)
+	switch {
+	case err != nil:
+		om.runs.With("error").Inc()
+	case res.Converged:
+		om.runs.With("converged").Inc()
+	default:
+		om.runs.With("exhausted").Inc()
+	}
+	if err == nil {
+		om.rounds.Observe(float64(res.Rounds))
+		om.gaps.Add(float64(len(res.Gaps)))
+	}
+	return res, err
+}
+
+// run is the instrumented round loop behind Run.
+func (p *Pipeline) run(ctx context.Context, cfg PipelineConfig, om pipeObs, state geo.State, term string, from, to time.Time) (*Result, error) {
 	specs, err := cfg.Planner.Plan(from, to)
 	if err != nil {
 		return nil, fmt.Errorf("core: planning study range: %w", err)
@@ -214,23 +292,33 @@ func (p *Pipeline) Run(ctx context.Context, state geo.State, term string, from, 
 	var prev []Spike
 
 	for round := 1; round <= cfg.MaxRounds; round++ {
+		hitsBefore := res.CacheHits
+		began := time.Now()
 		frames, failures, err := p.fetchRound(ctx, cfg, sched, state, term, specs, round, stale, res)
+		om.stage.With("fetch").Observe(time.Since(began).Seconds())
 		if err != nil {
 			return nil, err
 		}
 		res.Rounds = round
 		res.FailedFetches += len(failures)
+		om.failed.Add(float64(len(failures)))
 		for _, f := range failures {
 			lastErr[f.idx] = f.err.Error()
 		}
+		used := 0
 		for i, f := range frames {
 			if f == nil {
 				continue
 			}
+			used++
 			res.Frames++
 			accum[i] = append(accum[i], frameSeries(f))
 		}
+		hitsRound := res.CacheHits - hitsBefore
+		om.frames.With("cache").Add(float64(hitsRound))
+		om.frames.With("fetched").Add(float64(used - hitsRound))
 
+		began = time.Now()
 		averaged := make([]*timeseries.Series, len(specs))
 		res.Gaps = res.Gaps[:0]
 		for i := range specs {
@@ -253,16 +341,26 @@ func (p *Pipeline) Run(ctx context.Context, state geo.State, term string, from, 
 			}
 			averaged[i] = avg
 		}
+		om.stage.With("merge").Observe(time.Since(began).Seconds())
 
+		began = time.Now()
 		var prefix *timeseries.Series
 		prefixSpecs := 0
 		if cfg.Memo != nil {
 			prefix, prefixSpecs = cfg.Memo.Prefix(term, state, round, specs, stale)
 		}
-		raw, err := cfg.Stitcher.Stitch(prefix, averaged[prefixSpecs:])
+		var raw *timeseries.Series
+		unanchored := 0
+		if cs, ok := cfg.Stitcher.(engine.CountingStitcher); ok {
+			raw, unanchored, err = cs.StitchCounted(prefix, averaged[prefixSpecs:])
+		} else {
+			raw, err = cfg.Stitcher.Stitch(prefix, averaged[prefixSpecs:])
+		}
 		if err != nil {
 			return nil, fmt.Errorf("core: stitching: %w", err)
 		}
+		res.UnanchoredStitches = unanchored
+		om.unanchored.Add(float64(unanchored))
 		if cfg.Memo != nil {
 			cfg.Memo.Update(term, state, round, specs, raw)
 			if prefix != nil {
@@ -270,7 +368,11 @@ func (p *Pipeline) Run(ctx context.Context, state geo.State, term string, from, 
 			}
 		}
 		res.Series = raw.Renormalize()
+		om.stage.With("stitch").Observe(time.Since(began).Seconds())
+
+		began = time.Now()
 		res.Spikes = cfg.Detector.Detect(res.Series, state, term)
+		om.stage.With("detect").Observe(time.Since(began).Seconds())
 
 		if round >= cfg.MinRounds && SpikeSetsSimilarity(prev, res.Spikes, cfg.ConvergenceTol) >= cfg.ConvergenceSim {
 			res.Converged = true
@@ -293,7 +395,12 @@ type frameFailure struct {
 // Scheduler is configured, every fetch additionally holds one of its
 // slots, bounding concurrency globally across all pipelines that share
 // it. Frames that fail permanently stay nil and are reported as failures;
-// more than cfg.FrameTolerance of them aborts the round.
+// more than cfg.FrameTolerance of them aborts the round. The abort error
+// is the round's root cause: the first failure that was not itself a
+// cancellation — without that preference, a tolerated real failure
+// followed by cancellation-class failures (a parent deadline sweeping the
+// remaining workers over tolerance) would surface only as "context
+// deadline exceeded" and mask what actually went wrong.
 func (p *Pipeline) fetchRound(ctx context.Context, cfg PipelineConfig, sched *engine.Scheduler, state geo.State, term string, specs []timeseries.FrameSpec, round int, stale []bool, res *Result) ([]*gtrends.Frame, []frameFailure, error) {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -303,6 +410,7 @@ func (p *Pipeline) fetchRound(ctx context.Context, cfg PipelineConfig, sched *en
 	errc := make(chan error, cfg.Workers)
 	var mu sync.Mutex
 	var failures []frameFailure
+	var rootErr error // first non-cancellation failure, tolerated or not
 	var hits, misses int
 	var wg sync.WaitGroup
 	workers := cfg.Workers
@@ -340,6 +448,9 @@ func (p *Pipeline) fetchRound(ctx context.Context, cfg PipelineConfig, sched *en
 					mu.Lock()
 					stale[i] = true
 					failures = append(failures, frameFailure{idx: i, err: wrapped})
+					if rootErr == nil && !isCancellation(err) {
+						rootErr = wrapped
+					}
 					over := len(failures) > cfg.FrameTolerance
 					mu.Unlock()
 					if over || ctx.Err() != nil {
@@ -382,13 +493,25 @@ feed:
 	res.CacheMisses += misses
 	select {
 	case err := <-errc:
+		if rootErr != nil && isCancellation(err) {
+			return nil, nil, rootErr
+		}
 		return nil, nil, err
 	default:
 	}
 	if err := ctx.Err(); err != nil {
+		if rootErr != nil {
+			return nil, nil, rootErr
+		}
 		return nil, nil, err
 	}
 	return frames, failures, nil
+}
+
+// isCancellation reports whether err is cancellation-shaped — a symptom
+// of the round being torn down rather than a cause worth reporting.
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // fetchOne resolves one frame: through the shared cache (singleflight

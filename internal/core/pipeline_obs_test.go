@@ -1,0 +1,311 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sift/internal/engine"
+	"sift/internal/gtrends"
+	"sift/internal/obs"
+)
+
+// fabricate builds a valid frame for req with the given constant value,
+// optionally zeroing the leading zeroHead hours.
+func fabricate(req gtrends.FrameRequest, value, zeroHead int) *gtrends.Frame {
+	pts := make([]int, req.Hours)
+	for i := range pts {
+		if i >= zeroHead {
+			pts[i] = value
+		}
+	}
+	return &gtrends.Frame{Term: req.Term, State: req.State, Start: req.Start.UTC(), Points: pts}
+}
+
+// stuckFetcher fails one window instantly and blocks every other fetch
+// until the context dies — the shape of a crawl where one real failure is
+// tolerated and a deadline then sweeps the remaining workers.
+type stuckFetcher struct {
+	failStart time.Time
+}
+
+func (f stuckFetcher) FetchFrame(ctx context.Context, req gtrends.FrameRequest) (*gtrends.Frame, error) {
+	if req.Start.Equal(f.failStart) {
+		return nil, errors.New("boom")
+	}
+	<-ctx.Done()
+	return nil, ctx.Err()
+}
+
+// A tolerated real failure must surface as the abort error when
+// cancellation-class failures later push the round over tolerance;
+// before the root-cause fix the run reported only the deadline.
+func TestFetchRoundSurfacesRootCause(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	p := &Pipeline{
+		Fetcher: stuckFetcher{failStart: t0},
+		Cfg: PipelineConfig{
+			Workers:        4,
+			FrameTolerance: 1,
+			FetchRetries:   RetriesFlag(0),
+		},
+	}
+	_, err := p.Run(ctx, "TX", gtrends.TopicInternetOutage, t0, t0.Add(3*168*time.Hour))
+	if err == nil {
+		t.Fatal("expected the round to abort")
+	}
+	if !strings.Contains(err.Error(), "boom") {
+		t.Errorf("abort error masks the root cause: %v", err)
+	}
+}
+
+// transientErr declares itself temporary, so the retrying source re-fetches.
+type transientErr struct{}
+
+func (transientErr) Error() string   { return "transient fail" }
+func (transientErr) Temporary() bool { return true }
+
+// attemptCountingFetcher fails transiently forever, counting attempts per window.
+type attemptCountingFetcher struct {
+	mu    sync.Mutex
+	calls map[int64]int
+}
+
+func (c *attemptCountingFetcher) FetchFrame(_ context.Context, req gtrends.FrameRequest) (*gtrends.Frame, error) {
+	c.mu.Lock()
+	c.calls[req.Start.Unix()]++
+	c.mu.Unlock()
+	return nil, transientErr{}
+}
+
+func (c *attemptCountingFetcher) attempts() map[int64]int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[int64]int, len(c.calls))
+	for k, v := range c.calls {
+		out[k] = v
+	}
+	return out
+}
+
+// RetriesFlag(0) must reach the source as "no retries": exactly one
+// attempt per window. Assigning the flag's 0 to FetchRetries directly
+// would silently promote it to the default of 2.
+func TestRetriesFlagZeroDisablesRetries(t *testing.T) {
+	run := func(fetchRetries int) map[int64]int {
+		cf := &attemptCountingFetcher{calls: map[int64]int{}}
+		p := &Pipeline{Fetcher: cf, Cfg: PipelineConfig{
+			Workers:        1,
+			MaxRounds:      1,
+			MinRounds:      1,
+			FetchRetries:   fetchRetries,
+			FrameTolerance: 100,
+		}}
+		if _, err := p.Run(context.Background(), "TX", gtrends.TopicInternetOutage, t0, t0.Add(2*168*time.Hour)); err != nil {
+			t.Fatal(err)
+		}
+		return cf.attempts()
+	}
+
+	for start, n := range run(RetriesFlag(0)) {
+		if n != 1 {
+			t.Errorf("window %d: %d attempts with retries disabled, want exactly 1", start, n)
+		}
+	}
+	// The zero config value still means "default of 2 retries".
+	for start, n := range run(0) {
+		if n != 3 {
+			t.Errorf("window %d: %d attempts under the default, want 3", start, n)
+		}
+	}
+}
+
+// zeroFetcher serves entirely empty frames: with no signal anywhere,
+// every stitch seam takes the ratio-1 fallback. constFetcher serves a
+// flat nonzero level, so every seam is anchored.
+type zeroFetcher struct{}
+
+func (zeroFetcher) FetchFrame(_ context.Context, req gtrends.FrameRequest) (*gtrends.Frame, error) {
+	return fabricate(req, 0, 0), nil
+}
+
+type constFetcher struct{}
+
+func (constFetcher) FetchFrame(_ context.Context, req gtrends.FrameRequest) (*gtrends.Frame, error) {
+	return fabricate(req, 50, 0), nil
+}
+
+func TestUnanchoredStitchesSurfaced(t *testing.T) {
+	p := &Pipeline{Fetcher: zeroFetcher{}, Cfg: PipelineConfig{Workers: 2}}
+	res, err := p.Run(context.Background(), "TX", gtrends.TopicInternetOutage, t0, t0.Add(3*168*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := res.Frames / res.Rounds
+	if want := specs - 1; res.UnanchoredStitches != want {
+		t.Errorf("UnanchoredStitches = %d, want %d (every seam)", res.UnanchoredStitches, want)
+	}
+	if h := res.Health(); h.UnanchoredStitches != res.UnanchoredStitches {
+		t.Errorf("health records %d unanchored stitches, result %d", h.UnanchoredStitches, res.UnanchoredStitches)
+	}
+
+	// A crawl whose every overlap carries signal reports zero.
+	p = &Pipeline{Fetcher: constFetcher{}, Cfg: PipelineConfig{Workers: 2}}
+	res, err = p.Run(context.Background(), "TX", gtrends.TopicInternetOutage, t0, t0.Add(3*168*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UnanchoredStitches != 0 {
+		t.Errorf("fully anchored crawl reports %d unanchored stitches", res.UnanchoredStitches)
+	}
+}
+
+// mixedFetcher drives one round through every cache-accounting path: one
+// window fails permanently, one needs a transient retry before
+// succeeding, the rest succeed first try.
+type mixedFetcher struct {
+	failStart  time.Time
+	flakyStart time.Time
+
+	mu         sync.Mutex
+	flakyCalls int
+	calls      map[int64]int
+}
+
+func (m *mixedFetcher) FetchFrame(_ context.Context, req gtrends.FrameRequest) (*gtrends.Frame, error) {
+	m.mu.Lock()
+	m.calls[req.Start.Unix()]++
+	m.mu.Unlock()
+	switch {
+	case req.Start.Equal(m.failStart):
+		return nil, errors.New("permanent refusal")
+	case req.Start.Equal(m.flakyStart):
+		m.mu.Lock()
+		first := m.flakyCalls == 0
+		m.flakyCalls++
+		m.mu.Unlock()
+		if first {
+			return nil, transientErr{}
+		}
+	}
+	return fabricate(req, 40, 0), nil
+}
+
+// Cache accounting under faults: hits, misses, and failures must sum
+// consistently, and a failed fetch must never count as a cache miss.
+func TestFetchRoundCacheAccountingUnderFaults(t *testing.T) {
+	cache := engine.NewFrameCache(64).WithMetrics(obs.NewRegistry())
+	from, to := t0, t0.Add(4*168*time.Hour)
+	newPipeline := func(f gtrends.Fetcher) *Pipeline {
+		return &Pipeline{Fetcher: f, Cfg: PipelineConfig{
+			Workers:        2,
+			MaxRounds:      1,
+			MinRounds:      1,
+			FrameTolerance: 1,
+			Cache:          cache,
+		}}
+	}
+	specs := 0
+	{
+		plan, err := (engine.OverlapPlanner{}).Plan(from, to)
+		if err != nil {
+			t.Fatal(err)
+		}
+		specs = len(plan)
+	}
+	if specs < 3 {
+		t.Fatalf("test range yields %d specs, need at least 3", specs)
+	}
+	mf := &mixedFetcher{
+		failStart:  from,
+		flakyStart: from.Add(144 * time.Hour), // second spec's window
+		calls:      map[int64]int{},
+	}
+
+	res, err := newPipeline(mf).Run(context.Background(), "TX", gtrends.TopicInternetOutage, from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FailedFetches != 1 {
+		t.Errorf("run 1: FailedFetches = %d, want 1", res.FailedFetches)
+	}
+	if res.CacheHits != 0 {
+		t.Errorf("run 1: CacheHits = %d, want 0 on a cold cache", res.CacheHits)
+	}
+	// The permanent failure must not inflate the miss count.
+	if want := specs - 1; res.CacheMisses != want {
+		t.Errorf("run 1: CacheMisses = %d, want %d (failures excluded)", res.CacheMisses, want)
+	}
+	if res.Frames != specs-1 {
+		t.Errorf("run 1: Frames = %d, want %d", res.Frames, specs-1)
+	}
+	if res.CacheHits+res.CacheMisses != res.Frames {
+		t.Errorf("run 1: hits %d + misses %d != frames %d", res.CacheHits, res.CacheMisses, res.Frames)
+	}
+	if mf.attempts()[mf.flakyStart.Unix()] != 2 {
+		t.Errorf("flaky window saw %d attempts, want 2 (retried then ok)", mf.attempts()[mf.flakyStart.Unix()])
+	}
+
+	// Second run over the same cache: every prior success is a hit, the
+	// permanent failure fails again and again stays out of the counts.
+	res, err = newPipeline(mf).Run(context.Background(), "TX", gtrends.TopicInternetOutage, from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := specs - 1; res.CacheHits != want {
+		t.Errorf("run 2: CacheHits = %d, want %d", res.CacheHits, want)
+	}
+	if res.CacheMisses != 0 {
+		t.Errorf("run 2: CacheMisses = %d, want 0", res.CacheMisses)
+	}
+	if res.FailedFetches != 1 {
+		t.Errorf("run 2: FailedFetches = %d, want 1", res.FailedFetches)
+	}
+}
+
+func (m *mixedFetcher) attempts() map[int64]int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[int64]int, len(m.calls))
+	for k, v := range m.calls {
+		out[k] = v
+	}
+	return out
+}
+
+// Pipeline metrics land in the configured registry with populated stage
+// timings and run outcomes.
+func TestPipelineMetricsPopulated(t *testing.T) {
+	reg := obs.NewRegistry()
+	p := &Pipeline{Fetcher: engineFetcher(4), Cfg: PipelineConfig{Metrics: reg}}
+	if _, err := p.Run(context.Background(), "TX", gtrends.TopicInternetOutage, t0, t0.Add(2*168*time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	for _, fam := range []string{
+		"sift_pipeline_stage_seconds",
+		"sift_pipeline_rounds",
+		"sift_pipeline_runs_total",
+		"sift_pipeline_frames_total",
+	} {
+		if snap.Family(fam).Total() == 0 {
+			t.Errorf("family %s empty after a run", fam)
+		}
+	}
+	stages := map[string]bool{}
+	for _, m := range snap.Family("sift_pipeline_stage_seconds").Metrics {
+		stages[m.Labels["stage"]] = true
+	}
+	for _, want := range []string{"fetch", "merge", "stitch", "detect"} {
+		if !stages[want] {
+			t.Errorf("stage %q not timed; saw %v", want, stages)
+		}
+	}
+	if snap.Family("sift_pipeline_runs_total").Total() != 1 {
+		t.Errorf("runs_total = %v, want 1", snap.Family("sift_pipeline_runs_total").Total())
+	}
+}

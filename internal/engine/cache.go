@@ -16,6 +16,7 @@ import (
 
 	"sift/internal/geo"
 	"sift/internal/gtrends"
+	"sift/internal/obs"
 )
 
 // DefaultCacheSize is the frame-cache capacity (entries) used when a
@@ -90,6 +91,40 @@ type FrameCache struct {
 	inflight map[Key]*flight
 
 	hits, misses, coalesced, evictions, primed uint64
+	om                                         cacheObs
+}
+
+// cacheObs holds the cache's metric handles. Multiple caches in one
+// process share the event counters (aggregate view, bounded
+// cardinality); the entries gauge reflects the most recently mutated
+// cache.
+type cacheObs struct {
+	hits, misses, coalesced, evictions, primed obs.Counter
+	entries                                    obs.Gauge
+}
+
+// newCacheObs builds the cache metric handles against r (nil → Default).
+func newCacheObs(r *obs.Registry) cacheObs {
+	events := r.CounterVec("sift_engine_cache_events_total",
+		"frame-cache outcomes by event", "event")
+	return cacheObs{
+		hits:      events.With("hit"),
+		misses:    events.With("miss"),
+		coalesced: events.With("coalesced"),
+		evictions: events.With("eviction"),
+		primed:    events.With("primed"),
+		entries: r.Gauge("sift_engine_cache_entries",
+			"frames currently resident in the cache"),
+	}
+}
+
+// WithMetrics redirects the cache's counters into r, returning the cache
+// for chaining. Call before the cache's first use.
+func (c *FrameCache) WithMetrics(r *obs.Registry) *FrameCache {
+	c.mu.Lock()
+	c.om = newCacheObs(r)
+	c.mu.Unlock()
+	return c
 }
 
 type cacheEntry struct {
@@ -108,6 +143,7 @@ func NewFrameCache(capacity int) *FrameCache {
 		entries:  make(map[Key]*list.Element),
 		lru:      list.New(),
 		inflight: make(map[Key]*flight),
+		om:       newCacheObs(nil),
 	}
 }
 
@@ -119,9 +155,11 @@ func (c *FrameCache) Get(key Key) (*gtrends.Frame, bool) {
 	if el, ok := c.entries[key]; ok {
 		c.lru.MoveToFront(el)
 		c.hits++
+		c.om.hits.Inc()
 		return el.Value.(*cacheEntry).frame, true
 	}
 	c.misses++
+	c.om.misses.Inc()
 	return nil, false
 }
 
@@ -149,7 +187,9 @@ func (c *FrameCache) put(key Key, f *gtrends.Frame) {
 		c.lru.Remove(oldest)
 		delete(c.entries, oldest.Value.(*cacheEntry).key)
 		c.evictions++
+		c.om.evictions.Inc()
 	}
+	c.om.entries.Set(float64(len(c.entries)))
 }
 
 // Prime loads a previously persisted frame (e.g. from internal/store)
@@ -172,6 +212,7 @@ func (c *FrameCache) Prime(round int, f *gtrends.Frame) {
 	c.mu.Lock()
 	c.put(key, f)
 	c.primed++
+	c.om.primed.Inc()
 	c.mu.Unlock()
 }
 
@@ -188,12 +229,14 @@ func (c *FrameCache) GetOrFetch(ctx context.Context, key Key, fetch func(context
 	if el, ok := c.entries[key]; ok {
 		c.lru.MoveToFront(el)
 		c.hits++
+		c.om.hits.Inc()
 		f = el.Value.(*cacheEntry).frame
 		c.mu.Unlock()
 		return f, true, nil
 	}
 	if fl, ok := c.inflight[key]; ok {
 		c.coalesced++
+		c.om.coalesced.Inc()
 		c.mu.Unlock()
 		select {
 		case <-fl.done:
@@ -205,6 +248,7 @@ func (c *FrameCache) GetOrFetch(ctx context.Context, key Key, fetch func(context
 	fl := &flight{done: make(chan struct{})}
 	c.inflight[key] = fl
 	c.misses++
+	c.om.misses.Inc()
 	c.mu.Unlock()
 
 	fl.frame, fl.err = fetch(ctx)

@@ -1,6 +1,11 @@
 package engine
 
-import "context"
+import (
+	"context"
+	"time"
+
+	"sift/internal/obs"
+)
 
 // Scheduler bounds concurrent stage work with a global slot pool. One
 // scheduler shared across every state's pipeline replaces the old
@@ -13,6 +18,27 @@ import "context"
 // interleave at single-fetch granularity.
 type Scheduler struct {
 	slots chan struct{}
+	om    schedObs
+}
+
+// schedObs holds the scheduler's metric handles.
+type schedObs struct {
+	inflight obs.Gauge     // sift_engine_sched_inflight
+	waiting  obs.Gauge     // sift_engine_sched_waiting
+	capacity obs.Gauge     // sift_engine_sched_capacity
+	wait     obs.Histogram // sift_engine_sched_acquire_wait_seconds
+}
+
+// newSchedObs builds the scheduler metric handles against r (nil →
+// Default).
+func newSchedObs(r *obs.Registry) schedObs {
+	return schedObs{
+		inflight: r.Gauge("sift_engine_sched_inflight", "scheduler slots currently held"),
+		waiting:  r.Gauge("sift_engine_sched_waiting", "goroutines queued for a scheduler slot"),
+		capacity: r.Gauge("sift_engine_sched_capacity", "scheduler slot capacity"),
+		wait: r.Histogram("sift_engine_sched_acquire_wait_seconds",
+			"time spent waiting for a scheduler slot", nil),
+	}
 }
 
 // DefaultSchedulerWorkers is the slot count used for a non-positive
@@ -25,7 +51,17 @@ func NewScheduler(workers int) *Scheduler {
 	if workers <= 0 {
 		workers = DefaultSchedulerWorkers
 	}
-	return &Scheduler{slots: make(chan struct{}, workers)}
+	s := &Scheduler{slots: make(chan struct{}, workers), om: newSchedObs(nil)}
+	s.om.capacity.Set(float64(workers))
+	return s
+}
+
+// WithMetrics redirects the scheduler's gauges and wait histogram into r,
+// returning the scheduler for chaining. Call before the first Acquire.
+func (s *Scheduler) WithMetrics(r *obs.Registry) *Scheduler {
+	s.om = newSchedObs(r)
+	s.om.capacity.Set(float64(cap(s.slots)))
+	return s
 }
 
 // Workers returns the slot count.
@@ -35,16 +71,33 @@ func (s *Scheduler) Workers() int { return cap(s.slots) }
 // error in the latter case. Every successful Acquire must be paired with
 // exactly one Release.
 func (s *Scheduler) Acquire(ctx context.Context) error {
+	// Fast path: a free slot costs no gauge churn beyond inflight.
 	select {
 	case s.slots <- struct{}{}:
+		s.om.wait.Observe(0)
+		s.om.inflight.Inc()
+		return nil
+	default:
+	}
+	s.om.waiting.Inc()
+	began := time.Now()
+	select {
+	case s.slots <- struct{}{}:
+		s.om.waiting.Dec()
+		s.om.wait.Observe(time.Since(began).Seconds())
+		s.om.inflight.Inc()
 		return nil
 	case <-ctx.Done():
+		s.om.waiting.Dec()
 		return ctx.Err()
 	}
 }
 
 // Release frees a slot acquired with Acquire.
-func (s *Scheduler) Release() { <-s.slots }
+func (s *Scheduler) Release() {
+	<-s.slots
+	s.om.inflight.Dec()
+}
 
 // InFlight returns the number of currently held slots (diagnostic).
 func (s *Scheduler) InFlight() int { return len(s.slots) }

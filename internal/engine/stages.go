@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"sift/internal/gtrends"
+	"sift/internal/obs"
 	"sift/internal/timeseries"
 )
 
@@ -61,6 +62,16 @@ type RetryingSource struct {
 	// Retries is how many extra attempts follow a transient failure;
 	// negative means none.
 	Retries int
+	// Metrics selects the registry the source's retry counter reports
+	// into; nil uses obs.Default().
+	Metrics *obs.Registry
+}
+
+// retryCounter names the source-level retry family; RetryingSource is a
+// value type, so the handle is looked up per retry rather than cached.
+func (s RetryingSource) retryCounter(reason string) obs.Counter {
+	return s.Metrics.CounterVec("sift_engine_source_retries_total",
+		"in-round frame re-fetches by cause", "reason").With(reason)
 }
 
 // FetchFrame performs one fetch with bounded retries and response
@@ -79,6 +90,9 @@ func (s RetryingSource) FetchFrame(ctx context.Context, req gtrends.FrameRequest
 		if err == nil {
 			if verr := gtrends.ValidateFrame(f, req); verr != nil {
 				lastErr = verr
+				if attempt < retries {
+					s.retryCounter("invalid").Inc()
+				}
 				continue
 			}
 			return f, nil
@@ -86,6 +100,9 @@ func (s RetryingSource) FetchFrame(ctx context.Context, req gtrends.FrameRequest
 		lastErr = err
 		if !gtrends.IsTransient(err) {
 			break
+		}
+		if attempt < retries {
+			s.retryCounter("transient").Inc()
 		}
 	}
 	return nil, lastErr
@@ -130,4 +147,17 @@ type OverlapStitcher struct {
 // Stitch extends prefix with frames using the overlap-ratio estimator.
 func (s OverlapStitcher) Stitch(prefix *timeseries.Series, frames []*timeseries.Series) (*timeseries.Series, error) {
 	return timeseries.StitchFrom(prefix, frames, s.Estimator)
+}
+
+// CountingStitcher is the optional stitcher extension the pipeline probes
+// for: Stitch plus the number of unanchored seams (overlaps with no
+// signal, stitched on the ratio-1 fallback) in the fold.
+type CountingStitcher interface {
+	StitchCounted(prefix *timeseries.Series, frames []*timeseries.Series) (*timeseries.Series, int, error)
+}
+
+// StitchCounted implements CountingStitcher via
+// timeseries.StitchFromCounted; numerically identical to Stitch.
+func (s OverlapStitcher) StitchCounted(prefix *timeseries.Series, frames []*timeseries.Series) (*timeseries.Series, int, error) {
+	return timeseries.StitchFromCounted(prefix, frames, s.Estimator)
 }

@@ -15,6 +15,7 @@ import (
 	"sift/internal/faults"
 	"sift/internal/gtrends"
 	"sift/internal/gtserver"
+	"sift/internal/obs"
 )
 
 // chaosWindow is a three-frame study range: the winter storm sits inside
@@ -207,6 +208,80 @@ func TestChaosGapDegradation(t *testing.T) {
 	}
 }
 
+// TestChaosFaultsVisibleInMetrics closes the loop between the fault
+// injector and the observability layer: a fault plan's effects must be
+// visible in metrics on both sides of the wire — injected faults in the
+// server's registry, rate-limit retries and breaker trips in the
+// client's — without touching the process-global default registry.
+func TestChaosFaultsVisibleInMetrics(t *testing.T) {
+	srvReg, cliReg := obs.NewRegistry(), obs.NewRegistry()
+	wall := &faults.Plan{Seed: 9, Rules: []faults.Rule{{Mode: faults.RateLimit, P: 1}}}
+	svc := newService(t, gtserver.Config{Faults: faults.NewInjector(*wall), Metrics: srvReg})
+	pool, err := NewPool(svc.URL, 2, func(c *Client) {
+		c.RetryBase = time.Millisecond
+		c.MaxRetries = 2
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.Metrics = cliReg
+	pool.BreakerThreshold = 2
+	pool.BreakerCooldown = time.Hour
+
+	for i := 0; i < 4; i++ {
+		if _, err := pool.FetchFrame(context.Background(), weekReq()); err == nil {
+			t.Fatal("fetch through a hard 429 wall should fail")
+		}
+	}
+
+	srv := srvReg.Snapshot()
+	injected := srv.Family("sift_gtserver_faults_injected_total")
+	if injected.Total() == 0 {
+		t.Error("server registry records no injected faults")
+	}
+	modeSeen := false
+	if injected != nil {
+		for _, m := range injected.Metrics {
+			if m.Labels["mode"] == "rate-limit" && m.Value > 0 {
+				modeSeen = true
+			}
+		}
+	}
+	if !modeSeen {
+		t.Error("rate-limit mode absent from the server's fault counter")
+	}
+
+	cli := cliReg.Snapshot()
+	retried := false
+	if fam := cli.Family("sift_gtclient_retries_total"); fam != nil {
+		for _, m := range fam.Metrics {
+			if m.Labels["reason"] == "rate_limited" && m.Value > 0 {
+				retried = true
+			}
+		}
+	}
+	if !retried {
+		t.Error("client registry records no rate-limited retries")
+	}
+	opened := false
+	if fam := cli.Family("sift_gtclient_breaker_transitions_total"); fam != nil {
+		for _, m := range fam.Metrics {
+			if m.Labels["to"] == "open" && m.Value > 0 {
+				opened = true
+			}
+		}
+	}
+	if !opened {
+		t.Error("breaker recorded no open transition under a hard 429 wall")
+	}
+	if cli.Family("sift_gtclient_breaker_open_units").Total() == 0 {
+		t.Error("open-units gauge still zero with every unit benched")
+	}
+	if cli.Family("sift_gtclient_fetch_errors_total").Total() == 0 {
+		t.Error("terminal fetch failures not counted")
+	}
+}
+
 // TestPoolBreakerBenchesAndRecovers pins the circuit breaker against a
 // unit the service permanently hates: the pool benches it after the
 // threshold, routes around it, and retries it after the cooldown.
@@ -237,6 +312,8 @@ func TestPoolBreakerBenchesAndRecovers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	reg := obs.NewRegistry()
+	pool.Metrics = reg
 	pool.BreakerThreshold = 2
 	pool.BreakerCooldown = time.Hour
 	clock := t0
@@ -275,6 +352,24 @@ func TestPoolBreakerBenchesAndRecovers(t *testing.T) {
 	}
 	if goodHits == 0 {
 		t.Fatal("healthy unit unused")
+	}
+
+	// The metric view must agree with Stats(): one open transition per
+	// bench of the soured unit, and exactly one unit open right now.
+	snap := reg.Snapshot()
+	var openTrips float64
+	if fam := snap.Family("sift_gtclient_breaker_transitions_total"); fam != nil {
+		for _, m := range fam.Metrics {
+			if m.Labels["unit"] == "10.1.0.1" && m.Labels["to"] == "open" {
+				openTrips = m.Value
+			}
+		}
+	}
+	if want := float64(pool.Stats().Benched); openTrips != want {
+		t.Errorf("open transitions for soured unit = %v, want %v (one per bench)", openTrips, want)
+	}
+	if got := snap.Family("sift_gtclient_breaker_open_units").Total(); got != 1 {
+		t.Errorf("open-units gauge = %v, want 1", got)
 	}
 }
 

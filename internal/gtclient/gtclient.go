@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"sift/internal/gtrends"
+	"sift/internal/obs"
 )
 
 // Client fetches frames from one source address. It implements
@@ -42,10 +43,57 @@ type Client struct {
 	// of fetchers rate-limited together does not retry in lockstep.
 	// Default 0.2; negative disables.
 	Jitter float64
+	// Metrics selects the registry the client's counters report into;
+	// nil uses obs.Default(). Set before the first fetch.
+	Metrics *obs.Registry
 
 	mu    sync.Mutex
 	stats Stats
 	jrand *rand.Rand
+	om    *clientObs
+}
+
+// clientObs caches the client's metric handles, labeled by fetcher unit.
+type clientObs struct {
+	requests   obs.Counter   // sift_gtclient_requests_total
+	retries    obs.CounterVec // sift_gtclient_retries_total{unit,reason}
+	backoff    obs.Histogram // sift_gtclient_backoff_sleep_seconds
+	retryAfter obs.Counter   // sift_gtclient_retry_after_honored_total
+	errors     obs.Counter   // sift_gtclient_fetch_errors_total
+	unit       string
+}
+
+// unitLabel names this client for metric labels.
+func (c *Client) unitLabel() string {
+	if c.SourceIP != "" {
+		return c.SourceIP
+	}
+	return "direct"
+}
+
+// observed returns the client's cached metric handles, building them on
+// first use.
+func (c *Client) observed() *clientObs {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.om == nil {
+		r := c.Metrics
+		unit := c.unitLabel()
+		c.om = &clientObs{
+			requests: r.CounterVec("sift_gtclient_requests_total",
+				"HTTP requests issued by fetcher unit, retries included", "unit").With(unit),
+			retries: r.CounterVec("sift_gtclient_retries_total",
+				"fetch retries by fetcher unit and cause", "unit", "reason"),
+			backoff: r.HistogramVec("sift_gtclient_backoff_sleep_seconds",
+				"backoff sleeps between retries", nil, "unit").With(unit),
+			retryAfter: r.CounterVec("sift_gtclient_retry_after_honored_total",
+				"retries whose delay came from a server Retry-After hint", "unit").With(unit),
+			errors: r.CounterVec("sift_gtclient_fetch_errors_total",
+				"fetches that failed terminally after retries", "unit").With(unit),
+			unit: unit,
+		}
+	}
+	return c.om
 }
 
 // Stats counts a client's request outcomes.
@@ -126,6 +174,7 @@ func (c *Client) FetchFrame(ctx context.Context, req gtrends.FrameRequest) (*gtr
 	if err != nil {
 		return nil, err
 	}
+	om := c.observed()
 	backoff := c.retryBase()
 	var lastErr error
 	for attempt := 0; attempt <= c.maxRetries(); attempt++ {
@@ -141,13 +190,17 @@ func (c *Client) FetchFrame(ctx context.Context, req gtrends.FrameRequest) (*gtr
 		delay := c.jitter(backoff)
 		if retryAfter > 0 {
 			delay = retryAfter
+			om.retryAfter.Inc()
 		}
 		backoff *= 2
 		if deadline, ok := ctx.Deadline(); ok && time.Until(deadline) < delay {
 			c.count(func(s *Stats) { s.Errors++ })
+			om.errors.Inc()
 			return nil, fmt.Errorf("gtclient: backoff of %v outlives context deadline (after %w): %w",
 				delay, lastErr, context.DeadlineExceeded)
 		}
+		om.retries.With(om.unit, retryReason(re)).Inc()
+		om.backoff.Observe(delay.Seconds())
 		select {
 		case <-ctx.Done():
 			return nil, ctx.Err()
@@ -155,7 +208,22 @@ func (c *Client) FetchFrame(ctx context.Context, req gtrends.FrameRequest) (*gtr
 		}
 	}
 	c.count(func(s *Stats) { s.Errors++ })
+	om.errors.Inc()
 	return nil, fmt.Errorf("gtclient: retries exhausted: %w", lastErr)
+}
+
+// retryReason classifies a retryable failure for the retries counter.
+func retryReason(re *retryableError) string {
+	switch {
+	case re.status == http.StatusTooManyRequests:
+		return "rate_limited"
+	case re.status >= 500:
+		return "server_error"
+	case errors.Is(re, gtrends.ErrCorruptFrame):
+		return "corrupt"
+	default:
+		return "network"
+	}
 }
 
 // retryableError marks failures worth retrying: 429/5xx statuses, severed
@@ -204,6 +272,7 @@ func (c *Client) once(ctx context.Context, u string, req gtrends.FrameRequest) (
 		httpReq.Header.Set("X-Fetcher-IP", c.SourceIP)
 	}
 	c.count(func(s *Stats) { s.Requests++ })
+	c.observed().requests.Inc()
 	resp, err := c.httpClient().Do(httpReq)
 	if err != nil {
 		if ctx.Err() != nil {

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"sift/internal/gtrends"
+	"sift/internal/obs"
 )
 
 // Pool distributes frame requests over fetcher units behind distinct
@@ -27,12 +28,48 @@ type Pool struct {
 	// to before the failure is declared permanent. Default: one attempt
 	// per remaining unit, at least 1.
 	JobRetries int
+	// Metrics selects the registry the pool's breaker counters (and its
+	// units' client counters) report into; nil uses obs.Default(). Set
+	// before the first fetch.
+	Metrics *obs.Registry
 
 	mu      sync.Mutex
 	units   []*unit
 	next    int
 	benched int              // breaker trips, for stats
 	now     func() time.Time // injectable for tests
+
+	obsOnce sync.Once
+	om      *poolObs
+}
+
+// poolObs caches the pool's breaker metric handles.
+type poolObs struct {
+	transitions obs.CounterVec // sift_gtclient_breaker_transitions_total{unit,to}
+	openUnits   obs.Gauge      // sift_gtclient_breaker_open_units
+	rotations   obs.Counter    // sift_gtclient_rotations_total
+}
+
+// observed builds the pool's metric handles on first use and propagates
+// the pool's registry to units that have none of their own.
+func (p *Pool) observed() *poolObs {
+	p.obsOnce.Do(func() {
+		r := p.Metrics
+		for _, u := range p.units {
+			if u.c.Metrics == nil {
+				u.c.Metrics = r
+			}
+		}
+		p.om = &poolObs{
+			transitions: r.CounterVec("sift_gtclient_breaker_transitions_total",
+				"circuit-breaker state transitions by fetcher unit", "unit", "to"),
+			openUnits: r.Gauge("sift_gtclient_breaker_open_units",
+				"fetcher units currently benched by the circuit breaker"),
+			rotations: r.Counter("sift_gtclient_rotations_total",
+				"failed requests rotated onto another fetcher unit"),
+		}
+	})
+	return p.om
 }
 
 // unit is one fetcher plus its circuit-breaker state (guarded by Pool.mu).
@@ -40,6 +77,7 @@ type unit struct {
 	c           *Client
 	consecutive int
 	openUntil   time.Time
+	open        bool // true while benched, for transition accounting
 }
 
 // NewPool builds n fetcher units against baseURL, each with a distinct
@@ -138,11 +176,17 @@ func (p *Pool) report(u *unit, err error) {
 		// The caller gave up; that says nothing about the unit's health.
 		return
 	}
+	om := p.observed()
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if err == nil {
 		u.consecutive = 0
 		u.openUntil = time.Time{}
+		if u.open {
+			u.open = false
+			om.openUnits.Dec()
+			om.transitions.With(u.c.unitLabel(), "closed").Inc()
+		}
 		return
 	}
 	threshold := p.breakerThreshold()
@@ -156,15 +200,24 @@ func (p *Pool) report(u *unit, err error) {
 		// half-open trial benches it again immediately.
 		u.consecutive = threshold - 1
 		p.benched++
+		om.transitions.With(u.c.unitLabel(), "open").Inc()
+		if !u.open {
+			u.open = true
+			om.openUnits.Inc()
+		}
 	}
 }
 
 // FetchFrame routes one request round-robin over healthy units, rotating
 // a failed request onto other units before giving up.
 func (p *Pool) FetchFrame(ctx context.Context, req gtrends.FrameRequest) (*gtrends.Frame, error) {
+	om := p.observed()
 	attempts := p.jobRetries() + 1
 	var lastErr error
 	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			om.rotations.Inc()
+		}
 		u := p.pick()
 		frame, err := u.c.FetchFrame(ctx, req)
 		p.report(u, err)

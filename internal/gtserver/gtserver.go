@@ -31,6 +31,7 @@ import (
 	"sift/internal/faults"
 	"sift/internal/geo"
 	"sift/internal/gtrends"
+	"sift/internal/obs"
 )
 
 // Config tunes the server. Zero fields take the documented defaults.
@@ -52,6 +53,9 @@ type Config struct {
 	// response is written; must be safe for concurrent use. Injected
 	// fault responses and rejected requests never reach it.
 	OnFrame func(f *gtrends.Frame)
+	// Metrics selects the registry the server's request and fault
+	// counters report into; nil uses obs.Default().
+	Metrics *obs.Registry
 }
 
 func (c *Config) fillDefaults() {
@@ -70,6 +74,13 @@ type Server struct {
 	limiter *Limiter
 	cfg     Config
 	mux     *http.ServeMux
+	om      serverObs
+}
+
+// serverObs holds the server's metric handles.
+type serverObs struct {
+	requests obs.CounterVec // sift_gtserver_requests_total{status}
+	faults   obs.CounterVec // sift_gtserver_faults_injected_total{mode}
 }
 
 // New builds a Server over an engine.
@@ -80,6 +91,12 @@ func New(engine *gtrends.Engine, cfg Config) *Server {
 		limiter: NewLimiter(cfg.RatePerSec, cfg.Burst, nil),
 		cfg:     cfg,
 		mux:     http.NewServeMux(),
+		om: serverObs{
+			requests: cfg.Metrics.CounterVec("sift_gtserver_requests_total",
+				"trends API requests by response status", "status"),
+			faults: cfg.Metrics.CounterVec("sift_gtserver_faults_injected_total",
+				"chaos faults injected by mode", "mode"),
+		},
 	}
 	s.mux.HandleFunc("GET /api/trends", s.handleTrends)
 	s.mux.HandleFunc("GET /api/stats", s.handleStats)
@@ -159,6 +176,7 @@ func (s *Server) handleTrends(w http.ResponseWriter, r *http.Request) {
 		seconds := int(retry/time.Second) + 1
 		w.Header().Set("Retry-After", strconv.Itoa(seconds))
 		s.writeError(w, http.StatusTooManyRequests, "rate limit exceeded")
+		s.om.requests.With("429").Inc()
 		s.logf("429 %s trends", client)
 		return
 	}
@@ -166,6 +184,7 @@ func (s *Server) handleTrends(w http.ResponseWriter, r *http.Request) {
 	req, err := parseTrendsQuery(r)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err.Error())
+		s.om.requests.With("400").Inc()
 		return
 	}
 	frame, err := s.engine.Fetch(req)
@@ -173,11 +192,13 @@ func (s *Server) handleTrends(w http.ResponseWriter, r *http.Request) {
 		// All engine failures are request-shaped (validation); internal
 		// errors cannot occur for a well-formed request.
 		s.writeError(w, http.StatusBadRequest, err.Error())
+		s.om.requests.With("400").Inc()
 		return
 	}
 	if s.cfg.OnFrame != nil {
 		s.cfg.OnFrame(frame)
 	}
+	s.om.requests.With("200").Inc()
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(frame); err != nil {
 		s.logf("encode error for %s: %v", client, err)

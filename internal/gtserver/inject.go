@@ -19,6 +19,9 @@ import (
 // per-request sampling counter advances exactly as in a fault-free run.
 func (s *Server) inject(w http.ResponseWriter, r *http.Request, client string) bool {
 	d := s.cfg.Faults.Decide(client)
+	if d.Mode != faults.None {
+		s.om.faults.With(d.Mode.String()).Inc()
+	}
 	switch d.Mode {
 	case faults.None:
 		return false

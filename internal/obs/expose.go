@@ -1,0 +1,310 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// ---- Prometheus text exposition (version 0.0.4) ----
+
+// escapeLabel escapes a label value for the text format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+// escapeHelp escapes a HELP line.
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+// formatValue renders a sample value.
+func formatValue(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// labelPairs renders {name="value",...} from parallel name/value slices,
+// with extra appended last (the histogram le pair). Empty input renders
+// as the empty string.
+func labelPairs(names, values []string, extra ...string) string {
+	var parts []string
+	for i, n := range names {
+		parts = append(parts, fmt.Sprintf(`%s=%q`, n, escapeLabel(values[i])))
+	}
+	for i := 0; i+1 < len(extra); i += 2 {
+		parts = append(parts, fmt.Sprintf(`%s=%q`, extra[i], escapeLabel(extra[i+1])))
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// WritePrometheus encodes every family in the registry in the Prometheus
+// text exposition format, families and members in deterministic order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.sortedFamilies() {
+		fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
+		for _, m := range f.sortedMetrics() {
+			switch f.kind {
+			case KindCounter, KindGauge:
+				fmt.Fprintf(bw, "%s%s %s\n", f.name, labelPairs(f.labelNames, m.labelValues), formatValue(m.val.Load()))
+			case KindHistogram:
+				cum := uint64(0)
+				for i, bound := range f.buckets {
+					cum += m.counts[i].Load()
+					le := strconv.FormatFloat(bound, 'g', -1, 64)
+					fmt.Fprintf(bw, "%s_bucket%s %d\n", f.name, labelPairs(f.labelNames, m.labelValues, "le", le), cum)
+				}
+				cum += m.counts[len(f.buckets)].Load()
+				fmt.Fprintf(bw, "%s_bucket%s %d\n", f.name, labelPairs(f.labelNames, m.labelValues, "le", "+Inf"), cum)
+				fmt.Fprintf(bw, "%s_sum%s %s\n", f.name, labelPairs(f.labelNames, m.labelValues), formatValue(m.sum.Load()))
+				fmt.Fprintf(bw, "%s_count%s %d\n", f.name, labelPairs(f.labelNames, m.labelValues), m.count.Load())
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Handler serves the registry in the Prometheus text format — mount it at
+// /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// ---- JSON snapshot ----
+
+// BucketSnapshot is one cumulative histogram bucket.
+type BucketSnapshot struct {
+	LE         string `json:"le"` // upper bound, "+Inf" for the last
+	Cumulative uint64 `json:"cumulative"`
+}
+
+// MetricSnapshot is one family member at snapshot time.
+type MetricSnapshot struct {
+	Labels  map[string]string `json:"labels,omitempty"`
+	Value   float64           `json:"value,omitempty"`
+	Sum     float64           `json:"sum,omitempty"`
+	Count   uint64            `json:"count,omitempty"`
+	Buckets []BucketSnapshot  `json:"buckets,omitempty"`
+}
+
+// FamilySnapshot is one family at snapshot time.
+type FamilySnapshot struct {
+	Name    string           `json:"name"`
+	Kind    string           `json:"kind"`
+	Help    string           `json:"help,omitempty"`
+	Metrics []MetricSnapshot `json:"metrics"`
+}
+
+// Snapshot captures every family for the -metrics-out JSON artifact.
+type Snapshot struct {
+	Families []FamilySnapshot `json:"families"`
+}
+
+// Family returns the named family's snapshot, or nil when absent.
+func (s Snapshot) Family(name string) *FamilySnapshot {
+	for i := range s.Families {
+		if s.Families[i].Name == name {
+			return &s.Families[i]
+		}
+	}
+	return nil
+}
+
+// Total sums a family's counter/gauge values, or histogram counts, across
+// all members — the "is this family populated" probe tests and tools use.
+func (f *FamilySnapshot) Total() float64 {
+	if f == nil {
+		return 0
+	}
+	var total float64
+	for _, m := range f.Metrics {
+		if f.Kind == KindHistogram.String() {
+			total += float64(m.Count)
+		} else {
+			total += m.Value
+		}
+	}
+	return total
+}
+
+// Snapshot captures the registry's current state.
+func (r *Registry) Snapshot() Snapshot {
+	var snap Snapshot
+	for _, f := range r.sortedFamilies() {
+		fs := FamilySnapshot{Name: f.name, Kind: f.kind.String(), Help: f.help}
+		for _, m := range f.sortedMetrics() {
+			ms := MetricSnapshot{}
+			if len(f.labelNames) > 0 {
+				ms.Labels = make(map[string]string, len(f.labelNames))
+				for i, n := range f.labelNames {
+					ms.Labels[n] = m.labelValues[i]
+				}
+			}
+			switch f.kind {
+			case KindCounter, KindGauge:
+				ms.Value = m.val.Load()
+			case KindHistogram:
+				cum := uint64(0)
+				for i, bound := range f.buckets {
+					cum += m.counts[i].Load()
+					ms.Buckets = append(ms.Buckets, BucketSnapshot{
+						LE:         strconv.FormatFloat(bound, 'g', -1, 64),
+						Cumulative: cum,
+					})
+				}
+				cum += m.counts[len(f.buckets)].Load()
+				ms.Buckets = append(ms.Buckets, BucketSnapshot{LE: "+Inf", Cumulative: cum})
+				ms.Sum = m.sum.Load()
+				ms.Count = m.count.Load()
+			}
+			fs.Metrics = append(fs.Metrics, ms)
+		}
+		snap.Families = append(snap.Families, fs)
+	}
+	return snap
+}
+
+// WriteJSON writes the snapshot as indented JSON — the sift -metrics-out
+// artifact format.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// ---- Exposition validation (the CI scrape checker) ----
+
+var (
+	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	sampleLineRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(\S+)(\s+-?\d+)?$`)
+	labelPairRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"$`)
+)
+
+// ParseExposition validates a Prometheus text exposition: HELP/TYPE
+// comment structure, metric-name syntax, label syntax, and parseable
+// sample values. It returns the number of TYPE-declared families and
+// sample lines seen. Used by cmd/promcheck (the CI scrape validator) and
+// the obs tests; it accepts any valid exposition, not just this
+// package's output.
+func ParseExposition(r io.Reader) (families, samples int, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	typed := make(map[string]string)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimRight(sc.Text(), " \t")
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				continue // free-form comment
+			}
+			if !metricNameRe.MatchString(fields[2]) {
+				return families, samples, fmt.Errorf("line %d: bad metric name %q in %s comment", lineNo, fields[2], fields[1])
+			}
+			if fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return families, samples, fmt.Errorf("line %d: TYPE line needs a type", lineNo)
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return families, samples, fmt.Errorf("line %d: unknown type %q", lineNo, fields[3])
+				}
+				if _, dup := typed[fields[2]]; dup {
+					return families, samples, fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, fields[2])
+				}
+				typed[fields[2]] = fields[3]
+				families++
+			}
+			continue
+		}
+		m := sampleLineRe.FindStringSubmatch(line)
+		if m == nil {
+			return families, samples, fmt.Errorf("line %d: unparseable sample %q", lineNo, line)
+		}
+		if _, perr := strconv.ParseFloat(strings.TrimPrefix(m[3], "+"), 64); perr != nil && m[3] != "+Inf" && m[3] != "-Inf" && m[3] != "NaN" {
+			return families, samples, fmt.Errorf("line %d: bad sample value %q", lineNo, m[3])
+		}
+		if m[2] != "" {
+			body := strings.TrimSuffix(strings.TrimPrefix(m[2], "{"), "}")
+			if body != "" {
+				for _, pair := range splitLabelPairs(body) {
+					if !labelPairRe.MatchString(pair) {
+						return families, samples, fmt.Errorf("line %d: bad label pair %q", lineNo, pair)
+					}
+				}
+			}
+		}
+		// A sample must belong to a declared family (histogram series
+		// carry _bucket/_sum/_count suffixes).
+		name := m[1]
+		if _, ok := typed[name]; !ok {
+			base := name
+			for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+				if t, ok := typed[strings.TrimSuffix(name, suffix)]; ok && strings.HasSuffix(name, suffix) && (t == "histogram" || t == "summary") {
+					base = strings.TrimSuffix(name, suffix)
+					break
+				}
+			}
+			if _, ok := typed[base]; !ok {
+				return families, samples, fmt.Errorf("line %d: sample %s has no TYPE declaration", lineNo, name)
+			}
+		}
+		samples++
+	}
+	if serr := sc.Err(); serr != nil {
+		return families, samples, serr
+	}
+	if families == 0 || samples == 0 {
+		return families, samples, fmt.Errorf("exposition empty: %d families, %d samples", families, samples)
+	}
+	return families, samples, nil
+}
+
+// splitLabelPairs splits a label body on commas outside quoted values.
+func splitLabelPairs(body string) []string {
+	var out []string
+	var cur strings.Builder
+	inQuote, escaped := false, false
+	for _, r := range body {
+		switch {
+		case escaped:
+			escaped = false
+			cur.WriteRune(r)
+		case r == '\\':
+			escaped = true
+			cur.WriteRune(r)
+		case r == '"':
+			inQuote = !inQuote
+			cur.WriteRune(r)
+		case r == ',' && !inQuote:
+			out = append(out, cur.String())
+			cur.Reset()
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	if cur.Len() > 0 {
+		out = append(out, cur.String())
+	}
+	return out
+}

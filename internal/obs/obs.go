@@ -1,0 +1,394 @@
+// Package obs is SIFT's dependency-free metrics subsystem: atomic
+// counters, gauges, and fixed-bucket histograms, grouped into labeled
+// families inside a Registry, with a Prometheus-text-format encoder and a
+// JSON snapshot writer (see expose.go). Every hot layer of the crawl —
+// gtclient's retry/backoff/breaker path, the engine's frame cache and
+// scheduler, the pipeline's stages, and the store's write-behind queue —
+// reports through one registry, so a single scrape answers "is the crawl
+// healthy" the way the paper's weeks-long collection runs demand.
+//
+// Design constraints, in order: zero external dependencies, safe for
+// concurrent use, cheap enough for fetch-path call sites (one atomic op
+// per event on cached handles), and idempotent registration (two
+// components asking for the same family share it).
+//
+// Naming follows the Prometheus conventions: sift_<layer>_<name>[_unit]
+// with counters suffixed _total. Label cardinality is kept deliberately
+// small (fetcher units, stage names, fault reasons) — never per-term or
+// per-window.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind discriminates the metric families.
+type Kind uint8
+
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+// String names the kind as the Prometheus TYPE keyword.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// atomicFloat is a float64 with atomic add/store via bit-casting.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat) Load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+func (f *atomicFloat) Store(v float64) { f.bits.Store(math.Float64bits(v)) }
+
+func (f *atomicFloat) Add(delta float64) {
+	for {
+		old := f.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if f.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// metric is one labeled member of a family. Counters and gauges use val;
+// histograms use counts/sum/count.
+type metric struct {
+	labelValues []string
+	val         atomicFloat
+	counts      []atomic.Uint64 // one per bound, plus +Inf at the end
+	sum         atomicFloat
+	count       atomic.Uint64
+}
+
+// Family is one named group of metrics sharing a kind, help text, and
+// label names. Obtain via the Registry constructors; the zero value is
+// not usable.
+type Family struct {
+	name       string
+	help       string
+	kind       Kind
+	labelNames []string
+	buckets    []float64 // histogram upper bounds, ascending, no +Inf
+
+	mu      sync.RWMutex
+	metrics map[string]*metric
+}
+
+// labelKey joins label values into the family's metric map key.
+func labelKey(values []string) string { return strings.Join(values, "\x1f") }
+
+// get returns (creating if needed) the member for the given label values.
+func (f *Family) get(values []string) *metric {
+	if len(values) != len(f.labelNames) {
+		panic(fmt.Sprintf("obs: family %s has %d labels, got %d values", f.name, len(f.labelNames), len(values)))
+	}
+	key := labelKey(values)
+	f.mu.RLock()
+	m, ok := f.metrics[key]
+	f.mu.RUnlock()
+	if ok {
+		return m
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if m, ok = f.metrics[key]; ok {
+		return m
+	}
+	m = &metric{labelValues: append([]string(nil), values...)}
+	if f.kind == KindHistogram {
+		m.counts = make([]atomic.Uint64, len(f.buckets)+1)
+	}
+	f.metrics[key] = m
+	return m
+}
+
+// Registry holds metric families. The zero *Registry is usable: every
+// method on a nil receiver operates on the process-wide Default registry,
+// so components can carry an optional *Registry field and call it
+// unconditionally.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*Family
+}
+
+// NewRegistry returns an empty registry, for tests and embedded use.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*Family)}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry that nil-receiver calls and
+// uninstrumented components report into.
+func Default() *Registry { return defaultRegistry }
+
+func (r *Registry) orDefault() *Registry {
+	if r == nil {
+		return defaultRegistry
+	}
+	return r
+}
+
+// family returns the named family, creating it on first use. Registration
+// is idempotent: a second caller with the same name shares the first's
+// family. A kind or label-shape mismatch is a programming error and
+// panics.
+func (r *Registry) family(name, help string, kind Kind, buckets []float64, labelNames []string) *Family {
+	r = r.orDefault()
+	r.mu.RLock()
+	f, ok := r.families[name]
+	r.mu.RUnlock()
+	if !ok {
+		r.mu.Lock()
+		if f, ok = r.families[name]; !ok {
+			f = &Family{
+				name:       name,
+				help:       help,
+				kind:       kind,
+				labelNames: append([]string(nil), labelNames...),
+				buckets:    append([]float64(nil), buckets...),
+				metrics:    make(map[string]*metric),
+			}
+			r.families[name] = f
+		}
+		r.mu.Unlock()
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: family %s registered as %v, requested as %v", name, f.kind, kind))
+	}
+	if len(f.labelNames) != len(labelNames) {
+		panic(fmt.Sprintf("obs: family %s registered with labels %v, requested with %v", name, f.labelNames, labelNames))
+	}
+	return f
+}
+
+// ---- Counter ----
+
+// Counter is a monotonically increasing value. The zero Counter is a
+// detached no-op (reads as 0, increments are dropped), so optional
+// instrumentation needs no nil checks.
+type Counter struct{ m *metric }
+
+// Inc adds one.
+func (c Counter) Inc() { c.Add(1) }
+
+// Add adds delta, which must be non-negative (negative deltas are
+// dropped: counters are monotonic).
+func (c Counter) Add(delta float64) {
+	if c.m == nil || delta < 0 {
+		return
+	}
+	c.m.val.Add(delta)
+}
+
+// Value returns the current count.
+func (c Counter) Value() float64 {
+	if c.m == nil {
+		return 0
+	}
+	return c.m.val.Load()
+}
+
+// Counter returns the unlabeled counter family's sole member.
+func (r *Registry) Counter(name, help string) Counter {
+	return Counter{m: r.family(name, help, KindCounter, nil, nil).get(nil)}
+}
+
+// CounterVec is a counter family with labels.
+type CounterVec struct{ f *Family }
+
+// CounterVec returns the labeled counter family.
+func (r *Registry) CounterVec(name, help string, labelNames ...string) CounterVec {
+	return CounterVec{f: r.family(name, help, KindCounter, nil, labelNames)}
+}
+
+// With returns the member for the given label values, creating it on
+// first use.
+func (v CounterVec) With(labelValues ...string) Counter {
+	if v.f == nil {
+		return Counter{}
+	}
+	return Counter{m: v.f.get(labelValues)}
+}
+
+// ---- Gauge ----
+
+// Gauge is a value that can go up and down. The zero Gauge is a detached
+// no-op.
+type Gauge struct{ m *metric }
+
+// Set stores v.
+func (g Gauge) Set(v float64) {
+	if g.m == nil {
+		return
+	}
+	g.m.val.Store(v)
+}
+
+// Add adds delta (negative allowed).
+func (g Gauge) Add(delta float64) {
+	if g.m == nil {
+		return
+	}
+	g.m.val.Add(delta)
+}
+
+// Inc adds one.
+func (g Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value.
+func (g Gauge) Value() float64 {
+	if g.m == nil {
+		return 0
+	}
+	return g.m.val.Load()
+}
+
+// Gauge returns the unlabeled gauge family's sole member.
+func (r *Registry) Gauge(name, help string) Gauge {
+	return Gauge{m: r.family(name, help, KindGauge, nil, nil).get(nil)}
+}
+
+// GaugeVec is a gauge family with labels.
+type GaugeVec struct{ f *Family }
+
+// GaugeVec returns the labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labelNames ...string) GaugeVec {
+	return GaugeVec{f: r.family(name, help, KindGauge, nil, labelNames)}
+}
+
+// With returns the member for the given label values.
+func (v GaugeVec) With(labelValues ...string) Gauge {
+	if v.f == nil {
+		return Gauge{}
+	}
+	return Gauge{m: v.f.get(labelValues)}
+}
+
+// ---- Histogram ----
+
+// Histogram accumulates observations into fixed cumulative buckets. The
+// zero Histogram is a detached no-op.
+type Histogram struct {
+	f *Family
+	m *metric
+}
+
+// Observe records one observation.
+func (h Histogram) Observe(v float64) {
+	if h.m == nil {
+		return
+	}
+	idx := sort.SearchFloat64s(h.f.buckets, v) // first bound >= v
+	h.m.counts[idx].Add(1)
+	h.m.sum.Add(v)
+	h.m.count.Add(1)
+}
+
+// Count returns the number of observations.
+func (h Histogram) Count() uint64 {
+	if h.m == nil {
+		return 0
+	}
+	return h.m.count.Load()
+}
+
+// Sum returns the sum of all observations.
+func (h Histogram) Sum() float64 {
+	if h.m == nil {
+		return 0
+	}
+	return h.m.sum.Load()
+}
+
+// DefBuckets covers the latency range the crawl cares about: sub-ms lock
+// waits up to multi-second rate-limit backoffs.
+var DefBuckets = []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30}
+
+// LinearBuckets returns count bounds starting at start, width apart.
+func LinearBuckets(start, width float64, count int) []float64 {
+	out := make([]float64, count)
+	for i := range out {
+		out[i] = start + float64(i)*width
+	}
+	return out
+}
+
+// Histogram returns the unlabeled histogram family's sole member. nil
+// buckets take DefBuckets. Bounds must be ascending.
+func (r *Registry) Histogram(name, help string, buckets []float64) Histogram {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	f := r.family(name, help, KindHistogram, buckets, nil)
+	return Histogram{f: f, m: f.get(nil)}
+}
+
+// HistogramVec is a histogram family with labels.
+type HistogramVec struct{ f *Family }
+
+// HistogramVec returns the labeled histogram family. nil buckets take
+// DefBuckets.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labelNames ...string) HistogramVec {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	return HistogramVec{f: r.family(name, help, KindHistogram, buckets, labelNames)}
+}
+
+// With returns the member for the given label values.
+func (v HistogramVec) With(labelValues ...string) Histogram {
+	if v.f == nil {
+		return Histogram{}
+	}
+	return Histogram{f: v.f, m: v.f.get(labelValues)}
+}
+
+// sortedFamilies snapshots the registry's families in name order.
+func (r *Registry) sortedFamilies() []*Family {
+	r = r.orDefault()
+	r.mu.RLock()
+	out := make([]*Family, 0, len(r.families))
+	for _, f := range r.families {
+		out = append(out, f)
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// sortedMetrics snapshots a family's members in label order.
+func (f *Family) sortedMetrics() []*metric {
+	f.mu.RLock()
+	keys := make([]string, 0, len(f.metrics))
+	for k := range f.metrics {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*metric, len(keys))
+	for i, k := range keys {
+		out[i] = f.metrics[k]
+	}
+	f.mu.RUnlock()
+	return out
+}

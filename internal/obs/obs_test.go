@@ -1,0 +1,218 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_ops_total", "ops")
+	c.Inc()
+	c.Add(2)
+	c.Add(-5) // dropped: counters are monotonic
+	if got := c.Value(); got != 3 {
+		t.Errorf("counter = %v, want 3", got)
+	}
+	// Idempotent registration shares the member.
+	if got := r.Counter("test_ops_total", "ops").Value(); got != 3 {
+		t.Errorf("re-registered counter = %v, want 3", got)
+	}
+
+	g := r.Gauge("test_depth", "depth")
+	g.Set(10)
+	g.Dec()
+	g.Add(-2)
+	if got := g.Value(); got != 7 {
+		t.Errorf("gauge = %v, want 7", got)
+	}
+}
+
+func TestVecLabels(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("test_req_total", "requests", "unit", "code")
+	v.With("10.1.0.1", "429").Add(4)
+	v.With("10.2.0.1", "200").Inc()
+	if got := v.With("10.1.0.1", "429").Value(); got != 4 {
+		t.Errorf("labeled counter = %v, want 4", got)
+	}
+	if got := v.With("10.1.0.1", "200").Value(); got != 0 {
+		t.Errorf("fresh label combination = %v, want 0", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_lat_seconds", "latency", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5", h.Count())
+	}
+	if h.Sum() != 55.65 {
+		t.Errorf("sum = %v, want 55.65", h.Sum())
+	}
+	snap := r.Snapshot().Family("test_lat_seconds")
+	if snap == nil {
+		t.Fatal("family missing from snapshot")
+	}
+	want := []uint64{2, 3, 4, 5} // cumulative: le=0.1, le=1, le=10, +Inf
+	for i, b := range snap.Metrics[0].Buckets {
+		if b.Cumulative != want[i] {
+			t.Errorf("bucket %s cumulative = %d, want %d", b.LE, b.Cumulative, want[i])
+		}
+	}
+}
+
+func TestZeroValuesAreNoops(t *testing.T) {
+	var c Counter
+	var g Gauge
+	var h Histogram
+	c.Inc()
+	g.Set(5)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Error("zero-value instruments should be inert")
+	}
+	var cv CounterVec
+	var gv GaugeVec
+	var hv HistogramVec
+	cv.With("x").Inc()
+	gv.With("x").Set(1)
+	hv.With("x").Observe(1)
+}
+
+func TestNilRegistryUsesDefault(t *testing.T) {
+	var r *Registry
+	c := r.Counter("test_nil_registry_total", "nil receiver")
+	c.Inc()
+	if got := Default().Counter("test_nil_registry_total", "nil receiver").Value(); got != 1 {
+		t.Errorf("nil-receiver counter not in Default: %v", got)
+	}
+}
+
+func TestPrometheusRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("test_requests_total", "requests by unit", "unit").With("10.1.0.1").Add(7)
+	r.Gauge("test_queue_depth", "queue depth").Set(3)
+	h := r.Histogram("test_wait_seconds", "wait", nil)
+	h.Observe(0.002)
+	h.Observe(2)
+	r.CounterVec("test_escapes_total", "label \"escaping\"", "path").With(`a\b"c` + "\nd").Inc()
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`test_requests_total{unit="10.1.0.1"} 7`,
+		"# TYPE test_requests_total counter",
+		"# TYPE test_queue_depth gauge",
+		"test_queue_depth 3",
+		"# TYPE test_wait_seconds histogram",
+		`test_wait_seconds_bucket{le="+Inf"} 2`,
+		"test_wait_seconds_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	families, samples, err := ParseExposition(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("own exposition does not validate: %v\n%s", err, out)
+	}
+	if families != 4 {
+		t.Errorf("families = %d, want 4", families)
+	}
+	if samples == 0 {
+		t.Error("no samples parsed")
+	}
+}
+
+func TestParseExpositionRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"no TYPE":        "orphan_metric 1\n",
+		"bad value":      "# TYPE m counter\nm one\n",
+		"bad label":      "# TYPE m counter\nm{=\"x\"} 1\n",
+		"unknown type":   "# TYPE m rainbow\nm 1\n",
+		"empty":          "",
+		"duplicate TYPE": "# TYPE m counter\n# TYPE m counter\nm 1\n",
+	}
+	for name, in := range cases {
+		if _, _, err := ParseExposition(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected a parse error", name)
+		}
+	}
+}
+
+func TestHandlerServesExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_handler_total", "handler").Inc()
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	if _, _, err := ParseExposition(resp.Body); err != nil {
+		t.Errorf("served exposition invalid: %v", err)
+	}
+}
+
+func TestSnapshotJSONAndTotals(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("test_retries_total", "retries", "reason").With("rate_limited").Add(5)
+	r.CounterVec("test_retries_total", "retries", "reason").With("corrupt").Add(2)
+	snap := r.Snapshot()
+	if got := snap.Family("test_retries_total").Total(); got != 7 {
+		t.Errorf("family total = %v, want 7", got)
+	}
+	if snap.Family("absent") != nil {
+		t.Error("absent family should be nil")
+	}
+	if snap.Family("absent").Total() != 0 {
+		t.Error("nil family total should be 0")
+	}
+	var b strings.Builder
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `"rate_limited"`) {
+		t.Errorf("JSON snapshot missing labels:\n%s", b.String())
+	}
+}
+
+func TestConcurrentInstruments(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_conc_total", "concurrent")
+	h := r.Histogram("test_conc_seconds", "concurrent", nil)
+	v := r.CounterVec("test_conc_vec_total", "concurrent", "worker")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(float64(i) / 1000)
+				v.With(string(rune('a' + w))).Inc()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Errorf("counter = %v, want 8000", c.Value())
+	}
+	if h.Count() != 8000 {
+		t.Errorf("histogram count = %d, want 8000", h.Count())
+	}
+}

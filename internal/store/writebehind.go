@@ -2,10 +2,12 @@ package store
 
 import (
 	"sync"
+	"time"
 
 	"sift/internal/core"
 	"sift/internal/geo"
 	"sift/internal/gtrends"
+	"sift/internal/obs"
 	"sift/internal/timeseries"
 )
 
@@ -49,6 +51,33 @@ type WriteBehind struct {
 	pending sync.WaitGroup
 	applied uint64
 	batches uint64
+	om      storeObs
+}
+
+// storeObs holds the write-behind front's metric handles.
+type storeObs struct {
+	queued  obs.Gauge     // sift_store_writebehind_pending
+	applied obs.Counter   // sift_store_writebehind_applied_total
+	batches obs.Counter   // sift_store_writebehind_batches_total
+	dropped obs.Counter   // sift_store_writebehind_dropped_total
+	flush   obs.Histogram // sift_store_writebehind_flush_seconds
+}
+
+// newStoreObs builds the write-behind metric handles against r (nil →
+// Default).
+func newStoreObs(r *obs.Registry) storeObs {
+	return storeObs{
+		queued: r.Gauge("sift_store_writebehind_pending",
+			"mutations buffered and not yet applied to the DB"),
+		applied: r.Counter("sift_store_writebehind_applied_total",
+			"mutations applied to the DB"),
+		batches: r.Counter("sift_store_writebehind_batches_total",
+			"drain batches applied (one lock acquisition each)"),
+		dropped: r.Counter("sift_store_writebehind_dropped_total",
+			"mutations dropped because the front was already closed"),
+		flush: r.Histogram("sift_store_writebehind_flush_seconds",
+			"Flush barrier latency", nil),
+	}
 }
 
 // DefaultWriteBehindBuffer is the channel capacity when NewWriteBehind is
@@ -61,8 +90,17 @@ func NewWriteBehind(db *DB, buffer int) *WriteBehind {
 	if buffer <= 0 {
 		buffer = DefaultWriteBehindBuffer
 	}
-	w := &WriteBehind{db: db, ch: make(chan op, buffer), done: make(chan struct{})}
+	w := &WriteBehind{db: db, ch: make(chan op, buffer), done: make(chan struct{}), om: newStoreObs(nil)}
 	go w.drain()
+	return w
+}
+
+// WithMetrics redirects the front's counters into r, returning the front
+// for chaining. Call right after NewWriteBehind, before the first submit.
+func (w *WriteBehind) WithMetrics(r *obs.Registry) *WriteBehind {
+	w.mu.Lock()
+	w.om = newStoreObs(r)
+	w.mu.Unlock()
 	return w
 }
 
@@ -88,7 +126,11 @@ func (w *WriteBehind) drain() {
 		w.mu.Lock()
 		w.applied += uint64(applied)
 		w.batches++
+		om := w.om
 		w.mu.Unlock()
+		om.queued.Add(-float64(len(batch)))
+		om.applied.Add(float64(applied))
+		om.batches.Inc()
 		// Every op queued before a flush marker sits before it in the
 		// batch (FIFO) and is now applied; release the waiters.
 		for _, o := range batch {
@@ -129,11 +171,14 @@ func (db *DB) applyBatch(batch []op) int {
 // sender.
 func (w *WriteBehind) submit(o op) bool {
 	w.mu.Lock()
+	om := w.om
 	if w.closed {
 		w.mu.Unlock()
+		om.dropped.Inc()
 		return false
 	}
 	w.pending.Add(1)
+	om.queued.Inc()
 	w.mu.Unlock()
 	w.ch <- o
 	w.pending.Done()
@@ -166,6 +211,7 @@ func (w *WriteBehind) PutHealth(term string, state geo.State, h core.CrawlHealth
 // DB — the read-your-writes barrier. Safe to call repeatedly and after
 // Close.
 func (w *WriteBehind) Flush() {
+	began := time.Now()
 	ack := make(chan struct{})
 	if !w.submit(op{kind: opFlush, ack: ack}) {
 		// Already closed: Close drained everything before returning.
@@ -173,6 +219,10 @@ func (w *WriteBehind) Flush() {
 		return
 	}
 	<-ack
+	w.mu.Lock()
+	om := w.om
+	w.mu.Unlock()
+	om.flush.Observe(time.Since(began).Seconds())
 }
 
 // Applied reports how many ops the drainer has written and in how many

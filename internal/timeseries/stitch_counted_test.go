@@ -1,0 +1,75 @@
+package timeseries
+
+import (
+	"testing"
+	"time"
+)
+
+// The anchored flag must expose the ratio-1 fallback without changing the
+// numbers: OverlapRatioAnchored agrees with OverlapRatio on every
+// estimator, for both live and dead overlaps.
+func TestOverlapRatioAnchoredPinsNumbers(t *testing.T) {
+	live := [2]*Series{
+		MustNew(t0, []float64{2, 4, 6, 8}),
+		MustNew(t0.Add(2*time.Hour), []float64{3, 4, 5, 6}),
+	}
+	dead := [2]*Series{
+		MustNew(t0, []float64{2, 4, 0, 0}),
+		MustNew(t0.Add(2*time.Hour), []float64{0, 0, 5, 6}),
+	}
+	for _, est := range []RatioEstimator{RatioOfMeans, MeanOfRatios, MedianOfRatios} {
+		for name, pair := range map[string][2]*Series{"live": live, "dead": dead} {
+			want, wantErr := OverlapRatio(pair[0], pair[1], est)
+			got, anchored, err := OverlapRatioAnchored(pair[0], pair[1], est)
+			if got != want || (err == nil) != (wantErr == nil) {
+				t.Errorf("%v/%s: anchored variant diverged: ratio %v vs %v", est, name, got, want)
+			}
+			if name == "dead" && anchored {
+				t.Errorf("%v: no-signal overlap reported as anchored", est)
+			}
+			if name == "live" && !anchored {
+				t.Errorf("%v: live overlap reported as unanchored", est)
+			}
+			if name == "dead" && got != 1 {
+				t.Errorf("%v: no-signal fallback ratio = %v, want 1", est, got)
+			}
+		}
+	}
+}
+
+// StitchFromCounted must produce byte-identical series to StitchFrom —
+// the unanchored count is observability, not a behaviour change.
+func TestStitchFromCountedPinsNumbers(t *testing.T) {
+	frames := []*Series{
+		MustNew(t0, []float64{1, 2, 3, 4}),
+		MustNew(t0.Add(3*time.Hour), []float64{8, 10, 12, 14}),
+		// Dead overlap with the accumulation: forces the ratio-1 fallback.
+		MustNew(t0.Add(6*time.Hour), []float64{0, 7, 9, 11}),
+		MustNew(t0.Add(9*time.Hour), []float64{11, 5, 4, 2}),
+	}
+	for _, est := range []RatioEstimator{RatioOfMeans, MeanOfRatios, MedianOfRatios} {
+		want, wantErr := StitchFrom(nil, frames, est)
+		got, unanchored, err := StitchFromCounted(nil, frames, est)
+		if (err == nil) != (wantErr == nil) {
+			t.Fatalf("%v: error divergence: %v vs %v", est, err, wantErr)
+		}
+		if err != nil {
+			continue
+		}
+		if !got.Equal(want) {
+			t.Errorf("%v: counted stitch diverged from plain stitch", est)
+		}
+		if unanchored == 0 {
+			t.Errorf("%v: dead seam not counted", est)
+		}
+	}
+
+	// A fold whose every overlap carries signal counts zero.
+	healthy := []*Series{
+		MustNew(t0, []float64{1, 2, 3, 4}),
+		MustNew(t0.Add(3*time.Hour), []float64{8, 10, 12, 14}),
+	}
+	if _, n, err := StitchFromCounted(nil, healthy, RatioOfMeans); err != nil || n != 0 {
+		t.Errorf("healthy fold: unanchored = %d (err %v), want 0", n, err)
+	}
+}

@@ -220,12 +220,24 @@ func (r RatioEstimator) String() string {
 // continue prev's scale, using the overlap window the two series share.
 // It returns ErrNoOverlap when the series share no hours, and falls back
 // to a ratio of 1 when the overlap carries no signal (all zeros on either
-// side) — the stitch then simply trusts the new frame's own scale.
+// side) — the stitch then simply trusts the new frame's own scale. Use
+// OverlapRatioAnchored to learn whether that fallback fired.
 func OverlapRatio(prev, next *Series, est RatioEstimator) (float64, error) {
+	ratio, _, err := OverlapRatioAnchored(prev, next, est)
+	return ratio, err
+}
+
+// OverlapRatioAnchored is OverlapRatio with the fallback made visible:
+// anchored is false when the overlap carried no usable signal and the
+// returned ratio of 1 is an assumption rather than an estimate. An
+// unanchored seam decouples the scales on its two sides, so callers
+// tracking crawl health want to count them (the pipeline surfaces the
+// count as CrawlHealth.UnanchoredStitches).
+func OverlapRatioAnchored(prev, next *Series, est RatioEstimator) (ratio float64, anchored bool, err error) {
 	lo := maxTime(prev.start, next.start)
 	hi := minTime(prev.End(), next.End())
 	if !lo.Before(hi) {
-		return 0, ErrNoOverlap
+		return 0, false, ErrNoOverlap
 	}
 	n := int(hi.Sub(lo) / Step)
 	var a, b []float64
@@ -240,9 +252,9 @@ func OverlapRatio(prev, next *Series, est RatioEstimator) (float64, error) {
 	case RatioOfMeans:
 		sa, sb := stats.Sum(a), stats.Sum(b)
 		if sa <= 0 || sb <= 0 {
-			return 1, nil
+			return 1, false, nil
 		}
-		return sa / sb, nil
+		return sa / sb, true, nil
 	case MeanOfRatios, MedianOfRatios:
 		var ratios []float64
 		for i := range a {
@@ -251,18 +263,18 @@ func OverlapRatio(prev, next *Series, est RatioEstimator) (float64, error) {
 			}
 		}
 		if len(ratios) == 0 {
-			return 1, nil
+			return 1, false, nil
 		}
 		if est == MeanOfRatios {
-			return stats.Mean(ratios), nil
+			return stats.Mean(ratios), true, nil
 		}
 		m, err := stats.Median(ratios)
 		if err != nil {
-			return 1, nil
+			return 1, false, nil
 		}
-		return m, nil
+		return m, true, nil
 	default:
-		return 0, fmt.Errorf("timeseries: unknown estimator %v", est)
+		return 0, false, fmt.Errorf("timeseries: unknown estimator %v", est)
 	}
 }
 
@@ -271,15 +283,22 @@ func OverlapRatio(prev, next *Series, est RatioEstimator) (float64, error) {
 // prev is not modified. next must start within prev (overlap required) and
 // must not start before prev.
 func Stitch(prev, next *Series, est RatioEstimator) (*Series, error) {
+	out, _, err := stitchAnchored(prev, next, est)
+	return out, err
+}
+
+// stitchAnchored is Stitch plus whether the seam's ratio was anchored in
+// overlap signal (an empty prev is trivially anchored: there is no seam).
+func stitchAnchored(prev, next *Series, est RatioEstimator) (*Series, bool, error) {
 	if prev.Len() == 0 {
-		return next.Clone(), nil
+		return next.Clone(), true, nil
 	}
 	if next.start.Before(prev.start) {
-		return nil, ErrOrder
+		return nil, false, ErrOrder
 	}
-	ratio, err := OverlapRatio(prev, next, est)
+	ratio, anchored, err := OverlapRatioAnchored(prev, next, est)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	scaled := next.Scale(ratio)
 	out := prev.Clone()
@@ -287,11 +306,11 @@ func Stitch(prev, next *Series, est RatioEstimator) (*Series, error) {
 	if scaled.End().After(out.End()) {
 		fromIdx, err := scaled.Index(out.End())
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		out.values = append(out.values, scaled.values[fromIdx:]...)
 	}
-	return out, nil
+	return out, anchored, nil
 }
 
 // StitchFrom folds a left-to-right sequence of overlapping frames onto an
@@ -303,25 +322,39 @@ func Stitch(prev, next *Series, est RatioEstimator) (*Series, error) {
 // affected. Frames must be ordered by start time and each must overlap
 // its predecessor (or the prefix).
 func StitchFrom(prefix *Series, frames []*Series, est RatioEstimator) (*Series, error) {
+	acc, _, err := StitchFromCounted(prefix, frames, est)
+	return acc, err
+}
+
+// StitchFromCounted is StitchFrom plus the number of unanchored seams in
+// the fold — seams whose overlap carried no signal, where the ratio-1
+// fallback silently decoupled the scales on either side. The numeric
+// result is identical to StitchFrom's.
+func StitchFromCounted(prefix *Series, frames []*Series, est RatioEstimator) (*Series, int, error) {
 	var acc *Series
 	if prefix != nil {
 		acc = prefix.Clone()
 	}
 	if acc == nil {
 		if len(frames) == 0 {
-			return nil, ErrEmpty
+			return nil, 0, ErrEmpty
 		}
 		acc = frames[0].Clone()
 		frames = frames[1:]
 	}
+	unanchored := 0
 	for _, f := range frames {
+		var anchored bool
 		var err error
-		acc, err = Stitch(acc, f, est)
+		acc, anchored, err = stitchAnchored(acc, f, est)
 		if err != nil {
-			return nil, err
+			return nil, unanchored, err
+		}
+		if !anchored {
+			unanchored++
 		}
 	}
-	return acc, nil
+	return acc, unanchored, nil
 }
 
 // StitchAll folds a left-to-right sequence of overlapping frames into one
