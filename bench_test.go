@@ -11,6 +11,7 @@ package sift
 
 import (
 	"context"
+	"fmt"
 	"math"
 	"math/rand"
 	"sync"
@@ -45,16 +46,31 @@ func fullStudy(b *testing.B) *experiments.Study {
 
 // ---- headline counts (§1, §3.2) ----
 
+// BenchmarkHeadlineCounts times the headline tally at both ends of the
+// -analysis-workers axis; the counts themselves are asserted identical,
+// so the sub-benchmarks differ only in wall time.
 func BenchmarkHeadlineCounts(b *testing.B) {
 	study := fullStudy(b)
-	b.ResetTimer()
-	var r experiments.HeadlineResult
-	for i := 0; i < b.N; i++ {
-		r = experiments.Headline(study)
+	prev := study.Cfg.AnalysisWorkers
+	defer func() { study.Cfg.AnalysisWorkers = prev }()
+	var totals [2]int
+	for wi, w := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			study.Cfg.AnalysisWorkers = w
+			b.ResetTimer()
+			var r experiments.HeadlineResult
+			for i := 0; i < b.N; i++ {
+				r = experiments.Headline(study)
+			}
+			totals[wi] = r.Total
+			b.ReportMetric(float64(r.Total), "spikes_total")
+			b.ReportMetric(float64(r.In2020), "spikes_2020")
+			b.ReportMetric(float64(r.In2021), "spikes_2021")
+		})
 	}
-	b.ReportMetric(float64(r.Total), "spikes_total")
-	b.ReportMetric(float64(r.In2020), "spikes_2020")
-	b.ReportMetric(float64(r.In2021), "spikes_2021")
+	if totals[0] != totals[1] {
+		b.Fatalf("headline totals diverged across worker counts: %d vs %d", totals[0], totals[1])
+	}
 }
 
 func BenchmarkConvergenceRounds(b *testing.B) {
@@ -421,6 +437,90 @@ func BenchmarkAblationPrivacyThreshold(b *testing.B) {
 			b.ReportMetric(spikes, "wy_spikes")
 		})
 	}
+}
+
+// ---- kernel micro-benchmarks (allocation-lean fold paths) ----
+
+// benchStitchFrames builds the two-year weekly-frame shape of one
+// state's crawl: ~105 renormalized 168 h frames with 24 h overlaps over
+// 17544 hours, positive everywhere so every seam anchors.
+func benchStitchFrames(b *testing.B) []*timeseries.Series {
+	b.Helper()
+	start := time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+	specs, err := timeseries.Partition(start, start.Add(17544*time.Hour), 168, 24)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	frames := make([]*timeseries.Series, len(specs))
+	for i, spec := range specs {
+		vals := make([]float64, spec.Hours)
+		off := float64(spec.Start.Sub(start) / time.Hour)
+		for j := range vals {
+			vals[j] = 5 + 3*math.Sin((off+float64(j))/24*2*math.Pi) + rng.Float64()
+		}
+		frames[i] = timeseries.MustNew(spec.Start, vals).Renormalize()
+	}
+	return frames
+}
+
+// BenchmarkStitchAll compares the legacy clone-per-seam stitch fold
+// against the arena-backed StitchBuffer kernel on the two-year shape.
+// The kernels are pinned byte-identical by the timeseries property
+// tests; the benchmark exists for the allocs/op column.
+func BenchmarkStitchAll(b *testing.B) {
+	frames := benchStitchFrames(b)
+	b.Run("ref", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := timeseries.StitchAllRef(frames, timeseries.RatioOfMeans); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("kernel", func(b *testing.B) {
+		sb := timeseries.NewStitchBuffer(nil)
+		defer sb.Release()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := sb.StitchCounted(nil, frames, timeseries.RatioOfMeans); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAverage compares the allocating round-average against the
+// destination-passing kernel on one frame's worth of convergence rounds
+// (six 168 h series, the study's mean round count).
+func BenchmarkAverage(b *testing.B) {
+	start := time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+	rng := rand.New(rand.NewSource(4))
+	series := make([]*timeseries.Series, 6)
+	for i := range series {
+		vals := make([]float64, 168)
+		for j := range vals {
+			vals[j] = rng.Float64() * 100
+		}
+		series[i] = timeseries.MustNew(start, vals)
+	}
+	b.Run("ref", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := timeseries.AverageRef(series); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("into", func(b *testing.B) {
+		dst := make([]float64, 168)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := timeseries.AverageInto(dst, series); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // ---- engine cache benches ----

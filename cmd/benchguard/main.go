@@ -1,0 +1,81 @@
+// Command benchguard turns `go test -bench -benchmem` output into a
+// JSON artifact and gates allocation regressions against a committed
+// baseline.
+//
+//	go test -bench . -benchmem | tee bench.txt
+//	benchguard -in bench.txt -out BENCH_$(git rev-parse --short HEAD).json \
+//	    -baseline BENCH_BASELINE.json
+//
+// Without -baseline it only emits the artifact. With -baseline it fails
+// (exit 1) when any benchmark listed in the baseline is missing from the
+// run or its allocs/op exceeds the baseline by more than -tolerance.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+func main() {
+	in := flag.String("in", "", "benchmark output to parse (default stdin)")
+	out := flag.String("out", "", "write the parsed results as JSON to this path")
+	baseline := flag.String("baseline", "", "gate allocs/op against this committed JSON baseline")
+	tolerance := flag.Float64("tolerance", 0.10, "allowed fractional allocs/op growth over the baseline")
+	flag.Parse()
+
+	var src io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		src = f
+	}
+	results, err := Parse(src)
+	if err != nil {
+		fatal(err)
+	}
+	if len(results) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found"))
+	}
+
+	if *out != "" {
+		buf, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchguard: %d benchmarks written to %s\n", len(results), *out)
+	}
+
+	if *baseline != "" {
+		buf, err := os.ReadFile(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		var base map[string]Result
+		if err := json.Unmarshal(buf, &base); err != nil {
+			fatal(fmt.Errorf("bad baseline %s: %w", *baseline, err))
+		}
+		violations := Gate(results, base, *tolerance)
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, "benchguard: FAIL:", v)
+		}
+		if len(violations) > 0 {
+			os.Exit(1)
+		}
+		fmt.Printf("benchguard: %d baseline benchmarks within tolerance %.0f%%\n",
+			len(base), *tolerance*100)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchguard:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's measurements. The standard testing columns
+// get named fields; ReportMetric custom units land in Metrics.
+type Result struct {
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// procSuffix is the -N GOMAXPROCS suffix the testing package appends to
+// benchmark names. It is stripped so baselines survive machines with a
+// different core count.
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+// Parse reads `go test -bench` output and returns the results keyed by
+// normalized benchmark name. Non-benchmark lines (goos, PASS, test logs)
+// are skipped. A benchmark appearing twice keeps the last run.
+func Parse(r io.Reader) (map[string]Result, error) {
+	out := make(map[string]Result)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// name, iterations, then (value, unit) pairs.
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		if _, err := strconv.Atoi(fields[1]); err != nil {
+			continue
+		}
+		name := procSuffix.ReplaceAllString(fields[0], "")
+		res := Result{}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %q: bad value %q", line, fields[i])
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				res.NsPerOp = v
+			case "B/op":
+				res.BytesPerOp = v
+			case "allocs/op":
+				res.AllocsPerOp = v
+			default:
+				if res.Metrics == nil {
+					res.Metrics = make(map[string]float64)
+				}
+				res.Metrics[unit] = v
+			}
+		}
+		out[name] = res
+	}
+	return out, sc.Err()
+}
+
+// Gate compares a run against a baseline and returns one message per
+// violation: a baseline benchmark missing from the run, or allocs/op
+// grown beyond baseline*(1+tolerance). Benchmarks absent from the
+// baseline are ignored — the baseline file is the explicit gate list.
+func Gate(run, baseline map[string]Result, tolerance float64) []string {
+	var out []string
+	for _, name := range sortedKeys(baseline) {
+		base := baseline[name]
+		got, ok := run[name]
+		if !ok {
+			out = append(out, fmt.Sprintf("%s: listed in baseline but missing from the run", name))
+			continue
+		}
+		limit := base.AllocsPerOp * (1 + tolerance)
+		if got.AllocsPerOp > limit {
+			out = append(out, fmt.Sprintf("%s: allocs/op %.0f exceeds baseline %.0f (+%.0f%% tolerance → limit %.1f)",
+				name, got.AllocsPerOp, base.AllocsPerOp, tolerance*100, limit))
+		}
+	}
+	return out
+}
+
+func sortedKeys(m map[string]Result) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

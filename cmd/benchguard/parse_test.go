@@ -1,0 +1,86 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: sift
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkStitchAll/ref-4         	      10	   4222879 ns/op	20663827 B/op	    1944 allocs/op
+BenchmarkStitchAll/kernel-4      	      10	     80326 ns/op	  147559 B/op	       3 allocs/op
+BenchmarkAverage/ref-4           	      10	      1284 ns/op	    2864 B/op	       3 allocs/op
+BenchmarkAverage/into-4          	      10	      1301 ns/op	       0 B/op	       0 allocs/op
+BenchmarkHeadlineCounts/workers=1-4 	     100	   123456 ns/op	       212 spikes_total	        96 spikes_2020
+PASS
+ok  	sift	0.062s
+`
+
+func TestParse(t *testing.T) {
+	got, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("parsed %d benchmarks, want 5: %v", len(got), got)
+	}
+	kernel, ok := got["BenchmarkStitchAll/kernel"]
+	if !ok {
+		t.Fatal("GOMAXPROCS suffix not stripped from BenchmarkStitchAll/kernel-4")
+	}
+	if kernel.AllocsPerOp != 3 || kernel.BytesPerOp != 147559 || kernel.NsPerOp != 80326 {
+		t.Errorf("kernel = %+v, want allocs=3 bytes=147559 ns=80326", kernel)
+	}
+	if got["BenchmarkAverage/into"].AllocsPerOp != 0 {
+		t.Errorf("into allocs = %v, want 0", got["BenchmarkAverage/into"].AllocsPerOp)
+	}
+	head := got["BenchmarkHeadlineCounts/workers=1"]
+	if head.Metrics["spikes_total"] != 212 || head.Metrics["spikes_2020"] != 96 {
+		t.Errorf("custom metrics not captured: %+v", head.Metrics)
+	}
+}
+
+func TestParseSkipsNoise(t *testing.T) {
+	got, err := Parse(strings.NewReader("PASS\nBenchmarkBogus notanumber 5 ns/op\nok sift 1s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("parsed %d benchmarks from noise, want 0", len(got))
+	}
+}
+
+func TestGate(t *testing.T) {
+	baseline := map[string]Result{
+		"BenchmarkStitchAll/kernel": {AllocsPerOp: 3},
+		"BenchmarkAverage/into":     {AllocsPerOp: 0},
+	}
+	run := map[string]Result{
+		"BenchmarkStitchAll/kernel": {AllocsPerOp: 3},
+		"BenchmarkAverage/into":     {AllocsPerOp: 0},
+		"BenchmarkUnlisted":         {AllocsPerOp: 99999},
+	}
+	if v := Gate(run, baseline, 0.10); len(v) != 0 {
+		t.Fatalf("clean run flagged: %v", v)
+	}
+
+	run["BenchmarkStitchAll/kernel"] = Result{AllocsPerOp: 4}
+	v := Gate(run, baseline, 0.10)
+	if len(v) != 1 || !strings.Contains(v[0], "BenchmarkStitchAll/kernel") {
+		t.Fatalf("alloc regression not flagged: %v", v)
+	}
+	// A zero-alloc baseline tolerates no growth at all.
+	run["BenchmarkStitchAll/kernel"] = Result{AllocsPerOp: 3}
+	run["BenchmarkAverage/into"] = Result{AllocsPerOp: 1}
+	if v := Gate(run, baseline, 0.10); len(v) != 1 {
+		t.Fatalf("zero-baseline regression not flagged: %v", v)
+	}
+
+	delete(run, "BenchmarkAverage/into")
+	v = Gate(run, baseline, 0.10)
+	if len(v) != 1 || !strings.Contains(v[0], "missing from the run") {
+		t.Fatalf("missing benchmark not flagged: %v", v)
+	}
+}

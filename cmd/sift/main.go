@@ -27,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"sift/internal/core"
@@ -34,6 +35,7 @@ import (
 	"sift/internal/geo"
 	"sift/internal/gtclient"
 	"sift/internal/gtrends"
+	"sift/internal/obs"
 	"sift/internal/scenario"
 	"sift/internal/searchmodel"
 	"sift/internal/store"
@@ -132,10 +134,16 @@ func cmdDetect(args []string) error {
 	cacheSize := fs.Int("cache-size", 0, "frame-cache capacity in frames (0 disables caching)")
 	incremental := fs.Bool("incremental", false, "with -db: prime the frame cache from the existing store and refetch only missing windows")
 	retries := fs.Int("retries", 2, "in-round re-fetches after a transient failure (0 disables)")
+	analysisWorkers := fs.Int("analysis-workers", 0, "concurrent analysis workers, recorded in the crawl-health record (0 takes GOMAXPROCS)")
 	metricsOut := fs.String("metrics-out", "", "write a JSON metrics snapshot to this path after the run")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *analysisWorkers <= 0 {
+		*analysisWorkers = runtime.GOMAXPROCS(0)
+	}
+	obs.Default().Gauge("sift_analysis_workers",
+		"bounded parallelism of the last analysis pass").Set(float64(*analysisWorkers))
 	if *incremental && *dbPath == "" {
 		return fmt.Errorf("-incremental needs -db")
 	}
@@ -183,7 +191,9 @@ func cmdDetect(args []string) error {
 	if db != nil {
 		wb.PutSeries(*term, geo.State(*state), res.Series)
 		wb.PutSpikes(*term, geo.State(*state), res.Spikes)
-		wb.PutHealth(*term, geo.State(*state), res.Health())
+		h := res.Health()
+		h.AnalysisWorkers = *analysisWorkers
+		wb.PutHealth(*term, geo.State(*state), h)
 		wb.Close()
 		if err := db.Save(*dbPath); err != nil {
 			return err

@@ -22,6 +22,7 @@ func cmdStudy(args []string) error {
 	to := fs.String("to", "2022-01-01", "range end (YYYY-MM-DD)")
 	out := fs.String("out", "", "write the spike database as JSON to this path")
 	workers := fs.Int("workers", 8, "concurrent states")
+	analysisWorkers := fs.Int("analysis-workers", 0, "concurrent analysis workers (0 takes GOMAXPROCS)")
 	cacheSize := fs.Int("cache-size", 0, "shared frame-cache capacity in frames (0 disables caching)")
 	faultSpec := fs.String("faults", "off", `fault injection: "off", "default", or a JSON plan path`)
 	tolerance := fs.Int("fault-tolerance", 0, "permanent frame failures tolerated per round (0 aborts on the first)")
@@ -59,13 +60,14 @@ func cmdStudy(args []string) error {
 			len(plan.Rules), plan.Seed, *tolerance)
 	}
 	study, err := experiments.RunStudy(context.Background(), experiments.StudyConfig{
-		Seed:         *seed,
-		Start:        start.UTC(),
-		End:          end.UTC(),
-		StateWorkers: *workers,
-		CacheSize:    *cacheSize,
-		Faults:       plan,
-		Pipeline:     core.PipelineConfig{FrameTolerance: *tolerance, FetchRetries: core.RetriesFlag(*retries)},
+		Seed:            *seed,
+		Start:           start.UTC(),
+		End:             end.UTC(),
+		StateWorkers:    *workers,
+		AnalysisWorkers: *analysisWorkers,
+		CacheSize:       *cacheSize,
+		Faults:          plan,
+		Pipeline:        core.PipelineConfig{FrameTolerance: *tolerance, FetchRetries: core.RetriesFlag(*retries)},
 	})
 	if err != nil {
 		return err
@@ -103,7 +105,7 @@ func cmdStudy(args []string) error {
 		for st, res := range study.Results {
 			db.PutSeries(gtrends.TopicInternetOutage, st, res.Series)
 			db.PutSpikes(gtrends.TopicInternetOutage, st, res.Spikes)
-			db.PutHealth(gtrends.TopicInternetOutage, st, res.Health())
+			db.PutHealth(gtrends.TopicInternetOutage, st, study.Health[st])
 		}
 		if err := db.Save(*out); err != nil {
 			return err

@@ -1,0 +1,18 @@
+package core
+
+import "runtime/metrics"
+
+// heapAllocObjects reads the process-wide cumulative count of heap
+// objects allocated, via the runtime/metrics fast path. The pipeline
+// samples it around each stage to expose an allocations-per-stage gauge;
+// the counter is process-global, so with concurrent states the deltas
+// are approximate attribution, not exact accounting — cheap enough to
+// sample unconditionally either way.
+func heapAllocObjects() uint64 {
+	sample := [1]metrics.Sample{{Name: "/gc/heap/allocs:objects"}}
+	metrics.Read(sample[:])
+	if sample[0].Value.Kind() != metrics.KindUint64 {
+		return 0
+	}
+	return sample[0].Value.Uint64()
+}

@@ -55,7 +55,9 @@ func (d Detector) Detect(series *timeseries.Series, state geo.State, term string
 	if n == 0 {
 		return nil
 	}
-	v := series.Values()
+	// Read-only scan: the no-copy accessor avoids cloning the whole
+	// series every detection round.
+	v := series.RawValues()
 	claimed := make([]bool, n)
 	floor := d.MinMagnitude
 	if floor <= 0 {

@@ -43,6 +43,10 @@ type CrawlHealth struct {
 	// crawl; typically nonzero next to Gaps (a zero-filled window anchors
 	// nothing).
 	UnanchoredStitches int `json:"unanchored_stitches,omitempty"`
+	// AnalysisWorkers records the bounded parallelism of the post-crawl
+	// analysis stage for the run that produced this record; zero when the
+	// analysis ran serially or the record predates the field.
+	AnalysisWorkers int `json:"analysis_workers,omitempty"`
 }
 
 // Health extracts the crawl-health record from a pipeline result.

@@ -215,13 +215,17 @@ type Result struct {
 
 // pipeObs holds the pipeline's metric handles.
 type pipeObs struct {
-	stage      obs.HistogramVec // sift_pipeline_stage_seconds{stage}
-	rounds     obs.Histogram    // sift_pipeline_rounds
-	runs       obs.CounterVec   // sift_pipeline_runs_total{outcome}
-	gaps       obs.Counter      // sift_pipeline_gaps_total
-	failed     obs.Counter      // sift_pipeline_failed_fetches_total
-	frames     obs.CounterVec   // sift_pipeline_frames_total{origin}
-	unanchored obs.Counter      // sift_pipeline_unanchored_stitches_total
+	stage       obs.HistogramVec // sift_pipeline_stage_seconds{stage}
+	stageAllocs obs.GaugeVec     // sift_pipeline_stage_allocs{stage}
+	rounds      obs.Histogram    // sift_pipeline_rounds
+	runs        obs.CounterVec   // sift_pipeline_runs_total{outcome}
+	gaps        obs.Counter      // sift_pipeline_gaps_total
+	failed      obs.Counter      // sift_pipeline_failed_fetches_total
+	frames      obs.CounterVec   // sift_pipeline_frames_total{origin}
+	unanchored  obs.Counter      // sift_pipeline_unanchored_stitches_total
+	arenaGets   obs.Gauge        // sift_timeseries_arena_gets
+	arenaHits   obs.Gauge        // sift_timeseries_arena_hits
+	arenaRate   obs.Gauge        // sift_timeseries_arena_hit_rate
 }
 
 // newPipeObs builds the pipeline metric handles against r (nil → Default).
@@ -229,6 +233,8 @@ func newPipeObs(r *obs.Registry) pipeObs {
 	return pipeObs{
 		stage: r.HistogramVec("sift_pipeline_stage_seconds",
 			"per-round wall time by pipeline stage", nil, "stage"),
+		stageAllocs: r.GaugeVec("sift_pipeline_stage_allocs",
+			"heap objects allocated during the stage's most recent pass (process-global sample, approximate under concurrent states)", "stage"),
 		rounds: r.Histogram("sift_pipeline_rounds",
 			"averaging rounds per completed run", obs.LinearBuckets(1, 1, 12)),
 		runs: r.CounterVec("sift_pipeline_runs_total",
@@ -241,6 +247,12 @@ func newPipeObs(r *obs.Registry) pipeObs {
 			"frames used by origin", "origin"),
 		unanchored: r.Counter("sift_pipeline_unanchored_stitches_total",
 			"stitch seams folded on the no-signal ratio-1 fallback"),
+		arenaGets: r.Gauge("sift_timeseries_arena_gets",
+			"buffer requests served by the shared timeseries arena (snapshot)"),
+		arenaHits: r.Gauge("sift_timeseries_arena_hits",
+			"arena buffer requests served by recycling a pooled buffer (snapshot)"),
+		arenaRate: r.Gauge("sift_timeseries_arena_hit_rate",
+			"fraction of arena buffer requests served from the pool (snapshot)"),
 	}
 }
 
@@ -279,6 +291,41 @@ func (p *Pipeline) run(ctx context.Context, cfg PipelineConfig, om pipeObs, stat
 	}
 	sched := cfg.Scheduler
 
+	// The allocation-lean path engages only when BOTH the merger and the
+	// stitcher advertise destination-passing variants; a custom allocating
+	// stage keeps the historical behaviour for the whole run. On the lean
+	// path every frame conversion, per-window average, and stitch fold
+	// lives in arena-recycled buffers owned by this run and released
+	// together when it returns.
+	mi, okMI := cfg.Merger.(engine.MergerInto)
+	bs, okBS := cfg.Stitcher.(engine.BufferedStitcher)
+	lean := okMI && okBS
+	arena := timeseries.DefaultArena()
+	var sb *timeseries.StitchBuffer
+	var avgBufs [][]float64          // one reused scratch per spec window
+	var avgView []*timeseries.Series // arena-backed views over avgBufs
+	var frameBufs [][]float64        // arena-backed frame conversions
+	if lean {
+		sb = timeseries.NewStitchBuffer(arena)
+		avgBufs = make([][]float64, len(specs))
+		avgView = make([]*timeseries.Series, len(specs))
+		defer func() {
+			sb.Release()
+			for _, b := range avgBufs {
+				if b != nil {
+					arena.Put(b)
+				}
+			}
+			for _, b := range frameBufs {
+				arena.Put(b)
+			}
+			st := arena.Stats()
+			om.arenaGets.Set(float64(st.Gets))
+			om.arenaHits.Set(float64(st.Hits))
+			om.arenaRate.Set(st.HitRate())
+		}()
+	}
+
 	res := &Result{State: state, Term: term}
 	// accum[i] collects each spec's frames across rounds, as float series.
 	// A round that failed a spec permanently contributes nothing to it.
@@ -294,8 +341,10 @@ func (p *Pipeline) run(ctx context.Context, cfg PipelineConfig, om pipeObs, stat
 	for round := 1; round <= cfg.MaxRounds; round++ {
 		hitsBefore := res.CacheHits
 		began := time.Now()
+		allocs0 := heapAllocObjects()
 		frames, failures, err := p.fetchRound(ctx, cfg, sched, state, term, specs, round, stale, res)
 		om.stage.With("fetch").Observe(time.Since(began).Seconds())
+		om.stageAllocs.With("fetch").Set(float64(heapAllocObjects() - allocs0))
 		if err != nil {
 			return nil, err
 		}
@@ -312,27 +361,57 @@ func (p *Pipeline) run(ctx context.Context, cfg PipelineConfig, om pipeObs, stat
 			}
 			used++
 			res.Frames++
-			accum[i] = append(accum[i], frameSeries(f))
+			if lean {
+				buf := arena.Get(len(f.Points))
+				for j, p := range f.Points {
+					buf[j] = float64(p)
+				}
+				frameBufs = append(frameBufs, buf)
+				accum[i] = append(accum[i], timeseries.MustAdopt(f.Start, buf))
+			} else {
+				accum[i] = append(accum[i], frameSeries(f))
+			}
 		}
 		hitsRound := res.CacheHits - hitsBefore
 		om.frames.With("cache").Add(float64(hitsRound))
 		om.frames.With("fetched").Add(float64(used - hitsRound))
 
 		began = time.Now()
+		allocs0 = heapAllocObjects()
 		averaged := make([]*timeseries.Series, len(specs))
 		res.Gaps = res.Gaps[:0]
 		for i := range specs {
+			if lean && avgBufs[i] == nil {
+				v, aerr := timeseries.Adopt(specs[i].Start, arena.Get(specs[i].Hours))
+				if aerr != nil {
+					return nil, fmt.Errorf("core: gap frame %d: %w", i, aerr)
+				}
+				avgBufs[i] = v.RawValues()
+				avgView[i] = v
+			}
 			if len(accum[i]) == 0 {
 				// Nothing fetched for this window yet: fill with zeros so
 				// the stitch keeps its grid, and record the gap instead of
 				// aborting the state's crawl.
-				zero, err := timeseries.Zeros(specs[i].Start, specs[i].Hours)
-				if err != nil {
-					return nil, fmt.Errorf("core: gap frame %d: %w", i, err)
+				if lean {
+					clear(avgBufs[i])
+					averaged[i] = avgView[i]
+				} else {
+					zero, err := timeseries.Zeros(specs[i].Start, specs[i].Hours)
+					if err != nil {
+						return nil, fmt.Errorf("core: gap frame %d: %w", i, err)
+					}
+					averaged[i] = zero
 				}
-				averaged[i] = zero
 				stale[i] = true
 				res.Gaps = append(res.Gaps, Gap{Start: specs[i].Start, Hours: specs[i].Hours, LastErr: lastErr[i]})
+				continue
+			}
+			if lean {
+				if err := mi.MergeInto(avgBufs[i], specs[i], accum[i]); err != nil {
+					return nil, fmt.Errorf("core: averaging frame %d: %w", i, err)
+				}
+				averaged[i] = avgView[i]
 				continue
 			}
 			avg, err := cfg.Merger.Merge(specs[i], accum[i])
@@ -342,8 +421,10 @@ func (p *Pipeline) run(ctx context.Context, cfg PipelineConfig, om pipeObs, stat
 			averaged[i] = avg
 		}
 		om.stage.With("merge").Observe(time.Since(began).Seconds())
+		om.stageAllocs.With("merge").Set(float64(heapAllocObjects() - allocs0))
 
 		began = time.Now()
+		allocs0 = heapAllocObjects()
 		var prefix *timeseries.Series
 		prefixSpecs := 0
 		if cfg.Memo != nil {
@@ -351,10 +432,15 @@ func (p *Pipeline) run(ctx context.Context, cfg PipelineConfig, om pipeObs, stat
 		}
 		var raw *timeseries.Series
 		unanchored := 0
-		if cs, ok := cfg.Stitcher.(engine.CountingStitcher); ok {
-			raw, unanchored, err = cs.StitchCounted(prefix, averaged[prefixSpecs:])
-		} else {
-			raw, err = cfg.Stitcher.Stitch(prefix, averaged[prefixSpecs:])
+		switch {
+		case lean:
+			raw, unanchored, err = bs.StitchInto(sb, prefix, averaged[prefixSpecs:])
+		default:
+			if cs, ok := cfg.Stitcher.(engine.CountingStitcher); ok {
+				raw, unanchored, err = cs.StitchCounted(prefix, averaged[prefixSpecs:])
+			} else {
+				raw, err = cfg.Stitcher.Stitch(prefix, averaged[prefixSpecs:])
+			}
 		}
 		if err != nil {
 			return nil, fmt.Errorf("core: stitching: %w", err)
@@ -369,10 +455,13 @@ func (p *Pipeline) run(ctx context.Context, cfg PipelineConfig, om pipeObs, stat
 		}
 		res.Series = raw.Renormalize()
 		om.stage.With("stitch").Observe(time.Since(began).Seconds())
+		om.stageAllocs.With("stitch").Set(float64(heapAllocObjects() - allocs0))
 
 		began = time.Now()
+		allocs0 = heapAllocObjects()
 		res.Spikes = cfg.Detector.Detect(res.Series, state, term)
 		om.stage.With("detect").Observe(time.Since(began).Seconds())
+		om.stageAllocs.With("detect").Set(float64(heapAllocObjects() - allocs0))
 
 		if round >= cfg.MinRounds && SpikeSetsSimilarity(prev, res.Spikes, cfg.ConvergenceTol) >= cfg.ConvergenceSim {
 			res.Converged = true

@@ -128,6 +128,24 @@ func (ConsensusMerger) Merge(_ timeseries.FrameSpec, fetched []*timeseries.Serie
 	return timeseries.ConsensusAverage(fetched, quorum)
 }
 
+// MergerInto is the optional allocation-lean merger extension the
+// pipeline probes for: Merge writing into a caller-owned destination
+// buffer of the spec's length instead of allocating a fresh series. The
+// pipeline only takes its buffer-reuse path when the configured Merger
+// implements it (and the Stitcher implements BufferedStitcher), so custom
+// test stages keep the historical allocating behaviour untouched.
+type MergerInto interface {
+	MergeInto(dst []float64, spec timeseries.FrameSpec, fetched []*timeseries.Series) error
+}
+
+// MergeInto implements MergerInto with the same quorum arithmetic as
+// Merge; the destination-passing kernel is bit-identical to the
+// allocating path.
+func (ConsensusMerger) MergeInto(dst []float64, _ timeseries.FrameSpec, fetched []*timeseries.Series) error {
+	quorum := (3*len(fetched) + 4) / 5
+	return timeseries.ConsensusAverageInto(dst, fetched, quorum)
+}
+
 // Stitcher folds ordered, overlapping averaged frames into one raw
 // continuous series. prefix, when non-nil, is an already-stitched
 // accumulation the frames extend — the incremental-recompute path that
@@ -160,4 +178,19 @@ type CountingStitcher interface {
 // timeseries.StitchFromCounted; numerically identical to Stitch.
 func (s OverlapStitcher) StitchCounted(prefix *timeseries.Series, frames []*timeseries.Series) (*timeseries.Series, int, error) {
 	return timeseries.StitchFromCounted(prefix, frames, s.Estimator)
+}
+
+// BufferedStitcher is the optional allocation-lean stitcher extension the
+// pipeline probes for: the counting fold accumulated into a reusable
+// caller-owned StitchBuffer, so a convergence round stops cloning the
+// whole accumulation at every seam. Implementations must return a series
+// the caller may retain (the default's fold copies out once), since the
+// stitch memo stores the result.
+type BufferedStitcher interface {
+	StitchInto(sb *timeseries.StitchBuffer, prefix *timeseries.Series, frames []*timeseries.Series) (*timeseries.Series, int, error)
+}
+
+// StitchInto implements BufferedStitcher; bit-identical to StitchCounted.
+func (s OverlapStitcher) StitchInto(sb *timeseries.StitchBuffer, prefix *timeseries.Series, frames []*timeseries.Series) (*timeseries.Series, int, error) {
+	return sb.StitchCounted(prefix, frames, s.Estimator)
 }

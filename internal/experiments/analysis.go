@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"context"
+	"sync"
+)
+
+// AnalysisReport bundles one pass of every Fig/Table runner over a
+// completed study — the full evaluation the CLI renders. Table sizes
+// match the report renderer (Table 1: 12 rows, Table 2: 9, Table 3: 7).
+type AnalysisReport struct {
+	// Workers is the analysis parallelism the pass ran with.
+	Workers  int
+	Headline HeadlineResult
+	Fig1     Fig1Result
+	Fig2     Fig2Result
+	Fig3     Fig3Result
+	Fig4     Fig4Result
+	Fig5     Fig5Result
+	Fig6     Fig6Result
+	Table1   []Table1Row
+	Table2   []Table2Row
+	Table3   []Table3Row
+	Heavy    HeavyHittersResult
+	Ant      AntCompareResult
+	Facebook FacebookLagResult
+}
+
+// Analyze runs every Fig/Table runner over the study, fanning the
+// runners out across a bounded pool of the study's analysis workers.
+// The runner pool is deliberately disjoint from the scheduler the
+// runners' own per-spike fan-out acquires (analysisSched): a runner
+// holding an outer slot while waiting for inner slots would deadlock a
+// shared pool. Results are deterministic for every worker count — each
+// runner is internally deterministic and writes only its own report
+// field — and the returned error is the first failing runner in
+// declaration order, regardless of finish order.
+func Analyze(ctx context.Context, s *Study) (*AnalysisReport, error) {
+	r := &AnalysisReport{Workers: s.analysisWorkers()}
+	s.Cfg.Pipeline.Metrics.Gauge("sift_analysis_workers",
+		"bounded parallelism of the last analysis pass").Set(float64(r.Workers))
+	// The engine's request counter keeps counting while Fig2's standalone
+	// crawl runs. The serial report historically read it before that crawl
+	// started; pin the same snapshot here so the concurrent Fig2 runner
+	// cannot race Headline's read and the number is scheduling-independent.
+	frames := s.TotalFrames()
+
+	tasks := []func() error{
+		func() error { r.Headline = Headline(s); return nil },
+		func() (err error) { r.Fig1, err = Fig1TexasTimeline(s); return },
+		func() (err error) { r.Fig2, err = Fig2Workflow(ctx, s); return },
+		func() error { r.Fig3 = Fig3(s); return nil },
+		func() error { r.Table1 = Table1(s, 12); return nil },
+		func() error { r.Fig4 = Fig4(s); return nil },
+		func() error { r.Fig5 = Fig5(s); return nil },
+		func() error { r.Table2 = Table2(s, 9); return nil },
+		func() error { r.Fig6 = Fig6(s); return nil },
+		func() error { r.Table3 = Table3(s, 7); return nil },
+		func() error { r.Heavy = HeavyHitters(s); return nil },
+		func() error { r.Ant = AntCompare(s); return nil },
+		func() error { r.Facebook = FacebookLag(s); return nil },
+	}
+	errs := make([]error, len(tasks))
+	sem := make(chan struct{}, r.Workers)
+	var wg sync.WaitGroup
+	for i, task := range tasks {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, task func() error) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			errs[i] = task()
+		}(i, task)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	r.Headline.FramesRequested = frames
+	return r, nil
+}

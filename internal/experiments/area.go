@@ -28,19 +28,40 @@ type Fig5Result struct {
 	Total int
 }
 
-// Fig5 computes the footprint distribution.
+// Fig5 computes the footprint distribution. The index is built once,
+// serially; the per-spike concurrency lookups — the expensive part on a
+// 49k-spike study — fan out over the analysis pool (the index is
+// read-only after construction).
 func Fig5(s *Study) Fig5Result {
 	ci := core.NewConcurrencyIndex(s.Spikes)
-	var r Fig5Result
-	counts := make(map[int]int)
-	for _, sp := range s.Spikes {
-		c := ci.Concurrency(sp)
-		counts[c]++
-		if c > r.Max {
-			r.Max = c
-		}
-		r.Total++
+	type tally struct {
+		counts map[int]int
+		max    int
 	}
+	folded := reduceSpikes(s, func(p tally, sp core.Spike) tally {
+		if p.counts == nil {
+			p.counts = make(map[int]int)
+		}
+		c := ci.Concurrency(sp)
+		p.counts[c]++
+		if c > p.max {
+			p.max = c
+		}
+		return p
+	}, func(a, b tally) tally {
+		if a.counts == nil {
+			return b
+		}
+		for c, n := range b.counts {
+			a.counts[c] += n
+		}
+		if b.max > a.max {
+			a.max = b.max
+		}
+		return a
+	})
+	r := Fig5Result{Max: folded.max, Total: len(s.Spikes)}
+	counts := folded.counts
 	if r.Total == 0 {
 		return r
 	}
@@ -181,22 +202,32 @@ func FacebookLag(s *Study) FacebookLagResult {
 	}
 	from := fb.Start.Add(-2 * time.Hour)
 	to := fb.Start.Add(24 * time.Hour)
-	earliest := time.Time{}
-	peaks := make(map[geo.State]time.Time)
-	for _, st := range s.Cfg.States {
-		var best core.Spike
+	// Each state's best-magnitude spike scan is independent — fan out over
+	// the analysis pool, then take the minimum peak serially (a min is
+	// order-independent, so the parallel result matches the serial one).
+	type statePeak struct {
+		peak  time.Time
+		found bool
+	}
+	best := mapOrdered(s, s.Cfg.States, func(st geo.State) statePeak {
+		var b core.Spike
 		found := false
 		for _, sp := range s.SpikesIn(st, from, to) {
-			if !found || sp.Magnitude > best.Magnitude {
-				best, found = sp, true
+			if !found || sp.Magnitude > b.Magnitude {
+				b, found = sp, true
 			}
 		}
-		if !found {
+		return statePeak{peak: b.Peak, found: found}
+	})
+	earliest := time.Time{}
+	peaks := make(map[geo.State]time.Time)
+	for i, st := range s.Cfg.States {
+		if !best[i].found {
 			continue
 		}
-		peaks[st] = best.Peak
-		if earliest.IsZero() || best.Peak.Before(earliest) {
-			earliest = best.Peak
+		peaks[st] = best[i].peak
+		if earliest.IsZero() || best[i].peak.Before(earliest) {
+			earliest = best[i].peak
 		}
 	}
 	for st, peak := range peaks {

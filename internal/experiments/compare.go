@@ -41,7 +41,11 @@ func AntCompare(s *Study) AntCompareResult {
 	if s.Ant == nil {
 		return r
 	}
-	for _, e := range s.Timeline.Newsworthy() {
+	// Each event's verdict scans the full spike list independently — the
+	// quadratic part of the cross-validation — so the per-event work fans
+	// out over the analysis pool; the ordered map keeps rows in event
+	// order, and the tallies fold serially after.
+	r.Rows = mapOrdered(s, s.Timeline.Newsworthy(), func(e *simworld.Event) AntCompareRow {
 		row := AntCompareRow{Event: e, Visible: e.ProbeVisible}
 		anchor := e.Impacts[0].State
 		for _, sp := range s.Spikes {
@@ -53,13 +57,15 @@ func AntCompare(s *Study) AntCompareResult {
 			}
 		}
 		row.ByAnt = s.Ant.CoversEvent(e.ID)
+		return row
+	})
+	for _, row := range r.Rows {
 		if row.BySift && !row.ByAnt {
 			r.SiftOnly++
 		}
 		if row.BySift && row.ByAnt {
 			r.Both++
 		}
-		r.Rows = append(r.Rows, row)
 	}
 	return r
 }

@@ -116,14 +116,37 @@ type Fig3Result struct {
 	FracAtLeast3h float64
 }
 
-// Fig3 computes the spike-distribution statistics.
+// Fig3 computes the spike-distribution statistics. The per-spike tally
+// fans out over the study's analysis pool; contiguous chunking keeps the
+// duration list in spike order and the keyed counts exact, so the result
+// is identical for every worker count.
 func Fig3(s *Study) Fig3Result {
-	r := Fig3Result{Total: len(s.Spikes), StateCounts: make(map[geo.State]int)}
-	var durations []float64
-	for _, sp := range s.Spikes {
-		r.StateCounts[sp.State]++
-		durations = append(durations, sp.Duration().Hours())
+	type tally struct {
+		states    map[geo.State]int
+		durations []float64
 	}
+	folded := reduceSpikes(s, func(p tally, sp core.Spike) tally {
+		if p.states == nil {
+			p.states = make(map[geo.State]int)
+		}
+		p.states[sp.State]++
+		p.durations = append(p.durations, sp.Duration().Hours())
+		return p
+	}, func(a, b tally) tally {
+		if a.states == nil {
+			return b
+		}
+		for st, c := range b.states {
+			a.states[st] += c
+		}
+		a.durations = append(a.durations, b.durations...)
+		return a
+	})
+	r := Fig3Result{Total: len(s.Spikes), StateCounts: folded.states}
+	if r.StateCounts == nil {
+		r.StateCounts = make(map[geo.State]int)
+	}
+	durations := folded.durations
 	counts := make([]int, 0, len(r.StateCounts))
 	for _, c := range r.StateCounts {
 		counts = append(counts, c)
@@ -224,13 +247,21 @@ type Fig4Result struct {
 	Total int
 }
 
-// Fig4 computes the weekday distribution of all spikes.
+// Fig4 computes the weekday distribution of all spikes, tallied over the
+// analysis pool.
 func Fig4(s *Study) Fig4Result {
 	var r Fig4Result
-	counts := [7]int{}
-	for _, sp := range s.Spikes {
-		counts[int(sp.Start.UTC().Weekday())]++
-		r.Total++
+	counts := reduceSpikes(s, func(p [7]int, sp core.Spike) [7]int {
+		p[int(sp.Start.UTC().Weekday())]++
+		return p
+	}, func(a, b [7]int) [7]int {
+		for d, c := range b {
+			a[d] += c
+		}
+		return a
+	})
+	for _, c := range counts {
+		r.Total += c
 	}
 	for d, c := range counts {
 		if r.Total > 0 {
@@ -275,23 +306,40 @@ type HeadlineResult struct {
 	FramesRequested uint64
 }
 
-// Headline computes the study's headline statistics.
+// Headline computes the study's headline statistics. The per-spike
+// year/duration tally fans out over the analysis pool; all counters are
+// additive, so the parallel fold is exact.
 func Headline(s *Study) HeadlineResult {
-	r := HeadlineResult{Total: len(s.Spikes), TotalStates: len(s.Results)}
-	for _, sp := range s.Spikes {
+	type tally struct {
+		in2020, in2021, long2020, long2021 int
+	}
+	t := reduceSpikes(s, func(p tally, sp core.Spike) tally {
 		year := sp.Start.UTC().Year()
-		if year == 2020 {
-			r.In2020++
-		} else if year == 2021 {
-			r.In2021++
-		}
-		if sp.Duration() >= 5*time.Hour {
-			if year == 2020 {
-				r.LongGE5h2020++
-			} else if year == 2021 {
-				r.LongGE5h2021++
+		long := sp.Duration() >= 5*time.Hour
+		switch year {
+		case 2020:
+			p.in2020++
+			if long {
+				p.long2020++
+			}
+		case 2021:
+			p.in2021++
+			if long {
+				p.long2021++
 			}
 		}
+		return p
+	}, func(a, b tally) tally {
+		a.in2020 += b.in2020
+		a.in2021 += b.in2021
+		a.long2020 += b.long2020
+		a.long2021 += b.long2021
+		return a
+	})
+	r := HeadlineResult{
+		Total: len(s.Spikes), TotalStates: len(s.Results),
+		In2020: t.in2020, In2021: t.in2021,
+		LongGE5h2020: t.long2020, LongGE5h2021: t.long2021,
 	}
 	r.MeanRounds, r.ConvergedStates = s.MeanRounds()
 	r.FramesRequested = s.TotalFrames()

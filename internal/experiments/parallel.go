@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"context"
+	"sync"
+
+	"sift/internal/core"
+	"sift/internal/engine"
+)
+
+// The analysis runners fan per-spike and per-state work out over a
+// bounded pool, but their results must not depend on the worker count:
+// the golden tests pin exact spike sets and the report renderer's output
+// is compared byte for byte across -analysis-workers values. Determinism
+// comes from structure, not scheduling luck — work is cut into
+// contiguous chunks, each chunk is folded left to right exactly as the
+// serial loop would, and the per-chunk partials are merged in chunk
+// order. Any fold whose merge is associative over contiguous splits
+// (counts, sums, maxima, keyed maps, ordered appends) therefore produces
+// the identical value for every worker count, including one.
+
+// analysisWorkers resolves the study's analysis parallelism; a Study
+// built without RunStudy (tests assembling the struct by hand) falls
+// back to serial.
+func (s *Study) analysisWorkers() int {
+	if s.Cfg.AnalysisWorkers > 0 {
+		return s.Cfg.AnalysisWorkers
+	}
+	return 1
+}
+
+// analysisSched returns the shared scheduler bounding the runners'
+// fan-out, (re)creating it when the configured worker count changed —
+// benches flip Cfg.AnalysisWorkers between sub-benchmarks on one shared
+// Study.
+func (s *Study) analysisSched() *engine.Scheduler {
+	s.analysisMu.Lock()
+	defer s.analysisMu.Unlock()
+	w := s.analysisWorkers()
+	if s.analysis == nil || s.analysis.Workers() != w {
+		s.analysis = engine.NewScheduler(w)
+	}
+	return s.analysis
+}
+
+// reduceSpikes folds fn over the study's spikes on the analysis pool:
+// one contiguous chunk per worker, each folded serially from the zero
+// value of P, partials merged in chunk order. fold must accept the zero
+// value of P (initialize maps lazily); merge must be associative over
+// contiguous splits.
+func reduceSpikes[P any](s *Study, fold func(P, core.Spike) P, merge func(P, P) P) P {
+	var zero P
+	spikes := s.Spikes
+	workers := s.analysisWorkers()
+	if workers > len(spikes) {
+		workers = len(spikes)
+	}
+	if workers <= 1 {
+		acc := zero
+		for _, sp := range spikes {
+			acc = fold(acc, sp)
+		}
+		return acc
+	}
+	parts := make([]P, workers)
+	sched := s.analysisSched()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * len(spikes) / workers
+		hi := (w + 1) * len(spikes) / workers
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			_ = sched.Acquire(context.Background())
+			defer sched.Release()
+			p := zero
+			for _, sp := range spikes[lo:hi] {
+				p = fold(p, sp)
+			}
+			parts[w] = p
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	acc := parts[0]
+	for _, p := range parts[1:] {
+		acc = merge(acc, p)
+	}
+	return acc
+}
+
+// mapOrdered applies fn to every item concurrently on the analysis pool
+// and returns the results in input order. fn must not depend on other
+// items' results.
+func mapOrdered[T, U any](s *Study, items []T, fn func(T) U) []U {
+	out := make([]U, len(items))
+	if s.analysisWorkers() <= 1 || len(items) <= 1 {
+		for i, it := range items {
+			out[i] = fn(it)
+		}
+		return out
+	}
+	sched := s.analysisSched()
+	var wg sync.WaitGroup
+	for i := range items {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_ = sched.Acquire(context.Background())
+			defer sched.Release()
+			out[i] = fn(items[i])
+		}(i)
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"sift/internal/core"
+	"sift/internal/geo"
+)
+
+// syntheticStudy builds a bare Study with n synthetic spikes and the
+// given analysis worker count — enough for the helper-level determinism
+// tests, which need no crawl.
+func syntheticStudy(n, workers int) *Study {
+	s := &Study{Cfg: StudyConfig{AnalysisWorkers: workers}}
+	codes := geo.Codes()
+	for i := 0; i < n; i++ {
+		s.Spikes = append(s.Spikes, core.Spike{
+			State: codes[i%len(codes)],
+			Rank:  i,
+		})
+	}
+	return s
+}
+
+// TestReduceSpikesOrdered drives reduceSpikes with string concatenation —
+// associative but NOT commutative — so any chunking that is not
+// contiguous, or any merge that is not in chunk order, changes the
+// output. The result must equal the serial left-to-right fold for every
+// worker count.
+func TestReduceSpikesOrdered(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 100, 1001} {
+		serial := syntheticStudy(n, 1)
+		fold := func(p string, sp core.Spike) string {
+			return p + fmt.Sprintf("%s:%d;", sp.State, sp.Rank)
+		}
+		merge := func(a, b string) string { return a + b }
+		want := reduceSpikes(serial, fold, merge)
+		for _, w := range []int{2, 3, 4, 8, 17} {
+			s := syntheticStudy(n, w)
+			if got := reduceSpikes(s, fold, merge); got != want {
+				t.Fatalf("n=%d workers=%d: fold diverged from serial\n got %q\nwant %q", n, w, got, want)
+			}
+		}
+	}
+}
+
+// TestMapOrdered checks results land at their input index for every
+// worker count.
+func TestMapOrdered(t *testing.T) {
+	items := make([]int, 237)
+	for i := range items {
+		items[i] = i
+	}
+	for _, w := range []int{1, 2, 4, 16} {
+		s := syntheticStudy(0, w)
+		got := mapOrdered(s, items, func(i int) string { return fmt.Sprintf("v%d", i*i) })
+		for i, v := range got {
+			if want := fmt.Sprintf("v%d", i*i); v != want {
+				t.Fatalf("workers=%d: out[%d] = %q, want %q", w, i, v, want)
+			}
+		}
+	}
+}
+
+// TestAnalysisSchedRecreated checks the shared scheduler tracks worker
+// count changes (benches flip Cfg.AnalysisWorkers on one Study).
+func TestAnalysisSchedRecreated(t *testing.T) {
+	s := syntheticStudy(0, 3)
+	first := s.analysisSched()
+	if first.Workers() != 3 {
+		t.Fatalf("scheduler workers = %d, want 3", first.Workers())
+	}
+	if again := s.analysisSched(); again != first {
+		t.Error("unchanged worker count should reuse the scheduler")
+	}
+	s.Cfg.AnalysisWorkers = 5
+	second := s.analysisSched()
+	if second == first || second.Workers() != 5 {
+		t.Errorf("changed worker count should recreate the scheduler (got %d workers)", second.Workers())
+	}
+}
+
+// TestAnalyzeDeterministicAcrossWorkers runs the full analysis pass over
+// the shared study serially and with forced parallelism and requires
+// identical reports — the acceptance criterion that spike sets and
+// report content do not depend on -analysis-workers.
+func TestAnalyzeDeterministicAcrossWorkers(t *testing.T) {
+	s := sharedStudy(t)
+	ctx := context.Background()
+	prev := s.Cfg.AnalysisWorkers
+	defer func() { s.Cfg.AnalysisWorkers = prev }()
+
+	s.Cfg.AnalysisWorkers = 1
+	serial, err := Analyze(ctx, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Cfg.AnalysisWorkers = 4
+	parallel, err := Analyze(ctx, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Workers != 1 || parallel.Workers != 4 {
+		t.Fatalf("workers recorded as %d/%d, want 1/4", serial.Workers, parallel.Workers)
+	}
+	// Two classes of fields cannot be compared across passes, for reasons
+	// orthogonal to the worker count. Fig2 reruns a live crawl, and the
+	// simulated service — like the real one — returns a fresh sample per
+	// request (each draw is keyed by the engine's global request counter),
+	// so a second invocation is a new draw by design. FramesRequested
+	// snapshots that same counter, which the first pass's Fig2 crawl
+	// advanced. Everything derived from the crawled study must match
+	// exactly.
+	if serial.Fig2.Spike.Duration() <= 0 || parallel.Fig2.Spike.Duration() <= 0 {
+		t.Error("Fig2 found no spike in the example window")
+	}
+	serial.Workers = parallel.Workers
+	serial.Fig2, parallel.Fig2 = Fig2Result{}, Fig2Result{}
+	serial.Headline.FramesRequested = 0
+	parallel.Headline.FramesRequested = 0
+	if !reflect.DeepEqual(serial, parallel) {
+		diffs := reportDiffs(serial, parallel)
+		t.Errorf("analysis diverged between workers=1 and workers=4: %s", strings.Join(diffs, ", "))
+	}
+}
+
+// reportDiffs names the AnalysisReport fields that differ, for a usable
+// failure message.
+func reportDiffs(a, b *AnalysisReport) []string {
+	var out []string
+	av, bv := reflect.ValueOf(*a), reflect.ValueOf(*b)
+	for i := 0; i < av.NumField(); i++ {
+		if !reflect.DeepEqual(av.Field(i).Interface(), bv.Field(i).Interface()) {
+			out = append(out, av.Type().Field(i).Name)
+		}
+	}
+	return out
+}

@@ -7,6 +7,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -34,6 +35,12 @@ type StudyConfig struct {
 	States []geo.State
 	// StateWorkers bounds concurrently processed states. Default 8.
 	StateWorkers int
+	// AnalysisWorkers bounds the post-crawl analysis parallelism: the
+	// per-spike and per-state fan-out inside the Fig/Table runners and the
+	// concurrent runners of Analyze. Results are deterministic — byte
+	// identical for every worker count — because the parallel helpers
+	// chunk contiguously and merge in order. Default GOMAXPROCS.
+	AnalysisWorkers int
 	// FetchWorkers bounds concurrent frame fetches globally across all
 	// states, via one shared engine scheduler every state's pipeline
 	// drains through. Default StateWorkers × Pipeline.Workers — the
@@ -97,6 +104,9 @@ func (c *StudyConfig) fillDefaults() {
 	if c.StateWorkers == 0 {
 		c.StateWorkers = 8
 	}
+	if c.AnalysisWorkers == 0 {
+		c.AnalysisWorkers = runtime.GOMAXPROCS(0)
+	}
 	if c.AnnotateMinDuration == 0 {
 		c.AnnotateMinDuration = 2 * time.Hour
 	}
@@ -150,6 +160,12 @@ type Study struct {
 	// that can never block would only add contention on one shared
 	// channel and perturb fetch interleaving for no benefit.
 	sched *engine.Scheduler
+	// analysis bounds the per-spike/per-state fan-out inside the analysis
+	// runners globally across concurrent runners. Created lazily by
+	// analysisSched and recreated when Cfg.AnalysisWorkers changes, so
+	// benches can flip the worker count on one shared Study.
+	analysis   *engine.Scheduler
+	analysisMu sync.Mutex
 }
 
 // RunStudy executes the full evaluation pipeline.
@@ -263,9 +279,11 @@ func (s *Study) runStates(ctx context.Context) error {
 					cancel()
 					return
 				}
+				h := res.Health()
+				h.AnalysisWorkers = s.Cfg.AnalysisWorkers
 				mu.Lock()
 				s.Results[st] = res
-				s.Health[st] = res.Health()
+				s.Health[st] = h
 				mu.Unlock()
 			}
 		}()

@@ -206,7 +206,7 @@ func TimelinePlot(s *timeseries.Series, width, height int) string {
 	if s.Len() == 0 || width < 2 || height < 2 {
 		return ""
 	}
-	vals := resample(s.Values(), width)
+	vals := resample(s.RawValues(), width)
 	max := 0.0
 	for _, v := range vals {
 		if v > max {

@@ -1,0 +1,110 @@
+package timeseries
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// arenaSmallCap is the class boundary of the arena: buffers up to this
+// capacity (weekly frames are 168 hours, daily frames 24) recycle through
+// the small pool, longer buffers (full-study accumulations, tens of
+// thousands of hours) through the large one. Splitting the classes keeps a
+// study-length request from evicting frame-sized buffers and vice versa.
+const arenaSmallCap = 512
+
+// Arena recycles the float64 backing buffers of the destination-passing
+// kernels through two size-classed sync.Pools. A convergence round churns
+// through hundreds of frame-sized slices that all die within the round;
+// routing them through the arena turns that churn into a handful of
+// steady-state buffers. The zero value is ready to use, all methods are
+// safe for concurrent use, and a nil *Arena routes to DefaultArena().
+type Arena struct {
+	small sync.Pool
+	large sync.Pool
+	gets  atomic.Uint64
+	hits  atomic.Uint64
+	puts  atomic.Uint64
+}
+
+// defaultArena is the process-wide arena shared by the package-level
+// kernels and every pipeline that does not bring its own.
+var defaultArena = NewArena()
+
+// NewArena returns an empty arena.
+func NewArena() *Arena { return &Arena{} }
+
+// DefaultArena returns the process-wide shared arena.
+func DefaultArena() *Arena { return defaultArena }
+
+func (a *Arena) orDefault() *Arena {
+	if a == nil {
+		return defaultArena
+	}
+	return a
+}
+
+// Get returns a buffer of length n with undefined contents. Callers that
+// need zeros use GetZeroed. Return the buffer with Put when done.
+func (a *Arena) Get(n int) []float64 {
+	a = a.orDefault()
+	a.gets.Add(1)
+	pool := &a.small
+	if n > arenaSmallCap {
+		pool = &a.large
+	}
+	if v, _ := pool.Get().(*[]float64); v != nil && cap(*v) >= n {
+		a.hits.Add(1)
+		return (*v)[:n]
+	}
+	// Miss: allocate fresh. Small-class buffers are allocated at the class
+	// cap so any later frame-sized request fits them.
+	c := n
+	if c < arenaSmallCap {
+		c = arenaSmallCap
+	}
+	return make([]float64, n, c)
+}
+
+// GetZeroed is Get with the buffer cleared.
+func (a *Arena) GetZeroed(n int) []float64 {
+	buf := a.Get(n)
+	clear(buf)
+	return buf
+}
+
+// Put returns a buffer to the arena for reuse. The caller must not touch
+// the slice afterwards.
+func (a *Arena) Put(buf []float64) {
+	a = a.orDefault()
+	if cap(buf) == 0 {
+		return
+	}
+	a.puts.Add(1)
+	buf = buf[:0]
+	if cap(buf) <= arenaSmallCap {
+		a.small.Put(&buf)
+	} else {
+		a.large.Put(&buf)
+	}
+}
+
+// ArenaStats is a point-in-time snapshot of an arena's counters.
+type ArenaStats struct {
+	// Gets counts buffer requests; Hits the subset served by recycling a
+	// pooled buffer (the rest allocated fresh). Puts counts returns.
+	Gets, Hits, Puts uint64
+}
+
+// HitRate returns Hits/Gets, or 0 before the first Get.
+func (s ArenaStats) HitRate() float64 {
+	if s.Gets == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Gets)
+}
+
+// Stats snapshots the arena's counters.
+func (a *Arena) Stats() ArenaStats {
+	a = a.orDefault()
+	return ArenaStats{Gets: a.gets.Load(), Hits: a.hits.Load(), Puts: a.puts.Load()}
+}

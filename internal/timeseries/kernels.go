@@ -1,0 +1,292 @@
+package timeseries
+
+import (
+	"fmt"
+	"time"
+
+	"sift/internal/stats"
+)
+
+// This file holds the allocation-lean, destination-passing variants of the
+// package's hot kernels. The immutable API (Scale, Average, Renormalize,
+// StitchFrom...) is a thin wrapper over these; the pipeline calls them
+// directly with arena-recycled buffers so a convergence round reuses one
+// scratch buffer per state instead of allocating per frame per round. Every
+// kernel performs the same floating-point operations in the same order as
+// the legacy allocating path (pinned byte-identical by the property tests
+// against the ...Ref oracles in oracle.go).
+
+// Adopt wraps values in a Series without copying. The caller must not
+// mutate the slice afterwards except through kernels that the caller
+// itself drives (the pipeline overwrites its adopted merge buffers each
+// round before anything else observes them).
+func Adopt(start time.Time, values []float64) (*Series, error) {
+	if !Aligned(start) {
+		return nil, fmt.Errorf("%w: %v", ErrMisaligned, start)
+	}
+	return &Series{start: start.UTC(), values: values}, nil
+}
+
+// MustAdopt is Adopt for inputs known to be valid; it panics otherwise.
+func MustAdopt(start time.Time, values []float64) *Series {
+	s, err := Adopt(start, values)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// RawValues returns the series' backing slice without copying. The slice
+// is read-only: mutating it breaks the immutability every consumer of a
+// Series assumes. Use Values for an owned copy.
+func (s *Series) RawValues() []float64 { return s.values }
+
+// ScaleInto writes s scaled by f into dst, which must have the series'
+// length. dst may alias the series' own backing slice (each position is
+// read before it is written).
+func (s *Series) ScaleInto(dst []float64, f float64) error {
+	if len(dst) != len(s.values) {
+		return ErrShape
+	}
+	for i, v := range s.values {
+		dst[i] = v * f
+	}
+	return nil
+}
+
+// RenormalizeInPlace rescales the series in place so its maximum becomes
+// 100, leaving an all-zero (or empty) series untouched, and returns s.
+// Only call it on a series the caller owns outright.
+func (s *Series) RenormalizeInPlace() *Series {
+	max, _, err := stats.Max(s.values)
+	if err != nil || max <= 0 {
+		return s
+	}
+	f := 100 / max
+	for i := range s.values {
+		s.values[i] *= f
+	}
+	return s
+}
+
+// AverageInto writes the pointwise mean of series into dst, which must
+// have the common length. dst may alias any input's backing slice: the
+// kernel runs position-major, reading every input at a position before
+// writing it, so the additions happen in the same order as the legacy
+// series-major accumulation and the result is bit-identical.
+func AverageInto(dst []float64, series []*Series) error {
+	if err := checkShapes(dst, series); err != nil {
+		return err
+	}
+	k := float64(len(series))
+	for i := range dst {
+		acc := 0.0
+		for _, s := range series {
+			acc += s.values[i]
+		}
+		dst[i] = acc / k
+	}
+	return nil
+}
+
+// ConsensusAverageInto is AverageInto under the presence quorum of
+// ConsensusAverage: positions nonzero in fewer than quorum inputs become
+// zero. dst may alias an input's backing slice.
+func ConsensusAverageInto(dst []float64, series []*Series, quorum int) error {
+	if err := checkShapes(dst, series); err != nil {
+		return err
+	}
+	k := float64(len(series))
+	for i := range dst {
+		acc := 0.0
+		present := 0
+		for _, s := range series {
+			v := s.values[i]
+			acc += v
+			if v > 0 {
+				present++
+			}
+		}
+		v := acc / k
+		if quorum > 1 && present < quorum {
+			v = 0
+		}
+		dst[i] = v
+	}
+	return nil
+}
+
+// checkShapes validates the common shape of an Into-kernel call: at least
+// one input, every input sharing the first's start and length, and dst
+// sized to match.
+func checkShapes(dst []float64, series []*Series) error {
+	if len(series) == 0 {
+		return ErrEmpty
+	}
+	first := series[0]
+	if len(dst) != first.Len() {
+		return ErrShape
+	}
+	for _, s := range series {
+		if !s.start.Equal(first.start) || s.Len() != first.Len() {
+			return ErrShape
+		}
+	}
+	return nil
+}
+
+// overlapRatioRaw is OverlapRatioAnchored over a raw accumulation buffer:
+// a covers [accStart, accStart+len(a)h). It streams the overlap window
+// directly off the two backings instead of materializing copies, keeping
+// the exact accumulation order of the legacy path.
+func overlapRatioRaw(accStart time.Time, a []float64, b *Series, est RatioEstimator) (ratio float64, anchored bool, err error) {
+	aEnd := accStart.Add(time.Duration(len(a)) * Step)
+	lo := maxTime(accStart, b.start)
+	hi := minTime(aEnd, b.End())
+	if !lo.Before(hi) {
+		return 0, false, ErrNoOverlap
+	}
+	n := int(hi.Sub(lo) / Step)
+	ai := int(lo.Sub(accStart) / Step)
+	bi := int(lo.Sub(b.start) / Step)
+	switch est {
+	case RatioOfMeans:
+		var sa, sb float64
+		for i := 0; i < n; i++ {
+			sa += a[ai+i]
+			sb += b.values[bi+i]
+		}
+		if sa <= 0 || sb <= 0 {
+			return 1, false, nil
+		}
+		return sa / sb, true, nil
+	case MeanOfRatios:
+		var sum float64
+		count := 0
+		for i := 0; i < n; i++ {
+			va, vb := a[ai+i], b.values[bi+i]
+			if va > 0 && vb > 0 {
+				sum += va / vb
+				count++
+			}
+		}
+		if count == 0 {
+			return 1, false, nil
+		}
+		return sum / float64(count), true, nil
+	case MedianOfRatios:
+		var ratios []float64
+		for i := 0; i < n; i++ {
+			va, vb := a[ai+i], b.values[bi+i]
+			if va > 0 && vb > 0 {
+				ratios = append(ratios, va/vb)
+			}
+		}
+		if len(ratios) == 0 {
+			return 1, false, nil
+		}
+		m, err := stats.Median(ratios)
+		if err != nil {
+			return 1, false, nil
+		}
+		return m, true, nil
+	default:
+		return 0, false, fmt.Errorf("timeseries: unknown estimator %v", est)
+	}
+}
+
+// StitchBuffer folds frame sequences into one reusable, arena-backed
+// accumulation buffer, copying the result out exactly once per fold. A
+// legacy fold clones the whole accumulation at every seam — O(frames²)
+// values copied per state per round; the buffer fold appends each frame's
+// scaled suffix in place. Not safe for concurrent use; give each worker
+// its own.
+type StitchBuffer struct {
+	arena *Arena
+	buf   []float64
+}
+
+// NewStitchBuffer returns an empty stitch buffer drawing from a (nil uses
+// DefaultArena). Call Release when done to return the backing to the
+// arena.
+func NewStitchBuffer(a *Arena) *StitchBuffer {
+	return &StitchBuffer{arena: a.orDefault()}
+}
+
+// Release returns the backing buffer to the arena. The StitchBuffer
+// remains usable; the next fold will draw a fresh backing.
+func (sb *StitchBuffer) Release() {
+	sb.arena.Put(sb.buf)
+	sb.buf = nil
+}
+
+// grow extends the buffer to length n, preserving current contents.
+func (sb *StitchBuffer) grow(n int) {
+	old := sb.buf
+	if cap(old) >= n {
+		sb.buf = old[:n]
+		return
+	}
+	c := 2 * cap(old)
+	if c < n {
+		c = n
+	}
+	nb := sb.arena.Get(c)[:n]
+	copy(nb, old)
+	sb.arena.Put(old)
+	sb.buf = nb
+}
+
+// StitchCounted folds frames onto prefix with the semantics — and the
+// exact arithmetic — of StitchFromCounted, accumulating into the reusable
+// buffer. The returned series owns a fresh copy of the result, so it is
+// safe to retain (the stitch memo does) while the buffer is reused for
+// the next fold.
+func (sb *StitchBuffer) StitchCounted(prefix *Series, frames []*Series, est RatioEstimator) (*Series, int, error) {
+	if prefix == nil && len(frames) == 0 {
+		return nil, 0, ErrEmpty
+	}
+	var accStart time.Time
+	n := 0
+	if prefix != nil {
+		accStart = prefix.start
+		n = prefix.Len()
+		sb.grow(n)
+		copy(sb.buf, prefix.values)
+	}
+	unanchored := 0
+	for _, f := range frames {
+		if n == 0 {
+			// Empty accumulation: the frame is adopted wholesale, trivially
+			// anchored — there is no seam to estimate across.
+			accStart = f.start
+			n = f.Len()
+			sb.grow(n)
+			copy(sb.buf, f.values)
+			continue
+		}
+		if f.start.Before(accStart) {
+			return nil, unanchored, ErrOrder
+		}
+		ratio, anchored, err := overlapRatioRaw(accStart, sb.buf[:n], f, est)
+		if err != nil {
+			return nil, unanchored, err
+		}
+		if !anchored {
+			unanchored++
+		}
+		accEnd := accStart.Add(time.Duration(n) * Step)
+		if f.End().After(accEnd) {
+			j0 := int(accEnd.Sub(f.start) / Step)
+			add := f.Len() - j0
+			sb.grow(n + add)
+			for j := j0; j < len(f.values); j++ {
+				sb.buf[n+j-j0] = f.values[j] * ratio
+			}
+			n += add
+		}
+	}
+	vals := make([]float64, n)
+	copy(vals, sb.buf[:n])
+	return &Series{start: accStart, values: vals}, unanchored, nil
+}

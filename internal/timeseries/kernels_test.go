@@ -1,0 +1,410 @@
+package timeseries
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// The kernel suite pins every destination-passing kernel bit-for-bit
+// against the legacy allocating implementations preserved in oracle.go —
+// including NaN values, zero-length series, and destinations aliasing an
+// input's backing slice. "Byte-identical" here is math.Float64bits
+// equality, which is stricter than ==: it distinguishes -0 from 0 and
+// holds for NaN.
+
+var k0 = time.Date(2021, 3, 1, 0, 0, 0, 0, time.UTC)
+
+// bitsEqual reports float64-bit equality of two slices.
+func bitsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// sameSeriesBits reports bit-equality of two series including start and
+// length.
+func sameSeriesBits(a, b *Series) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	return a.start.Equal(b.start) && bitsEqual(a.values, b.values)
+}
+
+// randKernelValues draws a hostile value mix: mostly zeros and small
+// positives (the privacy-threshold regime), plus negatives and NaN.
+func randKernelValues(rng *rand.Rand, n int) []float64 {
+	vals := make([]float64, n)
+	for i := range vals {
+		switch {
+		case rng.Float64() < 0.35:
+			// leave zero
+		case rng.Float64() < 0.03:
+			vals[i] = math.NaN()
+		case rng.Float64() < 0.05:
+			vals[i] = -rng.Float64() * 10
+		default:
+			vals[i] = rng.Float64() * 100
+		}
+	}
+	return vals
+}
+
+func TestScaleIntoMatchesRef(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(40)
+		s := MustNew(k0, randKernelValues(rng, n))
+		f := (rng.Float64() - 0.3) * 7
+		want := s.ScaleRef(f)
+
+		if got := s.Scale(f); !sameSeriesBits(got, want) {
+			t.Fatalf("trial %d: Scale diverged from ScaleRef", trial)
+		}
+		dst := make([]float64, n)
+		if err := s.ScaleInto(dst, f); err != nil {
+			t.Fatalf("trial %d: ScaleInto: %v", trial, err)
+		}
+		if !bitsEqual(dst, want.RawValues()) {
+			t.Fatalf("trial %d: ScaleInto diverged from ScaleRef", trial)
+		}
+		// Aliased destination: scaling a series onto its own backing.
+		owned := s.Clone()
+		if err := owned.ScaleInto(owned.RawValues(), f); err != nil {
+			t.Fatalf("trial %d: aliased ScaleInto: %v", trial, err)
+		}
+		if !bitsEqual(owned.RawValues(), want.RawValues()) {
+			t.Fatalf("trial %d: aliased ScaleInto diverged", trial)
+		}
+	}
+	s := MustNew(k0, []float64{1, 2})
+	if err := s.ScaleInto(make([]float64, 3), 2); !errors.Is(err, ErrShape) {
+		t.Fatalf("short dst: got %v, want ErrShape", err)
+	}
+}
+
+func TestRenormalizeInPlaceMatchesRef(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	cases := [][]float64{
+		{},                     // empty
+		{0, 0, 0},              // all zero: untouched
+		{-3, -1, -2},           // max <= 0: untouched
+		{math.NaN(), 5, 0, 50}, // NaN rides along
+		{math.Inf(1), 1},       // max = +Inf
+	}
+	for trial := 0; trial < 200; trial++ {
+		cases = append(cases, randKernelValues(rng, rng.Intn(50)))
+	}
+	for i, vals := range cases {
+		s := MustNew(k0, vals)
+		want := s.RenormalizeRef()
+		if got := s.Renormalize(); !sameSeriesBits(got, want) {
+			t.Fatalf("case %d: Renormalize diverged from RenormalizeRef", i)
+		}
+		owned := s.Clone()
+		if got := owned.RenormalizeInPlace(); got != owned || !sameSeriesBits(owned, want) {
+			t.Fatalf("case %d: RenormalizeInPlace diverged from RenormalizeRef", i)
+		}
+	}
+}
+
+func TestAverageIntoMatchesRef(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(40)
+		k := 1 + rng.Intn(7)
+		series := make([]*Series, k)
+		for j := range series {
+			series[j] = MustNew(k0, randKernelValues(rng, n))
+		}
+		want, werr := AverageRef(series)
+		got, gerr := Average(series)
+		if (werr == nil) != (gerr == nil) {
+			t.Fatalf("trial %d: error mismatch: ref=%v new=%v", trial, werr, gerr)
+		}
+		if werr == nil && !sameSeriesBits(got, want) {
+			t.Fatalf("trial %d: Average diverged from AverageRef", trial)
+		}
+		// Aliased destination: averaging into the first input's backing.
+		aliased := make([]*Series, k)
+		for j := range series {
+			aliased[j] = series[j].Clone()
+		}
+		if err := AverageInto(aliased[0].RawValues(), aliased); err != nil {
+			t.Fatalf("trial %d: aliased AverageInto: %v", trial, err)
+		}
+		if !bitsEqual(aliased[0].RawValues(), want.RawValues()) {
+			t.Fatalf("trial %d: aliased AverageInto diverged", trial)
+		}
+	}
+	if err := AverageInto(nil, nil); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("no inputs: got %v, want ErrEmpty", err)
+	}
+	a := MustNew(k0, []float64{1, 2})
+	b := MustNew(k0.Add(Step), []float64{1, 2})
+	if err := AverageInto(make([]float64, 2), []*Series{a, b}); !errors.Is(err, ErrShape) {
+		t.Fatalf("misaligned inputs: got %v, want ErrShape", err)
+	}
+	if err := AverageInto(make([]float64, 1), []*Series{a}); !errors.Is(err, ErrShape) {
+		t.Fatalf("short dst: got %v, want ErrShape", err)
+	}
+}
+
+func TestConsensusAverageIntoMatchesRef(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(40)
+		k := 1 + rng.Intn(7)
+		series := make([]*Series, k)
+		for j := range series {
+			series[j] = MustNew(k0, randKernelValues(rng, n))
+		}
+		for quorum := 0; quorum <= k+1; quorum++ {
+			want, werr := ConsensusAverageRef(series, quorum)
+			got, gerr := ConsensusAverage(series, quorum)
+			if (werr == nil) != (gerr == nil) {
+				t.Fatalf("trial %d q=%d: error mismatch: ref=%v new=%v", trial, quorum, werr, gerr)
+			}
+			if werr == nil && !sameSeriesBits(got, want) {
+				t.Fatalf("trial %d q=%d: ConsensusAverage diverged", trial, quorum)
+			}
+			aliased := make([]*Series, k)
+			for j := range series {
+				aliased[j] = series[j].Clone()
+			}
+			if err := ConsensusAverageInto(aliased[0].RawValues(), aliased, quorum); err != nil {
+				t.Fatalf("trial %d q=%d: aliased ConsensusAverageInto: %v", trial, quorum, err)
+			}
+			if !bitsEqual(aliased[0].RawValues(), want.RawValues()) {
+				t.Fatalf("trial %d q=%d: aliased ConsensusAverageInto diverged", trial, quorum)
+			}
+		}
+	}
+}
+
+// randOverlapPair draws two overlapping (or nearly overlapping) series
+// with zero-heavy values so the no-signal fallback fires regularly.
+func randOverlapPair(rng *rand.Rand) (*Series, *Series) {
+	prevLen := 1 + rng.Intn(60)
+	prev := MustNew(k0, randKernelValues(rng, prevLen))
+	// next starts anywhere from k0 to just past prev's end.
+	off := rng.Intn(prevLen + 2)
+	next := MustNew(k0.Add(time.Duration(off)*Step), randKernelValues(rng, 1+rng.Intn(60)))
+	if rng.Float64() < 0.3 {
+		// Zero a side's overlap to force the ratio-1 fallback.
+		s := prev
+		if rng.Float64() < 0.5 {
+			s = next
+		}
+		for i := range s.values {
+			s.values[i] = 0
+		}
+	}
+	return prev, next
+}
+
+func TestOverlapRatioAnchoredMatchesRef(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	ests := []RatioEstimator{RatioOfMeans, MeanOfRatios, MedianOfRatios, RatioEstimator(9)}
+	for trial := 0; trial < 400; trial++ {
+		prev, next := randOverlapPair(rng)
+		for _, est := range ests {
+			wr, wa, werr := OverlapRatioAnchoredRef(prev, next, est)
+			gr, ga, gerr := OverlapRatioAnchored(prev, next, est)
+			if (werr == nil) != (gerr == nil) || wa != ga ||
+				math.Float64bits(wr) != math.Float64bits(gr) {
+				t.Fatalf("trial %d est=%v: (%v,%v,%v) vs ref (%v,%v,%v)",
+					trial, est, gr, ga, gerr, wr, wa, werr)
+			}
+		}
+	}
+}
+
+// randFramePlan cuts a random truth series into overlapping renormalized
+// frames, occasionally zeroing whole frames to force unanchored seams.
+func randFramePlan(rng *rand.Rand) []*Series {
+	total := 168 + rng.Intn(600)
+	frameLen := 48 + rng.Intn(121)
+	overlap := 1 + rng.Intn(frameLen-1)
+	specs, err := Partition(k0, k0.Add(time.Duration(total)*Step), frameLen, overlap)
+	if err != nil {
+		panic(err)
+	}
+	truth := randKernelValues(rng, total)
+	frames := make([]*Series, len(specs))
+	for i, spec := range specs {
+		off := int(spec.Start.Sub(k0) / Step)
+		vals := make([]float64, spec.Hours)
+		copy(vals, truth[off:off+spec.Hours])
+		if rng.Float64() < 0.15 {
+			for j := range vals {
+				vals[j] = 0
+			}
+		}
+		frames[i] = MustNew(spec.Start, vals).Renormalize()
+	}
+	return frames
+}
+
+func TestStitchBufferMatchesRef(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	ests := []RatioEstimator{RatioOfMeans, MeanOfRatios, MedianOfRatios}
+	sb := NewStitchBuffer(nil) // reused across trials, like the pipeline's
+	defer sb.Release()
+	for trial := 0; trial < 120; trial++ {
+		frames := randFramePlan(rng)
+		est := ests[rng.Intn(len(ests))]
+
+		// Fresh fold.
+		want, wantUn, werr := StitchFromCountedRef(nil, frames, est)
+		got, gotUn, gerr := sb.StitchCounted(nil, frames, est)
+		if (werr == nil) != (gerr == nil) || wantUn != gotUn {
+			t.Fatalf("trial %d: (un=%d err=%v) vs ref (un=%d err=%v)", trial, gotUn, gerr, wantUn, werr)
+		}
+		if werr == nil && !sameSeriesBits(got, want) {
+			t.Fatalf("trial %d: fold diverged from reference", trial)
+		}
+
+		// Incremental fold: a prefix of the reference restitched with the
+		// suffix frames must equal the full fold (the memo invariant).
+		cut := rng.Intn(len(frames))
+		prefix, _, err := StitchFromCountedRef(nil, frames[:cut], est)
+		if cut == 0 {
+			prefix = nil
+		} else if err != nil {
+			t.Fatalf("trial %d: prefix fold: %v", trial, err)
+		}
+		wantInc, wantIncUn, werr2 := StitchFromCountedRef(prefix, frames[cut:], est)
+		gotInc, gotIncUn, gerr2 := sb.StitchCounted(prefix, frames[cut:], est)
+		if (werr2 == nil) != (gerr2 == nil) || wantIncUn != gotIncUn {
+			t.Fatalf("trial %d: incremental (un=%d err=%v) vs ref (un=%d err=%v)",
+				trial, gotIncUn, gerr2, wantIncUn, werr2)
+		}
+		if werr2 == nil && !sameSeriesBits(gotInc, wantInc) {
+			t.Fatalf("trial %d: incremental fold diverged from reference", trial)
+		}
+
+		// StitchAll (fold + renormalize) against its reference.
+		wantAll, werr3 := StitchAllRef(frames, est)
+		gotAll, gerr3 := StitchAll(frames, est)
+		if (werr3 == nil) != (gerr3 == nil) {
+			t.Fatalf("trial %d: StitchAll error mismatch: %v vs %v", trial, gerr3, werr3)
+		}
+		if werr3 == nil && !sameSeriesBits(gotAll, wantAll) {
+			t.Fatalf("trial %d: StitchAll diverged from StitchAllRef", trial)
+		}
+	}
+}
+
+func TestStitchBufferErrorsMatchRef(t *testing.T) {
+	sb := NewStitchBuffer(nil)
+	defer sb.Release()
+	if _, _, err := sb.StitchCounted(nil, nil, RatioOfMeans); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("empty fold: got %v, want ErrEmpty", err)
+	}
+	a := MustNew(k0.Add(24*Step), []float64{1, 2, 3})
+	early := MustNew(k0, []float64{1, 2, 3})
+	if _, _, err := sb.StitchCounted(nil, []*Series{a, early}, RatioOfMeans); !errors.Is(err, ErrOrder) {
+		t.Fatalf("out-of-order frame: got %v, want ErrOrder", err)
+	}
+	gapped := MustNew(k0.Add(100*Step), []float64{1, 2})
+	if _, _, err := sb.StitchCounted(nil, []*Series{early, gapped}, RatioOfMeans); !errors.Is(err, ErrNoOverlap) {
+		t.Fatalf("gapped frame: got %v, want ErrNoOverlap", err)
+	}
+	if _, _, err := sb.StitchCounted(nil, []*Series{early, early}, RatioEstimator(9)); err == nil {
+		t.Fatal("unknown estimator: want error")
+	}
+	// A nil prefix with an empty first frame adopts the next frame's
+	// start, exactly like the reference fold.
+	empty := MustNew(k0, nil)
+	want, wantUn, werr := StitchFromCountedRef(nil, []*Series{empty, early}, RatioOfMeans)
+	got, gotUn, gerr := sb.StitchCounted(nil, []*Series{empty, early}, RatioOfMeans)
+	if werr != nil || gerr != nil || wantUn != gotUn || !sameSeriesBits(got, want) {
+		t.Fatalf("empty-first-frame fold diverged: (%v,%d,%v) vs (%v,%d,%v)", got, gotUn, gerr, want, wantUn, werr)
+	}
+	// Same for an empty non-nil prefix.
+	want, wantUn, werr = StitchFromCountedRef(empty, []*Series{early}, RatioOfMeans)
+	got, gotUn, gerr = sb.StitchCounted(empty, []*Series{early}, RatioOfMeans)
+	if werr != nil || gerr != nil || wantUn != gotUn || !sameSeriesBits(got, want) {
+		t.Fatalf("empty-prefix fold diverged: (%v,%d,%v) vs (%v,%d,%v)", got, gotUn, gerr, want, wantUn, werr)
+	}
+	// Prefix-only fold: clone semantics.
+	want, wantUn, werr = StitchFromCountedRef(early, nil, RatioOfMeans)
+	got, gotUn, gerr = sb.StitchCounted(early, nil, RatioOfMeans)
+	if werr != nil || gerr != nil || wantUn != gotUn || !sameSeriesBits(got, want) {
+		t.Fatalf("prefix-only fold diverged")
+	}
+}
+
+func TestAdoptAndRawValues(t *testing.T) {
+	vals := []float64{1, 2, 3}
+	s, err := Adopt(k0, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals[1] = 99
+	if s.AtIndex(1) != 99 {
+		t.Fatal("Adopt copied the slice; it must wrap it")
+	}
+	if &s.RawValues()[0] != &vals[0] {
+		t.Fatal("RawValues must expose the backing slice")
+	}
+	if _, err := Adopt(k0.Add(30*time.Minute), vals); !errors.Is(err, ErrMisaligned) {
+		t.Fatalf("misaligned Adopt: got %v, want ErrMisaligned", err)
+	}
+	if got := MustNew(k0, vals).Values(); &got[0] == &vals[0] {
+		t.Fatal("Values must still copy")
+	}
+}
+
+func TestArenaRecyclesAndCounts(t *testing.T) {
+	a := NewArena()
+	b1 := a.Get(100)
+	if len(b1) != 100 {
+		t.Fatalf("Get(100) len = %d", len(b1))
+	}
+	for i := range b1 {
+		b1[i] = 7
+	}
+	a.Put(b1)
+	b2 := a.GetZeroed(50)
+	for i, v := range b2 {
+		if v != 0 {
+			t.Fatalf("GetZeroed left %v at %d", v, i)
+		}
+	}
+	a.Put(b2)
+	// Large class round-trip.
+	big := a.Get(20000)
+	a.Put(big)
+	big2 := a.Get(20000)
+	a.Put(big2)
+	st := a.Stats()
+	if st.Gets != 4 || st.Puts != 4 {
+		t.Fatalf("stats = %+v, want 4 gets / 4 puts", st)
+	}
+	if st.Hits == 0 {
+		t.Fatalf("stats = %+v, want at least one pooled hit", st)
+	}
+	if st.HitRate() <= 0 || st.HitRate() > 1 {
+		t.Fatalf("hit rate = %v", st.HitRate())
+	}
+	if (ArenaStats{}).HitRate() != 0 {
+		t.Fatal("zero-stats hit rate must be 0")
+	}
+	// A nil arena routes to the shared default.
+	var nilArena *Arena
+	buf := nilArena.Get(8)
+	nilArena.Put(buf)
+	if DefaultArena().Stats().Gets == 0 {
+		t.Fatal("nil arena must route to DefaultArena")
+	}
+}

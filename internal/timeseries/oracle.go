@@ -1,0 +1,189 @@
+package timeseries
+
+import (
+	"fmt"
+	"time"
+
+	"sift/internal/stats"
+)
+
+// This file preserves the pre-kernel allocating implementations verbatim.
+// They are the equivalence oracles the kernel property tests compare
+// against bit for bit, and the "before" side of the kernel microbenches
+// (BenchmarkStitchAll/ref, BenchmarkAverage/ref) — without them the
+// allocation win would be unmeasurable once the public API became thin
+// kernel wrappers. They are reference code: do not optimize them.
+
+// ScaleRef is the legacy Scale: clone, then multiply in place.
+func (s *Series) ScaleRef(f float64) *Series {
+	out := s.Clone()
+	for i := range out.values {
+		out.values[i] *= f
+	}
+	return out
+}
+
+// RenormalizeRef is the legacy Renormalize built on ScaleRef.
+func (s *Series) RenormalizeRef() *Series {
+	max, _, err := stats.Max(s.values)
+	if err != nil || max <= 0 {
+		return s.Clone()
+	}
+	return s.ScaleRef(100 / max)
+}
+
+// AverageRef is the legacy Average: series-major accumulation into a
+// fresh sum slice, then a copying New.
+func AverageRef(series []*Series) (*Series, error) {
+	if len(series) == 0 {
+		return nil, ErrEmpty
+	}
+	first := series[0]
+	sum := make([]float64, first.Len())
+	for _, s := range series {
+		if !s.start.Equal(first.start) || s.Len() != first.Len() {
+			return nil, ErrShape
+		}
+		for i, v := range s.values {
+			sum[i] += v
+		}
+	}
+	for i := range sum {
+		sum[i] /= float64(len(series))
+	}
+	return New(first.start, sum)
+}
+
+// ConsensusAverageRef is the legacy ConsensusAverage: AverageRef, then a
+// quorum pass zeroing under-attested positions.
+func ConsensusAverageRef(series []*Series, quorum int) (*Series, error) {
+	avg, err := AverageRef(series)
+	if err != nil {
+		return nil, err
+	}
+	if quorum <= 1 {
+		return avg, nil
+	}
+	for i := 0; i < avg.Len(); i++ {
+		present := 0
+		for _, s := range series {
+			if s.values[i] > 0 {
+				present++
+			}
+		}
+		if present < quorum {
+			avg.values[i] = 0
+		}
+	}
+	return avg, nil
+}
+
+// OverlapRatioAnchoredRef is the legacy OverlapRatioAnchored: it
+// materializes the overlap window into two fresh slices via At.
+func OverlapRatioAnchoredRef(prev, next *Series, est RatioEstimator) (ratio float64, anchored bool, err error) {
+	lo := maxTime(prev.start, next.start)
+	hi := minTime(prev.End(), next.End())
+	if !lo.Before(hi) {
+		return 0, false, ErrNoOverlap
+	}
+	n := int(hi.Sub(lo) / Step)
+	var a, b []float64
+	for i := 0; i < n; i++ {
+		t := lo.Add(time.Duration(i) * Step)
+		va, _ := prev.At(t)
+		vb, _ := next.At(t)
+		a = append(a, va)
+		b = append(b, vb)
+	}
+	switch est {
+	case RatioOfMeans:
+		sa, sb := stats.Sum(a), stats.Sum(b)
+		if sa <= 0 || sb <= 0 {
+			return 1, false, nil
+		}
+		return sa / sb, true, nil
+	case MeanOfRatios, MedianOfRatios:
+		var ratios []float64
+		for i := range a {
+			if a[i] > 0 && b[i] > 0 {
+				ratios = append(ratios, a[i]/b[i])
+			}
+		}
+		if len(ratios) == 0 {
+			return 1, false, nil
+		}
+		if est == MeanOfRatios {
+			return stats.Mean(ratios), true, nil
+		}
+		m, err := stats.Median(ratios)
+		if err != nil {
+			return 1, false, nil
+		}
+		return m, true, nil
+	default:
+		return 0, false, fmt.Errorf("timeseries: unknown estimator %v", est)
+	}
+}
+
+// stitchAnchoredRef is the legacy per-seam stitch: scale a clone of next,
+// clone the accumulation, append the suffix.
+func stitchAnchoredRef(prev, next *Series, est RatioEstimator) (*Series, bool, error) {
+	if prev.Len() == 0 {
+		return next.Clone(), true, nil
+	}
+	if next.start.Before(prev.start) {
+		return nil, false, ErrOrder
+	}
+	ratio, anchored, err := OverlapRatioAnchoredRef(prev, next, est)
+	if err != nil {
+		return nil, false, err
+	}
+	scaled := next.ScaleRef(ratio)
+	out := prev.Clone()
+	if scaled.End().After(out.End()) {
+		fromIdx, err := scaled.Index(out.End())
+		if err != nil {
+			return nil, false, err
+		}
+		out.values = append(out.values, scaled.values[fromIdx:]...)
+	}
+	return out, anchored, nil
+}
+
+// StitchFromCountedRef is the legacy fold: a full accumulation clone per
+// seam.
+func StitchFromCountedRef(prefix *Series, frames []*Series, est RatioEstimator) (*Series, int, error) {
+	var acc *Series
+	if prefix != nil {
+		acc = prefix.Clone()
+	}
+	if acc == nil {
+		if len(frames) == 0 {
+			return nil, 0, ErrEmpty
+		}
+		acc = frames[0].Clone()
+		frames = frames[1:]
+	}
+	unanchored := 0
+	for _, f := range frames {
+		var anchored bool
+		var err error
+		acc, anchored, err = stitchAnchoredRef(acc, f, est)
+		if err != nil {
+			return nil, unanchored, err
+		}
+		if !anchored {
+			unanchored++
+		}
+	}
+	return acc, unanchored, nil
+}
+
+// StitchAllRef is the legacy StitchAll over the reference fold.
+func StitchAllRef(frames []*Series, est RatioEstimator) (*Series, error) {
+	acc, _, err := StitchFromCountedRef(nil, frames, est)
+	if err != nil {
+		return nil, err
+	}
+	return acc.RenormalizeRef(), nil
+}

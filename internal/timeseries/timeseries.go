@@ -156,10 +156,9 @@ func (s *Series) Slice(from, to time.Time) (*Series, error) {
 
 // Scale returns a copy of s with every value multiplied by f.
 func (s *Series) Scale(f float64) *Series {
-	out := s.Clone()
-	for i := range out.values {
-		out.values[i] *= f
-	}
+	out := &Series{start: s.start, values: make([]float64, len(s.values))}
+	// The destination is sized to match, so ScaleInto cannot fail.
+	_ = s.ScaleInto(out.values, f)
 	return out
 }
 
@@ -177,11 +176,7 @@ func (s *Series) Max() (v float64, at time.Time, err error) {
 // the final indexing step of the processing pipeline. An all-zero series
 // is returned unchanged.
 func (s *Series) Renormalize() *Series {
-	max, _, err := stats.Max(s.values)
-	if err != nil || max <= 0 {
-		return s.Clone()
-	}
-	return s.Scale(100 / max)
+	return s.Clone().RenormalizeInPlace()
 }
 
 // RatioEstimator selects how the inter-frame scaling ratio is estimated
@@ -234,48 +229,7 @@ func OverlapRatio(prev, next *Series, est RatioEstimator) (float64, error) {
 // tracking crawl health want to count them (the pipeline surfaces the
 // count as CrawlHealth.UnanchoredStitches).
 func OverlapRatioAnchored(prev, next *Series, est RatioEstimator) (ratio float64, anchored bool, err error) {
-	lo := maxTime(prev.start, next.start)
-	hi := minTime(prev.End(), next.End())
-	if !lo.Before(hi) {
-		return 0, false, ErrNoOverlap
-	}
-	n := int(hi.Sub(lo) / Step)
-	var a, b []float64
-	for i := 0; i < n; i++ {
-		t := lo.Add(time.Duration(i) * Step)
-		va, _ := prev.At(t)
-		vb, _ := next.At(t)
-		a = append(a, va)
-		b = append(b, vb)
-	}
-	switch est {
-	case RatioOfMeans:
-		sa, sb := stats.Sum(a), stats.Sum(b)
-		if sa <= 0 || sb <= 0 {
-			return 1, false, nil
-		}
-		return sa / sb, true, nil
-	case MeanOfRatios, MedianOfRatios:
-		var ratios []float64
-		for i := range a {
-			if a[i] > 0 && b[i] > 0 {
-				ratios = append(ratios, a[i]/b[i])
-			}
-		}
-		if len(ratios) == 0 {
-			return 1, false, nil
-		}
-		if est == MeanOfRatios {
-			return stats.Mean(ratios), true, nil
-		}
-		m, err := stats.Median(ratios)
-		if err != nil {
-			return 1, false, nil
-		}
-		return m, true, nil
-	default:
-		return 0, false, fmt.Errorf("timeseries: unknown estimator %v", est)
-	}
+	return overlapRatioRaw(prev.start, prev.values, next, est)
 }
 
 // Stitch extends prev with next: it estimates the scaling ratio over the
@@ -283,34 +237,8 @@ func OverlapRatioAnchored(prev, next *Series, est RatioEstimator) (ratio float64
 // prev is not modified. next must start within prev (overlap required) and
 // must not start before prev.
 func Stitch(prev, next *Series, est RatioEstimator) (*Series, error) {
-	out, _, err := stitchAnchored(prev, next, est)
+	out, _, err := StitchFromCounted(prev, []*Series{next}, est)
 	return out, err
-}
-
-// stitchAnchored is Stitch plus whether the seam's ratio was anchored in
-// overlap signal (an empty prev is trivially anchored: there is no seam).
-func stitchAnchored(prev, next *Series, est RatioEstimator) (*Series, bool, error) {
-	if prev.Len() == 0 {
-		return next.Clone(), true, nil
-	}
-	if next.start.Before(prev.start) {
-		return nil, false, ErrOrder
-	}
-	ratio, anchored, err := OverlapRatioAnchored(prev, next, est)
-	if err != nil {
-		return nil, false, err
-	}
-	scaled := next.Scale(ratio)
-	out := prev.Clone()
-	// Append the part of next beyond prev's end.
-	if scaled.End().After(out.End()) {
-		fromIdx, err := scaled.Index(out.End())
-		if err != nil {
-			return nil, false, err
-		}
-		out.values = append(out.values, scaled.values[fromIdx:]...)
-	}
-	return out, anchored, nil
 }
 
 // StitchFrom folds a left-to-right sequence of overlapping frames onto an
@@ -331,30 +259,9 @@ func StitchFrom(prefix *Series, frames []*Series, est RatioEstimator) (*Series, 
 // fallback silently decoupled the scales on either side. The numeric
 // result is identical to StitchFrom's.
 func StitchFromCounted(prefix *Series, frames []*Series, est RatioEstimator) (*Series, int, error) {
-	var acc *Series
-	if prefix != nil {
-		acc = prefix.Clone()
-	}
-	if acc == nil {
-		if len(frames) == 0 {
-			return nil, 0, ErrEmpty
-		}
-		acc = frames[0].Clone()
-		frames = frames[1:]
-	}
-	unanchored := 0
-	for _, f := range frames {
-		var anchored bool
-		var err error
-		acc, anchored, err = stitchAnchored(acc, f, est)
-		if err != nil {
-			return nil, unanchored, err
-		}
-		if !anchored {
-			unanchored++
-		}
-	}
-	return acc, unanchored, nil
+	sb := NewStitchBuffer(nil)
+	defer sb.Release()
+	return sb.StitchCounted(prefix, frames, est)
 }
 
 // StitchAll folds a left-to-right sequence of overlapping frames into one
@@ -366,7 +273,9 @@ func StitchAll(frames []*Series, est RatioEstimator) (*Series, error) {
 	if err != nil {
 		return nil, err
 	}
-	return acc.Renormalize(), nil
+	// The fold's copy-out is owned here, so renormalizing in place skips a
+	// full-series clone; the values are identical to Renormalize's.
+	return acc.RenormalizeInPlace(), nil
 }
 
 // Average returns the pointwise mean of series with identical start and
@@ -376,20 +285,11 @@ func Average(series []*Series) (*Series, error) {
 	if len(series) == 0 {
 		return nil, ErrEmpty
 	}
-	first := series[0]
-	sum := make([]float64, first.Len())
-	for _, s := range series {
-		if !s.start.Equal(first.start) || s.Len() != first.Len() {
-			return nil, ErrShape
-		}
-		for i, v := range s.values {
-			sum[i] += v
-		}
+	dst := make([]float64, series[0].Len())
+	if err := AverageInto(dst, series); err != nil {
+		return nil, err
 	}
-	for i := range sum {
-		sum[i] /= float64(len(series))
-	}
-	return New(first.start, sum)
+	return &Series{start: series[0].start, values: dst}, nil
 }
 
 // ConsensusAverage returns the pointwise mean of series of identical
@@ -401,25 +301,14 @@ func Average(series []*Series) (*Series, error) {
 // to agree the hour had measurable volume removes the ghosts while
 // leaving genuine surges (nonzero in every sample) untouched.
 func ConsensusAverage(series []*Series, quorum int) (*Series, error) {
-	avg, err := Average(series)
-	if err != nil {
+	if len(series) == 0 {
+		return nil, ErrEmpty
+	}
+	dst := make([]float64, series[0].Len())
+	if err := ConsensusAverageInto(dst, series, quorum); err != nil {
 		return nil, err
 	}
-	if quorum <= 1 {
-		return avg, nil
-	}
-	for i := 0; i < avg.Len(); i++ {
-		present := 0
-		for _, s := range series {
-			if s.values[i] > 0 {
-				present++
-			}
-		}
-		if present < quorum {
-			avg.values[i] = 0
-		}
-	}
-	return avg, nil
+	return &Series{start: series[0].start, values: dst}, nil
 }
 
 // Correlation returns the Pearson correlation coefficient between two
