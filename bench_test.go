@@ -25,6 +25,7 @@ import (
 	"sift/internal/searchmodel"
 	"sift/internal/simworld"
 	"sift/internal/timeseries"
+	"sift/internal/trace"
 )
 
 var (
@@ -488,6 +489,38 @@ func BenchmarkStitchAll(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkTracedStitch measures tracing's overhead on the lean stitch
+// path: the kernel stitch wrapped in a stage.stitch span exactly as the
+// pipeline emits it, under a disabled context ("off": no tracer, spans
+// are nil) and a recording tracer ("on"). The off case is gated against
+// BenchmarkStitchAll/kernel's allocation count in BENCH_BASELINE.json —
+// tracing that nobody enabled must cost zero allocs/op.
+func BenchmarkTracedStitch(b *testing.B) {
+	frames := benchStitchFrames(b)
+	run := func(ctx context.Context) func(*testing.B) {
+		return func(b *testing.B) {
+			sb := timeseries.NewStitchBuffer(nil)
+			defer sb.Release()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, span := trace.Start(ctx, "stage.stitch", trace.Int("frames", len(frames)))
+				_, n, err := sb.StitchCounted(nil, frames, timeseries.RatioOfMeans)
+				if err != nil {
+					b.Fatal(err)
+				}
+				span.SetAttr(trace.Int("unanchored", n))
+				span.End()
+			}
+		}
+	}
+	b.Run("off", run(context.Background()))
+	tr := trace.New(trace.Config{Capacity: 64})
+	ctx, root := tr.Root(context.Background(), "bench.traced_stitch")
+	defer root.End()
+	b.Run("on", run(ctx))
 }
 
 // BenchmarkAverage compares the allocating round-average against the

@@ -135,10 +135,15 @@ func cmdDetect(args []string) error {
 	incremental := fs.Bool("incremental", false, "with -db: prime the frame cache from the existing store and refetch only missing windows")
 	retries := fs.Int("retries", 2, "in-round re-fetches after a transient failure (0 disables)")
 	analysisWorkers := fs.Int("analysis-workers", 0, "concurrent analysis workers, recorded in the crawl-health record (0 takes GOMAXPROCS)")
-	metricsOut := fs.String("metrics-out", "", "write a JSON metrics snapshot to this path after the run")
+	obsOut := addObs(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	tracer, err := obsOut.setup()
+	if err != nil {
+		return err
+	}
+	defer obsOut.hookSignals()()
 	if *analysisWorkers <= 0 {
 		*analysisWorkers = runtime.GOMAXPROCS(0)
 	}
@@ -163,6 +168,7 @@ func cmdDetect(args []string) error {
 	// The flag's 0 means "no retries"; the config's 0 means "default" —
 	// RetriesFlag bridges the two.
 	p.Cfg.FetchRetries = core.RetriesFlag(*retries)
+	p.Cfg.Tracer = tracer
 	if *cacheSize > 0 || *incremental {
 		p.Cfg.Cache = engine.NewFrameCache(*cacheSize)
 	}
@@ -181,7 +187,7 @@ func cmdDetect(args []string) error {
 				fmt.Fprintf(os.Stderr, "sift: ignoring existing store: %v\n", err)
 			}
 		}
-		wb = store.NewWriteBehind(db, 0)
+		wb = store.NewWriteBehind(db, 0).WithTrace(tracer)
 		p.Cfg.OnFrame = wb.AddFrame
 	}
 	res, err := p.Run(context.Background(), geo.State(*state), *term, from, to)
@@ -214,11 +220,6 @@ func cmdDetect(args []string) error {
 		fmt.Printf("  %s  dur=%2dh  mag=%5.1f  rank=%d\n",
 			sp.Start.Format("2006-01-02 15:04"), int(sp.Duration().Hours()), sp.Magnitude, sp.Rank)
 	}
-	if *metricsOut != "" {
-		if err := writeMetricsSnapshot(*metricsOut); err != nil {
-			return err
-		}
-		fmt.Printf("metrics snapshot written to %s\n", *metricsOut)
-	}
+	obsOut.flush()
 	return nil
 }

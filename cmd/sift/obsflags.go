@@ -1,0 +1,126 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+
+	"sift/internal/trace"
+)
+
+// obsFlags bundles the observability outputs shared by detect and study:
+// the post-run metrics snapshot, the span-trace export, and the
+// structured log sink. One idempotent flush path serves both the normal
+// return and the signal hook, so an interrupted crawl still leaves its
+// snapshot and trace on disk instead of dying with empty hands.
+type obsFlags struct {
+	metricsOut *string
+	traceOut   *string
+	logFormat  *string
+	logLevel   *string
+
+	tracer *trace.Tracer
+	once   sync.Once
+}
+
+// addObs registers the shared observability flags on a subcommand.
+func addObs(fs *flag.FlagSet) *obsFlags {
+	return &obsFlags{
+		metricsOut: fs.String("metrics-out", "",
+			"write a JSON metrics snapshot to this path after the run (also flushed on SIGINT/SIGTERM)"),
+		traceOut: fs.String("trace-out", "",
+			"write the run's span trace to this path: .jsonl/.ndjson for one span per line, anything else for Chrome trace_event JSON (load in Perfetto)"),
+		logFormat: fs.String("log-format", "",
+			`structured logs on stderr: "text" or "json" (empty keeps the default warn-only text sink)`),
+		logLevel: fs.String("log-level", "info",
+			"minimum structured log level: debug, info, warn, error"),
+	}
+}
+
+// parseLevel maps the -log-level flag onto a sink threshold.
+func parseLevel(s string) (trace.Level, bool) {
+	switch s {
+	case "debug":
+		return trace.LevelDebug, true
+	case "info", "":
+		return trace.LevelInfo, true
+	case "warn":
+		return trace.LevelWarn, true
+	case "error":
+		return trace.LevelError, true
+	}
+	return 0, false
+}
+
+// setup configures the process log sink and builds the run's tracer.
+// The tracer is non-nil whenever any trace surface was requested, so
+// JSON log lines carry trace/span IDs even without a -trace-out file.
+// A nil return with nil error means tracing is off.
+func (o *obsFlags) setup() (*trace.Tracer, error) {
+	if *o.logFormat != "" {
+		f, ok := trace.ParseFormat(*o.logFormat)
+		if !ok {
+			return nil, fmt.Errorf("bad -log-format %q (want text or json)", *o.logFormat)
+		}
+		min, ok := parseLevel(*o.logLevel)
+		if !ok {
+			return nil, fmt.Errorf("bad -log-level %q (want debug, info, warn, or error)", *o.logLevel)
+		}
+		trace.SetDefaultSink(trace.NewSink(os.Stderr, f, min))
+	}
+	if *o.traceOut != "" || *o.logFormat != "" {
+		o.tracer = trace.New(trace.Config{})
+	}
+	return o.tracer, nil
+}
+
+// flush writes the requested outputs exactly once; the normal exit path
+// and the signal hook may both reach it.
+func (o *obsFlags) flush() {
+	o.once.Do(func() {
+		if o.tracer != nil && *o.traceOut != "" {
+			if err := o.tracer.WriteFile(*o.traceOut); err != nil {
+				fmt.Fprintln(os.Stderr, "sift: trace export:", err)
+			} else {
+				fmt.Printf("trace written to %s\n", *o.traceOut)
+			}
+		}
+		if *o.metricsOut != "" {
+			if err := writeMetricsSnapshot(*o.metricsOut); err != nil {
+				fmt.Fprintln(os.Stderr, "sift:", err)
+			} else {
+				fmt.Printf("metrics snapshot written to %s\n", *o.metricsOut)
+			}
+		}
+	})
+}
+
+// hookSignals arms a SIGINT/SIGTERM handler that flushes the
+// observability outputs before exiting with the signal's conventional
+// status. The returned stop func disarms the hook so the normal exit
+// path flushes on its own schedule.
+func (o *obsFlags) hookSignals() (stop func()) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		select {
+		case sig := <-ch:
+			fmt.Fprintf(os.Stderr, "sift: caught %v, flushing observability outputs\n", sig)
+			o.flush()
+			code := 1
+			if s, ok := sig.(syscall.Signal); ok {
+				code = 128 + int(s)
+			}
+			os.Exit(code)
+		case <-done:
+		}
+	}()
+	return func() {
+		signal.Stop(ch)
+		close(done)
+	}
+}

@@ -27,10 +27,15 @@ func cmdStudy(args []string) error {
 	faultSpec := fs.String("faults", "off", `fault injection: "off", "default", or a JSON plan path`)
 	tolerance := fs.Int("fault-tolerance", 0, "permanent frame failures tolerated per round (0 aborts on the first)")
 	retries := fs.Int("retries", 2, "in-round re-fetches after a transient failure (0 disables)")
-	metricsOut := fs.String("metrics-out", "", "write a JSON metrics snapshot to this path after the run")
+	obsOut := addObs(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	tracer, err := obsOut.setup()
+	if err != nil {
+		return err
+	}
+	defer obsOut.hookSignals()()
 	start, err := time.Parse("2006-01-02", *from)
 	if err != nil {
 		return fmt.Errorf("bad -from: %v", err)
@@ -67,6 +72,7 @@ func cmdStudy(args []string) error {
 		AnalysisWorkers: *analysisWorkers,
 		CacheSize:       *cacheSize,
 		Faults:          plan,
+		Tracer:          tracer,
 		Pipeline:        core.PipelineConfig{FrameTolerance: *tolerance, FetchRetries: core.RetriesFlag(*retries)},
 	})
 	if err != nil {
@@ -112,12 +118,7 @@ func cmdStudy(args []string) error {
 		}
 		fmt.Printf("spike database written to %s\n", *out)
 	}
-	if *metricsOut != "" {
-		if err := writeMetricsSnapshot(*metricsOut); err != nil {
-			return err
-		}
-		fmt.Printf("metrics snapshot written to %s\n", *metricsOut)
-	}
+	obsOut.flush()
 	return nil
 }
 

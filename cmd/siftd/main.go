@@ -22,7 +22,9 @@
 //	-record      record every served frame into this JSON store
 //	-record-every  how often the record store is persisted (default 1m)
 //	-metrics-addr  optional second listener serving /metrics (Prometheus
-//	               text format) and /debug/pprof; off when empty
+//	               text format), /debug/pprof, and the live crawl
+//	               inspector /debug/trace/{active,recent,stream,exemplars}
+//	               over the server's request spans; off when empty
 package main
 
 import (
@@ -41,17 +43,18 @@ import (
 	"sift/internal/scenario"
 	"sift/internal/searchmodel"
 	"sift/internal/store"
+	"sift/internal/trace"
 )
 
 func main() {
 	var (
-		addr      = flag.String("addr", "127.0.0.1:8428", "listen address")
-		seed      = flag.Int64("seed", 1, "world seed")
-		start     = flag.String("start", "2020-01-01", "study start (YYYY-MM-DD)")
-		end       = flag.String("end", "2022-01-01", "study end (YYYY-MM-DD)")
-		rate      = flag.Float64("rate", 25, "per-client requests per second")
-		burst     = flag.Int("burst", 50, "per-client burst")
-		quiet     = flag.Bool("quiet", false, "disable request logging")
+		addr        = flag.String("addr", "127.0.0.1:8428", "listen address")
+		seed        = flag.Int64("seed", 1, "world seed")
+		start       = flag.String("start", "2020-01-01", "study start (YYYY-MM-DD)")
+		end         = flag.String("end", "2022-01-01", "study end (YYYY-MM-DD)")
+		rate        = flag.Float64("rate", 25, "per-client requests per second")
+		burst       = flag.Int("burst", 50, "per-client burst")
+		quiet       = flag.Bool("quiet", false, "disable request logging")
 		faultSpec   = flag.String("faults", "off", `chaos plan: "off", "default", or a JSON plan file`)
 		faultSeed   = flag.Int64("fault-seed", 0, "fault-plan seed (default: world seed)")
 		record      = flag.String("record", "", "record every served frame into this JSON store")
@@ -66,12 +69,14 @@ func main() {
 }
 
 // serveMetrics starts the opt-in observability listener: the process
-// registry in Prometheus text format at /metrics, plus net/http/pprof.
-// It runs on its own mux and address so the profiling surface is never
-// exposed on the API listener.
-func serveMetrics(addr string) {
+// registry in Prometheus text format at /metrics, net/http/pprof, and
+// the live trace inspector over the server's request spans. It runs on
+// its own mux and address so the debugging surface is never exposed on
+// the API listener.
+func serveMetrics(addr string, tracer *trace.Tracer) {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", obs.Default().Handler())
+	tracer.AttachDebug(mux)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -147,9 +152,16 @@ func run(addr string, seed int64, start, end string, rate float64, burst int, qu
 		Logger:     logger,
 		Faults:     injector,
 	}
+	// The tracer only exists when something can read it: the metrics
+	// listener's /debug/trace inspector.
+	var tracer *trace.Tracer
+	if metricsAddr != "" {
+		tracer = trace.New(trace.Config{})
+		scfg.Tracer = tracer
+	}
 	if record != "" {
 		db := store.New()
-		wb := store.NewWriteBehind(db, 0)
+		wb := store.NewWriteBehind(db, 0).WithTrace(tracer)
 		defer wb.Close()
 		// The server has no notion of averaging rounds; recorded frames
 		// all carry round 0 — an audit trail of what was served, not a
@@ -174,8 +186,8 @@ func run(addr string, seed int64, start, end string, rate float64, burst int, qu
 	srv := gtserver.New(engine, scfg)
 
 	if metricsAddr != "" {
-		serveMetrics(metricsAddr)
-		log.Printf("serving /metrics and /debug/pprof on http://%s", metricsAddr)
+		serveMetrics(metricsAddr, tracer)
+		log.Printf("serving /metrics, /debug/pprof, and /debug/trace on http://%s", metricsAddr)
 	}
 
 	log.Printf("serving simulated Google Trends on http://%s (rate=%g/s burst=%d per client)", addr, rate, burst)

@@ -1,0 +1,267 @@
+// Command tracecheck validates a span-trace export (the JSONL format
+// sift detect/study write via -trace-out) against the tracer's
+// structural invariants, and optionally converts it to Chrome
+// trace_event JSON for Perfetto.
+//
+// Checks:
+//
+//   - every span carries well-formed 16-hex trace/span IDs, a name, and
+//     a non-zero start;
+//   - span IDs are unique within their trace;
+//   - completed spans have end ≥ start, and their events fall inside the
+//     span's interval (small slack for clock rounding);
+//   - parent-child: a span's parent exists in the export, shares its
+//     trace ID, and (when both are complete) contains the child's
+//     interval — the ring's no-lost-parents guarantee made checkable;
+//   - with -require, every named span appears at least once;
+//   - with -min-spans, the export holds at least that many spans;
+//   - with -faults, every listed chaos mode left at least one
+//     fault.injected / fault.served event (the latency mode is skipped:
+//     added delay is invisible to the client contract).
+//
+// Usage:
+//
+//	tracecheck [-min-spans N] [-require a,b,c] [-faults mode,...]
+//	           [-chrome-out out.json] trace.jsonl
+//
+// Exit status 0 when every check passes; 1 with one line per violation
+// otherwise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"sift/internal/trace"
+)
+
+// eventSlack absorbs scheduler jitter between a span recording an event
+// and the clock readings that bound its interval.
+const eventSlack = 2 * time.Millisecond
+
+func main() {
+	minSpans := flag.Int("min-spans", 1, "fail unless the export holds at least this many spans")
+	require := flag.String("require", "", "comma-separated span names that must each appear at least once")
+	faultModes := flag.String("faults", "", "comma-separated chaos modes that must each have injected-fault span events")
+	chromeOut := flag.String("chrome-out", "", "also convert the validated spans to Chrome trace_event JSON at this path")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [flags] trace.jsonl")
+		os.Exit(2)
+	}
+
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracecheck:", err)
+		os.Exit(1)
+	}
+	spans, err := trace.ReadJSONL(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracecheck: parsing export:", err)
+		os.Exit(1)
+	}
+
+	var problems []string
+	problems = append(problems, checkStructure(spans)...)
+	problems = append(problems, checkTree(spans)...)
+	if *minSpans > 0 && len(spans) < *minSpans {
+		problems = append(problems, fmt.Sprintf("export holds %d spans, want at least %d", len(spans), *minSpans))
+	}
+	if *require != "" {
+		problems = append(problems, checkRequired(spans, splitList(*require))...)
+	}
+	if *faultModes != "" {
+		problems = append(problems, checkFaultCoverage(spans, splitList(*faultModes))...)
+	}
+
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, "tracecheck:", p)
+		}
+		fmt.Fprintf(os.Stderr, "tracecheck: %d problem(s) in %s\n", len(problems), flag.Arg(0))
+		os.Exit(1)
+	}
+
+	if *chromeOut != "" {
+		out, err := os.Create(*chromeOut)
+		if err == nil {
+			err = trace.WriteChrome(out, spans)
+			if cerr := out.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracecheck: chrome export:", err)
+			os.Exit(1)
+		}
+	}
+
+	traces := map[string]bool{}
+	roots, incomplete := 0, 0
+	for _, sd := range spans {
+		traces[sd.TraceID] = true
+		if sd.ParentID == "" {
+			roots++
+		}
+		if !sd.Complete() {
+			incomplete++
+		}
+	}
+	fmt.Printf("tracecheck: ok: %d spans, %d traces, %d roots, %d incomplete (%s)\n",
+		len(spans), len(traces), roots, incomplete, flag.Arg(0))
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// validID reports whether id is the canonical 16-hex form the tracer
+// emits.
+func validID(id string) bool {
+	if len(id) != 16 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// checkStructure validates each span in isolation: IDs, names,
+// monotonic timestamps, and event containment.
+func checkStructure(spans []*trace.SpanData) []string {
+	var problems []string
+	seen := map[string]string{} // trace_id/span_id → name
+	for i, sd := range spans {
+		where := fmt.Sprintf("span %d (%s %s)", i+1, sd.Name, sd.SpanID)
+		if !validID(sd.TraceID) {
+			problems = append(problems, where+": malformed trace_id "+sd.TraceID)
+		}
+		if !validID(sd.SpanID) {
+			problems = append(problems, where+": malformed span_id "+sd.SpanID)
+		}
+		if sd.ParentID != "" && !validID(sd.ParentID) {
+			problems = append(problems, where+": malformed parent_id "+sd.ParentID)
+		}
+		if sd.Name == "" {
+			problems = append(problems, where+": empty span name")
+		}
+		if sd.Start.IsZero() {
+			problems = append(problems, where+": zero start time")
+		}
+		key := sd.TraceID + "/" + sd.SpanID
+		if prev, dup := seen[key]; dup {
+			problems = append(problems, fmt.Sprintf("%s: span_id reused within trace (first seen on %q)", where, prev))
+		}
+		seen[key] = sd.Name
+		if sd.Complete() && sd.End.Before(sd.Start) {
+			problems = append(problems, fmt.Sprintf("%s: end %s precedes start %s",
+				where, sd.End.Format(time.RFC3339Nano), sd.Start.Format(time.RFC3339Nano)))
+		}
+		for _, ev := range sd.Events {
+			if ev.Time.Before(sd.Start.Add(-eventSlack)) {
+				problems = append(problems, fmt.Sprintf("%s: event %q precedes span start", where, ev.Name))
+			}
+			if sd.Complete() && ev.Time.After(sd.End.Add(eventSlack)) {
+				problems = append(problems, fmt.Sprintf("%s: event %q after span end", where, ev.Name))
+			}
+		}
+	}
+	return problems
+}
+
+// checkTree validates parent-child invariants. The tracer's ring evicts
+// oldest-first and a parent always ends after its children, so any
+// surviving child's parent must also survive: a missing parent is
+// evidence of a lost span, not benign truncation. Interval containment
+// is only checked when both ends are recorded — an interrupted export
+// legitimately carries open spans.
+func checkTree(spans []*trace.SpanData) []string {
+	var problems []string
+	byID := make(map[string]*trace.SpanData, len(spans))
+	for _, sd := range spans {
+		byID[sd.TraceID+"/"+sd.SpanID] = sd
+	}
+	for i, sd := range spans {
+		if sd.ParentID == "" {
+			continue
+		}
+		where := fmt.Sprintf("span %d (%s %s)", i+1, sd.Name, sd.SpanID)
+		parent, ok := byID[sd.TraceID+"/"+sd.ParentID]
+		if !ok {
+			problems = append(problems, fmt.Sprintf("%s: parent %s missing from export (lost parent)", where, sd.ParentID))
+			continue
+		}
+		if sd.Start.Before(parent.Start.Add(-eventSlack)) {
+			problems = append(problems, fmt.Sprintf("%s: starts before its parent %q", where, parent.Name))
+		}
+		if sd.Complete() && parent.Complete() && sd.End.After(parent.End.Add(eventSlack)) {
+			problems = append(problems, fmt.Sprintf("%s: ends after its parent %q", where, parent.Name))
+		}
+	}
+	return problems
+}
+
+// checkRequired verifies each named span appears at least once.
+func checkRequired(spans []*trace.SpanData, names []string) []string {
+	count := map[string]int{}
+	for _, sd := range spans {
+		count[sd.Name]++
+	}
+	var problems []string
+	for _, name := range names {
+		if count[name] == 0 {
+			problems = append(problems, fmt.Sprintf("required span %q never appears", name))
+		}
+	}
+	return problems
+}
+
+// checkFaultCoverage verifies every listed chaos mode left at least one
+// fault event on some span — fault.injected from the client-side wrap
+// (internal/faults) or fault.served from gtserver. The latency mode is
+// skipped: an added delay violates no client-visible contract, so no
+// event marks it.
+func checkFaultCoverage(spans []*trace.SpanData, modes []string) []string {
+	seen := map[string]int{}
+	for _, sd := range spans {
+		for _, ev := range sd.Events {
+			if ev.Name != "fault.injected" && ev.Name != "fault.served" {
+				continue
+			}
+			if mode, ok := ev.Attrs["mode"].(string); ok {
+				seen[mode]++
+			}
+		}
+	}
+	var problems []string
+	for _, mode := range modes {
+		if mode == "latency" || mode == "none" {
+			continue
+		}
+		if seen[mode] == 0 {
+			known := make([]string, 0, len(seen))
+			for m := range seen {
+				known = append(known, m)
+			}
+			sort.Strings(known)
+			problems = append(problems, fmt.Sprintf("no fault events for chaos mode %q (saw: %s)",
+				mode, strings.Join(known, ", ")))
+		}
+	}
+	return problems
+}

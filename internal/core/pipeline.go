@@ -12,6 +12,7 @@ import (
 	"sift/internal/gtrends"
 	"sift/internal/obs"
 	"sift/internal/timeseries"
+	"sift/internal/trace"
 )
 
 // DefaultWorkers is the fetch pool size a pipeline uses when
@@ -102,6 +103,12 @@ type PipelineConfig struct {
 	// counters report into; nil uses obs.Default(). The registry is also
 	// propagated to the default Source when one is built.
 	Metrics *obs.Registry
+	// Tracer, when set, opens a root span per Run when the caller's
+	// context does not already carry one (a traced study passes its own
+	// span down instead, and the run becomes a child). Nil leaves
+	// tracing to the context: spans are recorded only under a traced
+	// caller.
+	Tracer *trace.Tracer
 }
 
 // RetriesFlag maps a user-facing retry-count flag value onto
@@ -267,7 +274,18 @@ func (p *Pipeline) Run(ctx context.Context, state geo.State, term string, from, 
 		cfg.Source = engine.RetryingSource{Fetcher: p.Fetcher, Retries: cfg.FetchRetries, Metrics: cfg.Metrics}
 	}
 	om := newPipeObs(cfg.Metrics)
+	ctx, span := trace.StartOrRoot(ctx, cfg.Tracer, "pipeline.run",
+		trace.Str("state", string(state)), trace.Str("term", term),
+		trace.Str("from", from.Format("2006-01-02")), trace.Str("to", to.Format("2006-01-02")))
 	res, err := p.run(ctx, cfg, om, state, term, from, to)
+	span.SetError(err)
+	if err == nil {
+		span.SetAttr(trace.Int("rounds", res.Rounds), trace.Bool("converged", res.Converged),
+			trace.Int("frames", res.Frames), trace.Int("gaps", len(res.Gaps)),
+			trace.Int("spikes", len(res.Spikes)))
+	}
+	span.End()
+	trace.Info(ctx, "pipeline run finished", trace.Str("state", string(state)), trace.Bool("ok", err == nil))
 	switch {
 	case err != nil:
 		om.runs.With("error").Inc()
@@ -338,11 +356,24 @@ func (p *Pipeline) run(ctx context.Context, cfg PipelineConfig, om pipeObs, stat
 	stale := make([]bool, len(specs))
 	var prev []Spike
 
+	// Round and stage spans are ended in-line on the happy path; the
+	// deferred Ends (idempotent, nil-safe) close whichever span was open
+	// when an error path returned, so exported trees stay contained.
+	var rspan, sspan *trace.Span
+	defer func() { sspan.End(); rspan.End() }()
+
 	for round := 1; round <= cfg.MaxRounds; round++ {
+		var rctx context.Context
+		rctx, rspan = trace.Start(ctx, "round", trace.Int("round", round))
 		hitsBefore := res.CacheHits
 		began := time.Now()
 		allocs0 := heapAllocObjects()
-		frames, failures, err := p.fetchRound(ctx, cfg, sched, state, term, specs, round, stale, res)
+		var fctx context.Context
+		fctx, sspan = trace.Start(rctx, "stage.fetch", trace.Int("specs", len(specs)))
+		frames, failures, err := p.fetchRound(fctx, cfg, sched, state, term, specs, round, stale, res)
+		sspan.SetError(err)
+		sspan.SetAttr(trace.Int("failures", len(failures)))
+		sspan.End()
 		om.stage.With("fetch").Observe(time.Since(began).Seconds())
 		om.stageAllocs.With("fetch").Set(float64(heapAllocObjects() - allocs0))
 		if err != nil {
@@ -378,6 +409,7 @@ func (p *Pipeline) run(ctx context.Context, cfg PipelineConfig, om pipeObs, stat
 
 		began = time.Now()
 		allocs0 = heapAllocObjects()
+		_, sspan = trace.Start(rctx, "stage.merge")
 		averaged := make([]*timeseries.Series, len(specs))
 		res.Gaps = res.Gaps[:0]
 		for i := range specs {
@@ -420,11 +452,14 @@ func (p *Pipeline) run(ctx context.Context, cfg PipelineConfig, om pipeObs, stat
 			}
 			averaged[i] = avg
 		}
+		sspan.SetAttr(trace.Int("gaps", len(res.Gaps)))
+		sspan.End()
 		om.stage.With("merge").Observe(time.Since(began).Seconds())
 		om.stageAllocs.With("merge").Set(float64(heapAllocObjects() - allocs0))
 
 		began = time.Now()
 		allocs0 = heapAllocObjects()
+		_, sspan = trace.Start(rctx, "stage.stitch")
 		var prefix *timeseries.Series
 		prefixSpecs := 0
 		if cfg.Memo != nil {
@@ -454,20 +489,28 @@ func (p *Pipeline) run(ctx context.Context, cfg PipelineConfig, om pipeObs, stat
 			}
 		}
 		res.Series = raw.Renormalize()
+		sspan.SetAttr(trace.Int("unanchored", unanchored), trace.Int("reused_prefix_specs", prefixSpecs))
+		sspan.End()
 		om.stage.With("stitch").Observe(time.Since(began).Seconds())
 		om.stageAllocs.With("stitch").Set(float64(heapAllocObjects() - allocs0))
 
 		began = time.Now()
 		allocs0 = heapAllocObjects()
+		_, sspan = trace.Start(rctx, "stage.detect")
 		res.Spikes = cfg.Detector.Detect(res.Series, state, term)
+		sspan.SetAttr(trace.Int("spikes", len(res.Spikes)))
+		sspan.End()
 		om.stage.With("detect").Observe(time.Since(began).Seconds())
 		om.stageAllocs.With("detect").Set(float64(heapAllocObjects() - allocs0))
 
 		if round >= cfg.MinRounds && SpikeSetsSimilarity(prev, res.Spikes, cfg.ConvergenceTol) >= cfg.ConvergenceSim {
 			res.Converged = true
+			rspan.SetAttr(trace.Bool("converged", true))
+			rspan.End()
 			return res, nil
 		}
 		prev = res.Spikes
+		rspan.End()
 	}
 	return res, nil
 }
@@ -521,18 +564,25 @@ func (p *Pipeline) fetchRound(ctx context.Context, cfg PipelineConfig, sched *en
 					Hours:      specs[i].Hours,
 					WithRising: cfg.WithRising,
 				}
+				fctx, fspan := trace.Start(ctx, "fetch.frame",
+					trace.Str("window", req.Start.Format("2006-01-02T15")),
+					trace.Int("hours", req.Hours), trace.Int("round", round))
 				if sched != nil {
-					if err := sched.Acquire(ctx); err != nil {
+					if err := sched.Acquire(fctx); err != nil {
+						fspan.SetError(err)
+						fspan.End()
 						errc <- err
 						cancel()
 						return
 					}
 				}
-				f, hit, err := fetchOne(ctx, cfg, req, round)
+				f, hit, err := fetchOne(fctx, cfg, req, round)
 				if sched != nil {
 					sched.Release()
 				}
 				if err != nil {
+					fspan.SetError(err)
+					fspan.End()
 					wrapped := fmt.Errorf("core: fetching frame %s+%dh: %w", req.Start.Format(time.RFC3339), req.Hours, err)
 					mu.Lock()
 					stale[i] = true
@@ -549,6 +599,8 @@ func (p *Pipeline) fetchRound(ctx context.Context, cfg PipelineConfig, sched *en
 					}
 					continue
 				}
+				fspan.SetAttr(trace.Bool("cache_hit", hit))
+				fspan.End()
 				mu.Lock()
 				if cfg.Cache != nil {
 					if hit {

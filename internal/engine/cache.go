@@ -17,6 +17,7 @@ import (
 	"sift/internal/geo"
 	"sift/internal/gtrends"
 	"sift/internal/obs"
+	"sift/internal/trace"
 )
 
 // DefaultCacheSize is the frame-cache capacity (entries) used when a
@@ -232,16 +233,25 @@ func (c *FrameCache) GetOrFetch(ctx context.Context, key Key, fetch func(context
 		c.om.hits.Inc()
 		f = el.Value.(*cacheEntry).frame
 		c.mu.Unlock()
+		trace.FromContext(ctx).Event("cache.hit")
 		return f, true, nil
 	}
 	if fl, ok := c.inflight[key]; ok {
 		c.coalesced++
 		c.om.coalesced.Inc()
 		c.mu.Unlock()
+		trace.FromContext(ctx).Event("cache.coalesced")
+		// The coalesced wait is its own span: on a stalled crawl it shows
+		// exactly which frames were blocked behind one slow fetch.
+		_, wspan := trace.Start(ctx, "cache.wait")
 		select {
 		case <-fl.done:
+			wspan.SetError(fl.err)
+			wspan.End()
 			return fl.frame, false, fl.err
 		case <-ctx.Done():
+			wspan.SetError(ctx.Err())
+			wspan.End()
 			return nil, false, ctx.Err()
 		}
 	}
@@ -250,6 +260,7 @@ func (c *FrameCache) GetOrFetch(ctx context.Context, key Key, fetch func(context
 	c.misses++
 	c.om.misses.Inc()
 	c.mu.Unlock()
+	trace.FromContext(ctx).Event("cache.miss")
 
 	fl.frame, fl.err = fetch(ctx)
 

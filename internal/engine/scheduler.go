@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"sift/internal/obs"
+	"sift/internal/trace"
 )
 
 // Scheduler bounds concurrent stage work with a global slot pool. One
@@ -81,14 +82,21 @@ func (s *Scheduler) Acquire(ctx context.Context) error {
 	}
 	s.om.waiting.Inc()
 	began := time.Now()
+	// Only the contended path gets a span: the free-slot fast path above
+	// stays allocation-free, and the trace shows exactly the waits that
+	// cost wall time.
+	_, span := trace.Start(ctx, "sched.acquire")
 	select {
 	case s.slots <- struct{}{}:
 		s.om.waiting.Dec()
 		s.om.wait.Observe(time.Since(began).Seconds())
 		s.om.inflight.Inc()
+		span.End()
 		return nil
 	case <-ctx.Done():
 		s.om.waiting.Dec()
+		span.SetError(ctx.Err())
+		span.End()
 		return ctx.Err()
 	}
 }

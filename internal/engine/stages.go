@@ -7,6 +7,7 @@ import (
 	"sift/internal/gtrends"
 	"sift/internal/obs"
 	"sift/internal/timeseries"
+	"sift/internal/trace"
 )
 
 // The pipeline's stage seams. Each stage is a small interface whose
@@ -92,6 +93,8 @@ func (s RetryingSource) FetchFrame(ctx context.Context, req gtrends.FrameRequest
 				lastErr = verr
 				if attempt < retries {
 					s.retryCounter("invalid").Inc()
+					trace.FromContext(ctx).Event("source.retry",
+						trace.Str("reason", "invalid"), trace.Int("attempt", attempt+1))
 				}
 				continue
 			}
@@ -103,6 +106,8 @@ func (s RetryingSource) FetchFrame(ctx context.Context, req gtrends.FrameRequest
 		}
 		if attempt < retries {
 			s.retryCounter("transient").Inc()
+			trace.FromContext(ctx).Event("source.retry",
+				trace.Str("reason", "transient"), trace.Int("attempt", attempt+1))
 		}
 	}
 	return nil, lastErr

@@ -22,6 +22,7 @@ import (
 	"sift/internal/scenario"
 	"sift/internal/searchmodel"
 	"sift/internal/simworld"
+	"sift/internal/trace"
 )
 
 // StudyConfig parameterizes a full study run. Zero fields take defaults.
@@ -82,6 +83,11 @@ type StudyConfig struct {
 	// plan's rate-limit storms, corrupt frames, and severed connections
 	// while the annotation stage keeps the clean fetcher.
 	Faults *faults.Plan
+	// Tracer, when set, records the study as one root span with every
+	// state's pipeline run as a child subtree (round → stage → frame).
+	// Also propagated to Pipeline.Tracer when that is unset. Nil disables
+	// tracing.
+	Tracer *trace.Tracer
 	// SkipAnnotation and SkipAnt drop the respective stages for callers
 	// that only need detection (faster iteration in benches).
 	SkipAnnotation bool
@@ -172,6 +178,11 @@ type Study struct {
 func RunStudy(ctx context.Context, cfg StudyConfig) (*Study, error) {
 	cfg.fillDefaults()
 	began := time.Now()
+	ctx, span := cfg.Tracer.Root(ctx, "study.run",
+		trace.Int("states", len(cfg.States)), trace.Int64("seed", cfg.Seed),
+		trace.Str("from", cfg.Start.Format("2006-01-02")),
+		trace.Str("to", cfg.End.Format("2006-01-02")))
+	defer span.End()
 
 	scfg := scenario.DefaultConfig(cfg.Seed)
 	if cfg.Scenario != nil {
@@ -212,6 +223,7 @@ func RunStudy(ctx context.Context, cfg StudyConfig) (*Study, error) {
 	}
 
 	if err := study.runStates(ctx); err != nil {
+		span.SetError(err)
 		return nil, err
 	}
 
@@ -227,16 +239,21 @@ func RunStudy(ctx context.Context, cfg StudyConfig) (*Study, error) {
 	study.Outages = core.MergeOutages(study.Spikes, 0)
 
 	if !cfg.SkipAnnotation {
+		actx, aspan := trace.Start(ctx, "study.annotate", trace.Int("spikes", len(study.Spikes)))
 		annotator := annotate.NewAnnotator()
-		err := annotator.AnnotateSpikes(ctx, fetcher, study.Spikes, study.Corpus, annotate.DriverConfig{
+		err := annotator.AnnotateSpikes(actx, fetcher, study.Spikes, study.Corpus, annotate.DriverConfig{
 			Workers: cfg.StateWorkers,
 			Filter: func(s core.Spike) bool {
 				return s.Duration() >= cfg.AnnotateMinDuration
 			},
 		})
 		if err != nil {
+			aspan.SetError(err)
+			aspan.End()
+			span.SetError(err)
 			return nil, fmt.Errorf("experiments: annotating spikes: %w", err)
 		}
+		aspan.End()
 		// Re-cluster outages so members carry their annotations.
 		study.Outages = core.MergeOutages(study.Spikes, 0)
 	}
@@ -245,6 +262,7 @@ func RunStudy(ctx context.Context, cfg StudyConfig) (*Study, error) {
 		study.Ant = ant.Simulate(ant.Config{Seed: cfg.Seed}, tl, cfg.Start, cfg.End)
 	}
 	study.Elapsed = time.Since(began)
+	span.SetAttr(trace.Int("spikes", len(study.Spikes)), trace.Int("outages", len(study.Outages)))
 	return study, nil
 }
 
@@ -262,6 +280,9 @@ func (s *Study) runStates(ctx context.Context) error {
 	}
 	if pcfg.Memo == nil {
 		pcfg.Memo = s.Cfg.Memo
+	}
+	if pcfg.Tracer == nil {
+		pcfg.Tracer = s.Cfg.Tracer
 	}
 	jobs := make(chan geo.State)
 	errc := make(chan error, s.Cfg.StateWorkers)

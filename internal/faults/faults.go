@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"sift/internal/gtrends"
+	"sift/internal/trace"
 )
 
 // Mode enumerates the injectable fault classes.
@@ -355,6 +356,13 @@ type wrappedFetcher struct {
 
 func (w *wrappedFetcher) FetchFrame(ctx context.Context, req gtrends.FrameRequest) (*gtrends.Frame, error) {
 	d := w.inj.Decide(w.client)
+	if d.Mode != None {
+		// Every injected fault leaves a span event, so a chaos run's trace
+		// shows each tolerated fault at the frame it hit — the invariant
+		// tracecheck -faults verifies against the plan.
+		trace.FromContext(ctx).Event("fault.injected",
+			trace.Str("mode", d.Mode.String()), trace.Str("client", w.client))
+	}
 	switch d.Mode {
 	case None:
 		return w.inner.FetchFrame(ctx, req)

@@ -1,0 +1,78 @@
+package faults
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"sift/internal/trace"
+)
+
+// TestFaultEventsPerMode asserts the wrap's tracing contract: every
+// injected fault — whatever its mode — marks the enclosing span with a
+// fault.injected event carrying the mode and client attributes, so a
+// trace export can prove which chaos actually reached the crawl (the
+// invariant cmd/tracecheck -faults replays).
+func TestFaultEventsPerMode(t *testing.T) {
+	for _, mode := range Modes() {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			tr := trace.New(trace.Config{Capacity: 16})
+			rule := Rule{Mode: mode, P: 1}
+			if mode == Hang {
+				rule.LatencyMS = 60_000 // rely on the context deadline below
+			}
+			if mode == Latency {
+				rule.LatencyMS = 1
+			}
+			inner := &stubFetcher{}
+			f := Wrap(inner, Plan{Seed: 1, Rules: []Rule{rule}}, "chaos-client")
+
+			ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+			defer cancel()
+			ctx, span := tr.Root(ctx, "fetch.frame")
+			_, _ = f.FetchFrame(ctx, weekReq())
+			span.End()
+
+			spans := tr.Recent(0)
+			if len(spans) != 1 {
+				t.Fatalf("recorded %d spans, want 1", len(spans))
+			}
+			found := false
+			for _, ev := range spans[0].Events {
+				if ev.Name != "fault.injected" {
+					continue
+				}
+				found = true
+				if got := ev.Attrs["mode"]; got != mode.String() {
+					t.Errorf("event mode attr = %v, want %q", got, mode)
+				}
+				if got := ev.Attrs["client"]; got != "chaos-client" {
+					t.Errorf("event client attr = %v, want chaos-client", got)
+				}
+			}
+			if !found {
+				t.Errorf("no fault.injected event for mode %s; events: %+v", mode, spans[0].Events)
+			}
+		})
+	}
+}
+
+// TestNoFaultNoEvent is the converse: a clean plan never marks spans, so
+// fault events in a trace always mean injected chaos.
+func TestNoFaultNoEvent(t *testing.T) {
+	tr := trace.New(trace.Config{Capacity: 16})
+	f := Wrap(&stubFetcher{}, Plan{Seed: 1}, "c")
+	ctx, span := tr.Root(context.Background(), "fetch.frame")
+	if _, err := f.FetchFrame(ctx, weekReq()); err != nil {
+		t.Fatal(err)
+	}
+	span.End()
+	for _, sd := range tr.Recent(0) {
+		for _, ev := range sd.Events {
+			if ev.Name == "fault.injected" {
+				t.Errorf("clean plan left a fault event: %+v", ev)
+			}
+		}
+	}
+}

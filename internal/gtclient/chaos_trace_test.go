@@ -1,0 +1,105 @@
+package gtclient
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"sift/internal/core"
+	"sift/internal/faults"
+	"sift/internal/gtrends"
+	"sift/internal/gtserver"
+	"sift/internal/trace"
+)
+
+// retryReasonFor maps a server-injected fault mode onto the retry-event
+// reason the client's trace must carry for it: the mode's client-visible
+// symptom, not the server's intent.
+func retryReasonFor(mode faults.Mode) string {
+	switch mode {
+	case faults.RateLimit:
+		return "rate_limited"
+	case faults.ServerError:
+		return "server_error"
+	case faults.Hang, faults.Reset:
+		return "network"
+	case faults.Truncate, faults.Corrupt:
+		return "corrupt"
+	}
+	return ""
+}
+
+// TestChaosTraceSignaturePerMode crawls through each fault mode with a
+// tracer attached and asserts the mode's documented span-event
+// signature: a complete pipeline→round→stage→frame→fetch tree whose
+// gtclient.fetch spans carry retry events with the mode's reason label.
+// Latency is exempt — added delay violates no contract, so a clean run
+// leaves no retry events.
+func TestChaosTraceSignaturePerMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos trace suite is not short")
+	}
+	for _, mode := range faults.Modes() {
+		if mode == faults.Latency {
+			continue
+		}
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			t.Parallel()
+			tr := trace.New(trace.Config{})
+			cfg := gtserver.Config{RatePerSec: 100_000, Burst: 100_000,
+				Faults: faults.NewInjector(*singleModePlan(mode))}
+			svc := newService(t, cfg)
+			pool, err := NewPool(svc.URL, 1, func(c *Client) {
+				c.RetryBase = time.Millisecond
+				c.MaxRetries = 10
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := &core.Pipeline{
+				Fetcher: pool,
+				Cfg:     core.PipelineConfig{Workers: 1, MaxRounds: 2, Tracer: tr},
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+			defer cancel()
+			if _, err := p.Run(ctx, "TX", gtrends.TopicInternetOutage, t0, t0.Add(336*time.Hour)); err != nil {
+				t.Fatalf("chaos run failed: %v", err)
+			}
+
+			spans := tr.Recent(0)
+			byID := map[string]*trace.SpanData{}
+			count := map[string]int{}
+			retryEvents := 0
+			for _, sd := range spans {
+				byID[sd.SpanID] = sd
+				count[sd.Name]++
+				if sd.Name == "gtclient.fetch" {
+					for _, ev := range sd.Events {
+						if ev.Name == "retry" && ev.Attrs["reason"] == retryReasonFor(mode) {
+							retryEvents++
+						}
+					}
+				}
+			}
+			for _, name := range []string{"pipeline.run", "round", "stage.fetch", "fetch.frame", "gtclient.fetch"} {
+				if count[name] == 0 {
+					t.Errorf("span %q missing from trace; have %v", name, count)
+				}
+			}
+			if retryEvents == 0 {
+				t.Errorf("no retry events with reason %q under %s", retryReasonFor(mode), mode)
+			}
+			// Every span but the root must link to a recorded parent: a
+			// broken link means the crawl lost part of its tree.
+			for _, sd := range spans {
+				if sd.ParentID == "" {
+					continue
+				}
+				if _, ok := byID[sd.ParentID]; !ok {
+					t.Errorf("span %s (%s) has unrecorded parent %s", sd.SpanID, sd.Name, sd.ParentID)
+				}
+			}
+		})
+	}
+}

@@ -21,6 +21,7 @@ import (
 
 	"sift/internal/gtrends"
 	"sift/internal/obs"
+	"sift/internal/trace"
 )
 
 // Client fetches frames from one source address. It implements
@@ -55,11 +56,11 @@ type Client struct {
 
 // clientObs caches the client's metric handles, labeled by fetcher unit.
 type clientObs struct {
-	requests   obs.Counter   // sift_gtclient_requests_total
+	requests   obs.Counter    // sift_gtclient_requests_total
 	retries    obs.CounterVec // sift_gtclient_retries_total{unit,reason}
-	backoff    obs.Histogram // sift_gtclient_backoff_sleep_seconds
-	retryAfter obs.Counter   // sift_gtclient_retry_after_honored_total
-	errors     obs.Counter   // sift_gtclient_fetch_errors_total
+	backoff    obs.Histogram  // sift_gtclient_backoff_sleep_seconds
+	retryAfter obs.Counter    // sift_gtclient_retry_after_honored_total
+	errors     obs.Counter    // sift_gtclient_fetch_errors_total
 	unit       string
 }
 
@@ -175,41 +176,66 @@ func (c *Client) FetchFrame(ctx context.Context, req gtrends.FrameRequest) (*gtr
 		return nil, err
 	}
 	om := c.observed()
+	ctx, span := trace.Start(ctx, "gtclient.fetch",
+		trace.Str("unit", om.unit), trace.Str("state", string(req.State)),
+		trace.Str("window", req.Start.UTC().Format("2006-01-02T15")))
 	backoff := c.retryBase()
 	var lastErr error
 	for attempt := 0; attempt <= c.maxRetries(); attempt++ {
 		frame, retryAfter, err := c.once(ctx, u, req)
 		if err == nil {
+			span.SetAttr(trace.Int("attempts", attempt+1))
+			span.End()
+			trace.Info(ctx, "frame fetched",
+				trace.Str("unit", om.unit), trace.Str("state", string(req.State)),
+				trace.Int("attempts", attempt+1))
 			return frame, nil
 		}
 		lastErr = err
 		var re *retryableError
 		if !errors.As(err, &re) {
+			span.SetError(err)
+			span.End()
 			return nil, err
 		}
 		delay := c.jitter(backoff)
+		hinted := false
 		if retryAfter > 0 {
 			delay = retryAfter
+			hinted = true
 			om.retryAfter.Inc()
 		}
 		backoff *= 2
 		if deadline, ok := ctx.Deadline(); ok && time.Until(deadline) < delay {
 			c.count(func(s *Stats) { s.Errors++ })
 			om.errors.Inc()
-			return nil, fmt.Errorf("gtclient: backoff of %v outlives context deadline (after %w): %w",
+			err := fmt.Errorf("gtclient: backoff of %v outlives context deadline (after %w): %w",
 				delay, lastErr, context.DeadlineExceeded)
+			span.SetError(err)
+			span.End()
+			return nil, err
 		}
 		om.retries.With(om.unit, retryReason(re)).Inc()
 		om.backoff.Observe(delay.Seconds())
+		span.Event("retry", trace.Str("reason", retryReason(re)),
+			trace.Int("attempt", attempt+1), trace.Dur("backoff", delay),
+			trace.Bool("retry_after", hinted))
 		select {
 		case <-ctx.Done():
+			span.SetError(ctx.Err())
+			span.End()
 			return nil, ctx.Err()
 		case <-time.After(delay):
 		}
 	}
 	c.count(func(s *Stats) { s.Errors++ })
 	om.errors.Inc()
-	return nil, fmt.Errorf("gtclient: retries exhausted: %w", lastErr)
+	err = fmt.Errorf("gtclient: retries exhausted: %w", lastErr)
+	span.SetError(err)
+	span.End()
+	trace.Warn(ctx, "frame fetch failed",
+		trace.Str("unit", om.unit), trace.Str("state", string(req.State)))
+	return nil, err
 }
 
 // retryReason classifies a retryable failure for the retries counter.
@@ -321,4 +347,3 @@ func parseRetryAfter(h string) time.Duration {
 	}
 	return time.Duration(secs) * time.Second
 }
-

@@ -10,6 +10,7 @@ import (
 
 	"sift/internal/gtrends"
 	"sift/internal/obs"
+	"sift/internal/trace"
 )
 
 // Pool distributes frame requests over fetcher units behind distinct
@@ -170,11 +171,14 @@ func (p *Pool) pick() *unit {
 	return soonest
 }
 
-// report feeds a fetch outcome into the unit's breaker.
-func (p *Pool) report(u *unit, err error) {
+// report feeds a fetch outcome into the unit's breaker. The returned
+// transition is "" when the breaker state is unchanged, "open" when this
+// outcome benched the unit, "closed" when it recovered — the caller
+// turns transitions into span events with the request context in hand.
+func (p *Pool) report(u *unit, err error) string {
 	if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
 		// The caller gave up; that says nothing about the unit's health.
-		return
+		return ""
 	}
 	om := p.observed()
 	p.mu.Lock()
@@ -186,12 +190,13 @@ func (p *Pool) report(u *unit, err error) {
 			u.open = false
 			om.openUnits.Dec()
 			om.transitions.With(u.c.unitLabel(), "closed").Inc()
+			return "closed"
 		}
-		return
+		return ""
 	}
 	threshold := p.breakerThreshold()
 	if threshold == 0 {
-		return
+		return ""
 	}
 	u.consecutive++
 	if u.consecutive >= threshold {
@@ -205,7 +210,9 @@ func (p *Pool) report(u *unit, err error) {
 			u.open = true
 			om.openUnits.Inc()
 		}
+		return "open"
 	}
+	return ""
 }
 
 // FetchFrame routes one request round-robin over healthy units, rotating
@@ -213,14 +220,19 @@ func (p *Pool) report(u *unit, err error) {
 func (p *Pool) FetchFrame(ctx context.Context, req gtrends.FrameRequest) (*gtrends.Frame, error) {
 	om := p.observed()
 	attempts := p.jobRetries() + 1
+	span := trace.FromContext(ctx)
 	var lastErr error
 	for a := 0; a < attempts; a++ {
 		if a > 0 {
 			om.rotations.Inc()
+			span.Event("breaker.rotation", trace.Int("attempt", a+1))
 		}
 		u := p.pick()
 		frame, err := u.c.FetchFrame(ctx, req)
-		p.report(u, err)
+		if transition := p.report(u, err); transition != "" {
+			span.Event("breaker."+transition, trace.Str("unit", u.c.unitLabel()))
+			trace.Warn(ctx, "breaker "+transition, trace.Str("unit", u.c.unitLabel()))
+		}
 		if err == nil {
 			return frame, nil
 		}

@@ -32,6 +32,7 @@ import (
 	"sift/internal/geo"
 	"sift/internal/gtrends"
 	"sift/internal/obs"
+	"sift/internal/trace"
 )
 
 // Config tunes the server. Zero fields take the documented defaults.
@@ -56,6 +57,11 @@ type Config struct {
 	// Metrics selects the registry the server's request and fault
 	// counters report into; nil uses obs.Default().
 	Metrics *obs.Registry
+	// Tracer, when set, records one root span per /api/trends request
+	// (attributes: client, state, window, status; fault injections as
+	// events). The spans feed siftd's /debug/trace inspector. Nil
+	// disables server-side tracing.
+	Tracer *trace.Tracer
 }
 
 func (c *Config) fillDefaults() {
@@ -169,6 +175,9 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleTrends(w http.ResponseWriter, r *http.Request) {
 	client := ClientID(r)
+	ctx, span := s.cfg.Tracer.Root(r.Context(), "gtserver.request", trace.Str("client", client))
+	r = r.WithContext(ctx)
+	defer span.End()
 	if s.cfg.Faults != nil && s.inject(w, r, client) {
 		return
 	}
@@ -177,6 +186,7 @@ func (s *Server) handleTrends(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Retry-After", strconv.Itoa(seconds))
 		s.writeError(w, http.StatusTooManyRequests, "rate limit exceeded")
 		s.om.requests.With("429").Inc()
+		span.SetAttr(trace.Int("status", http.StatusTooManyRequests), trace.Int("retry_after_s", seconds))
 		s.logf("429 %s trends", client)
 		return
 	}
@@ -185,20 +195,27 @@ func (s *Server) handleTrends(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err.Error())
 		s.om.requests.With("400").Inc()
+		span.SetAttr(trace.Int("status", http.StatusBadRequest))
+		span.SetError(err)
 		return
 	}
+	span.SetAttr(trace.Str("state", string(req.State)),
+		trace.Str("window", req.Start.UTC().Format("2006-01-02T15")), trace.Int("hours", req.Hours))
 	frame, err := s.engine.Fetch(req)
 	if err != nil {
 		// All engine failures are request-shaped (validation); internal
 		// errors cannot occur for a well-formed request.
 		s.writeError(w, http.StatusBadRequest, err.Error())
 		s.om.requests.With("400").Inc()
+		span.SetAttr(trace.Int("status", http.StatusBadRequest))
+		span.SetError(err)
 		return
 	}
 	if s.cfg.OnFrame != nil {
 		s.cfg.OnFrame(frame)
 	}
 	s.om.requests.With("200").Inc()
+	span.SetAttr(trace.Int("status", http.StatusOK))
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(frame); err != nil {
 		s.logf("encode error for %s: %v", client, err)

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"sift/internal/faults"
+	"sift/internal/trace"
 )
 
 // inject consults the fault plan for this request and, when a fault fires,
@@ -21,6 +22,8 @@ func (s *Server) inject(w http.ResponseWriter, r *http.Request, client string) b
 	d := s.cfg.Faults.Decide(client)
 	if d.Mode != faults.None {
 		s.om.faults.With(d.Mode.String()).Inc()
+		trace.FromContext(r.Context()).Event("fault.served",
+			trace.Str("mode", d.Mode.String()), trace.Str("client", client))
 	}
 	switch d.Mode {
 	case faults.None:

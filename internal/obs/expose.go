@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -195,16 +196,36 @@ var (
 	labelPairRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"$`)
 )
 
+// histAccount accumulates one histogram series' consistency evidence:
+// its cumulative +Inf bucket and its _count sample, which the format
+// requires to agree.
+type histAccount struct {
+	inf, count       float64
+	hasInf, hasCount bool
+}
+
 // ParseExposition validates a Prometheus text exposition: HELP/TYPE
-// comment structure, metric-name syntax, label syntax, and parseable
-// sample values. It returns the number of TYPE-declared families and
-// sample lines seen. Used by cmd/promcheck (the CI scrape validator) and
-// the obs tests; it accepts any valid exposition, not just this
-// package's output.
+// comment structure, metric-name syntax, label syntax, parseable
+// sample values, and histogram self-consistency (each series' +Inf
+// bucket must equal its _count — a disagreement means the scrape tore
+// or the encoder is broken, and either way the histogram is unusable).
+// It returns the number of TYPE-declared families and sample lines
+// seen. Used by cmd/promcheck (the CI scrape validator) and the obs
+// tests; it accepts any valid exposition, not just this package's
+// output.
 func ParseExposition(r io.Reader) (families, samples int, err error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
 	typed := make(map[string]string)
+	hists := make(map[string]*histAccount)
+	histSeries := func(key string) *histAccount {
+		h := hists[key]
+		if h == nil {
+			h = &histAccount{}
+			hists[key] = h
+		}
+		return h
+	}
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
@@ -257,11 +278,11 @@ func ParseExposition(r io.Reader) (families, samples int, err error) {
 		// A sample must belong to a declared family (histogram series
 		// carry _bucket/_sum/_count suffixes).
 		name := m[1]
+		base, suffix := name, ""
 		if _, ok := typed[name]; !ok {
-			base := name
-			for _, suffix := range []string{"_bucket", "_sum", "_count"} {
-				if t, ok := typed[strings.TrimSuffix(name, suffix)]; ok && strings.HasSuffix(name, suffix) && (t == "histogram" || t == "summary") {
-					base = strings.TrimSuffix(name, suffix)
+			for _, s := range []string{"_bucket", "_sum", "_count"} {
+				if t, ok := typed[strings.TrimSuffix(name, s)]; ok && strings.HasSuffix(name, s) && (t == "histogram" || t == "summary") {
+					base, suffix = strings.TrimSuffix(name, s), s
 					break
 				}
 			}
@@ -269,15 +290,71 @@ func ParseExposition(r io.Reader) (families, samples int, err error) {
 				return families, samples, fmt.Errorf("line %d: sample %s has no TYPE declaration", lineNo, name)
 			}
 		}
+		if typed[base] == "histogram" && (suffix == "_bucket" || suffix == "_count") {
+			labels, le := stripLe(m[2])
+			v, _ := strconv.ParseFloat(strings.TrimPrefix(m[3], "+"), 64)
+			switch {
+			case suffix == "_bucket" && le == "+Inf":
+				h := histSeries(base + labels)
+				h.inf, h.hasInf = v, true
+			case suffix == "_count":
+				h := histSeries(base + labels)
+				h.count, h.hasCount = v, true
+			}
+		}
 		samples++
 	}
 	if serr := sc.Err(); serr != nil {
 		return families, samples, serr
 	}
+	// Histogram self-consistency: the cumulative +Inf bucket IS the
+	// observation count, so each series must expose both and they must
+	// agree.
+	keys := make([]string, 0, len(hists))
+	for key := range hists {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		h := hists[key]
+		switch {
+		case h.hasInf && h.hasCount && h.inf != h.count:
+			return families, samples, fmt.Errorf("histogram %s: +Inf bucket %g disagrees with _count %g", key, h.inf, h.count)
+		case !h.hasInf:
+			return families, samples, fmt.Errorf("histogram %s: _count without a +Inf bucket", key)
+		case !h.hasCount:
+			return families, samples, fmt.Errorf("histogram %s: +Inf bucket without a _count", key)
+		}
+	}
 	if families == 0 || samples == 0 {
 		return families, samples, fmt.Errorf("exposition empty: %d families, %d samples", families, samples)
 	}
 	return families, samples, nil
+}
+
+// stripLe canonicalizes a sample's label block for the histogram
+// consistency check: the le pair is removed (its unquoted value
+// returned separately) and the remaining pairs are sorted, so _bucket
+// and _count series key together whatever order the producer emitted
+// their labels in.
+func stripLe(block string) (labels, le string) {
+	body := strings.TrimSuffix(strings.TrimPrefix(block, "{"), "}")
+	if body == "" {
+		return "", ""
+	}
+	var kept []string
+	for _, pair := range splitLabelPairs(body) {
+		if v, ok := strings.CutPrefix(pair, `le="`); ok {
+			le = strings.TrimSuffix(v, `"`)
+			continue
+		}
+		kept = append(kept, pair)
+	}
+	if len(kept) == 0 {
+		return "", le
+	}
+	sort.Strings(kept)
+	return "{" + strings.Join(kept, ",") + "}", le
 }
 
 // splitLabelPairs splits a label body on commas outside quoted values.

@@ -1,7 +1,10 @@
 package obs
 
 import (
+	"bytes"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -146,6 +149,56 @@ func TestParseExpositionRejectsGarbage(t *testing.T) {
 	for name, in := range cases {
 		if _, _, err := ParseExposition(strings.NewReader(in)); err == nil {
 			t.Errorf("%s: expected a parse error", name)
+		}
+	}
+}
+
+func TestParseExpositionHistogramConsistency(t *testing.T) {
+	// Regression: the parser used to accept histograms whose +Inf bucket
+	// disagreed with _count — exactly what a torn scrape or a broken
+	// encoder produces. The fixture is such a scrape.
+	data, err := os.ReadFile(filepath.Join("testdata", "torn_histogram.prom"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = ParseExposition(bytes.NewReader(data))
+	if err == nil || !strings.Contains(err.Error(), "disagrees with _count") {
+		t.Errorf("torn fixture: got err %v, want +Inf/_count disagreement", err)
+	}
+
+	cases := map[string]struct {
+		in, wantErr string
+	}{
+		"agreeing series passes": {
+			in: "# TYPE m histogram\n" +
+				`m_bucket{le="1"} 2` + "\n" + `m_bucket{le="+Inf"} 5` + "\nm_sum 3\nm_count 5\n",
+		},
+		"labels key per series": {
+			in: "# TYPE m histogram\n" +
+				`m_bucket{unit="a",le="+Inf"} 5` + "\n" + `m_count{unit="a"} 5` + "\n" +
+				`m_bucket{unit="b",le="+Inf"} 1` + "\n" + `m_count{unit="b"} 2` + "\n",
+			wantErr: `m{unit="b"}: +Inf bucket 1 disagrees with _count 2`,
+		},
+		"label order is canonicalized": {
+			in: "# TYPE m histogram\n" +
+				`m_bucket{a="x",le="+Inf",b="y"} 4` + "\n" + `m_count{b="y",a="x"} 4` + "\n",
+		},
+		"count without +Inf bucket": {
+			in:      "# TYPE m histogram\n" + `m_bucket{le="1"} 2` + "\nm_count 2\n",
+			wantErr: "without a +Inf bucket",
+		},
+		"+Inf bucket without count": {
+			in:      "# TYPE m histogram\n" + `m_bucket{le="+Inf"} 2` + "\nm_sum 1\n",
+			wantErr: "without a _count",
+		},
+	}
+	for name, tc := range cases {
+		_, _, err := ParseExposition(strings.NewReader(tc.in))
+		switch {
+		case tc.wantErr == "" && err != nil:
+			t.Errorf("%s: unexpected error: %v", name, err)
+		case tc.wantErr != "" && (err == nil || !strings.Contains(err.Error(), tc.wantErr)):
+			t.Errorf("%s: got err %v, want %q", name, err, tc.wantErr)
 		}
 	}
 }

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"sync"
 	"time"
 
@@ -9,6 +10,7 @@ import (
 	"sift/internal/gtrends"
 	"sift/internal/obs"
 	"sift/internal/timeseries"
+	"sift/internal/trace"
 )
 
 // op is one buffered mutation awaiting application to the DB.
@@ -52,6 +54,7 @@ type WriteBehind struct {
 	applied uint64
 	batches uint64
 	om      storeObs
+	tracer  *trace.Tracer
 }
 
 // storeObs holds the write-behind front's metric handles.
@@ -100,6 +103,16 @@ func NewWriteBehind(db *DB, buffer int) *WriteBehind {
 func (w *WriteBehind) WithMetrics(r *obs.Registry) *WriteBehind {
 	w.mu.Lock()
 	w.om = newStoreObs(r)
+	w.mu.Unlock()
+	return w
+}
+
+// WithTrace records the front's Flush and Close barriers as root spans
+// on t (the write-behind runs off the crawl's request path, so its spans
+// are their own traces). Returns the front for chaining.
+func (w *WriteBehind) WithTrace(t *trace.Tracer) *WriteBehind {
+	w.mu.Lock()
+	w.tracer = t
 	w.mu.Unlock()
 	return w
 }
@@ -212,10 +225,16 @@ func (w *WriteBehind) PutHealth(term string, state geo.State, h core.CrawlHealth
 // Close.
 func (w *WriteBehind) Flush() {
 	began := time.Now()
+	w.mu.Lock()
+	tr := w.tracer
+	w.mu.Unlock()
+	_, span := tr.Root(context.Background(), "store.flush")
 	ack := make(chan struct{})
 	if !w.submit(op{kind: opFlush, ack: ack}) {
 		// Already closed: Close drained everything before returning.
 		<-w.done
+		span.SetAttr(trace.Bool("after_close", true))
+		span.End()
 		return
 	}
 	<-ack
@@ -223,6 +242,7 @@ func (w *WriteBehind) Flush() {
 	om := w.om
 	w.mu.Unlock()
 	om.flush.Observe(time.Since(began).Seconds())
+	span.End()
 }
 
 // Applied reports how many ops the drainer has written and in how many
@@ -243,8 +263,15 @@ func (w *WriteBehind) Close() {
 		return
 	}
 	w.closed = true
+	tr := w.tracer
 	w.mu.Unlock()
+	_, span := tr.Root(context.Background(), "store.close")
 	w.pending.Wait()
 	close(w.ch)
 	<-w.done
+	w.mu.Lock()
+	applied := w.applied
+	w.mu.Unlock()
+	span.SetAttr(trace.Int64("applied_total", int64(applied)))
+	span.End()
 }

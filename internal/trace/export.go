@@ -1,0 +1,198 @@
+package trace
+
+// Exporters for the two on-disk trace formats. WriteChrome emits the
+// Chrome trace_event JSON array that Perfetto and chrome://tracing load
+// directly; WriteJSONL emits one SpanData object per line — the compact
+// machine-readable log cmd/tracecheck replays. Both accept the same
+// []*SpanData slice, so an export can mix the completed ring with
+// still-active spans (an interrupted run flushes both; active spans are
+// marked incomplete rather than dropped).
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+)
+
+// Export collects everything the tracer currently knows: the completed
+// ring oldest-first, then in-flight spans (zero End — incomplete). This
+// is the slice the CLI writes on exit or interrupt.
+func (t *Tracer) Export() []*SpanData {
+	out := t.Recent(0)
+	return append(out, t.ActiveSpans()...)
+}
+
+// WriteJSONL writes one span per line as JSON.
+func WriteJSONL(w io.Writer, spans []*SpanData) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, sd := range spans {
+		if err := enc.Encode(sd); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a JSONL span export, the inverse of WriteJSONL.
+func ReadJSONL(r io.Reader) ([]*SpanData, error) {
+	var out []*SpanData
+	dec := json.NewDecoder(r)
+	for {
+		var sd SpanData
+		if err := dec.Decode(&sd); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("span %d: %w", len(out)+1, err)
+		}
+		out = append(out, &sd)
+	}
+}
+
+// chromeEvent is one entry of the Chrome trace_event format. Complete
+// spans use phase "X" (ts+dur); span events use instant phase "i".
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	Ts    int64          `json:"ts"`            // microseconds
+	Dur   int64          `json:"dur,omitempty"` // microseconds, "X" only
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"` // instant scope: "t" = thread
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// WriteChrome writes spans as a Chrome trace_event JSON document
+// ({"traceEvents": [...]}) loadable in Perfetto or chrome://tracing.
+// Each trace is laid out on its own Perfetto "thread" row (tid per
+// trace ID, pid 1) so independent roots — the crawl tree, write-behind
+// flushes, server-side request spans — render side by side.
+// Incomplete spans are exported with their duration so far and an
+// incomplete=true arg.
+func WriteChrome(w io.Writer, spans []*SpanData) error {
+	tids := make(map[string]int)
+	tidOf := func(traceID string) int {
+		if id, ok := tids[traceID]; ok {
+			return id
+		}
+		id := len(tids) + 1
+		tids[traceID] = id
+		return id
+	}
+	// Assign tids in start order so the row layout is deterministic.
+	ordered := make([]*SpanData, len(spans))
+	copy(ordered, spans)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Start.Before(ordered[j].Start) })
+
+	events := make([]chromeEvent, 0, len(ordered)*2)
+	for _, sd := range ordered {
+		tid := tidOf(sd.TraceID)
+		args := map[string]any{
+			"trace_id": sd.TraceID,
+			"span_id":  sd.SpanID,
+		}
+		if sd.ParentID != "" {
+			args["parent_id"] = sd.ParentID
+		}
+		for k, v := range sd.Attrs {
+			args[k] = v
+		}
+		if sd.Err != "" {
+			args["error"] = sd.Err
+		}
+		if !sd.Complete() {
+			args["incomplete"] = true
+		}
+		dur := sd.Duration().Microseconds()
+		if dur < 1 {
+			dur = 1 // zero-width slices are invisible in Perfetto
+		}
+		events = append(events, chromeEvent{
+			Name:  sd.Name,
+			Phase: "X",
+			Ts:    sd.Start.UnixMicro(),
+			Dur:   dur,
+			Pid:   1,
+			Tid:   tid,
+			Args:  args,
+		})
+		for _, ev := range sd.Events {
+			eargs := map[string]any{"span_id": sd.SpanID}
+			for k, v := range ev.Attrs {
+				eargs[k] = v
+			}
+			events = append(events, chromeEvent{
+				Name:  ev.Name,
+				Phase: "i",
+				Ts:    ev.Time.UnixMicro(),
+				Pid:   1,
+				Tid:   tid,
+				Scope: "t",
+				Args:  eargs,
+			})
+		}
+	}
+	doc := struct {
+		TraceEvents     []chromeEvent `json:"traceEvents"`
+		DisplayTimeUnit string        `json:"displayTimeUnit"`
+	}{events, "ms"}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(doc); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WriteFile exports the tracer's spans to path, picking the format from
+// the extension: ".jsonl" (or ".ndjson") writes the JSONL span log,
+// anything else the Chrome trace_event document. The write is atomic
+// enough for a shutdown hook: temp file in the same directory, then
+// rename.
+func (t *Tracer) WriteFile(path string) error {
+	spans := t.Export()
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	var werr error
+	if isJSONL(path) {
+		werr = WriteJSONL(f, spans)
+	} else {
+		werr = WriteChrome(f, spans)
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp)
+		return werr
+	}
+	return os.Rename(tmp, path)
+}
+
+func isJSONL(path string) bool {
+	for _, ext := range []string{".jsonl", ".ndjson"} {
+		if len(path) >= len(ext) && path[len(path)-len(ext):] == ext {
+			return true
+		}
+	}
+	return false
+}
+
+// Since filters spans to those that started at or after cutoff —
+// handy for tests that share a tracer across cases.
+func Since(spans []*SpanData, cutoff time.Time) []*SpanData {
+	out := make([]*SpanData, 0, len(spans))
+	for _, sd := range spans {
+		if !sd.Start.Before(cutoff) {
+			out = append(out, sd)
+		}
+	}
+	return out
+}

@@ -1,0 +1,129 @@
+package trace
+
+// Live crawl inspector: HTTP handlers mounted on siftd's metrics
+// listener (next to /metrics and /debug/pprof) exposing the tracer's
+// state while crawls run.
+//
+//	/debug/trace/active    in-flight spans, assembled into trees
+//	/debug/trace/recent    the completed-span ring (?n= limits, ?name= filters)
+//	/debug/trace/stream    SSE tail of spans as they complete
+//	/debug/trace/exemplars latest completed span ID per span name
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// spanTree is the nested form /debug/trace/active serves: each root
+// span with its live descendants attached.
+type spanTree struct {
+	*SpanData
+	Children []*spanTree `json:"children,omitempty"`
+}
+
+// buildTrees nests spans under their parents. Spans whose parent is not
+// in the set (e.g. the parent already completed) surface as roots, so
+// nothing is hidden.
+func buildTrees(spans []*SpanData) []*spanTree {
+	nodes := make(map[string]*spanTree, len(spans))
+	for _, sd := range spans {
+		nodes[sd.SpanID] = &spanTree{SpanData: sd}
+	}
+	var roots []*spanTree
+	for _, sd := range spans { // range spans, not nodes: keep start order
+		n := nodes[sd.SpanID]
+		if p, ok := nodes[sd.ParentID]; ok && sd.ParentID != "" {
+			p.Children = append(p.Children, n)
+		} else {
+			roots = append(roots, n)
+		}
+	}
+	return roots
+}
+
+// AttachDebug mounts the inspector endpoints on mux under /debug/trace/.
+func (t *Tracer) AttachDebug(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/trace/active", t.handleActive)
+	mux.HandleFunc("/debug/trace/recent", t.handleRecent)
+	mux.HandleFunc("/debug/trace/stream", t.handleStream)
+	mux.HandleFunc("/debug/trace/exemplars", t.handleExemplars)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// handleActive serves the in-flight span forest.
+func (t *Tracer) handleActive(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, buildTrees(t.ActiveSpans()))
+}
+
+// handleRecent serves the completed ring, oldest first. ?n=K keeps the
+// newest K; ?name=S keeps spans named S.
+func (t *Tracer) handleRecent(w http.ResponseWriter, r *http.Request) {
+	n := 0
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 0 {
+			http.Error(w, "bad n", http.StatusBadRequest)
+			return
+		}
+		n = v
+	}
+	spans := t.Recent(0)
+	if name := r.URL.Query().Get("name"); name != "" {
+		kept := spans[:0]
+		for _, sd := range spans {
+			if sd.Name == name {
+				kept = append(kept, sd)
+			}
+		}
+		spans = kept
+	}
+	if n > 0 && len(spans) > n {
+		spans = spans[len(spans)-n:]
+	}
+	writeJSON(w, spans)
+}
+
+// handleStream tails completed spans as server-sent events, one
+// `data: <span JSON>` frame per span, until the client disconnects.
+func (t *Tracer) handleStream(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	ch, cancel := t.Subscribe(64)
+	defer cancel()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case sd, ok := <-ch:
+			if !ok {
+				return
+			}
+			b, err := json.Marshal(sd)
+			if err != nil {
+				continue
+			}
+			fmt.Fprintf(w, "data: %s\n\n", b)
+			fl.Flush()
+		}
+	}
+}
+
+// handleExemplars serves the name → latest-span-ID map.
+func (t *Tracer) handleExemplars(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, t.Exemplars())
+}

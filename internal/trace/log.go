@@ -1,0 +1,182 @@
+package trace
+
+// Structured event logging that cross-links with traces: every line
+// emitted through Debug/Info/Warn/Error carries the trace_id and
+// span_id of the span in the caller's context, so a log line, the span
+// tree in the export, and the metrics exemplar all name the same IDs.
+//
+// The sink is process-global (like obs.Default) and swapped atomically;
+// the default discards below-Warn lines to keep library code quiet until
+// a CLI opts in with -log-format. Formats: "text" (logfmt-flavored
+// key=value) and "json" (one object per line, fixed top-level fields
+// ts/level/msg/trace_id/span_id plus the call's attributes).
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Level orders log severities.
+type Level int8
+
+const (
+	LevelDebug Level = iota - 1
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+// String returns the lowercase level name.
+func (l Level) String() string {
+	switch {
+	case l <= LevelDebug:
+		return "debug"
+	case l == LevelInfo:
+		return "info"
+	case l == LevelWarn:
+		return "warn"
+	default:
+		return "error"
+	}
+}
+
+// Format selects a sink's wire format.
+type Format int
+
+const (
+	FormatText Format = iota
+	FormatJSON
+)
+
+// ParseFormat maps a -log-format flag value to a Format.
+func ParseFormat(s string) (Format, bool) {
+	switch s {
+	case "", "text":
+		return FormatText, true
+	case "json":
+		return FormatJSON, true
+	default:
+		return FormatText, false
+	}
+}
+
+// Sink is a leveled, span-aware log destination. Safe for concurrent
+// use.
+type Sink struct {
+	mu     sync.Mutex
+	w      io.Writer
+	format Format
+	min    Level
+}
+
+// NewSink builds a sink writing lines at or above min to w.
+func NewSink(w io.Writer, format Format, min Level) *Sink {
+	return &Sink{w: w, format: format, min: min}
+}
+
+// jsonLine is the fixed shape of one JSON log line.
+type jsonLine struct {
+	TS      string         `json:"ts"`
+	Level   string         `json:"level"`
+	Msg     string         `json:"msg"`
+	TraceID string         `json:"trace_id,omitempty"`
+	SpanID  string         `json:"span_id,omitempty"`
+	Attrs   map[string]any `json:"attrs,omitempty"`
+}
+
+// log emits one line. span may be nil (no correlation IDs).
+func (k *Sink) log(level Level, span *Span, msg string, attrs []Attr) {
+	if k == nil || level < k.min {
+		return
+	}
+	now := time.Now().UTC()
+	var line []byte
+	switch k.format {
+	case FormatJSON:
+		jl := jsonLine{
+			TS:    now.Format(time.RFC3339Nano),
+			Level: level.String(),
+			Msg:   msg,
+			Attrs: attrMap(attrs),
+		}
+		if span != nil {
+			jl.TraceID = span.TraceID()
+			jl.SpanID = span.SpanID()
+		}
+		b, err := json.Marshal(jl)
+		if err != nil {
+			return
+		}
+		line = append(b, '\n')
+	default:
+		b := make([]byte, 0, 128)
+		b = now.AppendFormat(b, time.RFC3339Nano)
+		b = append(b, ' ')
+		b = append(b, level.String()...)
+		b = append(b, ' ')
+		b = append(b, msg...)
+		if span != nil {
+			b = append(b, " trace_id="...)
+			b = append(b, span.TraceID()...)
+			b = append(b, " span_id="...)
+			b = append(b, span.SpanID()...)
+		}
+		for _, a := range attrs {
+			b = append(b, ' ')
+			b = a.appendText(b)
+		}
+		line = append(b, '\n')
+	}
+	k.mu.Lock()
+	k.w.Write(line)
+	k.mu.Unlock()
+}
+
+// defaultSink holds the process-global sink.
+var defaultSink atomic.Pointer[Sink]
+
+func init() {
+	defaultSink.Store(NewSink(os.Stderr, FormatText, LevelWarn))
+}
+
+// SetDefaultSink installs the process-global sink and returns the
+// previous one (for tests to restore). A nil sink silences logging.
+func SetDefaultSink(s *Sink) *Sink {
+	prev := defaultSink.Load()
+	if s == nil {
+		s = NewSink(io.Discard, FormatText, LevelError+1)
+	}
+	defaultSink.Store(s)
+	return prev
+}
+
+// Log emits msg at level through the default sink, stamping the IDs of
+// the span carried by ctx (if any). ctx may be nil.
+func Log(ctx context.Context, level Level, msg string, attrs ...Attr) {
+	k := defaultSink.Load()
+	if k == nil || level < k.min {
+		return
+	}
+	var span *Span
+	if ctx != nil {
+		span = FromContext(ctx)
+	}
+	k.log(level, span, msg, attrs)
+}
+
+// Debug logs at debug level with span correlation from ctx.
+func Debug(ctx context.Context, msg string, attrs ...Attr) { Log(ctx, LevelDebug, msg, attrs...) }
+
+// Info logs at info level with span correlation from ctx.
+func Info(ctx context.Context, msg string, attrs ...Attr) { Log(ctx, LevelInfo, msg, attrs...) }
+
+// Warn logs at warn level with span correlation from ctx.
+func Warn(ctx context.Context, msg string, attrs ...Attr) { Log(ctx, LevelWarn, msg, attrs...) }
+
+// Error logs at error level with span correlation from ctx.
+func Error(ctx context.Context, msg string, attrs ...Attr) { Log(ctx, LevelError, msg, attrs...) }

@@ -1,0 +1,692 @@
+// Package trace is SIFT's dependency-free distributed-tracing subsystem:
+// the causal layer that internal/obs's aggregate metrics cannot provide.
+// A Tracer hands out Spans — named, timed tree nodes with attributes,
+// point-in-time events, and error status — that propagate through
+// context.Context across every layer of a crawl: one root per pipeline
+// run, children per round, stage, and frame fetch, down to the HTTP
+// client's retry loop. Completed spans land in a bounded ring buffer the
+// exporters (Chrome trace_event JSON and compact JSONL, see export.go)
+// and the live inspector endpoints (see http.go) read from.
+//
+// Design constraints, in order: zero external dependencies, safe for
+// concurrent use, and free when disabled — a nil *Span (tracing off, or
+// the subtree sampled out) makes every method a no-op, and call sites
+// that only pass value-typed Attrs allocate nothing. The lean stitch
+// path stays at its committed allocs/op with tracing off; benchguard
+// gates it.
+//
+// Span identity is a (trace_id, span_id) pair of process-unique 64-bit
+// IDs, allocated lock-free from atomic counters and formatted as 16-hex
+// strings. The same IDs appear in the structured log lines (log.go), so
+// logs, metrics, and traces cross-link: grep a trace_id from a log line,
+// find the span tree in the export, and the span-duration histograms in
+// the obs registry carry the same span names.
+package trace
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sift/internal/obs"
+)
+
+// ---- attributes ----
+
+type attrKind uint8
+
+const (
+	attrString attrKind = iota
+	attrInt
+	attrFloat
+	attrBool
+)
+
+// Attr is one key-value annotation on a span, event, or log line. It is
+// a small tagged union rather than a boxed any, so constructing one on a
+// disabled path allocates nothing.
+type Attr struct {
+	Key string
+	s   string
+	n   int64
+	f   float64
+	k   attrKind
+}
+
+// Str returns a string attribute.
+func Str(key, v string) Attr { return Attr{Key: key, s: v, k: attrString} }
+
+// Int returns an integer attribute.
+func Int(key string, v int) Attr { return Attr{Key: key, n: int64(v), k: attrInt} }
+
+// Int64 returns a 64-bit integer attribute.
+func Int64(key string, v int64) Attr { return Attr{Key: key, n: v, k: attrInt} }
+
+// Float returns a float attribute.
+func Float(key string, v float64) Attr { return Attr{Key: key, f: v, k: attrFloat} }
+
+// Bool returns a boolean attribute.
+func Bool(key string, v bool) Attr {
+	a := Attr{Key: key, k: attrBool}
+	if v {
+		a.n = 1
+	}
+	return a
+}
+
+// Dur returns a duration attribute, recorded in seconds.
+func Dur(key string, d time.Duration) Attr {
+	return Attr{Key: key, f: d.Seconds(), k: attrFloat}
+}
+
+// Value returns the attribute's value as an any, for JSON encoding.
+func (a Attr) Value() any {
+	switch a.k {
+	case attrString:
+		return a.s
+	case attrInt:
+		return a.n
+	case attrFloat:
+		return a.f
+	case attrBool:
+		return a.n != 0
+	default:
+		return nil
+	}
+}
+
+// appendText renders the attribute as key=value for the text log format.
+func (a Attr) appendText(b []byte) []byte {
+	b = append(b, a.Key...)
+	b = append(b, '=')
+	switch a.k {
+	case attrString:
+		b = append(b, a.s...)
+	case attrInt:
+		b = fmt.Appendf(b, "%d", a.n)
+	case attrFloat:
+		b = fmt.Appendf(b, "%g", a.f)
+	case attrBool:
+		b = fmt.Appendf(b, "%t", a.n != 0)
+	}
+	return b
+}
+
+// attrMap converts attrs to a map for JSON snapshots. Returns nil for an
+// empty list.
+func attrMap(attrs []Attr) map[string]any {
+	if len(attrs) == 0 {
+		return nil
+	}
+	m := make(map[string]any, len(attrs))
+	for _, a := range attrs {
+		m[a.Key] = a.Value()
+	}
+	return m
+}
+
+// ---- events ----
+
+// Event is one timestamped point annotation inside a span: a retry, a
+// cache hit, an injected fault.
+type Event struct {
+	Name  string
+	Time  time.Time
+	Attrs []Attr
+}
+
+// maxEventsPerSpan bounds a span's event list so a retry storm cannot
+// grow one span without bound; overflow is counted and surfaced as the
+// events_dropped attribute at export.
+const maxEventsPerSpan = 256
+
+// ---- span ----
+
+// Span is one node of a trace tree. The zero value is not used; obtain
+// spans from Tracer.Root or Start. A nil *Span is the disabled span:
+// every method no-ops, so call sites never need nil checks.
+type Span struct {
+	tracer   *Tracer
+	name     string
+	traceID  uint64
+	spanID   uint64
+	parentID uint64
+	start    time.Time
+
+	mu            sync.Mutex
+	attrs         []Attr
+	events        []Event
+	eventsDropped int
+	errMsg        string
+	ended         bool
+	end           time.Time
+}
+
+// Name returns the span's name, or "" for the disabled span.
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// TraceID returns the span's trace ID as a 16-hex string, or "" for the
+// disabled span.
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return formatID(s.traceID)
+}
+
+// SpanID returns the span's ID as a 16-hex string, or "" for the
+// disabled span.
+func (s *Span) SpanID() string {
+	if s == nil {
+		return ""
+	}
+	return formatID(s.spanID)
+}
+
+// Recording reports whether the span is live: non-nil and not yet ended.
+func (s *Span) Recording() bool {
+	if s == nil {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !s.ended
+}
+
+// SetAttr appends attributes to the span.
+func (s *Span) SetAttr(attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.attrs = append(s.attrs, attrs...)
+	}
+	s.mu.Unlock()
+}
+
+// Event records a point-in-time event on the span.
+func (s *Span) Event(name string, attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		if len(s.events) >= maxEventsPerSpan {
+			s.eventsDropped++
+		} else {
+			e := Event{Name: name, Time: time.Now()}
+			if len(attrs) > 0 {
+				e.Attrs = append(e.Attrs, attrs...)
+			}
+			s.events = append(s.events, e)
+		}
+	}
+	s.mu.Unlock()
+	s.tracer.om.events.Inc()
+}
+
+// SetError marks the span failed. A nil error is ignored.
+func (s *Span) SetError(err error) {
+	if s == nil || err == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.errMsg = err.Error()
+	}
+	s.mu.Unlock()
+}
+
+// End completes the span: its snapshot moves to the tracer's ring of
+// completed spans, feeds the span-duration histogram, and is broadcast
+// to stream subscribers. End is idempotent; only the first call counts.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	s.end = time.Now()
+	s.mu.Unlock()
+	s.tracer.finish(s)
+}
+
+// snapshot captures the span's current state. Completed spans have a
+// nonzero End; in-flight snapshots leave it zero.
+func (s *Span) snapshot() *SpanData {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sd := &SpanData{
+		TraceID: formatID(s.traceID),
+		SpanID:  formatID(s.spanID),
+		Name:    s.name,
+		Start:   s.start,
+		Err:     s.errMsg,
+		Attrs:   attrMap(s.attrs),
+		Dropped: s.eventsDropped,
+	}
+	if s.parentID != 0 {
+		sd.ParentID = formatID(s.parentID)
+	}
+	if s.ended {
+		sd.End = s.end
+	}
+	for _, e := range s.events {
+		sd.Events = append(sd.Events, EventData{Name: e.Name, Time: e.Time, Attrs: attrMap(e.Attrs)})
+	}
+	return sd
+}
+
+// ---- immutable span snapshots ----
+
+// SpanData is the immutable snapshot of one span — the unit the ring
+// buffer stores, the exporters encode, and the inspector serves.
+type SpanData struct {
+	TraceID  string    `json:"trace_id"`
+	SpanID   string    `json:"span_id"`
+	ParentID string    `json:"parent_id,omitempty"`
+	Name     string    `json:"name"`
+	Start    time.Time `json:"start"`
+	// End is the zero time while the span is still in flight (the
+	// /debug/trace/active view and interrupted-run exports).
+	End     time.Time      `json:"end,omitzero"`
+	Err     string         `json:"error,omitempty"`
+	Attrs   map[string]any `json:"attrs,omitempty"`
+	Events  []EventData    `json:"events,omitempty"`
+	Dropped int            `json:"events_dropped,omitempty"`
+}
+
+// Duration returns End-Start, or the time in flight for an active span
+// snapshot.
+func (sd *SpanData) Duration() time.Duration {
+	if sd.End.IsZero() {
+		return time.Since(sd.Start)
+	}
+	return sd.End.Sub(sd.Start)
+}
+
+// Complete reports whether the span had ended when snapshotted.
+func (sd *SpanData) Complete() bool { return !sd.End.IsZero() }
+
+// EventData is one snapshotted span event.
+type EventData struct {
+	Name  string         `json:"name"`
+	Time  time.Time      `json:"time"`
+	Attrs map[string]any `json:"attrs,omitempty"`
+}
+
+// formatID renders a span or trace ID as the canonical 16-hex string.
+func formatID(id uint64) string { return fmt.Sprintf("%016x", id) }
+
+// ---- sampling ----
+
+// Sampler decides which spans a tracer records. Roots that are sampled
+// out return a nil span, so their entire subtree vanishes at zero cost;
+// child pruning drops one subtree of an otherwise recorded trace (e.g.
+// all but every k-th round). Samplers see the span name and (for
+// children) the parent span — not the attribute list: passing attrs
+// through an interface call would force every Start call site to heap-
+// allocate its variadic slice even with tracing off, and name+parent
+// already distinguishes run/round/state spans. State-conditional
+// sampling keys off the parent chain (e.g. parent.Name()).
+type Sampler interface {
+	// SampleRoot decides whether a new root span is recorded.
+	SampleRoot(name string) bool
+	// SampleChild decides whether a child span is recorded under an
+	// already recorded parent.
+	SampleChild(parent *Span, name string) bool
+}
+
+// FuncSampler adapts plain functions to Sampler; a nil field samples
+// everything at that level.
+type FuncSampler struct {
+	Root  func(name string) bool
+	Child func(parent *Span, name string) bool
+}
+
+// SampleRoot applies Root, defaulting to true.
+func (f FuncSampler) SampleRoot(name string) bool {
+	return f.Root == nil || f.Root(name)
+}
+
+// SampleChild applies Child, defaulting to true.
+func (f FuncSampler) SampleChild(parent *Span, name string) bool {
+	return f.Child == nil || f.Child(parent, name)
+}
+
+// EveryNth samples one root in every n, counted per root name — the
+// "sample one run in ten" knob for long crawls. n <= 1 samples all.
+type EveryNth struct {
+	N int
+
+	mu     sync.Mutex
+	counts map[string]int
+}
+
+// SampleRoot admits every N-th root per name, starting with the first.
+func (e *EveryNth) SampleRoot(name string) bool {
+	if e.N <= 1 {
+		return true
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.counts == nil {
+		e.counts = make(map[string]int)
+	}
+	c := e.counts[name]
+	e.counts[name] = c + 1
+	return c%e.N == 0
+}
+
+// SampleChild records every child of a sampled root.
+func (e *EveryNth) SampleChild(*Span, string) bool { return true }
+
+// ---- tracer ----
+
+// DefaultCapacity is the completed-span ring size used when Config
+// leaves Capacity zero. A one-state month crawl completes a few hundred
+// spans; the default keeps several full runs inspectable.
+const DefaultCapacity = 4096
+
+// Config tunes a Tracer. The zero value is usable.
+type Config struct {
+	// Capacity bounds the completed-span ring; 0 takes DefaultCapacity.
+	Capacity int
+	// Sampler selects which spans are recorded; nil records everything.
+	Sampler Sampler
+	// Metrics selects the registry the tracer's span counters and
+	// duration histograms report into; nil uses obs.Default().
+	Metrics *obs.Registry
+}
+
+// traceObs holds the tracer's metric handles — the obs composition: span
+// durations feed histograms by span name, and the per-name exemplar span
+// IDs (Tracer.Exemplars) attach a concrete trace to every hot family.
+type traceObs struct {
+	spans   obs.CounterVec   // sift_trace_spans_total{name}
+	seconds obs.HistogramVec // sift_trace_span_seconds{name}
+	events  obs.Counter      // sift_trace_events_total
+	sampled obs.Counter      // sift_trace_sampled_out_total
+	active  obs.Gauge        // sift_trace_active_spans
+	errs    obs.CounterVec   // sift_trace_span_errors_total{name}
+}
+
+func newTraceObs(r *obs.Registry) traceObs {
+	return traceObs{
+		spans: r.CounterVec("sift_trace_spans_total",
+			"completed spans by name", "name"),
+		seconds: r.HistogramVec("sift_trace_span_seconds",
+			"span durations by name", nil, "name"),
+		events: r.Counter("sift_trace_events_total",
+			"span events recorded"),
+		sampled: r.Counter("sift_trace_sampled_out_total",
+			"root spans dropped by the sampler"),
+		active: r.Gauge("sift_trace_active_spans",
+			"spans currently in flight"),
+		errs: r.CounterVec("sift_trace_span_errors_total",
+			"completed spans that ended in error, by name", "name"),
+	}
+}
+
+// Tracer allocates spans, tracks the in-flight set, and retains a
+// bounded ring of completed snapshots. Safe for concurrent use.
+type Tracer struct {
+	cfg       Config
+	nextSpan  atomic.Uint64
+	nextTrace atomic.Uint64
+	base      uint64
+	om        traceObs
+
+	mu        sync.Mutex
+	active    map[uint64]*Span
+	ring      []*SpanData // circular, len == capacity once full
+	ringNext  int
+	completed uint64
+	exemplars map[string]string
+	subs      map[uint64]chan *SpanData
+	subNext   uint64
+}
+
+// New builds a tracer.
+func New(cfg Config) *Tracer {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = DefaultCapacity
+	}
+	return &Tracer{
+		cfg:       cfg,
+		base:      uint64(time.Now().UnixNano()),
+		om:        newTraceObs(cfg.Metrics),
+		active:    make(map[uint64]*Span),
+		ring:      make([]*SpanData, 0, cfg.Capacity),
+		exemplars: make(map[string]string),
+		subs:      make(map[uint64]chan *SpanData),
+	}
+}
+
+// newID allocates a process-unique span ID, lock-free.
+func (t *Tracer) newID() uint64 {
+	return mix64(t.base, t.nextSpan.Add(1))
+}
+
+// newTraceID allocates a new trace ID, lock-free.
+func (t *Tracer) newTraceID() uint64 {
+	return mix64(t.base^0x9e3779b97f4a7c15, t.nextTrace.Add(1))
+}
+
+// mix64 is a splitmix-style finalizer over (base, seq) — IDs look random
+// but are cheap, lock-free, and collision-free within a process.
+func mix64(base, seq uint64) uint64 {
+	z := base + seq*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	if z == 0 {
+		z = 1 // zero is the "no parent" sentinel
+	}
+	return z
+}
+
+// Root starts a new trace: a parentless span stored into the returned
+// context so Start calls downstream attach children. A nil tracer, or a
+// root the sampler rejects, returns (ctx, nil) — the disabled subtree.
+func (t *Tracer) Root(ctx context.Context, name string, attrs ...Attr) (context.Context, *Span) {
+	if t == nil {
+		return ctx, nil
+	}
+	if t.cfg.Sampler != nil && !t.cfg.Sampler.SampleRoot(name) {
+		t.om.sampled.Inc()
+		return ctx, nil
+	}
+	s := t.newSpan(t.newTraceID(), 0, name, attrs)
+	return ContextWith(ctx, s), s
+}
+
+// newSpan allocates and registers a recording span.
+func (t *Tracer) newSpan(traceID, parentID uint64, name string, attrs []Attr) *Span {
+	s := &Span{
+		tracer:   t,
+		name:     name,
+		traceID:  traceID,
+		spanID:   t.newID(),
+		parentID: parentID,
+		start:    time.Now(),
+	}
+	if len(attrs) > 0 {
+		s.attrs = append(s.attrs, attrs...)
+	}
+	t.mu.Lock()
+	t.active[s.spanID] = s
+	t.mu.Unlock()
+	t.om.active.Inc()
+	return s
+}
+
+// finish moves an ended span into the completed ring and notifies
+// subscribers and metrics.
+func (t *Tracer) finish(s *Span) {
+	sd := s.snapshot()
+	t.mu.Lock()
+	delete(t.active, s.spanID)
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, sd)
+	} else {
+		t.ring[t.ringNext] = sd
+	}
+	t.ringNext = (t.ringNext + 1) % cap(t.ring)
+	t.completed++
+	t.exemplars[s.name] = sd.SpanID
+	for _, ch := range t.subs {
+		select {
+		case ch <- sd:
+		default: // a slow subscriber drops spans rather than stalling End
+		}
+	}
+	t.mu.Unlock()
+	t.om.active.Dec()
+	t.om.spans.With(s.name).Inc()
+	t.om.seconds.With(s.name).Observe(sd.End.Sub(sd.Start).Seconds())
+	if sd.Err != "" {
+		t.om.errs.With(s.name).Inc()
+	}
+}
+
+// Completed returns how many spans have finished over the tracer's
+// lifetime (including ones the ring has since evicted).
+func (t *Tracer) Completed() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.completed
+}
+
+// Recent returns up to n completed spans, oldest first; n <= 0 returns
+// the whole ring.
+func (t *Tracer) Recent(n int) []*SpanData {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*SpanData, 0, len(t.ring))
+	if len(t.ring) == cap(t.ring) {
+		out = append(out, t.ring[t.ringNext:]...)
+		out = append(out, t.ring[:t.ringNext]...)
+	} else {
+		out = append(out, t.ring...)
+	}
+	if n > 0 && len(out) > n {
+		out = out[len(out)-n:]
+	}
+	return out
+}
+
+// ActiveSpans snapshots the in-flight spans, ordered by start time.
+// Their SpanData have a zero End.
+func (t *Tracer) ActiveSpans() []*SpanData {
+	t.mu.Lock()
+	live := make([]*Span, 0, len(t.active))
+	for _, s := range t.active {
+		live = append(live, s)
+	}
+	t.mu.Unlock()
+	out := make([]*SpanData, 0, len(live))
+	for _, s := range live {
+		out = append(out, s.snapshot())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
+	return out
+}
+
+// Exemplars returns, per span name, the ID of the most recently
+// completed span — the exemplar that attaches a concrete trace to the
+// hot counters sharing that name.
+func (t *Tracer) Exemplars() map[string]string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]string, len(t.exemplars))
+	for k, v := range t.exemplars {
+		out[k] = v
+	}
+	return out
+}
+
+// Subscribe registers a completed-span listener with the given channel
+// buffer (minimum 1). Spans a full buffer cannot accept are dropped, so
+// a stalled subscriber never blocks span completion. cancel removes the
+// subscription and closes the channel.
+func (t *Tracer) Subscribe(buf int) (<-chan *SpanData, func()) {
+	if buf < 1 {
+		buf = 1
+	}
+	ch := make(chan *SpanData, buf)
+	t.mu.Lock()
+	t.subNext++
+	id := t.subNext
+	t.subs[id] = ch
+	t.mu.Unlock()
+	cancel := func() {
+		t.mu.Lock()
+		if _, ok := t.subs[id]; ok {
+			delete(t.subs, id)
+			close(ch)
+		}
+		t.mu.Unlock()
+	}
+	return ch, cancel
+}
+
+// ---- context propagation ----
+
+type ctxKey struct{}
+
+// FromContext returns the span stored in ctx, or nil when tracing is
+// disabled on this path.
+func FromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(ctxKey{}).(*Span)
+	return s
+}
+
+// ContextWith returns ctx carrying s. Storing a nil span prunes the
+// subtree: downstream Start calls return disabled spans.
+func ContextWith(ctx context.Context, s *Span) context.Context {
+	return context.WithValue(ctx, ctxKey{}, s)
+}
+
+// Start begins a child of the span carried by ctx and returns a context
+// carrying the child. When ctx carries no span (tracing disabled) it
+// returns (ctx, nil) without allocating — the whole instrumentation
+// layer costs nothing unless a root span is present upstream.
+func Start(ctx context.Context, name string, attrs ...Attr) (context.Context, *Span) {
+	parent := FromContext(ctx)
+	if parent == nil {
+		return ctx, nil
+	}
+	t := parent.tracer
+	if t.cfg.Sampler != nil && !t.cfg.Sampler.SampleChild(parent, name) {
+		// Prune: children started under this context are disabled too.
+		return ContextWith(ctx, nil), nil
+	}
+	s := t.newSpan(parent.traceID, parent.spanID, name, attrs)
+	return ContextWith(ctx, s), s
+}
+
+// StartOrRoot is the entry-point shim for layers that can be driven
+// either under an existing trace (a study tracing each state's run) or
+// standalone (a bare Pipeline.Run with its own tracer): a span already
+// in ctx gets a child; otherwise a non-nil tracer opens a new root;
+// otherwise tracing stays off for the subtree.
+func StartOrRoot(ctx context.Context, t *Tracer, name string, attrs ...Attr) (context.Context, *Span) {
+	if FromContext(ctx) != nil {
+		return Start(ctx, name, attrs...)
+	}
+	return t.Root(ctx, name, attrs...)
+}

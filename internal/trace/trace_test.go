@@ -1,0 +1,619 @@
+package trace
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sift/internal/obs"
+)
+
+func newTestTracer(t *testing.T, cfg Config) *Tracer {
+	t.Helper()
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewRegistry()
+	}
+	return New(cfg)
+}
+
+func TestSpanTreeBasics(t *testing.T) {
+	tr := newTestTracer(t, Config{})
+	ctx, root := tr.Root(context.Background(), "run", Str("state", "TX"))
+	if root == nil {
+		t.Fatal("root not sampled")
+	}
+	if root.TraceID() == "" || root.SpanID() == "" {
+		t.Fatalf("missing ids: trace=%q span=%q", root.TraceID(), root.SpanID())
+	}
+	if len(root.TraceID()) != 16 || len(root.SpanID()) != 16 {
+		t.Fatalf("ids not 16-hex: %q %q", root.TraceID(), root.SpanID())
+	}
+
+	cctx, child := Start(ctx, "round", Int("round", 1))
+	if child == nil {
+		t.Fatal("child not started")
+	}
+	if child.TraceID() != root.TraceID() {
+		t.Fatalf("child trace %s != root trace %s", child.TraceID(), root.TraceID())
+	}
+	_, grand := Start(cctx, "stage.fetch")
+	grand.Event("cache.miss", Str("key", "k"))
+	grand.SetError(errors.New("boom"))
+	grand.End()
+	child.End()
+	root.End()
+
+	spans := tr.Recent(0)
+	if len(spans) != 3 {
+		t.Fatalf("want 3 completed spans, got %d", len(spans))
+	}
+	// Children end before parents, so ring order is grand, child, root.
+	g, c, r := spans[0], spans[1], spans[2]
+	if g.Name != "stage.fetch" || c.Name != "round" || r.Name != "run" {
+		t.Fatalf("unexpected order: %s %s %s", g.Name, c.Name, r.Name)
+	}
+	if g.ParentID != c.SpanID || c.ParentID != r.SpanID || r.ParentID != "" {
+		t.Fatal("parent links broken")
+	}
+	if g.Err != "boom" {
+		t.Fatalf("error not recorded: %q", g.Err)
+	}
+	if len(g.Events) != 1 || g.Events[0].Name != "cache.miss" || g.Events[0].Attrs["key"] != "k" {
+		t.Fatalf("event not recorded: %+v", g.Events)
+	}
+	if r.Attrs["state"] != "TX" {
+		t.Fatalf("root attr missing: %+v", r.Attrs)
+	}
+	if c.Attrs["round"] != int64(1) {
+		t.Fatalf("child attr missing: %+v", c.Attrs)
+	}
+	if !g.Complete() || g.Duration() < 0 {
+		t.Fatal("bad completion state")
+	}
+}
+
+func TestNilSpanIsNoop(t *testing.T) {
+	var s *Span
+	s.SetAttr(Str("k", "v"))
+	s.Event("e", Int("n", 1))
+	s.SetError(errors.New("x"))
+	s.End()
+	if s.TraceID() != "" || s.SpanID() != "" || s.Name() != "" || s.Recording() {
+		t.Fatal("nil span leaked state")
+	}
+	// Start with no span in context returns (ctx, nil).
+	ctx := context.Background()
+	ctx2, sp := Start(ctx, "child")
+	if sp != nil || ctx2 != ctx {
+		t.Fatal("Start without root should be disabled and allocation-free")
+	}
+	// A nil tracer's Root is disabled too.
+	var tr *Tracer
+	_, sp = tr.Root(ctx, "run")
+	if sp != nil {
+		t.Fatal("nil tracer produced a span")
+	}
+}
+
+// TestDisabledPathZeroAllocs pins the tracing-off contract the lean
+// stitch path relies on: Start/Event/End against a context with no span
+// must not allocate.
+func TestDisabledPathZeroAllocs(t *testing.T) {
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(1000, func() {
+		c, s := Start(ctx, "stage.stitch", Int("round", 3))
+		s.Event("cache.hit", Str("key", "k"))
+		s.SetAttr(Float("ratio", 1.5))
+		s.End()
+		_ = c
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled trace path allocates %v per op, want 0", allocs)
+	}
+}
+
+func TestSamplerPruning(t *testing.T) {
+	tr := newTestTracer(t, Config{Sampler: FuncSampler{
+		Root:  func(name string) bool { return name != "skip" },
+		Child: func(_ *Span, name string) bool { return name != "noisy" },
+	}})
+	if _, s := tr.Root(context.Background(), "skip"); s != nil {
+		t.Fatal("sampler did not drop root")
+	}
+	ctx, root := tr.Root(context.Background(), "run")
+	if root == nil {
+		t.Fatal("root dropped unexpectedly")
+	}
+	nctx, noisy := Start(ctx, "noisy")
+	if noisy != nil {
+		t.Fatal("sampler did not drop child")
+	}
+	// The pruned subtree stays pruned: grandchildren are disabled too.
+	if _, g := Start(nctx, "grandchild"); g != nil {
+		t.Fatal("pruned subtree restarted")
+	}
+	root.End()
+}
+
+func TestEveryNthSampler(t *testing.T) {
+	e := &EveryNth{N: 3}
+	got := 0
+	for i := 0; i < 9; i++ {
+		if e.SampleRoot("run") {
+			got++
+		}
+	}
+	if got != 3 {
+		t.Fatalf("EveryNth{3} sampled %d of 9, want 3", got)
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	tr := newTestTracer(t, Config{Capacity: 4})
+	for i := 0; i < 10; i++ {
+		_, s := tr.Root(context.Background(), fmt.Sprintf("s%d", i))
+		s.End()
+	}
+	spans := tr.Recent(0)
+	if len(spans) != 4 {
+		t.Fatalf("ring holds %d, want 4", len(spans))
+	}
+	for i, sd := range spans {
+		if want := fmt.Sprintf("s%d", 6+i); sd.Name != want {
+			t.Fatalf("ring[%d] = %s, want %s (oldest-first order)", i, sd.Name, want)
+		}
+	}
+	if tr.Completed() != 10 {
+		t.Fatalf("Completed() = %d, want 10", tr.Completed())
+	}
+	if got := tr.Recent(2); len(got) != 2 || got[1].Name != "s9" {
+		t.Fatalf("Recent(2) wrong: %+v", got)
+	}
+}
+
+func TestActiveSpansAndExemplars(t *testing.T) {
+	tr := newTestTracer(t, Config{})
+	ctx, root := tr.Root(context.Background(), "run")
+	_, child := Start(ctx, "round")
+	act := tr.ActiveSpans()
+	if len(act) != 2 {
+		t.Fatalf("want 2 active, got %d", len(act))
+	}
+	if act[0].Name != "run" || act[1].Name != "round" {
+		t.Fatalf("active not start-ordered: %s %s", act[0].Name, act[1].Name)
+	}
+	if act[0].Complete() {
+		t.Fatal("active span marked complete")
+	}
+	child.End()
+	root.End()
+	ex := tr.Exemplars()
+	if ex["run"] != root.SpanID() || ex["round"] != child.SpanID() {
+		t.Fatalf("exemplars wrong: %+v", ex)
+	}
+}
+
+func TestSubscribe(t *testing.T) {
+	tr := newTestTracer(t, Config{})
+	ch, cancel := tr.Subscribe(8)
+	_, s := tr.Root(context.Background(), "run")
+	s.End()
+	select {
+	case sd := <-ch:
+		if sd.Name != "run" {
+			t.Fatalf("got %s", sd.Name)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("no span delivered")
+	}
+	cancel()
+	if _, ok := <-ch; ok {
+		t.Fatal("channel not closed after cancel")
+	}
+	cancel() // idempotent
+}
+
+func TestEventCapping(t *testing.T) {
+	tr := newTestTracer(t, Config{})
+	_, s := tr.Root(context.Background(), "run")
+	for i := 0; i < maxEventsPerSpan+10; i++ {
+		s.Event("e")
+	}
+	s.End()
+	sd := tr.Recent(0)[0]
+	if len(sd.Events) != maxEventsPerSpan || sd.Dropped != 10 {
+		t.Fatalf("events=%d dropped=%d", len(sd.Events), sd.Dropped)
+	}
+}
+
+func TestObsIntegration(t *testing.T) {
+	reg := obs.NewRegistry()
+	tr := New(Config{Metrics: reg})
+	ctx, root := tr.Root(context.Background(), "run")
+	_, s := Start(ctx, "stage.fetch")
+	s.Event("retry")
+	s.SetError(errors.New("x"))
+	s.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`sift_trace_spans_total{name="run"} 1`,
+		`sift_trace_spans_total{name="stage.fetch"} 1`,
+		`sift_trace_span_seconds_count{name="run"} 1`,
+		`sift_trace_events_total 1`,
+		`sift_trace_span_errors_total{name="stage.fetch"} 1`,
+		`sift_trace_active_spans 0`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	tr := newTestTracer(t, Config{})
+	ctx, root := tr.Root(context.Background(), "run", Str("state", "TX"))
+	_, s := Start(ctx, "round")
+	s.Event("fault.injected", Str("mode", "rate-limit"))
+	s.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, tr.Export()); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 {
+		t.Fatalf("round trip lost spans: %d", len(back))
+	}
+	if back[0].Name != "round" || back[0].Events[0].Attrs["mode"] != "rate-limit" {
+		t.Fatalf("round trip mangled: %+v", back[0])
+	}
+	if back[1].Attrs["state"] != "TX" {
+		t.Fatalf("attrs mangled: %+v", back[1])
+	}
+}
+
+func TestWriteChrome(t *testing.T) {
+	tr := newTestTracer(t, Config{})
+	ctx, root := tr.Root(context.Background(), "run")
+	_, s := Start(ctx, "round")
+	s.Event("cache.hit")
+	s.End()
+	// Leave root active: exports must mark it incomplete, not drop it.
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, tr.Export()); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome export is not valid JSON: %v", err)
+	}
+	var slices, instants, incomplete int
+	for _, ev := range doc.TraceEvents {
+		switch ev["ph"] {
+		case "X":
+			slices++
+			args := ev["args"].(map[string]any)
+			if args["trace_id"] == "" || args["span_id"] == "" {
+				t.Fatalf("slice missing ids: %+v", ev)
+			}
+			if args["incomplete"] == true {
+				incomplete++
+			}
+		case "i":
+			instants++
+		}
+	}
+	if slices != 2 || instants != 1 || incomplete != 1 {
+		t.Fatalf("slices=%d instants=%d incomplete=%d", slices, instants, incomplete)
+	}
+}
+
+func TestWriteFileFormats(t *testing.T) {
+	tr := newTestTracer(t, Config{})
+	_, s := tr.Root(context.Background(), "run")
+	s.End()
+	dir := t.TempDir()
+
+	jl := dir + "/trace.jsonl"
+	if err := tr.WriteFile(jl); err != nil {
+		t.Fatal(err)
+	}
+	chrome := dir + "/trace.json"
+	if err := tr.WriteFile(chrome); err != nil {
+		t.Fatal(err)
+	}
+	// JSONL: one object per line; Chrome: traceEvents envelope.
+	jb, err := os.ReadFile(jl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(jb) || strings.Contains(string(jb), "traceEvents") {
+		t.Fatal("jsonl export wrong format")
+	}
+	cb, err := os.ReadFile(chrome)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(cb), "traceEvents") {
+		t.Fatal("chrome export wrong format")
+	}
+}
+
+// TestLogFormats pins the two log formats and the span-ID stamping.
+func TestLogFormats(t *testing.T) {
+	tr := newTestTracer(t, Config{})
+	ctx, root := tr.Root(context.Background(), "run")
+	defer root.End()
+
+	var buf bytes.Buffer
+	prev := SetDefaultSink(NewSink(&buf, FormatJSON, LevelDebug))
+	defer SetDefaultSink(prev)
+	Info(ctx, "frame fetched", Str("state", "TX"), Int("round", 2))
+	Debug(nil, "no span here")
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 lines, got %d: %q", len(lines), buf.String())
+	}
+	var jl struct {
+		Level   string         `json:"level"`
+		Msg     string         `json:"msg"`
+		TraceID string         `json:"trace_id"`
+		SpanID  string         `json:"span_id"`
+		Attrs   map[string]any `json:"attrs"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &jl); err != nil {
+		t.Fatal(err)
+	}
+	if jl.Level != "info" || jl.Msg != "frame fetched" {
+		t.Fatalf("wrong line: %+v", jl)
+	}
+	if jl.TraceID != root.TraceID() || jl.SpanID != root.SpanID() {
+		t.Fatalf("ids not stamped: %+v vs %s/%s", jl, root.TraceID(), root.SpanID())
+	}
+	if jl.Attrs["state"] != "TX" || jl.Attrs["round"] != float64(2) {
+		t.Fatalf("attrs wrong: %+v", jl.Attrs)
+	}
+
+	buf.Reset()
+	SetDefaultSink(NewSink(&buf, FormatText, LevelInfo))
+	Warn(ctx, "slow frame", Dur("wait", 1500*time.Millisecond))
+	Debug(ctx, "below min level") // filtered
+	text := buf.String()
+	if !strings.Contains(text, "warn slow frame") ||
+		!strings.Contains(text, "trace_id="+root.TraceID()) ||
+		!strings.Contains(text, "wait=1.5") {
+		t.Fatalf("text format wrong: %q", text)
+	}
+	if strings.Contains(text, "below min level") {
+		t.Fatal("min level not enforced")
+	}
+}
+
+func TestHTTPEndpoints(t *testing.T) {
+	tr := newTestTracer(t, Config{})
+	mux := http.NewServeMux()
+	tr.AttachDebug(mux)
+
+	ctx, root := tr.Root(context.Background(), "run", Str("state", "CA"))
+	_, child := Start(ctx, "round")
+
+	// active: nested tree, root → child.
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/trace/active", nil))
+	var trees []struct {
+		Name     string `json:"name"`
+		Children []struct {
+			Name string `json:"name"`
+		} `json:"children"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &trees); err != nil {
+		t.Fatalf("active not JSON: %v: %s", err, rec.Body.String())
+	}
+	if len(trees) != 1 || trees[0].Name != "run" || len(trees[0].Children) != 1 || trees[0].Children[0].Name != "round" {
+		t.Fatalf("active tree wrong: %+v", trees)
+	}
+
+	child.End()
+	root.End()
+
+	// recent with filters.
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/trace/recent?name=round", nil))
+	var spans []*SpanData
+	if err := json.Unmarshal(rec.Body.Bytes(), &spans); err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 1 || spans[0].Name != "round" {
+		t.Fatalf("recent filter wrong: %+v", spans)
+	}
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/trace/recent?n=bogus", nil))
+	if rec.Code != 400 {
+		t.Fatalf("bad n accepted: %d", rec.Code)
+	}
+
+	// exemplars.
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/trace/exemplars", nil))
+	var ex map[string]string
+	if err := json.Unmarshal(rec.Body.Bytes(), &ex); err != nil {
+		t.Fatal(err)
+	}
+	if ex["run"] != root.SpanID() {
+		t.Fatalf("exemplars wrong: %+v", ex)
+	}
+}
+
+func TestSSEStream(t *testing.T) {
+	tr := newTestTracer(t, Config{})
+	mux := http.NewServeMux()
+	tr.AttachDebug(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, "GET", srv.URL+"/debug/trace/stream", nil)
+	resp, err := srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+
+	// Give the handler a moment to subscribe, then complete a span.
+	time.Sleep(50 * time.Millisecond)
+	_, s := tr.Root(context.Background(), "run")
+	s.End()
+
+	line := make(chan string, 1)
+	go func() {
+		buf := make([]byte, 4096)
+		n, _ := resp.Body.Read(buf)
+		line <- string(buf[:n])
+	}()
+	select {
+	case got := <-line:
+		if !strings.HasPrefix(got, "data: ") || !strings.Contains(got, `"name":"run"`) {
+			t.Fatalf("sse frame wrong: %q", got)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no SSE frame")
+	}
+}
+
+// TestTracerHammer is the satellite -race test: GOMAXPROCS goroutines
+// hammer one tracer hard enough to wrap the ring several times while a
+// scraper hits /debug/trace/recent, then every surviving child's parent
+// must be accounted for (in the ring, or evicted — evicted means the
+// parent completed and was pushed out, never silently lost) and the
+// scraped body must be valid JSON.
+func TestTracerHammer(t *testing.T) {
+	const capacity = 128
+	tr := newTestTracer(t, Config{Capacity: capacity})
+	mux := http.NewServeMux()
+	tr.AttachDebug(mux)
+
+	workers := runtime.GOMAXPROCS(0)
+	const perWorker = 200 // workers*perWorker*3 spans ≫ capacity: ring wraps
+	var wg, scrapeWG sync.WaitGroup
+	stop := make(chan struct{})
+	var scraped [][]byte
+	scrapeWG.Add(1)
+	go func() { // concurrent scraper; scrapes at least once before exiting
+		defer scrapeWG.Done()
+		for {
+			rec := httptest.NewRecorder()
+			mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/trace/recent", nil))
+			if len(scraped) < 64 { // bound retained bodies; keep scraping
+				scraped = append(scraped, rec.Body.Bytes())
+			}
+			rec = httptest.NewRecorder()
+			mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/trace/active", nil))
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				ctx, root := tr.Root(context.Background(), "run", Int("worker", w))
+				cctx, round := Start(ctx, "round", Int("i", i))
+				_, frame := Start(cctx, "fetch.frame")
+				frame.Event("cache.miss")
+				frame.End()
+				round.End()
+				root.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	scrapeWG.Wait()
+
+	want := uint64(workers * perWorker * 3)
+	if got := tr.Completed(); got != want {
+		t.Fatalf("completed %d spans, want %d", got, want)
+	}
+	if len(tr.ActiveSpans()) != 0 {
+		t.Fatal("spans leaked in active set")
+	}
+
+	// No lost parents: children End before parents, so any child in the
+	// ring has a parent that finished after it — the parent is either
+	// still in the ring or was itself completed (counted), never absent
+	// from the accounting.
+	spans := tr.Recent(0)
+	if len(spans) != capacity {
+		t.Fatalf("ring has %d, want %d", len(spans), capacity)
+	}
+	ringPos := make(map[string]int, len(spans))
+	for i, sd := range spans {
+		ringPos[sd.SpanID] = i
+	}
+	for i, sd := range spans {
+		switch sd.Name {
+		case "run":
+			if sd.ParentID != "" {
+				t.Fatalf("root span %s has a parent", sd.SpanID)
+			}
+			continue
+		default:
+			if sd.ParentID == "" {
+				t.Fatalf("non-root span %s (%s) lost its parent link", sd.SpanID, sd.Name)
+			}
+		}
+		j, present := ringPos[sd.ParentID]
+		if !present {
+			// Parents End after their children and the ring evicts
+			// oldest-first, so a surviving child's parent must also
+			// have survived; an absent parent is a lost parent.
+			t.Fatalf("span %s (%s): parent %s lost from ring", sd.SpanID, sd.Name, sd.ParentID)
+		}
+		if j <= i {
+			t.Fatalf("parent %s of %s ended before its child", sd.ParentID, sd.SpanID)
+		}
+	}
+
+	// Every scraped body parses as JSON.
+	if len(scraped) == 0 {
+		t.Fatal("scraper never ran")
+	}
+	for i, body := range scraped {
+		if !json.Valid(body) {
+			t.Fatalf("scrape %d not valid JSON: %.120s", i, body)
+		}
+	}
+}
