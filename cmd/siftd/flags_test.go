@@ -1,0 +1,101 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseFlagsDefaults(t *testing.T) {
+	o, err := parseFlags(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.addr != "127.0.0.1:8428" || o.seed != 1 || o.rate != 25 || o.burst != 50 {
+		t.Errorf("server defaults = %+v", o)
+	}
+	if o.start != "2020-01-01" || o.end != "2022-01-01" {
+		t.Errorf("window defaults = %q..%q", o.start, o.end)
+	}
+	if o.faultSpec != "off" || o.record != "" || o.metricsAddr != "" || o.traceOut != "" {
+		t.Errorf("optional-feature defaults = %+v", o)
+	}
+	if o.archive {
+		t.Error("archiver on by default")
+	}
+	if o.archiveEvery != 5*time.Second || o.archiveAdvance != 24*time.Hour ||
+		o.archiveWindow != 336*time.Hour || o.archiveRetention != 0 {
+		t.Errorf("archiver cadence defaults = %+v", o)
+	}
+	if o.archiveMaxSubs != 16 || o.archiveMaxTasks != 64 || o.archiveWorkers != 4 {
+		t.Errorf("archiver quota defaults = %+v", o)
+	}
+}
+
+func TestParseFlagsOverrides(t *testing.T) {
+	o, err := parseFlags([]string{
+		"-addr", ":9000",
+		"-seed", "42",
+		"-start", "2021-01-04", "-end", "2021-06-01",
+		"-rate", "100", "-burst", "10", "-quiet",
+		"-faults", "default", "-fault-seed", "7",
+		"-record", "/tmp/frames.json", "-record-every", "30s",
+		"-metrics-addr", ":9100", "-trace-out", "/tmp/trace.jsonl",
+		"-archive",
+		"-archive-every", "250ms",
+		"-archive-advance", "12h",
+		"-archive-window", "168h",
+		"-archive-retention", "720h",
+		"-archive-max-subs", "3",
+		"-archive-max-tasks", "5",
+		"-archive-workers", "2",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.addr != ":9000" || o.seed != 42 || o.rate != 100 || o.burst != 10 || !o.quiet {
+		t.Errorf("server overrides = %+v", o)
+	}
+	if o.faultSpec != "default" || o.faultSeed != 7 {
+		t.Errorf("fault overrides = %+v", o)
+	}
+	if o.record != "/tmp/frames.json" || o.recordEvery != 30*time.Second {
+		t.Errorf("record overrides = %+v", o)
+	}
+	if o.metricsAddr != ":9100" || o.traceOut != "/tmp/trace.jsonl" {
+		t.Errorf("observability overrides = %+v", o)
+	}
+	if !o.archive || o.archiveEvery != 250*time.Millisecond || o.archiveAdvance != 12*time.Hour ||
+		o.archiveWindow != 168*time.Hour || o.archiveRetention != 720*time.Hour {
+		t.Errorf("archiver overrides = %+v", o)
+	}
+	if o.archiveMaxSubs != 3 || o.archiveMaxTasks != 5 || o.archiveWorkers != 2 {
+		t.Errorf("archiver quota overrides = %+v", o)
+	}
+}
+
+func TestParseFlagsRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"archive without metrics", []string{"-archive"}, "-metrics-addr"},
+		{"bad start date", []string{"-start", "Jan 4"}, "-start"},
+		{"bad end date", []string{"-end", "20210104"}, "-end"},
+		{"zero cadence", []string{"-archive", "-metrics-addr", ":9100", "-archive-every", "0s"}, "-archive-every"},
+		{"unknown flag", []string{"-no-such-flag"}, "flag"},
+		{"malformed duration", []string{"-archive-every", "fast"}, "invalid"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parseFlags(tc.args)
+			if err == nil {
+				t.Fatalf("args %v accepted", tc.args)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}

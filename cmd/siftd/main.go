@@ -6,6 +6,13 @@
 // The SIFT crawler (cmd/sift, internal/gtclient) talks to this service
 // exactly as the paper's collection module talks to Google Trends.
 //
+// With -archive, siftd additionally runs the continuous detection
+// archiver (internal/archiver): a supervisor that crawls subscribed
+// (term × state) pairs through the staged pipeline on a schedule,
+// keeps rolling stitched series with retention, and publishes a live
+// spike feed. The archiver's REST + SSE API mounts on the metrics
+// listener under /archive/, so -archive requires -metrics-addr.
+//
 // Usage:
 //
 //	siftd [flags]
@@ -22,20 +29,41 @@
 //	-record      record every served frame into this JSON store
 //	-record-every  how often the record store is persisted (default 1m)
 //	-metrics-addr  optional second listener serving /metrics (Prometheus
-//	               text format), /debug/pprof, and the live crawl
-//	               inspector /debug/trace/{active,recent,stream,exemplars}
-//	               over the server's request spans; off when empty
+//	               text format), /debug/pprof, the live crawl inspector
+//	               /debug/trace/{active,recent,stream,exemplars}, and —
+//	               with -archive — the /archive/ API; off when empty
+//	-trace-out   write the trace ring to this file on shutdown
+//	             (.jsonl or .json Chrome trace)
+//
+//	-archive            run the continuous detection archiver
+//	-archive-every      wall-clock cadence of archiver rounds (default 5s)
+//	-archive-advance    simulated time added per round (default 24h)
+//	-archive-window     first round's crawl window (default 336h)
+//	-archive-retention  rolling-series retention horizon (0 = unlimited)
+//	-archive-max-subs   per-tenant subscription quota (default 16)
+//	-archive-max-tasks  global (term, state) task quota (default 64)
+//	-archive-workers    pipeline fetch workers per crawl (default 4)
+//
+// SIGINT/SIGTERM drain gracefully: the archiver finishes its in-flight
+// round, the record store flushes, the trace export is written, and the
+// listeners shut down.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
+	"sift/internal/archiver"
+	"sift/internal/core"
 	"sift/internal/faults"
 	"sift/internal/gtrends"
 	"sift/internal/gtserver"
@@ -46,34 +74,106 @@ import (
 	"sift/internal/trace"
 )
 
+// options is the parsed flag set — one struct instead of the positional
+// parameter list that kept growing with every feature.
+type options struct {
+	addr        string
+	seed        int64
+	start       string
+	end         string
+	rate        float64
+	burst       int
+	quiet       bool
+	faultSpec   string
+	faultSeed   int64
+	record      string
+	recordEvery time.Duration
+	metricsAddr string
+	traceOut    string
+
+	archive          bool
+	archiveEvery     time.Duration
+	archiveAdvance   time.Duration
+	archiveWindow    time.Duration
+	archiveRetention time.Duration
+	archiveMaxSubs   int
+	archiveMaxTasks  int
+	archiveWorkers   int
+}
+
+// parseFlags parses args (without the program name) into options,
+// validating cross-flag constraints.
+func parseFlags(args []string) (options, error) {
+	var o options
+	fs := flag.NewFlagSet("siftd", flag.ContinueOnError)
+	fs.StringVar(&o.addr, "addr", "127.0.0.1:8428", "listen address")
+	fs.Int64Var(&o.seed, "seed", 1, "world seed")
+	fs.StringVar(&o.start, "start", "2020-01-01", "study start (YYYY-MM-DD)")
+	fs.StringVar(&o.end, "end", "2022-01-01", "study end (YYYY-MM-DD)")
+	fs.Float64Var(&o.rate, "rate", 25, "per-client requests per second")
+	fs.IntVar(&o.burst, "burst", 50, "per-client burst")
+	fs.BoolVar(&o.quiet, "quiet", false, "disable request logging")
+	fs.StringVar(&o.faultSpec, "faults", "off", `chaos plan: "off", "default", or a JSON plan file`)
+	fs.Int64Var(&o.faultSeed, "fault-seed", 0, "fault-plan seed (default: world seed)")
+	fs.StringVar(&o.record, "record", "", "record every served frame into this JSON store")
+	fs.DurationVar(&o.recordEvery, "record-every", time.Minute, "how often the record store is persisted")
+	fs.StringVar(&o.metricsAddr, "metrics-addr", "", "serve /metrics and /debug/pprof on this address (off when empty)")
+	fs.StringVar(&o.traceOut, "trace-out", "", "write the trace ring to this file on shutdown")
+	fs.BoolVar(&o.archive, "archive", false, "run the continuous detection archiver")
+	fs.DurationVar(&o.archiveEvery, "archive-every", 5*time.Second, "wall-clock cadence of archiver rounds")
+	fs.DurationVar(&o.archiveAdvance, "archive-advance", 24*time.Hour, "simulated time added per archiver round")
+	fs.DurationVar(&o.archiveWindow, "archive-window", 336*time.Hour, "first archiver round's crawl window")
+	fs.DurationVar(&o.archiveRetention, "archive-retention", 0, "rolling-series retention horizon (0 = unlimited)")
+	fs.IntVar(&o.archiveMaxSubs, "archive-max-subs", 16, "per-tenant subscription quota")
+	fs.IntVar(&o.archiveMaxTasks, "archive-max-tasks", 64, "global (term, state) task quota")
+	fs.IntVar(&o.archiveWorkers, "archive-workers", 4, "pipeline fetch workers per archiver crawl")
+	if err := fs.Parse(args); err != nil {
+		return o, err
+	}
+	if _, err := time.Parse("2006-01-02", o.start); err != nil {
+		return o, fmt.Errorf("bad -start: %v", err)
+	}
+	if _, err := time.Parse("2006-01-02", o.end); err != nil {
+		return o, fmt.Errorf("bad -end: %v", err)
+	}
+	if o.archive && o.metricsAddr == "" {
+		return o, errors.New("-archive requires -metrics-addr (the /archive/ API mounts there)")
+	}
+	if o.archive && o.archiveEvery <= 0 {
+		return o, errors.New("-archive-every must be positive")
+	}
+	return o, nil
+}
+
 func main() {
-	var (
-		addr        = flag.String("addr", "127.0.0.1:8428", "listen address")
-		seed        = flag.Int64("seed", 1, "world seed")
-		start       = flag.String("start", "2020-01-01", "study start (YYYY-MM-DD)")
-		end         = flag.String("end", "2022-01-01", "study end (YYYY-MM-DD)")
-		rate        = flag.Float64("rate", 25, "per-client requests per second")
-		burst       = flag.Int("burst", 50, "per-client burst")
-		quiet       = flag.Bool("quiet", false, "disable request logging")
-		faultSpec   = flag.String("faults", "off", `chaos plan: "off", "default", or a JSON plan file`)
-		faultSeed   = flag.Int64("fault-seed", 0, "fault-plan seed (default: world seed)")
-		record      = flag.String("record", "", "record every served frame into this JSON store")
-		recordEvery = flag.Duration("record-every", time.Minute, "how often the record store is persisted")
-		metricsAddr = flag.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address (off when empty)")
-	)
-	flag.Parse()
-	if err := run(*addr, *seed, *start, *end, *rate, *burst, *quiet, *faultSpec, *faultSeed, *record, *recordEvery, *metricsAddr); err != nil {
+	opts, err := parseFlags(os.Args[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "siftd:", err)
+		os.Exit(2)
+	}
+	if err := run(opts); err != nil {
 		fmt.Fprintln(os.Stderr, "siftd:", err)
 		os.Exit(1)
 	}
 }
 
-// serveMetrics starts the opt-in observability listener: the process
-// registry in Prometheus text format at /metrics, net/http/pprof, and
-// the live trace inspector over the server's request spans. It runs on
-// its own mux and address so the debugging surface is never exposed on
+// serveMetrics starts the opt-in observability listener on mux: the
+// process registry in Prometheus text format at /metrics, net/http/pprof,
+// and the live trace inspector over the server's request spans. It runs
+// on its own mux and address so the debugging surface is never exposed on
 // the API listener.
-func serveMetrics(addr string, tracer *trace.Tracer) {
+func serveMetrics(addr string, mux *http.ServeMux) *http.Server {
+	srv := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			log.Printf("metrics listener: %v", err)
+		}
+	}()
+	return srv
+}
+
+// metricsMux assembles the observability mux.
+func metricsMux(tracer *trace.Tracer) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", obs.Default().Handler())
 	tracer.AttachDebug(mux)
@@ -82,12 +182,7 @@ func serveMetrics(addr string, tracer *trace.Tracer) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	srv := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
-	go func() {
-		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-			log.Printf("metrics listener: %v", err)
-		}
-	}()
+	return mux
 }
 
 // faultInjector resolves the -faults flag into an injector, or nil for
@@ -110,18 +205,18 @@ func faultInjector(spec string, seed int64) (*faults.Injector, error) {
 	}
 }
 
-func run(addr string, seed int64, start, end string, rate float64, burst int, quiet bool, faultSpec string, faultSeed int64, record string, recordEvery time.Duration, metricsAddr string) error {
-	from, err := time.Parse("2006-01-02", start)
+func run(opts options) error {
+	from, err := time.Parse("2006-01-02", opts.start)
 	if err != nil {
 		return fmt.Errorf("bad -start: %v", err)
 	}
-	to, err := time.Parse("2006-01-02", end)
+	to, err := time.Parse("2006-01-02", opts.end)
 	if err != nil {
 		return fmt.Errorf("bad -end: %v", err)
 	}
 
-	log.Printf("building ground truth: seed=%d window=[%s, %s)", seed, start, end)
-	cfg := scenario.DefaultConfig(seed)
+	log.Printf("building ground truth: seed=%d window=[%s, %s)", opts.seed, opts.start, opts.end)
+	cfg := scenario.DefaultConfig(opts.seed)
 	cfg.Start, cfg.End = from.UTC(), to.UTC()
 	tl, err := scenario.Build(cfg)
 	if err != nil {
@@ -129,17 +224,17 @@ func run(addr string, seed int64, start, end string, rate float64, burst int, qu
 	}
 	log.Printf("world ready: %d ground-truth events", tl.Len())
 
-	model := searchmodel.New(seed, tl, searchmodel.Params{})
+	model := searchmodel.New(opts.seed, tl, searchmodel.Params{})
 	engine := gtrends.NewEngine(model, gtrends.Config{})
 
 	var logger *log.Logger
-	if !quiet {
+	if !opts.quiet {
 		logger = log.New(os.Stderr, "siftd ", log.LstdFlags)
 	}
-	if faultSeed == 0 {
-		faultSeed = seed
+	if opts.faultSeed == 0 {
+		opts.faultSeed = opts.seed
 	}
-	injector, err := faultInjector(faultSpec, faultSeed)
+	injector, err := faultInjector(opts.faultSpec, opts.faultSeed)
 	if err != nil {
 		return err
 	}
@@ -147,54 +242,124 @@ func run(addr string, seed int64, start, end string, rate float64, burst int, qu
 		log.Printf("chaos enabled: %d fault rules, seed=%d", len(injector.Plan().Rules), injector.Plan().Seed)
 	}
 	scfg := gtserver.Config{
-		RatePerSec: rate,
-		Burst:      burst,
+		RatePerSec: opts.rate,
+		Burst:      opts.burst,
 		Logger:     logger,
 		Faults:     injector,
 	}
 	// The tracer only exists when something can read it: the metrics
-	// listener's /debug/trace inspector.
+	// listener's /debug/trace inspector or the -trace-out export.
 	var tracer *trace.Tracer
-	if metricsAddr != "" {
+	if opts.metricsAddr != "" || opts.traceOut != "" {
 		tracer = trace.New(trace.Config{})
 		scfg.Tracer = tracer
 	}
-	if record != "" {
-		db := store.New()
-		wb := store.NewWriteBehind(db, 0).WithTrace(tracer)
-		defer wb.Close()
+
+	var recordDB *store.DB
+	var recordWB *store.WriteBehind
+	if opts.record != "" {
+		recordDB = store.New()
+		recordWB = store.NewWriteBehind(recordDB, 0).WithTrace(tracer)
 		// The server has no notion of averaging rounds; recorded frames
 		// all carry round 0 — an audit trail of what was served, not a
 		// cache-primable crawl (the client records those itself).
-		scfg.OnFrame = func(f *gtrends.Frame) { wb.AddFrame(0, f) }
-		if recordEvery <= 0 {
-			recordEvery = time.Minute
+		scfg.OnFrame = func(f *gtrends.Frame) { recordWB.AddFrame(0, f) }
+		if opts.recordEvery <= 0 {
+			opts.recordEvery = time.Minute
 		}
 		saveErrors := obs.Default().Counter("sift_siftd_record_save_errors_total",
 			"failed persists of the record store")
 		go func() {
-			for range time.Tick(recordEvery) {
-				wb.Flush()
-				if err := db.Save(record); err != nil {
+			for range time.Tick(opts.recordEvery) {
+				recordWB.Flush()
+				if err := recordDB.Save(opts.record); err != nil {
 					saveErrors.Inc()
 					log.Printf("record: %v", err)
 				}
 			}
 		}()
-		log.Printf("recording served frames to %s every %v", record, recordEvery)
+		log.Printf("recording served frames to %s every %v", opts.record, opts.recordEvery)
 	}
 	srv := gtserver.New(engine, scfg)
 
-	if metricsAddr != "" {
-		serveMetrics(metricsAddr, tracer)
-		log.Printf("serving /metrics, /debug/pprof, and /debug/trace on http://%s", metricsAddr)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var sup *archiver.Supervisor
+	var metricsSrv *http.Server
+	if opts.metricsAddr != "" {
+		mux := metricsMux(tracer)
+		if opts.archive {
+			sup, err = archiver.New(archiver.Config{
+				// The archiver crawls the engine in-process: same frames
+				// the HTTP clients see, no loop-back hop.
+				Fetcher:                   gtrends.EngineFetcher{Engine: engine},
+				Start:                     from.UTC(),
+				End:                       to.UTC(),
+				InitialWindow:             opts.archiveWindow,
+				Advance:                   opts.archiveAdvance,
+				Every:                     opts.archiveEvery,
+				Retention:                 opts.archiveRetention,
+				MaxSubscriptionsPerTenant: opts.archiveMaxSubs,
+				MaxTasks:                  opts.archiveMaxTasks,
+				Pipeline:                  core.PipelineConfig{Workers: opts.archiveWorkers},
+				Tracer:                    tracer,
+			})
+			if err != nil {
+				return err
+			}
+			sup.AttachAPI(mux)
+			go sup.Run(ctx)
+			log.Printf("archiver running: advance=%v per round, every %v, window=%v",
+				opts.archiveAdvance, opts.archiveEvery, opts.archiveWindow)
+		}
+		metricsSrv = serveMetrics(opts.metricsAddr, mux)
+		log.Printf("serving /metrics, /debug/pprof, and /debug/trace on http://%s", opts.metricsAddr)
 	}
 
-	log.Printf("serving simulated Google Trends on http://%s (rate=%g/s burst=%d per client)", addr, rate, burst)
+	log.Printf("serving simulated Google Trends on http://%s (rate=%g/s burst=%d per client)",
+		opts.addr, opts.rate, opts.burst)
 	httpSrv := &http.Server{
-		Addr:              addr,
+		Addr:              opts.addr,
 		Handler:           srv,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	return httpSrv.ListenAndServe()
+	errc := make(chan error, 1)
+	go func() {
+		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			errc <- err
+		}
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful drain, in dependency order: stop taking crawl rounds,
+	// flush what was recorded, export the trace, then close listeners.
+	log.Printf("shutting down")
+	if sup != nil {
+		sup.Close()
+	}
+	if recordWB != nil {
+		recordWB.Close()
+		if err := recordDB.Save(opts.record); err != nil {
+			log.Printf("record: final save: %v", err)
+		}
+	}
+	if opts.traceOut != "" && tracer != nil {
+		if err := tracer.WriteFile(opts.traceOut); err != nil {
+			log.Printf("trace export: %v", err)
+		} else {
+			log.Printf("trace written to %s", opts.traceOut)
+		}
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if metricsSrv != nil {
+		metricsSrv.Shutdown(shutdownCtx)
+	}
+	return httpSrv.Shutdown(shutdownCtx)
 }

@@ -1,0 +1,729 @@
+// Package archiver turns SIFT's batch detection pipeline into a
+// continuously-crawling service, in the spirit of GoogleTrendArchive's
+// year-long real-time trends archive: a Supervisor owns a set of
+// (term × state) crawl tasks fed by tenant subscriptions, crawls each on
+// a simulated-time schedule through the existing staged pipeline
+// (incremental via core.StitchMemo, fetches admitted through one shared
+// engine.Scheduler, frames deduplicated through the shared
+// engine.FrameCache), maintains a rolling stitched series per task with
+// retention and compaction in store.RollingSeries, and re-runs detection
+// every round to publish a live spike feed.
+//
+// Identical (term, state) subscriptions coalesce onto one task: a
+// thousand tenants watching Texas cost one crawl. Admission control
+// bounds both per-tenant subscriptions and the global task count, and
+// Close drains gracefully — in-flight rounds finish, the write-behind
+// store flushes, and no new rounds start.
+//
+// Time is explicitly modeled: the supervisor advances a virtual clock
+// (Config.Start + n·Advance per round) over the simulated world rather
+// than reading the wall clock, so tests drive rounds deterministically
+// with Tick and the daemon replays a world at any wall-clock cadence.
+package archiver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"sift/internal/core"
+	"sift/internal/engine"
+	"sift/internal/geo"
+	"sift/internal/gtrends"
+	"sift/internal/obs"
+	"sift/internal/store"
+	"sift/internal/timeseries"
+	"sift/internal/trace"
+)
+
+// Config tunes the archiver supervisor. Fetcher and Start are required;
+// zero values elsewhere take the documented defaults.
+type Config struct {
+	// Fetcher is the Trends data source every task crawls through.
+	Fetcher gtrends.Fetcher
+	// Start is the left edge of the archive (hour-aligned UTC) — virtual
+	// time begins at Start+InitialWindow.
+	Start time.Time
+	// End, when set, clamps the virtual clock: rounds past it re-crawl
+	// the final window instead of advancing further.
+	End time.Time
+	// InitialWindow is the first round's crawl window; it must hold at
+	// least one weekly frame. Default 14 days.
+	InitialWindow time.Duration
+	// Advance is how much virtual time each round adds. Default 24h;
+	// must be a whole number of hours.
+	Advance time.Duration
+	// Every is the wall-clock cadence of the Run loop. Default 5s; Tick
+	// ignores it (manual pacing).
+	Every time.Duration
+	// Lookback, when positive, slides the crawl window: each round
+	// covers [vnow-Lookback, vnow) instead of [Start, vnow).
+	Lookback time.Duration
+	// Retention, when positive, trims each task's rolling series to its
+	// trailing Retention hours after every round.
+	Retention time.Duration
+	// CompactEvery is how many rounds pass between rolling-series
+	// compactions. Default 8.
+	CompactEvery int
+	// CrawlTimeout bounds one task's crawl within a round, so a wedged
+	// source degrades to an errored round instead of a hung daemon.
+	// Default 2m.
+	CrawlTimeout time.Duration
+	// MaxSubscriptionsPerTenant is the admission-control quota. Default
+	// 16; negative disables the limit.
+	MaxSubscriptionsPerTenant int
+	// MaxTasks bounds distinct (term, state) tasks across all tenants.
+	// Default 64; negative disables the limit.
+	MaxTasks int
+	// FeedRing is how many spike-feed updates the replay ring holds.
+	// Default 256.
+	FeedRing int
+	// Pipeline is the base stage configuration every crawl copies; the
+	// supervisor fills in Cache, Scheduler, Memo, Metrics, Tracer and
+	// OnFrame. A zero FrameTolerance is raised to the gap-recording
+	// posture (a daemon degrades, it does not abort).
+	Pipeline core.PipelineConfig
+	// Workers sizes the shared fetch scheduler. Default
+	// engine.DefaultSchedulerWorkers.
+	Workers int
+	// CacheSize sizes the shared frame cache. Default
+	// engine.DefaultCacheSize.
+	CacheSize int
+	// DB, when set, receives every task's frames, series, spikes and
+	// health through a write-behind front, flushed on Close.
+	DB *store.DB
+	// Metrics selects the registry the sift_archiver_* families report
+	// into; nil uses obs.Default().
+	Metrics *obs.Registry
+	// Tracer, when set, records one root span per round
+	// (archiver.round) with the task crawls as children.
+	Tracer *trace.Tracer
+}
+
+// Archiver-specific errors.
+var (
+	ErrDraining     = errors.New("archiver: supervisor is draining")
+	ErrTenantQuota  = errors.New("archiver: tenant subscription quota exceeded")
+	ErrTaskQuota    = errors.New("archiver: task quota exceeded")
+	ErrUnknownState = errors.New("archiver: unknown state code")
+	ErrNoSuchSeries = errors.New("archiver: no series for that term and state")
+)
+
+// Subscription is one tenant's standing interest in a (term, state)
+// pair. Identical pairs from any tenant share one crawl task.
+type Subscription struct {
+	ID     string    `json:"id"`
+	Tenant string    `json:"tenant"`
+	Term   string    `json:"term"`
+	State  geo.State `json:"state"`
+	// Coalesced reports whether the subscription joined a task that
+	// already existed rather than creating one.
+	Coalesced bool `json:"coalesced"`
+}
+
+// taskKey identifies one coalesced crawl task.
+type taskKey struct {
+	term  string
+	state geo.State
+}
+
+// task is the per-(term, state) crawl state.
+type task struct {
+	key     taskKey
+	refs    int
+	rolling *store.RollingSeries
+	spikes  []core.Spike
+	health  core.CrawlHealth
+	lastErr string
+	rounds  uint64
+}
+
+// Status is the supervisor's public state snapshot.
+type Status struct {
+	Round         uint64    `json:"round"`
+	VirtualNow    time.Time `json:"virtual_now"`
+	Start         time.Time `json:"start"`
+	Tasks         int       `json:"tasks"`
+	Subscriptions int       `json:"subscriptions"`
+	Draining      bool      `json:"draining"`
+	RetainedHours int       `json:"retained_hours"`
+}
+
+// archObs holds the supervisor's metric handles.
+type archObs struct {
+	subs       obs.Gauge      // sift_archiver_subscriptions
+	tasks      obs.Gauge      // sift_archiver_tasks
+	rounds     obs.Counter    // sift_archiver_rounds_total
+	crawls     obs.CounterVec // sift_archiver_crawls_total{outcome}
+	roundSecs  obs.Histogram  // sift_archiver_round_seconds
+	newSpikes  obs.Counter    // sift_archiver_new_spikes_total
+	updates    obs.Counter    // sift_archiver_updates_total
+	gapRounds  obs.Counter    // sift_archiver_gap_rounds_total
+	coalesced  obs.Counter    // sift_archiver_coalesced_subscriptions_total
+	rejected   obs.CounterVec // sift_archiver_admission_rejected_total{reason}
+	dropped    obs.Counter    // sift_archiver_feed_dropped_total
+	retained   obs.Gauge      // sift_archiver_retained_hours
+	compaction obs.Counter    // sift_archiver_compactions_total
+}
+
+func newArchObs(r *obs.Registry) archObs {
+	return archObs{
+		subs:  r.Gauge("sift_archiver_subscriptions", "active subscriptions across tenants"),
+		tasks: r.Gauge("sift_archiver_tasks", "coalesced (term, state) crawl tasks"),
+		rounds: r.Counter("sift_archiver_rounds_total",
+			"archiver crawl rounds completed"),
+		crawls: r.CounterVec("sift_archiver_crawls_total",
+			"per-task crawls by outcome", "outcome"),
+		roundSecs: r.Histogram("sift_archiver_round_seconds",
+			"wall time of one archiver round across all tasks", nil),
+		newSpikes: r.Counter("sift_archiver_new_spikes_total",
+			"spikes first seen by the live feed"),
+		updates: r.Counter("sift_archiver_updates_total",
+			"spike-feed updates published"),
+		gapRounds: r.Counter("sift_archiver_gap_rounds_total",
+			"task crawls that completed degraded, with gaps recorded"),
+		coalesced: r.Counter("sift_archiver_coalesced_subscriptions_total",
+			"subscriptions that joined an existing task"),
+		rejected: r.CounterVec("sift_archiver_admission_rejected_total",
+			"subscriptions refused by admission control", "reason"),
+		dropped: r.Counter("sift_archiver_feed_dropped_total",
+			"feed updates dropped on slow subscribers"),
+		retained: r.Gauge("sift_archiver_retained_hours",
+			"total rolling-series hours currently retained"),
+		compaction: r.Counter("sift_archiver_compactions_total",
+			"rolling-series compaction passes that merged segments"),
+	}
+}
+
+// Supervisor is the archiver daemon: subscriptions in, crawl rounds
+// through the staged pipeline, spike feed and historical queries out.
+// Construct with New; all methods are safe for concurrent use.
+type Supervisor struct {
+	cfg   Config
+	cache *engine.FrameCache
+	sched *engine.Scheduler
+	memo  *core.StitchMemo
+	wb    *store.WriteBehind
+	feed  *feed
+	om    archObs
+
+	// runMu serializes rounds; Close holds it to wait out an in-flight
+	// round before declaring the drain complete.
+	runMu sync.Mutex
+
+	mu       sync.Mutex
+	subs     map[string]*Subscription
+	tasks    map[taskKey]*task
+	vnow     time.Time
+	round    uint64
+	nextID   uint64
+	draining bool
+
+	closeOnce sync.Once
+	closed    chan struct{}
+}
+
+// New validates cfg and builds a supervisor. No crawling starts until
+// Run or Tick.
+func New(cfg Config) (*Supervisor, error) {
+	if cfg.Fetcher == nil {
+		return nil, errors.New("archiver: config needs a Fetcher")
+	}
+	if cfg.Start.IsZero() || !timeseries.Aligned(cfg.Start) {
+		return nil, errors.New("archiver: Start must be a non-zero, hour-aligned instant")
+	}
+	if cfg.InitialWindow == 0 {
+		cfg.InitialWindow = 14 * 24 * time.Hour
+	}
+	if cfg.Advance == 0 {
+		cfg.Advance = 24 * time.Hour
+	}
+	if cfg.Advance%time.Hour != 0 || cfg.InitialWindow%time.Hour != 0 {
+		return nil, errors.New("archiver: Advance and InitialWindow must be whole hours")
+	}
+	if cfg.Lookback%time.Hour != 0 || cfg.Retention%time.Hour != 0 {
+		return nil, errors.New("archiver: Lookback and Retention must be whole hours")
+	}
+	frame := cfg.Pipeline.FrameHours
+	if frame == 0 {
+		frame = gtrends.WeekFrameHours
+	}
+	if int(cfg.InitialWindow/time.Hour) < frame {
+		return nil, fmt.Errorf("archiver: InitialWindow %v shorter than one %dh frame", cfg.InitialWindow, frame)
+	}
+	if !cfg.End.IsZero() && !cfg.End.After(cfg.Start.Add(cfg.InitialWindow)) {
+		return nil, errors.New("archiver: End must leave room for the initial window")
+	}
+	if cfg.Every == 0 {
+		cfg.Every = 5 * time.Second
+	}
+	if cfg.CrawlTimeout == 0 {
+		cfg.CrawlTimeout = 2 * time.Minute
+	}
+	if cfg.CompactEvery <= 0 {
+		cfg.CompactEvery = 8
+	}
+	if cfg.MaxSubscriptionsPerTenant == 0 {
+		cfg.MaxSubscriptionsPerTenant = 16
+	}
+	if cfg.MaxTasks == 0 {
+		cfg.MaxTasks = 64
+	}
+	if cfg.FeedRing <= 0 {
+		cfg.FeedRing = 256
+	}
+	// A daemon's posture is gap-recording, not aborting: unless the
+	// caller asked for a specific tolerance, any number of failed frames
+	// degrades the round to recorded gaps.
+	if cfg.Pipeline.FrameTolerance == 0 {
+		cfg.Pipeline.FrameTolerance = 1 << 20
+	}
+
+	s := &Supervisor{
+		cfg:    cfg,
+		cache:  engine.NewFrameCache(cfg.CacheSize).WithMetrics(cfg.Metrics),
+		sched:  engine.NewScheduler(cfg.Workers).WithMetrics(cfg.Metrics),
+		memo:   core.NewStitchMemo(),
+		feed:   newFeed(cfg.FeedRing),
+		om:     newArchObs(cfg.Metrics),
+		subs:   make(map[string]*Subscription),
+		tasks:  make(map[taskKey]*task),
+		vnow:   cfg.Start.Add(cfg.InitialWindow),
+		closed: make(chan struct{}),
+	}
+	if !cfg.End.IsZero() && s.vnow.After(cfg.End) {
+		s.vnow = cfg.End
+	}
+	if cfg.DB != nil {
+		s.wb = store.NewWriteBehind(cfg.DB, 0).WithMetrics(cfg.Metrics).WithTrace(cfg.Tracer)
+	}
+	return s, nil
+}
+
+// Cache exposes the shared frame cache — the seam the e2e suite uses to
+// prove a batch run over the archiver's frames reproduces its spike set.
+func (s *Supervisor) Cache() *engine.FrameCache { return s.cache }
+
+// Subscribe admits a tenant's (term, state) subscription. An empty term
+// takes the paper's outage topic; an empty tenant is "default".
+// Identical pairs coalesce onto an existing task (Coalesced true).
+func (s *Supervisor) Subscribe(tenant, term string, state geo.State) (Subscription, error) {
+	if tenant == "" {
+		tenant = "default"
+	}
+	if term == "" {
+		term = gtrends.TopicInternetOutage
+	}
+	if !geo.Valid(state) {
+		return Subscription{}, fmt.Errorf("%w: %q", ErrUnknownState, state)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		s.om.rejected.With("draining").Inc()
+		return Subscription{}, ErrDraining
+	}
+	if s.cfg.MaxSubscriptionsPerTenant > 0 {
+		n := 0
+		for _, sub := range s.subs {
+			if sub.Tenant == tenant {
+				n++
+			}
+		}
+		if n >= s.cfg.MaxSubscriptionsPerTenant {
+			s.om.rejected.With("tenant_quota").Inc()
+			return Subscription{}, fmt.Errorf("%w: tenant %q at %d", ErrTenantQuota, tenant, n)
+		}
+	}
+	key := taskKey{term: term, state: state}
+	tk, exists := s.tasks[key]
+	if !exists {
+		if s.cfg.MaxTasks > 0 && len(s.tasks) >= s.cfg.MaxTasks {
+			s.om.rejected.With("task_quota").Inc()
+			return Subscription{}, fmt.Errorf("%w: %d tasks", ErrTaskQuota, len(s.tasks))
+		}
+		tk = &task{key: key, rolling: store.NewRollingSeries()}
+		s.tasks[key] = tk
+		s.om.tasks.Set(float64(len(s.tasks)))
+	} else {
+		s.om.coalesced.Inc()
+	}
+	tk.refs++
+	s.nextID++
+	sub := &Subscription{
+		ID:        "sub-" + strconv.FormatUint(s.nextID, 10),
+		Tenant:    tenant,
+		Term:      term,
+		State:     state,
+		Coalesced: exists,
+	}
+	s.subs[sub.ID] = sub
+	s.om.subs.Set(float64(len(s.subs)))
+	return *sub, nil
+}
+
+// Unsubscribe removes a subscription by ID; the underlying task (and its
+// rolling series) is dropped when its last subscriber leaves. Reports
+// whether the ID existed.
+func (s *Supervisor) Unsubscribe(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sub, ok := s.subs[id]
+	if !ok {
+		return false
+	}
+	delete(s.subs, id)
+	key := taskKey{term: sub.Term, state: sub.State}
+	if tk := s.tasks[key]; tk != nil {
+		tk.refs--
+		if tk.refs <= 0 {
+			delete(s.tasks, key)
+		}
+	}
+	s.om.subs.Set(float64(len(s.subs)))
+	s.om.tasks.Set(float64(len(s.tasks)))
+	return true
+}
+
+// Subscriptions lists active subscriptions, ordered by ID.
+func (s *Supervisor) Subscriptions() []Subscription {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Subscription, 0, len(s.subs))
+	for _, sub := range s.subs {
+		out = append(out, *sub)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Status snapshots the supervisor's state.
+func (s *Supervisor) Status() Status {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	retained := 0
+	for _, tk := range s.tasks {
+		retained += tk.rolling.HoursRetained()
+	}
+	return Status{
+		Round:         s.round,
+		VirtualNow:    s.vnow,
+		Start:         s.cfg.Start,
+		Tasks:         len(s.tasks),
+		Subscriptions: len(s.subs),
+		Draining:      s.draining,
+		RetainedHours: retained,
+	}
+}
+
+// VirtualNow returns the right edge of the next round's crawl window.
+func (s *Supervisor) VirtualNow() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.vnow
+}
+
+// SeriesWindow reads [from, to) of a task's rolling stitched series;
+// holes read as zeros, like crawl gaps.
+func (s *Supervisor) SeriesWindow(term string, state geo.State, from, to time.Time) (*timeseries.Series, error) {
+	s.mu.Lock()
+	tk := s.tasks[taskKey{term: term, state: state}]
+	s.mu.Unlock()
+	if tk == nil {
+		return nil, ErrNoSuchSeries
+	}
+	return tk.rolling.Query(from, to)
+}
+
+// SeriesBounds reports the retained extent of a task's rolling series.
+func (s *Supervisor) SeriesBounds(term string, state geo.State) (start, end time.Time, err error) {
+	s.mu.Lock()
+	tk := s.tasks[taskKey{term: term, state: state}]
+	s.mu.Unlock()
+	if tk == nil {
+		return start, end, ErrNoSuchSeries
+	}
+	start, end, ok := tk.rolling.Bounds()
+	if !ok {
+		return start, end, store.ErrEmptyRolling
+	}
+	return start, end, nil
+}
+
+// Spikes returns the task's current spike set (latest round).
+func (s *Supervisor) Spikes(term string, state geo.State) ([]core.Spike, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tk := s.tasks[taskKey{term: term, state: state}]
+	if tk == nil {
+		return nil, false
+	}
+	out := make([]core.Spike, len(tk.spikes))
+	copy(out, tk.spikes)
+	return out, true
+}
+
+// Health returns the task's latest crawl-health record.
+func (s *Supervisor) Health(term string, state geo.State) (core.CrawlHealth, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tk := s.tasks[taskKey{term: term, state: state}]
+	if tk == nil {
+		return core.CrawlHealth{}, false
+	}
+	return tk.health, true
+}
+
+// SubscribeFeed attaches a live spike-feed consumer; see feed.subscribe.
+func (s *Supervisor) SubscribeFeed(buf int) (<-chan Update, func()) {
+	return s.feed.subscribe(buf)
+}
+
+// RecentUpdates returns up to n of the latest feed updates, oldest
+// first; n <= 0 returns the whole ring.
+func (s *Supervisor) RecentUpdates(n int) []Update {
+	return s.feed.recent(n)
+}
+
+// window computes one round's crawl window ending at vnow.
+func (s *Supervisor) window(vnow time.Time) (from, to time.Time) {
+	from = s.cfg.Start
+	if s.cfg.Lookback > 0 {
+		if slid := vnow.Add(-s.cfg.Lookback); slid.After(from) {
+			from = slid
+		}
+	}
+	return from, vnow
+}
+
+// Tick runs one archiver round: every task crawls [from, vnow) through
+// the staged pipeline, rolling series and spike sets update, the feed
+// publishes one Update per task, and the virtual clock advances. Task
+// crawls run concurrently; the shared scheduler bounds their total fetch
+// concurrency. Returns ErrDraining after Close.
+func (s *Supervisor) Tick(ctx context.Context) error {
+	s.runMu.Lock()
+	defer s.runMu.Unlock()
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return ErrDraining
+	}
+	s.round++
+	round := s.round
+	vnow := s.vnow
+	tasks := make([]*task, 0, len(s.tasks))
+	for _, tk := range s.tasks {
+		tasks = append(tasks, tk)
+	}
+	s.mu.Unlock()
+	sort.Slice(tasks, func(i, j int) bool {
+		if tasks[i].key.term != tasks[j].key.term {
+			return tasks[i].key.term < tasks[j].key.term
+		}
+		return tasks[i].key.state < tasks[j].key.state
+	})
+
+	from, to := s.window(vnow)
+	began := time.Now()
+	ctx, span := trace.StartOrRoot(ctx, s.cfg.Tracer, "archiver.round",
+		trace.Int64("round", int64(round)), trace.Str("vnow", vnow.Format(time.RFC3339)),
+		trace.Int("tasks", len(tasks)))
+	var wg sync.WaitGroup
+	for _, tk := range tasks {
+		tk := tk
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.crawlTask(ctx, tk, round, from, to)
+		}()
+	}
+	wg.Wait()
+	span.End()
+	s.om.rounds.Inc()
+	s.om.roundSecs.Observe(time.Since(began).Seconds())
+
+	// Advance virtual time, clamped to the world's horizon.
+	s.mu.Lock()
+	next := s.vnow.Add(s.cfg.Advance)
+	if !s.cfg.End.IsZero() && next.After(s.cfg.End) {
+		next = s.cfg.End
+	}
+	s.vnow = next
+	retained := 0
+	for _, tk := range s.tasks {
+		retained += tk.rolling.HoursRetained()
+	}
+	s.mu.Unlock()
+	s.om.retained.Set(float64(retained))
+	return ctx.Err()
+}
+
+// crawlTask runs one task's crawl for one round and folds the result
+// into the task state, the store, and the feed.
+func (s *Supervisor) crawlTask(ctx context.Context, tk *task, round uint64, from, to time.Time) {
+	ctx, cancel := context.WithTimeout(ctx, s.cfg.CrawlTimeout)
+	defer cancel()
+	ctx, span := trace.Start(ctx, "archiver.crawl",
+		trace.Str("term", tk.key.term), trace.Str("state", string(tk.key.state)))
+	defer span.End()
+
+	cfg := s.cfg.Pipeline
+	cfg.Cache = s.cache
+	cfg.Scheduler = s.sched
+	cfg.Memo = s.memo
+	cfg.Metrics = s.cfg.Metrics
+	cfg.Tracer = s.cfg.Tracer
+	if s.wb != nil {
+		cfg.OnFrame = s.wb.AddFrame
+	}
+	p := &core.Pipeline{Fetcher: s.cfg.Fetcher, Cfg: cfg}
+	res, err := p.Run(ctx, tk.key.state, tk.key.term, from, to)
+
+	u := Update{
+		Round: round,
+		Term:  tk.key.term,
+		State: tk.key.state,
+		From:  from,
+		To:    to,
+	}
+	if err != nil {
+		span.SetError(err)
+		s.om.crawls.With("error").Inc()
+		s.mu.Lock()
+		tk.lastErr = err.Error()
+		u.Spikes = append([]core.Spike(nil), tk.spikes...)
+		s.mu.Unlock()
+		u.Err = err.Error()
+		trace.Warn(ctx, "archiver crawl failed",
+			trace.Str("state", string(tk.key.state)), trace.Str("err", err.Error()))
+		s.publish(u)
+		return
+	}
+
+	health := res.Health()
+	newSpikes := diffSpikes(tk.currentSpikes(&s.mu), res.Spikes)
+	s.mu.Lock()
+	tk.spikes = append([]core.Spike(nil), res.Spikes...)
+	tk.health = health
+	tk.lastErr = ""
+	tk.rounds++
+	taskRounds := tk.rounds
+	s.mu.Unlock()
+
+	if err := tk.rolling.Append(res.Series); err != nil {
+		trace.Warn(ctx, "rolling append failed", trace.Str("err", err.Error()))
+	}
+	if s.cfg.Retention > 0 {
+		tk.rolling.Retain(int(s.cfg.Retention / time.Hour))
+	}
+	if taskRounds%uint64(s.cfg.CompactEvery) == 0 {
+		if merged := tk.rolling.Compact(time.Time{}); merged > 0 {
+			s.om.compaction.Inc()
+		}
+	}
+	if s.wb != nil {
+		s.wb.PutSeries(tk.key.term, tk.key.state, res.Series)
+		s.wb.PutSpikes(tk.key.term, tk.key.state, res.Spikes)
+		s.wb.PutHealth(tk.key.term, tk.key.state, health)
+	}
+
+	if len(res.Gaps) > 0 {
+		s.om.crawls.With("degraded").Inc()
+		s.om.gapRounds.Inc()
+	} else {
+		s.om.crawls.With("ok").Inc()
+	}
+	s.om.newSpikes.Add(float64(len(newSpikes)))
+	span.SetAttr(trace.Int("spikes", len(res.Spikes)), trace.Int("gaps", len(res.Gaps)),
+		trace.Int("new_spikes", len(newSpikes)))
+
+	u.Spikes = append([]core.Spike(nil), res.Spikes...)
+	u.New = newSpikes
+	u.Gaps = len(res.Gaps)
+	u.Converged = res.Converged
+	u.Rounds = res.Rounds
+	s.publish(u)
+}
+
+// currentSpikes snapshots the task's spike set under mu.
+func (tk *task) currentSpikes(mu *sync.Mutex) []core.Spike {
+	mu.Lock()
+	defer mu.Unlock()
+	out := make([]core.Spike, len(tk.spikes))
+	copy(out, tk.spikes)
+	return out
+}
+
+// diffSpikes returns the spikes in cur that overlap nothing in prev —
+// the feed's "first seen" labeling. Renormalization moves magnitudes
+// between rounds, so identity is temporal overlap, not equality.
+func diffSpikes(prev, cur []core.Spike) []core.Spike {
+	var out []core.Spike
+	for _, c := range cur {
+		seen := false
+		for _, p := range prev {
+			if c.Overlaps(p) {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// publish sends one update into the feed with metric accounting.
+func (s *Supervisor) publish(u Update) {
+	dropped := s.feed.publish(u)
+	s.om.updates.Inc()
+	if dropped > 0 {
+		s.om.dropped.Add(float64(dropped))
+	}
+}
+
+// Run crawls on the configured wall-clock cadence until ctx is done or
+// Close is called: one round immediately, then one per Every.
+func (s *Supervisor) Run(ctx context.Context) {
+	t := time.NewTicker(s.cfg.Every)
+	defer t.Stop()
+	for {
+		if err := s.Tick(ctx); err != nil {
+			return
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-s.closed:
+			return
+		case <-t.C:
+		}
+	}
+}
+
+// Close drains the supervisor: no new rounds start, the in-flight round
+// (if any) finishes, the feed closes, and the write-behind store
+// flushes so Config.DB holds every completed round. Idempotent.
+func (s *Supervisor) Close() {
+	s.closeOnce.Do(func() {
+		s.mu.Lock()
+		s.draining = true
+		s.mu.Unlock()
+		close(s.closed)
+		// Wait out an in-flight Tick; after draining is set no new one
+		// can start.
+		s.runMu.Lock()
+		s.runMu.Unlock() //nolint:staticcheck // barrier, not critical section
+		s.feed.close()
+		if s.wb != nil {
+			s.wb.Close()
+		}
+	})
+}

@@ -1,0 +1,383 @@
+package archiver
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"sift/internal/core"
+	"sift/internal/gtrends"
+	"sift/internal/obs"
+	"sift/internal/searchmodel"
+	"sift/internal/simworld"
+)
+
+// t0 anchors every archiver test world: a Monday, so week frames align
+// the way the planner expects.
+var t0 = time.Date(2021, 2, 15, 0, 0, 0, 0, time.UTC)
+
+// stormWorld is the shared ground truth: one newsworthy winter storm in
+// Texas 30h in, strong enough that every detector configuration finds
+// it, over calibrated background noise.
+func stormWorld() *simworld.Timeline {
+	storm := &simworld.Event{
+		ID: "storm", Name: "Winter storm", Kind: simworld.KindPower,
+		Cause: simworld.CauseWinterStorm, Start: t0.Add(30 * time.Hour), Duration: 45 * time.Hour,
+		Impacts: []simworld.Impact{{State: "TX", Intensity: 2000}},
+		Terms:   []simworld.TermWeight{{Term: "power outage", Share: 0.5}},
+	}
+	return simworld.NewTimeline([]*simworld.Event{storm})
+}
+
+// newEngineFetcher is the in-process data source for supervisor unit
+// tests (no HTTP hop).
+func newEngineFetcher(seed int64) gtrends.Fetcher {
+	model := searchmodel.New(seed, stormWorld(), searchmodel.Params{})
+	return gtrends.EngineFetcher{Engine: gtrends.NewEngine(model, gtrends.Config{})}
+}
+
+// testConfig is a fast supervisor configuration over the storm world.
+func testConfig() Config {
+	return Config{
+		Fetcher:       newEngineFetcher(7),
+		Start:         t0,
+		InitialWindow: 336 * time.Hour,
+		Advance:       24 * time.Hour,
+		Pipeline:      core.PipelineConfig{Workers: 2, MaxRounds: 2},
+		Metrics:       obs.NewRegistry(),
+	}
+}
+
+func newTestSupervisor(t *testing.T, cfg Config) *Supervisor {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+func TestSubscribeCoalescesAndCounts(t *testing.T) {
+	s := newTestSupervisor(t, testConfig())
+	a, err := s.Subscribe("alice", "", "TX")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Coalesced {
+		t.Error("first subscription reported coalesced")
+	}
+	if a.Term != gtrends.TopicInternetOutage {
+		t.Errorf("empty term did not default: %q", a.Term)
+	}
+	b, err := s.Subscribe("bob", "", "TX")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Coalesced {
+		t.Error("identical (term, state) pair did not coalesce")
+	}
+	if _, err := s.Subscribe("alice", "", "CA"); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Status()
+	if st.Subscriptions != 3 || st.Tasks != 2 {
+		t.Errorf("status = %d subs / %d tasks, want 3 / 2", st.Subscriptions, st.Tasks)
+	}
+
+	// Dropping one of the two TX subscribers keeps the task; dropping
+	// both retires it.
+	if !s.Unsubscribe(a.ID) {
+		t.Fatal("unsubscribe of live ID failed")
+	}
+	if st := s.Status(); st.Tasks != 2 {
+		t.Errorf("task retired while a subscriber remained: %d tasks", st.Tasks)
+	}
+	s.Unsubscribe(b.ID)
+	if st := s.Status(); st.Tasks != 1 {
+		t.Errorf("task not retired with its last subscriber: %d tasks", st.Tasks)
+	}
+	if s.Unsubscribe(b.ID) {
+		t.Error("double unsubscribe reported success")
+	}
+}
+
+func TestAdmissionControlQuotas(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxSubscriptionsPerTenant = 2
+	cfg.MaxTasks = 3
+	s := newTestSupervisor(t, cfg)
+
+	if _, err := s.Subscribe("t1", "", "TX"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Subscribe("t1", "", "CA"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Subscribe("t1", "", "NY"); !errors.Is(err, ErrTenantQuota) {
+		t.Errorf("third subscription for t1 = %v, want tenant quota", err)
+	}
+	// A different tenant still has room — and coalescing does not burn a
+	// task slot.
+	if _, err := s.Subscribe("t2", "", "TX"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Subscribe("t2", "", "NY"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Subscribe("t3", "", "WA"); !errors.Is(err, ErrTaskQuota) {
+		t.Errorf("fourth distinct task = %v, want task quota", err)
+	}
+	if _, err := s.Subscribe("t3", "", "ZZ"); !errors.Is(err, ErrUnknownState) {
+		t.Errorf("bogus state = %v, want unknown state", err)
+	}
+}
+
+func TestFeedPublishAndSlowSubscriber(t *testing.T) {
+	f := newFeed(4)
+	fast, cancelFast := f.subscribe(8)
+	defer cancelFast()
+	slow, cancelSlow := f.subscribe(1)
+	defer cancelSlow()
+
+	dropped := 0
+	for i := 0; i < 3; i++ {
+		dropped += f.publish(Update{Round: uint64(i + 1), State: "TX"})
+	}
+	// The slow subscriber holds one buffered update; two were dropped.
+	if dropped != 2 {
+		t.Errorf("dropped = %d, want 2", dropped)
+	}
+	for i := 0; i < 3; i++ {
+		u := <-fast
+		if u.Round != uint64(i+1) {
+			t.Errorf("fast subscriber update %d has round %d", i, u.Round)
+		}
+	}
+	if u := <-slow; u.Round != 1 {
+		t.Errorf("slow subscriber first update round = %d", u.Round)
+	}
+	if got := f.recent(2); len(got) != 2 || got[1].Round != 3 {
+		t.Errorf("recent(2) = %+v", got)
+	}
+	f.close()
+	if _, ok := <-fast; ok {
+		t.Error("fast channel still open after close")
+	}
+	if f.publish(Update{}) != 0 {
+		t.Error("publish after close touched subscribers")
+	}
+}
+
+func TestTickCrawlsAndRetains(t *testing.T) {
+	cfg := testConfig()
+	cfg.Retention = 360 * time.Hour
+	cfg.CompactEvery = 2
+	s := newTestSupervisor(t, cfg)
+	if _, err := s.Subscribe("", "", "TX"); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if err := s.Tick(ctx); err != nil {
+			t.Fatalf("tick %d: %v", i, err)
+		}
+	}
+	// Three ticks from a 336h initial window with 24h advance and 360h
+	// retention: bounds must cover the trailing 360 hours ending at
+	// t0+384h.
+	start, end, err := s.SeriesBounds(gtrends.TopicInternetOutage, "TX")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantEnd := t0.Add(384 * time.Hour)
+	if !end.Equal(wantEnd) {
+		t.Errorf("series end = %v, want %v", end, wantEnd)
+	}
+	if !start.Equal(wantEnd.Add(-360 * time.Hour)) {
+		t.Errorf("series start = %v, want retention horizon %v", start, wantEnd.Add(-360*time.Hour))
+	}
+	ser, err := s.SeriesWindow(gtrends.TopicInternetOutage, "TX", start, end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ser.Len() != 360 {
+		t.Errorf("retained window has %d hours, want 360", ser.Len())
+	}
+	nonzero := 0
+	for i := 0; i < ser.Len(); i++ {
+		if ser.AtIndex(i) != 0 && !math.IsNaN(ser.AtIndex(i)) {
+			nonzero++
+		}
+	}
+	if nonzero == 0 {
+		t.Error("retained series is all zeros; crawl produced no data")
+	}
+	if spikes, ok := s.Spikes(gtrends.TopicInternetOutage, "TX"); !ok || len(spikes) == 0 {
+		t.Errorf("no spikes detected for the storm (ok=%v, n=%d)", ok, len(spikes))
+	}
+	if h, ok := s.Health(gtrends.TopicInternetOutage, "TX"); !ok || h.Frames == 0 {
+		t.Errorf("health missing or empty: ok=%v %+v", ok, h)
+	}
+	if st := s.Status(); st.Round != 3 || !st.VirtualNow.Equal(t0.Add(408*time.Hour)) {
+		t.Errorf("status = %+v", st)
+	}
+
+	// Close drains; further ticks and subscriptions refuse.
+	s.Close()
+	if err := s.Tick(ctx); !errors.Is(err, ErrDraining) {
+		t.Errorf("tick after close = %v, want draining", err)
+	}
+	if _, err := s.Subscribe("", "", "CA"); !errors.Is(err, ErrDraining) {
+		t.Errorf("subscribe after close = %v, want draining", err)
+	}
+}
+
+func TestHTTPSubscriptionCRUD(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxSubscriptionsPerTenant = 1
+	s := newTestSupervisor(t, cfg)
+	mux := http.NewServeMux()
+	s.AttachAPI(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	post := func(tenant, body string) *http.Response {
+		req, _ := http.NewRequest("POST", srv.URL+"/archive/subscriptions", strings.NewReader(body))
+		if tenant != "" {
+			req.Header.Set("X-Tenant", tenant)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	resp := post("alice", `{"state":"tx"}`)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create status = %d", resp.StatusCode)
+	}
+	var sub Subscription
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if sub.State != "TX" || sub.Tenant != "alice" || sub.Term != gtrends.TopicInternetOutage {
+		t.Errorf("created subscription = %+v", sub)
+	}
+
+	// Quota exhaustion maps to 429; bad state to 400; bad JSON to 400.
+	if resp := post("alice", `{"state":"CA"}`); resp.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("quota status = %d, want 429", resp.StatusCode)
+	} else {
+		resp.Body.Close()
+	}
+	if resp := post("bob", `{"state":"XX"}`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad state status = %d, want 400", resp.StatusCode)
+	} else {
+		resp.Body.Close()
+	}
+	if resp := post("bob", `{`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad JSON status = %d, want 400", resp.StatusCode)
+	} else {
+		resp.Body.Close()
+	}
+
+	// List shows the one live subscription.
+	lresp, err := http.Get(srv.URL + "/archive/subscriptions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var subs []Subscription
+	if err := json.NewDecoder(lresp.Body).Decode(&subs); err != nil {
+		t.Fatal(err)
+	}
+	lresp.Body.Close()
+	if len(subs) != 1 || subs[0].ID != sub.ID {
+		t.Errorf("list = %+v", subs)
+	}
+
+	// Delete it; a second delete 404s.
+	del := func() int {
+		req, _ := http.NewRequest("DELETE", srv.URL+"/archive/subscriptions/"+sub.ID, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := del(); code != http.StatusNoContent {
+		t.Errorf("delete status = %d, want 204", code)
+	}
+	if code := del(); code != http.StatusNotFound {
+		t.Errorf("re-delete status = %d, want 404", code)
+	}
+
+	// Status always serves.
+	sresp, err := http.Get(srv.URL + "/archive/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Status
+	if err := json.NewDecoder(sresp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	sresp.Body.Close()
+	if st.Subscriptions != 0 || st.Tasks != 0 {
+		t.Errorf("status after teardown = %+v", st)
+	}
+	// Series for an unknown task 404s.
+	nresp, err := http.Get(srv.URL + "/archive/series?state=TX")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nresp.Body.Close()
+	if nresp.StatusCode != http.StatusNotFound && nresp.StatusCode != http.StatusBadRequest {
+		t.Errorf("series for unknown task = %d, want 404/400", nresp.StatusCode)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	base := testConfig()
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"no fetcher", func(c *Config) { c.Fetcher = nil }},
+		{"zero start", func(c *Config) { c.Start = time.Time{} }},
+		{"misaligned start", func(c *Config) { c.Start = t0.Add(30 * time.Minute) }},
+		{"fractional advance", func(c *Config) { c.Advance = 90 * time.Minute }},
+		{"window under frame", func(c *Config) { c.InitialWindow = 24 * time.Hour }},
+		{"end before window", func(c *Config) { c.End = t0.Add(100 * time.Hour) }},
+		{"fractional retention", func(c *Config) { c.Retention = 30 * time.Minute }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := base
+			tc.mut(&cfg)
+			if _, err := New(cfg); err == nil {
+				t.Error("config accepted")
+			}
+		})
+	}
+	// Valid zero-default config fills defaults.
+	s := newTestSupervisor(t, Config{Fetcher: base.Fetcher, Start: t0, Metrics: obs.NewRegistry()})
+	if s.cfg.Advance != 24*time.Hour || s.cfg.InitialWindow != 336*time.Hour {
+		t.Errorf("defaults = advance %v, window %v", s.cfg.Advance, s.cfg.InitialWindow)
+	}
+	if s.cfg.Pipeline.FrameTolerance == 0 {
+		t.Error("daemon posture did not raise FrameTolerance")
+	}
+	if !s.VirtualNow().Equal(t0.Add(336 * time.Hour)) {
+		t.Errorf("virtual now = %v", s.VirtualNow())
+	}
+}

@@ -1,0 +1,148 @@
+package archiver
+
+// Fault-injected archiver runs: an ordinal-windowed storm (429 wall,
+// then connection resets) hits the daemon's first round, and the
+// assertion is the daemon's posture — it degrades to gap-recording in
+// CrawlHealth and keeps ticking, then heals the gaps on later rounds
+// once the storm passes. Per-mode signatures (absorbed 429s vs terminal
+// transport errors) follow the approach of
+// internal/gtclient/chaos_trace_test.go: each mode must leave its own
+// fingerprint on the client counters, so a storm that silently failed to
+// fire cannot pass the test.
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"sift/internal/core"
+	"sift/internal/faults"
+	"sift/internal/gtclient"
+	"sift/internal/gtrends"
+	"sift/internal/gtserver"
+	"sift/internal/obs"
+)
+
+// stormSupervisor boots a gtserver wired to plan plus a single-unit,
+// single-worker supervisor (deterministic request ordinals) with one TX
+// subscription.
+func stormSupervisor(t *testing.T, plan *faults.Plan) (*Supervisor, *gtclient.Pool, *faults.Injector) {
+	t.Helper()
+	cfg := gtserver.Config{RatePerSec: 100_000, Burst: 100_000}
+	var inj *faults.Injector
+	if plan != nil {
+		inj = faults.NewInjector(*plan)
+		cfg.Faults = inj
+	}
+	svc := newTrendsService(t, cfg)
+	pool, err := gtclient.NewPool(svc.URL, 1, func(c *gtclient.Client) {
+		c.RetryBase = time.Millisecond
+		c.MaxRetries = 1
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.BreakerCooldown = 5 * time.Millisecond
+	sup, err := New(Config{
+		Fetcher:       pool,
+		Start:         t0,
+		InitialWindow: 336 * time.Hour,
+		Advance:       24 * time.Hour,
+		CrawlTimeout:  time.Minute,
+		Pipeline: core.PipelineConfig{
+			Workers:   1,
+			MaxRounds: 2,
+			// Client-level retries only: keeps each frame attempt at a
+			// predictable two request ordinals so the storm window is
+			// meaningful.
+			FetchRetries: core.RetriesFlag(0),
+		},
+		Metrics: obs.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sup.Close)
+	if _, err := sup.Subscribe("", "", "TX"); err != nil {
+		t.Fatal(err)
+	}
+	return sup, pool, inj
+}
+
+// storms is the per-mode plan table: a total wall over the first
+// requests (P=1, ordinal window [0, To)), long enough to swallow at
+// least one frame's attempts, short enough that round two runs clear.
+var storms = []struct {
+	name      string
+	mode      faults.Mode
+	to        int
+	signature func(s gtclient.Stats) bool
+}{
+	{"RateLimit", faults.RateLimit, 8, func(s gtclient.Stats) bool { return s.RateLimited > 0 }},
+	{"Reset", faults.Reset, 8, func(s gtclient.Stats) bool { return s.Errors > 0 }},
+}
+
+// TestArchiverChaosDegradesToGaps is the fault-injection satellite: a
+// storm over the daemon's first round must surface as recorded gaps (or
+// a recorded crawl error) — never a wedged or crashed daemon — and the
+// gaps must heal on post-storm rounds.
+func TestArchiverChaosDegradesToGaps(t *testing.T) {
+	for _, storm := range storms {
+		storm := storm
+		t.Run(storm.name, func(t *testing.T) {
+			plan := &faults.Plan{Seed: 99, Rules: []faults.Rule{
+				{Mode: storm.mode, P: 1, From: 0, To: storm.to},
+			}}
+			sup, pool, inj := stormSupervisor(t, plan)
+			ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+			defer cancel()
+			feed, stop := sup.SubscribeFeed(16)
+			defer stop()
+
+			// Round one runs into the storm. Tick must return — a hang
+			// here trips the test timeout, which is the wedge we are
+			// guarding against.
+			if err := sup.Tick(ctx); err != nil {
+				t.Fatalf("storm tick: %v", err)
+			}
+			u1 := <-feed
+			h1, ok := sup.Health(gtrends.TopicInternetOutage, "TX")
+			if !ok {
+				t.Fatal("no health record after storm tick")
+			}
+			degraded := u1.Err != "" || len(h1.Gaps) > 0 || h1.FailedFetches > 0
+			if !degraded {
+				t.Fatalf("storm left no trace: update %+v, health %+v", u1, h1)
+			}
+			if u1.Err == "" && u1.Gaps != len(h1.Gaps) {
+				t.Errorf("feed gaps %d != health gaps %d", u1.Gaps, len(h1.Gaps))
+			}
+			if !storm.signature(pool.Stats()) {
+				t.Errorf("%s signature missing from client stats: %+v", storm.name, pool.Stats())
+			}
+			if inj.Injected() == 0 {
+				t.Fatal("injector fired zero faults; the storm never happened")
+			}
+
+			// Post-storm rounds refetch the failed coordinates (the cache
+			// has no entry for a gap) and the daemon heals.
+			healed := false
+			for i := 0; i < 3 && !healed; i++ {
+				if err := sup.Tick(ctx); err != nil {
+					t.Fatalf("post-storm tick %d: %v", i, err)
+				}
+				u := <-feed
+				h, _ := sup.Health(gtrends.TopicInternetOutage, "TX")
+				healed = u.Err == "" && len(h.Gaps) == 0
+			}
+			if !healed {
+				h, _ := sup.Health(gtrends.TopicInternetOutage, "TX")
+				t.Fatalf("gaps never healed after the storm: %+v", h)
+			}
+			// A healed daemon sees the storm spike like a clean one.
+			if spikes, ok := sup.Spikes(gtrends.TopicInternetOutage, "TX"); !ok || len(spikes) == 0 {
+				t.Errorf("healed daemon detected no spikes (ok=%v)", ok)
+			}
+		})
+	}
+}

@@ -1,0 +1,270 @@
+package archiver
+
+// End-to-end daemon test: a real simulated-Trends HTTP service, a real
+// fetcher pool, the archiver supervisor with its HTTP API mounted, and a
+// live SSE consumer. Rounds advance under test control (Tick), and the
+// final feed state is checked against an independent batch detection run
+// over the same window.
+//
+// The equality mechanism is the shared frame cache: the batch pipeline
+// runs with the supervisor's cache and a fetcher that refuses to fetch,
+// so every frame the batch run consumes is byte-identical to what the
+// archiver crawled. Detection is a deterministic function of the frames,
+// hence spike-set equality is exact (tolerance 0, like the PR 1 chaos
+// suites) — and the rolling store must reproduce the stitched series
+// bit-for-bit.
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"sift/internal/core"
+	"sift/internal/geo"
+	"sift/internal/gtclient"
+	"sift/internal/gtrends"
+	"sift/internal/gtserver"
+	"sift/internal/obs"
+	"sift/internal/searchmodel"
+	"sift/internal/trace"
+)
+
+// newTrendsService boots the simulated-Trends HTTP service over the
+// storm world.
+func newTrendsService(t *testing.T, cfg gtserver.Config) *httptest.Server {
+	t.Helper()
+	model := searchmodel.New(7, stormWorld(), searchmodel.Params{})
+	srv := httptest.NewServer(gtserver.New(gtrends.NewEngine(model, gtrends.Config{}), cfg))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// refuseFetcher fails every fetch: batch runs wired with it can only
+// consume cached frames, which proves the archiver's cache fully covers
+// the window.
+type refuseFetcher struct{}
+
+func (refuseFetcher) FetchFrame(context.Context, gtrends.FrameRequest) (*gtrends.Frame, error) {
+	return nil, errors.New("e2e: batch run tried to fetch past the archiver's cache")
+}
+
+// sseClient consumes /archive/spikes as an SSE stream into a channel of
+// decoded updates until the context ends.
+func sseClient(t *testing.T, ctx context.Context, url string) <-chan Update {
+	t.Helper()
+	req, err := http.NewRequestWithContext(ctx, "GET", url+"/archive/spikes", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("SSE status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("SSE content type = %q", ct)
+	}
+	out := make(chan Update, 64)
+	go func() {
+		defer close(out)
+		defer resp.Body.Close()
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+		for sc.Scan() {
+			line := sc.Text()
+			if !strings.HasPrefix(line, "data: ") {
+				continue
+			}
+			var u Update
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &u); err != nil {
+				continue
+			}
+			select {
+			case out <- u:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return out
+}
+
+// collectUpdates drains n updates from ch or fails after the deadline.
+func collectUpdates(t *testing.T, ch <-chan Update, n int, deadline time.Duration) []Update {
+	t.Helper()
+	timer := time.NewTimer(deadline)
+	defer timer.Stop()
+	var got []Update
+	for len(got) < n {
+		select {
+		case u, ok := <-ch:
+			if !ok {
+				t.Fatalf("SSE stream closed after %d/%d updates", len(got), n)
+			}
+			got = append(got, u)
+		case <-timer.C:
+			t.Fatalf("timed out with %d/%d updates", len(got), n)
+		}
+	}
+	return got
+}
+
+// TestArchiverE2EFeedMatchesBatchDetect is the tentpole e2e: the
+// daemon's live SSE spike feed over N simulated rounds must agree
+// exactly with a batch detection run over the final window.
+func TestArchiverE2EFeedMatchesBatchDetect(t *testing.T) {
+	svc := newTrendsService(t, gtserver.Config{RatePerSec: 100_000, Burst: 100_000})
+	pool, err := gtclient.NewPool(svc.URL, 4, func(c *gtclient.Client) {
+		c.RetryBase = time.Millisecond
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tracer := trace.New(trace.Config{})
+	pipeCfg := core.PipelineConfig{Workers: 4, MaxRounds: 3}
+	sup, err := New(Config{
+		Fetcher:       pool,
+		Start:         t0,
+		InitialWindow: 336 * time.Hour,
+		Advance:       24 * time.Hour,
+		Pipeline:      pipeCfg,
+		Metrics:       obs.NewRegistry(),
+		Tracer:        tracer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sup.Close()
+
+	mux := http.NewServeMux()
+	sup.AttachAPI(mux)
+	api := httptest.NewServer(mux)
+	defer api.Close()
+
+	// Two overlapping subscriptions on (topic, TX) — coalesced onto one
+	// task — plus (topic, CA), all over the HTTP API.
+	subscribe := func(tenant, state string) Subscription {
+		body := fmt.Sprintf(`{"state":%q}`, state)
+		req, _ := http.NewRequest("POST", api.URL+"/archive/subscriptions", strings.NewReader(body))
+		req.Header.Set("X-Tenant", tenant)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("subscribe %s/%s: status %d", tenant, state, resp.StatusCode)
+		}
+		var sub Subscription
+		if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+			t.Fatal(err)
+		}
+		return sub
+	}
+	subscribe("alice", "TX")
+	if sub := subscribe("bob", "TX"); !sub.Coalesced {
+		t.Error("overlapping TX subscription did not coalesce")
+	}
+	subscribe("alice", "CA")
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	updates := sseClient(t, ctx, api.URL)
+
+	const ticks = 3
+	for i := 0; i < ticks; i++ {
+		if err := sup.Tick(ctx); err != nil {
+			t.Fatalf("tick %d: %v", i, err)
+		}
+	}
+
+	// Two tasks × three rounds = six SSE updates.
+	got := collectUpdates(t, updates, 2*ticks, time.Minute)
+	final := map[string]Update{}
+	for _, u := range got {
+		if u.Err != "" {
+			t.Fatalf("feed update errored: %+v", u)
+		}
+		if u.Round > final[string(u.State)].Round {
+			final[string(u.State)] = u
+		}
+	}
+	for _, state := range []string{"TX", "CA"} {
+		if final[state].Round != ticks {
+			t.Fatalf("%s: last observed round = %d, want %d", state, final[state].Round, ticks)
+		}
+	}
+	if len(final["TX"].Spikes) == 0 {
+		t.Fatal("TX feed has no spikes; the storm was missed and equality would be vacuous")
+	}
+
+	// Batch detection over the final window, wired to the supervisor's
+	// cache and a fetcher that refuses the network: every frame must come
+	// from the archiver's crawl.
+	finalTo := t0.Add((336 + (ticks-1)*24) * time.Hour)
+	for _, state := range []string{"TX", "CA"} {
+		cfg := pipeCfg
+		cfg.Cache = sup.Cache()
+		batch := &core.Pipeline{Fetcher: refuseFetcher{}, Cfg: cfg}
+		res, err := batch.Run(ctx, geo.State(state), gtrends.TopicInternetOutage, t0, finalTo)
+		if err != nil {
+			t.Fatalf("batch detect %s: %v", state, err)
+		}
+		if res.CacheMisses != 0 {
+			t.Errorf("%s: batch run missed the cache %d times; archiver coverage is incomplete", state, res.CacheMisses)
+		}
+		if !core.SpikeSetsEqual(res.Spikes, final[state].Spikes, 0) {
+			t.Errorf("%s: archiver feed != batch detect:\nbatch: %+v\nfeed:  %+v",
+				state, res.Spikes, final[state].Spikes)
+		}
+
+		// The rolling store must hand back the stitched series
+		// bit-for-bit.
+		ser, err := sup.SeriesWindow(gtrends.TopicInternetOutage, geo.State(state), t0, finalTo)
+		if err != nil {
+			t.Fatalf("series window %s: %v", state, err)
+		}
+		if ser.Len() != res.Series.Len() || !ser.Start().Equal(res.Series.Start()) {
+			t.Fatalf("%s: series shape mismatch: %d@%v vs %d@%v",
+				state, ser.Len(), ser.Start(), res.Series.Len(), res.Series.Start())
+		}
+		for i := 0; i < ser.Len(); i++ {
+			if math.Float64bits(ser.AtIndex(i)) != math.Float64bits(res.Series.AtIndex(i)) {
+				t.Fatalf("%s: series hour %d diverged: %v vs %v", state, i, ser.AtIndex(i), res.Series.AtIndex(i))
+			}
+		}
+	}
+
+	// The HTTP spike query agrees with the feed too.
+	resp, err := http.Get(api.URL + "/archive/spikes?state=TX")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var viaHTTP []core.Spike
+	if err := json.NewDecoder(resp.Body).Decode(&viaHTTP); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !core.SpikeSetsEqual(viaHTTP, final["TX"].Spikes, 0) {
+		t.Errorf("REST spike query != SSE feed:\nrest: %+v\nfeed: %+v", viaHTTP, final["TX"].Spikes)
+	}
+
+	// Graceful drain: Close ends the feed, flushes, and later ticks
+	// refuse.
+	sup.Close()
+	if err := sup.Tick(context.Background()); !errors.Is(err, ErrDraining) {
+		t.Errorf("tick after drain = %v", err)
+	}
+}

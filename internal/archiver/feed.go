@@ -1,0 +1,123 @@
+package archiver
+
+import (
+	"sync"
+	"time"
+
+	"sift/internal/core"
+	"sift/internal/geo"
+)
+
+// Update is one spike-feed event: the outcome of one task's crawl in one
+// archiver round. Spikes is the task's full current spike set; New holds
+// only the spikes first seen this round (by temporal overlap against the
+// previous round's set).
+type Update struct {
+	Round uint64    `json:"round"`
+	Term  string    `json:"term"`
+	State geo.State `json:"state"`
+	From  time.Time `json:"from"`
+	To    time.Time `json:"to"`
+
+	Spikes    []core.Spike `json:"spikes"`
+	New       []core.Spike `json:"new,omitempty"`
+	Gaps      int          `json:"gaps"`
+	Converged bool         `json:"converged"`
+	Rounds    int          `json:"rounds"`
+	Err       string       `json:"err,omitempty"`
+}
+
+// feed is the archiver's pub/sub hub: a bounded replay ring plus
+// per-subscriber buffered channels. Publishing never blocks a round —
+// a subscriber that can't keep up loses updates (counted), not the
+// daemon.
+type feed struct {
+	mu     sync.Mutex
+	ring   []Update
+	cap    int
+	subs   map[int]chan Update
+	nextID int
+	closed bool
+}
+
+func newFeed(ringCap int) *feed {
+	return &feed{cap: ringCap, subs: make(map[int]chan Update)}
+}
+
+// publish appends u to the ring and offers it to every subscriber,
+// returning how many subscribers dropped it.
+func (f *feed) publish(u Update) (dropped int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return 0
+	}
+	f.ring = append(f.ring, u)
+	if len(f.ring) > f.cap {
+		f.ring = f.ring[len(f.ring)-f.cap:]
+	}
+	for _, ch := range f.subs {
+		select {
+		case ch <- u:
+		default:
+			dropped++
+		}
+	}
+	return dropped
+}
+
+// subscribe registers a consumer with the given channel buffer (min 1).
+// The channel closes when the feed closes or cancel is called; cancel is
+// idempotent and safe after close.
+func (f *feed) subscribe(buf int) (<-chan Update, func()) {
+	if buf < 1 {
+		buf = 1
+	}
+	ch := make(chan Update, buf)
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		close(ch)
+		return ch, func() {}
+	}
+	f.nextID++
+	id := f.nextID
+	f.subs[id] = ch
+	f.mu.Unlock()
+	cancel := func() {
+		f.mu.Lock()
+		if c, ok := f.subs[id]; ok {
+			delete(f.subs, id)
+			close(c)
+		}
+		f.mu.Unlock()
+	}
+	return ch, cancel
+}
+
+// recent returns up to n of the latest updates, oldest first; n <= 0
+// returns the whole ring.
+func (f *feed) recent(n int) []Update {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if n <= 0 || n > len(f.ring) {
+		n = len(f.ring)
+	}
+	out := make([]Update, n)
+	copy(out, f.ring[len(f.ring)-n:])
+	return out
+}
+
+// close shuts every subscriber channel and rejects further publishes.
+func (f *feed) close() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return
+	}
+	f.closed = true
+	for id, ch := range f.subs {
+		delete(f.subs, id)
+		close(ch)
+	}
+}

@@ -1,0 +1,314 @@
+package archiver
+
+// HTTP surface of the archiver, mounted on siftd's metrics listener
+// (next to /metrics and /debug/trace/):
+//
+//	POST   /archive/subscriptions       subscribe {"term","state"}; tenant from X-Tenant
+//	GET    /archive/subscriptions       list active subscriptions
+//	DELETE /archive/subscriptions/{id}  unsubscribe
+//	GET    /archive/series?term=&state=&from=&to=   rolling-series window
+//	GET    /archive/spikes?term=&state=             current spike set (JSON)
+//	GET    /archive/spikes              SSE live feed when Accept: text/event-stream
+//	                                    (or ?stream=1); JSON replay ring otherwise
+//	GET    /archive/health?term=&state= latest CrawlHealth
+//	GET    /archive/status              supervisor snapshot
+//
+// Admission rejections (tenant or task quota) map to 429; draining maps
+// to 503, matching a load balancer's idea of "stop sending work here".
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"sift/internal/geo"
+	"sift/internal/gtrends"
+)
+
+// AttachAPI mounts the archiver's REST + SSE endpoints on mux.
+func (s *Supervisor) AttachAPI(mux *http.ServeMux) {
+	mux.HandleFunc("POST /archive/subscriptions", s.handleSubscribe)
+	mux.HandleFunc("GET /archive/subscriptions", s.handleListSubs)
+	mux.HandleFunc("DELETE /archive/subscriptions/{id}", s.handleUnsubscribe)
+	mux.HandleFunc("GET /archive/series", s.handleSeries)
+	mux.HandleFunc("GET /archive/spikes", s.handleSpikes)
+	mux.HandleFunc("GET /archive/health", s.handleHealth)
+	mux.HandleFunc("GET /archive/status", s.handleStatus)
+}
+
+func jsonOut(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func jsonErr(w http.ResponseWriter, code int, err error) {
+	jsonOut(w, code, map[string]string{"error": err.Error()})
+}
+
+// admissionCode maps Subscribe errors to HTTP statuses.
+func admissionCode(err error) int {
+	switch {
+	case errors.Is(err, ErrTenantQuota), errors.Is(err, ErrTaskQuota):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrUnknownState):
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (s *Supervisor) handleSubscribe(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Term  string `json:"term"`
+		State string `json:"state"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		jsonErr(w, http.StatusBadRequest, fmt.Errorf("decoding body: %w", err))
+		return
+	}
+	tenant := r.Header.Get("X-Tenant")
+	sub, err := s.Subscribe(tenant, req.Term, geo.State(strings.ToUpper(strings.TrimSpace(req.State))))
+	if err != nil {
+		jsonErr(w, admissionCode(err), err)
+		return
+	}
+	jsonOut(w, http.StatusCreated, sub)
+}
+
+func (s *Supervisor) handleListSubs(w http.ResponseWriter, r *http.Request) {
+	jsonOut(w, http.StatusOK, s.Subscriptions())
+}
+
+func (s *Supervisor) handleUnsubscribe(w http.ResponseWriter, r *http.Request) {
+	if !s.Unsubscribe(r.PathValue("id")) {
+		jsonErr(w, http.StatusNotFound, errors.New("no such subscription"))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// taskParams reads the ?term=&state= selector shared by the read
+// endpoints. An empty term means the default outage topic.
+func taskParams(r *http.Request) (term string, state geo.State, err error) {
+	term = r.URL.Query().Get("term")
+	if term == "" {
+		term = defaultTerm()
+	}
+	state = geo.State(strings.ToUpper(strings.TrimSpace(r.URL.Query().Get("state"))))
+	if !geo.Valid(state) {
+		return term, state, fmt.Errorf("%w: %q", ErrUnknownState, state)
+	}
+	return term, state, nil
+}
+
+func (s *Supervisor) handleSeries(w http.ResponseWriter, r *http.Request) {
+	term, state, err := taskParams(r)
+	if err != nil {
+		jsonErr(w, http.StatusBadRequest, err)
+		return
+	}
+	from, to, err := windowParams(r, s)
+	if err != nil {
+		jsonErr(w, http.StatusBadRequest, err)
+		return
+	}
+	series, err := s.SeriesWindow(term, state, from, to)
+	if err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, ErrNoSuchSeries) {
+			code = http.StatusNotFound
+		}
+		jsonErr(w, code, err)
+		return
+	}
+	jsonOut(w, http.StatusOK, struct {
+		Term   string    `json:"term"`
+		State  geo.State `json:"state"`
+		Start  time.Time `json:"start"`
+		Values []float64 `json:"values"`
+	}{term, state, series.Start(), series.Values()})
+}
+
+// windowParams reads ?from=&to= (RFC 3339); both default to the task's
+// retained bounds when absent.
+func windowParams(r *http.Request, s *Supervisor) (from, to time.Time, err error) {
+	parse := func(q string) (time.Time, bool, error) {
+		v := r.URL.Query().Get(q)
+		if v == "" {
+			return time.Time{}, false, nil
+		}
+		t, err := time.Parse(time.RFC3339, v)
+		if err != nil {
+			return time.Time{}, false, fmt.Errorf("bad %s: %w", q, err)
+		}
+		return t.UTC(), true, nil
+	}
+	from, haveFrom, err := parse("from")
+	if err != nil {
+		return from, to, err
+	}
+	to, haveTo, err := parse("to")
+	if err != nil {
+		return from, to, err
+	}
+	if haveFrom && haveTo {
+		return from, to, nil
+	}
+	term, state, err := taskParams(r)
+	if err != nil {
+		return from, to, err
+	}
+	start, end, err := s.SeriesBounds(term, state)
+	if err != nil {
+		return from, to, fmt.Errorf("no explicit window and %w", err)
+	}
+	if !haveFrom {
+		from = start
+	}
+	if !haveTo {
+		to = end
+	}
+	return from, to, nil
+}
+
+func (s *Supervisor) handleSpikes(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("stream") == "1" ||
+		strings.Contains(r.Header.Get("Accept"), "text/event-stream") {
+		s.streamSpikes(w, r)
+		return
+	}
+	if state := r.URL.Query().Get("state"); state != "" {
+		term, st, err := taskParams(r)
+		if err != nil {
+			jsonErr(w, http.StatusBadRequest, err)
+			return
+		}
+		spikes, ok := s.Spikes(term, st)
+		if !ok {
+			jsonErr(w, http.StatusNotFound, ErrNoSuchSeries)
+			return
+		}
+		jsonOut(w, http.StatusOK, spikes)
+		return
+	}
+	// No selector: serve the replay ring (?n= limits).
+	n := 0
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 0 {
+			jsonErr(w, http.StatusBadRequest, errors.New("bad n"))
+			return
+		}
+		n = v
+	}
+	jsonOut(w, http.StatusOK, s.RecentUpdates(n))
+}
+
+// streamSpikes serves the live feed as server-sent events: a replay of
+// the ring (so late subscribers see current state), then updates as
+// rounds complete, until the client disconnects or the feed closes.
+func (s *Supervisor) streamSpikes(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	// Optional (term, state) filter.
+	var filterOn bool
+	var fTerm string
+	var fState geo.State
+	if r.URL.Query().Get("state") != "" {
+		term, st, err := taskParams(r)
+		if err != nil {
+			jsonErr(w, http.StatusBadRequest, err)
+			return
+		}
+		filterOn, fTerm, fState = true, term, st
+	}
+	match := func(u Update) bool {
+		return !filterOn || (u.Term == fTerm && u.State == fState)
+	}
+	// Subscribe before replaying the ring so no update can fall between
+	// the two; rounds are serialized, so at worst one update is seen in
+	// both and the client dedups by (round, term, state).
+	ch, cancel := s.SubscribeFeed(64)
+	defer cancel()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	emit := func(u Update) bool {
+		if !match(u) {
+			return true
+		}
+		b, err := json.Marshal(u)
+		if err != nil {
+			return true
+		}
+		fmt.Fprintf(w, "event: update\ndata: %s\n\n", b)
+		fl.Flush()
+		return r.Context().Err() == nil
+	}
+	var replayed Update
+	haveReplay := false
+	if n, _ := strconv.Atoi(r.URL.Query().Get("replay")); n != 0 || r.URL.Query().Get("replay") == "" {
+		for _, u := range s.RecentUpdates(n) {
+			if !emit(u) {
+				return
+			}
+			replayed, haveReplay = u, true
+		}
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case u, ok := <-ch:
+			if !ok {
+				return
+			}
+			// Drop the one update that may have been both replayed and
+			// queued during the subscribe/replay handoff.
+			if haveReplay && u.Round == replayed.Round && u.Term == replayed.Term && u.State == replayed.State {
+				haveReplay = false
+				continue
+			}
+			haveReplay = false
+			if !emit(u) {
+				return
+			}
+		}
+	}
+}
+
+func (s *Supervisor) handleHealth(w http.ResponseWriter, r *http.Request) {
+	term, state, err := taskParams(r)
+	if err != nil {
+		jsonErr(w, http.StatusBadRequest, err)
+		return
+	}
+	h, ok := s.Health(term, state)
+	if !ok {
+		jsonErr(w, http.StatusNotFound, ErrNoSuchSeries)
+		return
+	}
+	jsonOut(w, http.StatusOK, h)
+}
+
+func (s *Supervisor) handleStatus(w http.ResponseWriter, r *http.Request) {
+	jsonOut(w, http.StatusOK, s.Status())
+}
+
+// defaultTerm is the paper's outage topic — what an empty ?term= means.
+func defaultTerm() string { return gtrends.TopicInternetOutage }

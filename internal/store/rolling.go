@@ -1,0 +1,260 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"sift/internal/timeseries"
+)
+
+// RollingSeries is the archiver's per-(term, state) storage for a
+// continuously re-crawled stitched series: an ordered set of
+// non-overlapping hourly segments that later crawl rounds keep
+// overwriting and extending. Each Append replaces the overlapped hours
+// with the new round's values (a re-stitched series supersedes every
+// earlier value it covers — renormalization can move the whole curve)
+// and appends the new suffix as a fresh segment; Compact merges touching
+// segments so a long-running daemon's segment list stays bounded, and
+// Retain trims the head to a retention horizon.
+//
+// The load-bearing invariant, pinned by the property suite: compaction
+// is invisible to reads. Querying any sub-window after any sequence of
+// Compact calls is byte-identical (math.Float64bits, NaNs included) to
+// querying the uncompacted segments. Safe for concurrent use.
+type RollingSeries struct {
+	mu   sync.RWMutex
+	segs []*timeseries.Series // ordered by start; non-overlapping
+
+	appends     uint64
+	compactions uint64
+}
+
+// NewRollingSeries returns an empty rolling series.
+func NewRollingSeries() *RollingSeries { return &RollingSeries{} }
+
+// ErrEmptyRolling is returned by bounds-dependent reads on an empty
+// rolling series.
+var ErrEmptyRolling = errors.New("store: rolling series is empty")
+
+// Append merges s into the rolling series: hours s covers are
+// overwritten with s's values (splitting partially-overlapped segments),
+// and s itself is inserted as one new segment. An empty s is a no-op.
+func (r *RollingSeries) Append(s *timeseries.Series) error {
+	if s == nil || s.Len() == 0 {
+		return nil
+	}
+	seg := s.Clone() // own the values: callers may reuse theirs
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var kept []*timeseries.Series
+	for _, old := range r.segs {
+		switch {
+		case !old.End().After(seg.Start()) || !old.Start().Before(seg.End()):
+			// No overlap: keep whole.
+			kept = append(kept, old)
+		default:
+			// Keep the non-overlapped flanks, drop the covered middle.
+			if old.Start().Before(seg.Start()) {
+				left, err := old.Slice(old.Start(), seg.Start())
+				if err != nil {
+					return fmt.Errorf("store: trimming segment: %w", err)
+				}
+				kept = append(kept, left)
+			}
+			if old.End().After(seg.End()) {
+				right, err := old.Slice(seg.End(), old.End())
+				if err != nil {
+					return fmt.Errorf("store: trimming segment: %w", err)
+				}
+				kept = append(kept, right)
+			}
+		}
+	}
+	// Insert in start order; flanks kept above stay sorted, so one scan
+	// finds the slot.
+	at := len(kept)
+	for i, k := range kept {
+		if seg.Start().Before(k.Start()) {
+			at = i
+			break
+		}
+	}
+	kept = append(kept[:at], append([]*timeseries.Series{seg}, kept[at:]...)...)
+	r.segs = kept
+	r.appends++
+	return nil
+}
+
+// Query assembles the hourly values over [from, to): segment values
+// where a segment covers the hour, zeros over holes — the same
+// degradation shape as a crawl gap. Both bounds must be hour-aligned
+// and from must precede to.
+func (r *RollingSeries) Query(from, to time.Time) (*timeseries.Series, error) {
+	if !timeseries.Aligned(from) || !timeseries.Aligned(to) {
+		return nil, timeseries.ErrMisaligned
+	}
+	if !from.Before(to) {
+		return nil, errors.New("store: empty or inverted query bounds")
+	}
+	from, to = from.UTC(), to.UTC()
+	n := int(to.Sub(from) / timeseries.Step)
+	vals := make([]float64, n)
+	r.mu.RLock()
+	for _, seg := range r.segs {
+		if !seg.End().After(from) || !seg.Start().Before(to) {
+			continue
+		}
+		lo, hi := laterOf(from, seg.Start()), earlierOf(to, seg.End())
+		dst := int(lo.Sub(from) / timeseries.Step)
+		src := int(lo.Sub(seg.Start()) / timeseries.Step)
+		for k := 0; k < int(hi.Sub(lo)/timeseries.Step); k++ {
+			vals[dst+k] = seg.AtIndex(src + k)
+		}
+	}
+	r.mu.RUnlock()
+	return timeseries.New(from, vals)
+}
+
+// Bounds returns the earliest segment start and the latest segment end.
+// ok is false when the rolling series is empty.
+func (r *RollingSeries) Bounds() (start, end time.Time, ok bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.segs) == 0 {
+		return start, end, false
+	}
+	start = r.segs[0].Start()
+	for _, seg := range r.segs {
+		if seg.End().After(end) {
+			end = seg.End()
+		}
+	}
+	return start, end, true
+}
+
+// Compact merges runs of exactly-touching segments that start before
+// upTo into single segments; a zero upTo compacts everything. Values
+// are copied verbatim, so reads cannot observe the merge. Returns how
+// many segments were eliminated.
+func (r *RollingSeries) Compact(upTo time.Time) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.segs) < 2 {
+		return 0
+	}
+	all := upTo.IsZero()
+	merged := 0
+	out := r.segs[:0]
+	i := 0
+	for i < len(r.segs) {
+		run := r.segs[i]
+		for i+1 < len(r.segs) &&
+			r.segs[i+1].Start().Equal(run.End()) &&
+			(all || r.segs[i+1].Start().Before(upTo)) {
+			next := r.segs[i+1]
+			vals := make([]float64, 0, run.Len()+next.Len())
+			for k := 0; k < run.Len(); k++ {
+				vals = append(vals, run.AtIndex(k))
+			}
+			for k := 0; k < next.Len(); k++ {
+				vals = append(vals, next.AtIndex(k))
+			}
+			run = timeseries.MustNew(run.Start(), vals)
+			merged++
+			i++
+		}
+		out = append(out, run)
+		i++
+	}
+	r.segs = out
+	if merged > 0 {
+		r.compactions++
+	}
+	return merged
+}
+
+// Retain trims the rolling series to its trailing maxHours hours
+// (relative to the latest segment end), dropping or head-trimming older
+// segments. Non-positive maxHours retains everything. Returns how many
+// hours of data were dropped.
+func (r *RollingSeries) Retain(maxHours int) int {
+	if maxHours <= 0 {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.segs) == 0 {
+		return 0
+	}
+	var end time.Time
+	for _, seg := range r.segs {
+		if seg.End().After(end) {
+			end = seg.End()
+		}
+	}
+	horizon := end.Add(-time.Duration(maxHours) * timeseries.Step)
+	dropped := 0
+	out := r.segs[:0]
+	for _, seg := range r.segs {
+		switch {
+		case !seg.End().After(horizon):
+			dropped += seg.Len()
+		case seg.Start().Before(horizon):
+			trimmed, err := seg.Slice(horizon, seg.End())
+			if err != nil {
+				// Slice over in-bounds aligned instants cannot fail; keep
+				// the segment rather than lose data if it somehow does.
+				out = append(out, seg)
+				continue
+			}
+			dropped += seg.Len() - trimmed.Len()
+			out = append(out, trimmed)
+		default:
+			out = append(out, seg)
+		}
+	}
+	r.segs = out
+	return dropped
+}
+
+// Segments returns the current segment count (diagnostic; compaction
+// keeps it bounded).
+func (r *RollingSeries) Segments() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.segs)
+}
+
+// HoursRetained returns the total hours of data currently held.
+func (r *RollingSeries) HoursRetained() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	total := 0
+	for _, seg := range r.segs {
+		total += seg.Len()
+	}
+	return total
+}
+
+// Stats reports append/compaction counts for the archiver's metrics.
+func (r *RollingSeries) Stats() (appends, compactions uint64) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.appends, r.compactions
+}
+
+func laterOf(a, b time.Time) time.Time {
+	if a.After(b) {
+		return a
+	}
+	return b
+}
+
+func earlierOf(a, b time.Time) time.Time {
+	if a.Before(b) {
+		return a
+	}
+	return b
+}

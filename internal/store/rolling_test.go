@@ -1,0 +1,261 @@
+package store
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"sift/internal/timeseries"
+)
+
+var rollT0 = time.Date(2021, 1, 4, 0, 0, 0, 0, time.UTC)
+
+// randSeries builds an hour-aligned series at offset hours from rollT0
+// with n values drawn from rng — including the awkward ones byte-level
+// comparison must survive: negative zero and NaN.
+func randSeries(t *testing.T, rng *rand.Rand, offset, n int) *timeseries.Series {
+	t.Helper()
+	vals := make([]float64, n)
+	for i := range vals {
+		switch rng.Intn(10) {
+		case 0:
+			vals[i] = math.Copysign(0, -1)
+		case 1:
+			vals[i] = math.NaN()
+		default:
+			vals[i] = rng.Float64() * 100
+		}
+	}
+	s, err := timeseries.New(rollT0.Add(time.Duration(offset)*time.Hour), vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// bitsEqual compares two series byte-identically: same start, same
+// length, and math.Float64bits equality per value (NaN == NaN, but
+// 0 != -0).
+func bitsEqual(t *testing.T, a, b *timeseries.Series) bool {
+	t.Helper()
+	if !a.Start().Equal(b.Start()) || a.Len() != b.Len() {
+		return false
+	}
+	for i := 0; i < a.Len(); i++ {
+		if math.Float64bits(a.AtIndex(i)) != math.Float64bits(b.AtIndex(i)) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRollingAppendOverwritesAndExtends(t *testing.T) {
+	r := NewRollingSeries()
+	first := timeseries.MustNew(rollT0, []float64{1, 2, 3, 4})
+	if err := r.Append(first); err != nil {
+		t.Fatal(err)
+	}
+	// Second append overlaps the last two hours and adds two more.
+	second := timeseries.MustNew(rollT0.Add(2*time.Hour), []float64{30, 40, 50, 60})
+	if err := r.Append(second); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Query(rollT0, rollT0.Add(6*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2, 30, 40, 50, 60}
+	for i, w := range want {
+		if got.AtIndex(i) != w {
+			t.Fatalf("hour %d = %v, want %v (full: %v)", i, got.AtIndex(i), w, got.Values())
+		}
+	}
+	if r.Segments() != 2 {
+		t.Errorf("segments = %d, want 2 (trimmed head + new segment)", r.Segments())
+	}
+	start, end, ok := r.Bounds()
+	if !ok || !start.Equal(rollT0) || !end.Equal(rollT0.Add(6*time.Hour)) {
+		t.Errorf("bounds = [%v, %v) ok=%v", start, end, ok)
+	}
+}
+
+func TestRollingQueryFillsHolesWithZeros(t *testing.T) {
+	r := NewRollingSeries()
+	if err := r.Append(timeseries.MustNew(rollT0, []float64{7, 7})); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Append(timeseries.MustNew(rollT0.Add(4*time.Hour), []float64{9})); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Query(rollT0.Add(-time.Hour), rollT0.Add(6*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 7, 7, 0, 0, 9, 0}
+	for i, w := range want {
+		if got.AtIndex(i) != w {
+			t.Fatalf("hour %d = %v, want %v", i, got.AtIndex(i), w)
+		}
+	}
+}
+
+func TestRollingRetainTrimsHead(t *testing.T) {
+	r := NewRollingSeries()
+	if err := r.Append(timeseries.MustNew(rollT0, []float64{1, 2, 3, 4, 5, 6})); err != nil {
+		t.Fatal(err)
+	}
+	if dropped := r.Retain(4); dropped != 2 {
+		t.Fatalf("dropped = %d, want 2", dropped)
+	}
+	start, end, _ := r.Bounds()
+	if !start.Equal(rollT0.Add(2*time.Hour)) || !end.Equal(rollT0.Add(6*time.Hour)) {
+		t.Errorf("bounds after retain = [%v, %v)", start, end)
+	}
+	if r.HoursRetained() != 4 {
+		t.Errorf("hours retained = %d, want 4", r.HoursRetained())
+	}
+	// Retaining more than held is a no-op.
+	if dropped := r.Retain(100); dropped != 0 {
+		t.Errorf("over-retain dropped %d hours", dropped)
+	}
+}
+
+// TestRollingCompactionInvisibleProperty is the satellite property test:
+// across randomized append sequences and randomized compaction
+// boundaries, querying any sub-window of the compacted rolling series is
+// byte-identical (math.Float64bits, NaN and -0 included) to querying the
+// uncompacted one. Window edges are fuzzed to land on segment
+// boundaries, inside segments, inside holes, and beyond the data.
+func TestRollingCompactionInvisibleProperty(t *testing.T) {
+	for seed := int64(1); seed <= 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		plain := NewRollingSeries()
+		compacted := NewRollingSeries()
+
+		appends := 2 + rng.Intn(8)
+		maxEnd := 0
+		for a := 0; a < appends; a++ {
+			offset := rng.Intn(200)
+			n := 1 + rng.Intn(72)
+			s := randSeries(t, rng, offset, n)
+			if err := plain.Append(s); err != nil {
+				t.Fatal(err)
+			}
+			if err := compacted.Append(s); err != nil {
+				t.Fatal(err)
+			}
+			if offset+n > maxEnd {
+				maxEnd = offset + n
+			}
+			// Compact at a randomized boundary after every append — the
+			// interleaving is where the bugs live.
+			upTo := rollT0.Add(time.Duration(rng.Intn(maxEnd+10)) * time.Hour)
+			if rng.Intn(3) == 0 {
+				upTo = time.Time{} // full compaction
+			}
+			compacted.Compact(upTo)
+		}
+
+		if compacted.Segments() > plain.Segments() {
+			t.Fatalf("seed %d: compaction grew segments: %d > %d",
+				seed, compacted.Segments(), plain.Segments())
+		}
+
+		for q := 0; q < 50; q++ {
+			fromH := rng.Intn(maxEnd+12) - 6
+			lenH := 1 + rng.Intn(maxEnd+6)
+			from := rollT0.Add(time.Duration(fromH) * time.Hour)
+			to := from.Add(time.Duration(lenH) * time.Hour)
+			a, errA := plain.Query(from, to)
+			b, errB := compacted.Query(from, to)
+			if (errA == nil) != (errB == nil) {
+				t.Fatalf("seed %d: query error mismatch: %v vs %v", seed, errA, errB)
+			}
+			if errA != nil {
+				continue
+			}
+			if !bitsEqual(t, a, b) {
+				t.Fatalf("seed %d: query [%v, %v) diverged after compaction:\nplain:     %v\ncompacted: %v",
+					seed, from, to, a.Values(), b.Values())
+			}
+		}
+
+		// Retention must agree too: trim both to a random horizon and
+		// re-check a full-range query.
+		keep := 1 + rng.Intn(maxEnd)
+		plain.Retain(keep)
+		compacted.Retain(keep)
+		from, to := rollT0.Add(-2*time.Hour), rollT0.Add(time.Duration(maxEnd+2)*time.Hour)
+		a, errA := plain.Query(from, to)
+		b, errB := compacted.Query(from, to)
+		if errA != nil || errB != nil {
+			t.Fatalf("seed %d: post-retain query failed: %v / %v", seed, errA, errB)
+		}
+		if !bitsEqual(t, a, b) {
+			t.Fatalf("seed %d: post-retain query diverged", seed)
+		}
+	}
+}
+
+// FuzzRollingQueryWindow fuzzes the query window edges over a fixed
+// segmented rolling series: any aligned window must read identically
+// before and after full compaction, and misaligned or inverted windows
+// must be rejected by both.
+func FuzzRollingQueryWindow(f *testing.F) {
+	build := func() (*RollingSeries, *RollingSeries) {
+		plain, compacted := NewRollingSeries(), NewRollingSeries()
+		rng := rand.New(rand.NewSource(99))
+		for _, seg := range [][2]int{{0, 24}, {24, 24}, {48, 12}, {72, 6}, {90, 48}, {100, 5}} {
+			s := randSeriesF(rng, seg[0], seg[1])
+			plain.Append(s)
+			compacted.Append(s)
+		}
+		compacted.Compact(time.Time{})
+		return plain, compacted
+	}
+	f.Add(int64(0), int64(24))
+	f.Add(int64(-5), int64(200))
+	f.Add(int64(23), int64(2))
+	f.Add(int64(10), int64(0))
+	f.Fuzz(func(t *testing.T, fromH, lenH int64) {
+		if fromH < -1000 || fromH > 1000 || lenH < -1000 || lenH > 1000 {
+			t.Skip("window far outside the data adds no coverage")
+		}
+		plain, compacted := build()
+		from := rollT0.Add(time.Duration(fromH) * time.Hour)
+		to := from.Add(time.Duration(lenH) * time.Hour)
+		a, errA := plain.Query(from, to)
+		b, errB := compacted.Query(from, to)
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("error mismatch: %v vs %v", errA, errB)
+		}
+		if errA != nil {
+			return
+		}
+		if !a.Start().Equal(b.Start()) || a.Len() != b.Len() {
+			t.Fatalf("shape mismatch: [%v +%d] vs [%v +%d]", a.Start(), a.Len(), b.Start(), b.Len())
+		}
+		for i := 0; i < a.Len(); i++ {
+			if math.Float64bits(a.AtIndex(i)) != math.Float64bits(b.AtIndex(i)) {
+				t.Fatalf("value %d diverged: %v vs %v", i, a.AtIndex(i), b.AtIndex(i))
+			}
+		}
+	})
+}
+
+// randSeriesF is randSeries without the testing.T (fuzz setup path).
+func randSeriesF(rng *rand.Rand, offset, n int) *timeseries.Series {
+	vals := make([]float64, n)
+	for i := range vals {
+		switch rng.Intn(10) {
+		case 0:
+			vals[i] = math.Copysign(0, -1)
+		case 1:
+			vals[i] = math.NaN()
+		default:
+			vals[i] = rng.Float64() * 100
+		}
+	}
+	return timeseries.MustNew(rollT0.Add(time.Duration(offset)*time.Hour), vals)
+}
