@@ -10,12 +10,25 @@ import (
 )
 
 // Result is one benchmark's measurements. The standard testing columns
-// get named fields; ReportMetric custom units land in Metrics.
+// get named fields; ReportMetric custom units land in Metrics. In a
+// baseline file the entry may also carry gating policy: MinMetrics and
+// SkipAllocs.
 type Result struct {
 	NsPerOp     float64            `json:"ns_per_op"`
 	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
 	AllocsPerOp float64            `json:"allocs_per_op"`
 	Metrics     map[string]float64 `json:"metrics,omitempty"`
+
+	// MinMetrics (baseline-only) names custom metrics the run must report
+	// at or above the given floor — e.g. {"scale_x": 2.5} requires the
+	// crawl plane's 4-worker throughput to stay ≥2.5× its 1-worker run.
+	// Floors gate ratios and rates, which are robust on shared CI runners
+	// where absolute ns/op is not.
+	MinMetrics map[string]float64 `json:"min_metrics,omitempty"`
+	// SkipAllocs (baseline-only) exempts the benchmark from the allocs/op
+	// gate — for benchmarks whose cost model is throughput, not
+	// allocation discipline.
+	SkipAllocs bool `json:"skip_allocs,omitempty"`
 }
 
 // procSuffix is the -N GOMAXPROCS suffix the testing package appends to
@@ -70,9 +83,10 @@ func Parse(r io.Reader) (map[string]Result, error) {
 }
 
 // Gate compares a run against a baseline and returns one message per
-// violation: a baseline benchmark missing from the run, or allocs/op
-// grown beyond baseline*(1+tolerance). Benchmarks absent from the
-// baseline are ignored — the baseline file is the explicit gate list.
+// violation: a baseline benchmark missing from the run, allocs/op grown
+// beyond baseline*(1+tolerance), or a custom metric under its
+// min_metrics floor. Benchmarks absent from the baseline are ignored —
+// the baseline file is the explicit gate list.
 func Gate(run, baseline map[string]Result, tolerance float64) []string {
 	var out []string
 	for _, name := range sortedKeys(baseline) {
@@ -82,10 +96,36 @@ func Gate(run, baseline map[string]Result, tolerance float64) []string {
 			out = append(out, fmt.Sprintf("%s: listed in baseline but missing from the run", name))
 			continue
 		}
-		limit := base.AllocsPerOp * (1 + tolerance)
-		if got.AllocsPerOp > limit {
-			out = append(out, fmt.Sprintf("%s: allocs/op %.0f exceeds baseline %.0f (+%.0f%% tolerance → limit %.1f)",
-				name, got.AllocsPerOp, base.AllocsPerOp, tolerance*100, limit))
+		if !base.SkipAllocs {
+			limit := base.AllocsPerOp * (1 + tolerance)
+			if got.AllocsPerOp > limit {
+				out = append(out, fmt.Sprintf("%s: allocs/op %.0f exceeds baseline %.0f (+%.0f%% tolerance → limit %.1f)",
+					name, got.AllocsPerOp, base.AllocsPerOp, tolerance*100, limit))
+			}
+		}
+		for _, unit := range sortedFloatKeys(base.MinMetrics) {
+			min := base.MinMetrics[unit]
+			v, reported := got.Metrics[unit]
+			if !reported {
+				out = append(out, fmt.Sprintf("%s: metric %q required (min %g) but not reported", name, unit, min))
+				continue
+			}
+			if v < min {
+				out = append(out, fmt.Sprintf("%s: %s %.3f below required minimum %g", name, unit, v, min))
+			}
+		}
+	}
+	return out
+}
+
+func sortedFloatKeys(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
 		}
 	}
 	return out

@@ -84,3 +84,35 @@ func TestGate(t *testing.T) {
 		t.Fatalf("missing benchmark not flagged: %v", v)
 	}
 }
+
+func TestGateMinMetricsAndSkipAllocs(t *testing.T) {
+	baseline := map[string]Result{
+		"BenchmarkCrawlPlane/workers=4": {
+			SkipAllocs: true,
+			MinMetrics: map[string]float64{"scale_x": 2.5},
+		},
+	}
+	run := map[string]Result{
+		"BenchmarkCrawlPlane/workers=4": {
+			AllocsPerOp: 123456, // exempt via skip_allocs
+			Metrics:     map[string]float64{"scale_x": 3.1, "units/sec": 900},
+		},
+	}
+	if v := Gate(run, baseline, 0.10); len(v) != 0 {
+		t.Fatalf("healthy scaling flagged: %v", v)
+	}
+
+	run["BenchmarkCrawlPlane/workers=4"] = Result{
+		Metrics: map[string]float64{"scale_x": 1.7},
+	}
+	v := Gate(run, baseline, 0.10)
+	if len(v) != 1 || !strings.Contains(v[0], "below required minimum") {
+		t.Fatalf("degraded scaling not flagged: %v", v)
+	}
+
+	run["BenchmarkCrawlPlane/workers=4"] = Result{AllocsPerOp: 1}
+	v = Gate(run, baseline, 0.10)
+	if len(v) != 1 || !strings.Contains(v[0], "not reported") {
+		t.Fatalf("missing required metric not flagged: %v", v)
+	}
+}

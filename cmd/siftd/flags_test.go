@@ -30,6 +30,10 @@ func TestParseFlagsDefaults(t *testing.T) {
 	if o.archiveMaxSubs != 16 || o.archiveMaxTasks != 64 || o.archiveWorkers != 4 {
 		t.Errorf("archiver quota defaults = %+v", o)
 	}
+	if o.crawlWorkers != 0 || o.planeLeaseTTL != 30*time.Second ||
+		o.planeState != "" || o.planeCacheSize != 0 {
+		t.Errorf("crawl-plane defaults = %+v", o)
+	}
 }
 
 func TestParseFlagsOverrides(t *testing.T) {
@@ -49,6 +53,10 @@ func TestParseFlagsOverrides(t *testing.T) {
 		"-archive-max-subs", "3",
 		"-archive-max-tasks", "5",
 		"-archive-workers", "2",
+		"-crawl-workers", "3",
+		"-plane-lease-ttl", "5s",
+		"-plane-state", "/tmp/plane",
+		"-plane-cache-size", "512",
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -72,6 +80,10 @@ func TestParseFlagsOverrides(t *testing.T) {
 	if o.archiveMaxSubs != 3 || o.archiveMaxTasks != 5 || o.archiveWorkers != 2 {
 		t.Errorf("archiver quota overrides = %+v", o)
 	}
+	if o.crawlWorkers != 3 || o.planeLeaseTTL != 5*time.Second ||
+		o.planeState != "/tmp/plane" || o.planeCacheSize != 512 {
+		t.Errorf("crawl-plane overrides = %+v", o)
+	}
 }
 
 func TestParseFlagsRejects(t *testing.T) {
@@ -86,6 +98,10 @@ func TestParseFlagsRejects(t *testing.T) {
 		{"zero cadence", []string{"-archive", "-metrics-addr", ":9100", "-archive-every", "0s"}, "-archive-every"},
 		{"unknown flag", []string{"-no-such-flag"}, "flag"},
 		{"malformed duration", []string{"-archive-every", "fast"}, "invalid"},
+		{"negative crawl workers", []string{"-crawl-workers", "-1"}, "-crawl-workers"},
+		{"crawl workers without archive", []string{"-crawl-workers", "2", "-metrics-addr", ":9100"}, "-archive"},
+		{"zero lease ttl", []string{"-archive", "-metrics-addr", ":9100", "-crawl-workers", "2", "-plane-lease-ttl", "0s"}, "-plane-lease-ttl"},
+		{"plane state without plane", []string{"-plane-state", "/tmp/plane"}, "-crawl-workers"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

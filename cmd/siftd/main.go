@@ -44,8 +44,20 @@
 //	-archive-max-tasks  global (term, state) task quota (default 64)
 //	-archive-workers    pipeline fetch workers per crawl (default 4)
 //
+//	-crawl-workers     shard archiver crawls across this many lease-
+//	                   coordinated crawl-plane workers (0 = crawl inline
+//	                   in the pipeline, the pre-plane behaviour)
+//	-plane-lease-ttl   work-unit lease TTL; a killed worker's units are
+//	                   stolen after this long (default 30s)
+//	-plane-state       directory the plane persists its work queue and
+//	                   completed frames under, and resumes from on
+//	                   restart (off when empty)
+//	-plane-cache-size  per-worker frame-cache shard capacity in entries
+//	                   (0 = the engine default)
+//
 // SIGINT/SIGTERM drain gracefully: the archiver finishes its in-flight
-// round, the record store flushes, the trace export is written, and the
+// round, the crawl plane quiesces its workers and flushes persisted
+// state, the record store flushes, the trace export is written, and the
 // listeners shut down.
 package main
 
@@ -64,6 +76,7 @@ import (
 
 	"sift/internal/archiver"
 	"sift/internal/core"
+	"sift/internal/crawlplane"
 	"sift/internal/faults"
 	"sift/internal/gtrends"
 	"sift/internal/gtserver"
@@ -99,6 +112,11 @@ type options struct {
 	archiveMaxSubs   int
 	archiveMaxTasks  int
 	archiveWorkers   int
+
+	crawlWorkers   int
+	planeLeaseTTL  time.Duration
+	planeState     string
+	planeCacheSize int
 }
 
 // parseFlags parses args (without the program name) into options,
@@ -127,6 +145,10 @@ func parseFlags(args []string) (options, error) {
 	fs.IntVar(&o.archiveMaxSubs, "archive-max-subs", 16, "per-tenant subscription quota")
 	fs.IntVar(&o.archiveMaxTasks, "archive-max-tasks", 64, "global (term, state) task quota")
 	fs.IntVar(&o.archiveWorkers, "archive-workers", 4, "pipeline fetch workers per archiver crawl")
+	fs.IntVar(&o.crawlWorkers, "crawl-workers", 0, "crawl-plane worker count (0 = crawl inline)")
+	fs.DurationVar(&o.planeLeaseTTL, "plane-lease-ttl", 30*time.Second, "crawl-plane work-unit lease TTL")
+	fs.StringVar(&o.planeState, "plane-state", "", "directory for crawl-plane queue/frame persistence (off when empty)")
+	fs.IntVar(&o.planeCacheSize, "plane-cache-size", 0, "per-worker frame-cache shard capacity (0 = engine default)")
 	if err := fs.Parse(args); err != nil {
 		return o, err
 	}
@@ -141,6 +163,18 @@ func parseFlags(args []string) (options, error) {
 	}
 	if o.archive && o.archiveEvery <= 0 {
 		return o, errors.New("-archive-every must be positive")
+	}
+	if o.crawlWorkers < 0 {
+		return o, errors.New("-crawl-workers must be >= 0")
+	}
+	if o.crawlWorkers > 0 && !o.archive {
+		return o, errors.New("-crawl-workers requires -archive (the plane serves archiver crawls)")
+	}
+	if o.crawlWorkers > 0 && o.planeLeaseTTL <= 0 {
+		return o, errors.New("-plane-lease-ttl must be positive")
+	}
+	if o.planeState != "" && o.crawlWorkers == 0 {
+		return o, errors.New("-plane-state without -crawl-workers has nothing to persist")
 	}
 	return o, nil
 }
@@ -286,13 +320,36 @@ func run(opts options) error {
 	defer stop()
 
 	var sup *archiver.Supervisor
+	var plane *crawlplane.Plane
 	var metricsSrv *http.Server
 	if opts.metricsAddr != "" {
 		mux := metricsMux(tracer)
+		if opts.archive && opts.crawlWorkers > 0 {
+			// The sharded crawl tier: the archiver's pipeline fetches
+			// through it instead of crawling inline, so windows survive a
+			// worker kill (lease steal) and a process restart (-plane-state).
+			plane, err = crawlplane.New(crawlplane.Config{
+				Workers: opts.crawlWorkers,
+				// Each worker gets its own fetcher, mirroring the per-pool
+				// client topology a live deployment would run.
+				NewFetcher: func(int) gtrends.Fetcher {
+					return gtrends.EngineFetcher{Engine: engine}
+				},
+				LeaseTTL:  opts.planeLeaseTTL,
+				CacheSize: opts.planeCacheSize,
+				StatePath: opts.planeState,
+				Tracer:    tracer,
+			})
+			if err != nil {
+				return err
+			}
+			log.Printf("crawl plane: %d workers, lease TTL %v, state=%q",
+				opts.crawlWorkers, opts.planeLeaseTTL, opts.planeState)
+		}
 		if opts.archive {
-			sup, err = archiver.New(archiver.Config{
-				// The archiver crawls the engine in-process: same frames
-				// the HTTP clients see, no loop-back hop.
+			acfg := archiver.Config{
+				// Without a plane the archiver crawls the engine in-process:
+				// same frames the HTTP clients see, no loop-back hop.
 				Fetcher:                   gtrends.EngineFetcher{Engine: engine},
 				Start:                     from.UTC(),
 				End:                       to.UTC(),
@@ -304,7 +361,12 @@ func run(opts options) error {
 				MaxTasks:                  opts.archiveMaxTasks,
 				Pipeline:                  core.PipelineConfig{Workers: opts.archiveWorkers},
 				Tracer:                    tracer,
-			})
+			}
+			if plane != nil {
+				acfg.Fetcher = nil
+				acfg.Plane = plane
+			}
+			sup, err = archiver.New(acfg)
 			if err != nil {
 				return err
 			}
@@ -338,10 +400,18 @@ func run(opts options) error {
 	}
 
 	// Graceful drain, in dependency order: stop taking crawl rounds,
+	// quiesce the crawl plane's workers and flush its persisted state,
 	// flush what was recorded, export the trace, then close listeners.
 	log.Printf("shutting down")
 	if sup != nil {
 		sup.Close()
+	}
+	if plane != nil {
+		drainCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		if err := plane.Close(drainCtx); err != nil {
+			log.Printf("crawl plane: drain: %v", err)
+		}
+		cancel()
 	}
 	if recordWB != nil {
 		recordWB.Close()

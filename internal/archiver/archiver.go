@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"sift/internal/core"
+	"sift/internal/crawlplane"
 	"sift/internal/engine"
 	"sift/internal/geo"
 	"sift/internal/gtrends"
@@ -45,6 +46,15 @@ import (
 type Config struct {
 	// Fetcher is the Trends data source every task crawls through.
 	Fetcher gtrends.Fetcher
+	// Plane, when set, routes every crawl through the sharded
+	// crash-resumable crawl plane instead of fetching inline: the
+	// pipeline's Source becomes the plane (its per-worker cache shards
+	// and schedulers replace the supervisor's shared cache and
+	// scheduler), and rounds resume across process restarts from the
+	// plane's persisted lease queue. The supervisor does not own the
+	// plane's lifecycle — the caller (cmd/siftd) closes it after the
+	// supervisor drains.
+	Plane *crawlplane.Plane
 	// Start is the left edge of the archive (hour-aligned UTC) — virtual
 	// time begins at Start+InitialWindow.
 	Start time.Time
@@ -230,8 +240,8 @@ type Supervisor struct {
 // New validates cfg and builds a supervisor. No crawling starts until
 // Run or Tick.
 func New(cfg Config) (*Supervisor, error) {
-	if cfg.Fetcher == nil {
-		return nil, errors.New("archiver: config needs a Fetcher")
+	if cfg.Fetcher == nil && cfg.Plane == nil {
+		return nil, errors.New("archiver: config needs a Fetcher or a Plane")
 	}
 	if cfg.Start.IsZero() || !timeseries.Aligned(cfg.Start) {
 		return nil, errors.New("archiver: Start must be a non-zero, hour-aligned instant")
@@ -574,8 +584,18 @@ func (s *Supervisor) crawlTask(ctx context.Context, tk *task, round uint64, from
 	defer span.End()
 
 	cfg := s.cfg.Pipeline
-	cfg.Cache = s.cache
-	cfg.Scheduler = s.sched
+	if s.cfg.Plane != nil {
+		// Plane mode: the fetch tier lives in the plane's workers — their
+		// cache shards and local schedulers replace the supervisor's
+		// shared ones, and the pipeline consumes completed windows
+		// asynchronously through the CachedSource seam.
+		cfg.Source = s.cfg.Plane
+		cfg.Cache = nil
+		cfg.Scheduler = nil
+	} else {
+		cfg.Cache = s.cache
+		cfg.Scheduler = s.sched
+	}
 	cfg.Memo = s.memo
 	cfg.Metrics = s.cfg.Metrics
 	cfg.Tracer = s.cfg.Tracer

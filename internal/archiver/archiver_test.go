@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"sift/internal/core"
+	"sift/internal/crawlplane"
 	"sift/internal/gtrends"
 	"sift/internal/obs"
 	"sift/internal/searchmodel"
@@ -379,5 +380,72 @@ func TestConfigValidation(t *testing.T) {
 	}
 	if !s.VirtualNow().Equal(t0.Add(336 * time.Hour)) {
 		t.Errorf("virtual now = %v", s.VirtualNow())
+	}
+}
+
+// TestPlaneModeMatchesSingleWorker routes the supervisor's crawls
+// through the sharded crawl plane and checks the scheduling tier leaks
+// nothing into results: a 3-worker plane reproduces the 1-worker plane's
+// spike sets and series bit for bit (unit-keyed sampling), and the storm
+// still spikes.
+func TestPlaneModeMatchesSingleWorker(t *testing.T) {
+	type outcome struct {
+		spikes []core.Spike
+		series []float64
+	}
+	run := func(workers int) outcome {
+		t.Helper()
+		plane, err := crawlplane.New(crawlplane.Config{
+			Workers:  workers,
+			Fetcher:  newEngineFetcher(7),
+			LeaseTTL: 10 * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer plane.Close(context.Background())
+
+		cfg := testConfig()
+		cfg.Fetcher = nil
+		cfg.Plane = plane
+		s := newTestSupervisor(t, cfg)
+		if _, err := s.Subscribe("", "power outage", "TX"); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 2; i++ {
+			if err := s.Tick(context.Background()); err != nil {
+				t.Fatalf("tick %d: %v", i, err)
+			}
+		}
+		spikes, ok := s.Spikes("power outage", "TX")
+		if !ok {
+			t.Fatal("no task state for power outage/TX")
+		}
+		start, end, err := s.SeriesBounds("power outage", "TX")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ser, err := s.SeriesWindow("power outage", "TX", start, end)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return outcome{spikes: spikes, series: ser.Values()}
+	}
+
+	one, three := run(1), run(3)
+	if len(one.spikes) == 0 {
+		t.Fatal("storm produced no spikes through the plane")
+	}
+	if !core.SpikeSetsEqual(one.spikes, three.spikes, 0) {
+		t.Errorf("spike sets differ across worker counts: %v vs %v", one.spikes, three.spikes)
+	}
+	if len(one.series) != len(three.series) {
+		t.Fatalf("series lengths differ: %d vs %d", len(one.series), len(three.series))
+	}
+	for i := range one.series {
+		a, b := one.series[i], three.series[i]
+		if math.Float64bits(a) != math.Float64bits(b) {
+			t.Fatalf("series bit-diverge at hour %d: %v vs %v", i, a, b)
+		}
 	}
 }

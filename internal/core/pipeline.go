@@ -549,6 +549,14 @@ func (p *Pipeline) fetchRound(ctx context.Context, cfg PipelineConfig, sched *en
 	if sched != nil && sched.Workers() < workers {
 		workers = sched.Workers()
 	}
+	// A source that schedules its own fetches (the sharded crawl plane)
+	// gets every window submitted at once: the local pool would only
+	// throttle submissions that immediately park waiting for the plane,
+	// and the plane's workers are the real concurrency bound. The local
+	// pool and scheduler stay in charge for ordinary sources.
+	if _, async := cfg.Source.(engine.AsyncFrameSource); async && cfg.Cache == nil && sched == nil {
+		workers = len(specs)
+	}
 	if workers > len(specs) {
 		workers = len(specs)
 	}
@@ -602,7 +610,7 @@ func (p *Pipeline) fetchRound(ctx context.Context, cfg PipelineConfig, sched *en
 				fspan.SetAttr(trace.Bool("cache_hit", hit))
 				fspan.End()
 				mu.Lock()
-				if cfg.Cache != nil {
+				if cfg.Cache != nil || cfg.hitReporting() {
 					if hit {
 						hits++
 					} else {
@@ -655,11 +663,28 @@ func isCancellation(err error) bool {
 	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
+// hitReporting reports whether cache-hit accounting flows from the source
+// itself: no pipeline-level cache, but a source that caches internally
+// (engine.CachedSource — the crawl plane's shards). The stitch memo's
+// all-hit prefix rule keys off this accounting, so it keeps working when
+// caching lives below the source seam.
+func (c PipelineConfig) hitReporting() bool {
+	if c.Cache != nil {
+		return false
+	}
+	_, ok := c.Source.(engine.CachedSource)
+	return ok
+}
+
 // fetchOne resolves one frame: through the shared cache (singleflight
-// deduplicated) when configured, directly from the source stage
-// otherwise. hit reports a cache hit.
+// deduplicated) when configured, through the source's own cache when it
+// reports hits itself, or directly from the source stage otherwise. hit
+// reports a cache hit.
 func fetchOne(ctx context.Context, cfg PipelineConfig, req gtrends.FrameRequest, round int) (*gtrends.Frame, bool, error) {
 	if cfg.Cache == nil {
+		if cs, ok := cfg.Source.(engine.CachedSource); ok {
+			return cs.FetchFrameCached(ctx, req, round)
+		}
 		f, err := cfg.Source.FetchFrame(ctx, req, round)
 		return f, false, err
 	}

@@ -1,0 +1,97 @@
+package crawlplane
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"sift/internal/geo"
+	"sift/internal/gtrends"
+)
+
+// benchFetcher models a remote Trends backend: every fetch pays a fixed
+// RTT and returns a minimal valid frame. Sleep-bound work makes the
+// scaling measurement reflect the plane's concurrency structure rather
+// than the host's core count.
+type benchFetcher struct{ rtt time.Duration }
+
+func (f benchFetcher) FetchFrame(ctx context.Context, req gtrends.FrameRequest) (*gtrends.Frame, error) {
+	select {
+	case <-time.After(f.rtt):
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	return &gtrends.Frame{
+		Term:   req.Term,
+		State:  req.State,
+		Start:  req.Start.UTC(),
+		Points: make([]int, req.Hours),
+	}, nil
+}
+
+// planeThroughput measures units/sec for one worker count: each
+// iteration pushes a fixed batch of distinct units (fresh rounds per
+// iteration, so nothing is ever a cache hit) through the plane and waits
+// for all of them.
+func planeThroughput(b *testing.B, workers int) float64 {
+	const batch = 96
+	states := geo.Codes()
+	p, err := New(Config{
+		Workers:     workers,
+		Fetcher:     benchFetcher{rtt: time.Millisecond},
+		LeaseTTL:    10 * time.Second,
+		UnitWorkers: 8,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close(context.Background())
+
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		var wg sync.WaitGroup
+		for i := 0; i < batch; i++ {
+			req := gtrends.FrameRequest{
+				Term:  fmt.Sprintf("bench term %d", i%12),
+				State: states[i%len(states)],
+				Start: qt0.Add(time.Duration(i/12) * 24 * time.Hour),
+				Hours: 24,
+			}
+			wg.Add(1)
+			go func(req gtrends.FrameRequest) {
+				defer wg.Done()
+				// Round = iteration + 1 keys every batch to fresh units.
+				if _, err := p.FetchFrame(context.Background(), req, n+1); err != nil {
+					b.Error(err)
+				}
+			}(req)
+		}
+		wg.Wait()
+	}
+	b.StopTimer()
+	ups := float64(batch) * float64(b.N) / b.Elapsed().Seconds()
+	b.ReportMetric(ups, "units/sec")
+	return ups
+}
+
+// BenchmarkCrawlPlane measures unit throughput at 1, 2, and 4 workers.
+// The workers=4 sub-benchmark also reports scale_x — its throughput over
+// the workers=1 run of the same invocation — which cmd/benchguard gates
+// against BENCH_BASELINE.json (≥ 2.5× required). The ratio is robust to
+// machine speed in a way raw units/sec is not.
+func BenchmarkCrawlPlane(b *testing.B) {
+	var base float64
+	for _, workers := range []int{1, 2, 4} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			ups := planeThroughput(b, workers)
+			if workers == 1 {
+				base = ups
+			} else if base > 0 {
+				b.ReportMetric(ups/base, "scale_x")
+			}
+		})
+	}
+}

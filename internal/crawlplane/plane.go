@@ -1,0 +1,604 @@
+package crawlplane
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"time"
+
+	"sift/internal/engine"
+	"sift/internal/gtrends"
+	"sift/internal/obs"
+	"sift/internal/store"
+	"sift/internal/trace"
+)
+
+// DefaultUnitWorkers is each crawl worker's local fetch concurrency (its
+// engine.Scheduler slot count) when the config leaves it zero.
+const DefaultUnitWorkers = 4
+
+// DefaultUnitRetries matches the pipeline's default in-round fetch
+// retries: transient failures and invalid frames re-fetch twice before a
+// unit's failure is declared permanent.
+const DefaultUnitRetries = 2
+
+// DefaultSaveEvery is the background persistence cadence for a plane
+// with a state path.
+const DefaultSaveEvery = time.Second
+
+// queueFileName and framesFileName are the two files a stateful plane
+// keeps under Config.StatePath.
+const (
+	queueFileName  = "queue.json"
+	framesFileName = "frames.json"
+)
+
+// Config parameterizes a Plane.
+type Config struct {
+	// Workers is the crawler-worker count; <= 0 means 1.
+	Workers int
+	// Fetcher is the frame fetcher shared by every worker when NewFetcher
+	// is nil. If it implements gtrends.KeyedFetcher the plane keys each
+	// unit's sample draw off the unit's identity, making crawl results
+	// independent of worker count and fetch order.
+	Fetcher gtrends.Fetcher
+	// NewFetcher, when set, builds worker i's private fetcher — the hook
+	// for per-worker gtclient pools against a live service.
+	NewFetcher func(worker int) gtrends.Fetcher
+	// LeaseTTL bounds how long a dead worker's units stay assigned;
+	// <= 0 takes DefaultLeaseTTL.
+	LeaseTTL time.Duration
+	// UnitWorkers is each worker's local fetch concurrency; <= 0 takes
+	// DefaultUnitWorkers.
+	UnitWorkers int
+	// CacheSize is each worker's FrameCache shard capacity (entries);
+	// <= 0 takes engine.DefaultCacheSize.
+	CacheSize int
+	// Retries is the in-unit re-fetch budget for transient failures;
+	// 0 takes DefaultUnitRetries, negative means none.
+	Retries int
+	// VNodes is the consistent-hash virtual-node count per worker;
+	// <= 0 takes DefaultVNodes.
+	VNodes int
+	// StatePath, when non-empty, is the directory the plane persists its
+	// queue and completed frames under (queue.json, frames.json) and
+	// resumes from on construction.
+	StatePath string
+	// SaveEvery is the background persistence cadence when StatePath is
+	// set; <= 0 takes DefaultSaveEvery.
+	SaveEvery time.Duration
+	// Metrics selects the registry the plane reports into; nil uses
+	// obs.Default().
+	Metrics *obs.Registry
+	// Tracer, when non-nil, roots each worker's crawlplane.worker span.
+	Tracer *trace.Tracer
+}
+
+// unitResult is what a waiter receives when its unit settles.
+type unitResult struct {
+	frame *gtrends.Frame
+	err   error
+}
+
+// planeObs holds the plane's metric handles (the queue carries its own).
+type planeObs struct {
+	workers     obs.Gauge      // sift_crawlplane_workers
+	units       obs.CounterVec // sift_crawlplane_units_total{outcome}
+	workerDepth obs.GaugeVec   // sift_crawlplane_worker_depth{worker}
+	unitSecs    obs.Histogram  // sift_crawlplane_unit_seconds
+	retries     obs.CounterVec // sift_engine_source_retries_total{reason}
+}
+
+func newPlaneObs(r *obs.Registry) planeObs {
+	return planeObs{
+		workers: r.Gauge("sift_crawlplane_workers", "crawl-plane worker count"),
+		units: r.CounterVec("sift_crawlplane_units_total",
+			"crawl work units by outcome", "outcome"),
+		workerDepth: r.GaugeVec("sift_crawlplane_worker_depth",
+			"available home-shard units per worker", "worker"),
+		unitSecs: r.Histogram("sift_crawlplane_unit_seconds",
+			"wall time from unit acquire to settle", nil),
+		retries: r.CounterVec("sift_engine_source_retries_total",
+			"in-round frame re-fetches by cause", "reason"),
+	}
+}
+
+// Plane is the sharded, crash-resumable crawl tier: N workers, each with
+// its own fetcher, FrameCache shard, and local scheduler, draining a
+// shared lease queue of (state × window × round) units. It plugs into
+// the processing pipeline as an engine.FrameSource (and CachedSource /
+// AsyncFrameSource), so stitching and detection consume completed
+// windows asynchronously while the fetch tier crawls.
+type Plane struct {
+	cfg    Config
+	ring   *Ring
+	queue  *Queue
+	caches []*engine.FrameCache
+	scheds []*engine.Scheduler
+	fetch  []gtrends.Fetcher
+	om     planeObs
+
+	mu      sync.Mutex
+	waiters map[string][]chan unitResult
+	db      *store.DB // completed frames, persisted under StatePath
+
+	wake    []chan struct{}
+	cancels []context.CancelFunc
+	wg      sync.WaitGroup
+	root    context.Context
+	stopAll context.CancelFunc
+	drain   chan struct{} // closed by Close: stop acquiring
+	closed  sync.Once
+	saverWG sync.WaitGroup
+}
+
+// New builds the plane, resumes any persisted state under
+// cfg.StatePath, and starts its workers. Close releases them.
+func New(cfg Config) (*Plane, error) {
+	if cfg.Fetcher == nil && cfg.NewFetcher == nil {
+		return nil, errors.New("crawlplane: config needs a Fetcher or NewFetcher")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.UnitWorkers <= 0 {
+		cfg.UnitWorkers = DefaultUnitWorkers
+	}
+	if cfg.Retries == 0 {
+		cfg.Retries = DefaultUnitRetries
+	}
+	if cfg.SaveEvery <= 0 {
+		cfg.SaveEvery = DefaultSaveEvery
+	}
+
+	p := &Plane{
+		cfg:     cfg,
+		ring:    NewRing(cfg.Workers, cfg.VNodes),
+		om:      newPlaneObs(cfg.Metrics),
+		waiters: make(map[string][]chan unitResult),
+		drain:   make(chan struct{}),
+	}
+
+	// Resume: the persisted queue (leases load as pending — the dead
+	// process's workers are gone) plus the completed frames, primed into
+	// their owner shards so done units never refetch.
+	if cfg.StatePath != "" {
+		q, err := LoadQueue(filepath.Join(cfg.StatePath, queueFileName), cfg.LeaseTTL)
+		if err != nil {
+			return nil, err
+		}
+		p.queue = q.WithMetrics(cfg.Metrics)
+		db, err := store.Load(filepath.Join(cfg.StatePath, framesFileName))
+		if err != nil {
+			if !errors.Is(err, os.ErrNotExist) {
+				return nil, err
+			}
+			db = store.New()
+		}
+		p.db = db
+	} else {
+		p.queue = NewQueue(cfg.LeaseTTL).WithMetrics(cfg.Metrics)
+		p.db = store.New()
+	}
+
+	for i := 0; i < cfg.Workers; i++ {
+		cache := engine.NewFrameCache(cfg.CacheSize).
+			WithShard("shard-"+strconv.Itoa(i), cfg.Metrics)
+		p.caches = append(p.caches, cache)
+		p.scheds = append(p.scheds, engine.NewScheduler(cfg.UnitWorkers))
+		if cfg.NewFetcher != nil {
+			p.fetch = append(p.fetch, cfg.NewFetcher(i))
+		} else {
+			p.fetch = append(p.fetch, cfg.Fetcher)
+		}
+		p.wake = append(p.wake, make(chan struct{}, 1))
+	}
+	p.primeFromDB()
+	if resumed := p.queue.DoneCount(); resumed > 0 {
+		p.om.units.With("resumed").Add(float64(resumed))
+	}
+	p.om.workers.Set(float64(cfg.Workers))
+
+	p.root, p.stopAll = context.WithCancel(context.Background())
+	for i := 0; i < cfg.Workers; i++ {
+		wctx, cancel := context.WithCancel(p.root)
+		p.cancels = append(p.cancels, cancel)
+		p.wg.Add(1)
+		go p.worker(wctx, i)
+	}
+	if cfg.StatePath != "" {
+		p.saverWG.Add(1)
+		go p.saver()
+	}
+	return p, nil
+}
+
+// primeFromDB loads every persisted frame into its owner's cache shard.
+func (p *Plane) primeFromDB() {
+	p.db.EachFrame(func(round int, f *gtrends.Frame) {
+		u := Unit{
+			Term:   f.Term,
+			State:  f.State,
+			Start:  f.Start.UTC(),
+			Hours:  len(f.Points),
+			Round:  round,
+			Rising: len(f.Rising) > 0,
+		}
+		p.caches[p.ring.Owner(u.ShardKey())].Prime(round, f)
+	})
+}
+
+// Workers returns the worker count.
+func (p *Plane) Workers() int { return p.cfg.Workers }
+
+// Queue exposes the lease queue (tests, diagnostics).
+func (p *Plane) Queue() *Queue { return p.queue }
+
+// ShardStats snapshots every worker's cache shard.
+func (p *Plane) ShardStats() []engine.CacheStats {
+	out := make([]engine.CacheStats, len(p.caches))
+	for i, c := range p.caches {
+		out[i] = c.Stats()
+	}
+	return out
+}
+
+// AsyncFetch marks the plane as scheduling its own fetch concurrency;
+// the reported parallelism is the plane-wide slot total.
+func (p *Plane) AsyncFetch() int { return p.cfg.Workers * p.cfg.UnitWorkers }
+
+// FetchFrame implements engine.FrameSource.
+func (p *Plane) FetchFrame(ctx context.Context, req gtrends.FrameRequest, round int) (*gtrends.Frame, error) {
+	f, _, err := p.FetchFrameCached(ctx, req, round)
+	return f, err
+}
+
+// FetchFrameCached implements engine.CachedSource: a frame already in
+// its owner shard is a hit; otherwise the request becomes a queued unit
+// and the call blocks until a worker settles it (or ctx is done).
+func (p *Plane) FetchFrameCached(ctx context.Context, req gtrends.FrameRequest, round int) (*gtrends.Frame, bool, error) {
+	u := UnitOf(req, round)
+	key := engine.KeyOf(req, round)
+	owner := p.ring.Owner(u.ShardKey())
+	if f, ok := p.caches[owner].Get(key); ok {
+		return f, true, nil
+	}
+	ch := make(chan unitResult, 1)
+	ukey := u.Key()
+	p.addWaiter(ukey, ch)
+	// Re-check after registering: a worker that completed the unit
+	// between our miss and addWaiter put the frame before delivering, so
+	// one of the two paths always observes it.
+	if f, ok := p.caches[owner].Get(key); ok {
+		p.dropWaiter(ukey, ch)
+		return f, true, nil
+	}
+	if _, done := p.queue.Add(u); done {
+		// Done but not resident: the frame was evicted (or its store
+		// lost). Reopen for a refetch — with a keyed fetcher the redraw
+		// is bit-identical.
+		p.queue.Reopen(ukey)
+	}
+	p.wakeAll()
+	select {
+	case r := <-ch:
+		return r.frame, false, r.err
+	case <-ctx.Done():
+		p.dropWaiter(ukey, ch)
+		return nil, false, ctx.Err()
+	}
+}
+
+// addWaiter registers ch for key's settlement.
+func (p *Plane) addWaiter(key string, ch chan unitResult) {
+	p.mu.Lock()
+	p.waiters[key] = append(p.waiters[key], ch)
+	p.mu.Unlock()
+}
+
+// dropWaiter deregisters ch.
+func (p *Plane) dropWaiter(key string, ch chan unitResult) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	chs := p.waiters[key]
+	for i, c := range chs {
+		if c == ch {
+			p.waiters[key] = append(chs[:i:i], chs[i+1:]...)
+			break
+		}
+	}
+	if len(p.waiters[key]) == 0 {
+		delete(p.waiters, key)
+	}
+}
+
+// deliver settles key for every current waiter.
+func (p *Plane) deliver(key string, f *gtrends.Frame, err error) {
+	p.mu.Lock()
+	chs := p.waiters[key]
+	delete(p.waiters, key)
+	p.mu.Unlock()
+	for _, ch := range chs {
+		ch <- unitResult{frame: f, err: err}
+	}
+}
+
+// wakeAll nudges every worker's acquire loop.
+func (p *Plane) wakeAll() {
+	for _, ch := range p.wake {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// worker is one crawler: acquire home-shard units first, steal when
+// drained, fetch through the owner's cache shard, renew the lease while
+// fetching, and settle the unit's waiters.
+func (p *Plane) worker(ctx context.Context, i int) {
+	defer p.wg.Done()
+	name := "worker-" + strconv.Itoa(i)
+	wctx, span := trace.StartOrRoot(ctx, p.cfg.Tracer, "crawlplane.worker",
+		trace.Int("worker", i))
+	defer span.End()
+	owns := func(u Unit) bool { return p.ring.Owner(u.ShardKey()) == i }
+
+	// The poll interval bounds how late an expired lease is noticed, so a
+	// kill heals well within one TTL.
+	poll := p.queue.TTL() / 4
+	if poll < 5*time.Millisecond {
+		poll = 5 * time.Millisecond
+	}
+	timer := time.NewTimer(poll)
+	defer timer.Stop()
+
+	units := 0
+	for {
+		if ctx.Err() != nil {
+			span.SetAttr(trace.Int("units", units))
+			return
+		}
+		select {
+		case <-p.drain:
+			span.SetAttr(trace.Int("units", units))
+			return
+		default:
+		}
+		now := time.Now()
+		u, ok, stolen := p.queue.Acquire(name, now, owns)
+		if !ok {
+			// Only the idle path pays for the backlog gauge: when the
+			// worker is saturated its depth is changing every few
+			// milliseconds anyway, and the scan is not free.
+			p.om.workerDepth.With(name).Set(float64(p.queue.DepthFor(now, owns)))
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+			timer.Reset(poll)
+			select {
+			case <-ctx.Done():
+			case <-p.drain:
+			case <-p.wake[i]:
+			case <-timer.C:
+			}
+			continue
+		}
+		p.runUnit(wctx, i, name, u, stolen)
+		units++
+	}
+}
+
+// runUnit executes one leased unit to settlement.
+func (p *Plane) runUnit(ctx context.Context, i int, name string, u Unit, stolen bool) {
+	began := time.Now()
+	uctx, span := trace.Start(ctx, "crawlplane.unit",
+		trace.Str("unit", u.String()), trace.Bool("stolen", stolen))
+	defer span.End()
+	ukey := u.Key()
+
+	if err := p.scheds[i].Acquire(uctx); err != nil {
+		// Worker shutting down before the slot freed: leave the lease to
+		// expire (a killed worker does no cleanup); graceful drain
+		// releases leases wholesale in Close.
+		span.SetError(err)
+		return
+	}
+	defer p.scheds[i].Release()
+
+	// Renew the lease at TTL/3 while the fetch runs, so only a dead or
+	// wedged worker's leases ever expire.
+	renewCtx, stopRenew := context.WithCancel(uctx)
+	defer stopRenew()
+	go func() {
+		tick := time.NewTicker(p.queue.TTL() / 3)
+		defer tick.Stop()
+		for {
+			select {
+			case <-renewCtx.Done():
+				return
+			case <-tick.C:
+				if !p.queue.Renew(name, ukey, time.Now()) {
+					return
+				}
+			}
+		}
+	}()
+
+	// Fetch through the OWNER's shard even for stolen units: one shard
+	// per (state × window) keeps singleflight dedup and hit accounting
+	// coherent no matter which worker runs the unit.
+	owner := p.ring.Owner(u.ShardKey())
+	key := engine.KeyOf(u.Request(), u.Round)
+	f, _, err := p.caches[owner].GetOrFetch(uctx, key, func(fctx context.Context) (*gtrends.Frame, error) {
+		return p.fetchUnit(fctx, i, u)
+	})
+	stopRenew()
+	p.om.unitSecs.Observe(time.Since(began).Seconds())
+
+	switch {
+	case err == nil:
+		if p.queue.Complete(name, ukey) {
+			p.om.units.With("completed").Inc()
+			p.db.AddFrame(u.Round, f)
+		}
+		// Deliver regardless of lease ownership: the frame is valid and
+		// resident, and deliver is idempotent (second settle finds no
+		// waiters).
+		p.deliver(ukey, f, nil)
+	case uctx.Err() != nil:
+		// Our own cancellation (kill or shutdown): no cleanup — the lease
+		// expires and a survivor steals the unit. That asymmetry is the
+		// crash-consistency model, not an oversight.
+		span.SetError(err)
+	case isCancellation(err):
+		// A coalesced flight died under its original fetcher (that
+		// worker was killed mid-fetch). The unit itself is fine — return
+		// it to pending for a fresh attempt.
+		span.SetError(err)
+		if p.queue.Release(name, ukey) {
+			p.wakeAll()
+		}
+	default:
+		// Permanent failure: only the lease holder declares it, so a
+		// stolen unit's outcome is the thief's to report.
+		span.SetError(err)
+		if p.queue.Remove(name, ukey) {
+			p.om.units.With("failed").Inc()
+			p.deliver(ukey, nil, err)
+		}
+	}
+}
+
+// fetchUnit performs the unit's fetch on worker i's fetcher with bounded
+// retries, mirroring engine.RetryingSource, and keyed sampling when the
+// fetcher supports it.
+func (p *Plane) fetchUnit(ctx context.Context, i int, u Unit) (*gtrends.Frame, error) {
+	req := u.Request()
+	retries := p.cfg.Retries
+	if retries < 0 {
+		retries = 0
+	}
+	kf, keyed := p.fetch[i].(gtrends.KeyedFetcher)
+	var lastErr error
+	for attempt := 0; attempt <= retries; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		var f *gtrends.Frame
+		var err error
+		if keyed {
+			f, err = kf.FetchFrameKeyed(ctx, req, u.SampleKey())
+		} else {
+			f, err = p.fetch[i].FetchFrame(ctx, req)
+		}
+		if err == nil {
+			if verr := gtrends.ValidateFrame(f, req); verr != nil {
+				lastErr = verr
+				if attempt < retries {
+					p.om.retries.With("invalid").Inc()
+					trace.FromContext(ctx).Event("source.retry",
+						trace.Str("reason", "invalid"), trace.Int("attempt", attempt+1))
+				}
+				continue
+			}
+			return f, nil
+		}
+		lastErr = err
+		if !gtrends.IsTransient(err) {
+			break
+		}
+		if attempt < retries {
+			p.om.retries.With("transient").Inc()
+			trace.FromContext(ctx).Event("source.retry",
+				trace.Str("reason", "transient"), trace.Int("attempt", attempt+1))
+		}
+	}
+	return nil, lastErr
+}
+
+// isCancellation reports whether err is context cancellation or expiry.
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// KillWorker cancels worker i's context without releasing its leases —
+// the SIGKILL simulation for chaos tests. Its units become stealable
+// when their leases expire; survivors heal the plane within one TTL.
+func (p *Plane) KillWorker(i int) {
+	if i >= 0 && i < len(p.cancels) {
+		p.cancels[i]()
+	}
+}
+
+// saver persists the queue and frames store on a fixed cadence.
+func (p *Plane) saver() {
+	defer p.saverWG.Done()
+	tick := time.NewTicker(p.cfg.SaveEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-p.root.Done():
+			return
+		case <-p.drain:
+			return
+		case <-tick.C:
+			p.persist()
+		}
+	}
+}
+
+// persist writes both state files; errors are recorded on the default
+// trace span path only (the periodic saver has no caller to return to —
+// Close's final persist does).
+func (p *Plane) persist() error {
+	if p.cfg.StatePath == "" {
+		return nil
+	}
+	var first error
+	if p.queue.Dirty() {
+		if err := p.queue.Save(filepath.Join(p.cfg.StatePath, queueFileName)); err != nil {
+			first = err
+		}
+	}
+	if err := p.db.Save(filepath.Join(p.cfg.StatePath, framesFileName)); err != nil && first == nil {
+		first = err
+	}
+	return first
+}
+
+// Close drains the plane: workers stop acquiring, finish their in-flight
+// units, release their remaining leases, and the final state is
+// persisted. ctx bounds the drain — on expiry in-flight work is
+// cancelled hard and the plane still persists what settled.
+func (p *Plane) Close(ctx context.Context) error {
+	var err error
+	p.closed.Do(func() {
+		close(p.drain)
+		p.wakeAll()
+		done := make(chan struct{})
+		go func() {
+			p.wg.Wait()
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-ctx.Done():
+			p.stopAll()
+			<-done
+		}
+		p.saverWG.Wait()
+		p.stopAll()
+		for i := range p.cancels {
+			p.queue.ReleaseWorker("worker-" + strconv.Itoa(i))
+		}
+		err = p.persist()
+	})
+	return err
+}

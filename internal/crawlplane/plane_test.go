@@ -1,0 +1,334 @@
+package crawlplane
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"sift/internal/core"
+	"sift/internal/geo"
+	"sift/internal/gtrends"
+	"sift/internal/searchmodel"
+	"sift/internal/simworld"
+)
+
+// testModel builds a deterministic search world with outage events in a
+// handful of states, so some (state, term) pairs spike and most stay
+// quiet — the shape of a real study.
+func testModel(seed int64) *searchmodel.Model {
+	events := []*simworld.Event{
+		{
+			ID: "storm", Name: "Winter storm", Kind: simworld.KindPower,
+			Cause: simworld.CauseWinterStorm, Start: qt0.Add(10 * time.Hour), Duration: 20 * time.Hour,
+			Impacts: []simworld.Impact{{State: "TX", Intensity: 2000}, {State: "OK", Intensity: 900}},
+			Terms:   []simworld.TermWeight{{Term: "power outage", Share: 0.5}, {Term: "winter storm", Share: 0.3}},
+		},
+		{
+			ID: "cut", Name: "Fiber cut", Kind: simworld.KindISP,
+			Cause: simworld.CauseUnknown, Start: qt0.Add(20 * time.Hour), Duration: 9 * time.Hour,
+			Impacts: []simworld.Impact{{State: "CA", Intensity: 1500}, {State: "WA", Intensity: 700}},
+			Terms:   []simworld.TermWeight{{Term: "internet outage", Share: 0.6}},
+		},
+	}
+	return searchmodel.New(seed, simworld.NewTimeline(events), searchmodel.Params{})
+}
+
+func testFetcher(seed int64) gtrends.EngineFetcher {
+	return gtrends.EngineFetcher{Engine: gtrends.NewEngine(testModel(seed), gtrends.Config{})}
+}
+
+// studyTerms builds n study terms: the live vocabulary first, then quiet
+// filler terms (real studies carry hundreds of terms, most silent).
+func studyTerms(n int) []string {
+	terms := []string{gtrends.TopicInternetOutage, "internet outage", "power outage", "winter storm"}
+	for i := 0; len(terms) < n; i++ {
+		terms = append(terms, fmt.Sprintf("outage term %03d", i))
+	}
+	return terms[:n]
+}
+
+type runKey struct {
+	state geo.State
+	term  string
+}
+
+type runOut struct {
+	spikes []core.Spike
+	series []float64
+}
+
+// crawlStudy runs the (states × terms) study through the plane and
+// collects every pair's spikes and series.
+func crawlStudy(t testing.TB, p *Plane, states []geo.State, terms []string) map[runKey]runOut {
+	t.Helper()
+	pipe := &core.Pipeline{Cfg: core.PipelineConfig{
+		FrameHours:   24,
+		OverlapHours: 6,
+		MaxRounds:    2,
+		Source:       p,
+	}}
+	from, to := qt0, qt0.Add(36*time.Hour)
+
+	out := make(map[runKey]runOut, len(states)*len(terms))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, 32)
+	errs := make(chan error, 1)
+	for _, st := range states {
+		for _, term := range terms {
+			st, term := st, term
+			wg.Add(1)
+			sem <- struct{}{}
+			go func() {
+				defer wg.Done()
+				defer func() { <-sem }()
+				res, err := pipe.Run(context.Background(), st, term, from, to)
+				if err != nil {
+					select {
+					case errs <- fmt.Errorf("%s/%s: %w", term, st, err):
+					default:
+					}
+					return
+				}
+				mu.Lock()
+				out[runKey{st, term}] = runOut{spikes: res.Spikes, series: res.Series.Values()}
+				mu.Unlock()
+			}()
+		}
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+	return out
+}
+
+// requireStudiesEqual asserts two study outcomes are bit-identical.
+func requireStudiesEqual(t *testing.T, want, got map[runKey]runOut, label string) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d pairs vs %d", label, len(want), len(got))
+	}
+	spiky := 0
+	for key, w := range want {
+		g, ok := got[key]
+		if !ok {
+			t.Fatalf("%s: missing pair %s/%s", label, key.term, key.state)
+		}
+		if !core.SpikeSetsEqual(w.spikes, g.spikes, 0) {
+			t.Errorf("%s: spike sets differ for %s/%s: %v vs %v",
+				label, key.term, key.state, w.spikes, g.spikes)
+		}
+		if len(w.spikes) > 0 {
+			spiky++
+		}
+		if len(w.series) != len(g.series) {
+			t.Fatalf("%s: series lengths differ for %s/%s", label, key.term, key.state)
+		}
+		for i := range w.series {
+			if math.Float64bits(w.series[i]) != math.Float64bits(g.series[i]) {
+				t.Fatalf("%s: series bit-diverge for %s/%s at hour %d: %v vs %v",
+					label, key.term, key.state, i, w.series[i], g.series[i])
+			}
+		}
+	}
+	if spiky == 0 {
+		t.Errorf("%s: no pair spiked — the scenario is vacuous", label)
+	}
+}
+
+// TestPlaneScaledBitIdentical is the acceptance scenario: a 50-state,
+// 100-term study produces bit-identical spike sets and series whether
+// the plane runs 1 worker or 4 — worker count and fetch interleaving
+// must not leak into results (unit-keyed sampling).
+func TestPlaneScaledBitIdentical(t *testing.T) {
+	states := geo.Codes()[:50]
+	nTerms := 100
+	if testing.Short() {
+		states = geo.Codes()[:12]
+		nTerms = 12
+	}
+	terms := studyTerms(nTerms)
+
+	outcomes := make(map[int]map[runKey]runOut)
+	for _, workers := range []int{1, 4} {
+		p, err := New(Config{
+			Workers:     workers,
+			Fetcher:     testFetcher(42),
+			LeaseTTL:    10 * time.Second,
+			UnitWorkers: 8,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		outcomes[workers] = crawlStudy(t, p, states, terms)
+		if err := p.Close(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	requireStudiesEqual(t, outcomes[1], outcomes[4], "workers 1 vs 4")
+}
+
+// TestPlaneShardStatsPerWorker covers the per-shard cache visibility:
+// every worker's shard carries its own name and sees its own traffic.
+func TestPlaneShardStatsPerWorker(t *testing.T) {
+	p, err := New(Config{Workers: 3, Fetcher: testFetcher(7), LeaseTTL: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close(context.Background())
+	crawlStudy(t, p, geo.Codes()[:9], studyTerms(4))
+
+	stats := p.ShardStats()
+	if len(stats) != 3 {
+		t.Fatalf("ShardStats returned %d shards, want 3", len(stats))
+	}
+	var touched int
+	for i, s := range stats {
+		want := fmt.Sprintf("shard-%d", i)
+		if s.Shard != want {
+			t.Errorf("shard %d named %q, want %q", i, s.Shard, want)
+		}
+		if s.Misses > 0 || s.Hits > 0 {
+			touched++
+		}
+	}
+	if touched < 2 {
+		t.Errorf("only %d of 3 shards saw traffic — sharding is not spreading", touched)
+	}
+}
+
+// delayFetcher injects a fixed latency per fetch — the stand-in for
+// network RTT that makes mid-flight kills and throughput scaling real.
+// It forwards keyed fetches so results stay order-independent.
+type delayFetcher struct {
+	inner gtrends.EngineFetcher
+	delay time.Duration
+}
+
+func (d delayFetcher) FetchFrame(ctx context.Context, req gtrends.FrameRequest) (*gtrends.Frame, error) {
+	select {
+	case <-time.After(d.delay):
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	return d.inner.FetchFrame(ctx, req)
+}
+
+func (d delayFetcher) FetchFrameKeyed(ctx context.Context, req gtrends.FrameRequest, key uint64) (*gtrends.Frame, error) {
+	select {
+	case <-time.After(d.delay):
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	return d.inner.FetchFrameKeyed(ctx, req, key)
+}
+
+// TestChaosWorkerKillHealsWithinLeaseTTL kills one of three workers
+// mid-crawl (context cancelled, leases abandoned — the SIGKILL model).
+// The crawl must still complete, with spike sets bit-identical to a
+// fault-free run: survivors steal the dead worker's expired leases and
+// unit-keyed sampling redraws the same frames.
+func TestChaosWorkerKillHealsWithinLeaseTTL(t *testing.T) {
+	states := geo.Codes()[:8]
+	terms := studyTerms(6)
+	newPlane := func() *Plane {
+		p, err := New(Config{
+			Workers:     3,
+			Fetcher:     delayFetcher{inner: testFetcher(42), delay: 4 * time.Millisecond},
+			LeaseTTL:    300 * time.Millisecond,
+			UnitWorkers: 4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	clean := newPlane()
+	want := crawlStudy(t, clean, states, terms)
+	if err := clean.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	faulty := newPlane()
+	killed := make(chan struct{})
+	go func() {
+		defer close(killed)
+		// Let the crawl get in flight, then kill a worker that holds leases.
+		deadline := time.Now().Add(2 * time.Second)
+		for time.Now().Before(deadline) {
+			if _, leased, _ := faulty.Queue().Counts(); leased > 0 {
+				break
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		faulty.KillWorker(1)
+	}()
+	got := crawlStudy(t, faulty, states, terms)
+	<-killed
+	if err := faulty.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	requireStudiesEqual(t, want, got, "fault-free vs worker-killed")
+
+	if _, leased, _ := faulty.Queue().Counts(); leased != 0 {
+		t.Errorf("leases still held after drain: %d", leased)
+	}
+}
+
+// TestPlaneResumeSkipsCompletedWindows is the crash-resume contract: a
+// plane restarted over its persisted state path serves every completed
+// window from the resumed frames and issues zero new fetches for them.
+func TestPlaneResumeSkipsCompletedWindows(t *testing.T) {
+	dir := t.TempDir()
+	fetcher := testFetcher(42) // shared engine: its request counter spans both planes
+	states := geo.Codes()[:6]
+	terms := studyTerms(5)
+
+	a, err := New(Config{
+		Workers:   2,
+		Fetcher:   fetcher,
+		LeaseTTL:  5 * time.Second,
+		StatePath: dir,
+		SaveEvery: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := crawlStudy(t, a, states, terms)
+	if err := a.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	fetchedOnce := fetcher.Engine.Requests()
+	if fetchedOnce == 0 {
+		t.Fatal("first crawl issued no fetches")
+	}
+
+	b, err := New(Config{
+		Workers:   4, // resume even works across a plane resize
+		Fetcher:   fetcher,
+		LeaseTTL:  5 * time.Second,
+		StatePath: dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Queue().DoneCount() == 0 {
+		t.Fatal("resumed queue lost its completed units")
+	}
+	got := crawlStudy(t, b, states, terms)
+	if err := b.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	if refetched := fetcher.Engine.Requests() - fetchedOnce; refetched != 0 {
+		t.Errorf("resume refetched %d frames, want 0", refetched)
+	}
+	requireStudiesEqual(t, want, got, "original vs resumed")
+}

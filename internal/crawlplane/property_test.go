@@ -1,0 +1,194 @@
+package crawlplane
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// The lease queue's two safety properties, checked under randomized
+// interleavings of acquire / renew / complete / release / remove /
+// worker crash / clock advance / crash-and-reload (the RollingSeries
+// property-suite style: seeded runs, explicit shadow model):
+//
+//  1. No double assignment: Acquire never hands out a unit whose
+//     current lease is still live (unexpired).
+//  2. No orphans: once the dust settles, every unit that was ever added
+//     and not permanently removed can still be driven to done.
+func TestQueuePropertyRandomInterleavings(t *testing.T) {
+	for seed := int64(1); seed <= 12; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			checkQueueInterleaving(t, seed)
+		})
+	}
+}
+
+// shadowLease is the test's model of one live lease.
+type shadowLease struct {
+	worker string
+	expiry time.Time
+}
+
+func checkQueueInterleaving(t *testing.T, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	const ttl = time.Minute
+	dir := t.TempDir()
+	path := filepath.Join(dir, "queue.json")
+
+	q := NewQueue(ttl)
+	now := qt0
+
+	workers := []string{"w0", "w1", "w2", "w3"}
+	alive := map[string]bool{}
+	for _, w := range workers {
+		alive[w] = true
+	}
+
+	nUnits := 20 + rng.Intn(30)
+	tracked := map[string]bool{} // key → still owed a completion
+	removed := map[string]bool{}
+	for n := 0; n < nUnits; n++ {
+		u := unitN(n)
+		q.Add(u)
+		tracked[u.Key()] = true
+	}
+
+	leases := map[string]shadowLease{} // key → model of the live lease
+	held := map[string][]string{}      // worker → keys it believes it holds
+
+	randHeld := func(w string) (string, bool) {
+		keys := held[w]
+		if len(keys) == 0 {
+			return "", false
+		}
+		return keys[rng.Intn(len(keys))], true
+	}
+	dropHeld := func(w, key string) {
+		keys := held[w]
+		for i, k := range keys {
+			if k == key {
+				held[w] = append(keys[:i], keys[i+1:]...)
+				return
+			}
+		}
+	}
+	liveWorkers := func() []string {
+		var out []string
+		for _, w := range workers {
+			if alive[w] {
+				out = append(out, w)
+			}
+		}
+		return out
+	}
+
+	steps := 400 + rng.Intn(400)
+	for step := 0; step < steps; step++ {
+		lw := liveWorkers()
+		if len(lw) == 0 {
+			// Everyone crashed: a fresh worker joins (replacement capacity).
+			w := fmt.Sprintf("w%d", len(workers))
+			workers = append(workers, w)
+			alive[w] = true
+			continue
+		}
+		w := lw[rng.Intn(len(lw))]
+		switch op := rng.Intn(100); {
+		case op < 30: // acquire
+			u, ok, _ := q.Acquire(w, now, nil)
+			if !ok {
+				continue
+			}
+			key := u.Key()
+			if sl, exists := leases[key]; exists && sl.expiry.After(now) {
+				t.Fatalf("step %d: %s acquired %q while %s holds a live lease until %v (now %v)",
+					step, w, key, sl.worker, sl.expiry, now)
+			}
+			if prev, exists := leases[key]; exists {
+				dropHeld(prev.worker, key)
+			}
+			leases[key] = shadowLease{worker: w, expiry: now.Add(ttl)}
+			held[w] = append(held[w], key)
+		case op < 45: // renew
+			if key, ok := randHeld(w); ok {
+				if q.Renew(w, key, now) {
+					leases[key] = shadowLease{worker: w, expiry: now.Add(ttl)}
+				} else {
+					// Lost lease (expired and stolen, or reloaded away).
+					dropHeld(w, key)
+				}
+			}
+		case op < 65: // complete
+			if key, ok := randHeld(w); ok {
+				if q.Complete(w, key) {
+					tracked[key] = false
+					delete(leases, key)
+				}
+				dropHeld(w, key)
+			}
+		case op < 72: // release
+			if key, ok := randHeld(w); ok {
+				if q.Release(w, key) {
+					delete(leases, key)
+				}
+				dropHeld(w, key)
+			}
+		case op < 77: // remove (permanent failure)
+			if key, ok := randHeld(w); ok {
+				if q.Remove(w, key) {
+					removed[key] = true
+					tracked[key] = false
+					delete(leases, key)
+				}
+				dropHeld(w, key)
+			}
+		case op < 85: // crash: the worker vanishes, no cleanup at all
+			alive[w] = false
+			held[w] = nil
+			// Its shadow leases stay — they must block acquire until expiry.
+		case op < 95: // clock advances
+			now = now.Add(time.Duration(rng.Intn(int(ttl))))
+		default: // process crash: persist, reload, everyone restarts
+			if err := q.Save(path); err != nil {
+				t.Fatalf("step %d: save: %v", step, err)
+			}
+			loaded, err := LoadQueue(path, ttl)
+			if err != nil {
+				t.Fatalf("step %d: load: %v", step, err)
+			}
+			q = loaded
+			// Every lease belonged to the dead process.
+			leases = map[string]shadowLease{}
+			held = map[string][]string{}
+			for _, wk := range workers {
+				alive[wk] = true
+			}
+		}
+	}
+
+	// Drain: past every possible expiry, one surviving worker must be able
+	// to finish everything that is still owed — no orphans.
+	now = now.Add(2 * ttl)
+	for i := 0; i < 10*nUnits; i++ {
+		u, ok, _ := q.Acquire("drainer", now, nil)
+		if !ok {
+			break
+		}
+		if !q.Complete("drainer", u.Key()) {
+			t.Fatalf("drain: Complete failed for freshly acquired %q", u.Key())
+		}
+		tracked[u.Key()] = false
+	}
+	for key, owed := range tracked {
+		if owed && !removed[key] {
+			t.Errorf("orphaned unit %q: never completed and no longer acquirable", key)
+		}
+	}
+	if pending, leased, _ := q.Counts(); pending != 0 || leased != 0 {
+		t.Errorf("after drain: pending=%d leased=%d, want 0/0", pending, leased)
+	}
+}

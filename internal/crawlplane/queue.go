@@ -1,0 +1,501 @@
+package crawlplane
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"sift/internal/obs"
+	"sift/internal/store"
+)
+
+// Phase is a unit's lifecycle position in the queue.
+type Phase string
+
+const (
+	// Pending units are waiting for a worker.
+	Pending Phase = "pending"
+	// Leased units are held by a worker until the lease expires or the
+	// worker completes, releases, or removes them.
+	Leased Phase = "leased"
+	// Done units are terminal: their frame exists (in a cache shard or
+	// the persisted store) and they are never refetched.
+	Done Phase = "done"
+)
+
+// DefaultLeaseTTL bounds how long a dead worker's units stay stuck: a
+// survivor steals an expired lease on its next acquire. Long enough that
+// a healthy fetch plus retries never expires mid-flight (workers also
+// renew at TTL/3), short enough that a kill heals quickly.
+const DefaultLeaseTTL = 30 * time.Second
+
+// entry is one unit's queue record.
+type entry struct {
+	unit     Unit
+	phase    Phase
+	worker   string    // lease holder when phase == Leased
+	expiry   time.Time // lease expiry when phase == Leased
+	attempts int       // times the unit has been leased
+}
+
+// queueObs holds the queue's metric handles.
+type queueObs struct {
+	events obs.CounterVec // sift_crawlplane_lease_events_total{event}
+	depth  obs.GaugeVec   // sift_crawlplane_queue_depth{phase}
+	held   obs.GaugeVec   // sift_crawlplane_leases_held{worker}
+}
+
+func newQueueObs(r *obs.Registry) queueObs {
+	return queueObs{
+		events: r.CounterVec("sift_crawlplane_lease_events_total",
+			"lease-queue transitions by event", "event"),
+		depth: r.GaugeVec("sift_crawlplane_queue_depth",
+			"work units in the lease queue by phase", "phase"),
+		held: r.GaugeVec("sift_crawlplane_leases_held",
+			"live leases currently held per worker", "worker"),
+	}
+}
+
+// Queue is the plane's lease-based work queue: units are added once,
+// leased to workers with an expiry, renewed while a fetch runs, and
+// marked done exactly when their frame exists. A lease that expires —
+// the holder was killed, hung, or partitioned — makes the unit stealable
+// by any worker; a live (unexpired) lease is never handed to a second
+// worker. All methods take explicit clocks so tests drive expiry
+// deterministically. Safe for concurrent use.
+type Queue struct {
+	mu      sync.Mutex
+	ttl     time.Duration
+	entries map[string]*entry
+	// order is the deterministic scan sequence over non-terminal units
+	// (insertion order). Keys whose entries finish or vanish are compacted
+	// away lazily as scans pass them, keeping Acquire amortized O(1) even
+	// after tens of thousands of completions.
+	order    []string
+	doneKeys []string // terminal units, in completion order (persistence)
+	held     map[string]int
+	// phase populations, maintained incrementally so Counts and the depth
+	// gauges never walk the entry map.
+	npend, nleased, ndone int
+	dirty                 bool
+	om                    queueObs
+}
+
+// NewQueue returns an empty queue with the given lease TTL; ttl <= 0
+// takes DefaultLeaseTTL.
+func NewQueue(ttl time.Duration) *Queue {
+	if ttl <= 0 {
+		ttl = DefaultLeaseTTL
+	}
+	return &Queue{
+		ttl:     ttl,
+		entries: make(map[string]*entry),
+		held:    make(map[string]int),
+		om:      newQueueObs(nil),
+	}
+}
+
+// WithMetrics redirects the queue's counters into r, returning the queue
+// for chaining. Call before first use.
+func (q *Queue) WithMetrics(r *obs.Registry) *Queue {
+	q.mu.Lock()
+	q.om = newQueueObs(r)
+	q.mu.Unlock()
+	return q
+}
+
+// TTL returns the lease TTL.
+func (q *Queue) TTL() time.Duration { return q.ttl }
+
+// Add enqueues the unit if it is not already tracked. added reports a
+// fresh pending entry; done reports that the unit is already terminal
+// (the caller should find its frame in a shard cache or the store, and
+// Reopen the unit if it cannot).
+func (q *Queue) Add(u Unit) (added, done bool) {
+	key := u.Key()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if e, ok := q.entries[key]; ok {
+		return false, e.phase == Done
+	}
+	q.entries[key] = &entry{unit: u, phase: Pending}
+	q.order = append(q.order, key)
+	q.npend++
+	q.dirty = true
+	q.updateDepth()
+	return true, false
+}
+
+// Reopen returns a done unit to pending — the resume path for a unit
+// whose completion outlived its frame (cache eviction, a lost store).
+// Reports whether the unit existed and was done.
+func (q *Queue) Reopen(key string) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	e, ok := q.entries[key]
+	if !ok || e.phase != Done {
+		return false
+	}
+	e.phase = Pending
+	e.worker = ""
+	q.ndone--
+	q.npend++
+	for i, k := range q.doneKeys {
+		if k == key {
+			q.doneKeys = append(q.doneKeys[:i], q.doneKeys[i+1:]...)
+			break
+		}
+	}
+	q.order = append(q.order, key)
+	q.dirty = true
+	q.om.events.With("reopened").Inc()
+	q.updateDepth()
+	return true
+}
+
+// Acquire leases the next available unit to worker: first a unit the
+// worker owns (owns(unit) true — its consistent-hash shard), then, when
+// its own shard is drained, any other available unit (work stealing).
+// Available means pending, or leased with an expiry at or before now —
+// an expired lease is reclaimed in place, never double-assigned while
+// live. stolen reports that the unit was taken from another worker's
+// expired lease or foreign shard.
+func (q *Queue) Acquire(worker string, now time.Time, owns func(Unit) bool) (u Unit, ok, stolen bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if owns != nil {
+		if e, expired := q.scan(now, owns); e != nil {
+			return q.lease(e, worker, now, expired), true, expired
+		}
+	}
+	if e, expired := q.scan(now, nil); e != nil {
+		foreign := owns != nil && !owns(e.unit)
+		return q.lease(e, worker, now, expired || foreign), true, expired || foreign
+	}
+	return Unit{}, false, false
+}
+
+// scan returns the first available entry matching the filter (nil = any)
+// and whether its availability comes from an expired lease. The traversed
+// prefix is compacted in place: keys whose entries finished or were
+// removed drop out of the scan order for good, so repeated acquires never
+// re-walk completed work. Caller holds q.mu.
+func (q *Queue) scan(now time.Time, match func(Unit) bool) (found *entry, expired bool) {
+	w, i := 0, 0
+	for ; i < len(q.order); i++ {
+		key := q.order[i]
+		e := q.entries[key]
+		if e == nil || e.phase == Done {
+			continue // compacted away
+		}
+		q.order[w] = key
+		w++
+		if match != nil && !match(e.unit) {
+			continue
+		}
+		switch e.phase {
+		case Pending:
+			found, expired = e, false
+		case Leased:
+			if !e.expiry.After(now) {
+				found, expired = e, true
+			}
+		}
+		if found != nil {
+			i++
+			break
+		}
+	}
+	if w < i {
+		q.order = append(q.order[:w], q.order[i:]...)
+	}
+	return found, expired
+}
+
+// lease assigns e to worker under q.mu, accounting the transition.
+func (q *Queue) lease(e *entry, worker string, now time.Time, stolen bool) Unit {
+	if e.phase == Leased {
+		// Reclaiming an expired lease: the previous holder is charged the
+		// expiry here, where it is observed.
+		q.om.events.With("expired").Inc()
+		q.decHeld(e.worker)
+	} else {
+		q.npend--
+		q.nleased++
+	}
+	e.phase = Leased
+	e.worker = worker
+	e.expiry = now.Add(q.ttl)
+	e.attempts++
+	q.dirty = true
+	q.om.events.With("acquired").Inc()
+	if stolen {
+		q.om.events.With("stolen").Inc()
+	}
+	q.held[worker]++
+	q.om.held.With(worker).Set(float64(q.held[worker]))
+	q.updateDepth()
+	return e.unit
+}
+
+// Renew extends worker's lease on key to now+TTL. Reports false when the
+// worker no longer holds the lease (expired and stolen, completed, or
+// removed) — the fetch's result will be discarded, so the worker should
+// abandon it.
+func (q *Queue) Renew(worker, key string, now time.Time) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	e, ok := q.entries[key]
+	if !ok || e.phase != Leased || e.worker != worker {
+		return false
+	}
+	e.expiry = now.Add(q.ttl)
+	q.om.events.With("renewed").Inc()
+	return true
+}
+
+// Complete marks worker's leased unit done. Reports false when the
+// worker no longer holds the lease; completion of a stolen unit is the
+// thief's to declare.
+func (q *Queue) Complete(worker, key string) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	e, ok := q.entries[key]
+	if !ok || e.phase != Leased || e.worker != worker {
+		return false
+	}
+	e.phase = Done
+	q.decHeld(worker)
+	e.worker = ""
+	q.nleased--
+	q.ndone++
+	q.doneKeys = append(q.doneKeys, key)
+	q.dirty = true
+	q.om.events.With("completed").Inc()
+	q.updateDepth()
+	return true
+}
+
+// Release returns worker's leased unit to pending — the graceful path
+// for transient failure or drain.
+func (q *Queue) Release(worker, key string) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	e, ok := q.entries[key]
+	if !ok || e.phase != Leased || e.worker != worker {
+		return false
+	}
+	e.phase = Pending
+	q.decHeld(worker)
+	e.worker = ""
+	q.nleased--
+	q.npend++
+	q.dirty = true
+	q.om.events.With("released").Inc()
+	q.updateDepth()
+	return true
+}
+
+// Remove drops worker's leased unit entirely — the permanent-failure
+// path: the error was delivered to the unit's waiter, and a later round
+// that still wants the window re-adds it.
+func (q *Queue) Remove(worker, key string) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	e, ok := q.entries[key]
+	if !ok || e.phase != Leased || e.worker != worker {
+		return false
+	}
+	q.decHeld(worker)
+	delete(q.entries, key)
+	q.nleased--
+	q.dirty = true
+	q.om.events.With("removed").Inc()
+	q.updateDepth()
+	return true
+}
+
+// ReleaseWorker returns every lease held by worker to pending — the
+// graceful-drain path (a SIGKILLed worker never calls this; its leases
+// expire instead). Returns how many leases were released.
+func (q *Queue) ReleaseWorker(worker string) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := 0
+	for _, e := range q.entries {
+		if e.phase == Leased && e.worker == worker {
+			e.phase = Pending
+			e.worker = ""
+			n++
+			q.nleased--
+			q.npend++
+			q.om.events.With("released").Inc()
+		}
+	}
+	if n > 0 {
+		q.held[worker] = 0
+		q.om.held.With(worker).Set(0)
+		q.dirty = true
+		q.updateDepth()
+	}
+	return n
+}
+
+// Counts snapshots the queue's per-phase populations.
+func (q *Queue) Counts() (pending, leased, done int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.npend, q.nleased, q.ndone
+}
+
+// DepthFor counts pending or expired-leased units matching owns — a
+// worker's effective backlog, fed to the per-worker depth gauge. Cost is
+// proportional to the live (non-done) population.
+func (q *Queue) DepthFor(now time.Time, owns func(Unit) bool) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := 0
+	for _, key := range q.order {
+		e := q.entries[key]
+		if e == nil || e.phase == Done {
+			continue
+		}
+		if owns != nil && !owns(e.unit) {
+			continue
+		}
+		if e.phase == Pending || (e.phase == Leased && !e.expiry.After(now)) {
+			n++
+		}
+	}
+	return n
+}
+
+// Holder reports the live lease on key, if any — diagnostic and
+// property-test surface.
+func (q *Queue) Holder(key string, now time.Time) (worker string, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	e, found := q.entries[key]
+	if !found || e.phase != Leased || !e.expiry.After(now) {
+		return "", false
+	}
+	return e.worker, true
+}
+
+// decHeld decrements worker's held-lease gauge under q.mu.
+func (q *Queue) decHeld(worker string) {
+	if q.held[worker] > 0 {
+		q.held[worker]--
+	}
+	q.om.held.With(worker).Set(float64(q.held[worker]))
+}
+
+// updateDepth refreshes the phase gauges under q.mu.
+func (q *Queue) updateDepth() {
+	q.om.depth.With("pending").Set(float64(q.npend))
+	q.om.depth.With("leased").Set(float64(q.nleased))
+	q.om.depth.With("done").Set(float64(q.ndone))
+}
+
+// ---- persistence ----
+
+// queueFile is the persisted JSON layout. Leases are deliberately not
+// persisted: a lease names a worker goroutine in a process that no
+// longer exists, so leased units load as pending — the crash-resume
+// equivalent of an instant expiry.
+type queueFile struct {
+	Version int             `json:"version"`
+	Units   []queueFileUnit `json:"units"`
+}
+
+type queueFileUnit struct {
+	Unit     Unit `json:"unit"`
+	Done     bool `json:"done"`
+	Attempts int  `json:"attempts,omitempty"`
+}
+
+// Save persists the queue to path through the store's atomic
+// temp+fsync+rename path, clearing the dirty flag. Entry order is
+// preserved so a resumed queue scans in the same sequence.
+func (q *Queue) Save(path string) error {
+	q.mu.Lock()
+	qf := queueFile{Version: 1}
+	// Active units in scan order first; done entries come from doneKeys
+	// (a just-completed key may still sit uncompacted in order — it is
+	// skipped there, never emitted twice).
+	for _, key := range q.order {
+		e := q.entries[key]
+		if e == nil || e.phase == Done {
+			continue
+		}
+		qf.Units = append(qf.Units, queueFileUnit{Unit: e.unit, Attempts: e.attempts})
+	}
+	for _, key := range q.doneKeys {
+		if e := q.entries[key]; e != nil && e.phase == Done {
+			qf.Units = append(qf.Units, queueFileUnit{Unit: e.unit, Done: true, Attempts: e.attempts})
+		}
+	}
+	q.dirty = false
+	q.mu.Unlock()
+	data, err := json.Marshal(qf)
+	if err != nil {
+		return fmt.Errorf("crawlplane: encoding queue: %w", err)
+	}
+	return store.WriteFileAtomic(path, data)
+}
+
+// Dirty reports whether mutations happened since the last Save.
+func (q *Queue) Dirty() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.dirty
+}
+
+// LoadQueue reads a queue persisted by Save. A missing file returns an
+// empty queue — first boot and resume share one call.
+func LoadQueue(path string, ttl time.Duration) (*Queue, error) {
+	q := NewQueue(ttl)
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return q, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("crawlplane: reading queue: %w", err)
+	}
+	var qf queueFile
+	if err := json.Unmarshal(data, &qf); err != nil {
+		return nil, fmt.Errorf("crawlplane: decoding queue: %w", err)
+	}
+	if qf.Version != 1 {
+		return nil, errors.New("crawlplane: unsupported queue file version")
+	}
+	for _, fu := range qf.Units {
+		key := fu.Unit.Key()
+		if _, ok := q.entries[key]; ok {
+			continue
+		}
+		phase := Pending
+		if fu.Done {
+			phase = Done
+		}
+		q.entries[key] = &entry{unit: fu.Unit, phase: phase, attempts: fu.Attempts}
+		if fu.Done {
+			q.doneKeys = append(q.doneKeys, key)
+			q.ndone++
+		} else {
+			q.order = append(q.order, key)
+			q.npend++
+		}
+	}
+	q.updateDepth()
+	return q, nil
+}
+
+// DoneCount returns how many units are terminal — the resume statistic.
+func (q *Queue) DoneCount() int {
+	_, _, done := q.Counts()
+	return done
+}

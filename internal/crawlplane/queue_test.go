@@ -1,0 +1,281 @@
+package crawlplane
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"sift/internal/geo"
+)
+
+var qt0 = time.Date(2021, 2, 15, 0, 0, 0, 0, time.UTC)
+
+func unitN(n int) Unit {
+	states := geo.Codes()
+	return Unit{
+		Term:  "internet outage",
+		State: states[n%len(states)],
+		Start: qt0.Add(time.Duration(n/len(states)) * 168 * time.Hour),
+		Hours: 168,
+		Round: 1,
+	}
+}
+
+func TestQueueAcquireLifecycle(t *testing.T) {
+	q := NewQueue(time.Minute)
+	u := unitN(0)
+	if added, done := q.Add(u); !added || done {
+		t.Fatalf("Add = (%v, %v), want (true, false)", added, done)
+	}
+	if added, _ := q.Add(u); added {
+		t.Fatal("second Add of the same unit should dedup")
+	}
+	now := qt0
+	got, ok, stolen := q.Acquire("w0", now, nil)
+	if !ok || stolen || got.Key() != u.Key() {
+		t.Fatalf("Acquire = (%v, %v, %v)", got, ok, stolen)
+	}
+	// Live lease: nobody else can take it.
+	if _, ok, _ := q.Acquire("w1", now.Add(time.Second), nil); ok {
+		t.Fatal("second Acquire handed out a live lease")
+	}
+	if w, held := q.Holder(u.Key(), now.Add(time.Second)); !held || w != "w0" {
+		t.Fatalf("Holder = (%q, %v), want (w0, true)", w, held)
+	}
+	if !q.Complete("w0", u.Key()) {
+		t.Fatal("Complete by the holder failed")
+	}
+	if _, done := q.Add(u); !done {
+		t.Fatal("Add after Complete should report done")
+	}
+	if p, l, d := q.Counts(); p != 0 || l != 0 || d != 1 {
+		t.Fatalf("Counts = (%d, %d, %d), want (0, 0, 1)", p, l, d)
+	}
+}
+
+func TestQueueExpiredLeaseIsStolen(t *testing.T) {
+	q := NewQueue(time.Minute)
+	u := unitN(0)
+	q.Add(u)
+	if _, ok, _ := q.Acquire("w0", qt0, nil); !ok {
+		t.Fatal("initial acquire failed")
+	}
+	// Before expiry: unavailable. At/after expiry: stealable.
+	if _, ok, _ := q.Acquire("w1", qt0.Add(59*time.Second), nil); ok {
+		t.Fatal("lease stolen before expiry")
+	}
+	got, ok, stolen := q.Acquire("w1", qt0.Add(time.Minute), nil)
+	if !ok || !stolen || got.Key() != u.Key() {
+		t.Fatalf("expired acquire = (%v, %v, %v), want steal", got, ok, stolen)
+	}
+	// The original holder's lease is gone: its renew and complete fail.
+	if q.Renew("w0", u.Key(), qt0.Add(61*time.Second)) {
+		t.Fatal("Renew succeeded on a stolen lease")
+	}
+	if q.Complete("w0", u.Key()) {
+		t.Fatal("Complete succeeded on a stolen lease")
+	}
+	if !q.Complete("w1", u.Key()) {
+		t.Fatal("thief's Complete failed")
+	}
+}
+
+func TestQueueRenewExtendsLease(t *testing.T) {
+	q := NewQueue(time.Minute)
+	u := unitN(0)
+	q.Add(u)
+	q.Acquire("w0", qt0, nil)
+	if !q.Renew("w0", u.Key(), qt0.Add(50*time.Second)) {
+		t.Fatal("Renew by holder failed")
+	}
+	// Renewed at +50s → expires +110s; +70s must still be held.
+	if _, ok, _ := q.Acquire("w1", qt0.Add(70*time.Second), nil); ok {
+		t.Fatal("renewed lease was stolen")
+	}
+	if _, ok, _ := q.Acquire("w1", qt0.Add(110*time.Second), nil); !ok {
+		t.Fatal("lease not stealable after renewed expiry")
+	}
+}
+
+func TestQueueHomeShardPreference(t *testing.T) {
+	q := NewQueue(time.Minute)
+	ring := NewRing(2, 0)
+	var mine, other Unit
+	for n := 0; ; n++ {
+		u := unitN(n)
+		if ring.Owner(u.ShardKey()) == 0 && mine.Term == "" {
+			mine = u
+		}
+		if ring.Owner(u.ShardKey()) == 1 && other.Term == "" {
+			other = u
+		}
+		if mine.Term != "" && other.Term != "" {
+			break
+		}
+	}
+	// Enqueue the foreign unit first: scan order alone would hand it out.
+	q.Add(other)
+	q.Add(mine)
+	owns := func(u Unit) bool { return ring.Owner(u.ShardKey()) == 0 }
+	got, ok, stolen := q.Acquire("w0", qt0, owns)
+	if !ok || got.Key() != mine.Key() || stolen {
+		t.Fatalf("Acquire preferred %v (stolen=%v), want home unit %v", got, stolen, mine)
+	}
+	// Home shard drained → the foreign unit is stolen.
+	got, ok, stolen = q.Acquire("w0", qt0, owns)
+	if !ok || got.Key() != other.Key() || !stolen {
+		t.Fatalf("Acquire = (%v, %v, %v), want foreign steal", got, ok, stolen)
+	}
+}
+
+func TestQueueReleaseAndRemove(t *testing.T) {
+	q := NewQueue(time.Minute)
+	a, b := unitN(0), unitN(1)
+	q.Add(a)
+	q.Add(b)
+	q.Acquire("w0", qt0, nil)
+	q.Acquire("w0", qt0, nil)
+	if !q.Release("w0", a.Key()) {
+		t.Fatal("Release failed")
+	}
+	if p, l, _ := q.Counts(); p != 1 || l != 1 {
+		t.Fatalf("after Release: pending=%d leased=%d", p, l)
+	}
+	if !q.Remove("w0", b.Key()) {
+		t.Fatal("Remove failed")
+	}
+	if p, l, d := q.Counts(); p != 1 || l != 0 || d != 0 {
+		t.Fatalf("after Remove: (%d, %d, %d)", p, l, d)
+	}
+	// A removed unit can be re-added fresh.
+	if added, done := q.Add(b); !added || done {
+		t.Fatal("re-Add after Remove failed")
+	}
+}
+
+func TestQueueReleaseWorkerFreesAllLeases(t *testing.T) {
+	q := NewQueue(time.Minute)
+	for n := 0; n < 4; n++ {
+		q.Add(unitN(n))
+	}
+	q.Acquire("w0", qt0, nil)
+	q.Acquire("w0", qt0, nil)
+	q.Acquire("w1", qt0, nil)
+	if n := q.ReleaseWorker("w0"); n != 2 {
+		t.Fatalf("ReleaseWorker = %d, want 2", n)
+	}
+	if p, l, _ := q.Counts(); p != 3 || l != 1 {
+		t.Fatalf("after ReleaseWorker: pending=%d leased=%d", p, l)
+	}
+}
+
+func TestQueueReopen(t *testing.T) {
+	q := NewQueue(time.Minute)
+	u := unitN(0)
+	q.Add(u)
+	q.Acquire("w0", qt0, nil)
+	q.Complete("w0", u.Key())
+	if !q.Reopen(u.Key()) {
+		t.Fatal("Reopen of a done unit failed")
+	}
+	if q.Reopen(u.Key()) {
+		t.Fatal("Reopen of a pending unit succeeded")
+	}
+	if _, ok, _ := q.Acquire("w1", qt0, nil); !ok {
+		t.Fatal("reopened unit not acquirable")
+	}
+}
+
+func TestQueuePersistenceRoundtrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "queue.json")
+	q := NewQueue(time.Minute)
+	done, leased, pending := unitN(0), unitN(1), unitN(2)
+	q.Add(done)
+	q.Add(leased)
+	q.Add(pending)
+	q.Acquire("w0", qt0, nil) // leases unitN(0)
+	q.Complete("w0", done.Key())
+	q.Acquire("w0", qt0, nil) // leases unitN(1)
+	if !q.Dirty() {
+		t.Fatal("mutated queue should be dirty")
+	}
+	if err := q.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	if q.Dirty() {
+		t.Fatal("saved queue should be clean")
+	}
+
+	got, err := LoadQueue(path, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The lease named a worker in a dead process: it loads as pending.
+	p, l, d := got.Counts()
+	if p != 2 || l != 0 || d != 1 {
+		t.Fatalf("loaded Counts = (%d, %d, %d), want (2, 0, 1)", p, l, d)
+	}
+	if added, isDone := got.Add(done); added || !isDone {
+		t.Fatal("done unit did not survive the roundtrip")
+	}
+	// Scan order survives: the previously leased unit comes out first.
+	u, ok, _ := got.Acquire("w0", qt0, nil)
+	if !ok || u.Key() != leased.Key() {
+		t.Fatalf("first loaded acquire = %v, want %v", u, leased)
+	}
+}
+
+func TestLoadQueueMissingFile(t *testing.T) {
+	q, err := LoadQueue(filepath.Join(t.TempDir(), "absent.json"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p, l, d := q.Counts(); p+l+d != 0 {
+		t.Fatal("missing file should load an empty queue")
+	}
+	if q.TTL() != DefaultLeaseTTL {
+		t.Fatalf("TTL = %v, want default", q.TTL())
+	}
+}
+
+func TestRingDeterministicAndBalanced(t *testing.T) {
+	a, b := NewRing(4, 0), NewRing(4, 0)
+	counts := make([]int, 4)
+	for n := 0; n < 1000; n++ {
+		u := unitN(n)
+		oa, ob := a.Owner(u.ShardKey()), b.Owner(u.ShardKey())
+		if oa != ob {
+			t.Fatalf("ring not deterministic for %v: %d vs %d", u, oa, ob)
+		}
+		counts[oa]++
+	}
+	for w, c := range counts {
+		if c < 100 || c > 450 {
+			t.Fatalf("shard %d owns %d of 1000 units — badly unbalanced: %v", w, c, counts)
+		}
+	}
+	// All rounds of one window share a shard (ShardKey excludes round).
+	u1, u2 := unitN(7), unitN(7)
+	u2.Round = 9
+	if a.Owner(u1.ShardKey()) != a.Owner(u2.ShardKey()) {
+		t.Fatal("rounds of the same window map to different shards")
+	}
+}
+
+func TestUnitKeysAndSampleKey(t *testing.T) {
+	u := unitN(3)
+	if got := UnitOf(u.Request(), u.Round); got.Key() != u.Key() {
+		t.Fatalf("UnitOf∘Request changed the key: %q vs %q", got.Key(), u.Key())
+	}
+	r := u
+	r.Round = 2
+	if r.Key() == u.Key() {
+		t.Fatal("rounds must have distinct unit keys")
+	}
+	if r.SampleKey() == u.SampleKey() {
+		t.Fatal("rounds must draw independent samples")
+	}
+	if r.ShardKey() != u.ShardKey() {
+		t.Fatal("rounds must share a shard key")
+	}
+}

@@ -1,0 +1,96 @@
+package crawlplane
+
+import (
+	"sort"
+	"strconv"
+)
+
+// Ring is a consistent-hash ring mapping unit keys onto worker shards.
+// Each worker owns VNodes points on the ring, so the (state × window)
+// unit space partitions roughly evenly and adding or removing one worker
+// moves only ~1/N of the units — the property that keeps cache shards
+// warm across plane resizes. The ring is immutable after construction.
+type Ring struct {
+	points  []ringPoint // sorted by hash
+	workers int
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+// DefaultVNodes is the virtual-node count per worker used when a caller
+// passes a non-positive value.
+const DefaultVNodes = 128
+
+// NewRing builds a ring over workers shards with vnodes points each;
+// vnodes <= 0 takes DefaultVNodes.
+func NewRing(workers, vnodes int) *Ring {
+	if workers < 1 {
+		workers = 1
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	r := &Ring{workers: workers}
+	r.points = make([]ringPoint, 0, workers*vnodes)
+	for w := 0; w < workers; w++ {
+		for v := 0; v < vnodes; v++ {
+			h := mix64(hash64("shard-" + strconv.Itoa(w) + "-vnode-" + strconv.Itoa(v)))
+			r.points = append(r.points, ringPoint{hash: h, shard: w})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Tie-break deterministically so the mapping is total order, not
+		// construction order.
+		return r.points[i].shard < r.points[j].shard
+	})
+	return r
+}
+
+// Workers returns the number of shards on the ring.
+func (r *Ring) Workers() int { return r.workers }
+
+// Owner returns the shard index owning key: the first ring point at or
+// after the key's hash, wrapping at the top.
+func (r *Ring) Owner(key string) int {
+	h := mix64(hash64(key))
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].shard
+}
+
+// mix64 is the splitmix64 finalizer: FNV-1a over short, similar strings
+// (sequential vnode labels, neighbouring window starts) leaves its low
+// bits correlated, which skews ring placement badly; the finalizer
+// scrambles every bit so shard loads stay within a few percent of even.
+// Stable across processes, like hash64.
+func mix64(h uint64) uint64 {
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// hash64 is FNV-1a over s — dependency-free, stable across processes and
+// Go versions, which the persisted queue's shard affinity relies on.
+func hash64(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}

@@ -1,0 +1,103 @@
+// Package crawlplane is SIFT's sharded, crash-resumable crawl tier: the
+// (state × window × round) fetch work-unit space is partitioned by
+// consistent hashing onto N crawler workers, coordinated through a
+// lease-based work queue persisted in the store's atomic
+// temp+fsync+rename path. Each worker owns its own fetcher (a gtclient
+// pool against a live service, or the in-process engine) and its own
+// engine.FrameCache shard; a killed worker's leases expire and survivors
+// steal its units, resuming from persisted frames without refetching
+// completed windows. The plane plugs into the processing pipeline as an
+// engine.FrameSource, so the stitch/detect tier consumes completed
+// windows asynchronously while the fetch tier crawls — the distributed
+// successor of the single bounded engine.Scheduler, which lives on as
+// each worker's local concurrency policy.
+package crawlplane
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"sift/internal/geo"
+	"sift/internal/gtrends"
+)
+
+// Unit is one crawl work unit: fetch one (term, state, window) frame for
+// one averaging round. Units are the granularity of leasing, sharding,
+// and resume — a completed unit is never refetched.
+type Unit struct {
+	Term   string    `json:"term"`
+	State  geo.State `json:"state"`
+	Start  time.Time `json:"start"`
+	Hours  int       `json:"hours"`
+	Round  int       `json:"round"`
+	Rising bool      `json:"rising,omitempty"`
+}
+
+// UnitOf builds the unit for a frame request in a given round.
+func UnitOf(req gtrends.FrameRequest, round int) Unit {
+	return Unit{
+		Term:   req.Term,
+		State:  req.State,
+		Start:  req.Start.UTC(),
+		Hours:  req.Hours,
+		Round:  round,
+		Rising: req.WithRising,
+	}
+}
+
+// Request reconstructs the frame request the unit fetches.
+func (u Unit) Request() gtrends.FrameRequest {
+	return gtrends.FrameRequest{
+		Term:       u.Term,
+		State:      u.State,
+		Start:      u.Start,
+		Hours:      u.Hours,
+		WithRising: u.Rising,
+	}
+}
+
+// Key is the unit's canonical identity: the string the queue indexes by,
+// the ring hashes for shard ownership, and the persisted form's map key.
+// Terms cannot contain '|' in this system's vocabulary, but the window
+// ordinal encoding keeps the key unambiguous even if one did.
+func (u Unit) Key() string {
+	var b strings.Builder
+	b.Grow(len(u.Term) + 32)
+	b.WriteString(strconv.FormatInt(u.Start.UTC().Unix(), 10))
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(u.Hours))
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(u.Round))
+	b.WriteByte('|')
+	if u.Rising {
+		b.WriteByte('r')
+	}
+	b.WriteByte('|')
+	b.WriteString(string(u.State))
+	b.WriteByte('|')
+	b.WriteString(u.Term)
+	return b.String()
+}
+
+// ShardKey is the consistent-hashing coordinate: the (state × window)
+// pair only, so every round of the same window lands on the same worker
+// and its cache shard sees all of that window's draws.
+func (u Unit) ShardKey() string {
+	return strconv.FormatInt(u.Start.UTC().Unix(), 10) + "|" + strconv.Itoa(u.Hours) +
+		"|" + string(u.State) + "|" + u.Term
+}
+
+// SampleKey derives the deterministic sampling key the plane passes to a
+// gtrends.KeyedFetcher: a pure function of the unit's identity, so any
+// worker fetching the unit — first owner, lease thief after a crash, a
+// plane of one worker or eight — draws the same sample. Rounds stay in
+// the key, so averaging keeps its independent draws per round.
+func (u Unit) SampleKey() uint64 { return hash64("sample|" + u.Key()) }
+
+// String renders the unit for spans and logs.
+func (u Unit) String() string {
+	return fmt.Sprintf("%s/%s %s+%dh r%d", u.Term, u.State,
+		u.Start.UTC().Format("2006-01-02T15"), u.Hours, u.Round)
+}

@@ -55,6 +55,12 @@ func KeyOf(req gtrends.FrameRequest, round int) Key {
 
 // CacheStats is a point-in-time snapshot of cache accounting.
 type CacheStats struct {
+	// Shard names the cache shard the snapshot belongs to; empty for an
+	// unsharded (study-global) cache. Per-shard visibility matters in the
+	// crawl plane: the process-wide event counters aggregate every cache,
+	// so a cold shard's misses would otherwise hide behind a hot shard's
+	// hits.
+	Shard string `json:"shard,omitempty"`
 	// Hits is how many lookups were served from the cache.
 	Hits uint64 `json:"hits"`
 	// Misses is how many lookups had to execute their fetch.
@@ -93,22 +99,29 @@ type FrameCache struct {
 
 	hits, misses, coalesced, evictions, primed uint64
 	om                                         cacheObs
+	shard                                      string
 }
 
 // cacheObs holds the cache's metric handles. Multiple caches in one
 // process share the event counters (aggregate view, bounded
 // cardinality); the entries gauge reflects the most recently mutated
-// cache.
+// cache. A sharded cache additionally reports into the shard-labeled
+// families, so a cold shard's misses stay visible next to a hot shard's
+// hits (the zero handles below are no-ops for unsharded caches).
 type cacheObs struct {
 	hits, misses, coalesced, evictions, primed obs.Counter
 	entries                                    obs.Gauge
+
+	shardHits, shardMisses obs.Counter
+	shardEntries           obs.Gauge
 }
 
 // newCacheObs builds the cache metric handles against r (nil → Default).
-func newCacheObs(r *obs.Registry) cacheObs {
+// A non-empty shard also wires the per-shard families.
+func newCacheObs(r *obs.Registry, shard string) cacheObs {
 	events := r.CounterVec("sift_engine_cache_events_total",
 		"frame-cache outcomes by event", "event")
-	return cacheObs{
+	om := cacheObs{
 		hits:      events.With("hit"),
 		misses:    events.With("miss"),
 		coalesced: events.With("coalesced"),
@@ -117,13 +130,35 @@ func newCacheObs(r *obs.Registry) cacheObs {
 		entries: r.Gauge("sift_engine_cache_entries",
 			"frames currently resident in the cache"),
 	}
+	if shard != "" {
+		shardEvents := r.CounterVec("sift_engine_cache_shard_events_total",
+			"frame-cache outcomes by shard and event", "shard", "event")
+		om.shardHits = shardEvents.With(shard, "hit")
+		om.shardMisses = shardEvents.With(shard, "miss")
+		om.shardEntries = r.GaugeVec("sift_engine_cache_shard_entries",
+			"frames resident per cache shard", "shard").With(shard)
+	}
+	return om
 }
 
 // WithMetrics redirects the cache's counters into r, returning the cache
 // for chaining. Call before the cache's first use.
 func (c *FrameCache) WithMetrics(r *obs.Registry) *FrameCache {
 	c.mu.Lock()
-	c.om = newCacheObs(r)
+	c.om = newCacheObs(r, c.shard)
+	c.mu.Unlock()
+	return c
+}
+
+// WithShard names this cache as one shard of a partitioned cache plane
+// and wires the shard-labeled hit/miss/entries families, returning the
+// cache for chaining. Call before the cache's first use (and before
+// WithMetrics if both are used, or pass the registry here implicitly by
+// calling WithMetrics after).
+func (c *FrameCache) WithShard(shard string, r *obs.Registry) *FrameCache {
+	c.mu.Lock()
+	c.shard = shard
+	c.om = newCacheObs(r, shard)
 	c.mu.Unlock()
 	return c
 }
@@ -144,7 +179,7 @@ func NewFrameCache(capacity int) *FrameCache {
 		entries:  make(map[Key]*list.Element),
 		lru:      list.New(),
 		inflight: make(map[Key]*flight),
-		om:       newCacheObs(nil),
+		om:       newCacheObs(nil, ""),
 	}
 }
 
@@ -157,10 +192,12 @@ func (c *FrameCache) Get(key Key) (*gtrends.Frame, bool) {
 		c.lru.MoveToFront(el)
 		c.hits++
 		c.om.hits.Inc()
+		c.om.shardHits.Inc()
 		return el.Value.(*cacheEntry).frame, true
 	}
 	c.misses++
 	c.om.misses.Inc()
+	c.om.shardMisses.Inc()
 	return nil, false
 }
 
@@ -191,6 +228,7 @@ func (c *FrameCache) put(key Key, f *gtrends.Frame) {
 		c.om.evictions.Inc()
 	}
 	c.om.entries.Set(float64(len(c.entries)))
+	c.om.shardEntries.Set(float64(len(c.entries)))
 }
 
 // Prime loads a previously persisted frame (e.g. from internal/store)
@@ -231,6 +269,7 @@ func (c *FrameCache) GetOrFetch(ctx context.Context, key Key, fetch func(context
 		c.lru.MoveToFront(el)
 		c.hits++
 		c.om.hits.Inc()
+		c.om.shardHits.Inc()
 		f = el.Value.(*cacheEntry).frame
 		c.mu.Unlock()
 		trace.FromContext(ctx).Event("cache.hit")
@@ -259,6 +298,7 @@ func (c *FrameCache) GetOrFetch(ctx context.Context, key Key, fetch func(context
 	c.inflight[key] = fl
 	c.misses++
 	c.om.misses.Inc()
+	c.om.shardMisses.Inc()
 	c.mu.Unlock()
 	trace.FromContext(ctx).Event("cache.miss")
 
@@ -286,6 +326,7 @@ func (c *FrameCache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return CacheStats{
+		Shard:     c.shard,
 		Hits:      c.hits,
 		Misses:    c.misses,
 		Coalesced: c.coalesced,

@@ -1,15 +1,18 @@
 package engine
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"sift/internal/gtrends"
+	"sift/internal/obs"
 )
 
 var t0 = time.Date(2021, 2, 15, 0, 0, 0, 0, time.UTC)
@@ -259,6 +262,52 @@ func TestCacheChaosKeyIsolation(t *testing.T) {
 		f, ok := c.Get(testKey(fmt.Sprintf("term-%d", i), t0, 1))
 		if !ok || f.Term != fmt.Sprintf("term-%d", i) {
 			t.Errorf("key %d holds wrong frame", i)
+		}
+	}
+}
+
+func TestCacheShardStatsAndMetrics(t *testing.T) {
+	r := obs.NewRegistry()
+	a := NewFrameCache(8).WithShard("shard-0", r)
+	b := NewFrameCache(8).WithShard("shard-1", r)
+
+	ka, kb := testKey("a", t0, 1), testKey("b", t0, 1)
+	a.Put(ka, testFrame("a", t0, 168))
+	a.Get(ka) // shard-0: 1 hit
+	b.Get(kb) // shard-1: 1 miss
+	b.Put(kb, testFrame("b", t0, 168))
+
+	sa, sb := a.Stats(), b.Stats()
+	if sa.Shard != "shard-0" || sb.Shard != "shard-1" {
+		t.Fatalf("shard names = %q, %q", sa.Shard, sb.Shard)
+	}
+	if sa.Hits != 1 || sa.Misses != 0 {
+		t.Errorf("shard-0 stats = %+v, want 1 hit, 0 misses", sa)
+	}
+	if sb.Hits != 0 || sb.Misses != 1 {
+		t.Errorf("shard-1 stats = %+v, want 0 hits, 1 miss", sb)
+	}
+	// An unsharded cache stays anonymous.
+	if s := NewFrameCache(8).Stats(); s.Shard != "" {
+		t.Errorf("unsharded cache reports shard %q", s.Shard)
+	}
+
+	// The per-shard families carry each shard's traffic separately —
+	// that is the whole point: process-global counters would hide a cold
+	// shard behind a hot one.
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		`sift_engine_cache_shard_events_total{shard="shard-0",event="hit"} 1`,
+		`sift_engine_cache_shard_events_total{shard="shard-1",event="miss"} 1`,
+		`sift_engine_cache_shard_entries{shard="shard-0"} 1`,
+		`sift_engine_cache_shard_entries{shard="shard-1"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q\n%s", want, text)
 		}
 	}
 }

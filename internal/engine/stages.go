@@ -53,6 +53,30 @@ type FrameSource interface {
 	FetchFrame(ctx context.Context, req gtrends.FrameRequest, round int) (*gtrends.Frame, error)
 }
 
+// CachedSource is the optional FrameSource extension the pipeline probes
+// for when it has no frame cache of its own: the source manages caching
+// internally (e.g. the crawl plane's per-worker shards) and reports
+// whether the frame was served without a fresh fetch, so cache-hit
+// accounting — and the stitch memo's "all-hit prefix" reuse rule that
+// depends on it — keeps working when caching moves below the source seam.
+type CachedSource interface {
+	FrameSource
+	FetchFrameCached(ctx context.Context, req gtrends.FrameRequest, round int) (f *gtrends.Frame, hit bool, err error)
+}
+
+// AsyncFrameSource marks a FrameSource that schedules and bounds its own
+// fetch concurrency (a sharded crawl plane with per-worker pools). The
+// pipeline's fetch stage then submits every planned window of a round
+// concurrently and consumes completions as they land, instead of
+// throttling submissions through its local worker pool — the seam that
+// decouples the stitch/detect tier from the fetch tier.
+type AsyncFrameSource interface {
+	FrameSource
+	// AsyncFetch is a marker; implementations report their own fetch
+	// parallelism (diagnostic only).
+	AsyncFetch() int
+}
+
 // RetryingSource is the default frame source: a gtrends.Fetcher wrapped
 // in bounded in-round retries. Transient failures (rate-limit storms,
 // 5xx, severed connections) and responses that fail validation are

@@ -10,6 +10,18 @@ type Fetcher interface {
 	FetchFrame(ctx context.Context, req FrameRequest) (*Frame, error)
 }
 
+// KeyedFetcher is the optional Fetcher extension a deterministic source
+// implements: the frame's sample is drawn from the caller-supplied key
+// rather than request arrival order, so identical (request, key) pairs
+// return bit-identical frames no matter how fetches interleave. The
+// in-process engine supports it; the HTTP client does not (a live
+// service's sampling is inherently order-dependent), and callers fall
+// back to FetchFrame.
+type KeyedFetcher interface {
+	Fetcher
+	FetchFrameKeyed(ctx context.Context, req FrameRequest, key uint64) (*Frame, error)
+}
+
 // EngineFetcher adapts an Engine to the Fetcher interface.
 type EngineFetcher struct {
 	Engine *Engine
@@ -22,4 +34,12 @@ func (f EngineFetcher) FetchFrame(ctx context.Context, req FrameRequest) (*Frame
 		return nil, err
 	}
 	return f.Engine.Fetch(req)
+}
+
+// FetchFrameKeyed serves the request under an explicit sample key.
+func (f EngineFetcher) FetchFrameKeyed(ctx context.Context, req FrameRequest, key uint64) (*Frame, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return f.Engine.FetchKeyed(req, key)
 }

@@ -164,12 +164,36 @@ func (e *Engine) validate(req FrameRequest) error {
 
 // Fetch serves one frame. Each call draws a fresh sample of the
 // underlying (fixed) search log, so repeated calls differ within sampling
-// error — the paper's motivation for averaging re-fetches.
+// error — the paper's motivation for averaging re-fetches. The sample is
+// keyed by the global request ordinal, so what a frame contains depends on
+// how many requests preceded it — exactly the order-dependence a live
+// service exhibits.
 func (e *Engine) Fetch(req FrameRequest) (*Frame, error) {
 	if err := e.validate(req); err != nil {
 		return nil, err
 	}
 	key := e.requests.Add(1)
+	return e.fetchKeyed(req, key)
+}
+
+// FetchKeyed serves one frame whose sample is drawn from the caller's key
+// instead of the global request ordinal. Two calls with the same request
+// and key return bit-identical frames regardless of what ran in between —
+// the property the sharded crawl plane leans on to stay reproducible at
+// any worker count (a re-fetch round still passes a different key per
+// round, so averaging keeps its independent draws). The call is counted
+// in Requests like any other fetch.
+func (e *Engine) FetchKeyed(req FrameRequest, key uint64) (*Frame, error) {
+	if err := e.validate(req); err != nil {
+		return nil, err
+	}
+	e.requests.Add(1)
+	return e.fetchKeyed(req, key)
+}
+
+// fetchKeyed is the shared fetch path under an explicit sample key; the
+// request is already validated and counted.
+func (e *Engine) fetchKeyed(req FrameRequest, key uint64) (*Frame, error) {
 	start := req.Start.UTC()
 
 	proportions := make([]float64, req.Hours)

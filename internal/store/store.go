@@ -223,10 +223,50 @@ func (db *DB) EachFrame(fn func(round int, f *gtrends.Frame)) {
 	}
 }
 
-// Save writes the database to path atomically: the encoding goes to a
-// fresh temp file in the destination directory, is fsynced, and then
-// renamed over path, so a crash mid-save leaves either the old file or
-// the new one — never a torn mix.
+// WriteFileAtomic writes data to path atomically: the bytes go to a
+// fresh temp file in the destination directory, are fsynced, and the
+// temp file is renamed over path, so a crash mid-write leaves either the
+// old file or the new one — never a torn mix. Every durable artifact in
+// this repository (the frame store, the crawl-plane lease queue) goes
+// through this one path.
+func WriteFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("store: creating directory: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: creating temp file: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: writing: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: syncing: %w", err)
+	}
+	if err := tmp.Chmod(0o644); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: chmod: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: closing temp file: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("store: renaming: %w", err)
+	}
+	// Persist the rename itself; not all filesystems order it after the
+	// data sync. Failure here is not fatal to the data already named.
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// Save writes the database to path atomically via WriteFileAtomic.
 func (db *DB) Save(path string) error {
 	db.mu.RLock()
 	ff := fileFormat{Version: 1}
@@ -270,40 +310,7 @@ func (db *DB) Save(path string) error {
 	if err != nil {
 		return fmt.Errorf("store: encoding: %w", err)
 	}
-	dir := filepath.Dir(path)
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return fmt.Errorf("store: creating directory: %w", err)
-	}
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
-	if err != nil {
-		return fmt.Errorf("store: creating temp file: %w", err)
-	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		return fmt.Errorf("store: writing: %w", err)
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return fmt.Errorf("store: syncing: %w", err)
-	}
-	if err := tmp.Chmod(0o644); err != nil {
-		tmp.Close()
-		return fmt.Errorf("store: chmod: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("store: closing temp file: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		return fmt.Errorf("store: renaming: %w", err)
-	}
-	// Persist the rename itself; not all filesystems order it after the
-	// data sync. Failure here is not fatal to the data already named.
-	if d, err := os.Open(dir); err == nil {
-		d.Sync()
-		d.Close()
-	}
-	return nil
+	return WriteFileAtomic(path, data)
 }
 
 // Load reads a database previously written by Save.
