@@ -34,6 +34,22 @@ func TestParseFlagsDefaults(t *testing.T) {
 		o.planeState != "" || o.planeCacheSize != 0 {
 		t.Errorf("crawl-plane defaults = %+v", o)
 	}
+	if o.sources != "gt" || o.fusionScore {
+		t.Errorf("fusion defaults = %+v", o)
+	}
+}
+
+func TestParseFlagsFusion(t *testing.T) {
+	o, err := parseFlags([]string{
+		"-archive", "-metrics-addr", ":9100",
+		"-sources", "gt,pageviews", "-fusion",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.sources != "gt,pageviews" || !o.fusionScore {
+		t.Errorf("fusion overrides = %+v", o)
+	}
 }
 
 func TestParseFlagsOverrides(t *testing.T) {
@@ -102,6 +118,10 @@ func TestParseFlagsRejects(t *testing.T) {
 		{"crawl workers without archive", []string{"-crawl-workers", "2", "-metrics-addr", ":9100"}, "-archive"},
 		{"zero lease ttl", []string{"-archive", "-metrics-addr", ":9100", "-crawl-workers", "2", "-plane-lease-ttl", "0s"}, "-plane-lease-ttl"},
 		{"plane state without plane", []string{"-plane-state", "/tmp/plane"}, "-crawl-workers"},
+		{"unknown source", []string{"-archive", "-metrics-addr", ":9100", "-sources", "gt,carrier-logs"}, "-sources"},
+		{"fallback sources without archive", []string{"-sources", "gt,pageviews"}, "-archive"},
+		{"fallback sources with crawl plane", []string{"-archive", "-metrics-addr", ":9100", "-sources", "gt,pageviews", "-crawl-workers", "2"}, "-crawl-workers"},
+		{"fusion without archive", []string{"-fusion"}, "-archive"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -55,6 +55,20 @@
 //	-plane-cache-size  per-worker frame-cache shard capacity in entries
 //	                   (0 = the engine default)
 //
+//	-sources  archiver signal sources in fallback order: "gt" (default)
+//	          or "gt,pageviews" — the fused source serves crawls from
+//	          Trends and falls back to the pageviews counts backend when
+//	          Trends fails or degrades (requires -archive; incompatible
+//	          with -crawl-workers)
+//	-fusion   score archiver spikes against probing block-outage density
+//	          and pageviews excess before reporting them (requires
+//	          -archive)
+//
+// The pageviews counts backend itself is always served on the API
+// listener at GET /api/pageviews?state=..&start=..&hours=.. — it is not
+// rate-limited and not subject to fault injection (pageview dumps are
+// published wholesale, not crawled).
+//
 // SIGINT/SIGTERM drain gracefully: the archiver finishes its in-flight
 // round, the crawl plane quiesces its workers and flushes persisted
 // state, the record store flushes, the trace export is written, and the
@@ -74,15 +88,19 @@ import (
 	"syscall"
 	"time"
 
+	"sift/internal/ant"
 	"sift/internal/archiver"
 	"sift/internal/core"
 	"sift/internal/crawlplane"
+	stages "sift/internal/engine"
 	"sift/internal/faults"
+	"sift/internal/fusion"
 	"sift/internal/gtrends"
 	"sift/internal/gtserver"
 	"sift/internal/obs"
 	"sift/internal/scenario"
 	"sift/internal/searchmodel"
+	"sift/internal/simworld"
 	"sift/internal/store"
 	"sift/internal/trace"
 )
@@ -117,6 +135,9 @@ type options struct {
 	planeLeaseTTL  time.Duration
 	planeState     string
 	planeCacheSize int
+
+	sources     string
+	fusionScore bool
 }
 
 // parseFlags parses args (without the program name) into options,
@@ -149,6 +170,8 @@ func parseFlags(args []string) (options, error) {
 	fs.DurationVar(&o.planeLeaseTTL, "plane-lease-ttl", 30*time.Second, "crawl-plane work-unit lease TTL")
 	fs.StringVar(&o.planeState, "plane-state", "", "directory for crawl-plane queue/frame persistence (off when empty)")
 	fs.IntVar(&o.planeCacheSize, "plane-cache-size", 0, "per-worker frame-cache shard capacity (0 = engine default)")
+	fs.StringVar(&o.sources, "sources", "gt", `archiver signal sources, in fallback order: "gt" or "gt,pageviews"`)
+	fs.BoolVar(&o.fusionScore, "fusion", false, "score archiver spikes against probing and pageviews corroboration")
 	if err := fs.Parse(args); err != nil {
 		return o, err
 	}
@@ -175,6 +198,20 @@ func parseFlags(args []string) (options, error) {
 	}
 	if o.planeState != "" && o.crawlWorkers == 0 {
 		return o, errors.New("-plane-state without -crawl-workers has nothing to persist")
+	}
+	switch o.sources {
+	case "gt", "gt,pageviews":
+	default:
+		return o, fmt.Errorf(`bad -sources %q: want "gt" or "gt,pageviews"`, o.sources)
+	}
+	if o.sources != "gt" && !o.archive {
+		return o, errors.New("-sources with a fallback requires -archive (the fused source serves archiver crawls)")
+	}
+	if o.sources != "gt" && o.crawlWorkers > 0 {
+		return o, errors.New("-sources with a fallback conflicts with -crawl-workers (the plane owns the fetch tier)")
+	}
+	if o.fusionScore && !o.archive {
+		return o, errors.New("-fusion requires -archive (the fusion detector scores archiver crawls)")
 	}
 	return o, nil
 }
@@ -275,11 +312,13 @@ func run(opts options) error {
 	if injector != nil {
 		log.Printf("chaos enabled: %d fault rules, seed=%d", len(injector.Plan().Rules), injector.Plan().Seed)
 	}
+	views := simworld.NewPageviews(opts.seed, tl)
 	scfg := gtserver.Config{
 		RatePerSec: opts.rate,
 		Burst:      opts.burst,
 		Logger:     logger,
 		Faults:     injector,
+		Pageviews:  views,
 	}
 	// The tracer only exists when something can read it: the metrics
 	// listener's /debug/trace inspector or the -trace-out export.
@@ -365,6 +404,27 @@ func run(opts options) error {
 			if plane != nil {
 				acfg.Fetcher = nil
 				acfg.Plane = plane
+			}
+			if opts.sources == "gt,pageviews" {
+				// Fused fetch tier: Trends primary with pageviews fallback,
+				// steered by the per-source health tracker. The tracker also
+				// digests each finished crawl's health record.
+				tracker := fusion.NewTracker(fusion.TrackerConfig{})
+				acfg.Fetcher = nil
+				acfg.Pipeline.Source = &fusion.FallbackSource{
+					Primary: stages.RetryingSource{
+						Fetcher: gtrends.EngineFetcher{Engine: engine},
+					},
+					Secondary: &fusion.PageviewsSource{Views: views},
+					Tracker:   tracker,
+				}
+				acfg.Pipeline.OnHealth = func(h core.CrawlHealth) { tracker.ObserveHealth("gt", h) }
+				log.Printf("fused sources: gt with pageviews fallback")
+			}
+			if opts.fusionScore {
+				probing := ant.Simulate(ant.Config{Seed: opts.seed}, tl, from.UTC(), to.UTC())
+				acfg.Pipeline.Detector = fusion.NewDetector(probing, views, fusion.DetectorConfig{Tracer: tracer})
+				log.Printf("fusion detector: scoring spikes against %d probing blocks", len(probing.Blocks))
 			}
 			sup, err = archiver.New(acfg)
 			if err != nil {

@@ -109,6 +109,20 @@ type Dataset struct {
 	byState map[geo.State][]int // record indexes sorted by start
 }
 
+// NewDataset assembles a dataset from explicit blocks and records — the
+// entry point for loading a real (non-simulated) outage feed or for
+// building fixtures. Records are sorted by start and indexed by
+// geolocated state, same as Simulate's output.
+func NewDataset(blocks []Block, records []OutageRecord) *Dataset {
+	d := &Dataset{Blocks: blocks, Records: records}
+	sort.SliceStable(d.Records, func(i, j int) bool { return d.Records[i].Start.Before(d.Records[j].Start) })
+	d.byState = make(map[geo.State][]int)
+	for i, r := range d.Records {
+		d.byState[r.State] = append(d.byState[r.State], i)
+	}
+	return d
+}
+
 // Simulate produces the dataset for the ground truth over [from, to).
 func Simulate(cfg Config, tl *simworld.Timeline, from, to time.Time) *Dataset {
 	cfg.fillDefaults()
@@ -151,8 +165,25 @@ func Simulate(cfg Config, tl *simworld.Timeline, from, to time.Time) *Dataset {
 					Duration: roundsCeil(blockDur),
 					EventID:  e.ID,
 				}
-				if rec.Start.Before(from) || !rec.Start.Before(to) {
+				// The analysis window is overlap-based (RecordsIn,
+				// MatchSpike), so a record merely straddling the study
+				// start must be kept: probing observed the tail of an
+				// outage already in progress when the study began. Clamp
+				// it to the first round inside the window instead of
+				// dropping it — dropping made events that straddle `from`
+				// invisible to ANT while GT still saw them, inflating
+				// SIFT-only wins in the §4 comparison.
+				if !rec.Start.Before(to) || !rec.End().After(from) {
 					continue
+				}
+				if rec.Start.Before(from) {
+					end := rec.End()
+					start := quantize(from)
+					if !end.After(start) {
+						continue
+					}
+					rec.Start = start
+					rec.Duration = roundsCeil(end.Sub(start))
 				}
 				d.Records = append(d.Records, rec)
 			}
@@ -160,30 +191,40 @@ func Simulate(cfg Config, tl *simworld.Timeline, from, to time.Time) *Dataset {
 	}
 
 	// Background flaps: residential blocks drop for a few rounds for
-	// reasons no ground-truth event explains.
-	days := int(to.Sub(from).Hours() / 24)
-	for bi, b := range d.Blocks {
-		_ = bi
-		for day := 0; day < days; day++ {
-			if rng.Float64() >= cfg.NoiseRate {
+	// reasons no ground-truth event explains. Every day window of the
+	// study range is considered, including a fractional final day (or a
+	// range shorter than a day), whose flap probability scales with the
+	// fraction of the day the study covers — truncating to whole days
+	// left short windows silently flap-free, understating false-positive
+	// rates exactly where they matter most.
+	for _, b := range d.Blocks {
+		for dayStart := from; dayStart.Before(to); dayStart = dayStart.Add(24 * time.Hour) {
+			winMinutes := int(to.Sub(dayStart).Minutes())
+			if winMinutes > 24*60 {
+				winMinutes = 24 * 60
+			}
+			if winMinutes < 1 {
+				break
+			}
+			p := cfg.NoiseRate * float64(winMinutes) / (24 * 60)
+			if rng.Float64() >= p {
 				continue
 			}
-			start := from.Add(time.Duration(day)*24*time.Hour + time.Duration(rng.Intn(24*60))*time.Minute)
+			start := quantize(dayStart.Add(time.Duration(rng.Intn(winMinutes)) * time.Minute))
+			if !start.Before(to) {
+				// Round alignment pushed the flap past the study edge.
+				continue
+			}
 			d.Records = append(d.Records, OutageRecord{
 				Block:    b.CIDR,
 				State:    b.State,
-				Start:    quantize(start),
+				Start:    start,
 				Duration: time.Duration(1+rng.Intn(8)) * Round,
 			})
 		}
 	}
 
-	sort.SliceStable(d.Records, func(i, j int) bool { return d.Records[i].Start.Before(d.Records[j].Start) })
-	d.byState = make(map[geo.State][]int)
-	for i, r := range d.Records {
-		d.byState[r.State] = append(d.byState[r.State], i)
-	}
-	return d
+	return NewDataset(d.Blocks, d.Records)
 }
 
 // buildBlocks allocates per-state /24 blocks and applies geolocation
@@ -222,8 +263,14 @@ func outageShare(kind simworld.Kind, intensity float64) float64 {
 	switch kind {
 	case simworld.KindPower:
 		scale = 1100 // power cuts take everything behind them down
+	case simworld.KindCable:
+		scale = 1300 // everything behind the cut goes hard-down
 	case simworld.KindISP:
 		scale = 1800 // one provider's share of the state's blocks
+	case simworld.KindDDoS:
+		scale = 2500 // saturated paths drop some probes, degrade most
+	case simworld.KindBGP:
+		scale = 3200 // many blocks stay reachable via unaffected routes
 	default:
 		scale = 4000
 	}
@@ -237,14 +284,13 @@ func outageShare(kind simworld.Kind, intensity float64) float64 {
 	return share
 }
 
-// quantize aligns an instant up to the next probing-round boundary: a
-// block's outage is first observed at the round after it began.
+// quantize aligns an instant to the probing-round boundary strictly
+// after it: a block's outage is first observed at the round after it
+// began, and an outage starting exactly as a probe fires is missed by
+// that probe and only seen one full round later. (The boundary case
+// used to return t unchanged, contradicting this contract.)
 func quantize(t time.Time) time.Time {
-	tr := t.Truncate(Round)
-	if tr.Equal(t) {
-		return tr
-	}
-	return tr.Add(Round)
+	return t.Truncate(Round).Add(Round)
 }
 
 func roundsCeil(d time.Duration) time.Duration {

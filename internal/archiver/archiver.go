@@ -240,8 +240,14 @@ type Supervisor struct {
 // New validates cfg and builds a supervisor. No crawling starts until
 // Run or Tick.
 func New(cfg Config) (*Supervisor, error) {
-	if cfg.Fetcher == nil && cfg.Plane == nil {
-		return nil, errors.New("archiver: config needs a Fetcher or a Plane")
+	if cfg.Fetcher == nil && cfg.Plane == nil && cfg.Pipeline.Source == nil {
+		return nil, errors.New("archiver: config needs a Fetcher, a Plane, or a Pipeline.Source")
+	}
+	if cfg.Plane != nil && cfg.Pipeline.Source != nil {
+		// Plane mode installs the plane as the pipeline's CachedSource; a
+		// caller-supplied Source (a fusion FallbackSource, say) would be
+		// silently discarded per round — refuse the ambiguity instead.
+		return nil, errors.New("archiver: Plane and Pipeline.Source are mutually exclusive")
 	}
 	if cfg.Start.IsZero() || !timeseries.Aligned(cfg.Start) {
 		return nil, errors.New("archiver: Start must be a non-zero, hour-aligned instant")

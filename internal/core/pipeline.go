@@ -109,6 +109,11 @@ type PipelineConfig struct {
 	// tracing to the context: spans are recorded only under a traced
 	// caller.
 	Tracer *trace.Tracer
+	// OnHealth, when set, receives the finished run's crawl-health
+	// record — how source-health trackers (internal/fusion) learn about
+	// failed fetches and unfilled windows without wrapping the Source.
+	// Called synchronously at the end of every successful Run.
+	OnHealth func(CrawlHealth)
 }
 
 // RetriesFlag maps a user-facing retry-count flag value onto
@@ -297,6 +302,9 @@ func (p *Pipeline) Run(ctx context.Context, state geo.State, term string, from, 
 	if err == nil {
 		om.rounds.Observe(float64(res.Rounds))
 		om.gaps.Add(float64(len(res.Gaps)))
+		if cfg.OnHealth != nil {
+			cfg.OnHealth(res.Health())
+		}
 	}
 	return res, err
 }

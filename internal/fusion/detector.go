@@ -1,0 +1,232 @@
+package fusion
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"sift/internal/ant"
+	"sift/internal/core"
+	"sift/internal/geo"
+	"sift/internal/obs"
+	"sift/internal/simworld"
+	"sift/internal/timeseries"
+	"sift/internal/trace"
+)
+
+// DetectorConfig tunes the fusion detector. Zero fields take the
+// documented defaults.
+type DetectorConfig struct {
+	// Threshold is the fused-score floor a candidate must reach to be
+	// reported, on the same 0–100 scale as spike magnitude. Default 70.
+	Threshold float64
+	// BaseWeight is the score multiplier an uncorroborated spike gets;
+	// CorrobWeight is the additional multiplier full corroboration adds.
+	// A candidate scores Magnitude × (BaseWeight + CorrobWeight×belief),
+	// so with the defaults (0.6 and 0.6) corroboration swings the
+	// effective threshold by a factor of two: a fully-corroborated spike
+	// passes at Magnitude ≥ Threshold/1.2 while an uncorroborated one
+	// needs Magnitude ≥ Threshold/0.6.
+	BaseWeight, CorrobWeight float64
+	// EndFraction passes through to the underlying prominence walk.
+	EndFraction float64
+	// Slack widens the probing-record match window on both sides of the
+	// candidate (see ant.Dataset.MatchSpike). Default 2h.
+	Slack time.Duration
+	// BeliefFloor and BeliefSaturation bound the probing evidence
+	// mapping: the fraction of the state's blocks with matching outage
+	// records is rescaled so fractions at or below the floor carry no
+	// belief (background flaps routinely take out a block or two) and
+	// fractions at or above the saturation carry full belief. Defaults
+	// 0.005 and 0.02.
+	BeliefFloor, BeliefSaturation float64
+	// ViewsSaturation is the pageviews excess-over-baseline ratio
+	// (averaged over the candidate's span) at which views evidence
+	// reaches full belief. Default 1 (excess equal to baseline).
+	ViewsSaturation float64
+	// Metrics selects the registry for the sift_fusion_* detector
+	// families; nil uses obs.Default().
+	Metrics *obs.Registry
+	// Tracer, when set, records one fusion.score span per Detect call.
+	// The detect seam carries no context, so the span is a root.
+	Tracer *trace.Tracer
+}
+
+func (c *DetectorConfig) fillDefaults() {
+	if c.Threshold == 0 {
+		c.Threshold = 70
+	}
+	if c.BaseWeight == 0 {
+		c.BaseWeight = 0.6
+	}
+	if c.CorrobWeight == 0 {
+		c.CorrobWeight = 0.6
+	}
+	if c.Slack == 0 {
+		c.Slack = 2 * time.Hour
+	}
+	if c.BeliefFloor == 0 {
+		c.BeliefFloor = 0.005
+	}
+	if c.BeliefSaturation == 0 {
+		c.BeliefSaturation = 0.02
+	}
+	if c.ViewsSaturation == 0 {
+		c.ViewsSaturation = 1
+	}
+}
+
+// Detector is a core.SpikeDetector that fuses Trends spike prominence
+// with corroborating evidence: probing block-outage density from the
+// ANT dataset and excess pageviews from the counts backend. Candidates
+// come from the paper's prominence walk with a lowered magnitude floor;
+// each is then scored
+//
+//	score = Magnitude × (BaseWeight + CorrobWeight × belief)
+//
+// where belief ∈ [0, 1] is the stronger of the two evidence channels,
+// and reported only when score ≥ Threshold. Corroborated spikes
+// therefore pass below the GT-only threshold (catching events probing
+// alone misses is the job of the candidate floor), while uncorroborated
+// ones need substantially more prominence — which is what suppresses
+// the false positives renormalized noise-only windows produce.
+//
+// Construct with NewDetector; safe for concurrent use.
+type Detector struct {
+	cfg     DetectorConfig
+	probing *ant.Dataset
+	views   *simworld.Pageviews
+	inner   core.Detector
+
+	om detectorObs
+
+	blockOnce   sync.Once
+	blockCounts map[geo.State]int
+}
+
+// detectorObs holds the fusion detector's metric handles.
+type detectorObs struct {
+	candidates obs.Counter    // sift_fusion_candidates_total
+	decisions  obs.CounterVec // sift_fusion_decisions_total{decision}
+	belief     obs.HistogramVec
+}
+
+// NewDetector builds the fusion detector. probing supplies the ANT
+// evidence channel; views (optional) the pageviews channel — nil
+// disables it, leaving probing as the only corroboration.
+func NewDetector(probing *ant.Dataset, views *simworld.Pageviews, cfg DetectorConfig) *Detector {
+	cfg.fillDefaults()
+	return &Detector{
+		cfg:     cfg,
+		probing: probing,
+		views:   views,
+		// The candidate floor admits everything a fully-corroborated
+		// score could rescue; anything below can never reach Threshold.
+		inner: core.Detector{
+			MinMagnitude: cfg.Threshold / (cfg.BaseWeight + cfg.CorrobWeight),
+			EndFraction:  cfg.EndFraction,
+		},
+		om: detectorObs{
+			candidates: cfg.Metrics.Counter("sift_fusion_candidates_total",
+				"spike candidates considered by the fusion scorer"),
+			decisions: cfg.Metrics.CounterVec("sift_fusion_decisions_total",
+				"fusion scoring decisions", "decision"),
+			belief: cfg.Metrics.HistogramVec("sift_fusion_belief",
+				"corroboration belief of scored candidates", obs.LinearBuckets(0, 0.1, 11), "channel"),
+		},
+	}
+}
+
+// Detect implements core.SpikeDetector.
+func (d *Detector) Detect(series *timeseries.Series, state geo.State, term string) []core.Spike {
+	candidates := d.inner.Detect(series, state, term)
+	_, span := d.cfg.Tracer.Root(context.Background(), "fusion.score",
+		trace.Str("state", string(state)), trace.Str("term", term),
+		trace.Int("candidates", len(candidates)))
+	defer span.End()
+	d.om.candidates.Add(float64(len(candidates)))
+
+	var out []core.Spike
+	for _, sp := range candidates {
+		probeB := d.probeBelief(sp)
+		viewsB := d.viewsBelief(sp)
+		belief := probeB
+		if viewsB > belief {
+			belief = viewsB
+		}
+		d.om.belief.With("probe").Observe(probeB)
+		d.om.belief.With("views").Observe(viewsB)
+		score := sp.Magnitude * (d.cfg.BaseWeight + d.cfg.CorrobWeight*belief)
+		if score < d.cfg.Threshold {
+			d.om.decisions.With("rejected").Inc()
+			span.Event("fusion.reject",
+				trace.Str("peak", sp.Peak.Format("2006-01-02T15")),
+				trace.Int("magnitude", int(sp.Magnitude)), trace.Int("score", int(score)))
+			continue
+		}
+		d.om.decisions.With("accepted").Inc()
+		out = append(out, sp)
+	}
+	span.SetAttr(trace.Int("accepted", len(out)))
+	return out
+}
+
+// stateBlocks lazily indexes the probing dataset's per-state block
+// counts (by geolocated state — the view analyses see).
+func (d *Detector) stateBlocks() map[geo.State]int {
+	d.blockOnce.Do(func() { d.blockCounts = d.probing.StateBlockCount() })
+	return d.blockCounts
+}
+
+// probeBelief maps the probing evidence for a candidate onto [0, 1]:
+// the fraction of the state's blocks with outage records overlapping
+// the (slack-widened) candidate window, rescaled between the
+// background-flap floor and the saturation fraction.
+func (d *Detector) probeBelief(sp core.Spike) float64 {
+	if d.probing == nil {
+		return 0
+	}
+	total := d.stateBlocks()[sp.State]
+	if total == 0 {
+		return 0
+	}
+	recs := d.probing.MatchSpike(sp, d.cfg.Slack)
+	blocks := make(map[string]struct{}, len(recs))
+	for _, r := range recs {
+		blocks[r.Block] = struct{}{}
+	}
+	frac := float64(len(blocks)) / float64(total)
+	b := (frac - d.cfg.BeliefFloor) / (d.cfg.BeliefSaturation - d.cfg.BeliefFloor)
+	if b < 0 {
+		return 0
+	}
+	if b > 1 {
+		return 1
+	}
+	return b
+}
+
+// viewsBelief maps the pageviews evidence onto [0, 1]: the candidate
+// window's mean excess-over-baseline ratio against ViewsSaturation.
+func (d *Detector) viewsBelief(sp core.Spike) float64 {
+	if d.views == nil {
+		return 0
+	}
+	var excess, base float64
+	for at := sp.Start.Truncate(time.Hour); !at.After(sp.End); at = at.Add(time.Hour) {
+		c := d.views.Counts(sp.State, at)
+		b := d.views.Baseline(sp.State, at)
+		base += b
+		if c > b {
+			excess += c - b
+		}
+	}
+	if base == 0 {
+		return 0
+	}
+	b := excess / base / d.cfg.ViewsSaturation
+	if b > 1 {
+		return 1
+	}
+	return b
+}

@@ -1,0 +1,130 @@
+package fusion
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"sift/internal/ant"
+	"sift/internal/core"
+	"sift/internal/geo"
+	"sift/internal/gtrends"
+	"sift/internal/searchmodel"
+	"sift/internal/simworld"
+)
+
+var e2eT0 = time.Date(2021, 2, 1, 0, 0, 0, 0, time.UTC)
+
+// e2eWorld builds the end-to-end scenario: Texas carries a large
+// probe-visible power anchor (the renormalization reference — magnitude
+// 100) plus a smaller probe-INVISIBLE mobile-carrier outage whose spike
+// renormalizes below the GT-only threshold; California and New York
+// carry nothing but baseline noise, which per-state renormalization
+// inflates to full scale — the paper's false-positive trap. (The events
+// share one planner frame on purpose: quiet 24 h overlaps stitch
+// unanchored, so spikes in different frames would each renormalize
+// against their own frame's maximum.)
+func e2eWorld() *simworld.Timeline {
+	anchor := &simworld.Event{
+		ID: "tx-storm", Name: "Winter storm", Kind: simworld.KindPower,
+		Cause: simworld.CauseWinterStorm,
+		Start: e2eT0.Add(7*24*time.Hour + 10*time.Hour), Duration: 45 * time.Hour,
+		Impacts:      []simworld.Impact{{State: "TX", Intensity: 2000}},
+		Terms:        []simworld.TermWeight{{Term: "power outage", Share: 0.5}},
+		ProbeVisible: true, Newsworthy: true,
+	}
+	mobile := &simworld.Event{
+		ID: "tx-mobile", Name: "Carrier data outage", Kind: simworld.KindMobile,
+		Cause: simworld.CauseCyberIncident,
+		Start: e2eT0.Add(11*24*time.Hour + 17*time.Hour), Duration: 9 * time.Hour,
+		Impacts:      []simworld.Impact{{State: "TX", Intensity: 1420}},
+		Terms:        []simworld.TermWeight{{Term: "mobile data not working", Share: 0.5}},
+		ProbeVisible: false, Newsworthy: true,
+	}
+	return simworld.NewTimeline([]*simworld.Event{anchor, mobile})
+}
+
+// runDetect runs the full GT pipeline for one state under the given
+// detector, on a fresh engine (same seed) so both detectors face the
+// same service behaviour.
+func runDetect(t *testing.T, tl *simworld.Timeline, det core.SpikeDetector, state geo.State) []core.Spike {
+	t.Helper()
+	model := searchmodel.New(11, tl, searchmodel.Params{})
+	fetcher := gtrends.EngineFetcher{Engine: gtrends.NewEngine(model, gtrends.Config{})}
+	p := &core.Pipeline{Fetcher: fetcher, Cfg: core.PipelineConfig{Detector: det}}
+	res, err := p.Run(context.Background(), state, gtrends.TopicInternetOutage, e2eT0, e2eT0.Add(3*7*24*time.Hour))
+	if err != nil {
+		t.Fatalf("pipeline %s: %v", state, err)
+	}
+	return res.Spikes
+}
+
+func spikeCovering(spikes []core.Spike, ev *simworld.Event) *core.Spike {
+	for i := range spikes {
+		if spikes[i].Start.Before(ev.End()) && spikes[i].End.Add(time.Hour).After(ev.Start) {
+			return &spikes[i]
+		}
+	}
+	return nil
+}
+
+// TestFusionEndToEnd is the acceptance experiment: at the SAME
+// threshold, the fusion detector catches a probe-invisible event class
+// the GT-only detector misses, while strictly reducing false positives
+// on noise-only windows.
+func TestFusionEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline e2e")
+	}
+	tl := e2eWorld()
+	from, to := e2eT0, e2eT0.Add(3*7*24*time.Hour)
+	probing := ant.Simulate(ant.Config{Seed: 11}, tl, from, to)
+	views := simworld.NewPageviews(11, tl)
+
+	const threshold = 70.0
+	gtOnly := core.Detector{MinMagnitude: threshold}
+	fused := NewDetector(probing, views, DetectorConfig{Threshold: threshold})
+
+	var ev struct{ anchor, mobile *simworld.Event }
+	for _, e := range tl.Events() {
+		switch e.ID {
+		case "tx-storm":
+			ev.anchor = e
+		case "tx-mobile":
+			ev.mobile = e
+		}
+	}
+
+	// --- TX: the event state. ---
+	gtTX := runDetect(t, tl, gtOnly, "TX")
+	fuTX := runDetect(t, tl, fused, "TX")
+
+	if spikeCovering(gtTX, ev.anchor) == nil {
+		t.Errorf("GT-only missed the probe-visible anchor (spikes: %v)", gtTX)
+	}
+	if spikeCovering(fuTX, ev.anchor) == nil {
+		t.Errorf("fusion missed the probe-visible anchor (spikes: %v)", fuTX)
+	}
+	// The probe-invisible mobile outage renormalizes below the GT-only
+	// threshold but is rescued by pageviews corroboration (probing is
+	// blind to it by construction).
+	if sp := spikeCovering(gtTX, ev.mobile); sp != nil {
+		t.Errorf("GT-only caught the mobile event (mag %.1f) — scenario no longer separates the detectors", sp.Magnitude)
+	}
+	if spikeCovering(fuTX, ev.mobile) == nil {
+		t.Errorf("fusion missed the probe-invisible mobile event (spikes: %v)", fuTX)
+	}
+
+	// --- Noise-only states: renormalized noise must not fire fused. ---
+	gtFP, fuFP := 0, 0
+	for _, state := range []geo.State{"CA", "NY"} {
+		gtFP += len(runDetect(t, tl, gtOnly, state))
+		fuFP += len(runDetect(t, tl, fused, state))
+	}
+	if gtFP == 0 {
+		t.Fatalf("GT-only produced no noise-window false positives — the comparison is vacuous")
+	}
+	if fuFP >= gtFP {
+		t.Errorf("fusion false positives %d, want strictly fewer than GT-only's %d", fuFP, gtFP)
+	}
+}

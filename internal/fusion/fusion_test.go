@@ -1,0 +1,275 @@
+package fusion
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"sift/internal/core"
+	"sift/internal/faults"
+	"sift/internal/gtrends"
+	"sift/internal/obs"
+	"sift/internal/simworld"
+)
+
+// --- Tracker ---
+
+func TestTrackerDegradeAndRecoverHysteresis(t *testing.T) {
+	tr := NewTracker(TrackerConfig{Window: 8, MinSamples: 4, DegradeRate: 0.5, RecoverRate: 0.25, Metrics: obs.NewRegistry()})
+
+	// Three failures: above MinSamples=4? No — only 3 samples, never
+	// degraded regardless of rate.
+	for i := 0; i < 3; i++ {
+		tr.Observe("gt", errors.New("boom"))
+	}
+	if tr.Degraded("gt") {
+		t.Fatal("degraded below MinSamples")
+	}
+	// Fourth failure: 4 samples, rate 1.0 ≥ 0.5 → degraded.
+	tr.Observe("gt", errors.New("boom"))
+	if !tr.Degraded("gt") {
+		t.Fatal("not degraded at failure rate 1.0 with enough samples")
+	}
+
+	// One success drops the window rate to 4/5 = 0.8 — still above
+	// RecoverRate, so hysteresis keeps it degraded.
+	tr.Observe("gt", nil)
+	if !tr.Degraded("gt") {
+		t.Fatal("recovered above RecoverRate (no hysteresis)")
+	}
+	// Fill the window with successes: rate falls to ≤ 0.25 → recovers.
+	for i := 0; i < 7; i++ {
+		tr.Observe("gt", nil)
+	}
+	if tr.Degraded("gt") {
+		t.Fatalf("still degraded after a window of successes: %+v", tr.Snapshot()["gt"])
+	}
+}
+
+func TestTrackerAdmitProbeCadence(t *testing.T) {
+	tr := NewTracker(TrackerConfig{Window: 8, MinSamples: 2, ProbeEvery: 3, Metrics: obs.NewRegistry()})
+
+	if !tr.AdmitProbe("gt") {
+		t.Fatal("healthy (unknown) source must always admit")
+	}
+	tr.Observe("gt", errors.New("x"))
+	tr.Observe("gt", errors.New("x"))
+	if !tr.Degraded("gt") {
+		t.Fatal("setup: source should be degraded")
+	}
+	// Degraded: exactly every 3rd request probes.
+	var admitted []bool
+	for i := 0; i < 6; i++ {
+		admitted = append(admitted, tr.AdmitProbe("gt"))
+	}
+	want := []bool{false, false, true, false, false, true}
+	for i := range want {
+		if admitted[i] != want[i] {
+			t.Fatalf("probe cadence %v, want %v", admitted, want)
+		}
+	}
+}
+
+func TestTrackerObserveHealthAndBreaker(t *testing.T) {
+	tr := NewTracker(TrackerConfig{Window: 32, Metrics: obs.NewRegistry()})
+	tr.ObserveHealth("gt", core.CrawlHealth{
+		FailedFetches: 3,
+		Gaps:          []core.Gap{{Hours: 168}, {Hours: 168}},
+	})
+	h := tr.Snapshot()["gt"]
+	if h.Errors != 3 || h.Gaps != 2 || h.Samples != 5 {
+		t.Fatalf("health fold: %+v, want 3 errors, 2 gaps, 5 samples", h)
+	}
+
+	// Breaker counts are cumulative: only deltas land in the window.
+	tr.ObserveBreaker("gt", 2)
+	tr.ObserveBreaker("gt", 2) // no new trips
+	tr.ObserveBreaker("gt", 3) // one more
+	h = tr.Snapshot()["gt"]
+	if h.Benched != 3 {
+		t.Fatalf("benched = %d, want 3", h.Benched)
+	}
+	if h.Errors != 3+3 {
+		t.Fatalf("errors = %d, want 6 (3 fetch + 3 breaker trips)", h.Errors)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		err  error
+		want Outcome
+	}{
+		{nil, OutcomeOK},
+		{&faults.InjectedError{Mode: faults.RateLimit}, OutcomeRateLimited},
+		{fmt.Errorf("wrapped: %w", &faults.InjectedError{Mode: faults.RateLimit}), OutcomeRateLimited},
+		{&faults.InjectedError{Mode: faults.ServerError}, OutcomeError},
+		{errors.New("unexpected status 429"), OutcomeRateLimited},
+		{errors.New("rate limit exceeded"), OutcomeRateLimited},
+		{errors.New("connection reset"), OutcomeError},
+	}
+	for _, c := range cases {
+		if got := Classify(c.err); got != c.want {
+			t.Errorf("Classify(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}
+
+// --- FallbackSource ---
+
+// fakeSource is a scriptable FrameSource counting its calls.
+type fakeSource struct {
+	frame *gtrends.Frame
+	err   error
+	calls int
+}
+
+func (f *fakeSource) FetchFrame(_ context.Context, req gtrends.FrameRequest, _ int) (*gtrends.Frame, error) {
+	f.calls++
+	if f.err != nil {
+		return nil, f.err
+	}
+	if f.frame != nil {
+		return f.frame, nil
+	}
+	return gtrends.CountsFrame(req, make([]float64, req.Hours))
+}
+
+func testReq() gtrends.FrameRequest {
+	return gtrends.FrameRequest{
+		Term:  gtrends.TopicInternetOutage,
+		State: "TX",
+		Start: time.Date(2021, 2, 1, 0, 0, 0, 0, time.UTC),
+		Hours: 24,
+	}
+}
+
+func TestFallbackSourcePrimaryHealthy(t *testing.T) {
+	p, s := &fakeSource{}, &fakeSource{}
+	fs := &FallbackSource{Primary: p, Secondary: s, Tracker: NewTracker(TrackerConfig{Metrics: obs.NewRegistry()}), Metrics: obs.NewRegistry()}
+	if _, err := fs.FetchFrame(context.Background(), testReq(), 0); err != nil {
+		t.Fatal(err)
+	}
+	if p.calls != 1 || s.calls != 0 {
+		t.Fatalf("calls primary=%d secondary=%d, want 1/0", p.calls, s.calls)
+	}
+}
+
+func TestFallbackSourceFallsBackOnError(t *testing.T) {
+	p := &fakeSource{err: &faults.InjectedError{Mode: faults.RateLimit}}
+	s := &fakeSource{}
+	fs := &FallbackSource{Primary: p, Secondary: s, Metrics: obs.NewRegistry()}
+	f, err := fs.FetchFrame(context.Background(), testReq(), 0)
+	if err != nil || f == nil {
+		t.Fatalf("fallback fetch failed: %v", err)
+	}
+	if p.calls != 1 || s.calls != 1 {
+		t.Fatalf("calls primary=%d secondary=%d, want 1/1", p.calls, s.calls)
+	}
+}
+
+func TestFallbackSourceSkipsDegradedPrimary(t *testing.T) {
+	p := &fakeSource{err: &faults.InjectedError{Mode: faults.RateLimit}}
+	s := &fakeSource{}
+	tr := NewTracker(TrackerConfig{Window: 8, MinSamples: 2, ProbeEvery: 100, Metrics: obs.NewRegistry()})
+	fs := &FallbackSource{Primary: p, Secondary: s, Tracker: tr, Metrics: obs.NewRegistry()}
+
+	// Two failing fetches degrade the primary...
+	for i := 0; i < 2; i++ {
+		if _, err := fs.FetchFrame(context.Background(), testReq(), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !tr.Degraded("gt") {
+		t.Fatal("primary not degraded after repeated rate limits")
+	}
+	// ...after which it is skipped entirely (probe cadence 100).
+	before := p.calls
+	for i := 0; i < 5; i++ {
+		if _, err := fs.FetchFrame(context.Background(), testReq(), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.calls != before {
+		t.Fatalf("degraded primary still fetched (%d extra calls)", p.calls-before)
+	}
+	if s.calls < 7 {
+		t.Fatalf("secondary served %d fetches, want ≥ 7", s.calls)
+	}
+}
+
+func TestFallbackSourceBothFail(t *testing.T) {
+	p := &fakeSource{err: errors.New("p down")}
+	s := &fakeSource{err: errors.New("s down")}
+	fs := &FallbackSource{Primary: p, Secondary: s, Metrics: obs.NewRegistry()}
+	if _, err := fs.FetchFrame(context.Background(), testReq(), 0); err == nil {
+		t.Fatal("want error when both sources fail")
+	}
+}
+
+// --- PageviewsSource ---
+
+func TestPageviewsSourceServesValidFrames(t *testing.T) {
+	start := time.Date(2021, 2, 15, 8, 0, 0, 0, time.UTC)
+	tl := simworld.NewTimeline([]*simworld.Event{{
+		ID: "ev", Kind: simworld.KindISP, Start: start, Duration: 6 * time.Hour,
+		Impacts: []simworld.Impact{{State: "TX", Intensity: 900}},
+	}})
+	views := simworld.NewPageviews(3, tl)
+	src := &PageviewsSource{Views: views}
+
+	req := gtrends.FrameRequest{Term: gtrends.TopicInternetOutage, State: "TX",
+		Start: start.Add(-24 * time.Hour), Hours: gtrends.WeekFrameHours}
+	f, err := src.FetchFrame(context.Background(), req, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gtrends.ValidateFrame(f, req); err != nil {
+		t.Fatalf("pageviews frame fails Trends validation: %v", err)
+	}
+
+	// The outage hours must carry the frame's maximum; quiet hours must
+	// read zero (baseline margin subtraction).
+	peakIdx, peakVal := -1, 0
+	for i, p := range f.Points {
+		if p > peakVal {
+			peakIdx, peakVal = i, p
+		}
+	}
+	if peakVal != 100 {
+		t.Fatalf("max point = %d, want 100", peakVal)
+	}
+	// Excess is interest × diurnal baseline, so the peak can trail the
+	// outage end by a little when the baseline is still climbing — allow
+	// the recovery tail.
+	peakAt := req.Start.Add(time.Duration(peakIdx) * time.Hour)
+	if peakAt.Before(start) || peakAt.After(start.Add(8*time.Hour)) {
+		t.Fatalf("peak at %v, outside outage+tail [%v, %v]", peakAt, start, start.Add(8*time.Hour))
+	}
+	zeros := 0
+	for _, p := range f.Points {
+		if p == 0 {
+			zeros++
+		}
+	}
+	if zeros < gtrends.WeekFrameHours/2 {
+		t.Fatalf("only %d zero hours in a mostly-quiet week; margin not suppressing baseline", zeros)
+	}
+}
+
+func TestPageviewsSourceQuietWindowAllZero(t *testing.T) {
+	views := simworld.NewPageviews(3, simworld.NewTimeline(nil))
+	src := &PageviewsSource{Views: views}
+	req := gtrends.FrameRequest{State: "CA",
+		Start: time.Date(2021, 3, 1, 0, 0, 0, 0, time.UTC), Hours: 48}
+	f, err := src.FetchFrame(context.Background(), req, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range f.Points {
+		if p != 0 {
+			t.Fatalf("quiet hour %d reads %d, want 0", i, p)
+		}
+	}
+}

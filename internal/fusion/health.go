@@ -1,0 +1,323 @@
+// Package fusion combines SIFT's signal sources online: the Google
+// Trends crawl, the pageviews-style counts backend, and the ANT probing
+// feed. It contributes three pieces, each behind an existing seam:
+//
+//   - a per-source health Tracker fed from fetch outcomes, pipeline
+//     crawl-health records, and the gtclient circuit-breaker state;
+//   - a FallbackSource (engine.FrameSource) that serves frames from the
+//     primary source but falls back to the secondary when the primary
+//     fails or the tracker declares it degraded — how the crawl keeps
+//     producing series through a Trends 429 storm;
+//   - a fusion Detector (core.SpikeDetector) that scores Trends spike
+//     prominence against corroboration from probing block-outage
+//     density and pageviews excess, cutting false positives on
+//     noise-only windows while still firing on probe-invisible events.
+package fusion
+
+import (
+	"errors"
+	"strings"
+	"sync"
+
+	"sift/internal/core"
+	"sift/internal/faults"
+	"sift/internal/obs"
+)
+
+// Outcome classifies one observation fed into the tracker.
+type Outcome uint8
+
+// Observation outcomes.
+const (
+	// OutcomeOK is a successful fetch.
+	OutcomeOK Outcome = iota
+	// OutcomeRateLimited is a fetch rejected by service throttling (429
+	// storms, injected rate-limit faults).
+	OutcomeRateLimited
+	// OutcomeError is any other fetch failure.
+	OutcomeError
+	// OutcomeGap is a frame window the crawl never filled in any round —
+	// the strongest degradation signal a finished run can report.
+	OutcomeGap
+)
+
+// String names the outcome for metric labels.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeOK:
+		return "ok"
+	case OutcomeRateLimited:
+		return "rate_limited"
+	case OutcomeError:
+		return "error"
+	case OutcomeGap:
+		return "gap"
+	default:
+		return "unknown"
+	}
+}
+
+// TrackerConfig tunes degradation detection. Zero fields take the
+// documented defaults.
+type TrackerConfig struct {
+	// Window is how many recent observations per source the error rate
+	// is computed over. Default 64.
+	Window int
+	// MinSamples is the observation floor below which a source is never
+	// declared degraded — a single early failure must not flip a source
+	// whose history is one request long. Default 8.
+	MinSamples int
+	// DegradeRate is the failure fraction (rate limits, errors, and gaps
+	// over the window) at or above which the source counts as degraded.
+	// Default 0.5.
+	DegradeRate float64
+	// RecoverRate is the failure fraction at or below which a degraded
+	// source recovers. Keeping it under DegradeRate gives the flag
+	// hysteresis so one good probe does not flap the source healthy.
+	// Default 0.25.
+	RecoverRate float64
+	// ProbeEvery lets every Nth request through to a degraded source so
+	// its recovery is observable at all (the probes refresh the window).
+	// Default 8.
+	ProbeEvery int
+	// Metrics selects the registry the sift_source_health_* families
+	// report into; nil uses obs.Default().
+	Metrics *obs.Registry
+}
+
+func (c *TrackerConfig) fillDefaults() {
+	if c.Window == 0 {
+		c.Window = 64
+	}
+	if c.MinSamples == 0 {
+		c.MinSamples = 8
+	}
+	if c.DegradeRate == 0 {
+		c.DegradeRate = 0.5
+	}
+	if c.RecoverRate == 0 {
+		c.RecoverRate = 0.25
+	}
+	if c.ProbeEvery == 0 {
+		c.ProbeEvery = 8
+	}
+}
+
+// SourceHealth is one source's tracker snapshot.
+type SourceHealth struct {
+	Source      string  `json:"source"`
+	Samples     int     `json:"samples"`
+	FailureRate float64 `json:"failure_rate"`
+	RateLimited int     `json:"rate_limited"` // cumulative
+	Errors      int     `json:"errors"`       // cumulative
+	Gaps        int     `json:"gaps"`         // cumulative
+	Benched     int     `json:"benched"`      // cumulative breaker trips observed
+	Degraded    bool    `json:"degraded"`
+}
+
+// sourceState is one source's sliding outcome window plus lifetime
+// counters.
+type sourceState struct {
+	ring     []Outcome
+	n, next  int
+	degraded bool
+	probeIn  int // requests until the next degraded-mode probe
+	health   SourceHealth
+}
+
+// failureRate returns the failed fraction of the current window.
+func (s *sourceState) failureRate() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	bad := 0
+	for i := 0; i < s.n; i++ {
+		if s.ring[i] != OutcomeOK {
+			bad++
+		}
+	}
+	return float64(bad) / float64(s.n)
+}
+
+// trackerObs holds the tracker's metric handles.
+type trackerObs struct {
+	outcomes obs.CounterVec // sift_source_health_outcomes_total{source,outcome}
+	rate     obs.GaugeVec   // sift_source_health_failure_rate{source}
+	degraded obs.GaugeVec   // sift_source_health_degraded{source}
+	benched  obs.GaugeVec   // sift_source_health_breaker_benched{source}
+}
+
+// Tracker maintains per-source health from whatever feeds are wired to
+// it: per-fetch outcomes (FallbackSource), finished-run crawl health
+// (core.PipelineConfig.OnHealth), and gtclient breaker trips. Safe for
+// concurrent use.
+type Tracker struct {
+	cfg TrackerConfig
+	om  trackerObs
+
+	mu      sync.Mutex
+	sources map[string]*sourceState
+}
+
+// NewTracker builds a tracker.
+func NewTracker(cfg TrackerConfig) *Tracker {
+	cfg.fillDefaults()
+	return &Tracker{
+		cfg: cfg,
+		om: trackerObs{
+			outcomes: cfg.Metrics.CounterVec("sift_source_health_outcomes_total",
+				"signal-source observations by outcome", "source", "outcome"),
+			rate: cfg.Metrics.GaugeVec("sift_source_health_failure_rate",
+				"failed fraction of each source's recent observation window", "source"),
+			degraded: cfg.Metrics.GaugeVec("sift_source_health_degraded",
+				"1 while the source is considered degraded and traffic falls back", "source"),
+			benched: cfg.Metrics.GaugeVec("sift_source_health_breaker_benched",
+				"cumulative gtclient circuit-breaker trips observed for the source", "source"),
+		},
+	}
+}
+
+// state returns (creating if needed) the named source's state. Caller
+// holds t.mu.
+func (t *Tracker) state(source string) *sourceState {
+	if t.sources == nil {
+		t.sources = make(map[string]*sourceState)
+	}
+	s := t.sources[source]
+	if s == nil {
+		s = &sourceState{ring: make([]Outcome, t.cfg.Window), health: SourceHealth{Source: source}}
+		t.sources[source] = s
+	}
+	return s
+}
+
+// record pushes one outcome into the source's window and re-evaluates
+// the degraded flag. Caller holds t.mu.
+func (t *Tracker) record(s *sourceState, o Outcome) {
+	s.ring[s.next] = o
+	s.next = (s.next + 1) % len(s.ring)
+	if s.n < len(s.ring) {
+		s.n++
+	}
+	switch o {
+	case OutcomeRateLimited:
+		s.health.RateLimited++
+	case OutcomeError:
+		s.health.Errors++
+	case OutcomeGap:
+		s.health.Gaps++
+	}
+	t.om.outcomes.With(s.health.Source, o.String()).Inc()
+
+	rate := s.failureRate()
+	switch {
+	case !s.degraded && s.n >= t.cfg.MinSamples && rate >= t.cfg.DegradeRate:
+		s.degraded = true
+		s.probeIn = t.cfg.ProbeEvery
+	case s.degraded && rate <= t.cfg.RecoverRate:
+		s.degraded = false
+	}
+	s.health.Samples = s.n
+	s.health.FailureRate = rate
+	s.health.Degraded = s.degraded
+	t.om.rate.With(s.health.Source).Set(rate)
+	if s.degraded {
+		t.om.degraded.With(s.health.Source).Set(1)
+	} else {
+		t.om.degraded.With(s.health.Source).Set(0)
+	}
+}
+
+// Observe classifies one fetch outcome for the source.
+func (t *Tracker) Observe(source string, err error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.record(t.state(source), Classify(err))
+}
+
+// ObserveHealth folds a finished pipeline run's crawl-health record into
+// the source's window: failed fetches count as errors, unfilled windows
+// as gaps. Wire it via core.PipelineConfig.OnHealth.
+func (t *Tracker) ObserveHealth(source string, h core.CrawlHealth) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := t.state(source)
+	for i := 0; i < h.FailedFetches; i++ {
+		t.record(s, OutcomeError)
+	}
+	for range h.Gaps {
+		t.record(s, OutcomeGap)
+	}
+}
+
+// ObserveBreaker records the cumulative gtclient circuit-breaker trip
+// count for the source (gtclient.Pool.Stats().Benched). Each new trip
+// beyond the last observed count lands one error in the window — an
+// open breaker means the fetch tier itself gave up on a unit.
+func (t *Tracker) ObserveBreaker(source string, benched int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := t.state(source)
+	for i := s.health.Benched; i < benched; i++ {
+		t.record(s, OutcomeError)
+	}
+	if benched > s.health.Benched {
+		s.health.Benched = benched
+	}
+	t.om.benched.With(source).Set(float64(s.health.Benched))
+}
+
+// Degraded reports whether the source is currently considered degraded.
+func (t *Tracker) Degraded(source string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s, ok := t.sources[source]
+	return ok && s.degraded
+}
+
+// AdmitProbe reports whether a request to a degraded source should go
+// through anyway as a recovery probe (every cfg.ProbeEvery-th request).
+// It returns true always for healthy sources.
+func (t *Tracker) AdmitProbe(source string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s, ok := t.sources[source]
+	if !ok || !s.degraded {
+		return true
+	}
+	s.probeIn--
+	if s.probeIn <= 0 {
+		s.probeIn = t.cfg.ProbeEvery
+		return true
+	}
+	return false
+}
+
+// Snapshot returns every tracked source's health, keyed by source name.
+func (t *Tracker) Snapshot() map[string]SourceHealth {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]SourceHealth, len(t.sources))
+	for name, s := range t.sources {
+		out[name] = s.health
+	}
+	return out
+}
+
+// Classify maps a fetch error to a tracker outcome: nil is OK, injected
+// or HTTP rate-limit shapes are OutcomeRateLimited, everything else is
+// OutcomeError.
+func Classify(err error) Outcome {
+	if err == nil {
+		return OutcomeOK
+	}
+	var inj *faults.InjectedError
+	if errors.As(err, &inj) && inj.Mode == faults.RateLimit {
+		return OutcomeRateLimited
+	}
+	msg := err.Error()
+	if strings.Contains(msg, "429") || strings.Contains(msg, "rate limit") || strings.Contains(msg, "rate-limit") {
+		return OutcomeRateLimited
+	}
+	return OutcomeError
+}

@@ -1,0 +1,158 @@
+package fusion
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"sift/internal/engine"
+	"sift/internal/gtrends"
+	"sift/internal/obs"
+	"sift/internal/simworld"
+	"sift/internal/trace"
+)
+
+// FallbackSource is an engine.FrameSource that serves each planned
+// fetch from the primary source when it is healthy, and from the
+// secondary when the primary fails or the tracker has declared it
+// degraded. Per-fetch outcomes feed the tracker, so a 429 wall on the
+// primary flips traffic to the secondary within one tracker window and
+// recovery probes flip it back once the storm passes — the crawl keeps
+// producing frames throughout.
+type FallbackSource struct {
+	// Primary and Secondary execute the fetches. Primary is typically an
+	// engine.RetryingSource over the Trends fetcher; Secondary a
+	// PageviewsSource. Both must be non-nil.
+	Primary, Secondary engine.FrameSource
+	// PrimaryName and SecondaryName label tracker entries, metrics and
+	// spans. Defaults: "gt" and "pageviews".
+	PrimaryName, SecondaryName string
+	// Tracker drives degradation-based selection; nil disables it (the
+	// source still falls back on per-fetch errors).
+	Tracker *Tracker
+	// Metrics selects the registry for the sift_fusion_* source
+	// families; nil uses obs.Default().
+	Metrics *obs.Registry
+
+	om     sourceObs
+	omOnce sync.Once
+}
+
+// sourceObs holds the fallback source's metric handles.
+type sourceObs struct {
+	selected  obs.CounterVec // sift_fusion_selected_total{source}
+	fallbacks obs.CounterVec // sift_fusion_fallbacks_total{reason}
+}
+
+func (s *FallbackSource) names() (string, string) {
+	p, sec := s.PrimaryName, s.SecondaryName
+	if p == "" {
+		p = "gt"
+	}
+	if sec == "" {
+		sec = "pageviews"
+	}
+	return p, sec
+}
+
+func (s *FallbackSource) metrics() *sourceObs {
+	s.omOnce.Do(func() {
+		s.om = sourceObs{
+			selected: s.Metrics.CounterVec("sift_fusion_selected_total",
+				"frames served by signal source", "source"),
+			fallbacks: s.Metrics.CounterVec("sift_fusion_fallbacks_total",
+				"primary-to-secondary fallbacks by cause", "reason"),
+		}
+	})
+	return &s.om
+}
+
+// FetchFrame implements engine.FrameSource.
+func (s *FallbackSource) FetchFrame(ctx context.Context, req gtrends.FrameRequest, round int) (*gtrends.Frame, error) {
+	primary, secondary := s.names()
+	om := s.metrics()
+	ctx, span := trace.Start(ctx, "fusion.select",
+		trace.Str("window", req.Start.UTC().Format("2006-01-02T15")), trace.Int("round", round))
+	defer span.End()
+
+	// Degraded primary: skip it entirely except for scheduled recovery
+	// probes, which go through and refresh the tracker's window.
+	if s.Tracker != nil && s.Tracker.Degraded(primary) && !s.Tracker.AdmitProbe(primary) {
+		span.SetAttr(trace.Str("source", secondary), trace.Str("reason", "degraded"))
+		om.fallbacks.With("degraded").Inc()
+		f, err := s.fetchVia(ctx, s.Secondary, secondary, req, round)
+		if err != nil {
+			span.SetError(err)
+			return nil, fmt.Errorf("fusion: secondary %s (primary degraded): %w", secondary, err)
+		}
+		return f, nil
+	}
+
+	f, err := s.fetchVia(ctx, s.Primary, primary, req, round)
+	if err == nil {
+		span.SetAttr(trace.Str("source", primary))
+		return f, nil
+	}
+	span.Event("fusion.fallback", trace.Str("error", err.Error()))
+	om.fallbacks.With(Classify(err).String()).Inc()
+	f2, err2 := s.fetchVia(ctx, s.Secondary, secondary, req, round)
+	if err2 != nil {
+		span.SetError(err2)
+		return nil, fmt.Errorf("fusion: both sources failed: %s: %v; %s: %w", primary, err, secondary, err2)
+	}
+	span.SetAttr(trace.Str("source", secondary), trace.Str("reason", "error"))
+	return f2, nil
+}
+
+// fetchVia executes one fetch against a named source, recording the
+// outcome with the tracker and the selection metric.
+func (s *FallbackSource) fetchVia(ctx context.Context, src engine.FrameSource, name string, req gtrends.FrameRequest, round int) (*gtrends.Frame, error) {
+	f, err := src.FetchFrame(ctx, req, round)
+	if s.Tracker != nil {
+		s.Tracker.Observe(name, err)
+	}
+	if err == nil {
+		s.metrics().selected.With(name).Inc()
+	}
+	return f, err
+}
+
+// PageviewsSource is an engine.FrameSource over the pageviews-style
+// counts backend: it serves each requested window as the hourly
+// excess-over-baseline view counts, indexed 0–100 through
+// gtrends.CountsFrame so the rest of the pipeline cannot tell it from a
+// Trends response. The baseline subtraction (plus a noise margin)
+// zeroes quiet hours, matching the privacy-rounded zeros of real Trends
+// frames — without it, the diurnal baseline itself would stitch and
+// detect as signal.
+//
+// The source is term-agnostic (pageviews are per state, not per query)
+// and deterministic per coordinate: all rounds of a window return the
+// same frame, which the consensus merger averages losslessly.
+type PageviewsSource struct {
+	// Views is the counts backend.
+	Views *simworld.Pageviews
+	// Margin is the noise guard: excess below Margin×baseline reads as
+	// zero. Default 0.15, comfortably above the backend's read noise.
+	Margin float64
+}
+
+// FetchFrame implements engine.FrameSource. round is ignored:
+// pageview dumps are static once published.
+func (s *PageviewsSource) FetchFrame(_ context.Context, req gtrends.FrameRequest, _ int) (*gtrends.Frame, error) {
+	margin := s.Margin
+	if margin == 0 {
+		margin = 0.15
+	}
+	counts := make([]float64, req.Hours)
+	start := req.Start.UTC()
+	for i := 0; i < req.Hours; i++ {
+		at := start.Add(time.Duration(i) * time.Hour)
+		excess := s.Views.Counts(req.State, at) - s.Views.Baseline(req.State, at)*(1+margin)
+		if excess > 0 {
+			counts[i] = excess
+		}
+	}
+	return gtrends.CountsFrame(req, counts)
+}

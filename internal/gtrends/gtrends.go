@@ -226,6 +226,25 @@ func (e *Engine) truthCount(term string, st geo.State, at time.Time) int {
 	return e.model.TermVolume(term, st, at)
 }
 
+// CountsFrame builds a Frame from raw hourly counts by applying the same
+// 0–100 piecewise indexing the Trends engine applies to sampled
+// proportions. It is the adapter non-Trends signal backends (the
+// pageviews source) use to serve data through the FrameSource seam: the
+// result satisfies ValidateFrame for req, so everything downstream —
+// merging, stitching, detection — treats it exactly like a Trends
+// response. counts must hold req.Hours non-negative values.
+func CountsFrame(req FrameRequest, counts []float64) (*Frame, error) {
+	if len(counts) != req.Hours {
+		return nil, fmt.Errorf("gtrends: CountsFrame needs %d counts, got %d", req.Hours, len(counts))
+	}
+	for i, c := range counts {
+		if c < 0 {
+			return nil, fmt.Errorf("gtrends: CountsFrame count %d is negative (%g)", i, c)
+		}
+	}
+	return &Frame{Term: req.Term, State: req.State, Start: req.Start.UTC(), Points: indexPoints(counts)}, nil
+}
+
 // indexPoints scales proportions onto the 0–100 integer index, 100 being
 // the window maximum — Google's piecewise normalization.
 func indexPoints(proportions []float64) []int {

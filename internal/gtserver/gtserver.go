@@ -32,6 +32,7 @@ import (
 	"sift/internal/geo"
 	"sift/internal/gtrends"
 	"sift/internal/obs"
+	"sift/internal/simworld"
 	"sift/internal/trace"
 )
 
@@ -54,6 +55,12 @@ type Config struct {
 	// response is written; must be safe for concurrent use. Injected
 	// fault responses and rejected requests never reach it.
 	OnFrame func(f *gtrends.Frame)
+	// Pageviews, when set, additionally serves the pageviews-style counts
+	// backend on GET /api/pageviews — the secondary signal source the
+	// fusion layer falls back to when the Trends side degrades. Pageview
+	// dumps are published wholesale, so the endpoint is not rate-limited
+	// and not subject to fault injection.
+	Pageviews *simworld.Pageviews
 	// Metrics selects the registry the server's request and fault
 	// counters report into; nil uses obs.Default().
 	Metrics *obs.Registry
@@ -105,6 +112,9 @@ func New(engine *gtrends.Engine, cfg Config) *Server {
 		},
 	}
 	s.mux.HandleFunc("GET /api/trends", s.handleTrends)
+	if cfg.Pageviews != nil {
+		s.mux.HandleFunc("GET /api/pageviews", s.handlePageviews)
+	}
 	s.mux.HandleFunc("GET /api/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	return s
@@ -221,6 +231,58 @@ func (s *Server) handleTrends(w http.ResponseWriter, r *http.Request) {
 		s.logf("encode error for %s: %v", client, err)
 	}
 	s.logf("200 %s trends state=%s start=%s hours=%d", client, req.State, req.Start.Format(time.RFC3339), req.Hours)
+}
+
+// PageviewsBody is the /api/pageviews response: absolute hourly view
+// counts and the model baseline for the same hours, so clients can
+// compute the outage-driven excess without a second round trip.
+type PageviewsBody struct {
+	State    geo.State `json:"state"`
+	Start    time.Time `json:"start"`
+	Counts   []float64 `json:"counts"`
+	Baseline []float64 `json:"baseline"`
+}
+
+// handlePageviews serves hourly pageview counts. The query shape matches
+// /api/trends (state, start, hours) minus term — pageviews are
+// per-state, not per-query.
+func (s *Server) handlePageviews(w http.ResponseWriter, r *http.Request) {
+	client := ClientID(r)
+	ctx, span := s.cfg.Tracer.Root(r.Context(), "gtserver.pageviews", trace.Str("client", client))
+	_ = ctx
+	defer span.End()
+
+	req, err := parseTrendsQuery(r)
+	if err == nil && !geo.Valid(req.State) {
+		err = fmt.Errorf("unknown state %q", req.State)
+	}
+	if err == nil && (req.Hours < 1 || req.Hours > gtrends.WeekFrameHours) {
+		err = fmt.Errorf("hours must be in [1, %d]", gtrends.WeekFrameHours)
+	}
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		s.om.requests.With("400").Inc()
+		span.SetAttr(trace.Int("status", http.StatusBadRequest))
+		span.SetError(err)
+		return
+	}
+	span.SetAttr(trace.Str("state", string(req.State)),
+		trace.Str("window", req.Start.UTC().Format("2006-01-02T15")), trace.Int("hours", req.Hours))
+
+	body := PageviewsBody{State: req.State, Start: req.Start.UTC(),
+		Counts: make([]float64, req.Hours), Baseline: make([]float64, req.Hours)}
+	for i := 0; i < req.Hours; i++ {
+		at := body.Start.Add(time.Duration(i) * time.Hour)
+		body.Counts[i] = s.cfg.Pageviews.Counts(req.State, at)
+		body.Baseline[i] = s.cfg.Pageviews.Baseline(req.State, at)
+	}
+	s.om.requests.With("200").Inc()
+	span.SetAttr(trace.Int("status", http.StatusOK))
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(body); err != nil {
+		s.logf("encode error for %s: %v", client, err)
+	}
+	s.logf("200 %s pageviews state=%s start=%s hours=%d", client, req.State, req.Start.Format(time.RFC3339), req.Hours)
 }
 
 // parseTrendsQuery decodes and validates the /api/trends parameters.

@@ -1,0 +1,54 @@
+package scenario
+
+import (
+	"time"
+
+	"sift/internal/geo"
+	"sift/internal/simworld"
+)
+
+// This file scripts the extended scenario classes the fusion work
+// exercises: routing incidents, volumetric attacks, and physical cable
+// cuts. They are deliberately NOT part of Build's default timeline —
+// the paper's evaluation (and the golden tests pinning it) covers
+// 2020–2021 as scripted.go writes it. Fusion tests append these to a
+// custom timeline via ExtendedEvents.
+
+// ExtendedEvents returns scripted BGP-hijack, DDoS and cable-cut
+// outages, in start order. Probe visibility varies by class: a cable
+// cut takes everything behind it hard-down, a DDoS drops some probes
+// under load, and a hijack leaves most blocks probe-reachable while
+// users see broken paths — the partial-visibility middle ground the
+// fusion detector has to handle.
+func ExtendedEvents() []*simworld.Event {
+	return []*simworld.Event{
+		// A regional BGP hijack diverting an eastern ISP's prefixes:
+		// probes from unaffected vantage points still reach most blocks,
+		// so the probing signal is thin relative to the user impact.
+		{
+			ID: "bgp-hijack-2021-04", Name: "BGP hijack", Kind: simworld.KindBGP,
+			Cause: simworld.CauseCyberIncident, Start: utc(2021, 4, 16, 14), Duration: 5 * time.Hour,
+			Impacts:      regional("VA", 800, map[geo.State]float64{"MD": 0.3, "NC": 0.2}),
+			Terms:        []simworld.TermWeight{tw("internet not working", 0.3), tw("routing outage", 0.2), tw("internet outage today", 0.3), tw("is the internet down", 0.2)},
+			ProbeVisible: true, Newsworthy: true,
+		},
+		// A volumetric DDoS against a midwest exchange: saturation drops
+		// a fraction of probes and degrades everyone.
+		{
+			ID: "ddos-2021-05", Name: "DDoS attack", Kind: simworld.KindDDoS,
+			Cause: simworld.CauseCyberIncident, Start: utc(2021, 5, 20, 18), Duration: 8 * time.Hour,
+			Impacts:      regional("IL", 900, map[geo.State]float64{"WI": 0.25, "IN": 0.2}),
+			Terms:        []simworld.TermWeight{tw("internet slow", 0.3), tw("ddos attack", 0.25), tw("internet outage today", 0.25), tw("is the internet down", 0.2)},
+			ProbeVisible: true, Newsworthy: true,
+		},
+		// A long-haul fiber cut isolating the Pacific Northwest's transit:
+		// hard-down for probes and users alike, long repair window.
+		{
+			ID: "cable-cut-2021-09", Name: "Cable cut", Kind: simworld.KindCable,
+			Cause: simworld.CauseEquipment, Start: utc(2021, 9, 3, 9), Duration: 14 * time.Hour,
+			Impacts:      regional("OR", 1100, map[geo.State]float64{"WA": 0.35, "ID": 0.2}),
+			Terms:        []simworld.TermWeight{tw("internet outage", 0.35), tw("fiber cut", 0.25), tw("centurylink outage", 0.2), tw("is the internet down", 0.2)},
+			ProbeVisible: true, Newsworthy: true,
+		},
+	}
+}

@@ -1,0 +1,87 @@
+package simworld
+
+import (
+	"hash/fnv"
+	"math"
+	"time"
+
+	"sift/internal/geo"
+)
+
+// Pageviews models a Wikipedia-pageviews-style counts backend over the
+// same ground truth the search model answers from: hourly view counts of
+// outage-related reference pages, per state. Unlike Trends, the signal
+// is served as absolute counts (no per-frame 0–100 renormalization and
+// no per-request sampling), which is what makes it a useful fallback
+// when the Trends side is rate-limited — but it is noisier at low
+// volume and has a strong diurnal baseline that detection must first
+// subtract.
+//
+// All randomness is a deterministic hash of (seed, state, hour), so two
+// reads of the same coordinate always agree — pageview dumps are static
+// once published.
+type Pageviews struct {
+	seed int64
+	tl   *Timeline
+}
+
+// NewPageviews builds the backend for a ground-truth timeline.
+func NewPageviews(seed int64, tl *Timeline) *Pageviews {
+	return &Pageviews{seed: seed, tl: tl}
+}
+
+// baseViewsPerMillion is the quiet-hour view rate of outage-related
+// pages per million inhabitants, before the diurnal cycle.
+const baseViewsPerMillion = 40.0
+
+// Baseline returns the expected hourly views for the state absent any
+// outage: population-scaled with a local-time diurnal cycle (people
+// read reference pages while awake).
+func (p *Pageviews) Baseline(state geo.State, t time.Time) float64 {
+	info, ok := geo.Lookup(state)
+	if !ok {
+		return 0
+	}
+	local := t.UTC().Add(info.UTCOffset)
+	hour := float64(local.Hour()) + float64(local.Minute())/60
+	// Trough around 04:00 local, crest around 16:00.
+	diurnal := 0.55 + 0.45*math.Sin((hour-10)/24*2*math.Pi)
+	return float64(info.Population) / 1e6 * baseViewsPerMillion * diurnal
+}
+
+// Counts returns the simulated hourly views at (state, t): baseline,
+// plus the outage-driven surge (users flock to "Internet outage",
+// provider and DNS articles during an event), plus deterministic
+// read noise.
+func (p *Pageviews) Counts(state geo.State, t time.Time) float64 {
+	base := p.Baseline(state, t)
+	if base == 0 {
+		return 0
+	}
+	// Interest is in units of the state's baseline outage-search volume;
+	// reference-page reading rises with it but saturates slower than
+	// search does (most users search, few read background articles).
+	surge := 1 + p.tl.InterestAt(state, t)/50
+	return base * surge * (1 + p.noise(state, t))
+}
+
+// noiseAmplitude bounds the multiplicative read noise.
+const noiseAmplitude = 0.04
+
+// noise returns a deterministic per-(state, hour) perturbation in
+// [-noiseAmplitude, noiseAmplitude].
+func (p *Pageviews) noise(state geo.State, t time.Time) float64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	put(uint64(p.seed))
+	h.Write([]byte(state))
+	put(uint64(t.UTC().Truncate(time.Hour).Unix()))
+	u := float64(h.Sum64()%(1<<20)) / float64(1<<20) // [0, 1)
+	return (2*u - 1) * noiseAmplitude
+}

@@ -43,6 +43,16 @@ const (
 	// KindMicro is a small local disturbance below newsworthiness; the
 	// background generator emits these in volume.
 	KindMicro
+	// KindBGP is a routing incident (hijack or leak) diverting a region's
+	// traffic; probes still reach many blocks via unaffected paths while
+	// users see broken reachability, so the probe-visible share is small.
+	KindBGP
+	// KindDDoS is a volumetric attack saturating a provider or exchange;
+	// some blocks drop probes under load, most merely degrade.
+	KindDDoS
+	// KindCable is a physical long-haul or undersea cable cut; everything
+	// behind the cut goes hard-down for probes and users alike.
+	KindCable
 )
 
 // String names the kind for reports.
@@ -62,6 +72,12 @@ func (k Kind) String() string {
 		return "mobile"
 	case KindMicro:
 		return "micro"
+	case KindBGP:
+		return "bgp"
+	case KindDDoS:
+		return "ddos"
+	case KindCable:
+		return "cable"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
