@@ -135,9 +135,15 @@ func cmdDetect(args []string) error {
 	incremental := fs.Bool("incremental", false, "with -db: prime the frame cache from the existing store and refetch only missing windows")
 	retries := fs.Int("retries", 2, "in-round re-fetches after a transient failure (0 disables)")
 	analysisWorkers := fs.Int("analysis-workers", 0, "concurrent analysis workers, recorded in the crawl-health record (0 takes GOMAXPROCS)")
+	adaptive := fs.Bool("adaptive", false, "stop crawl rounds early once the spike set and series CI both converge (variance-weighted merge + anchor calibration)")
+	targetCI := fs.Float64("target-ci", 0, "adaptive convergence target: per-hour CI half-width on the 0-100 series (0 takes the default)")
+	minRounds := fs.Int("min-rounds", 2, "rounds before convergence may stop the crawl (0 = no floor, may stop after round 1)")
 	obsOut := addObs(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *targetCI != 0 && !*adaptive {
+		return fmt.Errorf("-target-ci needs -adaptive")
 	}
 	tracer, err := obsOut.setup()
 	if err != nil {
@@ -168,6 +174,11 @@ func cmdDetect(args []string) error {
 	// The flag's 0 means "no retries"; the config's 0 means "default" —
 	// RetriesFlag bridges the two.
 	p.Cfg.FetchRetries = core.RetriesFlag(*retries)
+	// Same bridge for -min-rounds: the flag's 0 means "no floor", the
+	// config's 0 means "default" — MinRoundsFlag maps 0 to the sentinel.
+	p.Cfg.MinRounds = core.MinRoundsFlag(*minRounds)
+	p.Cfg.Adaptive = *adaptive
+	p.Cfg.TargetCI = *targetCI
 	p.Cfg.Tracer = tracer
 	if *cacheSize > 0 || *incremental {
 		p.Cfg.Cache = engine.NewFrameCache(*cacheSize)
@@ -209,6 +220,10 @@ func cmdDetect(args []string) error {
 	fmt.Printf("%s %q [%s, %s): %d spikes, %d frames, %d rounds (converged=%v)\n",
 		*state, *term, from.Format("2006-01-02"), to.Format("2006-01-02"),
 		len(res.Spikes), res.Frames, res.Rounds, res.Converged)
+	if *adaptive {
+		fmt.Printf("adaptive: %d rounds saved, ci half-width %.3f, %d anchor-rescaled seams\n",
+			res.RoundsSaved, res.CIHalfWidth, res.AnchorRescales)
+	}
 	if p.Cfg.Cache != nil {
 		fmt.Printf("cache: %d hits, %d misses, %d reused stitch hours\n",
 			res.CacheHits, res.CacheMisses, res.ReusedStitchHours)

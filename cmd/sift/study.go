@@ -27,9 +27,15 @@ func cmdStudy(args []string) error {
 	faultSpec := fs.String("faults", "off", `fault injection: "off", "default", or a JSON plan path`)
 	tolerance := fs.Int("fault-tolerance", 0, "permanent frame failures tolerated per round (0 aborts on the first)")
 	retries := fs.Int("retries", 2, "in-round re-fetches after a transient failure (0 disables)")
+	adaptive := fs.Bool("adaptive", false, "stop crawl rounds early once the spike set and series CI both converge (variance-weighted merge + anchor calibration)")
+	targetCI := fs.Float64("target-ci", 0, "adaptive convergence target: per-hour CI half-width on the 0-100 series (0 takes the default)")
+	minRounds := fs.Int("min-rounds", 2, "rounds before convergence may stop a state's crawl (0 = no floor, may stop after round 1)")
 	obsOut := addObs(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *targetCI != 0 && !*adaptive {
+		return fmt.Errorf("-target-ci needs -adaptive")
 	}
 	tracer, err := obsOut.setup()
 	if err != nil {
@@ -73,7 +79,13 @@ func cmdStudy(args []string) error {
 		CacheSize:       *cacheSize,
 		Faults:          plan,
 		Tracer:          tracer,
-		Pipeline:        core.PipelineConfig{FrameTolerance: *tolerance, FetchRetries: core.RetriesFlag(*retries)},
+		Pipeline: core.PipelineConfig{
+			FrameTolerance: *tolerance,
+			FetchRetries:   core.RetriesFlag(*retries),
+			MinRounds:      core.MinRoundsFlag(*minRounds),
+			Adaptive:       *adaptive,
+			TargetCI:       *targetCI,
+		},
 	})
 	if err != nil {
 		return err
@@ -89,6 +101,14 @@ func cmdStudy(args []string) error {
 	mean, converged := study.MeanRounds()
 	fmt.Printf("\n%d spikes across %d states in %v (%.1f rounds avg, %d converged)\n",
 		len(study.Spikes), len(study.Results), study.Elapsed.Round(time.Second), mean, converged)
+	if *adaptive {
+		saved, rescales := 0, 0
+		for _, h := range study.Health {
+			saved += h.RoundsSaved
+			rescales += h.AnchorRescales
+		}
+		fmt.Printf("adaptive: %d crawl rounds saved, %d anchor-rescaled seams\n", saved, rescales)
+	}
 
 	failed, gaps, unanchored := 0, 0, 0
 	for _, h := range study.Health {

@@ -43,6 +43,11 @@
 //	-archive-max-subs   per-tenant subscription quota (default 16)
 //	-archive-max-tasks  global (term, state) task quota (default 64)
 //	-archive-workers    pipeline fetch workers per crawl (default 4)
+//	-adaptive           stop crawl rounds early once the spike set and
+//	                    the series confidence interval both converge
+//	                    (variance-weighted merge + anchor calibration)
+//	-target-ci          adaptive convergence target: per-hour CI
+//	                    half-width on the 0-100 series (0 = default)
 //
 //	-crawl-workers     shard archiver crawls across this many lease-
 //	                   coordinated crawl-plane workers (0 = crawl inline
@@ -130,6 +135,8 @@ type options struct {
 	archiveMaxSubs   int
 	archiveMaxTasks  int
 	archiveWorkers   int
+	adaptive         bool
+	targetCI         float64
 
 	crawlWorkers   int
 	planeLeaseTTL  time.Duration
@@ -166,6 +173,8 @@ func parseFlags(args []string) (options, error) {
 	fs.IntVar(&o.archiveMaxSubs, "archive-max-subs", 16, "per-tenant subscription quota")
 	fs.IntVar(&o.archiveMaxTasks, "archive-max-tasks", 64, "global (term, state) task quota")
 	fs.IntVar(&o.archiveWorkers, "archive-workers", 4, "pipeline fetch workers per archiver crawl")
+	fs.BoolVar(&o.adaptive, "adaptive", false, "stop archiver crawl rounds early once spike set and series CI both converge")
+	fs.Float64Var(&o.targetCI, "target-ci", 0, "adaptive convergence target: per-hour CI half-width on the 0-100 series (0 = default)")
 	fs.IntVar(&o.crawlWorkers, "crawl-workers", 0, "crawl-plane worker count (0 = crawl inline)")
 	fs.DurationVar(&o.planeLeaseTTL, "plane-lease-ttl", 30*time.Second, "crawl-plane work-unit lease TTL")
 	fs.StringVar(&o.planeState, "plane-state", "", "directory for crawl-plane queue/frame persistence (off when empty)")
@@ -212,6 +221,15 @@ func parseFlags(args []string) (options, error) {
 	}
 	if o.fusionScore && !o.archive {
 		return o, errors.New("-fusion requires -archive (the fusion detector scores archiver crawls)")
+	}
+	if o.adaptive && !o.archive {
+		return o, errors.New("-adaptive requires -archive (it configures the archiver's crawl rounds)")
+	}
+	if o.targetCI != 0 && !o.adaptive {
+		return o, errors.New("-target-ci needs -adaptive")
+	}
+	if o.targetCI < 0 {
+		return o, errors.New("-target-ci must be >= 0")
 	}
 	return o, nil
 }
@@ -398,8 +416,12 @@ func run(opts options) error {
 				Retention:                 opts.archiveRetention,
 				MaxSubscriptionsPerTenant: opts.archiveMaxSubs,
 				MaxTasks:                  opts.archiveMaxTasks,
-				Pipeline:                  core.PipelineConfig{Workers: opts.archiveWorkers},
-				Tracer:                    tracer,
+				Pipeline: core.PipelineConfig{
+					Workers:  opts.archiveWorkers,
+					Adaptive: opts.adaptive,
+					TargetCI: opts.targetCI,
+				},
+				Tracer: tracer,
 			}
 			if plane != nil {
 				acfg.Fetcher = nil
@@ -414,6 +436,7 @@ func run(opts options) error {
 				acfg.Pipeline.Source = &fusion.FallbackSource{
 					Primary: stages.RetryingSource{
 						Fetcher: gtrends.EngineFetcher{Engine: engine},
+						Keyed:   opts.adaptive,
 					},
 					Secondary: &fusion.PageviewsSource{Views: views},
 					Tracker:   tracker,

@@ -1,0 +1,247 @@
+package adapt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"sift/internal/timeseries"
+)
+
+var testStart = time.Date(2020, 3, 1, 0, 0, 0, 0, time.UTC)
+
+// randRounds builds k random frame series of length n. Roughly a third of
+// the positions are zeroed, mimicking privacy-thresholded quiet hours.
+func randRounds(rng *rand.Rand, k, n int) []*timeseries.Series {
+	out := make([]*timeseries.Series, k)
+	for r := 0; r < k; r++ {
+		vals := make([]float64, n)
+		for i := range vals {
+			if rng.Float64() < 0.33 {
+				continue
+			}
+			vals[i] = math.Round(rng.Float64() * 100) // integer-indexed, like frames
+		}
+		out[r] = timeseries.MustNew(testStart, vals)
+	}
+	return out
+}
+
+func bitsEqual(t *testing.T, a, b []float64, label string) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: length %d vs %d", label, len(a), len(b))
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			t.Fatalf("%s: position %d: %v (%#x) != %v (%#x)",
+				label, i, a[i], math.Float64bits(a[i]), b[i], math.Float64bits(b[i]))
+		}
+	}
+}
+
+// TestVarianceMergerUniformIsPlainAverage is the tentpole property: when
+// every round carries the same variance the variance-weighted merge must
+// be byte-identical to the plain consensus average. Two-round inputs have
+// bit-equal variances by construction (the two deviations from the pair
+// mean are exact negations), so ANY two-round merge must take the
+// degenerate path; k identical rounds all have variance exactly zero.
+func TestVarianceMergerUniformIsPlainAverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	spec := timeseries.FrameSpec{Start: testStart, Hours: 168}
+	for trial := 0; trial < 200; trial++ {
+		rounds := randRounds(rng, 2, 168)
+		want, err := timeseries.ConsensusAverage(rounds, quorumOf(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := VarianceMerger{}.Merge(spec, rounds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bitsEqual(t, got.RawValues(), want.RawValues(), "two-round merge")
+	}
+	for trial := 0; trial < 50; trial++ {
+		k := 3 + rng.Intn(6)
+		one := randRounds(rng, 1, 168)[0]
+		rounds := make([]*timeseries.Series, k)
+		for r := range rounds {
+			rounds[r] = one
+		}
+		want, err := timeseries.ConsensusAverage(rounds, quorumOf(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := VarianceMerger{}.Merge(spec, rounds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bitsEqual(t, got.RawValues(), want.RawValues(), "identical-round merge")
+	}
+}
+
+// TestVarianceMergerMatchesOracle pins the destination-passing kernel
+// against the straight-line reference implementation bit for bit, across
+// round counts where weighting actually engages.
+func TestVarianceMergerMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	spec := timeseries.FrameSpec{Start: testStart, Hours: 96}
+	for trial := 0; trial < 200; trial++ {
+		k := 2 + rng.Intn(8)
+		rounds := randRounds(rng, k, 96)
+		want, err := varianceWeightedRef(rounds, quorumOf(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := VarianceMerger{}.Merge(spec, rounds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bitsEqual(t, got.RawValues(), want.RawValues(), "oracle")
+
+		dst := make([]float64, 96)
+		if err := (VarianceMerger{}).MergeInto(dst, spec, rounds); err != nil {
+			t.Fatal(err)
+		}
+		bitsEqual(t, dst, want.RawValues(), "MergeInto vs oracle")
+	}
+}
+
+// TestVarianceMergerDownweightsNoise checks the weighting does what it is
+// for: with one wildly corrupted round among consistent ones, the
+// weighted merge lands closer to the consistent rounds than the plain
+// average does.
+func TestVarianceMergerDownweightsNoise(t *testing.T) {
+	n := 96
+	base := make([]float64, n)
+	for i := range base {
+		base[i] = 50
+	}
+	clean := timeseries.MustNew(testStart, base)
+	noisy := make([]float64, n)
+	for i := range noisy {
+		noisy[i] = 100
+	}
+	rounds := []*timeseries.Series{clean, clean, clean, timeseries.MustNew(testStart, noisy)}
+	spec := timeseries.FrameSpec{Start: testStart, Hours: n}
+	weighted, err := VarianceMerger{}.Merge(spec, rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := timeseries.ConsensusAverage(rounds, quorumOf(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dw, dp := math.Abs(weighted.AtIndex(0)-50), math.Abs(plain.AtIndex(0)-50); dw >= dp {
+		t.Fatalf("weighted merge (%v off) no closer to consensus than plain (%v off)", dw, dp)
+	}
+}
+
+// TestWelfordMatchesDirect checks the streaming accumulators against the
+// two-pass textbook mean/variance.
+func TestWelfordMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		k := 2 + rng.Intn(10)
+		xs := make([]float64, k)
+		var w Welford
+		for i := range xs {
+			xs[i] = rng.Float64() * 100
+			w.Observe(xs[i])
+		}
+		mean := 0.0
+		for _, x := range xs {
+			mean += x
+		}
+		mean /= float64(k)
+		ss := 0.0
+		for _, x := range xs {
+			ss += (x - mean) * (x - mean)
+		}
+		variance := ss / float64(k-1)
+		if math.Abs(w.Mean()-mean) > 1e-9 {
+			t.Fatalf("mean %v, want %v", w.Mean(), mean)
+		}
+		if math.Abs(w.Variance()-variance) > 1e-9 {
+			t.Fatalf("variance %v, want %v", w.Variance(), variance)
+		}
+	}
+}
+
+// TestAccumHalfWidthShrinks checks that the aggregate half-width falls as
+// rounds accumulate on a stationary noisy signal — the property the
+// stopping rule depends on. The estimator sees running means (what the
+// pipeline hands it), so each round's input is the cross-round average of
+// fresh draws; the reported half-width tracks the true z·σ/√j envelope.
+// Per-round strict shrinkage is not guaranteed — the noise-variance
+// estimate itself fluctuates early — so the test asserts the envelope:
+// +Inf until variance exists, finite from round 3, and a large net drop
+// over a long stationary run.
+func TestAccumHalfWidthShrinks(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	est := NewEstimator(nil)
+	defer est.Release()
+	const rounds = 24
+	mean := make([]float64, 168)
+	var first3 float64
+	for round := 1; round <= rounds; round++ {
+		vals := make([]float64, 168)
+		for i := range vals {
+			draw := 50 + rng.NormFloat64()*5
+			mean[i] += (draw - mean[i]) / float64(round)
+			vals[i] = mean[i]
+		}
+		hw := est.ObserveRound(vals)
+		switch {
+		case round <= 2:
+			if !math.IsInf(hw, 1) {
+				t.Fatalf("round %d: half-width %v, want +Inf (no variance info yet)", round, hw)
+			}
+		case round == 3:
+			first3 = hw
+			fallthrough
+		default:
+			if math.IsInf(hw, 1) || hw <= 0 {
+				t.Fatalf("round %d: half-width %v, want finite positive", round, hw)
+			}
+		}
+	}
+	final := est.HalfWidth()
+	if final >= first3/2 {
+		t.Fatalf("half-width %v after %d rounds did not shrink well below round-3 value %v", final, rounds, first3)
+	}
+	// True envelope at round j is z·5/√j ≈ 9.8/√j; the estimate should land
+	// in the right ballpark, not just shrink.
+	want := 1.96 * 5 / math.Sqrt(rounds)
+	if final < want/2 || final > want*2 {
+		t.Fatalf("half-width %v after %d rounds, want within 2x of %v", final, rounds, want)
+	}
+	if len(est.Trajectory()) != rounds {
+		t.Fatalf("trajectory has %d entries, want %d", len(est.Trajectory()), rounds)
+	}
+	if math.IsInf(est.Trajectory()[0], 1) == false {
+		t.Fatalf("first-round half-width should be +Inf, got %v", est.Trajectory()[0])
+	}
+}
+
+// TestEstimatorAllZeroFastPath: a series that has shown nothing converges
+// immediately (half-width 0 after one round) — the MinRounds=0 case.
+func TestEstimatorAllZeroFastPath(t *testing.T) {
+	est := NewEstimator(nil)
+	defer est.Release()
+	if hw := est.ObserveRound(make([]float64, 168)); hw != 0 {
+		t.Fatalf("all-zero first round: half-width %v, want 0", hw)
+	}
+	if !est.Converged(DefaultTargetCI) {
+		t.Fatal("all-zero series should converge at once")
+	}
+	// A nonzero first round must NOT converge, whatever the target.
+	est2 := NewEstimator(nil)
+	defer est2.Release()
+	vals := make([]float64, 168)
+	vals[10] = 100
+	if hw := est2.ObserveRound(vals); !math.IsInf(hw, 1) {
+		t.Fatalf("nonzero first round: half-width %v, want +Inf", hw)
+	}
+}

@@ -1,0 +1,173 @@
+package adapt
+
+import (
+	"math"
+
+	"sift/internal/timeseries"
+)
+
+// DefaultTargetCI is the confidence half-width (in renormalized 0–100
+// index points) under which a run counts as statistically converged when
+// the caller does not configure one.
+const DefaultTargetCI = 1.0
+
+// zScore is the normal critical value of the 95% confidence interval the
+// estimator reports.
+const zScore = 1.96
+
+// quantFloor is the noise floor of adaptive detection: quantized values at
+// or below it clamp to zero. The generative model's privacy threshold
+// zeroes rare hours most rounds, so their running mean hovers just above
+// zero and a single late nonzero draw can push it across 0.5 — minting a
+// magnitude-1 "spike" at any round, which no variance estimate can
+// predict (eleven zero draws carry no information about a twelfth). Index
+// value 1 is itself within quantization distance of zero, so treating it
+// as silence loses nothing the detector should trust.
+const quantFloor = 1.0
+
+// QuantizeInto writes the integer-quantized detector input for src into
+// dst: each hour rounded to the nearest 0–100 index cell, with values at
+// or below the noise floor clamped to zero. Adaptive detection reads this
+// grid instead of the continuous running mean — see Estimator.
+func QuantizeInto(dst, src []float64) error {
+	if len(dst) != len(src) {
+		return ErrShape
+	}
+	for i, x := range src {
+		q := math.Round(x)
+		if q <= quantFloor {
+			q = 0
+		}
+		dst[i] = q
+	}
+	return nil
+}
+
+// Estimator scores the statistical convergence of a pipeline run. It
+// observes the renormalized stitched series once per round. Round j's
+// series is the running cross-round average v_j, so the consecutive
+// difference scaled back up by the round count,
+//
+//	u_j = j·(v_j − v_{j−1}) = x_j − v_{j−1},
+//
+// is one draw of the per-round sampling noise (x_j is round j's fresh
+// sample). A per-hour Welford accumulator over the u_j estimates the
+// noise variance σ²ᵢ in one pass, and HalfWidth reports the RMS 95%
+// confidence half-width of the current running mean, z·sqrt(mean σ²)/√j —
+// how far the series still plausibly sits from the infinite-round
+// average. The adaptive round loop stops only when the half-width
+// undercuts the target (or is provably unreachable within the remaining
+// round budget — see core.PipelineConfig.TargetCI) AND the Latch has
+// frozen every hour AND the classical spike-set similarity gate agrees;
+// the half-width bounds the numeric accuracy of the early stop, the
+// latch guarantees its spike sets, and neither signal is safe on its
+// own.
+//
+// Not safe for concurrent use; a pipeline run owns one.
+type Estimator struct {
+	arena *timeseries.Arena
+	// acc accumulates the scaled round-noise draws u_j per hour.
+	acc *Accum
+	// rounds counts observed rounds (j above).
+	rounds int
+	// prev holds the previous round's series; u is delta scratch.
+	prev, u []float64
+	// trajectory is the half-width after each observed round.
+	trajectory []float64
+	allZero    bool
+}
+
+// NewEstimator returns an estimator drawing its buffers from a (nil uses
+// the shared default arena). Call Release when done.
+func NewEstimator(a *timeseries.Arena) *Estimator {
+	if a == nil {
+		a = timeseries.DefaultArena()
+	}
+	return &Estimator{arena: a, acc: NewAccum(a), allZero: true}
+}
+
+// Release returns the estimator's buffers to the arena.
+func (e *Estimator) Release() {
+	e.acc.Release()
+	e.arena.Put(e.prev)
+	e.arena.Put(e.u)
+	e.prev, e.u = nil, nil
+	e.rounds = 0
+	e.trajectory = e.trajectory[:0]
+	e.allZero = true
+}
+
+// ObserveRound folds one round's renormalized stitched series into the
+// noise accumulator and returns the updated confidence half-width. A
+// shape change (a replanned grid mid-run — not something the pipeline
+// does) resets the accumulation rather than erroring: stale variance from
+// a different grid is worse than starting over.
+func (e *Estimator) ObserveRound(values []float64) float64 {
+	if e.prev != nil && len(e.prev) != len(values) {
+		e.Release()
+	}
+	if e.allZero {
+		for _, v := range values {
+			if v != 0 {
+				e.allZero = false
+				break
+			}
+		}
+	}
+	e.rounds++
+	if e.prev == nil {
+		e.prev = e.arena.Get(len(values))
+		e.u = e.arena.Get(len(values))
+		copy(e.prev, values)
+		hw := e.halfWidth()
+		e.trajectory = append(e.trajectory, hw)
+		return hw
+	}
+	j := float64(e.rounds)
+	for i, v := range values {
+		e.u[i] = j * (v - e.prev[i])
+	}
+	_ = e.acc.Observe(e.u)
+	copy(e.prev, values)
+	hw := e.halfWidth()
+	e.trajectory = append(e.trajectory, hw)
+	return hw
+}
+
+// halfWidth is the current RMS confidence half-width. The noise variance
+// needs two delta observations (three rounds), so earlier rounds report
+// +Inf — except when every observed value has been exactly zero: a dead
+// window cannot move, and pricing it as unconverged would force pointless
+// extra rounds on states with nothing to say (the MinRounds=0 fast path).
+func (e *Estimator) halfWidth() float64 {
+	if e.acc.N() < 2 {
+		if e.allZero {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return zScore * math.Sqrt(e.acc.MeanVariance()/float64(e.rounds))
+}
+
+// AllZero reports whether every observed value so far has been exactly
+// zero — the dead-window fast path: such a series latches trivially and
+// may converge on its first round under MinRounds=0.
+func (e *Estimator) AllZero() bool { return e.allZero }
+
+// HalfWidth returns the half-width after the most recent round (+Inf
+// before any observation).
+func (e *Estimator) HalfWidth() float64 {
+	if len(e.trajectory) == 0 {
+		return math.Inf(1)
+	}
+	return e.trajectory[len(e.trajectory)-1]
+}
+
+// Trajectory returns the half-width after each round, oldest first. The
+// slice is owned by the estimator; callers copy before retaining.
+func (e *Estimator) Trajectory() []float64 { return e.trajectory }
+
+// Converged reports whether the most recent half-width undercuts target.
+func (e *Estimator) Converged(target float64) bool {
+	return e.HalfWidth() <= target
+}

@@ -1,0 +1,124 @@
+package adapt
+
+import (
+	"sift/internal/timeseries"
+)
+
+// LatchRuns is how many consecutive rounds an hour's quantized cell must
+// repeat before the latch freezes it: three observations of the same
+// cell demote further movement to noise. One round proves nothing (every
+// cell trivially matches itself) and two is a coin flip on a boundary
+// hour; three is the shortest run that distinguishes a settled cell from
+// a flap.
+const LatchRuns = 3
+
+// LatchCap is the per-hour round budget: an hour still unlatched after
+// this many rounds — its running mean is oscillating on a cell boundary
+// or drifting with the renormalization scale — is frozen at its current
+// cell rather than allowed to stall the whole run. A boundary hour
+// oscillates between two adjacent cells, so the forced choice is within
+// one cell of wherever the full-budget average would have landed; that
+// bounded staleness is the price of a bounded crawl.
+const LatchCap = 7
+
+// Latch freezes the adaptive detector input hour by hour as it
+// stabilizes — the per-hour convergence rule that makes early stopping
+// exact rather than approximate. Each round's quantized series passes
+// through Apply: hours whose cell has repeated LatchRuns times (or whose
+// round budget LatchCap is spent) latch, and latched hours are
+// thereafter overwritten with their frozen cell no matter how the
+// running mean keeps moving.
+//
+// The point of latching is a determinism argument, not a prediction.
+// Latch decisions depend only on the rounds already observed, so two
+// runs with bit-identical round prefixes (keyed sampling) latch
+// identically; once every hour is latched the detector input is frozen,
+// and any further round — fetched or skipped — leaves the spike set
+// exactly unchanged. The adaptive gate therefore stops the loop when
+// Complete reports true knowing a full-MaxRounds run would detect the
+// very same spikes, with no statistical soundness caveat. The estimator's
+// confidence half-width separately bounds how far the frozen image can
+// sit from the infinite-round series; the latch only guarantees the two
+// arms agree.
+//
+// Buffers come from a timeseries.Arena and recycle across runs. Not safe
+// for concurrent use; a pipeline run owns one.
+type Latch struct {
+	arena *timeseries.Arena
+	// cell holds, per hour, the latched cell (when runs[i] < 0) or the
+	// most recent cell (while counting).
+	cell []float64
+	// runs counts consecutive rounds the hour has held cell[i]; -1 marks
+	// a latched hour.
+	runs []float64
+	// n is rounds observed; latched counts frozen hours.
+	n, latched int
+}
+
+// NewLatch returns an empty latch drawing buffers from a (nil uses the
+// shared default arena). Call Release when done.
+func NewLatch(a *timeseries.Arena) *Latch {
+	if a == nil {
+		a = timeseries.DefaultArena()
+	}
+	return &Latch{arena: a}
+}
+
+// Release returns the latch's buffers to the arena and resets it; it
+// remains usable.
+func (l *Latch) Release() {
+	l.arena.Put(l.cell)
+	l.arena.Put(l.runs)
+	l.cell, l.runs = nil, nil
+	l.n, l.latched = 0, 0
+}
+
+// Apply folds one round's quantized detector input through the latch, in
+// place: latched hours are overwritten with their frozen cell, unlatched
+// hours update their run counts and freeze when the rule fires. A shape
+// change resets the latch (a replanned grid invalidates per-hour state).
+func (l *Latch) Apply(q []float64) {
+	if l.cell != nil && len(l.cell) != len(q) {
+		l.Release()
+	}
+	if l.cell == nil {
+		l.cell = l.arena.Get(len(q))
+		l.runs = l.arena.Get(len(q))
+		clear(l.runs)
+	}
+	l.n++
+	for i, c := range q {
+		if l.runs[i] < 0 {
+			q[i] = l.cell[i]
+			continue
+		}
+		if l.n > 1 && c == l.cell[i] {
+			l.runs[i]++
+		} else {
+			l.cell[i] = c
+			l.runs[i] = 1
+		}
+		if l.runs[i] >= LatchRuns || l.n >= LatchCap {
+			l.runs[i] = -1
+			l.latched++
+		}
+	}
+}
+
+// Complete reports whether every hour has latched — the detector input
+// is frozen and no further round can change the spike set.
+func (l *Latch) Complete() bool {
+	return l.cell != nil && l.latched == len(l.cell)
+}
+
+// Fraction returns the latched share of hours — the spike-set stability
+// score an adaptive run reports (0 before any round).
+func (l *Latch) Fraction() float64 {
+	if l.cell == nil {
+		return 0
+	}
+	return float64(l.latched) / float64(len(l.cell))
+}
+
+// Rounds returns how many rounds the latch has observed.
+func (l *Latch) Rounds() int { return l.n }

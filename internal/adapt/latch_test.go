@@ -1,0 +1,164 @@
+package adapt
+
+import (
+	"testing"
+)
+
+// applyRound runs one round of values through the latch, returning the
+// (possibly overwritten) detector input.
+func applyRound(l *Latch, vals ...float64) []float64 {
+	q := make([]float64, len(vals))
+	copy(q, vals)
+	l.Apply(q)
+	return q
+}
+
+// TestLatchFreezesAfterStableRuns: an hour whose cell repeats LatchRuns
+// consecutive rounds latches, and the latched cell overrides whatever
+// later rounds report for it.
+func TestLatchFreezesAfterStableRuns(t *testing.T) {
+	l := NewLatch(nil)
+	defer l.Release()
+	for r := 0; r < LatchRuns; r++ {
+		applyRound(l, 40, 10)
+	}
+	if !l.Complete() {
+		t.Fatalf("latch not complete after %d identical rounds", LatchRuns)
+	}
+	if f := l.Fraction(); f != 1 {
+		t.Fatalf("fraction %v after complete latch, want 1", f)
+	}
+	// Latched hours must be overwritten with their frozen cells no matter
+	// what the running mean does next.
+	got := applyRound(l, 99, 0)
+	if got[0] != 40 || got[1] != 10 {
+		t.Fatalf("latched round rewrote to %v, want [40 10]", got)
+	}
+}
+
+// TestLatchResetsRunOnChange: a cell change restarts the hour's stability
+// count, so latching needs LatchRuns consecutive repeats, not LatchRuns
+// total sightings.
+func TestLatchResetsRunOnChange(t *testing.T) {
+	l := NewLatch(nil)
+	defer l.Release()
+	applyRound(l, 40)
+	applyRound(l, 40)
+	applyRound(l, 41) // breaks the run one round short of latching
+	applyRound(l, 41)
+	if l.Complete() {
+		t.Fatal("latched despite interrupted run")
+	}
+	applyRound(l, 41)
+	if !l.Complete() {
+		t.Fatal("not latched after a fresh full run")
+	}
+	if got := applyRound(l, 40); got[0] != 41 {
+		t.Fatalf("latched cell %v, want 41 (the cell that completed its run)", got[0])
+	}
+}
+
+// TestLatchCapForcesFlappingHour: an hour oscillating between adjacent
+// cells never completes a run but must still latch when its round budget
+// is spent, at whatever cell it last showed.
+func TestLatchCapForcesFlappingHour(t *testing.T) {
+	l := NewLatch(nil)
+	defer l.Release()
+	var last float64
+	for r := 0; r < LatchCap; r++ {
+		last = float64(40 + r%2) // 40, 41, 40, 41, ...
+		applyRound(l, last)
+		if r < LatchCap-1 && l.Complete() {
+			t.Fatalf("flapping hour latched at round %d, before the cap", r+1)
+		}
+	}
+	if !l.Complete() {
+		t.Fatalf("flapping hour not latched after %d rounds", LatchCap)
+	}
+	if got := applyRound(l, 0); got[0] != last {
+		t.Fatalf("force-latched cell %v, want last observed %v", got[0], last)
+	}
+}
+
+// TestLatchFractionCountsPerHour: hours latch independently and Fraction
+// reports the latched share.
+func TestLatchFractionCountsPerHour(t *testing.T) {
+	l := NewLatch(nil)
+	defer l.Release()
+	// Hour 0 stays put and latches after LatchRuns; hour 1 keeps moving.
+	for r := 0; r < LatchRuns; r++ {
+		applyRound(l, 40, float64(r*10))
+	}
+	if l.Complete() {
+		t.Fatal("complete with a still-moving hour")
+	}
+	if f := l.Fraction(); f != 0.5 {
+		t.Fatalf("fraction %v, want 0.5", f)
+	}
+}
+
+// TestLatchShapeChangeResets: a replanned grid invalidates per-hour
+// state; the latch must start over rather than misapply stale cells.
+func TestLatchShapeChangeResets(t *testing.T) {
+	l := NewLatch(nil)
+	defer l.Release()
+	for r := 0; r < LatchRuns; r++ {
+		applyRound(l, 40, 10)
+	}
+	if !l.Complete() {
+		t.Fatal("setup: latch should be complete")
+	}
+	got := applyRound(l, 7, 7, 7) // new shape
+	if l.Complete() {
+		t.Fatal("still complete after shape change")
+	}
+	if l.Rounds() != 1 {
+		t.Fatalf("rounds %d after shape change, want 1", l.Rounds())
+	}
+	if got[0] != 7 || got[1] != 7 || got[2] != 7 {
+		t.Fatalf("first round after reset overwrote input: %v", got)
+	}
+}
+
+// TestLatchReleaseReuse: Release returns the latch to its empty state and
+// it remains usable.
+func TestLatchReleaseReuse(t *testing.T) {
+	l := NewLatch(nil)
+	for r := 0; r < LatchRuns; r++ {
+		applyRound(l, 40)
+	}
+	l.Release()
+	if l.Complete() || l.Fraction() != 0 || l.Rounds() != 0 {
+		t.Fatal("release did not reset the latch")
+	}
+	for r := 0; r < LatchRuns; r++ {
+		applyRound(l, 12)
+	}
+	if !l.Complete() {
+		t.Fatal("latch unusable after release")
+	}
+	l.Release()
+}
+
+// TestLatchDeterminism is the property the early-stop argument rests on:
+// two latches fed the same round prefix make identical decisions, so the
+// run that stops early and the run that continues agree on every latched
+// cell.
+func TestLatchDeterminism(t *testing.T) {
+	rounds := [][]float64{
+		{40, 0, 13}, {40, 1, 13}, {41, 0, 13}, {40, 0, 13},
+		{40, 1, 13}, {41, 0, 13}, {40, 1, 13}, {40, 0, 13},
+	}
+	a, b := NewLatch(nil), NewLatch(nil)
+	defer a.Release()
+	defer b.Release()
+	for r, vals := range rounds {
+		ga := applyRound(a, vals...)
+		gb := applyRound(b, vals...)
+		for i := range ga {
+			if ga[i] != gb[i] {
+				t.Fatalf("round %d hour %d: %v vs %v", r+1, i, ga[i], gb[i])
+			}
+		}
+	}
+}

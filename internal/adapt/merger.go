@@ -1,0 +1,124 @@
+package adapt
+
+import (
+	"sift/internal/engine"
+	"sift/internal/timeseries"
+)
+
+// varEps regularizes the inverse-variance weights so a round that
+// happened to match the cross-round mean exactly (sample variance 0)
+// cannot claim infinite weight. It is negligible against any real
+// disagreement on the 0–100 index scale.
+const varEps = 1e-9
+
+// VarianceMerger reduces a window's fetches across rounds by
+// inverse-variance weighting: each round's draw is weighted by how far it
+// sits from the cross-round consensus, so one wild sample stops dragging
+// the average the way it does under the plain mean ("Restoring the
+// Forecasting Power of Google Trends"). The presence quorum of the
+// default ConsensusMerger is preserved unchanged.
+//
+// When every round carries the same variance there is nothing to weight:
+// the merger detects the uniform case and delegates to the plain
+// consensus-average kernel, making its output byte-identical to
+// ConsensusMerger's — pinned by the property suite against the oracle in
+// oracle.go.
+type VarianceMerger struct{}
+
+var (
+	_ engine.Merger     = VarianceMerger{}
+	_ engine.MergerInto = VarianceMerger{}
+)
+
+// quorumOf is the presence quorum shared with engine.ConsensusMerger:
+// 60% of the window's fetched rounds, rounded up.
+func quorumOf(k int) int { return (3*k + 4) / 5 }
+
+// Merge implements engine.Merger by allocating a destination and calling
+// the destination-passing kernel.
+func (m VarianceMerger) Merge(spec timeseries.FrameSpec, fetched []*timeseries.Series) (*timeseries.Series, error) {
+	if len(fetched) == 0 {
+		return nil, timeseries.ErrEmpty
+	}
+	dst := make([]float64, fetched[0].Len())
+	if err := m.MergeInto(dst, spec, fetched); err != nil {
+		return nil, err
+	}
+	return timeseries.Adopt(fetched[0].Start(), dst)
+}
+
+// MergeInto implements engine.MergerInto: the inverse-variance weighted
+// consensus average written into a caller-owned buffer of the window's
+// length. dst doubles as the mean scratch for the weight computation, so
+// unlike the plain-average kernels it must NOT alias an input's backing
+// slice (the pipeline's merge destinations never do).
+func (VarianceMerger) MergeInto(dst []float64, _ timeseries.FrameSpec, fetched []*timeseries.Series) error {
+	quorum := quorumOf(len(fetched))
+	weights, uniform, err := roundWeights(dst, fetched)
+	if err != nil {
+		return err
+	}
+	if uniform {
+		// Uniform variance: every weight is equal, and the weighted mean
+		// degenerates to the plain mean. Delegating keeps the arithmetic —
+		// and therefore the bytes — identical to the default merger.
+		return timeseries.ConsensusAverageInto(dst, fetched, quorum)
+	}
+	wsum := 0.0
+	for _, w := range weights {
+		wsum += w
+	}
+	for i := range dst {
+		acc := 0.0
+		present := 0
+		for r, s := range fetched {
+			v := s.RawValues()[i]
+			acc += v * weights[r]
+			if v > 0 {
+				present++
+			}
+		}
+		v := acc / wsum
+		if quorum > 1 && present < quorum {
+			v = 0
+		}
+		dst[i] = v
+	}
+	return nil
+}
+
+// roundWeights computes the inverse-variance weight of every round:
+// 1/(σ²+ε), where σ² is the round's mean squared deviation from the
+// per-position cross-round mean. scratch is clobbered as the mean buffer
+// (it must have the window's length — the caller's destination serves).
+// uniform reports that every round's variance is bit-identical, in which
+// case weights is nil and weighting would be a no-op.
+func roundWeights(scratch []float64, fetched []*timeseries.Series) (weights []float64, uniform bool, err error) {
+	if err := timeseries.AverageInto(scratch, fetched); err != nil {
+		return nil, false, err
+	}
+	n := float64(len(scratch))
+	variances := make([]float64, len(fetched))
+	for r, s := range fetched {
+		acc := 0.0
+		for i, v := range s.RawValues() {
+			d := v - scratch[i]
+			acc += d * d
+		}
+		variances[r] = acc / n
+	}
+	uniform = true
+	for _, v := range variances[1:] {
+		if v != variances[0] {
+			uniform = false
+			break
+		}
+	}
+	if uniform {
+		return nil, true, nil
+	}
+	for r, v := range variances {
+		variances[r] = 1 / (v + varEps)
+	}
+	return variances, false, nil
+}

@@ -1,0 +1,66 @@
+package adapt
+
+import "sift/internal/timeseries"
+
+// This file holds the straight-line reference implementation of the
+// variance-weighted merge, in the style of the timeseries ...Ref oracles:
+// naive, allocating, and deliberately unoptimized. The property suite
+// pins VarianceMerger against it bit for bit, and pins the uniform-
+// variance degenerate case against the plain consensus average. Do not
+// optimize this code.
+
+// varianceWeightedRef is the reference inverse-variance weighted
+// consensus average across rounds.
+func varianceWeightedRef(fetched []*timeseries.Series, quorum int) (*timeseries.Series, error) {
+	if len(fetched) == 0 {
+		return nil, timeseries.ErrEmpty
+	}
+	n := fetched[0].Len()
+	mean := make([]float64, n)
+	if err := timeseries.AverageInto(mean, fetched); err != nil {
+		return nil, err
+	}
+	variances := make([]float64, len(fetched))
+	for r, s := range fetched {
+		acc := 0.0
+		for i := 0; i < n; i++ {
+			d := s.AtIndex(i) - mean[i]
+			acc += d * d
+		}
+		variances[r] = acc / float64(n)
+	}
+	uniform := true
+	for _, v := range variances[1:] {
+		if v != variances[0] {
+			uniform = false
+			break
+		}
+	}
+	if uniform {
+		return timeseries.ConsensusAverage(fetched, quorum)
+	}
+	weights := make([]float64, len(fetched))
+	wsum := 0.0
+	for r, v := range variances {
+		weights[r] = 1 / (v + varEps)
+		wsum += weights[r]
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		acc := 0.0
+		present := 0
+		for r, s := range fetched {
+			v := s.AtIndex(i)
+			acc += v * weights[r]
+			if v > 0 {
+				present++
+			}
+		}
+		v := acc / wsum
+		if quorum > 1 && present < quorum {
+			v = 0
+		}
+		out[i] = v
+	}
+	return timeseries.New(fetched[0].Start(), out)
+}

@@ -1,0 +1,191 @@
+// Package adapt is SIFT's adaptive-crawling layer: streaming per-hour
+// mean/variance accumulators over the re-fetch rounds, a variance-weighted
+// merger that down-weights noisy draws, and a convergence estimator that
+// turns the accumulated variance into a confidence half-width on the
+// stitched series — the statistical stopping rule that lets the round
+// loop quit as soon as the series is stable instead of always paying the
+// full MaxRounds of fetch traffic ("Restoring the Forecasting Power of
+// Google Trends").
+//
+// The kernels follow the conventions of internal/timeseries: streaming
+// one-pass updates, destination-passing variants writing into
+// caller-owned (arena-recycled) buffers, and reference oracles the
+// property tests pin the optimized paths against bit for bit.
+package adapt
+
+import (
+	"errors"
+	"math"
+
+	"sift/internal/timeseries"
+)
+
+// ErrShape marks an observation whose length does not match the
+// accumulator's.
+var ErrShape = errors.New("adapt: observation length mismatch")
+
+// Welford is a streaming scalar mean/variance accumulator (Welford's
+// online algorithm): one pass, O(1) state, numerically stable. The zero
+// value is ready to use.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Observe folds one sample into the accumulator.
+func (w *Welford) Observe(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of samples observed.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the running mean (0 before any observation).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the unbiased sample variance (0 before two
+// observations).
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Accum is a streaming per-position mean/variance accumulator: one
+// Welford state per hour of a series, updated in a single pass per round.
+// Backing buffers come from a timeseries.Arena, so a pipeline run recycles
+// them like its merge and stitch scratch. Not safe for concurrent use.
+type Accum struct {
+	arena *timeseries.Arena
+	n     int
+	mean  []float64
+	m2    []float64
+}
+
+// NewAccum returns an empty accumulator drawing buffers from a (nil uses
+// the shared default arena). Call Release when done.
+func NewAccum(a *timeseries.Arena) *Accum {
+	if a == nil {
+		a = timeseries.DefaultArena()
+	}
+	return &Accum{arena: a}
+}
+
+// Release returns the backing buffers to the arena and resets the
+// accumulator; it remains usable.
+func (c *Accum) Release() {
+	c.arena.Put(c.mean)
+	c.arena.Put(c.m2)
+	c.mean, c.m2, c.n = nil, nil, 0
+}
+
+// N returns the number of rounds observed.
+func (c *Accum) N() int { return c.n }
+
+// Len returns the per-round observation length (0 before the first).
+func (c *Accum) Len() int { return len(c.mean) }
+
+// Observe folds one round's values into the per-position accumulators.
+// The first observation fixes the length; later rounds must match it.
+func (c *Accum) Observe(values []float64) error {
+	if c.n == 0 {
+		c.arena.Put(c.mean)
+		c.arena.Put(c.m2)
+		c.mean = c.arena.Get(len(values))
+		c.m2 = c.arena.Get(len(values))
+		clear(c.mean)
+		clear(c.m2)
+	} else if len(values) != len(c.mean) {
+		return ErrShape
+	}
+	c.n++
+	inv := 1 / float64(c.n)
+	for i, x := range values {
+		d := x - c.mean[i]
+		c.mean[i] += d * inv
+		c.m2[i] += d * (x - c.mean[i])
+	}
+	return nil
+}
+
+// MeanInto writes the per-position running means into dst.
+func (c *Accum) MeanInto(dst []float64) error {
+	if len(dst) != len(c.mean) {
+		return ErrShape
+	}
+	copy(dst, c.mean)
+	return nil
+}
+
+// VarianceInto writes the per-position unbiased sample variances into
+// dst (all zeros before two rounds).
+func (c *Accum) VarianceInto(dst []float64) error {
+	if len(dst) != len(c.m2) {
+		return ErrShape
+	}
+	if c.n < 2 {
+		clear(dst)
+		return nil
+	}
+	inv := 1 / float64(c.n-1)
+	for i, m2 := range c.m2 {
+		dst[i] = m2 * inv
+	}
+	return nil
+}
+
+// HalfWidthInto writes the per-position confidence half-widths of the
+// running mean into dst: z·sqrt(var/n).
+func (c *Accum) HalfWidthInto(dst []float64, z float64) error {
+	if len(dst) != len(c.m2) {
+		return ErrShape
+	}
+	if c.n < 2 {
+		clear(dst)
+		return nil
+	}
+	f := z * z / (float64(c.n-1) * float64(c.n))
+	for i, m2 := range c.m2 {
+		dst[i] = math.Sqrt(m2 * f)
+	}
+	return nil
+}
+
+// MeanVariance returns the unbiased sample variance averaged across
+// positions (0 before two observations).
+func (c *Accum) MeanVariance() float64 {
+	if c.n < 2 || len(c.m2) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, m2 := range c.m2 {
+		sum += m2
+	}
+	return sum / (float64(len(c.m2)) * float64(c.n-1))
+}
+
+// HalfWidthRMS returns the root-mean-square confidence half-width of the
+// running mean across positions: z·sqrt(mean(var)/n). The RMS aggregate
+// weighs every hour, so a single noisy spike hour cannot stall
+// convergence the way a max aggregate would, while broad instability
+// still registers. Returns +Inf before two rounds — one draw carries no
+// variance information.
+func (c *Accum) HalfWidthRMS(z float64) float64 {
+	if c.n < 2 {
+		return math.Inf(1)
+	}
+	if len(c.m2) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, m2 := range c.m2 {
+		sum += m2
+	}
+	meanVar := sum / (float64(len(c.m2)) * float64(c.n-1))
+	return z * math.Sqrt(meanVar/float64(c.n))
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"sift/internal/gtrends"
+	"sift/internal/obs"
+)
+
+// MinRoundsFlag(0) must reach the adaptive gate as "no floor": a state
+// that has shown nothing — all-zero frames, so the estimator's dead-window
+// fast path reports a zero half-width and the latch cannot unfreeze —
+// may converge on its very first round. Assigning the flag's 0 to
+// MinRounds directly would silently promote it to the default floor of 2
+// and burn a second full fetch round on every dead state.
+func TestMinRoundsFlagZeroConvergesFirstRound(t *testing.T) {
+	run := func(minRounds int) *Result {
+		p := &Pipeline{Fetcher: zeroFetcher{}, Cfg: PipelineConfig{
+			Workers:   2,
+			Adaptive:  true,
+			MaxRounds: 12,
+			MinRounds: minRounds,
+		}}
+		res, err := p.Run(context.Background(), "WY", gtrends.TopicInternetOutage, t0, t0.Add(3*168*time.Hour))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	res := run(MinRoundsFlag(0))
+	if res.Rounds != 1 {
+		t.Errorf("no-floor dead state ran %d rounds, want 1", res.Rounds)
+	}
+	if !res.Converged {
+		t.Error("no-floor dead state did not converge")
+	}
+	if res.RoundsSaved != 11 {
+		t.Errorf("RoundsSaved = %d, want 11", res.RoundsSaved)
+	}
+	if res.CIHalfWidth != 0 {
+		t.Errorf("dead state half-width = %v, want 0", res.CIHalfWidth)
+	}
+	if len(res.Spikes) != 0 {
+		t.Errorf("dead state detected %d spikes", len(res.Spikes))
+	}
+
+	// The zero config value still means "default floor of 2".
+	if res := run(0); res.Rounds < 2 {
+		t.Errorf("default floor ran %d rounds, want at least 2", res.Rounds)
+	}
+}
+
+// An adaptive run over a live but perfectly stable signal stops as soon
+// as the latch completes, reporting the saved rounds and a finite
+// half-width trajectory.
+func TestAdaptiveStableSignalStopsEarly(t *testing.T) {
+	p := &Pipeline{Fetcher: constFetcher{}, Cfg: PipelineConfig{
+		Workers:   2,
+		Adaptive:  true,
+		MaxRounds: 12,
+	}}
+	res, err := p.Run(context.Background(), "TX", gtrends.TopicInternetOutage, t0, t0.Add(3*168*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("stable signal did not converge")
+	}
+	if res.Rounds >= 12 {
+		t.Errorf("stable signal spent all %d rounds", res.Rounds)
+	}
+	if res.RoundsSaved != 12-res.Rounds {
+		t.Errorf("RoundsSaved = %d, want %d", res.RoundsSaved, 12-res.Rounds)
+	}
+	if res.Stability != 1 {
+		t.Errorf("Stability = %v at convergence, want 1", res.Stability)
+	}
+	if math.IsInf(res.CIHalfWidth, 1) || res.CIHalfWidth < 0 {
+		t.Errorf("CIHalfWidth = %v, want finite non-negative", res.CIHalfWidth)
+	}
+	if len(res.CITrajectory) != res.Rounds {
+		t.Errorf("trajectory has %d entries across %d rounds", len(res.CITrajectory), res.Rounds)
+	}
+}
+
+// The rounds histogram derives its buckets from the configured MaxRounds:
+// a raised cap gets one bucket per allowed round instead of clipping
+// every long run into the last bucket of a hardcoded default.
+func TestRoundsHistogramBucketsFollowMaxRounds(t *testing.T) {
+	reg := obs.NewRegistry()
+	om := newPipeObs(reg, 30)
+	om.rounds.Observe(25)
+	fam := reg.Snapshot().Family("sift_pipeline_rounds")
+	if fam == nil {
+		t.Fatal("rounds family missing")
+	}
+	buckets := fam.Metrics[0].Buckets
+	if want := 31; len(buckets) != want { // 1..30 plus +Inf
+		t.Fatalf("got %d buckets, want %d", len(buckets), want)
+	}
+	cum := map[string]uint64{}
+	for _, b := range buckets {
+		cum[b.LE] = b.Cumulative
+	}
+	if cum["24"] != 0 {
+		t.Errorf("le=24 cumulative = %d, want 0", cum["24"])
+	}
+	if cum["25"] != 1 {
+		t.Errorf("le=25 cumulative = %d, want 1 (25-round run resolved, not clipped)", cum["25"])
+	}
+	if cum["+Inf"] != 1 {
+		t.Errorf("+Inf cumulative = %d, want 1", cum["+Inf"])
+	}
+}

@@ -1,6 +1,9 @@
 package core
 
-import "time"
+import (
+	"math"
+	"time"
+)
 
 // Gap records one frame window the crawl could not fill: every fetch
 // attempt across every round failed permanently. The reconstructed series
@@ -47,12 +50,34 @@ type CrawlHealth struct {
 	// analysis stage for the run that produced this record; zero when the
 	// analysis ran serially or the record predates the field.
 	AnalysisWorkers int `json:"analysis_workers,omitempty"`
+	// AnchorRescales counts stitch seams in the final round joined by
+	// anchor calibration rather than overlap signal; zero on unanchored
+	// crawls or records predating the field.
+	AnchorRescales int `json:"anchor_rescales,omitempty"`
+	// RoundsSaved is MaxRounds minus the round the adaptive gate stopped
+	// at; zero for non-adaptive runs or runs that used every round.
+	RoundsSaved int `json:"rounds_saved,omitempty"`
+	// CITrajectory is the per-round CI half-width of the stitched series
+	// (adaptive runs only): the statistical convergence trace. A leading
+	// +Inf (round 1, n=1) is recorded as -1 so the record stays valid JSON.
+	CITrajectory []float64 `json:"ci_trajectory,omitempty"`
 }
 
 // Health extracts the crawl-health record from a pipeline result.
 func (r *Result) Health() CrawlHealth {
 	gaps := make([]Gap, len(r.Gaps))
 	copy(gaps, r.Gaps)
+	var traj []float64
+	if len(r.CITrajectory) > 0 {
+		traj = make([]float64, len(r.CITrajectory))
+		for i, hw := range r.CITrajectory {
+			if math.IsInf(hw, 1) {
+				traj[i] = -1
+			} else {
+				traj[i] = hw
+			}
+		}
+	}
 	return CrawlHealth{
 		Rounds:             r.Rounds,
 		Frames:             r.Frames,
@@ -62,5 +87,8 @@ func (r *Result) Health() CrawlHealth {
 		CacheHits:          r.CacheHits,
 		CacheMisses:        r.CacheMisses,
 		UnanchoredStitches: r.UnanchoredStitches,
+		AnchorRescales:     r.AnchorRescales,
+		RoundsSaved:        r.RoundsSaved,
+		CITrajectory:       traj,
 	}
 }

@@ -4,9 +4,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"time"
 
+	"sift/internal/adapt"
 	"sift/internal/engine"
 	"sift/internal/geo"
 	"sift/internal/gtrends"
@@ -34,8 +36,44 @@ type PipelineConfig struct {
 	// MaxRounds caps the re-fetch averaging iterations. Default 12.
 	MaxRounds int
 	// MinRounds is the floor on averaging iterations before convergence
-	// may be declared. Default 2.
+	// may be declared. Zero means unset and takes the default of 2; any
+	// negative value means no floor at all (a run may converge on its
+	// first round — useful with the Adaptive statistical gate, whose
+	// all-zero fast path can prove a dead state immediately). A CLI flag
+	// whose 0 must mean "no floor" cannot assign its value here directly —
+	// map it through MinRoundsFlag at the flag boundary.
 	MinRounds int
+	// Adaptive enables the statistical stopping rule: a variance-weighted
+	// merge across rounds, deterministic per-(request, round) keyed
+	// sampling when the fetcher supports it, detection on the
+	// integer-quantized stitched series (the service-faithful 0–100 grid,
+	// which makes detector decisions discrete) frozen hour by hour
+	// through a per-hour latch (adapt.Latch), and a convergence estimator
+	// whose confidence half-width must undercut TargetCI — all in
+	// addition to the classical spike-set similarity gate — before the
+	// round loop stops. Because latch decisions depend only on the rounds
+	// already fetched and keyed sampling makes those rounds reproducible,
+	// an early stop detects exactly the spike sets a full-MaxRounds
+	// adaptive run would.
+	Adaptive bool
+	// TargetCI is the confidence half-width (in renormalized 0–100 index
+	// points) the stitched series must reach for the adaptive gate — a
+	// precision request, not an unconditional demand: because the
+	// half-width shrinks as 1/√rounds, a run whose noise floor sits above
+	// the target could never satisfy it within MaxRounds, so the gate
+	// also passes once the target is provably out of reach in the
+	// remaining budget (the latch still guarantees the spike sets). A
+	// tighter target therefore buys extra precision rounds only where
+	// they can actually deliver it. Default adapt.DefaultTargetCI.
+	// Ignored unless Adaptive.
+	TargetCI float64
+	// AnchorTerm, when non-empty, threads a shared calibration anchor
+	// query through every planned fetch: responses report their window's
+	// scale in anchor units, and the stitcher rescales frames directly
+	// onto the common scale instead of estimating every seam from overlap
+	// signal. Adaptive runs default it to gtrends.DefaultAnchorTerm; set
+	// it explicitly to calibrate a non-adaptive run.
+	AnchorTerm string
 	// ConvergenceTol is the per-boundary tolerance under which two
 	// consecutive rounds' spike sets count as identical. Default 2h.
 	ConvergenceTol time.Duration
@@ -129,6 +167,19 @@ func RetriesFlag(n int) int {
 	return n
 }
 
+// MinRoundsFlag maps a user-facing minimum-rounds flag value onto
+// PipelineConfig.MinRounds, the same sentinel dance as RetriesFlag: the
+// config field's 0 means "unset, take the default of 2", so a flag where
+// 0 must mean "no floor — converge on the first round if the gates pass"
+// cannot be assigned verbatim. Zero (and any negative input) maps to the
+// internal no-floor sentinel; positive floors pass through.
+func MinRoundsFlag(n int) int {
+	if n <= 0 {
+		return -1
+	}
+	return n
+}
+
 func (c *PipelineConfig) fillDefaults() {
 	if c.FrameHours == 0 {
 		c.FrameHours = gtrends.WeekFrameHours
@@ -145,6 +196,9 @@ func (c *PipelineConfig) fillDefaults() {
 	if c.MinRounds == 0 {
 		c.MinRounds = 2
 	}
+	if c.MinRounds < 0 {
+		c.MinRounds = 1
+	}
 	if c.ConvergenceTol == 0 {
 		c.ConvergenceTol = 2 * time.Hour
 	}
@@ -160,14 +214,30 @@ func (c *PipelineConfig) fillDefaults() {
 	if c.Detector == nil {
 		c.Detector = Detector{}
 	}
+	if c.Adaptive {
+		if c.TargetCI == 0 {
+			c.TargetCI = adapt.DefaultTargetCI
+		}
+		if c.AnchorTerm == "" {
+			c.AnchorTerm = gtrends.DefaultAnchorTerm
+		}
+	}
 	if c.Planner == nil {
-		c.Planner = engine.OverlapPlanner{FrameHours: c.FrameHours, OverlapHours: c.OverlapHours}
+		c.Planner = engine.OverlapPlanner{FrameHours: c.FrameHours, OverlapHours: c.OverlapHours, Anchor: c.AnchorTerm}
 	}
 	if c.Merger == nil {
-		c.Merger = engine.ConsensusMerger{}
+		if c.Adaptive {
+			c.Merger = adapt.VarianceMerger{}
+		} else {
+			c.Merger = engine.ConsensusMerger{}
+		}
 	}
 	if c.Stitcher == nil {
-		c.Stitcher = engine.OverlapStitcher{Estimator: c.Estimator}
+		if c.AnchorTerm != "" {
+			c.Stitcher = engine.CalibratedStitcher{Estimator: c.Estimator}
+		} else {
+			c.Stitcher = engine.OverlapStitcher{Estimator: c.Estimator}
+		}
 	}
 }
 
@@ -223,6 +293,30 @@ type Result struct {
 	// Zero on a healthy crawl; requires a Stitcher implementing
 	// engine.CountingStitcher (the default does).
 	UnanchoredStitches int
+	// AnchorRescales counts, in the final round's fold, the seams joined
+	// by pure anchor calibration instead of overlap estimation; nonzero
+	// only on anchored plans with a calibrating stitcher.
+	AnchorRescales int
+	// RoundsSaved is MaxRounds minus the rounds actually run when the
+	// adaptive gate stopped the loop early; zero on non-adaptive and
+	// exhausted runs. It is the run's fetch traffic not spent: each saved
+	// round would have refetched every planned window.
+	RoundsSaved int
+	// CIHalfWidth is the confidence half-width of the stitched series
+	// after the final round (renormalized 0–100 index points); +Inf when
+	// a single round ran on a live series, 0 when not adaptive.
+	CIHalfWidth float64
+	// CITrajectory is the half-width after each round, oldest first —
+	// the convergence curve an adaptive run descended. Nil when not
+	// adaptive.
+	CITrajectory []float64
+	// Stability is the final round's spike-set stability score: the
+	// fraction of hours whose quantized detector input has latched
+	// (adapt.Latch). 1 means the detector input is frozen — no remaining
+	// round could have changed the reported spikes — which is what the
+	// adaptive gate requires before stopping early. Zero when not
+	// adaptive.
+	Stability float64
 }
 
 // pipeObs holds the pipeline's metric handles.
@@ -238,17 +332,26 @@ type pipeObs struct {
 	arenaGets   obs.Gauge        // sift_timeseries_arena_gets
 	arenaHits   obs.Gauge        // sift_timeseries_arena_hits
 	arenaRate   obs.Gauge        // sift_timeseries_arena_hit_rate
+	adaptSaved  obs.Counter      // sift_adapt_rounds_saved_total
+	adaptCI     obs.Histogram    // sift_adapt_ci_halfwidth
+	adaptAnchor obs.Counter      // sift_adapt_anchor_rescales_total
 }
 
-// newPipeObs builds the pipeline metric handles against r (nil → Default).
-func newPipeObs(r *obs.Registry) pipeObs {
+// newPipeObs builds the pipeline metric handles against r (nil →
+// Default). maxRounds sizes the rounds histogram: one bucket per allowed
+// round, so an adaptive run with a raised cap is not clipped into the
+// last bucket of a hardcoded default.
+func newPipeObs(r *obs.Registry, maxRounds int) pipeObs {
+	if maxRounds <= 0 {
+		maxRounds = 12
+	}
 	return pipeObs{
 		stage: r.HistogramVec("sift_pipeline_stage_seconds",
 			"per-round wall time by pipeline stage", nil, "stage"),
 		stageAllocs: r.GaugeVec("sift_pipeline_stage_allocs",
 			"heap objects allocated during the stage's most recent pass (process-global sample, approximate under concurrent states)", "stage"),
 		rounds: r.Histogram("sift_pipeline_rounds",
-			"averaging rounds per completed run", obs.LinearBuckets(1, 1, 12)),
+			"averaging rounds per completed run", obs.LinearBuckets(1, 1, maxRounds)),
 		runs: r.CounterVec("sift_pipeline_runs_total",
 			"pipeline runs by outcome", "outcome"),
 		gaps: r.Counter("sift_pipeline_gaps_total",
@@ -265,6 +368,13 @@ func newPipeObs(r *obs.Registry) pipeObs {
 			"arena buffer requests served by recycling a pooled buffer (snapshot)"),
 		arenaRate: r.Gauge("sift_timeseries_arena_hit_rate",
 			"fraction of arena buffer requests served from the pool (snapshot)"),
+		adaptSaved: r.Counter("sift_adapt_rounds_saved_total",
+			"averaging rounds the adaptive gate proved unnecessary (fetch traffic not spent)"),
+		adaptCI: r.Histogram("sift_adapt_ci_halfwidth",
+			"confidence half-width of the stitched series per adaptive round (index points)",
+			[]float64{0.1, 0.25, 0.5, 1, 2, 4, 8, 16, 32}),
+		adaptAnchor: r.Counter("sift_adapt_anchor_rescales_total",
+			"stitch seams joined by anchor calibration instead of overlap estimation"),
 	}
 }
 
@@ -276,9 +386,15 @@ func (p *Pipeline) Run(ctx context.Context, state geo.State, term string, from, 
 		if p.Fetcher == nil {
 			return nil, errors.New("core: pipeline needs a Fetcher or a Source stage")
 		}
-		cfg.Source = engine.RetryingSource{Fetcher: p.Fetcher, Retries: cfg.FetchRetries, Metrics: cfg.Metrics}
+		// Keyed sampling whenever the fetcher supports it: a frame's sample
+		// is a pure function of (request, round) rather than of the global
+		// request ordinal, so a seeded run draws the same series no matter
+		// how many workers race the fetches. Adaptive early stopping
+		// additionally relies on it for its equal-spikes guarantee; fetchers
+		// without key support (live HTTP clients) keep ordinal sampling.
+		cfg.Source = engine.RetryingSource{Fetcher: p.Fetcher, Retries: cfg.FetchRetries, Keyed: true, Metrics: cfg.Metrics}
 	}
-	om := newPipeObs(cfg.Metrics)
+	om := newPipeObs(cfg.Metrics, cfg.MaxRounds)
 	ctx, span := trace.StartOrRoot(ctx, cfg.Tracer, "pipeline.run",
 		trace.Str("state", string(state)), trace.Str("term", term),
 		trace.Str("from", from.Format("2006-01-02")), trace.Str("to", to.Format("2006-01-02")))
@@ -326,17 +442,28 @@ func (p *Pipeline) run(ctx context.Context, cfg PipelineConfig, om pipeObs, stat
 	mi, okMI := cfg.Merger.(engine.MergerInto)
 	bs, okBS := cfg.Stitcher.(engine.BufferedStitcher)
 	lean := okMI && okBS
+	// The anchored plan threads its shared anchor query into every fetch;
+	// with a calibrating stitcher the fold then rescales frames straight
+	// onto the anchor's scale.
+	anchor := ""
+	if ap, ok := cfg.Planner.(engine.AnchoredPlanner); ok {
+		anchor = ap.AnchorTerm()
+	}
+	cal, okCal := cfg.Stitcher.(engine.CalibratingStitcher)
+	calibrated := okCal && anchor != ""
 	arena := timeseries.DefaultArena()
 	var sb *timeseries.StitchBuffer
+	if lean || calibrated {
+		sb = timeseries.NewStitchBuffer(arena)
+		defer sb.Release()
+	}
 	var avgBufs [][]float64          // one reused scratch per spec window
 	var avgView []*timeseries.Series // arena-backed views over avgBufs
 	var frameBufs [][]float64        // arena-backed frame conversions
 	if lean {
-		sb = timeseries.NewStitchBuffer(arena)
 		avgBufs = make([][]float64, len(specs))
 		avgView = make([]*timeseries.Series, len(specs))
 		defer func() {
-			sb.Release()
 			for _, b := range avgBufs {
 				if b != nil {
 					arena.Put(b)
@@ -350,6 +477,28 @@ func (p *Pipeline) run(ctx context.Context, cfg PipelineConfig, om pipeObs, stat
 			om.arenaHits.Set(float64(st.Hits))
 			om.arenaRate.Set(st.HitRate())
 		}()
+	}
+	// scaleAcc[i] accumulates spec i's anchor-unit scale across rounds
+	// (streaming mean/variance, one observation per anchored fetch).
+	var scaleAcc []adapt.Welford
+	var scales []float64
+	if calibrated {
+		scaleAcc = make([]adapt.Welford, len(specs))
+		scales = make([]float64, len(specs))
+	}
+	// est scores the statistical convergence of the stitched series and
+	// latch freezes the quantized detector input hour by hour; the
+	// adaptive gate consults both after every detect. quantBuf holds the
+	// integer-quantized detection input, reused across rounds.
+	var est *adapt.Estimator
+	var latch *adapt.Latch
+	var quantBuf []float64
+	if cfg.Adaptive {
+		est = adapt.NewEstimator(arena)
+		defer est.Release()
+		latch = adapt.NewLatch(arena)
+		defer latch.Release()
+		defer func() { arena.Put(quantBuf) }()
 	}
 
 	res := &Result{State: state, Term: term}
@@ -400,6 +549,9 @@ func (p *Pipeline) run(ctx context.Context, cfg PipelineConfig, om pipeObs, stat
 			}
 			used++
 			res.Frames++
+			if scaleAcc != nil && f.Anchored && f.AnchorScale > 0 {
+				scaleAcc[i].Observe(f.AnchorScale)
+			}
 			if lean {
 				buf := arena.Get(len(f.Points))
 				for j, p := range f.Points {
@@ -476,6 +628,21 @@ func (p *Pipeline) run(ctx context.Context, cfg PipelineConfig, om pipeObs, stat
 		var raw *timeseries.Series
 		unanchored := 0
 		switch {
+		case calibrated:
+			// Each window's scale is its cross-round mean anchor scale; a
+			// window no anchored fetch reached yet stitches by overlap
+			// fallback (NaN scale).
+			for i := range scales {
+				if scaleAcc[i].N() > 0 {
+					scales[i] = scaleAcc[i].Mean()
+				} else {
+					scales[i] = math.NaN()
+				}
+			}
+			var rescaled int
+			raw, unanchored, rescaled, err = cal.StitchCalibrated(sb, prefix, averaged[prefixSpecs:], scales[prefixSpecs:])
+			res.AnchorRescales = rescaled
+			om.adaptAnchor.Add(float64(rescaled))
 		case lean:
 			raw, unanchored, err = bs.StitchInto(sb, prefix, averaged[prefixSpecs:])
 		default:
@@ -505,13 +672,92 @@ func (p *Pipeline) run(ctx context.Context, cfg PipelineConfig, om pipeObs, stat
 		began = time.Now()
 		allocs0 = heapAllocObjects()
 		_, sspan = trace.Start(rctx, "stage.detect")
-		res.Spikes = cfg.Detector.Detect(res.Series, state, term)
+		detectSeries := res.Series
+		if cfg.Adaptive {
+			// Adaptive mode detects on the integer-quantized series — the
+			// service-faithful 0–100 grid, with sub-noise-floor cells
+			// clamped to zero — passed through the per-hour latch:
+			// quantization makes the detector's input discrete, and
+			// latching freezes each hour once its cell has settled, so an
+			// early stop provably detects the same spikes a full-MaxRounds
+			// run would.
+			v := res.Series.RawValues()
+			if len(quantBuf) < len(v) {
+				arena.Put(quantBuf)
+				quantBuf = arena.Get(len(v))
+			}
+			q := quantBuf[:len(v)]
+			if qerr := adapt.QuantizeInto(q, v); qerr != nil {
+				return nil, fmt.Errorf("core: quantizing series: %w", qerr)
+			}
+			latch.Apply(q)
+			qs, qerr := timeseries.Adopt(res.Series.Start(), q)
+			if qerr != nil {
+				return nil, fmt.Errorf("core: quantizing series: %w", qerr)
+			}
+			detectSeries = qs
+		}
+		res.Spikes = cfg.Detector.Detect(detectSeries, state, term)
 		sspan.SetAttr(trace.Int("spikes", len(res.Spikes)))
 		sspan.End()
 		om.stage.With("detect").Observe(time.Since(began).Seconds())
 		om.stageAllocs.With("detect").Set(float64(heapAllocObjects() - allocs0))
 
-		if round >= cfg.MinRounds && SpikeSetsSimilarity(prev, res.Spikes, cfg.ConvergenceTol) >= cfg.ConvergenceSim {
+		simConverged := round >= cfg.MinRounds &&
+			SpikeSetsSimilarity(prev, res.Spikes, cfg.ConvergenceTol) >= cfg.ConvergenceSim
+		if cfg.Adaptive {
+			// The adaptive stop rule requires BOTH gates: the historical
+			// spike-set similarity AND the statistical one — series CI
+			// half-width under target, and every hour's detector input
+			// latched, which freezes the spike set against the rounds the
+			// stop would skip (or a window that has shown nothing at all,
+			// which cannot unfreeze). The latched fraction doubles as the
+			// run's stability score.
+			hw := est.ObserveRound(res.Series.RawValues())
+			stable := latch.Complete() || est.AllZero()
+			stability := latch.Fraction()
+			if stable {
+				stability = 1
+			}
+			// The CI gate passes when the half-width undercuts the target —
+			// or when the target is provably out of reach: the half-width
+			// shrinks as 1/√rounds, so if its projection at MaxRounds still
+			// exceeds the target, the remaining rounds cannot buy the
+			// requested precision and holding the loop open for them is
+			// pure waste. Before variance information exists (±Inf) neither
+			// branch passes.
+			ciOK := hw <= cfg.TargetCI
+			if !ciOK && !math.IsInf(hw, 1) {
+				ciOK = hw*math.Sqrt(float64(round)/float64(cfg.MaxRounds)) > cfg.TargetCI
+			}
+			res.CIHalfWidth = hw
+			res.Stability = stability
+			res.CITrajectory = append(res.CITrajectory[:0], est.Trajectory()...)
+			// +Inf (no variance information yet) is not valid JSON; the
+			// trace export uses -1 for it, same as CrawlHealth.
+			hwAttr := hw
+			if math.IsInf(hwAttr, 1) {
+				hwAttr = -1
+			}
+			_, aspan := trace.Start(rctx, "adapt.converge",
+				trace.Int("round", round),
+				trace.Float("ci_halfwidth", hwAttr),
+				trace.Float("stability", stability),
+				trace.Bool("sim_gate", simConverged))
+			aspan.End()
+			if !math.IsInf(hw, 1) {
+				om.adaptCI.Observe(hw)
+			}
+			if simConverged && ciOK && stable {
+				res.Converged = true
+				res.RoundsSaved = cfg.MaxRounds - round
+				om.adaptSaved.Add(float64(res.RoundsSaved))
+				rspan.SetAttr(trace.Bool("converged", true),
+					trace.Int("rounds_saved", res.RoundsSaved))
+				rspan.End()
+				return res, nil
+			}
+		} else if simConverged {
 			res.Converged = true
 			rspan.SetAttr(trace.Bool("converged", true))
 			rspan.End()
@@ -545,6 +791,12 @@ func (p *Pipeline) fetchRound(ctx context.Context, cfg PipelineConfig, sched *en
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	// An anchored plan rides its calibration query on every request; the
+	// response then carries the window's scale in anchor units.
+	anchor := ""
+	if ap, ok := cfg.Planner.(engine.AnchoredPlanner); ok {
+		anchor = ap.AnchorTerm()
+	}
 	frames := make([]*gtrends.Frame, len(specs))
 	jobs := make(chan int)
 	errc := make(chan error, cfg.Workers)
@@ -579,6 +831,7 @@ func (p *Pipeline) fetchRound(ctx context.Context, cfg PipelineConfig, sched *en
 					Start:      specs[i].Start,
 					Hours:      specs[i].Hours,
 					WithRising: cfg.WithRising,
+					Anchor:     anchor,
 				}
 				fctx, fspan := trace.Start(ctx, "fetch.frame",
 					trace.Str("window", req.Start.Format("2006-01-02T15")),

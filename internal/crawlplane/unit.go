@@ -33,6 +33,10 @@ type Unit struct {
 	Hours  int       `json:"hours"`
 	Round  int       `json:"round"`
 	Rising bool      `json:"rising,omitempty"`
+	// Anchor is the calibration anchor query the unit's fetch carries;
+	// an anchored fetch is a distinct unit from the plain fetch of the
+	// same coordinate (different response shape, different sample key).
+	Anchor string `json:"anchor,omitempty"`
 }
 
 // UnitOf builds the unit for a frame request in a given round.
@@ -44,6 +48,7 @@ func UnitOf(req gtrends.FrameRequest, round int) Unit {
 		Hours:  req.Hours,
 		Round:  round,
 		Rising: req.WithRising,
+		Anchor: req.Anchor,
 	}
 }
 
@@ -55,6 +60,7 @@ func (u Unit) Request() gtrends.FrameRequest {
 		Start:      u.Start,
 		Hours:      u.Hours,
 		WithRising: u.Rising,
+		Anchor:     u.Anchor,
 	}
 }
 
@@ -78,6 +84,13 @@ func (u Unit) Key() string {
 	b.WriteString(string(u.State))
 	b.WriteByte('|')
 	b.WriteString(u.Term)
+	// Anchored units append a suffix segment; plain units keep the
+	// historical key form, so persisted queues from unanchored crawls
+	// stay addressable.
+	if u.Anchor != "" {
+		b.WriteString("|a|")
+		b.WriteString(u.Anchor)
+	}
 	return b.String()
 }
 

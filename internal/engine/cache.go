@@ -39,6 +39,11 @@ type Key struct {
 	Hours  int
 	Round  int
 	Rising bool
+	// Anchor is the calibration anchor the request carried; an anchored
+	// response additionally reports its scale in anchor units, so it is a
+	// different response shape from the unanchored fetch of the same
+	// coordinate.
+	Anchor string
 }
 
 // KeyOf builds the cache key for a frame request in a given round.
@@ -50,6 +55,7 @@ func KeyOf(req gtrends.FrameRequest, round int) Key {
 		Hours:  req.Hours,
 		Round:  round,
 		Rising: req.WithRising,
+		Anchor: req.Anchor,
 	}
 }
 

@@ -29,7 +29,26 @@ type OverlapPlanner struct {
 	FrameHours int
 	// OverlapHours is the inter-frame overlap; 0 takes 24.
 	OverlapHours int
+	// Anchor, when non-empty, is the shared calibration anchor query the
+	// plan's every fetch carries (gtrends.FrameRequest.Anchor): one anchor
+	// spec per state batch, so all of the batch's windows report their
+	// scale in the same units and the stitcher can calibrate instead of
+	// estimating seams pairwise.
+	Anchor string
 }
+
+// AnchoredPlanner is the optional Planner extension the pipeline probes
+// for: a plan whose fetches all share one calibration anchor query. The
+// pipeline threads the anchor into every frame request of the batch.
+type AnchoredPlanner interface {
+	Planner
+	// AnchorTerm returns the shared anchor query; empty disables
+	// calibration.
+	AnchorTerm() string
+}
+
+// AnchorTerm implements AnchoredPlanner.
+func (p OverlapPlanner) AnchorTerm() string { return p.Anchor }
 
 // Plan partitions [from, to) into overlapping frames.
 func (p OverlapPlanner) Plan(from, to time.Time) ([]timeseries.FrameSpec, error) {
@@ -87,6 +106,14 @@ type RetryingSource struct {
 	// Retries is how many extra attempts follow a transient failure;
 	// negative means none.
 	Retries int
+	// Keyed, when set, fetches through gtrends.KeyedFetcher (when the
+	// Fetcher implements it) under the deterministic per-(request, round)
+	// sample key of gtrends.SampleKey, so a planned fetch draws the same
+	// sample no matter how many requests ran before it or at what worker
+	// count — the property that makes an adaptive run's first k rounds
+	// bit-identical to a fixed run's. Fetchers without keyed support (the
+	// HTTP client against a live service) fall back to ordinal sampling.
+	Keyed bool
 	// Metrics selects the registry the source's retry counter reports
 	// into; nil uses obs.Default().
 	Metrics *obs.Registry
@@ -101,17 +128,25 @@ func (s RetryingSource) retryCounter(reason string) obs.Counter {
 
 // FetchFrame performs one fetch with bounded retries and response
 // validation.
-func (s RetryingSource) FetchFrame(ctx context.Context, req gtrends.FrameRequest, _ int) (*gtrends.Frame, error) {
+func (s RetryingSource) FetchFrame(ctx context.Context, req gtrends.FrameRequest, round int) (*gtrends.Frame, error) {
 	retries := s.Retries
 	if retries < 0 {
 		retries = 0
 	}
+	kf, keyed := s.Fetcher.(gtrends.KeyedFetcher)
+	keyed = keyed && s.Keyed
 	var lastErr error
 	for attempt := 0; attempt <= retries; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		f, err := s.Fetcher.FetchFrame(ctx, req)
+		var f *gtrends.Frame
+		var err error
+		if keyed {
+			f, err = kf.FetchFrameKeyed(ctx, req, gtrends.SampleKey(req, round))
+		} else {
+			f, err = s.Fetcher.FetchFrame(ctx, req)
+		}
 		if err == nil {
 			if verr := gtrends.ValidateFrame(f, req); verr != nil {
 				lastErr = verr
@@ -222,4 +257,49 @@ type BufferedStitcher interface {
 // StitchInto implements BufferedStitcher; bit-identical to StitchCounted.
 func (s OverlapStitcher) StitchInto(sb *timeseries.StitchBuffer, prefix *timeseries.Series, frames []*timeseries.Series) (*timeseries.Series, int, error) {
 	return sb.StitchCounted(prefix, frames, s.Estimator)
+}
+
+// CalibratingStitcher is the optional stitcher extension the pipeline
+// probes for when its fetches carried a calibration anchor: the fold
+// additionally receives each frame's scale in anchor units (NaN where
+// unknown) and rescales directly instead of estimating every seam from
+// overlap signal. rescaled counts the seams joined by pure calibration.
+type CalibratingStitcher interface {
+	StitchCalibrated(sb *timeseries.StitchBuffer, prefix *timeseries.Series, frames []*timeseries.Series, scales []float64) (s *timeseries.Series, unanchored, rescaled int, err error)
+}
+
+// CalibratedStitcher is the anchor-calibrated stitcher: frames that know
+// their scale in anchor units join the fold by direct rescaling
+// (timeseries.StitchBuffer.StitchCalibrated); frames that don't fall back
+// to the overlap-ratio estimate of the default stitcher. With no anchor
+// scales at all it behaves exactly like OverlapStitcher.
+type CalibratedStitcher struct {
+	Estimator timeseries.RatioEstimator
+}
+
+var (
+	_ Stitcher            = CalibratedStitcher{}
+	_ CountingStitcher    = CalibratedStitcher{}
+	_ BufferedStitcher    = CalibratedStitcher{}
+	_ CalibratingStitcher = CalibratedStitcher{}
+)
+
+// Stitch implements Stitcher with the plain overlap fold (no scales).
+func (s CalibratedStitcher) Stitch(prefix *timeseries.Series, frames []*timeseries.Series) (*timeseries.Series, error) {
+	return timeseries.StitchFrom(prefix, frames, s.Estimator)
+}
+
+// StitchCounted implements CountingStitcher with the plain overlap fold.
+func (s CalibratedStitcher) StitchCounted(prefix *timeseries.Series, frames []*timeseries.Series) (*timeseries.Series, int, error) {
+	return timeseries.StitchFromCounted(prefix, frames, s.Estimator)
+}
+
+// StitchInto implements BufferedStitcher with the plain overlap fold.
+func (s CalibratedStitcher) StitchInto(sb *timeseries.StitchBuffer, prefix *timeseries.Series, frames []*timeseries.Series) (*timeseries.Series, int, error) {
+	return sb.StitchCounted(prefix, frames, s.Estimator)
+}
+
+// StitchCalibrated implements CalibratingStitcher.
+func (s CalibratedStitcher) StitchCalibrated(sb *timeseries.StitchBuffer, prefix *timeseries.Series, frames []*timeseries.Series, scales []float64) (*timeseries.Series, int, int, error) {
+	return sb.StitchCalibrated(prefix, frames, scales, s.Estimator)
 }

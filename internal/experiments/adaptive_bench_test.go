@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"sift/internal/core"
+	"sift/internal/geo"
+)
+
+// benchStudy runs one adaptive-stage study (fixed toggles the full-budget
+// baseline arm exactly as in adaptiveArm, minus the *testing.T plumbing).
+func benchStudy(b *testing.B, seed int64, states []geo.State, fixed bool) *Study {
+	b.Helper()
+	cfg := StudyConfig{
+		Seed:           seed,
+		Start:          time.Date(2021, 1, 1, 0, 0, 0, 0, time.UTC),
+		End:            time.Date(2021, 3, 1, 0, 0, 0, 0, time.UTC),
+		States:         states,
+		SkipAnnotation: true,
+		SkipAnt:        true,
+		Pipeline: core.PipelineConfig{
+			Adaptive:  true,
+			MaxRounds: 12,
+		},
+	}
+	if fixed {
+		cfg.Pipeline.MinRounds = 13
+	}
+	study, err := RunStudy(context.Background(), cfg)
+	if err != nil {
+		b.Fatalf("seed %d fixed=%v: %v", seed, fixed, err)
+	}
+	return study
+}
+
+// BenchmarkAdaptiveStudy measures the adaptive gate's fetch-traffic
+// savings: each iteration runs the same seeded study twice — once with
+// the gate live, once forced through the full 12-round budget — and the
+// reported frames_saved_x is the fixed arm's frame count over the
+// adaptive arm's. cmd/benchguard gates that ratio against
+// BENCH_BASELINE.json (≥ 1.5× required): the adaptive crawl must keep
+// fetching at least a third less than the fixed crawl, on top of the
+// equal-spikes contract TestAdaptiveMatchesFixedRoundsAcrossSeeds pins.
+// frames_fetched and rounds_avg report the adaptive arm's absolute cost
+// per study for trend-watching; the ratio is the CI gate because it is
+// robust to machine speed and scenario tweaks in a way raw counts are
+// not.
+func BenchmarkAdaptiveStudy(b *testing.B) {
+	states := []geo.State{"TX", "WY", "CA"}
+	var framesAdaptive, framesFixed uint64
+	rounds := 0
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		seed := int64(n%8 + 1)
+		adaptive := benchStudy(b, seed, states, false)
+		fixedRun := benchStudy(b, seed, states, true)
+		framesAdaptive += adaptive.TotalFrames()
+		framesFixed += fixedRun.TotalFrames()
+		for _, res := range adaptive.Results {
+			rounds += res.Rounds
+		}
+	}
+	b.StopTimer()
+	if framesAdaptive > 0 {
+		b.ReportMetric(float64(framesFixed)/float64(framesAdaptive), "frames_saved_x")
+		b.ReportMetric(float64(framesAdaptive)/float64(b.N), "frames_fetched")
+		b.ReportMetric(float64(rounds)/float64(b.N*len(states)), "rounds_avg")
+	}
+}

@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"sift/internal/core"
+	"sift/internal/geo"
+)
+
+// adaptiveArm runs one small study with the adaptive stages (variance-
+// weighted merge, anchor calibration, keyed sampling). fixed disables the
+// convergence gate by demanding more rounds than MaxRounds allows, so the
+// arm always spends the full round budget — the pre-adaptive baseline,
+// but with bit-identical per-round samples to the adaptive arm thanks to
+// keyed sampling.
+func adaptiveArm(t *testing.T, seed int64, states []geo.State, fixed bool) *Study {
+	t.Helper()
+	cfg := StudyConfig{
+		Seed:           seed,
+		Start:          time.Date(2021, 1, 1, 0, 0, 0, 0, time.UTC),
+		End:            time.Date(2021, 3, 1, 0, 0, 0, 0, time.UTC),
+		States:         states,
+		SkipAnnotation: true,
+		SkipAnt:        true,
+		Pipeline: core.PipelineConfig{
+			Adaptive:  true,
+			MaxRounds: 12,
+		},
+	}
+	if fixed {
+		// MinRounds above MaxRounds: the convergence gate never fires and
+		// every state crawls all 12 rounds.
+		cfg.Pipeline.MinRounds = 13
+	}
+	study, err := RunStudy(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("seed %d fixed=%v: %v", seed, fixed, err)
+	}
+	return study
+}
+
+// TestAdaptiveMatchesFixedRoundsAcrossSeeds is the adaptive crawl's
+// correctness contract: across 20 seeds, stopping at the adaptive gate
+// yields exactly the spike sets (tolerance zero) a fixed 12-round crawl
+// finds, while fetching strictly fewer frames. Keyed sampling makes the
+// comparison exact — the adaptive arm's rounds 1..k are bit-identical to
+// the fixed arm's first k rounds, so any divergence is the gate stopping
+// too early, not sampling noise.
+func TestAdaptiveMatchesFixedRoundsAcrossSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("20-seed study comparison is slow")
+	}
+	states := []geo.State{"TX", "WY", "CA"}
+	var framesAdaptive, framesFixed uint64
+	roundsAdaptive := 0
+	for seed := int64(1); seed <= 20; seed++ {
+		adaptive := adaptiveArm(t, seed, states, false)
+		fixedRun := adaptiveArm(t, seed, states, true)
+		for _, st := range states {
+			a, f := adaptive.Results[st], fixedRun.Results[st]
+			if !core.SpikeSetsEqual(a.Spikes, f.Spikes, 0) {
+				t.Errorf("seed %d %s: adaptive spikes (stopped at round %d) differ from fixed 12-round spikes (%d vs %d)",
+					seed, st, a.Rounds, len(a.Spikes), len(f.Spikes))
+			}
+			if a.Rounds >= 12 {
+				continue
+			}
+			if a.RoundsSaved != 12-a.Rounds {
+				t.Errorf("seed %d %s: RoundsSaved=%d, want %d", seed, st, a.RoundsSaved, 12-a.Rounds)
+			}
+			if len(a.CITrajectory) != a.Rounds {
+				t.Errorf("seed %d %s: CI trajectory has %d entries over %d rounds", seed, st, len(a.CITrajectory), a.Rounds)
+			}
+		}
+		if af, ff := adaptive.TotalFrames(), fixedRun.TotalFrames(); af >= ff {
+			t.Errorf("seed %d: adaptive fetched %d frames, fixed fetched %d — want strictly fewer", seed, af, ff)
+		} else {
+			framesAdaptive += af
+			framesFixed += ff
+		}
+		for _, res := range adaptive.Results {
+			roundsAdaptive += res.Rounds
+		}
+	}
+	if framesAdaptive > 0 {
+		t.Logf("frames: adaptive %d, fixed %d (%.2fx reduction); adaptive rounds avg %.1f",
+			framesAdaptive, framesFixed, float64(framesFixed)/float64(framesAdaptive),
+			float64(roundsAdaptive)/float64(20*len(states)))
+	}
+}
+
+// TestAdaptiveAnchoredPlanFullyAnchored is the anchor-calibration
+// contract: on an anchored plan every stitch seam is joined by the
+// anchor's scale, so no seam ever falls back to the unanchored ratio-1
+// guess — even where the overlap carries no signal.
+func TestAdaptiveAnchoredPlanFullyAnchored(t *testing.T) {
+	study := adaptiveArm(t, 3, []geo.State{"TX", "WY"}, false)
+	for st, res := range study.Results {
+		if res.UnanchoredStitches != 0 {
+			t.Errorf("%s: %d unanchored stitches on an anchored plan, want 0", st, res.UnanchoredStitches)
+		}
+		if res.AnchorRescales == 0 {
+			t.Errorf("%s: no anchor-rescaled seams — calibration never engaged", st)
+		}
+		h := study.Health[st]
+		if h.AnchorRescales != res.AnchorRescales || h.RoundsSaved != res.RoundsSaved {
+			t.Errorf("%s: health record out of sync with result", st)
+		}
+	}
+}
+
+// TestStudyWorkerCountInvariance pins the other dividend of keyed
+// sampling: because every frame's draw is addressed by (request, round)
+// instead of the global request ordinal, the goroutine schedule cannot
+// reach the data. A seeded study must produce the identical spike set at
+// any worker count — under ordinal sampling this was false, and the
+// full-library shape tests flaked with the scheduler.
+func TestStudyWorkerCountInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("worker invariance skipped in -short mode")
+	}
+	run := func(workers int) *Study {
+		s, err := RunStudy(context.Background(), StudyConfig{
+			Seed:           3,
+			Start:          time.Date(2021, 2, 1, 0, 0, 0, 0, time.UTC),
+			End:            time.Date(2021, 3, 15, 0, 0, 0, 0, time.UTC),
+			States:         []geo.State{"TX", "OK", "LA"},
+			StateWorkers:   workers,
+			Pipeline:       core.PipelineConfig{Workers: workers},
+			SkipAnnotation: true,
+			SkipAnt:        true,
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return s
+	}
+	serial, racy := run(1), run(6)
+	if len(serial.Spikes) != len(racy.Spikes) {
+		t.Fatalf("worker count changed the data: %d vs %d spikes",
+			len(serial.Spikes), len(racy.Spikes))
+	}
+	for i := range serial.Spikes {
+		a, b := serial.Spikes[i], racy.Spikes[i]
+		if a.State != b.State || !a.Start.Equal(b.Start) || !a.End.Equal(b.End) ||
+			!a.Peak.Equal(b.Peak) || a.Magnitude != b.Magnitude {
+			t.Fatalf("spike %d differs across worker counts: %+v vs %+v", i, a, b)
+		}
+	}
+	if serial.TotalFrames() != racy.TotalFrames() {
+		t.Errorf("frame counts differ: %d vs %d", serial.TotalFrames(), racy.TotalFrames())
+	}
+}

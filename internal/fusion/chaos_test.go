@@ -37,10 +37,14 @@ func TestChaosRateLimitStormFallsBack(t *testing.T) {
 	from, to := e2eT0, e2eT0.Add(2*7*24*time.Hour)
 	det := core.Detector{MinMagnitude: 5}
 
-	// Fault-free reference: plain Trends crawl.
+	// Fault-free reference: plain Trends crawl. The similarity gate alone
+	// can stop this tiny two-frame study after three rounds, and a
+	// privacy-threshold flicker hour can survive so thin an average as a
+	// spurious one-hour spike; a floor of six rounds keeps the reference
+	// spike set to the scripted storm the pageviews arm must reproduce.
 	model := searchmodel.New(13, tl, searchmodel.Params{})
 	fetcher := gtrends.EngineFetcher{Engine: gtrends.NewEngine(model, gtrends.Config{})}
-	ref, err := (&core.Pipeline{Fetcher: fetcher, Cfg: core.PipelineConfig{Detector: det}}).
+	ref, err := (&core.Pipeline{Fetcher: fetcher, Cfg: core.PipelineConfig{Detector: det, MinRounds: 6}}).
 		Run(context.Background(), "TX", gtrends.TopicInternetOutage, from, to)
 	if err != nil {
 		t.Fatal(err)

@@ -284,6 +284,9 @@ func (c *Client) requestURL(req gtrends.FrameRequest) (string, error) {
 	if req.WithRising {
 		q.Set("rising", "1")
 	}
+	if req.Anchor != "" {
+		q.Set("anchor", req.Anchor)
+	}
 	return c.BaseURL + "/api/trends?" + q.Encode(), nil
 }
 

@@ -20,6 +20,7 @@ package gtrends
 import (
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"sort"
 	"sync/atomic"
 	"time"
@@ -99,6 +100,14 @@ type FrameRequest struct {
 	Hours int
 	// WithRising requests rising-term suggestions alongside the frame.
 	WithRising bool
+	// Anchor, when non-empty, asks for calibration against the named
+	// anchor query: the response additionally reports the window's own
+	// scale expressed in anchor units (Frame.AnchorScale), derived from
+	// the same sample draw — the single-request analogue of a Trends
+	// multi-term comparison against a steady evergreen query. The target
+	// Points are unaffected; an unanchored and an anchored request for
+	// the same window index identically.
+	Anchor string
 }
 
 // RisingTerm is one suggested related query and its weight — the percent
@@ -121,6 +130,19 @@ type Frame struct {
 	Start  time.Time    `json:"start"`
 	Points []int        `json:"points"`
 	Rising []RisingTerm `json:"rising,omitempty"`
+	// Anchored reports that the request named an anchor query and the
+	// anchor's sampled volume survived the privacy threshold somewhere in
+	// the window, so AnchorScale is meaningful.
+	Anchored bool `json:"anchored,omitempty"`
+	// AnchorScale is the window's own normalization scale expressed in
+	// anchor units: the window's maximum target proportion divided by the
+	// window's mean anchor proportion. Because the anchor's true level is
+	// stable week over week, multiplying a frame's 0–100 points by its
+	// AnchorScale puts every window of a crawl on one common scale — the
+	// calibration that replaces pairwise overlap-ratio stitching. Zero
+	// when the target window carried no signal at all (the frame is all
+	// zeros, so its scale is moot).
+	AnchorScale float64 `json:"anchor_scale,omitempty"`
 }
 
 // End returns the instant just past the frame's last hour.
@@ -211,10 +233,62 @@ func (e *Engine) fetchKeyed(req FrameRequest, key uint64) (*Frame, error) {
 	}
 
 	frame := &Frame{Term: req.Term, State: req.State, Start: start, Points: indexPoints(proportions)}
+	if req.Anchor != "" {
+		frame.Anchored, frame.AnchorScale = e.anchorScale(req, key, proportions)
+	}
 	if req.WithRising {
 		frame.Rising = e.rising(key, req.State, start, req.Hours)
 	}
 	return frame, nil
+}
+
+// anchorScale samples the anchor query over the request window under the
+// same sample key and reports the window's scale in anchor units: the
+// maximum target proportion over the mean anchor proportion. The mean —
+// not the max — keeps the anchor side stable: a week-long window always
+// covers the same diurnal composition, so the anchor mean varies only
+// within sampling error while an extreme order statistic would not.
+func (e *Engine) anchorScale(req FrameRequest, key uint64, target []float64) (anchored bool, scale float64) {
+	start := req.Start.UTC()
+	sum := 0.0
+	for i := 0; i < req.Hours; i++ {
+		at := start.Add(time.Duration(i) * time.Hour)
+		truth := e.truthCount(req.Anchor, req.State, at)
+		c := e.model.SampleCount(truth, e.cfg.SampleRate, key, req.State, at, req.Anchor)
+		if c < e.cfg.PrivacyThreshold {
+			c = 0
+		}
+		sampleSize := e.cfg.SampleRate * e.model.TotalVolume(req.State, at)
+		if sampleSize > 0 {
+			sum += float64(c) / sampleSize
+		}
+	}
+	mean := sum / float64(req.Hours)
+	if mean <= 0 {
+		return false, 0
+	}
+	max, _, err := stats.Max(target)
+	if err != nil || max <= 0 {
+		return true, 0
+	}
+	return true, max / mean
+}
+
+// DefaultAnchorTerm is the calibration anchor the engine's search
+// database models as a steady high-volume evergreen query.
+const DefaultAnchorTerm = searchmodel.AnchorTerm
+
+// SampleKey derives the deterministic sample key for a (request, round)
+// pair: a pure function of the request coordinate, so any fetcher
+// executing the same planned fetch — whatever ran in between, at any
+// worker count — draws the same sample. The round stays in the key, so
+// round averaging keeps its independent draws. This is the pipeline-side
+// analogue of the crawl plane's unit sample keys.
+func SampleKey(req FrameRequest, round int) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "sample|%s|%s|%d|%d|%d|%t|%s",
+		req.Term, req.State, req.Start.UTC().Unix(), req.Hours, round, req.WithRising, req.Anchor)
+	return h.Sum64()
 }
 
 // truthCount returns the fixed ground-truth search count for the term at

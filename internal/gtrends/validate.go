@@ -3,6 +3,7 @@ package gtrends
 import (
 	"errors"
 	"fmt"
+	"math"
 )
 
 // ErrCorruptFrame marks a response that violates the Trends frame
@@ -28,6 +29,12 @@ func ValidateFrame(f *Frame, req FrameRequest) error {
 	}
 	if !f.Start.Equal(req.Start.UTC()) {
 		return fmt.Errorf("%w: window starts %v, want %v", ErrCorruptFrame, f.Start, req.Start.UTC())
+	}
+	if f.AnchorScale < 0 || math.IsNaN(f.AnchorScale) || math.IsInf(f.AnchorScale, 0) {
+		return fmt.Errorf("%w: anchor scale %v not a finite non-negative number", ErrCorruptFrame, f.AnchorScale)
+	}
+	if f.Anchored && req.Anchor == "" {
+		return fmt.Errorf("%w: anchored response to an unanchored request", ErrCorruptFrame)
 	}
 	return nil
 }

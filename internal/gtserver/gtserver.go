@@ -314,5 +314,6 @@ func parseTrendsQuery(r *http.Request) (gtrends.FrameRequest, error) {
 	req.Hours = hours
 
 	req.WithRising = q.Get("rising") == "1" || q.Get("rising") == "true"
+	req.Anchor = q.Get("anchor")
 	return req, nil
 }

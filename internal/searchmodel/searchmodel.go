@@ -33,7 +33,22 @@ type Params struct {
 	// chatter terms ("internet speed test"), giving rising-term percent
 	// increases a denominator. Default 0.8.
 	TermBaselinePerTenMillion float64
+	// AnchorPerTenMillion is the hourly volume of the calibration anchor
+	// query (AnchorTerm) per ten million inhabitants at diurnal 1. The
+	// anchor models a high-volume, outage-independent evergreen query
+	// ("weather") whose level is stable week over week — the property
+	// anchor-based calibration leans on. Default 400: large enough that
+	// even the smallest state's sampled anchor counts survive the privacy
+	// threshold, which is what keeps every window anchorable.
+	AnchorPerTenMillion float64
 }
+
+// AnchorTerm is the calibration anchor query: a steady, high-volume,
+// outage-independent search whose week-over-week level is stable, so a
+// frame's scale expressed in anchor units is comparable across windows
+// (West's "Calibration of Google Trends" anchoring, collapsed to a single
+// pre-chained anchor).
+const AnchorTerm = "weather"
 
 func (p *Params) fillDefaults() {
 	if p.BaselinePerTenMillion == 0 {
@@ -44,6 +59,9 @@ func (p *Params) fillDefaults() {
 	}
 	if p.TermBaselinePerTenMillion == 0 {
 		p.TermBaselinePerTenMillion = 0.8
+	}
+	if p.AnchorPerTenMillion == 0 {
+		p.AnchorPerTenMillion = 400
 	}
 }
 
@@ -172,6 +190,12 @@ func EvergreenTerms() []string {
 func (m *Model) TermRate(term string, st geo.State, t time.Time) float64 {
 	lh := geo.LocalHour(st, t)
 	rate := 0.0
+	if term == AnchorTerm {
+		// The anchor is pure evergreen traffic: no event ever carries it,
+		// so its rate is independent of the outage timeline by
+		// construction.
+		return m.params.AnchorPerTenMillion * volScale(st) * Diurnal(lh)
+	}
 	for _, ev := range evergreenTerms {
 		if ev == term {
 			rate = m.params.TermBaselinePerTenMillion * volScale(st) * Diurnal(lh)

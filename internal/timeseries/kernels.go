@@ -290,3 +290,115 @@ func (sb *StitchBuffer) StitchCounted(prefix *Series, frames []*Series, est Rati
 	copy(vals, sb.buf[:n])
 	return &Series{start: accStart, values: vals}, unanchored, nil
 }
+
+// allZero reports whether every value is exactly zero.
+func allZero(values []float64) bool {
+	for _, v := range values {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// StitchCalibrated folds frames onto prefix like StitchCounted, but
+// frames that know their own scale in anchor units (scales[i] > 0, from a
+// calibrated fetch) are rescaled directly onto the accumulation's scale
+// instead of estimating each seam from its overlap. The fold maintains
+// the factor g mapping anchor units onto accumulation units: the first
+// frame that ties the two (a wholesale adoption, or an overlap-estimated
+// seam whose frame is anchored) establishes g, and every later anchored
+// frame joins at ratio g·scaleᵢ — no overlap signal required, which is
+// what drives the unanchored-seam count to zero on anchored plans. Frames
+// without a usable scale fall back to the overlap estimator exactly as
+// StitchCounted does. All-zero frames are vacuous: zeros join at any
+// scale, so they neither consume an unanchored count nor perturb g.
+//
+// scales must have one entry per frame; NaN or non-positive entries mean
+// "no anchor scale". rescaled counts the seams joined by pure
+// calibration. The returned series owns a fresh copy of the result.
+func (sb *StitchBuffer) StitchCalibrated(prefix *Series, frames []*Series, scales []float64, est RatioEstimator) (s *Series, unanchored, rescaled int, err error) {
+	if len(scales) != len(frames) {
+		return nil, 0, 0, ErrShape
+	}
+	if prefix == nil && len(frames) == 0 {
+		return nil, 0, 0, ErrEmpty
+	}
+	var accStart time.Time
+	n := 0
+	accAllZero := true
+	if prefix != nil {
+		accStart = prefix.start
+		n = prefix.Len()
+		sb.grow(n)
+		copy(sb.buf, prefix.values)
+		accAllZero = allZero(prefix.values)
+	}
+	g := 0.0 // accumulation units per anchor unit; 0 = not yet established
+	for k, f := range frames {
+		scale := scales[k]
+		if scale != scale || scale < 0 { // NaN or negative: no anchor
+			scale = 0
+		}
+		if n == 0 {
+			// Empty accumulation: the frame is adopted wholesale, trivially
+			// anchored; if it knows its anchor scale, it fixes g for the
+			// whole fold.
+			accStart = f.start
+			n = f.Len()
+			sb.grow(n)
+			copy(sb.buf, f.values)
+			if scale > 0 {
+				g = 1 / scale
+			}
+			accAllZero = accAllZero && allZero(f.values)
+			continue
+		}
+		if f.start.Before(accStart) {
+			return nil, unanchored, rescaled, ErrOrder
+		}
+		fZero := allZero(f.values)
+		ratio := 1.0
+		switch {
+		case fZero:
+			// Vacuous: appending zeros is scale-free.
+		case accAllZero:
+			// Nothing but silence so far: the frame restarts the scale
+			// exactly like a wholesale adoption would.
+			if scale > 0 {
+				g = 1 / scale
+			}
+			accAllZero = false
+		case g > 0 && scale > 0:
+			ratio = g * scale
+			rescaled++
+		default:
+			var anchored bool
+			ratio, anchored, err = overlapRatioRaw(accStart, sb.buf[:n], f, est)
+			if err != nil {
+				return nil, unanchored, rescaled, err
+			}
+			if !anchored {
+				unanchored++
+			} else if scale > 0 {
+				// The overlap tied the accumulation's scale to this frame's
+				// own, and the frame knows its own scale in anchor units:
+				// from here on anchored frames calibrate directly.
+				g = ratio / scale
+			}
+		}
+		accEnd := accStart.Add(time.Duration(n) * Step)
+		if f.End().After(accEnd) {
+			j0 := int(accEnd.Sub(f.start) / Step)
+			add := f.Len() - j0
+			sb.grow(n + add)
+			for j := j0; j < len(f.values); j++ {
+				sb.buf[n+j-j0] = f.values[j] * ratio
+			}
+			n += add
+		}
+	}
+	vals := make([]float64, n)
+	copy(vals, sb.buf[:n])
+	return &Series{start: accStart, values: vals}, unanchored, rescaled, nil
+}

@@ -1,0 +1,131 @@
+package timeseries
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// calibFixture builds two overlapping 168h frames from one ground-truth
+// series, each normalized to its own window max (the Trends piecewise
+// destruction of scale), with the overlap region [144, 168) carrying no
+// signal — the case the pairwise overlap estimator cannot anchor. scaleOf
+// is each window's max expressed in "anchor units" (anchor level 1).
+func calibFixture(t *testing.T) (frames []*Series, scales []float64, truth []float64) {
+	t.Helper()
+	start := time.Date(2020, 5, 1, 0, 0, 0, 0, time.UTC)
+	truth = make([]float64, 312)
+	truth[50] = 40  // window-1 signal
+	truth[250] = 80 // window-2 signal, twice as strong
+	norm := func(lo, hi int) (*Series, float64) {
+		max := 0.0
+		for _, v := range truth[lo:hi] {
+			if v > max {
+				max = v
+			}
+		}
+		vals := make([]float64, hi-lo)
+		for i, v := range truth[lo:hi] {
+			vals[i] = v / max * 100
+		}
+		return MustNew(start.Add(time.Duration(lo)*time.Hour), vals), max
+	}
+	f1, m1 := norm(0, 168)
+	f2, m2 := norm(144, 312)
+	return []*Series{f1, f2}, []float64{m1, m2}, truth
+}
+
+func TestStitchCalibratedRecoversScaleAcrossSilentOverlap(t *testing.T) {
+	frames, scales, truth := calibFixture(t)
+	sb := NewStitchBuffer(nil)
+	defer sb.Release()
+
+	// The plain overlap fold cannot anchor the silent seam: ratio-1
+	// fallback, wrong relative scale.
+	plain, unanchored, err := sb.StitchCounted(nil, frames, RatioOfMeans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unanchored != 1 {
+		t.Fatalf("plain fold: %d unanchored seams, want 1", unanchored)
+	}
+	if r := plain.AtIndex(250) / plain.AtIndex(50); math.Abs(r-2) < 0.01 {
+		t.Fatalf("plain fold accidentally recovered the true ratio %v — fixture broken", r)
+	}
+
+	got, unanchored, rescaled, err := sb.StitchCalibrated(nil, frames, scales, RatioOfMeans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unanchored != 0 {
+		t.Fatalf("calibrated fold: %d unanchored seams, want 0", unanchored)
+	}
+	if rescaled != 1 {
+		t.Fatalf("calibrated fold: %d rescaled seams, want 1", rescaled)
+	}
+	// Relative scale must match ground truth: hour 250 is twice hour 50.
+	if r := got.AtIndex(250) / got.AtIndex(50); math.Abs(r-2) > 1e-9 {
+		t.Fatalf("calibrated ratio %v, want 2", r)
+	}
+	_ = truth
+}
+
+func TestStitchCalibratedNoScalesMatchesStitchCounted(t *testing.T) {
+	frames, _, _ := calibFixture(t)
+	nan := []float64{math.NaN(), math.NaN()}
+	sb := NewStitchBuffer(nil)
+	defer sb.Release()
+	want, wantUn, err := sb.StitchCounted(nil, frames, RatioOfMeans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, gotUn, rescaled, err := sb.StitchCalibrated(nil, frames, nan, RatioOfMeans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rescaled != 0 {
+		t.Fatalf("rescaled %d seams without scales", rescaled)
+	}
+	if gotUn != wantUn {
+		t.Fatalf("unanchored %d, want %d", gotUn, wantUn)
+	}
+	if !got.Equal(want) {
+		t.Fatal("scale-free calibrated fold differs from StitchCounted")
+	}
+}
+
+func TestStitchCalibratedZeroFrameIsVacuous(t *testing.T) {
+	start := time.Date(2020, 5, 1, 0, 0, 0, 0, time.UTC)
+	f1 := MustNew(start, make([]float64, 168))
+	v2 := make([]float64, 168)
+	v2[100] = 100
+	f2 := MustNew(start.Add(144*time.Hour), v2)
+	v3 := make([]float64, 168)
+	v3[60] = 50
+	f3 := MustNew(start.Add(288*time.Hour), v3)
+	sb := NewStitchBuffer(nil)
+	defer sb.Release()
+	// Window scales in anchor units: silent window scale 0 (unknowable),
+	// then 10 and 5 — hour 388 must come out half of hour 244.
+	got, unanchored, rescaled, err := sb.StitchCalibrated(nil, []*Series{f1, f2, f3}, []float64{0, 10, 5}, RatioOfMeans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unanchored != 0 {
+		t.Fatalf("%d unanchored seams, want 0: a leading silent window is vacuous", unanchored)
+	}
+	if rescaled != 1 {
+		t.Fatalf("rescaled %d, want 1 (f3 joined by calibration)", rescaled)
+	}
+	i2, err := got.Index(f2.Start().Add(100 * time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	i3, err := got.Index(f3.Start().Add(60 * time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := got.AtIndex(i3) / got.AtIndex(i2); math.Abs(r-0.25) > 1e-9 {
+		t.Fatalf("relative scale %v, want 0.25 (50·5 vs 100·10 in anchor units)", r)
+	}
+}
