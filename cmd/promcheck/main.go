@@ -6,17 +6,22 @@
 //
 // Usage:
 //
-//	promcheck [-min-families N] <url>
+//	promcheck [-min-families N] [-require a,b,c] <url>
 //
-// Exits 0 when the exposition parses and contains at least N metric
-// families (default 1); prints the parse error and exits 1 otherwise.
+// Exits 0 when the exposition parses, contains at least N metric
+// families (default 1), and exposes every family named in -require;
+// prints the failure and exits 1 otherwise.
 package main
 
 import (
+	"bufio"
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"sift/internal/obs"
@@ -24,18 +29,19 @@ import (
 
 func main() {
 	minFamilies := flag.Int("min-families", 1, "fail unless at least this many metric families are exposed")
+	require := flag.String("require", "", "comma-separated family names that must be present")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: promcheck [-min-families N] <url>")
+		fmt.Fprintln(os.Stderr, "usage: promcheck [-min-families N] [-require a,b,c] <url>")
 		os.Exit(2)
 	}
-	if err := check(flag.Arg(0), *minFamilies); err != nil {
+	if err := check(flag.Arg(0), *minFamilies, *require); err != nil {
 		fmt.Fprintln(os.Stderr, "promcheck:", err)
 		os.Exit(1)
 	}
 }
 
-func check(url string, minFamilies int) error {
+func check(url string, minFamilies int, require string) error {
 	client := &http.Client{Timeout: 10 * time.Second}
 	resp, err := client.Get(url)
 	if err != nil {
@@ -45,13 +51,40 @@ func check(url string, minFamilies int) error {
 	if resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("%s: status %d", url, resp.StatusCode)
 	}
-	families, samples, err := obs.ParseExposition(resp.Body)
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	families, samples, err := obs.ParseExposition(bytes.NewReader(body))
 	if err != nil {
 		return fmt.Errorf("%s: invalid exposition: %w", url, err)
 	}
 	if families < minFamilies {
 		return fmt.Errorf("%s: %d metric families, want at least %d", url, families, minFamilies)
 	}
+	if require != "" {
+		present := familyNames(body)
+		for _, want := range strings.Split(require, ",") {
+			want = strings.TrimSpace(want)
+			if want != "" && !present[want] {
+				return fmt.Errorf("%s: required family %q not exposed", url, want)
+			}
+		}
+	}
 	fmt.Printf("ok: %d families, %d samples\n", families, samples)
 	return nil
+}
+
+// familyNames collects the names declared by # TYPE lines.
+func familyNames(body []byte) map[string]bool {
+	out := make(map[string]bool)
+	sc := bufio.NewScanner(bytes.NewReader(body))
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) >= 3 && fields[0] == "#" && fields[1] == "TYPE" {
+			out[fields[2]] = true
+		}
+	}
+	return out
 }

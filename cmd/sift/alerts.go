@@ -1,0 +1,96 @@
+package main
+
+// sift alerts: one-shot SLO evaluation against a -metrics-out snapshot
+// file, for postmortems and CI gates — the offline counterpart of the
+// live engine siftd -slo runs. With a single snapshot only instant
+// (gauge) rules can evaluate; add -prev (an earlier snapshot of the
+// same process) and -interval to give windowed rules a baseline.
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"sift/internal/obs"
+	"sift/internal/slo"
+)
+
+func cmdAlerts(args []string) error {
+	fs := flag.NewFlagSet("alerts", flag.ContinueOnError)
+	metrics := fs.String("metrics", "", "JSON metrics snapshot to evaluate (required; from -metrics-out)")
+	prev := fs.String("prev", "", "earlier snapshot of the same process, enabling windowed rules")
+	interval := fs.Duration("interval", 5*time.Minute, "wall time between -prev and -metrics")
+	compress := fs.Float64("compress", 1, "divide every rule duration by this factor before evaluating")
+	failOnBreach := fs.Bool("fail-on-breach", false, "exit 1 if any rule is breaching")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *metrics == "" {
+		return fmt.Errorf("alerts: -metrics is required")
+	}
+	intervalSet := false
+	fs.Visit(func(f *flag.Flag) { intervalSet = intervalSet || f.Name == "interval" })
+	if *prev == "" && intervalSet {
+		return fmt.Errorf("alerts: -interval without -prev has nothing to space")
+	}
+	if *interval <= 0 {
+		return fmt.Errorf("alerts: -interval must be positive")
+	}
+	if *compress < 1 {
+		return fmt.Errorf("alerts: -compress must be >= 1")
+	}
+
+	cur, err := obs.LoadSnapshot(*metrics)
+	if err != nil {
+		return err
+	}
+	rules := slo.DefaultRules()
+	if *compress > 1 {
+		rules = slo.Compress(rules, *compress)
+	}
+	// The engine's own sift_slo_* families land in a throwaway registry
+	// so a one-shot evaluation never pollutes the process default.
+	now := time.Now().UTC()
+	eng, err := slo.New(slo.Config{
+		Rules:   rules,
+		Metrics: obs.NewRegistry(),
+		Now:     func() time.Time { return now },
+	})
+	if err != nil {
+		return err
+	}
+	defer eng.Close()
+	if *prev != "" {
+		base, err := obs.LoadSnapshot(*prev)
+		if err != nil {
+			return err
+		}
+		eng.EvalAt(now.Add(-*interval), base)
+	}
+	eng.EvalAt(now, cur)
+
+	breaching := 0
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "RULE\tSEVERITY\tSTATUS\tVALUE\tTHRESHOLD")
+	for _, a := range eng.Alerts() {
+		status := "ok"
+		switch {
+		case !a.HaveData:
+			status = "no data"
+		case a.Breaching:
+			status = "BREACH"
+			breaching++
+		}
+		fmt.Fprintf(w, "%s\t%s\t%s\t%.4g\t%.4g\n", a.Rule, a.Severity, status, a.Value, a.Threshold)
+	}
+	w.Flush()
+	if breaching > 0 {
+		fmt.Printf("%d of %d rules breaching\n", breaching, len(rules))
+		if *failOnBreach {
+			os.Exit(1)
+		}
+	}
+	return nil
+}

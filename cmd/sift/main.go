@@ -18,6 +18,11 @@
 //	    Run every table and figure of the paper's evaluation and print
 //	    (or write) the paper-vs-measured report.
 //
+//	sift alerts -metrics snap.json [-prev earlier.json -interval 5m]
+//	    Evaluate the default SLO rule pack against a -metrics-out
+//	    snapshot: the offline counterpart of siftd -slo, for postmortems
+//	    and CI gates. -fail-on-breach exits 1 when any rule breaches.
+//
 // Common flags: -seed, -from, -to, -server, -fetchers.
 package main
 
@@ -46,6 +51,7 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	obs.RegisterBuildInfo(obs.Default())
 	var err error
 	switch os.Args[1] {
 	case "detect":
@@ -54,6 +60,8 @@ func main() {
 		err = cmdStudy(os.Args[2:])
 	case "experiments":
 		err = cmdExperiments(os.Args[2:])
+	case "alerts":
+		err = cmdAlerts(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -74,6 +82,7 @@ subcommands:
   detect       detect spikes for one state over a time range
   study        run the full two-year, 51-state study
   experiments  reproduce every table and figure of the evaluation
+  alerts       evaluate the SLO rule pack against a metrics snapshot
 
 run "sift <subcommand> -h" for flags`)
 }

@@ -17,7 +17,7 @@ func TestParseFlagsDefaults(t *testing.T) {
 	if o.start != "2020-01-01" || o.end != "2022-01-01" {
 		t.Errorf("window defaults = %q..%q", o.start, o.end)
 	}
-	if o.faultSpec != "off" || o.record != "" || o.metricsAddr != "" || o.traceOut != "" {
+	if o.faultSpec != "off" || o.record != "" || o.metricsAddr != "" || o.traceOut != "" || o.traceCap != 0 {
 		t.Errorf("optional-feature defaults = %+v", o)
 	}
 	if o.archive {
@@ -36,6 +36,22 @@ func TestParseFlagsDefaults(t *testing.T) {
 	}
 	if o.sources != "gt" || o.fusionScore {
 		t.Errorf("fusion defaults = %+v", o)
+	}
+	if o.slo || o.sloEvery != 15*time.Second || o.sloCompress != 1 {
+		t.Errorf("slo defaults = %+v", o)
+	}
+}
+
+func TestParseFlagsSLO(t *testing.T) {
+	o, err := parseFlags([]string{
+		"-slo", "-metrics-addr", ":9100",
+		"-slo-every", "2s", "-slo-compress", "60",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.slo || o.sloEvery != 2*time.Second || o.sloCompress != 60 {
+		t.Errorf("slo overrides = %+v", o)
 	}
 }
 
@@ -122,6 +138,11 @@ func TestParseFlagsRejects(t *testing.T) {
 		{"fallback sources without archive", []string{"-sources", "gt,pageviews"}, "-archive"},
 		{"fallback sources with crawl plane", []string{"-archive", "-metrics-addr", ":9100", "-sources", "gt,pageviews", "-crawl-workers", "2"}, "-crawl-workers"},
 		{"fusion without archive", []string{"-fusion"}, "-archive"},
+		{"negative trace capacity", []string{"-trace-capacity", "-1"}, "-trace-capacity"},
+		{"slo without metrics", []string{"-slo"}, "-metrics-addr"},
+		{"zero slo cadence", []string{"-slo", "-metrics-addr", ":9100", "-slo-every", "0s"}, "-slo-every"},
+		{"fractional slo compress", []string{"-slo", "-metrics-addr", ":9100", "-slo-compress", "0.5"}, "-slo-compress"},
+		{"slo compress without slo", []string{"-slo-compress", "60"}, "-slo"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -34,6 +34,9 @@
 //	               with -archive — the /archive/ API; off when empty
 //	-trace-out   write the trace ring to this file on shutdown
 //	             (.jsonl or .json Chrome trace)
+//	-trace-capacity  completed-span ring size (0 = the trace default);
+//	                 raise it when rare spans — alert transitions, fault
+//	                 events — must survive a chatty crawl's span volume
 //
 //	-archive            run the continuous detection archiver
 //	-archive-every      wall-clock cadence of archiver rounds (default 5s)
@@ -59,6 +62,19 @@
 //	                   restart (off when empty)
 //	-plane-cache-size  per-worker frame-cache shard capacity in entries
 //	                   (0 = the engine default)
+//
+//	-slo           run the self-monitoring SLO engine over the live metrics
+//	               registry: the default rule pack (crawl-failure burn rate,
+//	               gap ratio, fetch p99, feed drops, lease steals, fusion
+//	               fallback ratio, write-behind drops, breaker state) drives
+//	               per-rule alerts exposed at /alerts (JSON; SSE with
+//	               ?stream=1) on the metrics listener, as sift_slo_* metric
+//	               families, and as slo.eval/slo.transition spans; requires
+//	               -metrics-addr
+//	-slo-every     evaluation interval (default 15s)
+//	-slo-compress  divide every rule duration (windows, for/clear holds) by
+//	               this factor — CI runs the full pending→firing→resolved
+//	               lifecycle in seconds instead of tens of minutes (1 = off)
 //
 //	-sources  archiver signal sources in fallback order: "gt" (default)
 //	          or "gt,pageviews" — the fused source serves crawls from
@@ -106,6 +122,7 @@ import (
 	"sift/internal/scenario"
 	"sift/internal/searchmodel"
 	"sift/internal/simworld"
+	"sift/internal/slo"
 	"sift/internal/store"
 	"sift/internal/trace"
 )
@@ -126,6 +143,7 @@ type options struct {
 	recordEvery time.Duration
 	metricsAddr string
 	traceOut    string
+	traceCap    int
 
 	archive          bool
 	archiveEvery     time.Duration
@@ -145,6 +163,10 @@ type options struct {
 
 	sources     string
 	fusionScore bool
+
+	slo         bool
+	sloEvery    time.Duration
+	sloCompress float64
 }
 
 // parseFlags parses args (without the program name) into options,
@@ -165,6 +187,7 @@ func parseFlags(args []string) (options, error) {
 	fs.DurationVar(&o.recordEvery, "record-every", time.Minute, "how often the record store is persisted")
 	fs.StringVar(&o.metricsAddr, "metrics-addr", "", "serve /metrics and /debug/pprof on this address (off when empty)")
 	fs.StringVar(&o.traceOut, "trace-out", "", "write the trace ring to this file on shutdown")
+	fs.IntVar(&o.traceCap, "trace-capacity", 0, "completed-span ring size (0 = default); raise when rare spans must survive a chatty crawl")
 	fs.BoolVar(&o.archive, "archive", false, "run the continuous detection archiver")
 	fs.DurationVar(&o.archiveEvery, "archive-every", 5*time.Second, "wall-clock cadence of archiver rounds")
 	fs.DurationVar(&o.archiveAdvance, "archive-advance", 24*time.Hour, "simulated time added per archiver round")
@@ -181,6 +204,9 @@ func parseFlags(args []string) (options, error) {
 	fs.IntVar(&o.planeCacheSize, "plane-cache-size", 0, "per-worker frame-cache shard capacity (0 = engine default)")
 	fs.StringVar(&o.sources, "sources", "gt", `archiver signal sources, in fallback order: "gt" or "gt,pageviews"`)
 	fs.BoolVar(&o.fusionScore, "fusion", false, "score archiver spikes against probing and pageviews corroboration")
+	fs.BoolVar(&o.slo, "slo", false, "run the self-monitoring SLO engine (alerts at /alerts on the metrics listener)")
+	fs.DurationVar(&o.sloEvery, "slo-every", 15*time.Second, "SLO evaluation interval")
+	fs.Float64Var(&o.sloCompress, "slo-compress", 1, "divide every SLO rule duration by this factor (1 = off)")
 	if err := fs.Parse(args); err != nil {
 		return o, err
 	}
@@ -230,6 +256,21 @@ func parseFlags(args []string) (options, error) {
 	}
 	if o.targetCI < 0 {
 		return o, errors.New("-target-ci must be >= 0")
+	}
+	if o.traceCap < 0 {
+		return o, errors.New("-trace-capacity must be >= 0")
+	}
+	if o.slo && o.metricsAddr == "" {
+		return o, errors.New("-slo requires -metrics-addr (the /alerts API mounts there)")
+	}
+	if o.slo && o.sloEvery <= 0 {
+		return o, errors.New("-slo-every must be positive")
+	}
+	if o.sloCompress < 1 {
+		return o, errors.New("-slo-compress must be >= 1")
+	}
+	if o.sloCompress > 1 && !o.slo {
+		return o, errors.New("-slo-compress needs -slo")
 	}
 	return o, nil
 }
@@ -295,6 +336,7 @@ func faultInjector(spec string, seed int64) (*faults.Injector, error) {
 }
 
 func run(opts options) error {
+	obs.RegisterBuildInfo(obs.Default())
 	from, err := time.Parse("2006-01-02", opts.start)
 	if err != nil {
 		return fmt.Errorf("bad -start: %v", err)
@@ -342,7 +384,7 @@ func run(opts options) error {
 	// listener's /debug/trace inspector or the -trace-out export.
 	var tracer *trace.Tracer
 	if opts.metricsAddr != "" || opts.traceOut != "" {
-		tracer = trace.New(trace.Config{})
+		tracer = trace.New(trace.Config{Capacity: opts.traceCap})
 		scfg.Tracer = tracer
 	}
 
@@ -379,8 +421,27 @@ func run(opts options) error {
 	var sup *archiver.Supervisor
 	var plane *crawlplane.Plane
 	var metricsSrv *http.Server
+	var sloEng *slo.Engine
 	if opts.metricsAddr != "" {
 		mux := metricsMux(tracer)
+		if opts.slo {
+			rules := slo.DefaultRules()
+			if opts.sloCompress > 1 {
+				rules = slo.Compress(rules, opts.sloCompress)
+			}
+			sloEng, err = slo.New(slo.Config{
+				Rules:  rules,
+				Tracer: tracer,
+				Every:  opts.sloEvery,
+			})
+			if err != nil {
+				return err
+			}
+			sloEng.AttachAPI(mux)
+			go sloEng.Run(ctx)
+			log.Printf("slo engine: %d rules every %v (compress %gx), alerts at /alerts",
+				len(rules), opts.sloEvery, opts.sloCompress)
+		}
 		if opts.archive && opts.crawlWorkers > 0 {
 			// The sharded crawl tier: the archiver's pipeline fetches
 			// through it instead of crawling inline, so windows survive a
@@ -423,9 +484,18 @@ func run(opts options) error {
 				},
 				Tracer: tracer,
 			}
+			if sloEng != nil {
+				acfg.AlertNames = sloEng.FiringNames
+			}
 			if plane != nil {
 				acfg.Fetcher = nil
 				acfg.Plane = plane
+			} else if injector != nil {
+				// The archiver crawls the engine in-process, bypassing the
+				// HTTP server's fault injection — wrap its fetcher so a
+				// -faults plan disturbs archiver crawls too (which is what
+				// the CI alert-lifecycle check leans on).
+				acfg.Fetcher = faults.Wrap(acfg.Fetcher, injector.Plan(), "archiver")
 			}
 			if opts.sources == "gt,pageviews" {
 				// Fused fetch tier: Trends primary with pageviews fallback,
@@ -488,6 +558,9 @@ func run(opts options) error {
 	log.Printf("shutting down")
 	if sup != nil {
 		sup.Close()
+	}
+	if sloEng != nil {
+		sloEng.Close()
 	}
 	if plane != nil {
 		drainCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)

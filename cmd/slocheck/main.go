@@ -1,0 +1,143 @@
+// Command slocheck validates the shipped SLO rule pack: first its
+// well-formedness (slo.ValidateRules over the default pack, compressed
+// and uncompressed), then — unless -lint-only — a synthetic end-to-end
+// drill that drives the pack's headline burn-rate rule through its full
+// pending → firing → resolved lifecycle against a private registry with
+// a synthetic clock. CI runs this after the live alert-lifecycle check
+// so a rule edit that can no longer fire fails the build even if the
+// live run happened to stay green.
+//
+// Usage:
+//
+//	slocheck [-lint-only]
+//
+// Exit status 0 when every check passes; 1 with a diagnostic otherwise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"sift/internal/obs"
+	"sift/internal/slo"
+)
+
+func main() {
+	lintOnly := flag.Bool("lint-only", false, "validate rule-pack well-formedness only, skip the firing drill")
+	flag.Parse()
+	if err := run(*lintOnly); err != nil {
+		fmt.Fprintln(os.Stderr, "slocheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(lintOnly bool) error {
+	pack := slo.DefaultRules()
+	if err := slo.ValidateRules(pack); err != nil {
+		return fmt.Errorf("default pack: %w", err)
+	}
+	for _, factor := range []float64{10, 60, 600} {
+		if err := slo.ValidateRules(slo.Compress(pack, factor)); err != nil {
+			return fmt.Errorf("pack compressed %gx: %w", factor, err)
+		}
+	}
+	fmt.Printf("ok: %d rules lint clean (and at 10x/60x/600x compression)\n", len(pack))
+	if lintOnly {
+		return nil
+	}
+	if err := firingDrill(); err != nil {
+		return err
+	}
+	fmt.Println("ok: archiver-crawl-failure completed pending → firing → resolved in the drill")
+	return nil
+}
+
+// firingDrill replays a crawl-failure storm against the compressed
+// default pack: healthy history, then sustained failures until the
+// burn-rate rule fires, then recovery until it resolves. Every eval
+// uses a synthetic clock, so the drill is deterministic and finishes in
+// milliseconds of wall time.
+func firingDrill() error {
+	const rule = "archiver-crawl-failure"
+	pack := slo.Compress(slo.DefaultRules(), 60)
+	reg := obs.NewRegistry()
+	now := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	every := 2 * time.Second
+	eng, err := slo.New(slo.Config{
+		Rules:   pack,
+		Metrics: reg,
+		Every:   every,
+		Now:     func() time.Time { return now },
+	})
+	if err != nil {
+		return err
+	}
+	defer eng.Close()
+	crawls := reg.CounterVec("sift_archiver_crawls_total", "per-task crawls by outcome", "outcome")
+
+	state := func() string {
+		for _, a := range eng.Alerts() {
+			if a.Rule == rule {
+				return a.State
+			}
+		}
+		return "absent"
+	}
+	step := func(outcome string, n float64) {
+		now = now.Add(every)
+		crawls.With(outcome).Add(n)
+		eng.EvalAt(now, reg.Snapshot())
+	}
+	waitFor := func(want, outcome string, n float64, limit int) error {
+		for i := 0; i < limit; i++ {
+			if state() == want {
+				return nil
+			}
+			step(outcome, n)
+		}
+		return fmt.Errorf("rule %s stuck in %q after %d evals, want %q", rule, state(), limit, want)
+	}
+
+	// Healthy history fills both burn windows with success.
+	for i := 0; i < 20; i++ {
+		step("ok", 5)
+	}
+	if got := state(); got != "inactive" {
+		return fmt.Errorf("rule %s is %q on a healthy history, want inactive", rule, got)
+	}
+	// Sustained failure: the rule must pass through pending on its way
+	// to firing — never directly.
+	if err := waitFor("pending", "error", 5, 60); err != nil {
+		return err
+	}
+	if err := waitFor("firing", "error", 5, 60); err != nil {
+		return err
+	}
+	if reg.Snapshot().Family("sift_slo_alerts_firing").Total() != 1 {
+		return fmt.Errorf("sift_slo_alerts_firing gauge did not follow the rule to firing")
+	}
+	// Recovery: success resumes, the burn ratio decays out of both
+	// windows, and the clear hold elapses.
+	if err := waitFor("resolved", "ok", 10, 120); err != nil {
+		return err
+	}
+	// Lifecycle order is recorded in the transition ring.
+	var path []string
+	for _, tr := range eng.RecentTransitions(0) {
+		if tr.Rule == rule {
+			path = append(path, tr.To)
+		}
+	}
+	want := []string{"pending", "firing", "resolved"}
+	if len(path) < len(want) {
+		return fmt.Errorf("transition path %v shorter than %v", path, want)
+	}
+	for i, w := range want {
+		if path[i] != w {
+			return fmt.Errorf("transition path %v, want prefix %v", path, want)
+		}
+	}
+	return nil
+}

@@ -112,6 +112,11 @@ type Config struct {
 	// Tracer, when set, records one root span per round
 	// (archiver.round) with the task crawls as children.
 	Tracer *trace.Tracer
+	// AlertNames, when set, is consulted after every successful crawl
+	// and its result stamped into the stored CrawlHealth — siftd wires
+	// the SLO engine's FiringNames here so archived records carry the
+	// service's own condition at crawl time.
+	AlertNames func() []string
 }
 
 // Archiver-specific errors.
@@ -633,6 +638,9 @@ func (s *Supervisor) crawlTask(ctx context.Context, tk *task, round uint64, from
 	}
 
 	health := res.Health()
+	if s.cfg.AlertNames != nil {
+		health.FiringAlerts = s.cfg.AlertNames()
+	}
 	newSpikes := diffSpikes(tk.currentSpikes(&s.mu), res.Spikes)
 	s.mu.Lock()
 	tk.spikes = append([]core.Spike(nil), res.Spikes...)

@@ -61,6 +61,12 @@ type CrawlHealth struct {
 	// (adaptive runs only): the statistical convergence trace. A leading
 	// +Inf (round 1, n=1) is recorded as -1 so the record stays valid JSON.
 	CITrajectory []float64 `json:"ci_trajectory,omitempty"`
+	// FiringAlerts names the SLO rules that were firing when the record
+	// was written (archiver runs with a self-monitoring engine only), so
+	// an archived health record carries the service's own condition at
+	// crawl time — a degraded record under a firing crawl-failure alert
+	// reads differently from one written while the plane was green.
+	FiringAlerts []string `json:"firing_alerts,omitempty"`
 }
 
 // Health extracts the crawl-health record from a pipeline result.

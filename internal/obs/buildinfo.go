@@ -1,0 +1,34 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// RegisterBuildInfo publishes the sift_build_info gauge: the
+// conventional always-1 member whose labels identify the running build
+// (module version, Go toolchain, VCS revision), so a scrape — or a
+// fleet of scrapes — answers "which build is this" without shelling
+// into the host. Values unavailable at build time (a non-module build,
+// a source tree without VCS stamping) read "unknown" rather than
+// omitting the family, so dashboards can join on it unconditionally.
+// Idempotent; both sift and siftd call it at startup.
+func RegisterBuildInfo(r *Registry) Gauge {
+	version, sha := "unknown", "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.Main.Version != "" {
+			version = bi.Main.Version
+		}
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" && s.Value != "" {
+				sha = s.Value
+			}
+		}
+	}
+	g := r.GaugeVec("sift_build_info",
+		"build metadata carried in labels; the value is always 1",
+		"version", "go_version", "git_sha").
+		With(version, runtime.Version(), sha)
+	g.Set(1)
+	return g
+}

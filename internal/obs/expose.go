@@ -5,7 +5,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
+	"os"
 	"regexp"
 	"sort"
 	"strconv"
@@ -88,10 +90,25 @@ func (r *Registry) Handler() http.Handler {
 
 // ---- JSON snapshot ----
 
-// BucketSnapshot is one cumulative histogram bucket.
+// BucketSnapshot is one cumulative histogram bucket. LE carries the
+// bucket's upper bound (shortest round-trip float formatting, "+Inf"
+// for the last), so offline consumers — `sift alerts` over a
+// -metrics-out file — can estimate quantiles without the live registry.
 type BucketSnapshot struct {
 	LE         string `json:"le"` // upper bound, "+Inf" for the last
 	Cumulative uint64 `json:"cumulative"`
+}
+
+// Bound parses the bucket's upper bound; "+Inf" returns math.Inf(1).
+func (b BucketSnapshot) Bound() (float64, error) {
+	if b.LE == "+Inf" {
+		return math.Inf(1), nil
+	}
+	v, err := strconv.ParseFloat(b.LE, 64)
+	if err != nil {
+		return 0, fmt.Errorf("obs: bad bucket bound %q: %w", b.LE, err)
+	}
+	return v, nil
 }
 
 // MetricSnapshot is one family member at snapshot time.
@@ -141,6 +158,102 @@ func (f *FamilySnapshot) Total() float64 {
 		}
 	}
 	return total
+}
+
+// Quantile estimates the q-th quantile of a snapshotted histogram
+// member from its cumulative buckets — the offline counterpart of
+// Histogram.Quantile, sharing the same interpolation. Returns NaN for
+// non-histogram members, empty histograms, malformed bounds, or q out
+// of range.
+func (m MetricSnapshot) Quantile(q float64) float64 {
+	return QuantileFromBuckets(q, m.Buckets)
+}
+
+// QuantileFromBuckets estimates the q-th quantile from cumulative
+// bucket snapshots (ascending bounds, "+Inf" last). Returns NaN when
+// the buckets are empty, malformed, or q is out of range.
+func QuantileFromBuckets(q float64, buckets []BucketSnapshot) float64 {
+	if len(buckets) == 0 {
+		return math.NaN()
+	}
+	bounds := make([]float64, 0, len(buckets)-1)
+	counts := make([]uint64, len(buckets))
+	prev := uint64(0)
+	for i, b := range buckets {
+		bound, err := b.Bound()
+		if err != nil || b.Cumulative < prev {
+			return math.NaN()
+		}
+		if i < len(buckets)-1 {
+			if math.IsInf(bound, 1) {
+				return math.NaN() // +Inf must be last
+			}
+			bounds = append(bounds, bound)
+		} else if !math.IsInf(bound, 1) {
+			return math.NaN() // last must be +Inf
+		}
+		counts[i] = b.Cumulative - prev
+		prev = b.Cumulative
+	}
+	return quantileFromCounts(q, bounds, counts)
+}
+
+// ParseSnapshot decodes a JSON metrics snapshot — the -metrics-out
+// artifact — back into a Snapshot, validating histogram bucket shape
+// (parseable ascending bounds, +Inf last, non-decreasing cumulative
+// counts) so downstream quantile estimation cannot silently misread a
+// corrupt file.
+func ParseSnapshot(r io.Reader) (Snapshot, error) {
+	var snap Snapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return Snapshot{}, fmt.Errorf("obs: parsing snapshot: %w", err)
+	}
+	for _, f := range snap.Families {
+		if f.Name == "" {
+			return Snapshot{}, fmt.Errorf("obs: snapshot family with empty name")
+		}
+		if f.Kind != KindHistogram.String() {
+			continue
+		}
+		for _, m := range f.Metrics {
+			if len(m.Buckets) == 0 {
+				return Snapshot{}, fmt.Errorf("obs: histogram %s member has no buckets", f.Name)
+			}
+			lastBound := math.Inf(-1)
+			var lastCum uint64
+			for i, b := range m.Buckets {
+				bound, err := b.Bound()
+				if err != nil {
+					return Snapshot{}, fmt.Errorf("obs: histogram %s: %w", f.Name, err)
+				}
+				if bound <= lastBound {
+					return Snapshot{}, fmt.Errorf("obs: histogram %s: bounds not ascending at %q", f.Name, b.LE)
+				}
+				if b.Cumulative < lastCum {
+					return Snapshot{}, fmt.Errorf("obs: histogram %s: cumulative counts decrease at %q", f.Name, b.LE)
+				}
+				if i == len(m.Buckets)-1 && !math.IsInf(bound, 1) {
+					return Snapshot{}, fmt.Errorf("obs: histogram %s: last bucket is %q, want +Inf", f.Name, b.LE)
+				}
+				lastBound, lastCum = bound, b.Cumulative
+			}
+			if m.Buckets[len(m.Buckets)-1].Cumulative != m.Count {
+				return Snapshot{}, fmt.Errorf("obs: histogram %s: +Inf bucket %d disagrees with count %d",
+					f.Name, m.Buckets[len(m.Buckets)-1].Cumulative, m.Count)
+			}
+		}
+	}
+	return snap, nil
+}
+
+// LoadSnapshot reads a JSON metrics snapshot from a file.
+func LoadSnapshot(path string) (Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Snapshot{}, fmt.Errorf("obs: %w", err)
+	}
+	defer f.Close()
+	return ParseSnapshot(f)
 }
 
 // Snapshot captures the registry's current state.

@@ -305,6 +305,70 @@ func (h Histogram) Observe(v float64) {
 	h.m.count.Add(1)
 }
 
+// Quantile estimates the q-th quantile (0 < q <= 1) of the recorded
+// observations from the fixed cumulative buckets, by linear
+// interpolation inside the bucket holding the target rank — the same
+// estimator Prometheus's histogram_quantile applies server-side, here
+// available in-process so the SLO engine can alert on latency
+// percentiles without an external query layer. The estimate is exact at
+// bucket boundaries and off by at most one bucket width inside a
+// bucket; ranks landing in the +Inf bucket clamp to the highest finite
+// bound. Returns NaN when the histogram is empty, detached, or q is out
+// of range.
+func (h Histogram) Quantile(q float64) float64 {
+	if h.m == nil {
+		return math.NaN()
+	}
+	counts := make([]uint64, len(h.m.counts))
+	for i := range h.m.counts {
+		counts[i] = h.m.counts[i].Load()
+	}
+	return quantileFromCounts(q, h.f.buckets, counts)
+}
+
+// quantileFromCounts is the shared quantile estimator over per-bucket
+// (non-cumulative) counts; bounds excludes +Inf, counts has one extra
+// trailing +Inf cell.
+func quantileFromCounts(q float64, bounds []float64, counts []uint64) float64 {
+	if q <= 0 || q > 1 || len(counts) != len(bounds)+1 {
+		return math.NaN()
+	}
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return math.NaN()
+	}
+	rank := q * float64(total)
+	cum := 0.0
+	for i, c := range counts {
+		prev := cum
+		cum += float64(c)
+		if cum < rank {
+			continue
+		}
+		if i == len(bounds) {
+			// Rank lands in the +Inf bucket: the best unbiased statement
+			// the fixed buckets allow is "above the highest finite bound".
+			if len(bounds) == 0 {
+				return math.NaN()
+			}
+			return bounds[len(bounds)-1]
+		}
+		lower := 0.0
+		if i > 0 {
+			lower = bounds[i-1]
+		}
+		upper := bounds[i]
+		if c == 0 {
+			return upper
+		}
+		return lower + (upper-lower)*(rank-prev)/float64(c)
+	}
+	return math.NaN()
+}
+
 // Count returns the number of observations.
 func (h Histogram) Count() uint64 {
 	if h.m == nil {

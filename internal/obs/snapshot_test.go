@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestSnapshotHistogramRoundTrip is the regression pin for the offline
+// quantile path: a histogram snapshot written as JSON must carry every
+// per-bucket upper bound, survive a parse round-trip byte-for-byte, and
+// estimate the same quantiles offline that the live registry estimates
+// in-process — otherwise `sift alerts` over a -metrics-out file and the
+// SLO engine over the live registry would disagree about the same data.
+func TestSnapshotHistogramRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_latency_seconds", "latency", []float64{0.001, 0.01, 0.1, 1, 10})
+	for _, v := range []float64{0.0005, 0.004, 0.004, 0.05, 0.05, 0.05, 0.2, 0.9, 3, 42} {
+		h.Observe(v)
+	}
+	r.CounterVec("test_ops_total", "ops", "kind").With("read").Add(7)
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	snap, err := ParseSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ParseSnapshot: %v", err)
+	}
+
+	fam := snap.Family("test_latency_seconds")
+	if fam == nil || len(fam.Metrics) != 1 {
+		t.Fatalf("histogram family missing or malformed: %+v", fam)
+	}
+	m := fam.Metrics[0]
+	wantBounds := []float64{0.001, 0.01, 0.1, 1, 10, math.Inf(1)}
+	if len(m.Buckets) != len(wantBounds) {
+		t.Fatalf("got %d buckets, want %d", len(m.Buckets), len(wantBounds))
+	}
+	for i, b := range m.Buckets {
+		bound, err := b.Bound()
+		if err != nil {
+			t.Fatalf("bucket %d: %v", i, err)
+		}
+		if bound != wantBounds[i] {
+			t.Errorf("bucket %d bound = %v, want %v", i, bound, wantBounds[i])
+		}
+	}
+	if m.Count != 10 || m.Buckets[len(m.Buckets)-1].Cumulative != 10 {
+		t.Errorf("count = %d, +Inf cum = %d, want 10/10", m.Count, m.Buckets[len(m.Buckets)-1].Cumulative)
+	}
+
+	// Offline quantiles must equal the live estimator's.
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99, 1} {
+		live := h.Quantile(q)
+		off := m.Quantile(q)
+		if math.Float64bits(live) != math.Float64bits(off) {
+			t.Errorf("q=%g: live %v != offline %v", q, live, off)
+		}
+	}
+
+	// A second write from a re-encoded snapshot must be identical: the
+	// JSON carries everything the encoder knows.
+	var buf2 bytes.Buffer
+	if err := r.WriteJSON(&buf2); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("snapshot JSON not stable across writes")
+	}
+}
+
+func TestParseSnapshotRejectsMalformedHistograms(t *testing.T) {
+	cases := map[string]string{
+		"no buckets": `{"families":[{"name":"h","kind":"histogram","metrics":[{"count":1}]}]}`,
+		"bad bound": `{"families":[{"name":"h","kind":"histogram","metrics":[
+			{"count":1,"buckets":[{"le":"oops","cumulative":1},{"le":"+Inf","cumulative":1}]}]}]}`,
+		"descending bounds": `{"families":[{"name":"h","kind":"histogram","metrics":[
+			{"count":1,"buckets":[{"le":"2","cumulative":0},{"le":"1","cumulative":1},{"le":"+Inf","cumulative":1}]}]}]}`,
+		"decreasing cumulative": `{"families":[{"name":"h","kind":"histogram","metrics":[
+			{"count":1,"buckets":[{"le":"1","cumulative":3},{"le":"+Inf","cumulative":1}]}]}]}`,
+		"missing +Inf": `{"families":[{"name":"h","kind":"histogram","metrics":[
+			{"count":1,"buckets":[{"le":"1","cumulative":1},{"le":"2","cumulative":1}]}]}]}`,
+		"inf/count disagreement": `{"families":[{"name":"h","kind":"histogram","metrics":[
+			{"count":5,"buckets":[{"le":"1","cumulative":1},{"le":"+Inf","cumulative":3}]}]}]}`,
+		"empty family name": `{"families":[{"name":"","kind":"counter","metrics":[]}]}`,
+	}
+	for name, js := range cases {
+		if _, err := ParseSnapshot(strings.NewReader(js)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_q", "q", []float64{1, 2, 4})
+	if got := h.Quantile(0.5); !math.IsNaN(got) {
+		t.Errorf("empty quantile = %v, want NaN", got)
+	}
+	// 10 observations uniformly into (1,2]: interpolation is linear.
+	for i := 0; i < 10; i++ {
+		h.Observe(1.5)
+	}
+	if got := h.Quantile(0.5); got != 1.5 {
+		t.Errorf("q50 = %v, want 1.5 (midpoint of bucket (1,2])", got)
+	}
+	if got := h.Quantile(1); got != 2 {
+		t.Errorf("q100 = %v, want bucket upper bound 2", got)
+	}
+	// A rank in the +Inf bucket clamps to the highest finite bound.
+	h.Observe(100)
+	if got := h.Quantile(0.999); got != 4 {
+		t.Errorf("q99.9 = %v, want clamp to 4", got)
+	}
+	// Detached zero value and out-of-range q are NaN, not panics.
+	var zero Histogram
+	if got := zero.Quantile(0.5); !math.IsNaN(got) {
+		t.Errorf("detached quantile = %v, want NaN", got)
+	}
+	if got := h.Quantile(0); !math.IsNaN(got) {
+		t.Errorf("q=0 = %v, want NaN", got)
+	}
+}
+
+func TestRegisterBuildInfo(t *testing.T) {
+	r := NewRegistry()
+	g := RegisterBuildInfo(r)
+	if g.Value() != 1 {
+		t.Fatalf("build info value = %v, want 1", g.Value())
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "# TYPE sift_build_info gauge") {
+		t.Errorf("missing TYPE line:\n%s", out)
+	}
+	for _, label := range []string{`version="`, `go_version="go`, `git_sha="`} {
+		if !strings.Contains(out, label) {
+			t.Errorf("missing %s label:\n%s", label, out)
+		}
+	}
+	// Idempotent: a second registration shares the member.
+	RegisterBuildInfo(r)
+	if _, _, err := ParseExposition(strings.NewReader(out)); err != nil {
+		t.Errorf("exposition invalid: %v", err)
+	}
+}

@@ -1,0 +1,223 @@
+// Package obsaudit cross-checks the source tree's metric vocabulary
+// against reality: every `"sift_*"` family literal in non-test code must
+// be registered by an exercised stack (or carry an explicit exemption
+// naming the mode that registers it), and every family an exercised
+// stack registers must be a greppable literal. The first direction
+// catches stragglers — families referenced by an SLO rule, a dashboard,
+// or dead code that nothing registers any more; the second catches
+// dynamically-composed names that would escape any grep-based review.
+package obsaudit
+
+import (
+	"context"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"sift/internal/archiver"
+	"sift/internal/core"
+	"sift/internal/crawlplane"
+	"sift/internal/engine"
+	"sift/internal/fusion"
+	"sift/internal/gtclient"
+	"sift/internal/gtrends"
+	"sift/internal/gtserver"
+	"sift/internal/obs"
+	"sift/internal/searchmodel"
+	"sift/internal/simworld"
+	"sift/internal/slo"
+	"sift/internal/store"
+	"sift/internal/trace"
+)
+
+// exempt names families the audit exercise cannot cheaply register,
+// each with the mode that does. An exemption for a family that the
+// exercise DOES register is stale and fails the test, so the list can
+// only shrink.
+var exempt = map[string]string{
+	"sift_analysis_workers":               "registered by `sift detect`/`sift experiments` at startup, outside any importable constructor",
+	"sift_siftd_record_save_errors_total": "registered by siftd's -record saver goroutine at startup",
+}
+
+var familyLit = regexp.MustCompile(`"(sift_[a-zA-Z0-9_]+)"`)
+
+// greppedFamilies scans every non-test .go file under internal/ and
+// cmd/ for sift_* family literals, returning family → first reference.
+func greppedFamilies(t *testing.T) map[string]string {
+	t.Helper()
+	out := make(map[string]string)
+	for _, root := range []string{"../../internal", "../../cmd"} {
+		err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+				return nil
+			}
+			src, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			for _, m := range familyLit.FindAllStringSubmatch(string(src), -1) {
+				if _, ok := out[m[1]]; !ok {
+					out[m[1]] = filepath.Clean(path)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(out) == 0 {
+		t.Fatal("grep found no sift_* family literals — wrong working directory?")
+	}
+	return out
+}
+
+// fetcherSource adapts a gtrends.Fetcher to the pipeline's FrameSource.
+type fetcherSource struct{ f gtrends.Fetcher }
+
+func (s fetcherSource) FetchFrame(ctx context.Context, req gtrends.FrameRequest, round int) (*gtrends.Frame, error) {
+	return s.f.FetchFrame(ctx, req)
+}
+
+// exercise constructs (and minimally drives) every metric-bearing
+// subsystem against one registry, mirroring what a full-featured siftd
+// deployment plus the CLI tools would register.
+func exercise(t *testing.T) *obs.Registry {
+	t.Helper()
+	ctx := context.Background()
+	reg := obs.NewRegistry()
+	t0 := time.Date(2021, 2, 15, 0, 0, 0, 0, time.UTC) // a Monday: week frames align
+	req := gtrends.FrameRequest{
+		Term: gtrends.TopicInternetOutage, State: "TX", Start: t0, Hours: gtrends.WeekFrameHours,
+	}
+
+	obs.RegisterBuildInfo(reg)
+
+	tracer := trace.New(trace.Config{Metrics: reg})
+	_, span := tracer.Root(ctx, "audit")
+	span.End()
+
+	storm := &simworld.Event{
+		ID: "storm", Name: "Winter storm", Kind: simworld.KindPower,
+		Cause: simworld.CauseWinterStorm, Start: t0.Add(30 * time.Hour), Duration: 45 * time.Hour,
+		Impacts: []simworld.Impact{{State: "TX", Intensity: 2000}},
+		Terms:   []simworld.TermWeight{{Term: "power outage", Share: 0.5}},
+	}
+	model := searchmodel.New(1, simworld.NewTimeline([]*simworld.Event{storm}), searchmodel.Params{})
+	eng := gtrends.NewEngine(model, gtrends.Config{})
+	fetch := gtrends.EngineFetcher{Engine: eng}
+
+	// Self-monitoring plane.
+	sloEng, err := slo.New(slo.Config{Rules: slo.DefaultRules(), Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sloEng.Close()
+
+	// Archiver over the fetcher; one tick drives the pipeline stages.
+	sup, err := archiver.New(archiver.Config{
+		Fetcher:       fetch,
+		Start:         t0,
+		InitialWindow: 336 * time.Hour,
+		Advance:       24 * time.Hour,
+		Pipeline:      core.PipelineConfig{Workers: 1, MaxRounds: 2},
+		Metrics:       reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sup.Close()
+	if _, err := sup.Subscribe("", "", "TX"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sup.Tick(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Engine-side caching and scheduling.
+	engine.NewFrameCache(4).WithShard("audit-0", reg)
+	engine.NewScheduler(2).WithMetrics(reg)
+
+	// Sharded crawl plane.
+	plane, err := crawlplane.New(crawlplane.Config{Fetcher: fetch, Workers: 1, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plane.Close(ctx)
+
+	// Trends service plus an HTTP fetcher pool against it.
+	srv := httptest.NewServer(gtserver.New(eng, gtserver.Config{Metrics: reg}))
+	defer srv.Close()
+	pool, err := gtclient.NewPool(srv.URL, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.Metrics = reg
+	if _, err := pool.FetchFrame(ctx, req); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fusion: detector, health tracker, and one fetch through the
+	// fallback source (its handles build lazily on first use).
+	fusion.NewDetector(nil, nil, fusion.DetectorConfig{Metrics: reg})
+	fusion.NewTracker(fusion.TrackerConfig{Metrics: reg})
+	fb := &fusion.FallbackSource{
+		Primary: fetcherSource{fetch}, Secondary: fetcherSource{fetch}, Metrics: reg,
+	}
+	if _, err := fb.FetchFrame(ctx, req, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Store write-behind front.
+	store.NewWriteBehind(store.New(), 0).WithMetrics(reg).Close()
+
+	return reg
+}
+
+func TestEveryFamilyLiteralIsRegistered(t *testing.T) {
+	grepped := greppedFamilies(t)
+	snap := exercise(t).Snapshot()
+	observed := make(map[string]bool, len(snap.Families))
+	for _, f := range snap.Families {
+		if strings.HasPrefix(f.Name, "sift_") {
+			observed[f.Name] = true
+		}
+	}
+
+	var names []string
+	for name := range grepped {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		switch {
+		case observed[name]:
+		case exempt[name] != "":
+		default:
+			t.Errorf("straggler %s (first referenced at %s): no exercised subsystem registers it — wire it up, delete the reference, or exempt it with the registering mode", name, grepped[name])
+		}
+	}
+
+	for name := range observed {
+		if _, ok := grepped[name]; !ok {
+			t.Errorf("family %s is registered but its name is not a source literal — dynamically-composed names escape grep-based audits", name)
+		}
+	}
+
+	for name, why := range exempt {
+		if _, ok := grepped[name]; !ok {
+			t.Errorf("stale exemption %s (%s): no source literal references it any more", name, why)
+		}
+		if observed[name] {
+			t.Errorf("stale exemption %s (%s): the exercise registers it now — drop the exemption", name, why)
+		}
+	}
+}

@@ -1,0 +1,238 @@
+package slo
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"slices"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sift/internal/archiver"
+	"sift/internal/core"
+	"sift/internal/faults"
+	"sift/internal/gtrends"
+	"sift/internal/obs"
+	"sift/internal/searchmodel"
+	"sift/internal/simworld"
+	"sift/internal/trace"
+)
+
+// e2eT0 anchors the e2e world on a Monday so week frames align the way
+// the archiver's planner expects.
+var e2eT0 = time.Date(2021, 2, 15, 0, 0, 0, 0, time.UTC)
+
+// flipFetcher swaps between a healthy engine fetcher and the same
+// fetcher behind a total faults.Wrap rate-limit wall, so the test can
+// raise and clear a 429 storm between supervisor ticks — the in-process
+// equivalent of the CI lane's `siftd -faults` injection.
+type flipFetcher struct {
+	healthy gtrends.Fetcher
+	faulted gtrends.Fetcher
+	failing atomic.Bool
+}
+
+func (f *flipFetcher) FetchFrame(ctx context.Context, req gtrends.FrameRequest) (*gtrends.Frame, error) {
+	if f.failing.Load() {
+		return f.faulted.FetchFrame(ctx, req)
+	}
+	return f.healthy.FetchFrame(ctx, req)
+}
+
+func newFlipFetcher(seed int64) *flipFetcher {
+	storm := &simworld.Event{
+		ID: "storm", Name: "Winter storm", Kind: simworld.KindPower,
+		Cause: simworld.CauseWinterStorm, Start: e2eT0.Add(30 * time.Hour), Duration: 45 * time.Hour,
+		Impacts: []simworld.Impact{{State: "TX", Intensity: 2000}},
+		Terms:   []simworld.TermWeight{{Term: "power outage", Share: 0.5}},
+	}
+	model := searchmodel.New(seed, simworld.NewTimeline([]*simworld.Event{storm}), searchmodel.Params{})
+	healthy := gtrends.EngineFetcher{Engine: gtrends.NewEngine(model, gtrends.Config{})}
+	wall := faults.Plan{Seed: 1, Rules: []faults.Rule{{Mode: faults.RateLimit, P: 1}}}
+	return &flipFetcher{healthy: healthy, faulted: faults.Wrap(healthy, wall, "e2e")}
+}
+
+// TestAlertLifecycleEndToEnd drives the real stack — archiver supervisor
+// over a faultable fetcher, shared obs registry, tracer, compressed
+// default pack — through the full alert lifecycle: healthy history, a
+// 429 storm that walks archiver-crawl-failure through pending → firing,
+// the /alerts API and sift_slo_* gauges reflecting it, a crawl completed
+// during the incident carrying FiringAlerts in its health record, and
+// recovery walking the rule to resolved, with slo.eval/slo.transition
+// spans exported throughout.
+func TestAlertLifecycleEndToEnd(t *testing.T) {
+	const ruleName = "archiver-crawl-failure"
+	reg := obs.NewRegistry()
+	tracer := trace.New(trace.Config{Metrics: reg})
+	fetcher := newFlipFetcher(7)
+
+	now := e2eT0
+	every := 2 * time.Second
+	eng, err := New(Config{
+		Rules:   Compress(DefaultRules(), 60),
+		Metrics: reg,
+		Tracer:  tracer,
+		Every:   every,
+		Now:     func() time.Time { return now },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	sup, err := archiver.New(archiver.Config{
+		Fetcher:       fetcher,
+		Start:         e2eT0,
+		InitialWindow: 336 * time.Hour,
+		Advance:       24 * time.Hour,
+		Pipeline:      core.PipelineConfig{Workers: 1, MaxRounds: 2, FetchRetries: core.RetriesFlag(0)},
+		Metrics:       reg,
+		Tracer:        tracer,
+		AlertNames:    eng.FiringNames,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sup.Close()
+	if _, err := sup.Subscribe("", "", "TX"); err != nil {
+		t.Fatal(err)
+	}
+
+	mux := http.NewServeMux()
+	eng.AttachAPI(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	ctx := context.Background()
+	state := func() string {
+		for _, a := range eng.Alerts() {
+			if a.Rule == ruleName {
+				return a.State
+			}
+		}
+		return "absent"
+	}
+	// step runs one archiver crawl round and one engine evaluation on the
+	// synthetic clock — the test's stand-in for siftd's two loops.
+	step := func() {
+		if err := sup.Tick(ctx); err != nil {
+			t.Fatal(err)
+		}
+		now = now.Add(every)
+		eng.EvalAt(now, reg.Snapshot())
+	}
+	waitFor := func(want string, limit int) {
+		t.Helper()
+		for i := 0; i < limit; i++ {
+			if state() == want {
+				return
+			}
+			step()
+		}
+		t.Fatalf("rule %s stuck in %q after %d rounds, want %q", ruleName, state(), limit, want)
+	}
+
+	// Healthy history: both burn windows fill with ok outcomes.
+	for i := 0; i < 16; i++ {
+		step()
+	}
+	if got := state(); got != "inactive" {
+		t.Fatalf("rule %s is %q on a healthy history, want inactive", ruleName, got)
+	}
+
+	// Storm: every fetch answers 429; crawls burn error budget.
+	fetcher.failing.Store(true)
+	waitFor("pending", 40)
+	waitFor("firing", 40)
+
+	// The ops API and the self-metrics both see the incident.
+	var body struct {
+		Alerts []Alert `json:"alerts"`
+	}
+	resp, err := http.Get(srv.URL + "/alerts?firing=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	found := false
+	for _, a := range body.Alerts {
+		if a.Rule == ruleName && a.State == "firing" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("/alerts?firing=1 does not list %s firing: %+v", ruleName, body.Alerts)
+	}
+	firingGauge := 0.0
+	if fam := reg.Snapshot().Family("sift_slo_alerts_firing"); fam != nil {
+		for _, m := range fam.Metrics {
+			if m.Labels["rule"] == ruleName {
+				firingGauge = m.Value
+			}
+		}
+	}
+	if firingGauge != 1 {
+		t.Errorf("sift_slo_alerts_firing{rule=%q} = %v, want 1", ruleName, firingGauge)
+	}
+
+	// A crawl that completes while the alert fires carries the service's
+	// own condition into its archived health record.
+	fetcher.failing.Store(false)
+	if err := sup.Tick(ctx); err != nil {
+		t.Fatal(err)
+	}
+	health, ok := sup.Health(gtrends.TopicInternetOutage, "TX")
+	if !ok {
+		t.Fatal("no health record after a successful crawl")
+	}
+	if !slices.Contains(health.FiringAlerts, ruleName) {
+		t.Errorf("CrawlHealth.FiringAlerts = %v, want to contain %q", health.FiringAlerts, ruleName)
+	}
+
+	// Recovery: the storm is over; the burn ratio decays out of both
+	// windows and the clear hold elapses.
+	waitFor("resolved", 80)
+
+	// The transition ring recorded the lifecycle in order.
+	var path []string
+	for _, tr := range eng.RecentTransitions(0) {
+		if tr.Rule == ruleName {
+			path = append(path, tr.To)
+		}
+	}
+	want := []string{"pending", "firing", "resolved"}
+	if len(path) < len(want) {
+		t.Fatalf("transition path %v shorter than %v", path, want)
+	}
+	for i, w := range want {
+		if path[i] != w {
+			t.Fatalf("transition path %v, want prefix %v", path, want)
+		}
+	}
+
+	// The tracer exported both the periodic evaluation spans and the
+	// transition spans naming the rule.
+	spans := tracer.Export()
+	var evals, transitions int
+	for _, sd := range spans {
+		switch sd.Name {
+		case "slo.eval":
+			evals++
+		case "slo.transition":
+			if sd.Attrs["rule"] == ruleName {
+				transitions++
+			}
+		}
+	}
+	if evals == 0 {
+		t.Error("no slo.eval spans exported")
+	}
+	if transitions < 3 {
+		t.Errorf("%d slo.transition spans for %s, want >= 3 (pending, firing, resolved)", transitions, ruleName)
+	}
+}

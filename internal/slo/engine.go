@@ -1,0 +1,691 @@
+package slo
+
+import (
+	"context"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"sift/internal/obs"
+	"sift/internal/trace"
+)
+
+// Config configures an Engine.
+type Config struct {
+	// Rules is the pack to evaluate; must pass ValidateRules.
+	Rules []Rule
+	// Metrics is both the registry the rules read AND where the
+	// engine's own sift_slo_* families land — self-monitoring reads
+	// and writes the same plane. nil routes to obs.Default().
+	Metrics *obs.Registry
+	// Tracer receives slo.eval / slo.transition spans; nil disables.
+	Tracer *trace.Tracer
+	// Every is the evaluation interval for Run (default 15s).
+	Every time.Duration
+	// FlapWindow / FlapMax bound notification noise: a rule with
+	// FlapMax or more transitions inside FlapWindow is marked
+	// flapping and its transitions are recorded but not announced
+	// (no span, no log) until it settles. Defaults: 20×Every, 6.
+	FlapWindow time.Duration
+	FlapMax    int
+	// MaxSamples caps the snapshot ring (default sized from the
+	// longest rule window, capped at 1024; older baselines degrade to
+	// the oldest retained sample).
+	MaxSamples int
+	// Ring is the transition replay ring for /alerts SSE (default 256).
+	Ring int
+	// Now is a clock hook for tests; nil means time.Now.
+	Now func() time.Time
+}
+
+// Transition is one alert state change, as published on the feed and
+// the SSE stream.
+type Transition struct {
+	Seq       uint64           `json:"seq"`
+	Rule      string           `json:"rule"`
+	Severity  string           `json:"severity"`
+	From      string           `json:"from"`
+	To        string           `json:"to"`
+	At        time.Time        `json:"at"`
+	Value     float64          `json:"value"`
+	Threshold float64          `json:"threshold"`
+	// Sample is the offending member — the matched series
+	// contributing most to the breach — so the alert names a culprit,
+	// not just a number.
+	Sample     *OffendingSample `json:"sample,omitempty"`
+	Suppressed bool             `json:"suppressed,omitempty"`
+}
+
+// OffendingSample identifies the matched member that contributed most
+// to a rule's value at transition time.
+type OffendingSample struct {
+	Family string            `json:"family"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  float64           `json:"value"`
+}
+
+// Alert is one rule's current status, as served by GET /alerts.
+type Alert struct {
+	Rule      string    `json:"rule"`
+	Severity  string    `json:"severity"`
+	Help      string    `json:"help,omitempty"`
+	State     string    `json:"state"`
+	Since     time.Time `json:"since"`
+	Value     float64   `json:"value"`
+	Threshold float64   `json:"threshold"`
+	HaveData  bool      `json:"have_data"`
+	// Breaching reports the instantaneous comparison on the last
+	// evaluation, before the for-duration hysteresis — what a one-shot
+	// `sift alerts` run can assert without waiting out the holds.
+	Breaching bool `json:"breaching,omitempty"`
+	Flapping  bool `json:"flapping,omitempty"`
+}
+
+// sample is one timestamped registry snapshot in the lookback ring.
+type sample struct {
+	at   time.Time
+	snap obs.Snapshot
+}
+
+// ruleState is a rule plus its live machine and flap bookkeeping.
+type ruleState struct {
+	rule     Rule
+	m        machine
+	value    float64
+	haveData bool
+	breach   bool
+	sample   *OffendingSample
+	// recent transition times, for flap detection.
+	flaps []time.Time
+
+	stateG  obs.Gauge
+	firingG obs.Gauge
+	valueG  obs.Gauge
+}
+
+// Engine evaluates a rule pack against the live registry.
+type Engine struct {
+	cfg    Config
+	tracer *trace.Tracer
+	now    func() time.Time
+
+	mu      sync.Mutex
+	samples []sample // oldest first
+	rules   []*ruleState
+	seq     uint64
+	ring    []Transition // bounded replay, oldest first
+	subs    map[chan Transition]struct{}
+	closed  bool
+	stop    chan struct{}
+
+	evals      obs.Counter
+	evalSecs   obs.Histogram
+	transC     obs.CounterVec
+	suppressed obs.Counter
+}
+
+// New builds an Engine; the rule pack must validate.
+func New(cfg Config) (*Engine, error) {
+	if err := ValidateRules(cfg.Rules); err != nil {
+		return nil, err
+	}
+	if cfg.Every <= 0 {
+		cfg.Every = 15 * time.Second
+	}
+	if cfg.FlapWindow <= 0 {
+		cfg.FlapWindow = 20 * cfg.Every
+	}
+	if cfg.FlapMax <= 0 {
+		cfg.FlapMax = 6
+	}
+	if cfg.Ring <= 0 {
+		cfg.Ring = 256
+	}
+	if cfg.MaxSamples <= 0 {
+		need := int(maxWindow(cfg.Rules)/cfg.Every) + 2
+		if need > 1024 {
+			need = 1024
+		}
+		if need < 8 {
+			need = 8
+		}
+		cfg.MaxSamples = need
+	}
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
+	r := cfg.Metrics // nil routes to obs.Default() inside every method
+	e := &Engine{
+		cfg:    cfg,
+		tracer: cfg.Tracer,
+		now:    now,
+		subs:   make(map[chan Transition]struct{}),
+		stop:   make(chan struct{}),
+		evals: r.Counter("sift_slo_evals_total",
+			"rule-pack evaluation passes"),
+		evalSecs: r.Histogram("sift_slo_eval_seconds",
+			"wall time of one full rule-pack evaluation", nil),
+		transC: r.CounterVec("sift_slo_transitions_total",
+			"alert state transitions", "rule", "to"),
+		suppressed: r.Counter("sift_slo_suppressed_total",
+			"transitions recorded but not announced because the rule was flapping"),
+	}
+	r.Gauge("sift_slo_rules", "rules in the loaded pack").Set(float64(len(cfg.Rules)))
+	stateV := r.GaugeVec("sift_slo_alert_state",
+		"alert state per rule (0 inactive, 1 pending, 2 firing, 3 resolved)", "rule")
+	firingV := r.GaugeVec("sift_slo_alerts_firing",
+		"1 while the rule is firing", "rule")
+	valueV := r.GaugeVec("sift_slo_rule_value",
+		"most recent derived value per rule", "rule")
+	for _, rule := range cfg.Rules {
+		rs := &ruleState{
+			rule:    rule,
+			stateG:  stateV.With(rule.Name),
+			firingG: firingV.With(rule.Name),
+			valueG:  valueV.With(rule.Name),
+		}
+		rs.m.forDur = rule.For
+		rs.m.clearDur = rule.ClearFor
+		e.rules = append(e.rules, rs)
+	}
+	return e, nil
+}
+
+// Run evaluates every cfg.Every until ctx is cancelled or Close is
+// called. One immediate evaluation seeds the baseline so windowed
+// rules have data one interval later.
+func (e *Engine) Run(ctx context.Context) {
+	e.EvalNow()
+	t := time.NewTicker(e.cfg.Every)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-e.stop:
+			return
+		case <-t.C:
+			e.EvalNow()
+		}
+	}
+}
+
+// Close stops Run and the transition feed; subscribers' channels close.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return
+	}
+	e.closed = true
+	close(e.stop)
+	for ch := range e.subs {
+		close(ch)
+		delete(e.subs, ch)
+	}
+}
+
+// EvalNow snapshots the registry and evaluates the pack against it.
+func (e *Engine) EvalNow() []Transition {
+	return e.EvalAt(e.now(), e.cfg.Metrics.Snapshot())
+}
+
+// EvalAt appends (now, snap) to the lookback ring and evaluates every
+// rule. Exported so tests and `sift alerts` can drive the engine with
+// synthetic clocks and offline snapshot files. Returns the transitions
+// this evaluation produced.
+func (e *Engine) EvalAt(now time.Time, snap obs.Snapshot) []Transition {
+	start := time.Now()
+	e.mu.Lock()
+	e.samples = append(e.samples, sample{at: now, snap: snap})
+	if len(e.samples) > e.cfg.MaxSamples {
+		e.samples = e.samples[len(e.samples)-e.cfg.MaxSamples:]
+	}
+	var transitions []Transition
+	firing := 0
+	for _, rs := range e.rules {
+		value, off, ok := e.evalRuleLocked(rs.rule, now)
+		rs.value, rs.haveData = value, ok
+		if off != nil {
+			rs.sample = off
+		}
+		breach := false
+		if ok {
+			if rs.rule.Op == OpLT {
+				breach = value < rs.rule.threshold()
+			} else {
+				breach = value > rs.rule.threshold()
+			}
+		}
+		rs.breach = breach
+		from, to, changed := rs.m.step(now, breach, ok)
+		rs.stateG.Set(float64(rs.m.state))
+		rs.valueG.Set(value)
+		if rs.m.state == StateFiring {
+			rs.firingG.Set(1)
+			firing++
+		} else {
+			rs.firingG.Set(0)
+		}
+		if !changed {
+			continue
+		}
+		e.transC.With(rs.rule.Name, to.String()).Inc()
+		e.seq++
+		tr := Transition{
+			Seq:       e.seq,
+			Rule:      rs.rule.Name,
+			Severity:  rs.rule.Severity,
+			From:      from.String(),
+			To:        to.String(),
+			At:        now,
+			Value:     value,
+			Threshold: rs.rule.threshold(),
+			Sample:    rs.sample,
+		}
+		if e.flappingLocked(rs, now) {
+			tr.Suppressed = true
+			e.suppressed.Inc()
+		}
+		rs.flaps = append(rs.flaps, now)
+		transitions = append(transitions, tr)
+		e.ring = append(e.ring, tr)
+		if len(e.ring) > e.cfg.Ring {
+			e.ring = e.ring[len(e.ring)-e.cfg.Ring:]
+		}
+		for ch := range e.subs {
+			select {
+			case ch <- tr:
+			default: // slow subscriber: drop rather than stall evals
+			}
+		}
+	}
+	e.mu.Unlock()
+
+	e.evals.Inc()
+	e.evalSecs.Observe(time.Since(start).Seconds())
+	e.announce(transitions, firing)
+	return transitions
+}
+
+// flappingLocked reports whether rs has transitioned FlapMax or more
+// times within FlapWindow of now. It also prunes the old entries.
+func (e *Engine) flappingLocked(rs *ruleState, now time.Time) bool {
+	cut := now.Add(-e.cfg.FlapWindow)
+	keep := rs.flaps[:0]
+	for _, t := range rs.flaps {
+		if t.After(cut) {
+			keep = append(keep, t)
+		}
+	}
+	rs.flaps = keep
+	return len(rs.flaps)+1 >= e.cfg.FlapMax
+}
+
+// announce emits the eval span, per-transition child spans, and
+// structured logs — skipped entirely for suppressed transitions so a
+// flapping rule cannot spam the trace ring or the log sink.
+func (e *Engine) announce(transitions []Transition, firing int) {
+	var loud []Transition
+	for _, tr := range transitions {
+		if !tr.Suppressed {
+			loud = append(loud, tr)
+		}
+	}
+	if e.tracer == nil {
+		// Logs still flow without a tracer; they just lack span IDs.
+		for _, tr := range loud {
+			e.logTransition(context.Background(), tr)
+		}
+		return
+	}
+	ctx, sp := e.tracer.Root(context.Background(), "slo.eval",
+		trace.Int("rules", len(e.rules)),
+		trace.Int("firing", firing),
+		trace.Int("transitions", len(transitions)))
+	for _, tr := range loud {
+		tctx, tsp := trace.Start(ctx, "slo.transition",
+			trace.Str("rule", tr.Rule),
+			trace.Str("from", tr.From),
+			trace.Str("to", tr.To),
+			trace.Float("value", tr.Value),
+			trace.Float("threshold", tr.Threshold))
+		if tr.Sample != nil {
+			tsp.SetAttr(trace.Str("sample", tr.Sample.Family),
+				trace.Float("sample_value", tr.Sample.Value))
+		}
+		e.logTransition(tctx, tr)
+		tsp.End()
+	}
+	sp.End()
+}
+
+func (e *Engine) logTransition(ctx context.Context, tr Transition) {
+	attrs := []trace.Attr{
+		trace.Str("rule", tr.Rule),
+		trace.Str("severity", tr.Severity),
+		trace.Str("from", tr.From),
+		trace.Str("to", tr.To),
+		trace.Float("value", tr.Value),
+		trace.Float("threshold", tr.Threshold),
+	}
+	if tr.Sample != nil {
+		attrs = append(attrs,
+			trace.Str("sample", (Source{Family: tr.Sample.Family, Labels: tr.Sample.Labels}).String()),
+			trace.Float("sample_value", tr.Sample.Value))
+	}
+	switch tr.To {
+	case StateFiring.String():
+		trace.Warn(ctx, "slo alert firing", attrs...)
+	case StateResolved.String():
+		trace.Info(ctx, "slo alert resolved", attrs...)
+	default:
+		trace.Debug(ctx, "slo alert "+tr.To, attrs...)
+	}
+}
+
+// Alerts returns every rule's current status, firing first, then by
+// name — the GET /alerts payload.
+func (e *Engine) Alerts() []Alert {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]Alert, 0, len(e.rules))
+	now := e.now()
+	for _, rs := range e.rules {
+		out = append(out, Alert{
+			Rule:      rs.rule.Name,
+			Severity:  rs.rule.Severity,
+			Help:      rs.rule.Help,
+			State:     rs.m.state.String(),
+			Since:     rs.m.since,
+			Value:     rs.value,
+			Threshold: rs.rule.threshold(),
+			HaveData:  rs.haveData,
+			Breaching: rs.breach,
+			Flapping:  countSince(rs.flaps, now.Add(-e.cfg.FlapWindow)) >= e.cfg.FlapMax,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		fi, fj := out[i].State == "firing", out[j].State == "firing"
+		if fi != fj {
+			return fi
+		}
+		return out[i].Rule < out[j].Rule
+	})
+	return out
+}
+
+// FiringNames returns the names of currently-firing rules, sorted —
+// what the archiver stamps into CrawlHealth.
+func (e *Engine) FiringNames() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var out []string
+	for _, rs := range e.rules {
+		if rs.m.state == StateFiring {
+			out = append(out, rs.rule.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RecentTransitions returns up to n transitions from the replay ring,
+// oldest first; n<=0 means all retained.
+func (e *Engine) RecentTransitions(n int) []Transition {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	src := e.ring
+	if n > 0 && len(src) > n {
+		src = src[len(src)-n:]
+	}
+	out := make([]Transition, len(src))
+	copy(out, src)
+	return out
+}
+
+// SubscribeTransitions registers a feed channel with the given buffer;
+// cancel unregisters it. Slow subscribers lose transitions rather than
+// stalling evaluation.
+func (e *Engine) SubscribeTransitions(buf int) (<-chan Transition, func()) {
+	if buf <= 0 {
+		buf = 16
+	}
+	ch := make(chan Transition, buf)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		close(ch)
+		return ch, func() {}
+	}
+	e.subs[ch] = struct{}{}
+	return ch, func() {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		if _, ok := e.subs[ch]; ok {
+			delete(e.subs, ch)
+			close(ch)
+		}
+	}
+}
+
+// ---- expression evaluation over the snapshot ring ----
+
+// evalRuleLocked derives the rule's current value. ok=false means "not
+// enough data" — the machine freezes rather than treating absence as
+// health or breach.
+func (e *Engine) evalRuleLocked(r Rule, now time.Time) (float64, *OffendingSample, bool) {
+	if r.Burn != nil {
+		return e.evalBurnLocked(r.Burn, now)
+	}
+	return e.evalExprLocked(r.Expr, now)
+}
+
+func (e *Engine) evalBurnLocked(b *BurnRate, now time.Time) (float64, *OffendingSample, bool) {
+	ratio := func(w time.Duration) (float64, *OffendingSample, bool) {
+		errRate, off, ok1 := e.rateLocked(b.Err, w, now)
+		okRate, _, ok2 := e.rateLocked(b.Ok, w, now)
+		if !ok1 || !ok2 || errRate+okRate == 0 {
+			return 0, nil, false
+		}
+		return errRate / (errRate + okRate), off, true
+	}
+	fast, off, okF := ratio(b.Fast)
+	slow, _, okS := ratio(b.Slow)
+	if !okF || !okS {
+		return 0, nil, false
+	}
+	// Both windows must burn; reporting the smaller ratio makes the
+	// breach condition a plain threshold comparison for the machine.
+	if slow < fast {
+		return slow, off, true
+	}
+	return fast, off, true
+}
+
+func (e *Engine) evalExprLocked(x *Expr, now time.Time) (float64, *OffendingSample, bool) {
+	switch x.Kind {
+	case KindValue:
+		v, off := sumMatching(e.curLocked(), x.Sources)
+		return v, off, true
+	case KindRate:
+		return e.rateLocked(x.Sources, x.Window, now)
+	case KindDelta:
+		v, off, ok := e.rateLocked(x.Sources, x.Window, now)
+		if !ok {
+			return 0, nil, false
+		}
+		// rateLocked reports per-second; scale back up by the actual
+		// covered span (which may be shorter than the full window
+		// early in the run).
+		span := now.Sub(e.baselineLocked(x.Window, now).at).Seconds()
+		return v * span, off, true
+	case KindQuantile:
+		return e.quantileLocked(x.Sources[0], x.Q, x.Window, now)
+	case KindRatio:
+		num, off, ok1 := e.evalExprLocked(x.Num, now)
+		den, _, ok2 := e.evalExprLocked(x.Den, now)
+		if !ok1 || !ok2 || den == 0 {
+			return 0, nil, false
+		}
+		return num / den, off, true
+	}
+	return 0, nil, false
+}
+
+// curLocked returns the newest snapshot (EvalAt just appended one).
+func (e *Engine) curLocked() obs.Snapshot { return e.samples[len(e.samples)-1].snap }
+
+// baselineLocked returns the oldest retained sample inside the window,
+// or the oldest retained sample at all when the ring is shallower than
+// the window (approximate-rate degradation, better than no signal).
+func (e *Engine) baselineLocked(window time.Duration, now time.Time) sample {
+	cut := now.Add(-window)
+	for _, s := range e.samples {
+		if !s.at.Before(cut) {
+			return s
+		}
+	}
+	return e.samples[len(e.samples)-1]
+}
+
+// rateLocked computes the per-second increase of the summed sources
+// between the window's baseline snapshot and the current one.
+func (e *Engine) rateLocked(srcs []Source, window time.Duration, now time.Time) (float64, *OffendingSample, bool) {
+	base := e.baselineLocked(window, now)
+	elapsed := now.Sub(base.at).Seconds()
+	if elapsed <= 0 {
+		return 0, nil, false // only one sample so far
+	}
+	curV, _ := sumMatching(e.curLocked(), srcs)
+	baseV, _ := sumMatching(base.snap, srcs)
+	delta := curV - baseV
+	if delta < 0 {
+		delta = 0 // counter reset
+	}
+	// Offending sample: the member with the largest increase.
+	var off *OffendingSample
+	var best float64
+	forEachMatch(e.curLocked(), srcs, func(fam string, m obs.MetricSnapshot) {
+		bv := memberValue(base.snap, fam, m.Labels)
+		d := m.Value - bv
+		if d > best {
+			best = d
+			off = &OffendingSample{Family: fam, Labels: m.Labels, Value: d / elapsed}
+		}
+	})
+	return delta / elapsed, off, true
+}
+
+// quantileLocked estimates the q-th quantile of the observations the
+// matched histogram members recorded inside the window, from the
+// bucket-count deltas between the window's edge snapshots.
+func (e *Engine) quantileLocked(src Source, q float64, window time.Duration, now time.Time) (float64, *OffendingSample, bool) {
+	base := e.baselineLocked(window, now)
+	if !now.After(base.at) {
+		return 0, nil, false
+	}
+	cum := make(map[string]uint64) // LE -> summed cumulative delta
+	var order []string
+	add := func(snap obs.Snapshot, sign int64) {
+		forEachMatch(snap, []Source{src}, func(_ string, m obs.MetricSnapshot) {
+			for _, b := range m.Buckets {
+				if _, seen := cum[b.LE]; !seen && sign > 0 {
+					order = append(order, b.LE)
+				}
+				if sign > 0 {
+					cum[b.LE] += b.Cumulative
+				} else if cum[b.LE] >= b.Cumulative {
+					cum[b.LE] -= b.Cumulative
+				} else {
+					cum[b.LE] = 0 // reset mid-window
+				}
+			}
+		})
+	}
+	add(e.curLocked(), 1)
+	add(base.snap, -1)
+	if len(order) == 0 {
+		return 0, nil, false
+	}
+	buckets := make([]obs.BucketSnapshot, len(order))
+	for i, le := range order {
+		buckets[i] = obs.BucketSnapshot{LE: le, Cumulative: cum[le]}
+	}
+	if n := buckets[len(buckets)-1].Cumulative; n == 0 {
+		return 0, nil, false // no observations in the window
+	}
+	v := obs.QuantileFromBuckets(q, buckets)
+	if math.IsNaN(v) {
+		return 0, nil, false
+	}
+	return v, &OffendingSample{Family: src.Family, Labels: src.Labels, Value: v}, true
+}
+
+// matches reports whether the member's labels contain every selector
+// label with the same value.
+func matches(m obs.MetricSnapshot, want map[string]string) bool {
+	for k, v := range want {
+		if m.Labels[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func forEachMatch(snap obs.Snapshot, srcs []Source, fn func(family string, m obs.MetricSnapshot)) {
+	for _, src := range srcs {
+		fam := snap.Family(src.Family)
+		if fam == nil {
+			continue
+		}
+		for _, m := range fam.Metrics {
+			if matches(m, src.Labels) {
+				fn(src.Family, m)
+			}
+		}
+	}
+}
+
+// sumMatching sums matched members' values (counters and gauges) and
+// returns the largest single contributor.
+func sumMatching(snap obs.Snapshot, srcs []Source) (float64, *OffendingSample) {
+	var total float64
+	var off *OffendingSample
+	forEachMatch(snap, srcs, func(fam string, m obs.MetricSnapshot) {
+		total += m.Value
+		if off == nil || m.Value > off.Value {
+			off = &OffendingSample{Family: fam, Labels: m.Labels, Value: m.Value}
+		}
+	})
+	return total, off
+}
+
+// memberValue finds one member's value by exact label match; absent
+// members read 0 (a counter that had not been created yet at baseline
+// time genuinely was 0).
+func memberValue(snap obs.Snapshot, family string, labels map[string]string) float64 {
+	fam := snap.Family(family)
+	if fam == nil {
+		return 0
+	}
+	for _, m := range fam.Metrics {
+		if len(m.Labels) == len(labels) && matches(m, labels) {
+			return m.Value
+		}
+	}
+	return 0
+}
+
+// countSince counts timestamps strictly after cut.
+func countSince(ts []time.Time, cut time.Time) int {
+	n := 0
+	for _, t := range ts {
+		if t.After(cut) {
+			n++
+		}
+	}
+	return n
+}

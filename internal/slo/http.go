@@ -1,0 +1,137 @@
+package slo
+
+// Ops status API, mounted on siftd's metrics listener next to /metrics
+// and /debug/trace/:
+//
+//	GET /alerts                 every rule's current state (JSON)
+//	GET /alerts?firing=1        only firing rules
+//	GET /alerts/transitions     recent transition ring (?n= limits,
+//	                            ?rule= filters to one rule)
+//	GET /alerts?stream=1        SSE live transition feed (also via
+//	                            Accept: text/event-stream); replays the
+//	                            ring first so late subscribers see how
+//	                            the current state was reached
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// AttachAPI mounts the alert endpoints on mux.
+func (e *Engine) AttachAPI(mux *http.ServeMux) {
+	mux.HandleFunc("GET /alerts", e.handleAlerts)
+	mux.HandleFunc("GET /alerts/transitions", e.handleTransitions)
+}
+
+func (e *Engine) handleAlerts(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("stream") == "1" ||
+		strings.Contains(r.Header.Get("Accept"), "text/event-stream") {
+		e.streamTransitions(w, r)
+		return
+	}
+	alerts := e.Alerts()
+	if r.URL.Query().Get("firing") == "1" {
+		kept := alerts[:0]
+		for _, a := range alerts {
+			if a.State == "firing" {
+				kept = append(kept, a)
+			}
+		}
+		alerts = kept
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Alerts []Alert `json:"alerts"`
+	}{alerts})
+}
+
+func (e *Engine) handleTransitions(w http.ResponseWriter, r *http.Request) {
+	n := 0
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 0 {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad n"})
+			return
+		}
+		n = v
+	}
+	trs := e.RecentTransitions(n)
+	if rule := r.URL.Query().Get("rule"); rule != "" {
+		kept := trs[:0]
+		for _, tr := range trs {
+			if tr.Rule == rule {
+				kept = append(kept, tr)
+			}
+		}
+		trs = kept
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Transitions []Transition `json:"transitions"`
+	}{trs})
+}
+
+// streamTransitions serves the live transition feed as server-sent
+// events: a replay of the ring, then transitions as evaluations produce
+// them, until the client disconnects or the engine closes. Clients
+// dedup the replay/live handoff by Seq, which is monotone.
+func (e *Engine) streamTransitions(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	// Subscribe before replaying so nothing falls between the two;
+	// at worst the newest ring entry is seen twice and Seq dedups it.
+	ch, cancel := e.SubscribeTransitions(64)
+	defer cancel()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	var lastSeq uint64
+	emit := func(tr Transition) bool {
+		if tr.Seq <= lastSeq {
+			return true
+		}
+		lastSeq = tr.Seq
+		b, err := json.Marshal(tr)
+		if err != nil {
+			return true
+		}
+		fmt.Fprintf(w, "event: transition\ndata: %s\n\n", b)
+		fl.Flush()
+		return r.Context().Err() == nil
+	}
+	if r.URL.Query().Get("replay") != "0" {
+		for _, tr := range e.RecentTransitions(0) {
+			if !emit(tr) {
+				return
+			}
+		}
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case tr, ok := <-ch:
+			if !ok {
+				return
+			}
+			if !emit(tr) {
+				return
+			}
+		}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

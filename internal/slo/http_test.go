@@ -1,0 +1,177 @@
+package slo
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestAlertsAPI(t *testing.T) {
+	every := 10 * time.Second
+	h := newHarness(t, []Rule{
+		{
+			Name: "hot", Severity: "page",
+			Expr:      &Expr{Kind: KindValue, Sources: []Source{{Family: "test_hot"}}},
+			Threshold: 0,
+		},
+		{
+			Name: "cold", Severity: "warn",
+			Expr:      &Expr{Kind: KindValue, Sources: []Source{{Family: "test_cold"}}},
+			Threshold: 0,
+		},
+	}, every)
+	h.reg.Gauge("test_hot", "h").Set(5)
+	h.reg.Gauge("test_cold", "c").Set(0)
+	h.tick() // hot → pending
+	h.tick() // hot → firing
+
+	mux := http.NewServeMux()
+	h.eng.AttachAPI(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	var body struct {
+		Alerts []Alert `json:"alerts"`
+	}
+	res, err := http.Get(srv.URL + "/alerts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(res.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if len(body.Alerts) != 2 {
+		t.Fatalf("alerts = %+v, want 2", body.Alerts)
+	}
+	// Firing sorts first.
+	if body.Alerts[0].Rule != "hot" || body.Alerts[0].State != "firing" {
+		t.Errorf("first alert = %+v, want hot firing", body.Alerts[0])
+	}
+	if body.Alerts[1].State != "inactive" {
+		t.Errorf("cold state = %s, want inactive", body.Alerts[1].State)
+	}
+
+	res, err = http.Get(srv.URL + "/alerts?firing=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body.Alerts = nil
+	if err := json.NewDecoder(res.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if len(body.Alerts) != 1 || body.Alerts[0].Rule != "hot" {
+		t.Errorf("firing filter = %+v, want just hot", body.Alerts)
+	}
+
+	var trs struct {
+		Transitions []Transition `json:"transitions"`
+	}
+	res, err = http.Get(srv.URL + "/alerts/transitions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(res.Body).Decode(&trs); err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if len(trs.Transitions) != 2 || trs.Transitions[1].To != "firing" {
+		t.Errorf("transitions = %+v, want pending then firing", trs.Transitions)
+	}
+
+	// ?rule= narrows the ring to one rule's lifecycle.
+	res, err = http.Get(srv.URL + "/alerts/transitions?rule=cold")
+	if err != nil {
+		t.Fatal(err)
+	}
+	trs.Transitions = nil
+	if err := json.NewDecoder(res.Body).Decode(&trs); err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if len(trs.Transitions) != 0 {
+		t.Errorf("rule filter for cold = %+v, want none", trs.Transitions)
+	}
+	res, err = http.Get(srv.URL + "/alerts/transitions?rule=hot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	trs.Transitions = nil
+	if err := json.NewDecoder(res.Body).Decode(&trs); err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if len(trs.Transitions) != 2 {
+		t.Errorf("rule filter for hot = %+v, want both transitions", trs.Transitions)
+	}
+}
+
+func TestAlertsSSEStream(t *testing.T) {
+	every := 10 * time.Second
+	h := newHarness(t, []Rule{{
+		Name: "hot", Severity: "page",
+		Expr:      &Expr{Kind: KindValue, Sources: []Source{{Family: "test_hot"}}},
+		Threshold: 0,
+	}}, every)
+	g := h.reg.Gauge("test_hot", "h")
+	g.Set(1)
+	h.tick() // → pending, already in the ring before the client connects
+
+	mux := http.NewServeMux()
+	h.eng.AttachAPI(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	req, _ := http.NewRequest("GET", srv.URL+"/alerts?stream=1", nil)
+	req.Header.Set("Accept", "text/event-stream")
+	res, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if ct := res.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type = %s", ct)
+	}
+
+	events := make(chan Transition, 16)
+	go func() {
+		sc := bufio.NewScanner(res.Body)
+		for sc.Scan() {
+			line := sc.Text()
+			if !strings.HasPrefix(line, "data: ") {
+				continue
+			}
+			var tr Transition
+			if json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &tr) == nil {
+				events <- tr
+			}
+		}
+	}()
+
+	next := func(what string) Transition {
+		select {
+		case tr := <-events:
+			return tr
+		case <-time.After(5 * time.Second):
+			t.Fatalf("timed out waiting for %s", what)
+			return Transition{}
+		}
+	}
+	if tr := next("replayed pending"); tr.To != "pending" {
+		t.Fatalf("replay = %+v, want →pending", tr)
+	}
+	// Live transition arrives after the replay, deduped by Seq.
+	h.tick() // → firing
+	tr := next("live firing")
+	if tr.To != "firing" || tr.Rule != "hot" {
+		t.Fatalf("live = %+v, want hot →firing", tr)
+	}
+	if tr.Seq != 2 {
+		t.Errorf("seq = %d, want 2 (replay not deduped)", tr.Seq)
+	}
+}

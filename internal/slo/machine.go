@@ -1,0 +1,101 @@
+package slo
+
+import "time"
+
+// State is an alert's position in its lifecycle.
+type State int
+
+const (
+	// StateInactive: the rule is not breaching (or has never had
+	// enough data to evaluate).
+	StateInactive State = iota
+	// StatePending: breaching, but not yet for the rule's For hold.
+	StatePending
+	// StateFiring: breached continuously through the For hold.
+	StateFiring
+	// StateResolved: was firing, then stayed clear through the
+	// ClearFor hold. Decays to Inactive on the next clear evaluation
+	// so "resolved" is visible to pollers for at least one interval.
+	StateResolved
+)
+
+func (s State) String() string {
+	switch s {
+	case StateInactive:
+		return "inactive"
+	case StatePending:
+		return "pending"
+	case StateFiring:
+		return "firing"
+	case StateResolved:
+		return "resolved"
+	}
+	return "unknown"
+}
+
+// machine is one rule's alert state machine. It is deliberately pure —
+// step consumes (now, breach, haveData) and returns the transition, if
+// any — so the property test can drive it through randomized
+// trajectories without an engine, a registry, or a clock.
+//
+// Invariants (pinned by TestMachineProperties):
+//   - Firing is only ever entered from Pending: even For=0 spends one
+//     evaluation pending, so a single noisy sample can never page
+//     directly.
+//   - Resolving takes at least ClearFor of continuous clear evaluations
+//     after the last breach; any breach during the hold restarts it
+//     (hysteresis).
+//   - A no-data evaluation freezes the machine: insufficient samples
+//     neither fire nor resolve anything.
+type machine struct {
+	state        State
+	since        time.Time // when state was entered
+	pendingSince time.Time // first breaching eval of the current episode
+	clearSince   time.Time // first clear eval while firing; zero = still breaching
+	forDur       time.Duration
+	clearDur     time.Duration
+}
+
+// step advances the machine one evaluation. It returns the transition
+// (from → to) and whether one happened.
+func (m *machine) step(now time.Time, breach, haveData bool) (from, to State, changed bool) {
+	if !haveData {
+		return m.state, m.state, false
+	}
+	from = m.state
+	switch m.state {
+	case StateInactive, StateResolved:
+		if breach {
+			m.pendingSince = now
+			m.enter(StatePending, now)
+		} else if m.state == StateResolved {
+			// Resolved is a one-interval announcement, then rest.
+			m.enter(StateInactive, now)
+		}
+	case StatePending:
+		if !breach {
+			m.enter(StateInactive, now)
+		} else if now.Sub(m.pendingSince) >= m.forDur && now.After(m.pendingSince) {
+			// now.After guards the For=0 case: the eval that entered
+			// pending must not also fire.
+			m.enter(StateFiring, now)
+		}
+	case StateFiring:
+		if breach {
+			m.clearSince = time.Time{}
+		} else if m.clearSince.IsZero() {
+			m.clearSince = now
+		} else if now.Sub(m.clearSince) >= m.clearDur && now.After(m.clearSince) {
+			m.enter(StateResolved, now)
+		}
+	}
+	return from, m.state, m.state != from
+}
+
+func (m *machine) enter(s State, now time.Time) {
+	m.state = s
+	m.since = now
+	if s != StateFiring {
+		m.clearSince = time.Time{}
+	}
+}

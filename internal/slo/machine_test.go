@@ -1,0 +1,187 @@
+package slo
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"sift/internal/obs"
+)
+
+// TestMachineProperties drives the alert state machine through
+// randomized breach trajectories — persistent episodes, fast flapping,
+// and no-data dropouts — across 16 seeds, and checks the lifecycle
+// invariants the rest of the plane relies on:
+//
+//  1. Firing is only ever entered from Pending, and never on the same
+//     evaluation that entered Pending — a single noisy sample cannot
+//     page, whatever For is.
+//  2. Resolved is only entered from Firing, after at least ClearFor of
+//     continuous clear evaluations since the last breach.
+//  3. Only legal edges occur, and nothing moves on a no-data step.
+//  4. Flapping inputs produce bounded transitions: consecutive entries
+//     into Firing are separated by at least For + ClearFor, so the
+//     number of firing episodes over a run is bounded by wall time,
+//     not by how fast the input oscillates.
+func TestMachineProperties(t *testing.T) {
+	legal := map[[2]State]bool{
+		{StateInactive, StatePending}:  true,
+		{StatePending, StateInactive}:  true,
+		{StatePending, StateFiring}:    true,
+		{StateFiring, StateResolved}:   true,
+		{StateResolved, StatePending}:  true,
+		{StateResolved, StateInactive}: true,
+	}
+	for seed := int64(1); seed <= 16; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		step := time.Duration(1+rng.Intn(30)) * time.Second
+		forDur := time.Duration(rng.Intn(10)) * step
+		clearDur := time.Duration(rng.Intn(10)) * step
+		m := machine{forDur: forDur, clearDur: clearDur}
+
+		// Markov breach signal: pFlip near 0.5 flaps hard, near 0
+		// produces long episodes. A slice of seeds covers both.
+		pFlip := []float64{0.02, 0.1, 0.5, 0.9}[rng.Intn(4)]
+		pNoData := []float64{0, 0.05, 0.3}[rng.Intn(3)]
+
+		now := time.Unix(1_700_000_000, 0)
+		breach := false
+		const steps = 2000
+
+		var (
+			pendingEnter time.Time // when Pending was last entered
+			clearStart   time.Time // first clear eval of the current clear streak
+			lastFiring   time.Time // when Firing was last entered
+			firings      int
+		)
+		for i := 0; i < steps; i++ {
+			now = now.Add(step)
+			if rng.Float64() < pFlip {
+				breach = !breach
+			}
+			haveData := rng.Float64() >= pNoData
+
+			prev := m.state
+			from, to, changed := m.step(now, breach, haveData)
+
+			if from != prev {
+				t.Fatalf("seed %d step %d: from=%v but state was %v", seed, i, from, prev)
+			}
+			if !haveData && changed {
+				t.Fatalf("seed %d step %d: transition %v→%v on a no-data eval", seed, i, from, to)
+			}
+			if changed && !legal[[2]State{from, to}] {
+				t.Fatalf("seed %d step %d: illegal edge %v→%v", seed, i, from, to)
+			}
+			if !changed && to != from {
+				t.Fatalf("seed %d step %d: changed=false but %v != %v", seed, i, from, to)
+			}
+
+			// Bookkeep the clear streak while firing.
+			if haveData && to == StateFiring {
+				if breach {
+					clearStart = time.Time{}
+				} else if clearStart.IsZero() {
+					clearStart = now
+				}
+			}
+
+			if changed {
+				switch to {
+				case StatePending:
+					pendingEnter = now
+				case StateFiring:
+					// (1) via Pending, with the full For hold elapsed,
+					// and never the same eval Pending was entered.
+					if from != StatePending {
+						t.Fatalf("seed %d step %d: fired from %v, want pending", seed, i, from)
+					}
+					if held := now.Sub(pendingEnter); held < forDur || held == 0 {
+						t.Fatalf("seed %d step %d: fired after %v pending, want >= %v and > 0",
+							seed, i, held, forDur)
+					}
+					// (4) firing episodes are rate-limited by the holds.
+					if firings > 0 {
+						if gap := now.Sub(lastFiring); gap < forDur+clearDur {
+							t.Fatalf("seed %d step %d: refired after %v, want >= %v",
+								seed, i, gap, forDur+clearDur)
+						}
+					}
+					firings++
+					lastFiring = now
+					clearStart = time.Time{}
+				case StateResolved:
+					// (2) the clear streak covered ClearFor and began
+					// strictly before this eval.
+					if clearStart.IsZero() {
+						t.Fatalf("seed %d step %d: resolved while still breaching", seed, i)
+					}
+					if held := now.Sub(clearStart); held < clearDur || held == 0 {
+						t.Fatalf("seed %d step %d: resolved after %v clear, want >= %v and > 0",
+							seed, i, held, clearDur)
+					}
+				}
+			}
+		}
+		// (4) closed form: wall time bounds episodes regardless of
+		// input oscillation. Each episode costs >= one step pending +
+		// one step clearing even with zero holds.
+		wall := time.Duration(steps) * step
+		bound := int(wall/(forDur+clearDur+2*step)) + 1
+		if firings > bound {
+			t.Fatalf("seed %d: %d firing episodes, bound %d", seed, firings, bound)
+		}
+	}
+}
+
+// TestEngineFlapSuppression checks the engine-level wrapper around the
+// machine: a rule oscillating every interval keeps transitioning (the
+// machine's invariants stay intact) but its announcements are
+// suppressed once the flap budget is spent.
+func TestEngineFlapSuppression(t *testing.T) {
+	every := 10 * time.Second
+	reg := obs.NewRegistry()
+	now := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	eng, err := New(Config{
+		Rules: []Rule{{
+			Name: "flappy", Severity: "warn",
+			Expr:      &Expr{Kind: KindValue, Sources: []Source{{Family: "test_flap"}}},
+			Threshold: 0,
+		}},
+		Metrics:    reg,
+		Every:      every,
+		FlapWindow: 10 * every,
+		FlapMax:    4,
+		Now:        func() time.Time { return now },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := reg.Gauge("test_flap", "flap signal")
+
+	var announced, suppressed int
+	for i := 0; i < 40; i++ {
+		now = now.Add(every)
+		g.Set(float64(i % 2)) // 1,0,1,0,... breach every other eval
+		for _, tr := range eng.EvalAt(now, reg.Snapshot()) {
+			if tr.Suppressed {
+				suppressed++
+			} else {
+				announced++
+			}
+		}
+	}
+	if suppressed == 0 {
+		t.Error("no transitions suppressed under a hard flap")
+	}
+	if announced >= suppressed {
+		t.Errorf("announced %d >= suppressed %d: flap suppression barely engaged", announced, suppressed)
+	}
+	if announced > 4 {
+		t.Errorf("announced %d transitions, want <= FlapMax", announced)
+	}
+	snap := reg.Snapshot()
+	if snap.Family("sift_slo_suppressed_total").Total() != float64(suppressed) {
+		t.Error("suppressed counter disagrees with the transition flags")
+	}
+}

@@ -1,0 +1,152 @@
+package slo
+
+import "time"
+
+// DefaultRules is the shipped pack: one rule per way the long-running
+// archiver deployment has actually degraded in the chaos studies —
+// crawl failures, frame gaps, slow fetches, feed backpressure, lease
+// churn, fusion falling off its primary signal, write-behind drops,
+// and benched fetcher units. Durations assume the default 15s
+// evaluation interval; `siftd -slo-compress` scales them down for CI.
+func DefaultRules() []Rule {
+	return []Rule{
+		{
+			// The headline SLO: archiver crawl rounds succeed. Both
+			// degraded and error outcomes spend error budget — a
+			// degraded crawl served stale or partial frames.
+			Name:     "archiver-crawl-failure",
+			Severity: "page",
+			Help:     "archiver crawl failure ratio is burning the error budget in both the fast and slow window",
+			Burn: &BurnRate{
+				Err: []Source{
+					{Family: "sift_archiver_crawls_total", Labels: map[string]string{"outcome": "error"}},
+					{Family: "sift_archiver_crawls_total", Labels: map[string]string{"outcome": "degraded"}},
+				},
+				Ok:     []Source{{Family: "sift_archiver_crawls_total", Labels: map[string]string{"outcome": "ok"}}},
+				Budget: 0.05,
+				Factor: 4,
+				Fast:   5 * time.Minute,
+				Slow:   30 * time.Minute,
+			},
+			For:      time.Minute,
+			ClearFor: 2 * time.Minute,
+		},
+		{
+			// Gaps are frame windows no round managed to fetch — the
+			// direct precursor of holes in the archived series.
+			Name:     "pipeline-gap-ratio",
+			Severity: "page",
+			Help:     "fraction of frame windows lost to gaps exceeds the gap budget",
+			Burn: &BurnRate{
+				Err:    []Source{{Family: "sift_pipeline_gaps_total"}},
+				Ok:     []Source{{Family: "sift_pipeline_frames_total"}},
+				Budget: 0.02,
+				Factor: 5,
+				Fast:   5 * time.Minute,
+				Slow:   30 * time.Minute,
+			},
+			For:      time.Minute,
+			ClearFor: 2 * time.Minute,
+		},
+		{
+			// Fetch latency p99 from the stage histogram: rate-limit
+			// backoffs and upstream slowness land here first.
+			Name:     "fetch-latency-p99",
+			Severity: "warn",
+			Help:     "pipeline fetch-stage p99 latency over the last 10m is above 2.5s",
+			Expr: &Expr{
+				Kind:    KindQuantile,
+				Q:       0.99,
+				Window:  10 * time.Minute,
+				Sources: []Source{{Family: "sift_pipeline_stage_seconds", Labels: map[string]string{"stage": "fetch"}}},
+			},
+			Threshold: 2.5,
+			For:       2 * time.Minute,
+			ClearFor:  5 * time.Minute,
+		},
+		{
+			// The feed drops updates only when a subscriber stalls
+			// past its buffer — any sustained rate means consumers are
+			// losing spikes.
+			Name:     "archiver-feed-drops",
+			Severity: "warn",
+			Help:     "spike-feed updates are being dropped on slow subscribers",
+			Expr: &Expr{
+				Kind:    KindRate,
+				Window:  5 * time.Minute,
+				Sources: []Source{{Family: "sift_archiver_feed_dropped_total"}},
+			},
+			Threshold: 0,
+			For:       time.Minute,
+			ClearFor:  5 * time.Minute,
+		},
+		{
+			// Steals mean workers are dying (or stalling past their
+			// lease) fast enough that peers reclaim their units.
+			Name:     "crawlplane-lease-steals",
+			Severity: "warn",
+			Help:     "lease steals indicate crawl-plane workers are dying or stalling",
+			Expr: &Expr{
+				Kind:    KindDelta,
+				Window:  10 * time.Minute,
+				Sources: []Source{{Family: "sift_crawlplane_lease_events_total", Labels: map[string]string{"event": "stolen"}}},
+			},
+			Threshold: 3,
+			For:       time.Minute,
+			ClearFor:  5 * time.Minute,
+		},
+		{
+			// Fusion falling back means the primary trends signal is
+			// unavailable or incoherent; a high sustained ratio turns
+			// the detector into a pageviews-only instrument.
+			Name:     "fusion-fallback-ratio",
+			Severity: "warn",
+			Help:     "more than 30% of fused frames came from the fallback source over 10m",
+			Expr: &Expr{
+				Kind: KindRatio,
+				Num: &Expr{
+					Kind:    KindRate,
+					Window:  10 * time.Minute,
+					Sources: []Source{{Family: "sift_fusion_fallbacks_total"}},
+				},
+				Den: &Expr{
+					Kind:    KindRate,
+					Window:  10 * time.Minute,
+					Sources: []Source{{Family: "sift_fusion_selected_total"}},
+				},
+			},
+			Threshold: 0.3,
+			For:       2 * time.Minute,
+			ClearFor:  5 * time.Minute,
+		},
+		{
+			// Write-behind drops lose archived mutations outright.
+			Name:     "store-writebehind-drops",
+			Severity: "page",
+			Help:     "write-behind mutations are being dropped",
+			Expr: &Expr{
+				Kind:    KindRate,
+				Window:  5 * time.Minute,
+				Sources: []Source{{Family: "sift_store_writebehind_dropped_total"}},
+			},
+			Threshold: 0,
+			For:       time.Minute,
+			ClearFor:  5 * time.Minute,
+		},
+		{
+			// Benched fetcher units: the client-side breaker has taken
+			// capacity out of rotation. An instant gauge rule — no
+			// window, just "is any unit benched right now".
+			Name:     "gtclient-breaker-open",
+			Severity: "warn",
+			Help:     "circuit breaker has benched at least one fetcher unit",
+			Expr: &Expr{
+				Kind:    KindValue,
+				Sources: []Source{{Family: "sift_gtclient_breaker_open_units"}},
+			},
+			Threshold: 0,
+			For:       time.Minute,
+			ClearFor:  2 * time.Minute,
+		},
+	}
+}

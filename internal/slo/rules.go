@@ -1,0 +1,361 @@
+// Package slo is the crawl's self-monitoring plane: a dependency-free
+// rule engine that periodically snapshots the obs registry, derives
+// windowed signals from it (counter rates and deltas, gauge thresholds,
+// histogram quantiles, multi-window burn rates over error budgets), and
+// drives a per-rule alert state machine with for-duration hysteresis
+// and flap suppression. The paper's framing — outage detection as
+// deviation from an expected baseline — applies to the detector itself:
+// a service archiving outage signals for weeks must notice its own
+// degradation before its spike feeds silently go stale.
+package slo
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Source selects members of one metric family: members match when every
+// label in Labels is present with the same value (subset match), so an
+// empty Labels selects the whole family. Expressions sum across every
+// matched member, which is how outcome unions like
+// {outcome=error}+{outcome=degraded} are written.
+type Source struct {
+	Family string            `json:"family"`
+	Labels map[string]string `json:"labels,omitempty"`
+}
+
+func (s Source) String() string {
+	if len(s.Labels) == 0 {
+		return s.Family
+	}
+	keys := make([]string, 0, len(s.Labels))
+	for k := range s.Labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(s.Family)
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, s.Labels[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// ExprKind enumerates the derivations the engine can apply to matched
+// members.
+type ExprKind int
+
+const (
+	// KindValue is the instant sum of matched members — gauge
+	// thresholds, mostly. Absent families read 0.
+	KindValue ExprKind = iota
+	// KindRate is the per-second counter increase over Window,
+	// measured between the current snapshot and the oldest retained
+	// snapshot inside the window. Needs two samples; counter resets
+	// clamp to 0.
+	KindRate
+	// KindDelta is the absolute counter increase over Window.
+	KindDelta
+	// KindQuantile estimates the q-th quantile of the observations a
+	// histogram recorded inside Window, from the bucket-count delta
+	// between the window's edge snapshots.
+	KindQuantile
+	// KindRatio divides Num by Den; a zero denominator means "no
+	// data", freezing the rule rather than breaching it.
+	KindRatio
+)
+
+func (k ExprKind) String() string {
+	switch k {
+	case KindValue:
+		return "value"
+	case KindRate:
+		return "rate"
+	case KindDelta:
+		return "delta"
+	case KindQuantile:
+		return "quantile"
+	case KindRatio:
+		return "ratio"
+	}
+	return fmt.Sprintf("ExprKind(%d)", int(k))
+}
+
+// Expr is one derived signal over the registry. Value/Rate/Delta/
+// Quantile are leaves reading Sources; Ratio composes two sub-exprs.
+type Expr struct {
+	Kind    ExprKind      `json:"kind"`
+	Sources []Source      `json:"sources,omitempty"`
+	Window  time.Duration `json:"window,omitempty"`
+	Q       float64       `json:"q,omitempty"`
+	Num     *Expr         `json:"num,omitempty"`
+	Den     *Expr         `json:"den,omitempty"`
+}
+
+// BurnRate is the multi-window error-budget rule: the failure ratio
+// err/(err+ok), computed as rates over both a fast and a slow window,
+// must exceed Factor×Budget in BOTH windows to breach. The fast window
+// makes the alert react quickly; the slow window keeps a brief blip
+// from paging. This is the standard multi-window multi-burn-rate
+// construction from SRE practice, applied to crawl outcomes instead of
+// request outcomes.
+type BurnRate struct {
+	// Err and Ok select the failure and success counters; the failure
+	// ratio is rate(Err)/(rate(Err)+rate(Ok)).
+	Err []Source `json:"err"`
+	Ok  []Source `json:"ok"`
+	// Budget is the failure ratio the objective tolerates (e.g. 0.05
+	// = 95% of crawls must succeed).
+	Budget float64 `json:"budget"`
+	// Factor is the burn-rate multiple that breaches: the alert fires
+	// when the budget is being consumed Factor times faster than the
+	// objective allows.
+	Factor float64 `json:"factor"`
+	// Fast and Slow are the two evaluation windows, Fast < Slow.
+	Fast time.Duration `json:"fast"`
+	Slow time.Duration `json:"slow"`
+}
+
+// Op compares a rule's derived value against its threshold.
+type Op int
+
+const (
+	OpGT Op = iota // value > threshold breaches
+	OpLT           // value < threshold breaches
+)
+
+func (o Op) String() string {
+	if o == OpLT {
+		return "<"
+	}
+	return ">"
+}
+
+// Rule is one alert definition: either a derived Expr compared against
+// Threshold, or a Burn block (exactly one of the two). For is the
+// pending hold — the breach must persist that long before the rule
+// fires; ClearFor is the resolve hold — the breach must stay clear that
+// long before a firing rule resolves. Both guard against flapping on a
+// single noisy sample.
+type Rule struct {
+	Name      string        `json:"name"`
+	Severity  string        `json:"severity"`
+	Help      string        `json:"help,omitempty"`
+	Expr      *Expr         `json:"expr,omitempty"`
+	Op        Op            `json:"op,omitempty"`
+	Threshold float64       `json:"threshold,omitempty"`
+	Burn      *BurnRate     `json:"burn,omitempty"`
+	For       time.Duration `json:"for"`
+	ClearFor  time.Duration `json:"clear_for"`
+}
+
+// threshold returns the effective breach threshold — explicit for Expr
+// rules, Factor×Budget for burn rules.
+func (r Rule) threshold() float64 {
+	if r.Burn != nil {
+		return r.Burn.Factor * r.Burn.Budget
+	}
+	return r.Threshold
+}
+
+var (
+	ruleName   = regexp.MustCompile(`^[a-z][a-z0-9-]*$`)
+	familyName = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	severities = map[string]bool{"info": true, "warn": true, "page": true}
+)
+
+// ValidateRules checks a rule pack for well-formedness: unique
+// kebab-case names, known severities, exactly one of expr/burn,
+// structurally sound expressions, and sane burn windows. cmd/slocheck
+// runs this in CI so a malformed default pack cannot ship.
+func ValidateRules(rules []Rule) error {
+	if len(rules) == 0 {
+		return fmt.Errorf("slo: empty rule pack")
+	}
+	seen := make(map[string]bool, len(rules))
+	for _, r := range rules {
+		if !ruleName.MatchString(r.Name) {
+			return fmt.Errorf("slo: rule name %q not kebab-case", r.Name)
+		}
+		if seen[r.Name] {
+			return fmt.Errorf("slo: duplicate rule %q", r.Name)
+		}
+		seen[r.Name] = true
+		if !severities[r.Severity] {
+			return fmt.Errorf("slo: rule %q: unknown severity %q", r.Name, r.Severity)
+		}
+		if (r.Expr == nil) == (r.Burn == nil) {
+			return fmt.Errorf("slo: rule %q: want exactly one of expr or burn", r.Name)
+		}
+		if r.For < 0 || r.ClearFor < 0 {
+			return fmt.Errorf("slo: rule %q: negative hold duration", r.Name)
+		}
+		if r.Expr != nil {
+			if err := validateExpr(r.Expr); err != nil {
+				return fmt.Errorf("slo: rule %q: %w", r.Name, err)
+			}
+		}
+		if r.Burn != nil {
+			if err := validateBurn(r.Burn); err != nil {
+				return fmt.Errorf("slo: rule %q: %w", r.Name, err)
+			}
+		}
+	}
+	return nil
+}
+
+func validateSources(srcs []Source) error {
+	if len(srcs) == 0 {
+		return fmt.Errorf("no sources")
+	}
+	for _, s := range srcs {
+		if !familyName.MatchString(s.Family) {
+			return fmt.Errorf("bad family name %q", s.Family)
+		}
+	}
+	return nil
+}
+
+func validateExpr(e *Expr) error {
+	switch e.Kind {
+	case KindValue:
+		return validateSources(e.Sources)
+	case KindRate, KindDelta:
+		if e.Window <= 0 {
+			return fmt.Errorf("%s needs a positive window", e.Kind)
+		}
+		return validateSources(e.Sources)
+	case KindQuantile:
+		if e.Window <= 0 {
+			return fmt.Errorf("quantile needs a positive window")
+		}
+		if e.Q <= 0 || e.Q > 1 {
+			return fmt.Errorf("quantile q=%v out of (0,1]", e.Q)
+		}
+		if len(e.Sources) != 1 {
+			// Multiple histogram families could disagree on bucket
+			// bounds; summing their counts would be meaningless.
+			return fmt.Errorf("quantile takes exactly one source, got %d", len(e.Sources))
+		}
+		return validateSources(e.Sources)
+	case KindRatio:
+		if e.Num == nil || e.Den == nil {
+			return fmt.Errorf("ratio needs num and den")
+		}
+		if e.Num.Kind == KindRatio || e.Den.Kind == KindRatio {
+			return fmt.Errorf("nested ratios are not supported")
+		}
+		if err := validateExpr(e.Num); err != nil {
+			return fmt.Errorf("num: %w", err)
+		}
+		if err := validateExpr(e.Den); err != nil {
+			return fmt.Errorf("den: %w", err)
+		}
+		return nil
+	}
+	return fmt.Errorf("unknown expr kind %d", int(e.Kind))
+}
+
+func validateBurn(b *BurnRate) error {
+	if err := validateSources(b.Err); err != nil {
+		return fmt.Errorf("err: %w", err)
+	}
+	if err := validateSources(b.Ok); err != nil {
+		return fmt.Errorf("ok: %w", err)
+	}
+	if b.Budget <= 0 || b.Budget >= 1 {
+		return fmt.Errorf("budget %v out of (0,1)", b.Budget)
+	}
+	if b.Factor <= 0 {
+		return fmt.Errorf("factor %v must be positive", b.Factor)
+	}
+	if b.Factor*b.Budget > 1 {
+		return fmt.Errorf("factor×budget %v exceeds 1: unreachable threshold", b.Factor*b.Budget)
+	}
+	if b.Fast <= 0 || b.Slow <= 0 || b.Fast >= b.Slow {
+		return fmt.Errorf("want 0 < fast < slow, got fast=%v slow=%v", b.Fast, b.Slow)
+	}
+	return nil
+}
+
+// maxWindow returns the longest lookback any rule needs — what sizes
+// the engine's snapshot ring.
+func maxWindow(rules []Rule) time.Duration {
+	var max time.Duration
+	grow := func(d time.Duration) {
+		if d > max {
+			max = d
+		}
+	}
+	var walk func(e *Expr)
+	walk = func(e *Expr) {
+		if e == nil {
+			return
+		}
+		grow(e.Window)
+		walk(e.Num)
+		walk(e.Den)
+	}
+	for _, r := range rules {
+		walk(r.Expr)
+		if r.Burn != nil {
+			grow(r.Burn.Slow)
+		}
+	}
+	return max
+}
+
+// Compress returns a copy of the pack with every duration (windows,
+// holds) divided by factor, floored at one second. A multi-minute
+// production pack compressed 60× runs its full pending→firing→resolved
+// lifecycle inside a CI minute without changing any rule's shape —
+// which is exactly what `siftd -slo-compress` is for.
+func Compress(rules []Rule, factor float64) []Rule {
+	if factor <= 1 {
+		return rules
+	}
+	scale := func(d time.Duration) time.Duration {
+		if d <= 0 {
+			return d
+		}
+		s := time.Duration(float64(d) / factor)
+		if s < time.Second {
+			s = time.Second
+		}
+		return s
+	}
+	var scaleExpr func(e *Expr) *Expr
+	scaleExpr = func(e *Expr) *Expr {
+		if e == nil {
+			return nil
+		}
+		c := *e
+		c.Window = scale(e.Window)
+		c.Num = scaleExpr(e.Num)
+		c.Den = scaleExpr(e.Den)
+		return &c
+	}
+	out := make([]Rule, len(rules))
+	for i, r := range rules {
+		c := r
+		c.For = scale(r.For)
+		c.ClearFor = scale(r.ClearFor)
+		c.Expr = scaleExpr(r.Expr)
+		if r.Burn != nil {
+			b := *r.Burn
+			b.Fast = scale(b.Fast)
+			b.Slow = scale(b.Slow)
+			c.Burn = &b
+		}
+		out[i] = c
+	}
+	return out
+}

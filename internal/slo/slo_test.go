@@ -1,0 +1,407 @@
+package slo
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"sift/internal/obs"
+)
+
+// evalHarness drives an Engine with a synthetic clock over a private
+// registry, one interval per Tick.
+type evalHarness struct {
+	t      *testing.T
+	reg    *obs.Registry
+	eng    *Engine
+	now    time.Time
+	every  time.Duration
+	transs []Transition
+}
+
+func newHarness(t *testing.T, rules []Rule, every time.Duration) *evalHarness {
+	t.Helper()
+	h := &evalHarness{
+		t:     t,
+		reg:   obs.NewRegistry(),
+		now:   time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC),
+		every: every,
+	}
+	eng, err := New(Config{
+		Rules:   rules,
+		Metrics: h.reg,
+		Every:   every,
+		Now:     func() time.Time { return h.now },
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	h.eng = eng
+	return h
+}
+
+func (h *evalHarness) tick() []Transition {
+	h.now = h.now.Add(h.every)
+	trs := h.eng.EvalAt(h.now, h.reg.Snapshot())
+	h.transs = append(h.transs, trs...)
+	return trs
+}
+
+func (h *evalHarness) state(rule string) string {
+	for _, a := range h.eng.Alerts() {
+		if a.Rule == rule {
+			return a.State
+		}
+	}
+	h.t.Fatalf("rule %s not in Alerts()", rule)
+	return ""
+}
+
+func TestValidateDefaultPack(t *testing.T) {
+	if err := ValidateRules(DefaultRules()); err != nil {
+		t.Fatalf("default pack invalid: %v", err)
+	}
+	// Compression keeps it valid and scales durations down.
+	c := Compress(DefaultRules(), 60)
+	if err := ValidateRules(c); err != nil {
+		t.Fatalf("compressed pack invalid: %v", err)
+	}
+	for i, r := range c {
+		if r.Burn != nil && r.Burn.Slow > time.Minute {
+			t.Errorf("rule %d slow window %v not compressed", i, r.Burn.Slow)
+		}
+	}
+}
+
+func TestValidateRulesRejects(t *testing.T) {
+	base := Rule{Name: "ok-rule", Severity: "warn",
+		Expr: &Expr{Kind: KindValue, Sources: []Source{{Family: "sift_x"}}}}
+	cases := map[string]Rule{
+		"bad name":        {Name: "Bad Name", Severity: "warn", Expr: base.Expr},
+		"bad severity":    {Name: "a", Severity: "fatal", Expr: base.Expr},
+		"expr and burn":   {Name: "a", Severity: "warn", Expr: base.Expr, Burn: &BurnRate{}},
+		"neither":         {Name: "a", Severity: "warn"},
+		"no sources":      {Name: "a", Severity: "warn", Expr: &Expr{Kind: KindValue}},
+		"rate no window":  {Name: "a", Severity: "warn", Expr: &Expr{Kind: KindRate, Sources: base.Expr.Sources}},
+		"quantile bad q":  {Name: "a", Severity: "warn", Expr: &Expr{Kind: KindQuantile, Window: time.Minute, Q: 1.5, Sources: base.Expr.Sources}},
+		"quantile 2 srcs": {Name: "a", Severity: "warn", Expr: &Expr{Kind: KindQuantile, Window: time.Minute, Q: 0.5, Sources: []Source{{Family: "sift_a"}, {Family: "sift_b"}}}},
+		"ratio no den":    {Name: "a", Severity: "warn", Expr: &Expr{Kind: KindRatio, Num: base.Expr}},
+		"burn fast>slow": {Name: "a", Severity: "warn", Burn: &BurnRate{
+			Err: base.Expr.Sources, Ok: base.Expr.Sources, Budget: 0.1, Factor: 2,
+			Fast: time.Hour, Slow: time.Minute}},
+		"burn budget 0": {Name: "a", Severity: "warn", Burn: &BurnRate{
+			Err: base.Expr.Sources, Ok: base.Expr.Sources, Budget: 0, Factor: 2,
+			Fast: time.Minute, Slow: time.Hour}},
+		"burn unreachable": {Name: "a", Severity: "warn", Burn: &BurnRate{
+			Err: base.Expr.Sources, Ok: base.Expr.Sources, Budget: 0.5, Factor: 3,
+			Fast: time.Minute, Slow: time.Hour}},
+	}
+	for name, r := range cases {
+		if err := ValidateRules([]Rule{r}); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	if err := ValidateRules([]Rule{base, base}); err == nil ||
+		!strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("duplicate names: err = %v", err)
+	}
+}
+
+func TestGaugeThresholdLifecycle(t *testing.T) {
+	every := 10 * time.Second
+	h := newHarness(t, []Rule{{
+		Name: "breaker", Severity: "warn",
+		Expr:      &Expr{Kind: KindValue, Sources: []Source{{Family: "test_open_units"}}},
+		Threshold: 0,
+		For:       15 * time.Second, // = 2 ticks of pending
+		ClearFor:  15 * time.Second,
+	}}, every)
+	g := h.reg.Gauge("test_open_units", "units")
+
+	h.tick()
+	if got := h.state("breaker"); got != "inactive" {
+		t.Fatalf("healthy state = %s, want inactive", got)
+	}
+	g.Set(2)
+	h.tick()
+	if got := h.state("breaker"); got != "pending" {
+		t.Fatalf("first breach state = %s, want pending", got)
+	}
+	h.tick() // 10s pending < 15s For
+	if got := h.state("breaker"); got != "pending" {
+		t.Fatalf("held state = %s, want still pending", got)
+	}
+	h.tick() // 20s pending >= For
+	if got := h.state("breaker"); got != "firing" {
+		t.Fatalf("post-For state = %s, want firing", got)
+	}
+	g.Set(0)
+	h.tick() // clear hold starts
+	h.tick() // 10s clear < 15s
+	if got := h.state("breaker"); got != "firing" {
+		t.Fatalf("mid-clear state = %s, want still firing", got)
+	}
+	h.tick() // 20s clear
+	if got := h.state("breaker"); got != "resolved" {
+		t.Fatalf("post-clear state = %s, want resolved", got)
+	}
+	h.tick()
+	if got := h.state("breaker"); got != "inactive" {
+		t.Fatalf("decayed state = %s, want inactive", got)
+	}
+
+	// Full lifecycle left a coherent transition trail.
+	var path []string
+	for _, tr := range h.transs {
+		path = append(path, tr.To)
+	}
+	want := []string{"pending", "firing", "resolved", "inactive"}
+	if len(path) != len(want) {
+		t.Fatalf("transition path %v, want %v", path, want)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("transition path %v, want %v", path, want)
+		}
+	}
+}
+
+func TestRateAndDeltaRules(t *testing.T) {
+	every := 10 * time.Second
+	h := newHarness(t, []Rule{
+		{
+			Name: "drop-rate", Severity: "warn",
+			Expr: &Expr{Kind: KindRate, Window: time.Minute,
+				Sources: []Source{{Family: "test_dropped_total"}}},
+			Threshold: 0.5, // per second
+		},
+		{
+			Name: "steal-delta", Severity: "warn",
+			Expr: &Expr{Kind: KindDelta, Window: time.Minute,
+				Sources: []Source{{Family: "test_steals_total", Labels: map[string]string{"event": "stolen"}}}},
+			Threshold: 3,
+		},
+	}, every)
+	drops := h.reg.Counter("test_dropped_total", "d")
+	steals := h.reg.CounterVec("test_steals_total", "s", "event")
+
+	// Single sample: windowed rules have no baseline → no data, frozen.
+	h.tick()
+	for _, a := range h.eng.Alerts() {
+		if a.HaveData {
+			t.Errorf("rule %s claims data after one sample", a.Rule)
+		}
+	}
+
+	// 10 drops in 10s = 1/s > 0.5 → breach (pending).
+	drops.Add(10)
+	// 5 steals but on the wrong label → delta rule must NOT see them.
+	steals.With("expired").Add(5)
+	h.tick()
+	if got := h.state("drop-rate"); got != "pending" {
+		t.Errorf("drop-rate = %s, want pending", got)
+	}
+	if got := h.state("steal-delta"); got != "inactive" {
+		t.Errorf("steal-delta = %s, want inactive (label filter leaked)", got)
+	}
+
+	steals.With("stolen").Add(4) // 4 > 3 within the window
+	h.tick()
+	if got := h.state("steal-delta"); got != "pending" {
+		t.Errorf("steal-delta = %s, want pending after 4 steals", got)
+	}
+}
+
+func TestBurnRateBothWindowsMustBurn(t *testing.T) {
+	every := 10 * time.Second
+	rule := Rule{
+		Name: "crawl-burn", Severity: "page",
+		Burn: &BurnRate{
+			Err:    []Source{{Family: "test_crawls_total", Labels: map[string]string{"outcome": "error"}}},
+			Ok:     []Source{{Family: "test_crawls_total", Labels: map[string]string{"outcome": "ok"}}},
+			Budget: 0.05, Factor: 4, // threshold ratio 0.2
+			Fast: 30 * time.Second, Slow: 3 * time.Minute,
+		},
+	}
+	h := newHarness(t, []Rule{rule}, every)
+	crawls := h.reg.CounterVec("test_crawls_total", "c", "outcome")
+
+	// Long healthy history fills the slow window with success.
+	for i := 0; i < 18; i++ {
+		crawls.With("ok").Add(10)
+		h.tick()
+	}
+	if got := h.state("crawl-burn"); got != "inactive" {
+		t.Fatalf("healthy burn state = %s", got)
+	}
+
+	// A short error blip breaches the fast window but the slow window
+	// still remembers the healthy majority → no alert.
+	crawls.With("error").Add(10)
+	h.tick()
+	if got := h.state("crawl-burn"); got != "inactive" {
+		t.Errorf("one blip fired the burn rule: %s (slow window ignored)", got)
+	}
+
+	// Sustained failure pushes BOTH windows past 4× budget.
+	for i := 0; i < 18; i++ {
+		crawls.With("error").Add(10)
+		h.tick()
+	}
+	if got := h.state("crawl-burn"); got != "firing" {
+		t.Errorf("sustained failure state = %s, want firing", got)
+	}
+}
+
+func TestQuantileRuleOverWindow(t *testing.T) {
+	every := 10 * time.Second
+	h := newHarness(t, []Rule{{
+		Name: "fetch-p99", Severity: "warn",
+		Expr: &Expr{Kind: KindQuantile, Q: 0.99, Window: time.Minute,
+			Sources: []Source{{Family: "test_stage_seconds", Labels: map[string]string{"stage": "fetch"}}}},
+		Threshold: 2.5,
+	}}, every)
+	hv := h.reg.HistogramVec("test_stage_seconds", "t", nil, "stage")
+	fetch := hv.With("fetch")
+
+	// Old slow observations, outside the window by the time we assert.
+	for i := 0; i < 100; i++ {
+		fetch.Observe(9)
+	}
+	for i := 0; i < 8; i++ {
+		h.tick() // ticks 80s: the slow batch falls out of the 60s window
+	}
+	// Fresh fast observations dominate the current window.
+	for i := 0; i < 100; i++ {
+		fetch.Observe(0.01)
+	}
+	h.tick()
+	if got := h.state("fetch-p99"); got != "inactive" {
+		t.Errorf("windowed p99 state = %s, want inactive (old slow samples leaked in)", got)
+	}
+	// Now a slow burst inside the window.
+	for i := 0; i < 100; i++ {
+		fetch.Observe(9)
+	}
+	h.tick()
+	if got := h.state("fetch-p99"); got != "pending" {
+		t.Errorf("slow burst state = %s, want pending", got)
+	}
+	var alert Alert
+	for _, a := range h.eng.Alerts() {
+		if a.Rule == "fetch-p99" {
+			alert = a
+		}
+	}
+	if alert.Value <= 2.5 || math.IsNaN(alert.Value) {
+		t.Errorf("p99 value = %v, want > 2.5", alert.Value)
+	}
+}
+
+func TestRatioRuleFreezesOnZeroDenominator(t *testing.T) {
+	every := 10 * time.Second
+	h := newHarness(t, []Rule{{
+		Name: "fallback-ratio", Severity: "warn",
+		Expr: &Expr{Kind: KindRatio,
+			Num: &Expr{Kind: KindRate, Window: time.Minute, Sources: []Source{{Family: "test_fallbacks_total"}}},
+			Den: &Expr{Kind: KindRate, Window: time.Minute, Sources: []Source{{Family: "test_selected_total"}}},
+		},
+		Threshold: 0.3,
+	}}, every)
+	fb := h.reg.Counter("test_fallbacks_total", "f")
+	sel := h.reg.Counter("test_selected_total", "s")
+
+	h.tick()
+	h.tick() // baseline exists, but both rates are 0 → den 0 → frozen
+	for _, a := range h.eng.Alerts() {
+		if a.HaveData {
+			t.Errorf("ratio claims data with zero denominator")
+		}
+	}
+	fb.Add(8)
+	sel.Add(10)
+	h.tick()
+	if got := h.state("fallback-ratio"); got != "pending" {
+		t.Errorf("ratio 0.8 state = %s, want pending", got)
+	}
+}
+
+func TestTransitionCarriesOffendingSample(t *testing.T) {
+	every := 10 * time.Second
+	h := newHarness(t, []Rule{{
+		Name: "crawl-errors", Severity: "warn",
+		Expr: &Expr{Kind: KindRate, Window: time.Minute,
+			Sources: []Source{{Family: "test_crawls_total", Labels: map[string]string{"outcome": "error"}}}},
+		Threshold: 0,
+	}}, every)
+	crawls := h.reg.CounterVec("test_crawls_total", "c", "outcome", "state")
+	h.tick()
+	crawls.With("error", "OR").Add(1)
+	crawls.With("error", "WA").Add(9) // the dominant offender
+	trs := h.tick()
+	if len(trs) != 1 || trs[0].To != "pending" {
+		t.Fatalf("transitions = %+v, want one →pending", trs)
+	}
+	s := trs[0].Sample
+	if s == nil || s.Family != "test_crawls_total" || s.Labels["state"] != "WA" {
+		t.Errorf("offending sample = %+v, want the WA error member", s)
+	}
+}
+
+func TestEngineMetricsFamilies(t *testing.T) {
+	h := newHarness(t, []Rule{{
+		Name: "g", Severity: "warn",
+		Expr:      &Expr{Kind: KindValue, Sources: []Source{{Family: "test_g"}}},
+		Threshold: 0,
+	}}, 10*time.Second)
+	h.reg.Gauge("test_g", "g").Set(1)
+	h.tick()
+	h.tick()
+	snap := h.reg.Snapshot()
+	// Tick 1 enters pending; tick 2 fires (For=0 still spends one
+	// evaluation pending), so two transitions happened.
+	for fam, wantTotal := range map[string]float64{
+		"sift_slo_rules":             1,
+		"sift_slo_evals_total":       2,
+		"sift_slo_alert_state":       float64(StateFiring),
+		"sift_slo_transitions_total": 2,
+		"sift_slo_rule_value":        1,
+		"sift_slo_alerts_firing":     1,
+	} {
+		if got := snap.Family(fam).Total(); got != wantTotal {
+			t.Errorf("%s total = %v, want %v", fam, got, wantTotal)
+		}
+	}
+	if snap.Family("sift_slo_eval_seconds").Total() != 2 {
+		t.Error("eval_seconds histogram not observed")
+	}
+}
+
+func TestCompressFloorsAndScales(t *testing.T) {
+	rules := []Rule{{
+		Name: "r", Severity: "warn",
+		Expr: &Expr{Kind: KindRate, Window: 10 * time.Minute,
+			Sources: []Source{{Family: "sift_x"}}},
+		Threshold: 1,
+		For:       time.Minute, ClearFor: 30 * time.Second,
+	}}
+	c := Compress(rules, 60)
+	if got := c[0].Expr.Window; got != 10*time.Second {
+		t.Errorf("window = %v, want 10s", got)
+	}
+	if got := c[0].For; got != time.Second {
+		t.Errorf("for = %v, want 1s", got)
+	}
+	if got := c[0].ClearFor; got != time.Second {
+		t.Errorf("clear_for = %v, want floor 1s", got)
+	}
+	// The original is untouched.
+	if rules[0].Expr.Window != 10*time.Minute {
+		t.Error("Compress mutated its input")
+	}
+	if same := Compress(rules, 1); &same[0] != &rules[0] {
+		// factor <= 1 returns the input unchanged
+		t.Error("factor 1 should be identity")
+	}
+}
